@@ -1,0 +1,33 @@
+//! Microbenchmark for the Theorem-1 hindsight solver: cost of building
+//! and exactly solving the full-trace interaction graph as the trace
+//! grows. Confirms the expected super-linear growth that motivates
+//! VCover's *incremental* remainder-subgraph approach for the online
+//! setting.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use delta_core::hindsight_decoupling;
+use delta_workload::{SyntheticSurvey, WorkloadConfig};
+use std::collections::HashSet;
+use std::hint::black_box;
+
+fn bench_hindsight(c: &mut Criterion) {
+    let mut g = c.benchmark_group("hindsight_cover");
+    g.sample_size(10);
+    for n in [500usize, 1_000, 2_000, 4_000] {
+        let mut cfg = WorkloadConfig::small();
+        cfg.n_queries = n;
+        cfg.n_updates = n;
+        let s = SyntheticSurvey::generate(&cfg);
+        // Cache the denser half of the catalog, as SOptimal tends to.
+        let mut ids: Vec<_> = s.catalog.ids().collect();
+        ids.sort_by_key(|&o| std::cmp::Reverse(s.catalog.size(o)));
+        let cached: HashSet<_> = ids.into_iter().take(s.catalog.len() / 2).collect();
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| hindsight_decoupling(black_box(&s.catalog), &s.trace, &cached))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_hindsight);
+criterion_main!(benches);

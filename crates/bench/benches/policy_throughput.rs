@@ -1,0 +1,46 @@
+//! Replacement-policy microbenchmarks: GDS vs LRU vs LFU request
+//! throughput, and the lazy-batch planner — the `A_obj` ablation for the
+//! LoadManager.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use delta_policy::{lazy, GreedyDualSize, Lfu, Lru, ReplacementPolicy};
+use delta_storage::ObjectId;
+use std::hint::black_box;
+
+fn drive<P: ReplacementPolicy>(p: &mut P, n: u64) -> u64 {
+    let mut evictions = 0;
+    for i in 0..n {
+        let id = ObjectId((i * 2654435761 % 200) as u32);
+        let size = 10 + id.0 as u64 % 50;
+        let adm = p.request(id, size, size);
+        evictions += adm.evicted.len() as u64;
+    }
+    evictions
+}
+
+fn bench_policies(c: &mut Criterion) {
+    const N: u64 = 10_000;
+    let mut g = c.benchmark_group("policy_throughput");
+    g.throughput(Throughput::Elements(N));
+    g.bench_function("gds_requests", |b| {
+        b.iter(|| black_box(drive(&mut GreedyDualSize::new(2_000), N)))
+    });
+    g.bench_function("lru_requests", |b| {
+        b.iter(|| black_box(drive(&mut Lru::new(2_000), N)))
+    });
+    g.bench_function("lfu_requests", |b| {
+        b.iter(|| black_box(drive(&mut Lfu::new(2_000), N)))
+    });
+    g.bench_function("lazy_batch_plan", |b| {
+        let candidates: Vec<(ObjectId, u64, u64)> =
+            (0..32u32).map(|i| (ObjectId(i), 50 + (i as u64 * 13) % 100, 100)).collect();
+        b.iter(|| {
+            let mut gds = GreedyDualSize::new(1_000);
+            black_box(lazy::plan_batch(&mut gds, &candidates).load.len())
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_policies);
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! Microbenchmarks for the SQL frontend: parse, analyze, and full
+//! compile (footprint → B(q) + density-integrated size estimate).
+//!
+//! The frontend sits on the cache's query path, so per-query overhead
+//! must be microseconds (parse/analyze) to at most a fraction of a
+//! millisecond (compile, dominated by density integration), i.e. many
+//! orders of magnitude below the WAN transfers it prices.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use delta_htm::Partition;
+use delta_query::{analyze, parse, Compiler, Schema};
+use delta_storage::SpatialMapper;
+use delta_workload::SkyModel;
+use std::hint::black_box;
+
+const QUERIES: &[(&str, &str)] = &[
+    (
+        "cone",
+        "SELECT ra, dec, g, r FROM PhotoObj \
+         WHERE CONTAINS(POINT('J2000', 185.0, 15.3), CIRCLE('J2000', 185.0, 15.3, 0.25)) = 1 \
+         AND g BETWEEN 17 AND 20",
+    ),
+    (
+        "range",
+        "SELECT objID, ra, dec FROM PhotoObj \
+         WHERE ra BETWEEN 150 AND 190 AND dec BETWEEN -5 AND 5 AND type = 3 \
+         WITH TOLERANCE 2000",
+    ),
+    ("selfjoin", "SELECT * FROM PhotoObj WHERE NEIGHBORS(185.2, 15.1, 0.05)"),
+    ("aggregate", "SELECT COUNT(*) FROM PhotoObj WHERE RECT(184, 14, 186, 16)"),
+];
+
+fn bench_parse(c: &mut Criterion) {
+    let mut g = c.benchmark_group("query_parse");
+    for (name, sql) in QUERIES {
+        g.bench_with_input(BenchmarkId::from_parameter(name), sql, |b, sql| {
+            b.iter(|| parse(black_box(sql)).expect("parses"))
+        });
+    }
+    g.finish();
+}
+
+fn bench_analyze(c: &mut Criterion) {
+    let schema = Schema::sdss();
+    let mut g = c.benchmark_group("query_analyze");
+    for (name, sql) in QUERIES {
+        let parsed = parse(sql).expect("parses");
+        g.bench_with_input(BenchmarkId::from_parameter(name), &parsed, |b, q| {
+            b.iter(|| analyze(black_box(q.clone()), &schema).expect("analyzes"))
+        });
+    }
+    g.finish();
+}
+
+fn bench_compile(c: &mut Criterion) {
+    let sky = SkyModel::sdss_like(7, 12);
+    let mapper = SpatialMapper::new(Partition::adaptive(|t| t.solid_angle(), 68));
+    let compiler = Compiler::new(Schema::sdss(), sky, mapper);
+    let mut g = c.benchmark_group("query_compile");
+    for (name, sql) in QUERIES {
+        g.bench_with_input(BenchmarkId::from_parameter(name), sql, |b, sql| {
+            b.iter(|| compiler.compile(black_box(sql)).expect("compiles"))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_parse, bench_analyze, bench_compile);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Criterion bench for the Fig. 7(a) substrate: trace-generation
+//! throughput (sky model, HTM partitioning, query/update streams).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use delta_workload::{fig7a_series, SyntheticSurvey, WorkloadConfig};
+use std::hint::black_box;
+
+fn bench_generation(c: &mut Criterion) {
+    let mut cfg = WorkloadConfig::small();
+    cfg.n_queries = 5_000;
+    cfg.n_updates = 5_000;
+
+    let mut g = c.benchmark_group("workload_gen");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(cfg.n_events() as u64));
+    g.bench_function("generate_10k_events", |b| {
+        b.iter(|| black_box(SyntheticSurvey::generate(&cfg).trace.len()))
+    });
+
+    let survey = SyntheticSurvey::generate(&cfg);
+    g.bench_function("fig7a_series_10k", |b| {
+        b.iter(|| black_box(fig7a_series(&survey.trace, 3).len()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_generation);
+criterion_main!(benches);

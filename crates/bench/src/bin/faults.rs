@@ -1,0 +1,74 @@
+//! Extension experiment (paper §7): failure recovery overhead.
+//!
+//! Sweeps cache crash counts and recovery modes over a fixed trace and
+//! reports the traffic premium each scenario pays relative to a
+//! fault-free run. Expected shape: warm restarts (store survives, mirror
+//! resynced from the server's metadata log) cost little; cold restarts
+//! re-pay load costs and trend the run toward NoCache as the crash rate
+//! grows.
+
+use delta_bench::{write_json, Scale};
+use delta_core::deploy::{run_deployed_faulty, FaultPlan, RecoveryMode};
+use delta_core::{simulate, CachingPolicy, SimOptions, VCover};
+use delta_workload::SyntheticSurvey;
+
+fn main() {
+    let scale = Scale::from_args();
+    let cfg = scale.config();
+    eprintln!("generating survey ({} events)...", cfg.n_events());
+    let survey = SyntheticSurvey::generate(&cfg);
+    let opts = SimOptions::with_cache_fraction(&survey.catalog, 0.3, cfg.n_events() as u64 / 100);
+    let n = survey.trace.len() as u64;
+    let seed = cfg.seed;
+
+    let mut clean_policy = VCover::new(opts.cache_bytes, seed);
+    let clean = simulate(&mut clean_policy, &survey.catalog, &survey.trace, opts);
+    println!("\n=== Failure recovery overhead (VCover, cache = 30%) ===");
+    println!("fault-free traffic: {}\n", clean.total());
+    println!(
+        "{:<24} {:>12} {:>9} {:>8} {:>10} {:>10}",
+        "scenario", "traffic", "overhead", "crashes", "lost-objs", "log-replay"
+    );
+
+    let mut rows = Vec::new();
+    for (label, crashes, mode) in [
+        ("1 warm crash", 1u64, RecoveryMode::Warm),
+        ("1 cold crash", 1, RecoveryMode::Cold),
+        ("4 warm crashes", 4, RecoveryMode::Warm),
+        ("4 cold crashes", 4, RecoveryMode::Cold),
+        ("16 cold crashes", 16, RecoveryMode::Cold),
+    ] {
+        let plan = FaultPlan {
+            crashes: (1..=crashes).map(|i| (i * n / (crashes + 1), mode)).collect(),
+        };
+        let mut factory = move || -> Box<dyn CachingPolicy + Send> {
+            Box::new(VCover::new(opts.cache_bytes, seed))
+        };
+        let (report, wan, rec) =
+            run_deployed_faulty(&mut factory, &survey.catalog, &survey.trace, opts, &plan);
+        assert_eq!(report.total().bytes(), wan.charged_total(), "ledger/meter reconcile");
+        let overhead =
+            report.total().bytes() as f64 / clean.total().bytes().max(1) as f64 - 1.0;
+        println!(
+            "{:<24} {:>12} {:>8.1}% {:>8} {:>10} {:>10}",
+            label,
+            report.total().to_string(),
+            overhead * 100.0,
+            rec.crashes,
+            rec.objects_lost,
+            rec.log_entries_replayed,
+        );
+        rows.push(serde_json::json!({
+            "label": label,
+            "traffic": report.total().bytes(),
+            "overhead": overhead,
+            "crashes": rec.crashes,
+            "objects_lost": rec.objects_lost,
+            "stale_on_recovery": rec.objects_stale_on_recovery,
+        }));
+    }
+    write_json(
+        &format!("faults_{}.json", scale.label()),
+        &serde_json::json!({ "clean": clean.total().bytes(), "scenarios": rows }),
+    );
+}

@@ -1,0 +1,58 @@
+//! Fig. 7(b): cumulative network traffic of the five policies along the
+//! post-warm-up event sequence.
+//!
+//! Expected shape (paper §6.2): VCover closely tracks SOptimal (ending
+//! within ~tens of %), beats Benefit by ≥2x, Replica by ~1.5x and NoCache
+//! by ~2x; Benefit is barely better than NoCache.
+
+use delta_bench::{factor, print_reports, write_json, Scale};
+use delta_core::{compare_all, SimOptions};
+use delta_workload::SyntheticSurvey;
+
+fn main() {
+    let scale = Scale::from_args();
+    let cfg = scale.config();
+    eprintln!("generating survey ({} events)...", cfg.n_events());
+    let survey = SyntheticSurvey::generate(&cfg);
+    let opts = SimOptions::with_cache_fraction(&survey.catalog, 0.3, cfg.n_events() as u64 / 200);
+    let warmup = (cfg.n_events() as f64 * cfg.warmup_fraction) as u64;
+
+    eprintln!("running five policies...");
+    let reports = compare_all(&survey.catalog, &survey.trace, opts, cfg.seed);
+    write_json(&format!("fig7b_{}.json", scale.label()), &reports);
+
+    print_reports("Fig 7(b): cumulative traffic, cache = 30% of server", warmup, &reports);
+
+    // Cumulative curve (post-warm-up), sampled at 10 checkpoints.
+    println!("\npost-warm-up cumulative traffic (GB):");
+    print!("{:>12}", "event");
+    for r in &reports {
+        print!("{:>10}", r.policy);
+    }
+    println!();
+    let last = survey.trace.events.last().map(|e| e.seq()).unwrap_or(0);
+    for i in 1..=10u64 {
+        let at = warmup + (last - warmup) * i / 10;
+        print!("{at:>12}");
+        for r in &reports {
+            let v = r.cumulative_at(at).saturating_sub(r.cumulative_at(warmup));
+            print!("{:>10.1}", v.bytes() as f64 / 1e9);
+        }
+        println!();
+    }
+
+    let get = |name: &str| {
+        reports
+            .iter()
+            .find(|r| r.policy == name)
+            .map(|r| r.cost_after(warmup).bytes())
+            .unwrap_or(0)
+    };
+    let (nocache, replica, benefit, vcover, soptimal) =
+        (get("NoCache"), get("Replica"), get("Benefit"), get("VCover"), get("SOptimal"));
+    println!("\nshape checks (post-warm-up):");
+    println!("  NoCache / VCover  = {:.2}  (paper: ~2)", factor(nocache, vcover));
+    println!("  Benefit / VCover  = {:.2}  (paper: >=2)", factor(benefit, vcover));
+    println!("  Replica / VCover  = {:.2}  (paper: ~1.5)", factor(replica, vcover));
+    println!("  VCover / SOptimal = {:.2}  (paper: ~1.4 at trace end)", factor(vcover, soptimal));
+}

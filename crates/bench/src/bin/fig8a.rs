@@ -1,0 +1,73 @@
+//! Fig. 8(a): final traffic cost vs number of updates.
+//!
+//! The queries are held fixed while the update count sweeps 0.5x..1.5x of
+//! the default. Expected shape (paper §6.2): NoCache flat; Replica linear
+//! (3x updates → 3x cost); VCover/Benefit/SOptimal nearly flat with a
+//! slight rise — they compensate by caching fewer objects.
+
+use delta_bench::{print_reports, write_json, Scale};
+use delta_core::{compare_all, SimOptions, SimReport};
+use delta_workload::SyntheticSurvey;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct SweepPoint {
+    n_updates: usize,
+    reports: Vec<SimReport>,
+}
+
+fn main() {
+    let scale = Scale::from_args();
+    let base_cfg = scale.config();
+    eprintln!("generating base survey...");
+    let survey = SyntheticSurvey::generate(&base_cfg);
+    let opts =
+        SimOptions::with_cache_fraction(&survey.catalog, 0.3, base_cfg.n_events() as u64 / 100);
+
+    // The paper sweeps 125k..375k updates against 250k queries.
+    let fractions = [0.5, 0.75, 1.0, 1.25, 1.5];
+    let mut sweep = Vec::new();
+    for f in fractions {
+        let mut cfg = base_cfg.clone();
+        cfg.n_updates = (base_cfg.n_updates as f64 * f) as usize;
+        eprintln!("n_updates = {} ...", cfg.n_updates);
+        let trace = survey.regenerate_trace(&cfg);
+        let warmup = (trace.len() as f64 * cfg.warmup_fraction) as u64;
+        let reports = compare_all(&survey.catalog, &trace, opts, cfg.seed);
+        print_reports(&format!("Fig 8(a) point: {} updates", cfg.n_updates), warmup, &reports);
+        sweep.push(SweepPoint { n_updates: cfg.n_updates, reports });
+    }
+    write_json(&format!("fig8a_{}.json", scale.label()), &sweep);
+
+    println!("\nFig 8(a): final traffic (GB) vs number of updates");
+    print!("{:>10}", "updates");
+    for r in &sweep[0].reports {
+        print!("{:>10}", r.policy);
+    }
+    println!();
+    for p in &sweep {
+        print!("{:>10}", p.n_updates);
+        for r in &p.reports {
+            print!("{:>10.1}", r.total().bytes() as f64 / 1e9);
+        }
+        println!();
+    }
+
+    // Shape check: Replica grows ~linearly; NoCache is exactly flat.
+    let replica_lo = sweep.first().unwrap().reports[1].total().bytes() as f64;
+    let replica_hi = sweep.last().unwrap().reports[1].total().bytes() as f64;
+    let nocache_lo = sweep.first().unwrap().reports[0].total().bytes();
+    let nocache_hi = sweep.last().unwrap().reports[0].total().bytes();
+    println!("\nshape checks:");
+    println!(
+        "  Replica cost ratio hi/lo = {:.2} (update ratio {:.2}; paper: proportional)",
+        replica_hi / replica_lo,
+        fractions[fractions.len() - 1] / fractions[0]
+    );
+    println!(
+        "  NoCache flat: {} (lo {} hi {})",
+        nocache_lo == nocache_hi,
+        nocache_lo,
+        nocache_hi
+    );
+}

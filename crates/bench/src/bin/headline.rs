@@ -1,0 +1,68 @@
+//! §6 headline claim: "Delta (using VCover) reduces the traffic by nearly
+//! half even with a cache that is one-fifth the size of the server
+//! repository," and "VCover outperforms Benefit by a factor that varies
+//! between 2-5 under different conditions."
+
+use delta_bench::{factor, write_json, Scale};
+use delta_core::{simulate, Benefit, BenefitConfig, NoCache, SimOptions, VCover};
+use delta_workload::SyntheticSurvey;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Headline {
+    cache_fraction: f64,
+    nocache_post_gb: f64,
+    vcover_post_gb: f64,
+    benefit_post_gb: f64,
+    reduction_vs_nocache: f64,
+    benefit_over_vcover: f64,
+}
+
+fn main() {
+    let scale = Scale::from_args();
+    let cfg = scale.config();
+    eprintln!("generating survey...");
+    let survey = SyntheticSurvey::generate(&cfg);
+    let warmup = (cfg.n_events() as f64 * cfg.warmup_fraction) as u64;
+    let sample = cfg.n_events() as u64 / 200;
+
+    let mut rows = Vec::new();
+    for frac in [0.2, 0.3] {
+        let opts = SimOptions::with_cache_fraction(&survey.catalog, frac, sample);
+        let mut nocache = NoCache;
+        let rn = simulate(&mut nocache, &survey.catalog, &survey.trace, opts);
+        let mut vcover = VCover::new(opts.cache_bytes, cfg.seed);
+        let rv = simulate(&mut vcover, &survey.catalog, &survey.trace, opts);
+        let mut benefit = Benefit::new(opts.cache_bytes, BenefitConfig::default());
+        let rb = simulate(&mut benefit, &survey.catalog, &survey.trace, opts);
+
+        let (n, v, b) = (
+            rn.cost_after(warmup).bytes(),
+            rv.cost_after(warmup).bytes(),
+            rb.cost_after(warmup).bytes(),
+        );
+        let row = Headline {
+            cache_fraction: frac,
+            nocache_post_gb: n as f64 / 1e9,
+            vcover_post_gb: v as f64 / 1e9,
+            benefit_post_gb: b as f64 / 1e9,
+            reduction_vs_nocache: 1.0 - factor(v, n),
+            benefit_over_vcover: factor(b, v),
+        };
+        println!(
+            "cache = {:>3.0}% of server: NoCache {:>8.1} GB | VCover {:>8.1} GB \
+             (traffic reduced {:>4.1}%) | Benefit {:>8.1} GB ({:.1}x VCover)",
+            frac * 100.0,
+            row.nocache_post_gb,
+            row.vcover_post_gb,
+            row.reduction_vs_nocache * 100.0,
+            row.benefit_post_gb,
+            row.benefit_over_vcover
+        );
+        rows.push(row);
+    }
+    println!(
+        "\npaper: traffic cut nearly in half at one-fifth cache; VCover beats Benefit 2-5x."
+    );
+    write_json(&format!("headline_{}.json", scale.label()), &rows);
+}

@@ -1,0 +1,90 @@
+//! Extension experiment: the Theorem-1 hindsight optimum.
+//!
+//! §3.1's Theorem 1 says the cheapest ship-query/ship-update mix over a
+//! known sequence is a minimum-weight vertex cover of the interaction
+//! graph. SOptimal (§6.1) picks the best *static set* in hindsight but
+//! then ships **every** update for cached objects. This bin quantifies
+//! what Theorem 1 adds: on SOptimal's own set, how much cheaper is the
+//! exact MWVC shipping plan — and how close does online VCover get to
+//! both?
+
+use delta_bench::{factor, write_json, Scale};
+use delta_core::{hindsight_decoupling, simulate, SimOptions, VCover};
+use delta_core::yardstick::SOptimal;
+use delta_workload::SyntheticSurvey;
+
+fn main() {
+    let scale = Scale::from_args();
+    let cfg = scale.config();
+    eprintln!("generating survey ({} events)...", cfg.n_events());
+    let survey = SyntheticSurvey::generate(&cfg);
+    let opts = SimOptions::with_cache_fraction(&survey.catalog, 0.3, cfg.n_events() as u64 / 200);
+
+    eprintln!("planning SOptimal set and simulating...");
+    let mut sopt = SOptimal::plan(&survey.catalog, &survey.trace, opts.cache_bytes);
+    let chosen = sopt.chosen().clone();
+    let sopt_run = simulate(&mut sopt, &survey.catalog, &survey.trace, opts);
+
+    eprintln!("solving the hindsight vertex cover ({} cached objects)...", chosen.len());
+    let hind = hindsight_decoupling(&survey.catalog, &survey.trace, &chosen);
+
+    eprintln!("running online VCover...");
+    let mut vcover = VCover::new(opts.cache_bytes, cfg.seed);
+    let vc_run = simulate(&mut vcover, &survey.catalog, &survey.trace, opts);
+
+    let (un, qn, en) = hind.graph_size;
+    println!("\n=== Theorem 1 in hindsight (static set = SOptimal's, {} objects) ===", chosen.len());
+    println!("interaction graph solved: {un} update nodes, {qn} query nodes, {en} edges");
+    println!(
+        "\n{:<22} {:>12} {:>14} {:>14} {:>12}",
+        "plan", "total", "query-ship", "update-ship", "load"
+    );
+    println!(
+        "{:<22} {:>12} {:>14} {:>14} {:>12}",
+        "SOptimal (simulated)",
+        sopt_run.total().to_string(),
+        sopt_run.ledger.breakdown.query_ship.to_string(),
+        sopt_run.ledger.breakdown.update_ship.to_string(),
+        sopt_run.ledger.breakdown.load.to_string(),
+    );
+    println!(
+        "{:<22} {:>12} {:>14} {:>14} {:>12}",
+        "Hindsight MWVC",
+        hind.total().to_string(),
+        (hind.forced_query + hind.cover_query).to_string(),
+        hind.cover_update.to_string(),
+        hind.load.to_string(),
+    );
+    println!(
+        "{:<22} {:>12} {:>14} {:>14} {:>12}",
+        "VCover (online)",
+        vc_run.total().to_string(),
+        vc_run.ledger.breakdown.query_ship.to_string(),
+        vc_run.ledger.breakdown.update_ship.to_string(),
+        vc_run.ledger.breakdown.load.to_string(),
+    );
+
+    write_json(
+        &format!("hindsight_{}.json", scale.label()),
+        &serde_json::json!({
+            "soptimal_total": sopt_run.total().bytes(),
+            "hindsight_total": hind.total().bytes(),
+            "vcover_total": vc_run.total().bytes(),
+            "graph": { "updates": un, "queries": qn, "edges": en },
+        }),
+    );
+
+    println!("\nshape checks:");
+    println!(
+        "  SOptimal / Hindsight = {:.3}  (expected: >= 1; Theorem 1 can only help)",
+        factor(sopt_run.total().bytes(), hind.total().bytes())
+    );
+    println!(
+        "  VCover / Hindsight   = {:.2}  (the online algorithm's true competitive gap)",
+        factor(vc_run.total().bytes(), hind.total().bytes())
+    );
+    assert!(
+        hind.total().bytes() <= sopt_run.total().bytes(),
+        "Theorem 1 violated: hindsight cover costs more than ship-every-update"
+    );
+}

@@ -1,0 +1,72 @@
+//! Extension experiment (paper §4 discussion / tech report \[26\]):
+//! preshipping updates to hot cached objects.
+//!
+//! VCover minimizes traffic but can delay queries that must wait for
+//! outstanding updates to ship on their critical path. Preshipping sends
+//! updates for *hot* resident objects proactively, at update-arrival
+//! time. Expected shape: response-time tail (p95/p99) drops for
+//! Preship(VCover) versus plain VCover, at a small traffic premium;
+//! NoCache pays the full WAN round-trip on every query either way.
+
+use delta_bench::{write_json, Scale};
+use delta_core::{simulate, Preship, PreshipConfig, SimOptions, SimReport, VCover};
+use delta_core::yardstick::NoCache;
+use delta_net::LinkModel;
+use delta_workload::SyntheticSurvey;
+
+fn main() {
+    let scale = Scale::from_args();
+    let cfg = scale.config();
+    eprintln!("generating survey ({} events)...", cfg.n_events());
+    let survey = SyntheticSurvey::generate(&cfg);
+    let opts = SimOptions::with_cache_fraction(&survey.catalog, 0.3, cfg.n_events() as u64 / 200)
+        .with_link(LinkModel::wan());
+
+    eprintln!("running NoCache, VCover, Preship(VCover)...");
+    let mut reports: Vec<SimReport> = Vec::new();
+    let mut nocache = NoCache;
+    reports.push(simulate(&mut nocache, &survey.catalog, &survey.trace, opts));
+    let mut vcover = VCover::new(opts.cache_bytes, cfg.seed);
+    reports.push(simulate(&mut vcover, &survey.catalog, &survey.trace, opts));
+    let mut preship = Preship::new(VCover::new(opts.cache_bytes, cfg.seed), PreshipConfig::default());
+    reports.push(simulate(&mut preship, &survey.catalog, &survey.trace, opts));
+    let (pre_ranges, pre_bytes) = preship.preshipped();
+
+    write_json(&format!("preship_{}.json", scale.label()), &reports);
+
+    println!("\n=== Preshipping: traffic vs response time (WAN link) ===");
+    println!(
+        "{:<17} {:>12} {:>8} {:>10} {:>10} {:>10} {:>10}",
+        "policy", "traffic", "hit%", "mean", "p50", "p95", "p99"
+    );
+    for r in &reports {
+        let l = r.latency.expect("link was configured");
+        println!(
+            "{:<17} {:>12} {:>7.1}% {:>8.0}ms {:>8.0}ms {:>8.0}ms {:>8.0}ms",
+            r.policy,
+            r.total().to_string(),
+            r.ledger.hit_rate() * 100.0,
+            l.mean_secs * 1e3,
+            l.p50_secs * 1e3,
+            l.p95_secs * 1e3,
+            l.p99_secs * 1e3,
+        );
+    }
+    println!(
+        "\npreshipped: {pre_ranges} update ranges, {:.2} GB",
+        pre_bytes as f64 / 1e9
+    );
+
+    let vc = &reports[1];
+    let ps = &reports[2];
+    let (vl, pl) = (vc.latency.unwrap(), ps.latency.unwrap());
+    println!("\nshape checks:");
+    println!(
+        "  p99 Preship / p99 VCover       = {:.2}  (expected: < 1, tail shrinks)",
+        pl.p99_secs / vl.p99_secs.max(1e-12)
+    );
+    println!(
+        "  traffic Preship / traffic VCover = {:.3}  (expected: >= 1, small premium)",
+        ps.total().bytes() as f64 / vc.total().bytes().max(1) as f64
+    );
+}

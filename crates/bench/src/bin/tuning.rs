@@ -1,0 +1,69 @@
+//! §6.1 parameter tuning: the cache-size and Benefit-window sweeps behind
+//! the paper's defaults ("we set the cache size to 30% of server size,
+//! and the window size δ in Benefit to 1000; the choices are obtained by
+//! varying the parameters in the experiment").
+
+use delta_bench::{write_json, Scale};
+use delta_core::{simulate, Benefit, BenefitConfig, SimOptions, SimReport, VCover};
+use delta_workload::SyntheticSurvey;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct TuningResults {
+    cache_sweep: Vec<(f64, SimReport)>,
+    window_sweep: Vec<(u64, SimReport)>,
+    alpha_sweep: Vec<(f64, SimReport)>,
+}
+
+fn main() {
+    let scale = Scale::from_args();
+    let cfg = scale.config();
+    eprintln!("generating survey...");
+    let survey = SyntheticSurvey::generate(&cfg);
+    let sample = cfg.n_events() as u64 / 100;
+
+    // Cache-size sweep for VCover.
+    let mut cache_sweep = Vec::new();
+    println!("cache-size sweep (VCover):");
+    println!("{:>10} {:>12} {:>7}", "cache %", "total", "hit%");
+    for frac in [0.1, 0.2, 0.3, 0.4, 0.5] {
+        let opts = SimOptions::with_cache_fraction(&survey.catalog, frac, sample);
+        let mut v = VCover::new(opts.cache_bytes, cfg.seed);
+        let r = simulate(&mut v, &survey.catalog, &survey.trace, opts);
+        println!(
+            "{:>9.0}% {:>12} {:>6.1}%",
+            frac * 100.0,
+            r.total().to_string(),
+            r.ledger.hit_rate() * 100.0
+        );
+        cache_sweep.push((frac, r));
+    }
+
+    // Window sweep for Benefit at the default cache size.
+    let opts = SimOptions::with_cache_fraction(&survey.catalog, 0.3, sample);
+    let mut window_sweep = Vec::new();
+    println!("\nwindow sweep (Benefit, alpha = 0.3):");
+    println!("{:>10} {:>12} {:>7}", "window", "total", "hit%");
+    for window in [250u64, 500, 1000, 2000, 4000] {
+        let mut b = Benefit::new(opts.cache_bytes, BenefitConfig { window, alpha: 0.3 });
+        let r = simulate(&mut b, &survey.catalog, &survey.trace, opts);
+        println!("{:>10} {:>12} {:>6.1}%", window, r.total().to_string(), r.ledger.hit_rate() * 100.0);
+        window_sweep.push((window, r));
+    }
+
+    // Alpha sweep for Benefit.
+    let mut alpha_sweep = Vec::new();
+    println!("\nalpha sweep (Benefit, window = 1000):");
+    println!("{:>10} {:>12} {:>7}", "alpha", "total", "hit%");
+    for alpha in [0.1, 0.3, 0.5, 0.8, 1.0] {
+        let mut b = Benefit::new(opts.cache_bytes, BenefitConfig { window: 1000, alpha });
+        let r = simulate(&mut b, &survey.catalog, &survey.trace, opts);
+        println!("{:>10.1} {:>12} {:>6.1}%", alpha, r.total().to_string(), r.ledger.hit_rate() * 100.0);
+        alpha_sweep.push((alpha, r));
+    }
+
+    write_json(
+        &format!("tuning_{}.json", scale.label()),
+        &TuningResults { cache_sweep, window_sweep, alpha_sweep },
+    );
+}

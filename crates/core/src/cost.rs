@@ -1,0 +1,158 @@
+//! Network-traffic cost accounting.
+//!
+//! Delta's only objective is minimizing bytes moved between cache and
+//! repository (§3). [`Cost`] is a byte count with GB-friendly display;
+//! [`CostBreakdown`] splits it by the paper's three communication
+//! mechanisms; [`CostLedger`] is the running account a simulation writes
+//! and every figure reads.
+
+use serde::{Deserialize, Serialize};
+
+/// A network-traffic cost in bytes.
+#[derive(
+    Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct Cost(pub u64);
+
+impl Cost {
+    /// Zero cost.
+    pub const ZERO: Cost = Cost(0);
+
+    /// The cost in raw bytes.
+    #[inline]
+    pub fn bytes(self) -> u64 {
+        self.0
+    }
+
+    /// The cost in (decimal) gigabytes.
+    pub fn gb(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Saturating subtraction.
+    pub fn saturating_sub(self, o: Cost) -> Cost {
+        Cost(self.0.saturating_sub(o.0))
+    }
+}
+
+impl std::ops::Add for Cost {
+    type Output = Cost;
+    fn add(self, o: Cost) -> Cost {
+        Cost(self.0 + o.0)
+    }
+}
+
+impl std::ops::AddAssign for Cost {
+    fn add_assign(&mut self, o: Cost) {
+        self.0 += o.0;
+    }
+}
+
+impl std::iter::Sum for Cost {
+    fn sum<I: Iterator<Item = Cost>>(iter: I) -> Cost {
+        Cost(iter.map(|c| c.0).sum())
+    }
+}
+
+impl std::fmt::Display for Cost {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.0 >= 10_000_000 {
+            write!(f, "{:.2} GB", self.gb())
+        } else if self.0 >= 10_000 {
+            write!(f, "{:.2} MB", self.0 as f64 / 1e6)
+        } else {
+            write!(f, "{} B", self.0)
+        }
+    }
+}
+
+/// Costs split by communication mechanism.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CostBreakdown {
+    /// Bytes of query results shipped from the server.
+    pub query_ship: Cost,
+    /// Bytes of update content shipped to the cache.
+    pub update_ship: Cost,
+    /// Bytes of whole objects bulk-loaded into the cache.
+    pub load: Cost,
+}
+
+impl CostBreakdown {
+    /// Total network traffic.
+    pub fn total(&self) -> Cost {
+        self.query_ship + self.update_ship + self.load
+    }
+}
+
+/// The running account of a simulation run.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct CostLedger {
+    /// Byte costs by mechanism.
+    pub breakdown: CostBreakdown,
+    /// Queries shipped to the server.
+    pub shipped_queries: u64,
+    /// Queries answered at the cache.
+    pub local_answers: u64,
+    /// Update ranges shipped (one per object per shipping decision).
+    pub update_ships: u64,
+    /// Objects loaded.
+    pub loads: u64,
+    /// Objects evicted.
+    pub evictions: u64,
+}
+
+impl CostLedger {
+    /// Total charged bytes.
+    pub fn total(&self) -> Cost {
+        self.breakdown.total()
+    }
+
+    /// Fraction of queries answered locally.
+    pub fn hit_rate(&self) -> f64 {
+        let n = self.shipped_queries + self.local_answers;
+        if n == 0 {
+            0.0
+        } else {
+            self.local_answers as f64 / n as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_scales() {
+        assert_eq!(Cost(5).to_string(), "5 B");
+        assert_eq!(Cost(25_000).to_string(), "0.03 MB");
+        assert_eq!(Cost(2_500_000_000).to_string(), "2.50 GB");
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = Cost(10) + Cost(5);
+        assert_eq!(a, Cost(15));
+        let mut b = Cost(1);
+        b += Cost(2);
+        assert_eq!(b.bytes(), 3);
+        let s: Cost = [Cost(1), Cost(2), Cost(3)].into_iter().sum();
+        assert_eq!(s, Cost(6));
+        assert_eq!(Cost(5).saturating_sub(Cost(9)), Cost::ZERO);
+    }
+
+    #[test]
+    fn breakdown_totals() {
+        let b = CostBreakdown { query_ship: Cost(1), update_ship: Cost(2), load: Cost(3) };
+        assert_eq!(b.total(), Cost(6));
+    }
+
+    #[test]
+    fn ledger_hit_rate() {
+        let mut l = CostLedger::default();
+        assert_eq!(l.hit_rate(), 0.0);
+        l.shipped_queries = 3;
+        l.local_answers = 1;
+        assert!((l.hit_rate() - 0.25).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,313 @@
+//! Offline hindsight analysis of the decoupling problem (Theorem 1).
+//!
+//! §3.1: "Let the entire incoming sequence of queries and updates in the
+//! internal interaction graph G be known in advance. Let VC be the
+//! minimum-weight vertex cover for G. The optimal choice is to ship the
+//! queries and the updates whose corresponding nodes are in VC."
+//!
+//! [`hindsight_decoupling`] applies the theorem over a whole trace for a
+//! *fixed static* cached set: queries touching uncached objects are
+//! forced ships; queries fully inside the set and the updates they
+//! interact with form the bipartite interaction graph, whose MWVC
+//! (solved exactly via max-flow) gives the cheapest ship-query /
+//! ship-update mix any algorithm could have achieved on that set. The
+//! result is a sharper offline baseline than [`crate::yardstick::SOptimal`]
+//! (which always ships every update for cached objects) and measures how
+//! much of SOptimal's cost Theorem 1 could still shave.
+//!
+//! **Tolerance caveat.** Nodes for updates to the same object arriving
+//! between the same pair of queries are merged (identical cover
+//! neighbourhoods — a standard exact reduction). With *non-monotone*
+//! staleness horizons (a later query with a large `t(q)` can excuse an
+//! update an earlier query needed), a merged node may pick up an edge one
+//! of its members did not strictly need; the computed cover is then a
+//! (tight) upper bound on the true hindsight optimum. With uniform
+//! tolerances — the common case — the reduction is exact.
+
+use crate::cost::Cost;
+use delta_flow::cover::{CoverGraph, QueryNode, UpdateNode};
+use delta_storage::{ObjectCatalog, ObjectId};
+use delta_workload::{Event, Trace};
+use std::collections::HashSet;
+
+/// The hindsight cost breakdown for a static cached set.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HindsightReport {
+    /// Bytes to load the set at the start (base sizes).
+    pub load: Cost,
+    /// Forced query ships (queries touching uncached objects).
+    pub forced_query: Cost,
+    /// Query ships chosen by the minimum-weight vertex cover.
+    pub cover_query: Cost,
+    /// Update ships chosen by the cover.
+    pub cover_update: Cost,
+    /// Queries fully answerable at the cache.
+    pub internal_queries: u64,
+    /// Queries forced to ship.
+    pub forced_queries: u64,
+    /// Interaction-graph size actually solved: (update nodes, query
+    /// nodes, edges) after the merge reduction.
+    pub graph_size: (usize, usize, usize),
+}
+
+impl HindsightReport {
+    /// Total hindsight network traffic.
+    pub fn total(&self) -> Cost {
+        self.load + self.forced_query + self.cover_query + self.cover_update
+    }
+}
+
+/// Computes the Theorem-1 hindsight optimum for holding `cached`
+/// statically over the whole `trace`.
+pub fn hindsight_decoupling(
+    catalog: &ObjectCatalog,
+    trace: &Trace,
+    cached: &HashSet<ObjectId>,
+) -> HindsightReport {
+    let n = catalog.len();
+    let mut graph = CoverGraph::new();
+
+    // Per cached object: updates not yet materialized as a cover node,
+    // as (seq, bytes), plus the materialized nodes with their newest seq.
+    let mut pending: Vec<Vec<(u64, u64)>> = vec![Vec::new(); n];
+    let mut nodes: Vec<Vec<(u64, UpdateNode)>> = vec![Vec::new(); n];
+
+    let mut load = Cost::ZERO;
+    for &o in cached {
+        load += Cost(catalog.size(o));
+    }
+
+    let mut forced_query = Cost::ZERO;
+    let mut forced_queries = 0u64;
+    let mut internal_queries = 0u64;
+    let mut query_nodes: Vec<QueryNode> = Vec::new();
+    let mut edges = 0usize;
+
+    for event in trace.iter() {
+        match event {
+            Event::Update(u) => {
+                if cached.contains(&u.object) {
+                    pending[u.object.index()].push((u.seq, u.bytes));
+                }
+            }
+            Event::Query(q) => {
+                let internal = q.objects.iter().all(|o| cached.contains(o));
+                if !internal {
+                    forced_query += Cost(q.result_bytes);
+                    forced_queries += 1;
+                    continue;
+                }
+                internal_queries += 1;
+                // "All updates received except those within the last t(q)
+                // ticks": the horizon below which updates interact.
+                let horizon = q.seq.saturating_sub(q.tolerance);
+                let qn = graph.add_query(q.result_bytes);
+                query_nodes.push(qn);
+                for &o in &q.objects {
+                    let i = o.index();
+                    // Materialize the pending updates at or below the
+                    // horizon as one merged node (identical
+                    // neighbourhoods from here on).
+                    let due: u64 = pending[i]
+                        .iter()
+                        .filter(|&&(seq, _)| seq <= horizon)
+                        .map(|&(_, b)| b)
+                        .sum();
+                    if due > 0 {
+                        let newest = pending[i]
+                            .iter()
+                            .filter(|&&(seq, _)| seq <= horizon)
+                            .map(|&(seq, _)| seq)
+                            .max()
+                            .expect("due > 0 implies a member");
+                        pending[i].retain(|&(seq, _)| seq > horizon);
+                        let un = graph.add_update(due);
+                        nodes[i].push((newest, un));
+                    }
+                    for &(newest, un) in &nodes[i] {
+                        if newest <= horizon {
+                            graph.add_interaction(un, qn);
+                            edges += 1;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    let update_nodes: usize = nodes.iter().map(Vec::len).sum();
+    let cover = graph.solve();
+    let mut cover_query = Cost::ZERO;
+    let mut cover_update = Cost::ZERO;
+    for &qn in &cover.queries {
+        cover_query += Cost(graph.query_weight(qn));
+    }
+    for &un in &cover.updates {
+        cover_update += Cost(graph.update_weight(un));
+    }
+
+    HindsightReport {
+        load,
+        forced_query,
+        cover_query,
+        cover_update,
+        internal_queries,
+        forced_queries,
+        graph_size: (update_nodes, query_nodes.len(), edges),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::{simulate, SimOptions};
+    use crate::yardstick::SOptimal;
+    use delta_workload::{QueryEvent, QueryKind, SyntheticSurvey, UpdateEvent, WorkloadConfig};
+
+    fn q(seq: u64, objects: Vec<u32>, bytes: u64, tolerance: u64) -> Event {
+        Event::Query(QueryEvent {
+            seq,
+            objects: objects.into_iter().map(ObjectId).collect(),
+            result_bytes: bytes,
+            tolerance,
+            kind: QueryKind::Cone,
+        })
+    }
+
+    fn u(seq: u64, object: u32, bytes: u64) -> Event {
+        Event::Update(UpdateEvent { seq, object: ObjectId(object), bytes })
+    }
+
+    fn trace_of(events: Vec<Event>) -> Trace {
+        Trace { events }
+    }
+
+    #[test]
+    fn paper_example_cached_subgraph() {
+        // The internal subgraph of Fig. 2: u1 (1 GB) and u6 (2 GB)
+        // interact with q7 (6 GB); covering the updates (3) beats
+        // covering the query (6).
+        let catalog = ObjectCatalog::from_sizes(&[10, 20]);
+        let cached: HashSet<ObjectId> = [ObjectId(0), ObjectId(1)].into();
+        let t = trace_of(vec![
+            u(1, 1, 1),
+            u(2, 1, 2),
+            q(3, vec![1], 6, 0),
+        ]);
+        let r = hindsight_decoupling(&catalog, &t, &cached);
+        assert_eq!(r.cover_update, Cost(3));
+        assert_eq!(r.cover_query, Cost::ZERO);
+        assert_eq!(r.internal_queries, 1);
+        assert_eq!(r.total(), Cost(30 + 3));
+    }
+
+    #[test]
+    fn cheap_query_is_shipped_instead() {
+        let catalog = ObjectCatalog::from_sizes(&[10]);
+        let cached: HashSet<ObjectId> = [ObjectId(0)].into();
+        let t = trace_of(vec![u(1, 0, 50), q(2, vec![0], 4, 0)]);
+        let r = hindsight_decoupling(&catalog, &t, &cached);
+        assert_eq!(r.cover_query, Cost(4), "shipping the 4-byte query beats 50 bytes of updates");
+        assert_eq!(r.cover_update, Cost::ZERO);
+    }
+
+    #[test]
+    fn one_update_ship_serves_many_queries() {
+        let catalog = ObjectCatalog::from_sizes(&[10]);
+        let cached: HashSet<ObjectId> = [ObjectId(0)].into();
+        let t = trace_of(vec![
+            u(1, 0, 5),
+            q(2, vec![0], 4, 0),
+            q(3, vec![0], 4, 0),
+            q(4, vec![0], 4, 0),
+        ]);
+        let r = hindsight_decoupling(&catalog, &t, &cached);
+        // Cover picks the single 5-byte update over 12 bytes of queries.
+        assert_eq!(r.cover_update, Cost(5));
+        assert_eq!(r.cover_query, Cost::ZERO);
+    }
+
+    #[test]
+    fn tolerance_excuses_recent_updates() {
+        let catalog = ObjectCatalog::from_sizes(&[10]);
+        let cached: HashSet<ObjectId> = [ObjectId(0)].into();
+        // The update at seq 9 is within the query's tolerance of 5 at
+        // seq 10 (horizon 5): no interaction at all.
+        let t = trace_of(vec![u(9, 0, 50), q(10, vec![0], 4, 5)]);
+        let r = hindsight_decoupling(&catalog, &t, &cached);
+        assert_eq!(r.cover_query + r.cover_update, Cost::ZERO);
+        assert_eq!(r.graph_size.2, 0, "no edges");
+    }
+
+    #[test]
+    fn uncached_objects_force_query_shipping() {
+        let catalog = ObjectCatalog::from_sizes(&[10, 20]);
+        let cached: HashSet<ObjectId> = [ObjectId(0)].into();
+        let t = trace_of(vec![q(1, vec![0, 1], 7, 0)]);
+        let r = hindsight_decoupling(&catalog, &t, &cached);
+        assert_eq!(r.forced_query, Cost(7));
+        assert_eq!(r.forced_queries, 1);
+        assert_eq!(r.internal_queries, 0);
+    }
+
+    #[test]
+    fn empty_set_equals_nocache() {
+        let catalog = ObjectCatalog::from_sizes(&[10, 20]);
+        let cached = HashSet::new();
+        let t = trace_of(vec![q(1, vec![0], 7, 0), u(2, 1, 3), q(3, vec![1], 9, 0)]);
+        let r = hindsight_decoupling(&catalog, &t, &cached);
+        assert_eq!(r.total(), Cost(16));
+    }
+
+    #[test]
+    fn hindsight_never_exceeds_soptimal_on_its_own_set() {
+        // SOptimal's policy (ship every update for cached objects) is one
+        // feasible cover, so the hindsight optimum on the same static set
+        // can only be cheaper or equal.
+        let mut cfg = WorkloadConfig::small();
+        cfg.n_queries = 1500;
+        cfg.n_updates = 1500;
+        let s = SyntheticSurvey::generate(&cfg);
+        let opts = SimOptions::with_cache_fraction(&s.catalog, 0.3, 500);
+        let mut sopt = SOptimal::plan(&s.catalog, &s.trace, opts.cache_bytes);
+        let chosen = sopt.chosen().clone();
+        let sim = simulate(&mut sopt, &s.catalog, &s.trace, opts);
+        let hind = hindsight_decoupling(&s.catalog, &s.trace, &chosen);
+        assert!(
+            hind.total().bytes() <= sim.total().bytes(),
+            "hindsight {} must be <= SOptimal {}",
+            hind.total(),
+            sim.total()
+        );
+    }
+
+    #[test]
+    fn merged_nodes_match_brute_force_on_small_instances() {
+        use delta_flow::cover::brute_force_cover_weight;
+        // Construct the same interaction graph manually and compare the
+        // solver's cover weight against exhaustive enumeration.
+        let catalog = ObjectCatalog::from_sizes(&[10, 10]);
+        let cached: HashSet<ObjectId> = [ObjectId(0), ObjectId(1)].into();
+        let t = trace_of(vec![
+            u(1, 0, 3),
+            u(2, 1, 5),
+            q(3, vec![0], 2, 0),
+            q(4, vec![0, 1], 9, 0),
+            u(5, 0, 1),
+            q(6, vec![0, 1], 4, 0),
+        ]);
+        let r = hindsight_decoupling(&catalog, &t, &cached);
+
+        // Brute force over the unmerged graph: updates u1(3), u2(5),
+        // u5(1); queries q3(2), q4(9), q6(4); edges per interaction.
+        let updates = vec![3u64, 5, 1];
+        let queries = vec![2u64, 9, 4];
+        let edges = vec![(0, 0), (0, 1), (1, 1), (0, 2), (1, 2), (2, 2)];
+        let best = brute_force_cover_weight(&updates, &queries, &edges);
+        assert_eq!(
+            (r.cover_query + r.cover_update).bytes(),
+            best,
+            "solver+merge must equal exhaustive optimum"
+        );
+    }
+}

@@ -1,0 +1,37 @@
+//! The policy interface every algorithm (VCover, Benefit, the yardsticks)
+//! implements, and over which the simulator runs.
+
+use crate::context::SimContext;
+use delta_storage::ObjectCatalog;
+use delta_workload::{QueryEvent, UpdateEvent};
+
+/// A middleware caching algorithm driven by the event simulator.
+///
+/// Contract: after [`CachingPolicy::on_query`] returns, the context must be
+/// satisfied — the policy either shipped the query or answered it locally
+/// (which in turn demands genuine currency). The simulator enforces this.
+pub trait CachingPolicy {
+    /// Human-readable name used in reports and figures.
+    fn name(&self) -> &str;
+
+    /// Called once before the first event. May pre-populate the cache
+    /// (e.g. SOptimal loads its static set, charged; Replica mirrors the
+    /// repository, uncharged per the paper).
+    fn init(&mut self, _ctx: &mut SimContext<'_>) {}
+
+    /// Handles an arriving user query. The repository and cache reflect
+    /// all earlier events; `ctx.now` is the query's sequence number.
+    fn on_query(&mut self, q: &QueryEvent, ctx: &mut SimContext<'_>);
+
+    /// Handles an update arrival. The simulator has already applied it to
+    /// the repository and invalidated any cached copy; the policy decides
+    /// whether to ship anything now (Replica does; VCover defers to query
+    /// demand — design choice A of §1).
+    fn on_update(&mut self, u: &UpdateEvent, ctx: &mut SimContext<'_>);
+
+    /// Cache capacity this policy wants, given the configured default.
+    /// Only Replica overrides this (it mirrors the whole repository).
+    fn preferred_capacity(&self, _catalog: &ObjectCatalog, configured: u64) -> u64 {
+        configured
+    }
+}

@@ -1,0 +1,253 @@
+//! Preshipping: proactive update propagation for hot cached objects.
+//!
+//! §4's discussion: decisions that minimize traffic can delay queries
+//! that must wait for outstanding updates to ship; "to improve the
+//! response time performance of delayed queries, some updates can be
+//! preshipped, i.e., proactively sent by the server" (the full treatment
+//! lives in the paper's technical report \[26\]).
+//!
+//! [`Preship`] wraps any [`CachingPolicy`] and adds exactly that: when an
+//! update arrives for a *resident* object whose recent query heat exceeds
+//! a threshold, the update is shipped immediately — at update-arrival
+//! time, off every query's critical path — instead of waiting for the
+//! next querying client to pull it. Traffic can only grow (some
+//! preshipped updates would otherwise have been covered by shipping a
+//! query); latency on hot objects shrinks. The heat tracker is an
+//! exponentially-decayed access counter, so the set of preshipped objects
+//! adapts with the workload's hotspot drift.
+
+use crate::context::SimContext;
+use crate::policy_trait::CachingPolicy;
+use delta_storage::ObjectCatalog;
+use delta_workload::{QueryEvent, UpdateEvent};
+
+/// Configuration for [`Preship`].
+#[derive(Clone, Copy, Debug)]
+pub struct PreshipConfig {
+    /// Half-life, in events, of the per-object access heat.
+    pub half_life_events: f64,
+    /// Heat at or above which a resident object's updates are preshipped.
+    /// Heat increases by 1 per query access and decays with
+    /// [`PreshipConfig::half_life_events`]; a threshold of `h` therefore
+    /// means roughly "queried `h` times within the last half-life".
+    pub hot_threshold: f64,
+}
+
+impl Default for PreshipConfig {
+    fn default() -> Self {
+        Self { half_life_events: 2000.0, hot_threshold: 3.0 }
+    }
+}
+
+/// A policy wrapper that preships updates to hot resident objects.
+#[derive(Debug)]
+pub struct Preship<P> {
+    inner: P,
+    cfg: PreshipConfig,
+    name: String,
+    heat: Vec<f64>,
+    heat_at: Vec<u64>,
+    preshipped_ranges: u64,
+    preshipped_bytes: u64,
+}
+
+impl<P: CachingPolicy> Preship<P> {
+    /// Wraps `inner` with preshipping under `cfg`.
+    pub fn new(inner: P, cfg: PreshipConfig) -> Self {
+        assert!(cfg.half_life_events > 0.0, "half-life must be positive");
+        assert!(cfg.hot_threshold >= 0.0, "threshold must be non-negative");
+        let name = format!("Preship({})", inner.name());
+        Self {
+            inner,
+            cfg,
+            name,
+            heat: Vec::new(),
+            heat_at: Vec::new(),
+            preshipped_ranges: 0,
+            preshipped_bytes: 0,
+        }
+    }
+
+    /// Wraps `inner` with the default configuration.
+    pub fn with_defaults(inner: P) -> Self {
+        Self::new(inner, PreshipConfig::default())
+    }
+
+    /// The wrapped policy.
+    pub fn inner(&self) -> &P {
+        &self.inner
+    }
+
+    /// Update ranges and bytes shipped proactively so far.
+    pub fn preshipped(&self) -> (u64, u64) {
+        (self.preshipped_ranges, self.preshipped_bytes)
+    }
+
+    fn ensure_len(&mut self, n: usize) {
+        if self.heat.len() < n {
+            self.heat.resize(n, 0.0);
+            self.heat_at.resize(n, 0);
+        }
+    }
+
+    /// Current decayed heat of object `i` at time `now`.
+    fn heat_now(&self, i: usize, now: u64) -> f64 {
+        let dt = now.saturating_sub(self.heat_at[i]) as f64;
+        self.heat[i] * 0.5f64.powf(dt / self.cfg.half_life_events)
+    }
+
+    fn bump(&mut self, i: usize, now: u64) {
+        self.heat[i] = self.heat_now(i, now) + 1.0;
+        self.heat_at[i] = now;
+    }
+}
+
+impl<P: CachingPolicy> CachingPolicy for Preship<P> {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn init(&mut self, ctx: &mut SimContext<'_>) {
+        self.ensure_len(ctx.repo.catalog().len());
+        self.inner.init(ctx);
+    }
+
+    fn on_query(&mut self, q: &QueryEvent, ctx: &mut SimContext<'_>) {
+        self.ensure_len(ctx.repo.catalog().len());
+        for &o in &q.objects {
+            self.bump(o.index(), ctx.now);
+        }
+        self.inner.on_query(q, ctx);
+    }
+
+    fn on_update(&mut self, u: &UpdateEvent, ctx: &mut SimContext<'_>) {
+        self.ensure_len(ctx.repo.catalog().len());
+        // Let the inner policy react first (Replica ships everything
+        // anyway; VCover records the outstanding update).
+        self.inner.on_update(u, ctx);
+        let i = u.object.index();
+        if ctx.cache.contains(u.object)
+            && self.heat_now(i, ctx.now) >= self.cfg.hot_threshold
+        {
+            let target = ctx.repo.version(u.object);
+            let already = ctx.cache.applied_version(u.object).unwrap_or(0);
+            if target > already {
+                let bytes = ctx.ship_updates_to(u.object, target);
+                if bytes > 0 {
+                    self.preshipped_ranges += 1;
+                    self.preshipped_bytes += bytes;
+                }
+            }
+        }
+    }
+
+    fn preferred_capacity(&self, catalog: &ObjectCatalog, configured: u64) -> u64 {
+        self.inner.preferred_capacity(catalog, configured)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::CostLedger;
+    use crate::vcover::VCover;
+    use crate::yardstick::NoCache;
+    use delta_storage::{CacheStore, ObjectCatalog, ObjectId, Repository};
+    use delta_workload::QueryKind;
+
+    fn q(seq: u64, object: u32, bytes: u64) -> QueryEvent {
+        QueryEvent {
+            seq,
+            objects: vec![ObjectId(object)],
+            result_bytes: bytes,
+            tolerance: 0,
+            kind: QueryKind::Cone,
+        }
+    }
+
+    #[test]
+    fn hot_resident_object_gets_updates_preshipped() {
+        let mut repo = Repository::new(ObjectCatalog::from_sizes(&[100]));
+        let mut cache = CacheStore::new(1000);
+        let mut ledger = CostLedger::default();
+        let mut p = Preship::new(
+            NoCache,
+            PreshipConfig { half_life_events: 100.0, hot_threshold: 2.0 },
+        );
+        // Make the object resident and hot.
+        {
+            let mut ctx = SimContext::new(&mut repo, &mut cache, &mut ledger, 0);
+            ctx.load_object(ObjectId(0)).unwrap();
+        }
+        for seq in 1..=3 {
+            let mut ctx = SimContext::new(&mut repo, &mut cache, &mut ledger, seq);
+            p.on_query(&q(seq, 0, 10), &mut ctx);
+        }
+        // An update arrives: it should ship immediately.
+        repo.apply_update(ObjectId(0), 7, 4);
+        cache.invalidate(ObjectId(0));
+        let mut ctx = SimContext::new(&mut repo, &mut cache, &mut ledger, 4);
+        p.on_update(&UpdateEvent { seq: 4, object: ObjectId(0), bytes: 7 }, &mut ctx);
+        assert_eq!(p.preshipped(), (1, 7));
+        assert!(!cache.get(ObjectId(0)).unwrap().stale);
+    }
+
+    #[test]
+    fn cold_objects_are_not_preshipped() {
+        let mut repo = Repository::new(ObjectCatalog::from_sizes(&[100]));
+        let mut cache = CacheStore::new(1000);
+        let mut ledger = CostLedger::default();
+        let mut p = Preship::new(
+            NoCache,
+            PreshipConfig { half_life_events: 100.0, hot_threshold: 2.0 },
+        );
+        {
+            let mut ctx = SimContext::new(&mut repo, &mut cache, &mut ledger, 0);
+            ctx.load_object(ObjectId(0)).unwrap();
+        }
+        repo.apply_update(ObjectId(0), 7, 1);
+        cache.invalidate(ObjectId(0));
+        let mut ctx = SimContext::new(&mut repo, &mut cache, &mut ledger, 1);
+        p.on_update(&UpdateEvent { seq: 1, object: ObjectId(0), bytes: 7 }, &mut ctx);
+        assert_eq!(p.preshipped(), (0, 0), "no query heat, no preship");
+        assert!(cache.get(ObjectId(0)).unwrap().stale);
+    }
+
+    #[test]
+    fn heat_decays_over_time() {
+        let mut repo = Repository::new(ObjectCatalog::from_sizes(&[100]));
+        let mut cache = CacheStore::new(1000);
+        let mut ledger = CostLedger::default();
+        let mut p = Preship::new(
+            NoCache,
+            PreshipConfig { half_life_events: 10.0, hot_threshold: 2.0 },
+        );
+        {
+            let mut ctx = SimContext::new(&mut repo, &mut cache, &mut ledger, 0);
+            ctx.load_object(ObjectId(0)).unwrap();
+        }
+        for seq in 1..=3 {
+            let mut ctx = SimContext::new(&mut repo, &mut cache, &mut ledger, seq);
+            p.on_query(&q(seq, 0, 10), &mut ctx);
+        }
+        // 100 events later (10 half-lives), the heat is ~0.003.
+        repo.apply_update(ObjectId(0), 7, 103);
+        cache.invalidate(ObjectId(0));
+        let mut ctx = SimContext::new(&mut repo, &mut cache, &mut ledger, 103);
+        p.on_update(&UpdateEvent { seq: 103, object: ObjectId(0), bytes: 7 }, &mut ctx);
+        assert_eq!(p.preshipped(), (0, 0), "heat decayed below threshold");
+    }
+
+    #[test]
+    fn name_reflects_inner() {
+        let p = Preship::with_defaults(VCover::new(1000, 1));
+        assert_eq!(p.name(), "Preship(VCover)");
+    }
+
+    #[test]
+    fn preship_respects_inner_capacity_preference() {
+        let catalog = ObjectCatalog::from_sizes(&[100, 200]);
+        let p = Preship::with_defaults(NoCache);
+        assert_eq!(p.preferred_capacity(&catalog, 77), 77);
+    }
+}

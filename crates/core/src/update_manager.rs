@@ -1,0 +1,664 @@
+//! The `UpdateManager`: online min-weight vertex cover over the live
+//! interaction graph (paper §4, Fig. 4 and Fig. 5).
+//!
+//! For a query whose objects are all cached, the manager
+//!
+//! 1. adds a query vertex weighted ν(q) and update vertices (weighted by
+//!    their shipping cost) for every outstanding update the query's
+//!    staleness tolerance requires, with the corresponding edges;
+//! 2. re-solves the minimum-weight vertex cover *incrementally* (the flow
+//!    from the previous solve is reused);
+//! 3. if the query is in the cover, ships it; otherwise ships exactly the
+//!    updates it interacts with and answers it at the cache.
+//!
+//! The *remainder subgraph* rule (§4) is applied after every decision:
+//! shipped update nodes and locally-answered query nodes leave the graph,
+//! shipped query nodes are retained (their weight keeps justifying future
+//! update shipping), and isolated vertices are pruned. Object eviction
+//! removes the object's update vertices wholesale.
+//!
+//! ## Segment vertices
+//!
+//! A rapidly-growing repository can accumulate thousands of outstanding
+//! updates per object; materializing one vertex per update would make the
+//! graph grow without bound. Two outstanding updates of the same object
+//! are *indistinguishable* to the cover whenever every interacting query
+//! needs either both or neither — true exactly within the runs delimited
+//! by the distinct query horizons seen so far. The manager therefore
+//! materializes one **segment vertex** per such run (weight = total bytes
+//! of the run), splitting a segment only when a new query's staleness
+//! horizon lands inside it. This is cost- and cover-equivalent to the
+//! per-update graph (all-or-nothing shipping of identically-connected
+//! vertices) while keeping the graph proportional to the number of
+//! *distinct horizons*, not updates.
+
+use crate::context::SimContext;
+use delta_flow::{CoverGraph, QueryNode, UpdateNode};
+
+/// Robustness cap (public so callers and docs can reference the bound):
+/// live segment vertices per object. Continuous
+/// staleness tolerances can mint a fresh horizon — and thus a segment
+/// split — per query; on a coarse partition whose hot object is rarely
+/// shipped this grows the working graph (and each incremental solve)
+/// without bound. Beyond the cap, the *oldest* segments are coalesced
+/// into one vertex: their union adjacency is conservative (a query may
+/// become linked to updates slightly past its horizon, which can only
+/// ship more than strictly needed — currency is never violated), and
+/// future horizons re-split the merged run on demand.
+pub const MAX_SEGMENTS_PER_OBJECT: usize = 128;
+
+/// Robustness cap: retained (shipped) query vertices. The remainder rule
+/// keeps them to justify future update shipping; the oldest carry the
+/// least-relevant evidence and are dropped first (forgetting a shipped
+/// query can only bias later covers toward shipping queries again —
+/// never violates a currency contract).
+pub const MAX_RETAINED_QUERIES: usize = 4096;
+use delta_storage::{staleness, ObjectId};
+use delta_workload::QueryEvent;
+use std::collections::HashMap;
+
+/// Statistics the manager accumulates (reported in benchmarks).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct UpdateManagerStats {
+    /// Cover computations performed.
+    pub solves: u64,
+    /// Queries decided by shipping the query.
+    pub queries_shipped: u64,
+    /// Queries decided by shipping updates and answering locally.
+    pub answered_locally: u64,
+    /// Queries answered locally with no outstanding interacting updates.
+    pub trivially_current: u64,
+    /// Segment vertices shipped (and removed).
+    pub update_nodes_shipped: u64,
+    /// Segment splits caused by new staleness horizons.
+    pub segment_splits: u64,
+    /// Retained query vertices pruned after becoming isolated.
+    pub queries_pruned: u64,
+    /// Segment coalesces forced by [`MAX_SEGMENTS_PER_OBJECT`].
+    pub segments_coalesced: u64,
+    /// Retained queries dropped by [`MAX_RETAINED_QUERIES`].
+    pub retained_dropped: u64,
+}
+
+/// One materialized run of outstanding updates `[start, end)` of an
+/// object, represented by a single cover vertex.
+#[derive(Clone, Debug)]
+struct Segment {
+    start: u64,
+    end: u64,
+    node: UpdateNode,
+}
+
+/// Online decision engine for queries hitting fully-resident object sets.
+#[derive(Debug, Default)]
+pub struct UpdateManager {
+    graph: CoverGraph,
+    /// Live segments per object: sorted, disjoint, contiguous from the
+    /// cache's applied version.
+    by_object: HashMap<ObjectId, Vec<Segment>>,
+    /// Live queries adjacent to each segment vertex (needed to re-wire on
+    /// splits).
+    node_queries: HashMap<UpdateNode, Vec<QueryNode>>,
+    /// Retained (shipped) query vertices.
+    retained: Vec<QueryNode>,
+    stats: UpdateManagerStats,
+}
+
+impl UpdateManager {
+    /// Creates an empty manager.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> UpdateManagerStats {
+        self.stats
+    }
+
+    /// Number of live segment vertices (for tests).
+    pub fn live_update_nodes(&self) -> usize {
+        self.by_object.values().map(Vec::len).sum()
+    }
+
+    /// Number of retained query vertices (for tests).
+    pub fn retained_queries(&self) -> usize {
+        self.retained.len()
+    }
+
+    /// Decides and executes the ship-query vs ship-updates choice for a
+    /// query whose objects are all resident (Fig. 4).
+    ///
+    /// # Panics
+    /// Panics if some object in `B(q)` is not resident.
+    pub fn handle_query(&mut self, q: &QueryEvent, ctx: &mut SimContext<'_>) {
+        // Collect the outstanding update ranges the query's tolerance
+        // requires, per object.
+        let mut ranges: Vec<(ObjectId, u64, u64)> = Vec::new();
+        for &o in &q.objects {
+            let need = staleness::needed_updates(ctx.repo, ctx.cache, o, ctx.now, q.tolerance)
+                .expect("UpdateManager invoked with non-resident object");
+            if !need.is_current() {
+                ranges.push((o, need.from_version, need.to_version));
+            }
+        }
+
+        // Fig. 4 lines 12–13: nothing outstanding interacts with q.
+        if ranges.is_empty() {
+            self.stats.trivially_current += 1;
+            ctx.answer_local(q);
+            return;
+        }
+
+        // Materialize segment vertices for the needed ranges and wire up
+        // the query vertex.
+        let qn = self.graph.add_query(q.result_bytes);
+        for &(o, from, to) in &ranges {
+            self.materialize(o, from, to, ctx);
+            for seg in self.by_object.get(&o).into_iter().flatten() {
+                if seg.end <= to {
+                    self.graph.add_interaction(seg.node, qn);
+                    self.node_queries.entry(seg.node).or_default().push(qn);
+                }
+            }
+        }
+
+        // Incremental cover solve (Fig. 5).
+        let cover = self.graph.solve();
+        self.stats.solves += 1;
+
+        if cover.queries.contains(&qn) {
+            // Ship the query; retain its vertex (remainder rule).
+            ctx.ship_query(q);
+            self.retained.push(qn);
+            self.stats.queries_shipped += 1;
+        } else {
+            // Ship all updates interacting with q, per object, then answer
+            // locally. Segments are all-or-nothing, and q's segments are
+            // exactly the prefix up to its horizon.
+            for &(o, _from, to) in &ranges {
+                ctx.ship_updates_to(o, to);
+                self.drop_prefix(o, to);
+            }
+            self.graph.remove_query(qn);
+            ctx.answer_local(q);
+            self.stats.answered_locally += 1;
+            self.prune_isolated();
+        }
+        self.enforce_caps(q);
+    }
+
+    /// Applies the robustness caps (see the module constants): coalesces
+    /// each object's oldest segments and drops the oldest retained query
+    /// vertices once their counts exceed the bounds.
+    fn enforce_caps(&mut self, q: &QueryEvent) {
+        for &o in &q.objects {
+            let Some(segs) = self.by_object.get_mut(&o) else { continue };
+            if segs.len() <= MAX_SEGMENTS_PER_OBJECT {
+                continue;
+            }
+            // Coalesce the oldest half into one vertex.
+            let k = segs.len() - MAX_SEGMENTS_PER_OBJECT / 2;
+            let merged: Vec<Segment> = segs.drain(..k).collect();
+            let start = merged.first().expect("k >= 1").start;
+            let end = merged.last().expect("k >= 1").end;
+            let mut weight = 0u64;
+            let mut adjacency: Vec<QueryNode> = Vec::new();
+            for seg in &merged {
+                weight += self.graph.update_weight(seg.node);
+                if let Some(adj) = self.node_queries.remove(&seg.node) {
+                    adjacency.extend(adj);
+                }
+                self.graph.remove_update(seg.node);
+            }
+            adjacency.sort_unstable_by_key(|qn| qn.0);
+            adjacency.dedup();
+            let node = self.graph.add_update(weight);
+            for &adj_q in &adjacency {
+                if self.graph.query_alive(adj_q) {
+                    self.graph.add_interaction(node, adj_q);
+                }
+            }
+            adjacency.retain(|&adj_q| self.graph.query_alive(adj_q));
+            self.node_queries.insert(node, adjacency);
+            segs.insert(0, Segment { start, end, node });
+            self.stats.segments_coalesced += merged.len() as u64;
+        }
+        if self.retained.len() > MAX_RETAINED_QUERIES {
+            let drop = self.retained.len() - MAX_RETAINED_QUERIES;
+            for qn in self.retained.drain(..drop) {
+                if self.graph.query_alive(qn) {
+                    self.graph.remove_query(qn);
+                }
+                self.stats.retained_dropped += 1;
+            }
+            self.prune_isolated();
+        }
+    }
+
+    /// Ensures segments exist covering `[from, to)` with a boundary at
+    /// `to` (splitting if a segment straddles it).
+    fn materialize(&mut self, o: ObjectId, from: u64, to: u64, ctx: &SimContext<'_>) {
+        let graph = &mut self.graph;
+        let segs = self.by_object.entry(o).or_default();
+        debug_assert!(segs.first().map(|s| s.start).unwrap_or(from) == from || !segs.is_empty());
+        // Extend coverage to `to` if needed.
+        let covered_to = segs.last().map(|s| s.end).unwrap_or(from);
+        if to > covered_to {
+            let start = covered_to.max(from);
+            let w = ctx.repo.update_bytes(o, start, to);
+            let node = graph.add_update(w);
+            segs.push(Segment { start, end: to, node });
+        } else if let Some(idx) = segs.iter().position(|s| s.start < to && to < s.end) {
+            // Split the straddling segment at `to`.
+            self.stats.segment_splits += 1;
+            let old = segs[idx].clone();
+            let adjacency = self.node_queries.remove(&old.node).unwrap_or_default();
+            graph.remove_update(old.node);
+            let w1 = ctx.repo.update_bytes(o, old.start, to);
+            let w2 = ctx.repo.update_bytes(o, to, old.end);
+            let n1 = graph.add_update(w1);
+            let n2 = graph.add_update(w2);
+            // Every query adjacent to the old segment needed all of it:
+            // re-wire to both halves.
+            for &adj_q in &adjacency {
+                if graph.query_alive(adj_q) {
+                    graph.add_interaction(n1, adj_q);
+                    graph.add_interaction(n2, adj_q);
+                    self.node_queries.entry(n1).or_default().push(adj_q);
+                    self.node_queries.entry(n2).or_default().push(adj_q);
+                }
+            }
+            segs[idx] = Segment { start: old.start, end: to, node: n1 };
+            segs.insert(idx + 1, Segment { start: to, end: old.end, node: n2 });
+        }
+    }
+
+    /// Removes all segments of `o` ending at or before `to` (they were
+    /// shipped and applied).
+    fn drop_prefix(&mut self, o: ObjectId, to: u64) {
+        if let Some(segs) = self.by_object.get_mut(&o) {
+            let mut kept = Vec::with_capacity(segs.len());
+            for seg in segs.drain(..) {
+                if seg.end <= to {
+                    self.graph.remove_update(seg.node);
+                    self.node_queries.remove(&seg.node);
+                    self.stats.update_nodes_shipped += 1;
+                } else {
+                    kept.push(seg);
+                }
+            }
+            *segs = kept;
+            if segs.is_empty() {
+                self.by_object.remove(&o);
+            }
+        }
+    }
+
+    /// Removes every live segment of an evicted object: with the object
+    /// gone, its updates no longer need shipping (queries on it will be
+    /// shipped instead).
+    pub fn on_evict(&mut self, o: ObjectId) {
+        if let Some(segs) = self.by_object.remove(&o) {
+            for seg in segs {
+                self.graph.remove_update(seg.node);
+                self.node_queries.remove(&seg.node);
+            }
+            self.prune_isolated();
+        }
+    }
+
+    /// Drops retained query vertices that no longer have live edges — they
+    /// can never influence a future cover.
+    fn prune_isolated(&mut self) {
+        let graph = &mut self.graph;
+        let stats = &mut self.stats;
+        self.retained.retain(|&qn| {
+            if graph.query_alive(qn) && graph.query_degree(qn) == 0 {
+                graph.remove_query(qn);
+                stats.queries_pruned += 1;
+                false
+            } else {
+                graph.query_alive(qn)
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::CostLedger;
+    use delta_storage::{CacheStore, ObjectCatalog, Repository};
+    use delta_workload::QueryKind;
+
+    fn world(sizes: &[u64]) -> (Repository, CacheStore, CostLedger) {
+        (
+            Repository::new(ObjectCatalog::from_sizes(sizes)),
+            CacheStore::new(10_000),
+            CostLedger::default(),
+        )
+    }
+
+    fn q(seq: u64, objects: Vec<u32>, bytes: u64, tol: u64) -> QueryEvent {
+        QueryEvent {
+            seq,
+            objects: objects.into_iter().map(ObjectId).collect(),
+            result_bytes: bytes,
+            tolerance: tol,
+            kind: QueryKind::Cone,
+        }
+    }
+
+    /// Loads object `o` at time 0 (uncharged, direct).
+    fn preload(repo: &Repository, cache: &mut CacheStore, o: u32) {
+        cache.load(ObjectId(o), repo.current_size(ObjectId(o)), repo.version(ObjectId(o))).unwrap();
+    }
+
+    #[test]
+    fn current_query_answers_locally_free() {
+        let (mut repo, mut cache, mut ledger) = world(&[100]);
+        preload(&repo, &mut cache, 0);
+        let mut um = UpdateManager::new();
+        let mut ctx = SimContext::new(&mut repo, &mut cache, &mut ledger, 5);
+        um.handle_query(&q(5, vec![0], 50, 0), &mut ctx);
+        assert_eq!(ledger.total().bytes(), 0);
+        assert_eq!(ledger.local_answers, 1);
+        assert_eq!(um.stats().trivially_current, 1);
+        assert_eq!(um.live_update_nodes(), 0);
+    }
+
+    #[test]
+    fn cheap_updates_shipped_instead_of_expensive_query() {
+        let (mut repo, mut cache, mut ledger) = world(&[100]);
+        preload(&repo, &mut cache, 0);
+        repo.apply_update(ObjectId(0), 3, 1);
+        repo.apply_update(ObjectId(0), 4, 2);
+        cache.invalidate(ObjectId(0));
+        let mut um = UpdateManager::new();
+        let mut ctx = SimContext::new(&mut repo, &mut cache, &mut ledger, 5);
+        um.handle_query(&q(5, vec![0], 50, 0), &mut ctx);
+        // Updates (7, one segment) beat the query (50).
+        assert_eq!(ledger.breakdown.update_ship.bytes(), 7);
+        assert_eq!(ledger.breakdown.query_ship.bytes(), 0);
+        assert_eq!(ledger.local_answers, 1);
+        assert_eq!(um.live_update_nodes(), 0, "shipped segments leave the graph");
+        assert_eq!(um.retained_queries(), 0);
+    }
+
+    #[test]
+    fn cheap_query_shipped_instead_of_huge_updates() {
+        let (mut repo, mut cache, mut ledger) = world(&[100]);
+        preload(&repo, &mut cache, 0);
+        repo.apply_update(ObjectId(0), 500, 1);
+        cache.invalidate(ObjectId(0));
+        let mut um = UpdateManager::new();
+        let mut ctx = SimContext::new(&mut repo, &mut cache, &mut ledger, 5);
+        um.handle_query(&q(5, vec![0], 20, 0), &mut ctx);
+        assert_eq!(ledger.breakdown.query_ship.bytes(), 20);
+        assert_eq!(ledger.breakdown.update_ship.bytes(), 0);
+        assert_eq!(um.retained_queries(), 1, "shipped query is retained");
+        assert_eq!(um.live_update_nodes(), 1, "unshipped segment stays");
+    }
+
+    #[test]
+    fn repeated_queries_tip_the_cover_toward_updates() {
+        // One 100-byte update; queries of 40 bytes each. First two ship
+        // (cover picks the cheaper query side: 40 < 100, then the retained
+        // 40 + new 40 = 80 < 100); the third tips it (120 > 100).
+        let (mut repo, mut cache, mut ledger) = world(&[100]);
+        preload(&repo, &mut cache, 0);
+        repo.apply_update(ObjectId(0), 100, 1);
+        cache.invalidate(ObjectId(0));
+        let mut um = UpdateManager::new();
+        for (i, seq) in [5u64, 6, 7].iter().enumerate() {
+            let mut ctx = SimContext::new(&mut repo, &mut cache, &mut ledger, *seq);
+            um.handle_query(&q(*seq, vec![0], 40, 0), &mut ctx);
+            match i {
+                0 | 1 => assert_eq!(ledger.breakdown.update_ship.bytes(), 0),
+                _ => {
+                    assert_eq!(ledger.breakdown.update_ship.bytes(), 100);
+                    assert_eq!(ledger.local_answers, 1);
+                }
+            }
+        }
+        // The paper's accounting: 40 + 40 (shipped) + 100 (update) = 180.
+        assert_eq!(ledger.total().bytes(), 180);
+        // After the update shipped, the two retained queries became
+        // isolated and were pruned.
+        assert_eq!(um.retained_queries(), 0);
+        assert_eq!(um.stats().queries_pruned, 2);
+    }
+
+    #[test]
+    fn tolerance_excludes_recent_updates_from_graph() {
+        let (mut repo, mut cache, mut ledger) = world(&[100]);
+        preload(&repo, &mut cache, 0);
+        repo.apply_update(ObjectId(0), 30, 1);
+        repo.apply_update(ObjectId(0), 30, 9); // recent
+        cache.invalidate(ObjectId(0));
+        let mut um = UpdateManager::new();
+        let mut ctx = SimContext::new(&mut repo, &mut cache, &mut ledger, 10);
+        // tolerance 5: horizon 5, only the seq-1 update interacts.
+        um.handle_query(&q(10, vec![0], 1000, 5), &mut ctx);
+        assert_eq!(ledger.breakdown.update_ship.bytes(), 30, "only the old update ships");
+        assert_eq!(ledger.local_answers, 1);
+        // The recent update was never materialized.
+        assert_eq!(um.live_update_nodes(), 0);
+    }
+
+    #[test]
+    fn segment_splits_on_new_horizon() {
+        // Two updates materialized as one segment by a wide-horizon query;
+        // a later query with a horizon between them must split it.
+        let (mut repo, mut cache, mut ledger) = world(&[100]);
+        preload(&repo, &mut cache, 0);
+        repo.apply_update(ObjectId(0), 40, 1);
+        repo.apply_update(ObjectId(0), 40, 10);
+        cache.invalidate(ObjectId(0));
+        let mut um = UpdateManager::new();
+        // Query 1 at seq 11, t=0: needs both updates; 80 > 20 → ship query,
+        // one segment [0,2) retained.
+        {
+            let mut ctx = SimContext::new(&mut repo, &mut cache, &mut ledger, 11);
+            um.handle_query(&q(11, vec![0], 20, 0), &mut ctx);
+        }
+        assert_eq!(um.live_update_nodes(), 1);
+        // Query 2 at seq 12, tolerance 5 → horizon 7: needs only update 1.
+        // The segment must split; cover: seg[0,1)=40 vs q=1000 +
+        // retained... shipping [0,1) (40) is cheapest.
+        {
+            let mut ctx = SimContext::new(&mut repo, &mut cache, &mut ledger, 12);
+            um.handle_query(&q(12, vec![0], 1000, 5), &mut ctx);
+        }
+        assert!(um.stats().segment_splits >= 1);
+        assert_eq!(ledger.breakdown.update_ship.bytes(), 40);
+        assert_eq!(ledger.local_answers, 1);
+        // The second half [1,2) is still live (still interacting with q1).
+        assert_eq!(um.live_update_nodes(), 1);
+        assert_eq!(um.retained_queries(), 1);
+    }
+
+    #[test]
+    fn multi_object_query_ships_all_needed_ranges() {
+        let (mut repo, mut cache, mut ledger) = world(&[100, 100]);
+        preload(&repo, &mut cache, 0);
+        preload(&repo, &mut cache, 1);
+        repo.apply_update(ObjectId(0), 5, 1);
+        repo.apply_update(ObjectId(1), 6, 2);
+        cache.invalidate(ObjectId(0));
+        cache.invalidate(ObjectId(1));
+        let mut um = UpdateManager::new();
+        let mut ctx = SimContext::new(&mut repo, &mut cache, &mut ledger, 5);
+        um.handle_query(&q(5, vec![0, 1], 500, 0), &mut ctx);
+        assert_eq!(ledger.breakdown.update_ship.bytes(), 11);
+        assert_eq!(ledger.local_answers, 1);
+    }
+
+    #[test]
+    fn eviction_drops_update_nodes() {
+        let (mut repo, mut cache, mut ledger) = world(&[100]);
+        preload(&repo, &mut cache, 0);
+        repo.apply_update(ObjectId(0), 500, 1);
+        cache.invalidate(ObjectId(0));
+        let mut um = UpdateManager::new();
+        {
+            let mut ctx = SimContext::new(&mut repo, &mut cache, &mut ledger, 5);
+            um.handle_query(&q(5, vec![0], 20, 0), &mut ctx);
+        }
+        assert_eq!(um.live_update_nodes(), 1);
+        assert_eq!(um.retained_queries(), 1);
+        um.on_evict(ObjectId(0));
+        assert_eq!(um.live_update_nodes(), 0);
+        assert_eq!(um.retained_queries(), 0, "isolated retained query pruned");
+    }
+
+    #[test]
+    fn shared_update_across_queries_ships_once() {
+        let (mut repo, mut cache, mut ledger) = world(&[100, 100]);
+        preload(&repo, &mut cache, 0);
+        preload(&repo, &mut cache, 1);
+        repo.apply_update(ObjectId(0), 10, 1);
+        cache.invalidate(ObjectId(0));
+        let mut um = UpdateManager::new();
+        // Query 1 forces the update to ship (expensive query).
+        {
+            let mut ctx = SimContext::new(&mut repo, &mut cache, &mut ledger, 5);
+            um.handle_query(&q(5, vec![0], 1000, 0), &mut ctx);
+        }
+        assert_eq!(ledger.breakdown.update_ship.bytes(), 10);
+        // Query 2 on the same object is now current: free.
+        {
+            let mut ctx = SimContext::new(&mut repo, &mut cache, &mut ledger, 6);
+            um.handle_query(&q(6, vec![0], 1000, 0), &mut ctx);
+        }
+        assert_eq!(ledger.breakdown.update_ship.bytes(), 10, "no double shipping");
+        assert_eq!(ledger.local_answers, 2);
+    }
+
+    #[test]
+    fn graph_stays_small_under_update_floods() {
+        // Thousands of updates on one object with repeated cheap queries:
+        // the graph must stay proportional to distinct horizons, not
+        // update count.
+        let (mut repo, mut cache, mut ledger) = world(&[100]);
+        preload(&repo, &mut cache, 0);
+        let mut um = UpdateManager::new();
+        let mut seq = 0u64;
+        for round in 0..200 {
+            for _ in 0..10 {
+                repo.apply_update(ObjectId(0), 50, seq);
+                seq += 1;
+            }
+            cache.invalidate(ObjectId(0));
+            let mut ctx = SimContext::new(&mut repo, &mut cache, &mut ledger, seq);
+            // Cheap, zero-tolerance query: always shipped.
+            um.handle_query(&q(seq, vec![0], 1, 0), &mut ctx);
+            seq += 1;
+            assert!(
+                um.live_update_nodes() <= round + 2,
+                "segment count {} grew past distinct-horizon bound at round {round}",
+                um.live_update_nodes()
+            );
+        }
+        // 2000 updates outstanding, but only ~200 segments.
+        assert_eq!(repo.version(ObjectId(0)), 2000);
+        assert!(um.live_update_nodes() <= 201);
+        assert_eq!(ledger.breakdown.update_ship.bytes(), 0);
+    }
+}
+#[cfg(test)]
+mod cap_tests {
+    use super::*;
+    use crate::cost::CostLedger;
+    use delta_storage::{CacheStore, ObjectCatalog, Repository};
+    use delta_workload::QueryKind;
+
+    /// A pathological stream: every query carries a distinct tolerance, so
+    /// every one mints a fresh horizon and splits segments; the query is
+    /// always cheaper than the outstanding updates, so updates are never
+    /// shipped and segments never drain. Without the caps this grows the
+    /// graph linearly in queries; with them it stays bounded.
+    #[test]
+    fn pathological_horizon_stream_stays_bounded() {
+        let mut repo = Repository::new(ObjectCatalog::from_sizes(&[1_000]));
+        let mut cache = CacheStore::new(100_000);
+        cache.load(ObjectId(0), 1_000, 0).unwrap();
+        let mut ledger = CostLedger::default();
+        let mut um = UpdateManager::new();
+        let mut seq = 1u64;
+        for i in 0..600u64 {
+            repo.apply_update(ObjectId(0), 10_000, seq);
+            cache.invalidate(ObjectId(0));
+            seq += 1;
+            let q = QueryEvent {
+                seq,
+                objects: vec![ObjectId(0)],
+                result_bytes: 1, // always cheaper to ship the query
+                tolerance: i % 97, // churning horizons
+                kind: QueryKind::Cone,
+            };
+            let mut ctx = SimContext::new(&mut repo, &mut cache, &mut ledger, seq);
+            um.handle_query(&q, &mut ctx);
+            seq += 1;
+        }
+        assert!(
+            um.live_update_nodes() <= MAX_SEGMENTS_PER_OBJECT + 1,
+            "segments unbounded: {}",
+            um.live_update_nodes()
+        );
+        assert!(
+            um.retained_queries() <= MAX_RETAINED_QUERIES,
+            "retained queries unbounded: {}",
+            um.retained_queries()
+        );
+        assert!(um.stats().segments_coalesced > 0, "cap must have triggered");
+        // Currency contract intact throughout: every query was satisfied
+        // (shipped — they were all cheap).
+        assert_eq!(ledger.shipped_queries + ledger.local_answers, 600);
+    }
+
+    /// Coalesced segments still ship correctly once a query's cover
+    /// decision demands updates.
+    #[test]
+    fn coalesced_segments_ship_and_drain() {
+        let mut repo = Repository::new(ObjectCatalog::from_sizes(&[1_000]));
+        let mut cache = CacheStore::new(100_000);
+        cache.load(ObjectId(0), 1_000, 0).unwrap();
+        let mut ledger = CostLedger::default();
+        let mut um = UpdateManager::new();
+        let mut seq = 1u64;
+        // Build up far more than MAX_SEGMENTS_PER_OBJECT distinct horizons.
+        for i in 0..(2 * MAX_SEGMENTS_PER_OBJECT as u64 + 10) {
+            repo.apply_update(ObjectId(0), 5, seq);
+            cache.invalidate(ObjectId(0));
+            seq += 1;
+            let q = QueryEvent {
+                seq,
+                objects: vec![ObjectId(0)],
+                result_bytes: 1,
+                tolerance: 1 + (i % 131),
+                kind: QueryKind::Cone,
+            };
+            let mut ctx = SimContext::new(&mut repo, &mut cache, &mut ledger, seq);
+            um.handle_query(&q, &mut ctx);
+            seq += 1;
+        }
+        // Now an expensive zero-tolerance query: the cover must ship all
+        // outstanding updates (coalesced or not) and answer locally.
+        let q = QueryEvent {
+            seq,
+            objects: vec![ObjectId(0)],
+            result_bytes: 1_000_000_000,
+            tolerance: 0,
+            kind: QueryKind::Cone,
+        };
+        let mut ctx = SimContext::new(&mut repo, &mut cache, &mut ledger, seq);
+        um.handle_query(&q, &mut ctx);
+        assert_eq!(
+            cache.applied_version(ObjectId(0)),
+            Some(repo.version(ObjectId(0))),
+            "object fully refreshed"
+        );
+        assert_eq!(um.live_update_nodes(), 0, "all segments drained");
+    }
+}

@@ -1,0 +1,205 @@
+//! VCover — Delta's core online algorithm (paper §4, Fig. 3).
+//!
+//! ```text
+//! on query q:
+//!     if every object in B(q) is cached:
+//!         UpdateManager(q)            // ship q xor ship its updates
+//!     else:
+//!         ship q to the server
+//!         LoadManager(q)              // maybe load missing objects
+//! on update u:
+//!     nothing is shipped              // design choice A of §1: updates
+//!                                     // move only on query demand
+//! ```
+
+use crate::context::SimContext;
+use crate::load_manager::{LoadManager, LoadManagerStats};
+use crate::policy_trait::CachingPolicy;
+use crate::update_manager::{UpdateManager, UpdateManagerStats};
+use delta_policy::{GreedyDualSize, ReplacementPolicy};
+use delta_workload::{QueryEvent, UpdateEvent};
+
+/// The VCover policy: incremental vertex-cover decisions plus randomized
+/// lazy loading through a replacement policy (`A_obj`), Greedy-Dual-Size
+/// by default as in the paper.
+#[derive(Debug)]
+pub struct VCover<P: ReplacementPolicy = GreedyDualSize> {
+    um: UpdateManager,
+    lm: LoadManager<P>,
+}
+
+impl VCover<GreedyDualSize> {
+    /// Creates a VCover instance for a cache of `capacity` bytes. The seed
+    /// drives the LoadManager's randomized admission and cost-attribution
+    /// order.
+    pub fn new(capacity: u64, seed: u64) -> Self {
+        Self::with_policy(GreedyDualSize::new(capacity), seed)
+    }
+}
+
+impl<P: ReplacementPolicy> VCover<P> {
+    /// Creates a VCover instance with a custom `A_obj` (for the ablation
+    /// benchmarks: LRU, LFU, ...).
+    pub fn with_policy(policy: P, seed: u64) -> Self {
+        Self { um: UpdateManager::new(), lm: LoadManager::with_policy(policy, seed) }
+    }
+
+    /// Creates a VCover variant with an explicit admission mode —
+    /// `AdmissionMode::FirstTouch` reproduces the web-proxy loading the
+    /// paper rejects, for ablation benchmarks.
+    pub fn with_policy_and_mode(
+        policy: P,
+        seed: u64,
+        mode: crate::load_manager::AdmissionMode,
+    ) -> Self {
+        Self {
+            um: UpdateManager::new(),
+            lm: LoadManager::with_policy_and_mode(policy, seed, mode),
+        }
+    }
+
+    /// UpdateManager statistics.
+    pub fn update_manager_stats(&self) -> UpdateManagerStats {
+        self.um.stats()
+    }
+
+    /// LoadManager statistics.
+    pub fn load_manager_stats(&self) -> LoadManagerStats {
+        self.lm.stats()
+    }
+}
+
+impl<P: ReplacementPolicy> CachingPolicy for VCover<P> {
+    fn name(&self) -> &str {
+        "VCover"
+    }
+
+    fn on_query(&mut self, q: &QueryEvent, ctx: &mut SimContext<'_>) {
+        let all_cached = q.objects.iter().all(|&o| ctx.cache.contains(o));
+        if all_cached {
+            // Cache hit path: refresh usage, then decide ship-query vs
+            // ship-updates via the incremental vertex cover.
+            self.lm.touch_residents(q, ctx);
+            self.um.handle_query(q, ctx);
+            // Shipped updates grow resident objects; shed if over.
+            if ctx.over_capacity() {
+                self.lm.rebalance(ctx, &mut self.um);
+            }
+        } else {
+            // Miss path: ship the query, then (in background) consider
+            // loading the missing objects.
+            ctx.ship_query(q);
+            self.lm.consider(q, ctx, &mut self.um);
+        }
+    }
+
+    fn on_update(&mut self, _u: &UpdateEvent, _ctx: &mut SimContext<'_>) {
+        // Deliberately nothing: "unless a query demands, no new data
+        // addition to the repository is propagated to the cache" (§1).
+        // The simulator has already recorded the update at the repository
+        // and invalidated any cached copy; interaction-graph vertices are
+        // created lazily when a query actually needs the update.
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::CostLedger;
+    use delta_storage::{CacheStore, ObjectCatalog, ObjectId, Repository};
+    use delta_workload::QueryKind;
+
+    fn q(seq: u64, objects: Vec<u32>, bytes: u64) -> QueryEvent {
+        QueryEvent {
+            seq,
+            objects: objects.into_iter().map(ObjectId).collect(),
+            result_bytes: bytes,
+            tolerance: 0,
+            kind: QueryKind::Cone,
+        }
+    }
+
+    #[test]
+    fn miss_ships_query_and_may_load() {
+        let mut repo = Repository::new(ObjectCatalog::from_sizes(&[100]));
+        let mut cache = CacheStore::new(1000);
+        let mut ledger = CostLedger::default();
+        let mut v = VCover::new(1000, 1);
+        let mut ctx = SimContext::new(&mut repo, &mut cache, &mut ledger, 1);
+        v.on_query(&q(1, vec![0], 500), &mut ctx);
+        // Query shipped (500) and, since 500 >= 100, the object loaded.
+        assert_eq!(ledger.breakdown.query_ship.bytes(), 500);
+        assert_eq!(ledger.breakdown.load.bytes(), 100);
+        assert!(cache.contains(ObjectId(0)));
+    }
+
+    #[test]
+    fn hit_answers_locally() {
+        let mut repo = Repository::new(ObjectCatalog::from_sizes(&[100]));
+        let mut cache = CacheStore::new(1000);
+        let mut ledger = CostLedger::default();
+        let mut v = VCover::new(1000, 1);
+        {
+            let mut ctx = SimContext::new(&mut repo, &mut cache, &mut ledger, 1);
+            v.on_query(&q(1, vec![0], 500), &mut ctx);
+        }
+        let before = ledger.total();
+        let mut ctx = SimContext::new(&mut repo, &mut cache, &mut ledger, 2);
+        v.on_query(&q(2, vec![0], 800), &mut ctx);
+        assert_eq!(ledger.total(), before, "hit on fresh object is free");
+        assert_eq!(ledger.local_answers, 1);
+    }
+
+    #[test]
+    fn update_arrival_ships_nothing() {
+        let mut repo = Repository::new(ObjectCatalog::from_sizes(&[100]));
+        let mut cache = CacheStore::new(1000);
+        let mut ledger = CostLedger::default();
+        let mut v = VCover::new(1000, 1);
+        // Simulate the simulator's update handling, then the policy's.
+        repo.apply_update(ObjectId(0), 10, 1);
+        cache.invalidate(ObjectId(0));
+        let mut ctx = SimContext::new(&mut repo, &mut cache, &mut ledger, 1);
+        v.on_update(&delta_workload::UpdateEvent { seq: 1, object: ObjectId(0), bytes: 10 }, &mut ctx);
+        assert_eq!(ledger.total().bytes(), 0);
+    }
+
+    #[test]
+    fn end_to_end_decoupling_beats_naive_choices() {
+        // A query-hot object (o0) and an update-hot object (o1). VCover
+        // should cache o0 (cheap: few updates) and leave o1 at the server
+        // (queries on it ship).
+        let mut repo = Repository::new(ObjectCatalog::from_sizes(&[1_000, 1_000]));
+        let mut cache = CacheStore::new(1_200);
+        let mut ledger = CostLedger::default();
+        let mut v = VCover::new(1_200, 3);
+        let mut seq = 0u64;
+        for round in 0..200 {
+            // Update storm on o1.
+            repo.apply_update(ObjectId(1), 400, seq);
+            cache.invalidate(ObjectId(1));
+            {
+                let mut ctx = SimContext::new(&mut repo, &mut cache, &mut ledger, seq);
+                v.on_update(
+                    &delta_workload::UpdateEvent { seq, object: ObjectId(1), bytes: 400 },
+                    &mut ctx,
+                );
+            }
+            seq += 1;
+            // Query on o0 every round, on o1 occasionally.
+            let target = if round % 10 == 0 { 1 } else { 0 };
+            let mut ctx = SimContext::new(&mut repo, &mut cache, &mut ledger, seq);
+            v.on_query(&q(seq, vec![target], 300), &mut ctx);
+            seq += 1;
+        }
+        // o0 cached and serving hits.
+        assert!(cache.contains(ObjectId(0)), "query-hot object should be cached");
+        assert!(ledger.local_answers > 100, "most o0 queries answered locally");
+        // Total far below NoCache (200 × 300 = 60000).
+        assert!(
+            ledger.total().bytes() < 30_000,
+            "VCover total {} not clearly below NoCache 60000",
+            ledger.total().bytes()
+        );
+    }
+}

@@ -1,0 +1,248 @@
+//! The three yardstick policies of §6.1.
+//!
+//! * [`NoCache`] — ship every query; an algorithm worse than this is
+//!   useless.
+//! * [`Replica`] — mirror the whole repository and ship every update on
+//!   arrival (load costs and cache-size limits ignored, per the paper); an
+//!   algorithm beating this despite a bounded cache is clearly good.
+//! * [`SOptimal`] — the best *static* object set chosen with hindsight
+//!   over the full trace ("equivalent to the single decision of Benefit
+//!   using a window as large as the entire sequence, but offline"); an
+//!   online algorithm close to this is outstanding.
+
+use crate::context::SimContext;
+use crate::policy_trait::CachingPolicy;
+use delta_storage::{ObjectCatalog, ObjectId};
+use delta_workload::{Event, QueryEvent, Trace, UpdateEvent};
+use std::collections::HashSet;
+
+/// Ship everything; cache nothing.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NoCache;
+
+impl CachingPolicy for NoCache {
+    fn name(&self) -> &str {
+        "NoCache"
+    }
+
+    fn on_query(&mut self, q: &QueryEvent, ctx: &mut SimContext<'_>) {
+        ctx.ship_query(q);
+    }
+
+    fn on_update(&mut self, _u: &UpdateEvent, _ctx: &mut SimContext<'_>) {}
+}
+
+/// Full replication: every object resident, every update shipped on
+/// arrival.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Replica;
+
+impl CachingPolicy for Replica {
+    fn name(&self) -> &str {
+        "Replica"
+    }
+
+    fn preferred_capacity(&self, catalog: &ObjectCatalog, _configured: u64) -> u64 {
+        // Room for the whole repository plus all update growth; the paper
+        // exempts Replica from cache-size constraints.
+        catalog.total_bytes().saturating_mul(8).max(1)
+    }
+
+    fn init(&mut self, ctx: &mut SimContext<'_>) {
+        // Mirror everything, uncharged ("for Replica load costs ... are
+        // ignored").
+        let ids: Vec<ObjectId> = ctx.repo.catalog().ids().collect();
+        for o in ids {
+            ctx.load_object_uncharged(o).expect("replica cache sized to fit everything");
+        }
+    }
+
+    fn on_query(&mut self, q: &QueryEvent, ctx: &mut SimContext<'_>) {
+        ctx.answer_local(q);
+    }
+
+    fn on_update(&mut self, u: &UpdateEvent, ctx: &mut SimContext<'_>) {
+        // Ship immediately so the mirror is always current.
+        let v = ctx.repo.version(u.object);
+        ctx.ship_updates_to(u.object, v);
+    }
+}
+
+/// The hindsight-optimal static object set.
+#[derive(Clone, Debug)]
+pub struct SOptimal {
+    chosen: HashSet<ObjectId>,
+}
+
+impl SOptimal {
+    /// Plans the static set from the full trace (the offline step): rank
+    /// objects by net benefit — proportional query-cost share, minus all
+    /// update bytes that will arrive for them, minus their load cost —
+    /// and pack the cache greedily.
+    pub fn plan(catalog: &ObjectCatalog, trace: &Trace, cache_bytes: u64) -> Self {
+        let n = catalog.len();
+        let mut share = vec![0.0f64; n];
+        let mut upd = vec![0u64; n];
+        for e in trace.iter() {
+            match e {
+                Event::Query(q) => {
+                    let total: u64 = q.objects.iter().map(|&o| catalog.size(o)).sum();
+                    let total = total.max(1) as f64;
+                    for &o in &q.objects {
+                        share[o.index()] +=
+                            q.result_bytes as f64 * catalog.size(o) as f64 / total;
+                    }
+                }
+                Event::Update(u) => upd[u.object.index()] += u.bytes,
+            }
+        }
+        let mut ranked: Vec<(f64, usize)> = (0..n)
+            .map(|i| (share[i] - upd[i] as f64 - catalog.size(ObjectId(i as u32)) as f64, i))
+            .filter(|&(net, _)| net > 0.0)
+            .collect();
+        ranked.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
+        let mut chosen = HashSet::new();
+        let mut used = 0u64;
+        for (_, i) in ranked {
+            let o = ObjectId(i as u32);
+            // Reserve headroom for the object's future update growth so
+            // the static set stays feasible for the whole run.
+            let occupancy = catalog.size(o) + upd[i];
+            if used + occupancy <= cache_bytes {
+                chosen.insert(o);
+                used += occupancy;
+            }
+        }
+        Self { chosen }
+    }
+
+    /// The planned object set.
+    pub fn chosen(&self) -> &HashSet<ObjectId> {
+        &self.chosen
+    }
+}
+
+impl CachingPolicy for SOptimal {
+    fn name(&self) -> &str {
+        "SOptimal"
+    }
+
+    fn init(&mut self, ctx: &mut SimContext<'_>) {
+        // Load the static set at the very beginning — charged (its load
+        // cost is part of the yardstick's total, exactly like the Fig. 7(b)
+        // discussion where SOptimal "loads them at the beginning").
+        let mut ids: Vec<ObjectId> = self.chosen.iter().copied().collect();
+        ids.sort_unstable();
+        for o in ids {
+            ctx.load_object(o).expect("planned set must fit the cache");
+        }
+    }
+
+    fn on_query(&mut self, q: &QueryEvent, ctx: &mut SimContext<'_>) {
+        if q.objects.iter().all(|&o| self.chosen.contains(&o)) {
+            // Updates were shipped on arrival, so the mirror of the chosen
+            // set is always current.
+            ctx.answer_local(q);
+        } else {
+            ctx.ship_query(q);
+        }
+    }
+
+    fn on_update(&mut self, u: &UpdateEvent, ctx: &mut SimContext<'_>) {
+        if self.chosen.contains(&u.object) {
+            let v = ctx.repo.version(u.object);
+            ctx.ship_updates_to(u.object, v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::CostLedger;
+    use delta_storage::{CacheStore, Repository};
+    use delta_workload::QueryKind;
+
+    fn q(seq: u64, objects: Vec<u32>, bytes: u64) -> QueryEvent {
+        QueryEvent {
+            seq,
+            objects: objects.into_iter().map(ObjectId).collect(),
+            result_bytes: bytes,
+            tolerance: 0,
+            kind: QueryKind::Cone,
+        }
+    }
+
+    #[test]
+    fn nocache_total_is_query_bytes() {
+        let mut repo = Repository::new(ObjectCatalog::from_sizes(&[10, 20]));
+        let mut cache = CacheStore::new(5);
+        let mut ledger = CostLedger::default();
+        let mut p = NoCache;
+        for seq in 0..10u64 {
+            let mut ctx = SimContext::new(&mut repo, &mut cache, &mut ledger, seq);
+            p.on_query(&q(seq, vec![(seq % 2) as u32], 7), &mut ctx);
+        }
+        assert_eq!(ledger.total().bytes(), 70);
+        assert_eq!(ledger.shipped_queries, 10);
+    }
+
+    #[test]
+    fn replica_total_is_update_bytes() {
+        let catalog = ObjectCatalog::from_sizes(&[10, 20]);
+        let mut repo = Repository::new(catalog.clone());
+        let mut p = Replica;
+        let cap = p.preferred_capacity(&catalog, 5);
+        let mut cache = CacheStore::new(cap);
+        let mut ledger = CostLedger::default();
+        {
+            let mut ctx = SimContext::new(&mut repo, &mut cache, &mut ledger, 0);
+            p.init(&mut ctx);
+        }
+        assert_eq!(ledger.total().bytes(), 0, "replica loads are uncharged");
+        for seq in 1..=5u64 {
+            repo.apply_update(ObjectId(0), 3, seq);
+            cache.invalidate(ObjectId(0));
+            let mut ctx = SimContext::new(&mut repo, &mut cache, &mut ledger, seq);
+            p.on_update(&UpdateEvent { seq, object: ObjectId(0), bytes: 3 }, &mut ctx);
+        }
+        {
+            let mut ctx = SimContext::new(&mut repo, &mut cache, &mut ledger, 6);
+            p.on_query(&q(6, vec![0, 1], 100), &mut ctx);
+        }
+        assert_eq!(ledger.total().bytes(), 15);
+        assert_eq!(ledger.local_answers, 1);
+    }
+
+    #[test]
+    fn soptimal_plans_query_hot_objects() {
+        use delta_workload::Trace;
+        let catalog = ObjectCatalog::from_sizes(&[100, 100]);
+        // o0: heavily queried; o1: heavily updated.
+        let mut events = Vec::new();
+        for seq in 0..100u64 {
+            if seq % 2 == 0 {
+                events.push(Event::Query(q(seq, vec![0], 50)));
+            } else {
+                events.push(Event::Update(UpdateEvent { seq, object: ObjectId(1), bytes: 50 }));
+            }
+        }
+        let trace = Trace::new(events);
+        let plan = SOptimal::plan(&catalog, &trace, 150);
+        assert!(plan.chosen().contains(&ObjectId(0)));
+        assert!(!plan.chosen().contains(&ObjectId(1)));
+    }
+
+    #[test]
+    fn soptimal_respects_capacity() {
+        use delta_workload::Trace;
+        let catalog = ObjectCatalog::from_sizes(&[100, 100, 100]);
+        let mut events = Vec::new();
+        for seq in 0..60u64 {
+            events.push(Event::Query(q(seq, vec![(seq % 3) as u32], 500)));
+        }
+        let trace = Trace::new(events);
+        let plan = SOptimal::plan(&catalog, &trace, 250);
+        assert_eq!(plan.chosen().len(), 2, "only two of three objects fit");
+    }
+}

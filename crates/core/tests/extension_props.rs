@@ -1,0 +1,204 @@
+//! Property tests for the extension modules: preshipping, the offline
+//! hindsight solver, and latency accounting.
+
+use delta_core::{
+    hindsight_decoupling, simulate, Preship, PreshipConfig, SimOptions, VCover,
+};
+use delta_net::LinkModel;
+use delta_storage::{ObjectCatalog, ObjectId};
+use delta_workload::{Event, QueryEvent, QueryKind, Trace, UpdateEvent};
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+/// A random but well-formed trace over `n_objects`, with uniform
+/// per-query tolerance choices.
+fn arb_trace(n_objects: usize, max_events: usize) -> impl Strategy<Value = (Vec<u64>, Trace)> {
+    let sizes = proptest::collection::vec(50u64..5_000, n_objects);
+    let events = proptest::collection::vec(
+        prop_oneof![
+            (
+                proptest::collection::btree_set(0..n_objects as u32, 1..4),
+                1u64..2_000,
+                prop_oneof![Just(0u64), 1u64..40],
+            )
+                .prop_map(|(objs, bytes, tol)| (true, objs.into_iter().collect::<Vec<u32>>(), bytes, tol)),
+            (0..n_objects as u32, 1u64..500).prop_map(|(o, bytes)| (false, vec![o], bytes, 0)),
+        ],
+        1..max_events,
+    );
+    (sizes, events).prop_map(|(sizes, evs)| {
+        let events = evs
+            .into_iter()
+            .enumerate()
+            .map(|(i, (is_q, objs, bytes, tol))| {
+                if is_q {
+                    Event::Query(QueryEvent {
+                        seq: i as u64,
+                        objects: objs.into_iter().map(ObjectId).collect(),
+                        result_bytes: bytes,
+                        tolerance: tol,
+                        kind: QueryKind::Cone,
+                    })
+                } else {
+                    Event::Update(UpdateEvent { seq: i as u64, object: ObjectId(objs[0]), bytes })
+                }
+            })
+            .collect();
+        (sizes, Trace::new(events))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Preship(VCover) preserves every correctness property of VCover on
+    /// arbitrary traces: all queries satisfied, query bytes bounded by
+    /// NoCache's, and its proactive shipping is visible in the ledger.
+    #[test]
+    fn preship_preserves_correctness((sizes, trace) in arb_trace(6, 150)) {
+        let catalog = ObjectCatalog::from_sizes(&sizes);
+        let opts = SimOptions {
+            cache_bytes: catalog.total_bytes() / 2,
+            sample_every: 50,
+            link: Some(LinkModel::wan()),
+        };
+        let mut p = Preship::new(
+            VCover::new(opts.cache_bytes, 9),
+            PreshipConfig { half_life_events: 20.0, hot_threshold: 1.0 },
+        );
+        let r = simulate(&mut p, &catalog, &trace, opts);
+        prop_assert_eq!(
+            r.ledger.shipped_queries + r.ledger.local_answers,
+            trace.n_queries() as u64
+        );
+        prop_assert!(
+            r.ledger.breakdown.query_ship.bytes() <= trace.total_query_bytes()
+        );
+        let (ranges, bytes) = p.preshipped();
+        prop_assert!(bytes <= r.ledger.breakdown.update_ship.bytes(),
+            "preshipped bytes are a subset of all update shipping");
+        prop_assert!(ranges <= r.ledger.update_ships);
+        // Latency stats exist and are internally ordered.
+        let l = r.latency.expect("link configured");
+        prop_assert_eq!(l.count, trace.n_queries() as u64);
+        if l.count > 0 {
+            prop_assert!(l.p50_secs <= l.p95_secs + 1e-12);
+            prop_assert!(l.p95_secs <= l.p99_secs + 1e-12);
+            prop_assert!(l.p99_secs <= l.max_secs + 1e-12);
+            prop_assert!(l.mean_secs <= l.max_secs + 1e-12);
+        }
+    }
+
+    /// The hindsight solver's total is sandwiched by its trivial bounds
+    /// on any trace and any cached set: at least load + forced queries,
+    /// at most load + forced + min(internal query bytes, cached-object
+    /// update bytes) — either side of the bipartite graph is a feasible
+    /// cover.
+    #[test]
+    fn hindsight_total_is_sandwiched(
+        (sizes, trace) in arb_trace(6, 150),
+        mask in 0u8..63,
+    ) {
+        let catalog = ObjectCatalog::from_sizes(&sizes);
+        let cached: HashSet<ObjectId> = (0..6u32)
+            .filter(|i| mask & (1 << i) != 0)
+            .map(ObjectId)
+            .filter(|o| o.index() < catalog.len())
+            .collect();
+        let r = hindsight_decoupling(&catalog, &trace, &cached);
+        let floor = (r.load + r.forced_query).bytes();
+        prop_assert!(r.total().bytes() >= floor);
+        // Feasible cover A: ship every internal query.
+        let internal_query_bytes: u64 = trace
+            .iter()
+            .filter_map(|e| match e {
+                Event::Query(q) if q.objects.iter().all(|o| cached.contains(o)) => {
+                    Some(q.result_bytes)
+                }
+                _ => None,
+            })
+            .sum();
+        // Feasible cover B: ship every update on cached objects.
+        let cached_update_bytes: u64 = trace
+            .iter()
+            .filter_map(|e| match e {
+                Event::Update(u) if cached.contains(&u.object) => Some(u.bytes),
+                _ => None,
+            })
+            .sum();
+        let ceiling = floor + internal_query_bytes.min(cached_update_bytes);
+        prop_assert!(
+            r.total().bytes() <= ceiling,
+            "cover weight {} exceeds the cheaper trivial cover {}",
+            r.total().bytes() - floor,
+            internal_query_bytes.min(cached_update_bytes)
+        );
+        // Structural sanity.
+        prop_assert_eq!(
+            r.internal_queries + r.forced_queries,
+            trace.n_queries() as u64
+        );
+    }
+
+    /// Caching *everything* makes hindsight's forced cost vanish and its
+    /// cover cost at most the smaller side of the whole graph.
+    #[test]
+    fn hindsight_full_set_has_no_forced_queries((sizes, trace) in arb_trace(5, 100)) {
+        let catalog = ObjectCatalog::from_sizes(&sizes);
+        let cached: HashSet<ObjectId> = catalog.ids().collect();
+        let r = hindsight_decoupling(&catalog, &trace, &cached);
+        prop_assert_eq!(r.forced_queries, 0);
+        prop_assert_eq!(r.forced_query.bytes(), 0);
+        prop_assert!(
+            (r.cover_query + r.cover_update).bytes()
+                <= trace.total_query_bytes().min(trace.total_update_bytes())
+        );
+    }
+}
+
+/// Deterministic check: a crafted trace where preshipping strictly
+/// reduces the number of query-blocking exchanges.
+#[test]
+fn preship_moves_update_shipping_off_the_query_path() {
+    // One small object, hammered by queries, with updates interleaved.
+    let catalog = ObjectCatalog::from_sizes(&[1_000]);
+    let mut events = Vec::new();
+    let mut seq = 0u64;
+    for round in 0..50u64 {
+        events.push(Event::Update(UpdateEvent { seq, object: ObjectId(0), bytes: 10 }));
+        seq += 1;
+        events.push(Event::Query(QueryEvent {
+            seq,
+            objects: vec![ObjectId(0)],
+            result_bytes: 500,
+            tolerance: 0,
+            kind: QueryKind::Cone,
+        }));
+        seq += 1;
+        let _ = round;
+    }
+    let trace = Trace::new(events);
+    let opts = SimOptions {
+        cache_bytes: 100_000,
+        sample_every: 10,
+        link: Some(LinkModel::wan()),
+    };
+    let mut plain = VCover::new(opts.cache_bytes, 1);
+    let base = simulate(&mut plain, &catalog, &trace, opts);
+    let mut pre = Preship::new(
+        VCover::new(opts.cache_bytes, 1),
+        PreshipConfig { half_life_events: 50.0, hot_threshold: 1.0 },
+    );
+    let with = simulate(&mut pre, &catalog, &trace, opts);
+    let (b, p) = (base.latency.unwrap(), with.latency.unwrap());
+    assert!(
+        p.mean_secs < b.mean_secs,
+        "preshipping must cut mean latency here: {} vs {}",
+        p.mean_secs,
+        b.mean_secs
+    );
+    assert_eq!(
+        with.ledger.shipped_queries + with.ledger.local_answers,
+        trace.n_queries() as u64
+    );
+}

@@ -1,0 +1,208 @@
+//! Dinic's blocking-flow algorithm, as an alternative max-flow solver.
+//!
+//! The paper's UpdateManager uses incremental Edmonds–Karp (§4) because
+//! its structure — "begin with a previous flow and search for augmenting
+//! paths" — is exactly what the remainder-subgraph maintenance needs.
+//! Dinic's algorithm (level graph + blocking flow, `O(V²E)`, and
+//! `O(E√V)` on the unit-ish bipartite networks vertex covers produce) is
+//! the standard faster-from-scratch alternative; this module provides it
+//! over the same [`FlowNetwork`] so the two can be cross-checked
+//! property-test style and raced in the `flow_incremental` bench.
+//!
+//! Like [`FlowNetwork::max_flow`], [`dinic_max_flow`] *augments on top of
+//! whatever flow is already present* (the level/blocking machinery only
+//! ever looks at residuals), so it can also be used incrementally.
+
+use crate::graph::{EdgeId, FlowNetwork, NodeId};
+
+/// Runs Dinic's algorithm from `s` to `t` on top of the existing flow and
+/// returns the *additional* flow pushed.
+///
+/// # Panics
+/// Panics if `s == t` or either endpoint is deleted.
+pub fn dinic_max_flow(net: &mut FlowNetwork, s: NodeId, t: NodeId) -> u64 {
+    assert_ne!(s, t, "source and sink must differ");
+    assert!(!net.is_deleted(s) && !net.is_deleted(t), "endpoint deleted");
+    let n = net.node_count();
+    let mut level = vec![u32::MAX; n];
+    let mut it = vec![0usize; n];
+    let mut queue: Vec<NodeId> = Vec::with_capacity(n);
+    let mut pushed_total = 0u64;
+
+    loop {
+        // ---- BFS: build the level graph over residual edges ----
+        level.iter_mut().for_each(|l| *l = u32::MAX);
+        level[s] = 0;
+        queue.clear();
+        queue.push(s);
+        let mut head = 0;
+        while head < queue.len() {
+            let v = queue[head];
+            head += 1;
+            for &e in net.adjacency(v) {
+                let edge = net.edge(e);
+                if edge.residual() > 0 && !net.is_deleted(edge.to) && level[edge.to] == u32::MAX
+                {
+                    level[edge.to] = level[v] + 1;
+                    queue.push(edge.to);
+                }
+            }
+        }
+        if level[t] == u32::MAX {
+            return pushed_total; // no augmenting path remains
+        }
+
+        // ---- DFS: push a blocking flow along level-increasing edges ----
+        it.iter_mut().for_each(|i| *i = 0);
+        loop {
+            let pushed = dfs_push(net, s, t, u64::MAX, &level, &mut it);
+            if pushed == 0 {
+                break;
+            }
+            pushed_total += pushed;
+        }
+    }
+}
+
+/// Iterative DFS push (explicit stack: interaction graphs can be deep).
+fn dfs_push(
+    net: &mut FlowNetwork,
+    s: NodeId,
+    t: NodeId,
+    limit: u64,
+    level: &[u32],
+    it: &mut [usize],
+) -> u64 {
+    // Stack of (node, min residual along the path so far).
+    let mut path: Vec<(NodeId, EdgeId)> = Vec::new();
+    let mut v = s;
+    let mut bottleneck = limit;
+    loop {
+        if v == t {
+            // Apply the bottleneck along the recorded path.
+            let pushed = bottleneck;
+            for &(_, e) in &path {
+                net.force_flow(e, pushed as i64);
+            }
+            return pushed;
+        }
+        let mut advanced = false;
+        while it[v] < net.adjacency(v).len() {
+            let e = net.adjacency(v)[it[v]];
+            let edge = net.edge(e);
+            let to = edge.to;
+            if edge.residual() > 0
+                && !net.is_deleted(to)
+                && level[to] == level[v].saturating_add(1)
+            {
+                bottleneck = bottleneck.min(edge.residual());
+                path.push((v, e));
+                v = to;
+                advanced = true;
+                break;
+            }
+            it[v] += 1;
+        }
+        if advanced {
+            continue;
+        }
+        // Dead end: retreat (or give up at the source).
+        match path.pop() {
+            None => return 0,
+            Some((prev, _)) => {
+                it[prev] += 1;
+                v = prev;
+                // Recompute the bottleneck for the shortened path.
+                bottleneck = limit;
+                for &(_, e) in &path {
+                    bottleneck = bottleneck.min(net.edge(e).residual());
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::INF;
+
+    /// The classic 6-node example: max flow 23.
+    fn clrs_network() -> (FlowNetwork, NodeId, NodeId) {
+        let mut g = FlowNetwork::new();
+        let s = g.add_node();
+        let v1 = g.add_node();
+        let v2 = g.add_node();
+        let v3 = g.add_node();
+        let v4 = g.add_node();
+        let t = g.add_node();
+        g.add_edge(s, v1, 16);
+        g.add_edge(s, v2, 13);
+        g.add_edge(v1, v3, 12);
+        g.add_edge(v2, v1, 4);
+        g.add_edge(v2, v4, 14);
+        g.add_edge(v3, v2, 9);
+        g.add_edge(v3, t, 20);
+        g.add_edge(v4, v3, 7);
+        g.add_edge(v4, t, 4);
+        (g, s, t)
+    }
+
+    #[test]
+    fn clrs_example_flow_is_23() {
+        let (mut g, s, t) = clrs_network();
+        assert_eq!(dinic_max_flow(&mut g, s, t), 23);
+        assert_eq!(g.flow_value(s), 23);
+    }
+
+    #[test]
+    fn agrees_with_edmonds_karp() {
+        let (mut a, s, t) = clrs_network();
+        let (mut b, ..) = clrs_network();
+        assert_eq!(dinic_max_flow(&mut a, s, t), b.max_flow(s, t));
+    }
+
+    #[test]
+    fn incremental_use_tops_up_existing_flow() {
+        let (mut g, s, t) = clrs_network();
+        // Partially saturate with Edmonds–Karp...
+        let first = g.augment_once(s, t).expect("a path exists");
+        assert!(first > 0 && first < 23);
+        // ...then let Dinic finish the job.
+        let rest = dinic_max_flow(&mut g, s, t);
+        assert_eq!(first + rest, 23);
+    }
+
+    #[test]
+    fn respects_deleted_nodes() {
+        let mut g = FlowNetwork::new();
+        let s = g.add_node();
+        let a = g.add_node();
+        let b = g.add_node();
+        let t = g.add_node();
+        g.add_edge(s, a, 5);
+        g.add_edge(a, t, 5);
+        g.add_edge(s, b, 7);
+        g.add_edge(b, t, 7);
+        g.delete_node(b);
+        assert_eq!(dinic_max_flow(&mut g, s, t), 5, "only the live path carries flow");
+    }
+
+    #[test]
+    fn saturated_network_pushes_nothing_more() {
+        let (mut g, s, t) = clrs_network();
+        assert_eq!(dinic_max_flow(&mut g, s, t), 23);
+        assert_eq!(dinic_max_flow(&mut g, s, t), 0, "idempotent once maximum");
+    }
+
+    #[test]
+    fn infinite_capacity_edges_dont_overflow() {
+        let mut g = FlowNetwork::new();
+        let s = g.add_node();
+        let m = g.add_node();
+        let t = g.add_node();
+        g.add_edge(s, m, INF);
+        g.add_edge(m, t, 42);
+        assert_eq!(dinic_max_flow(&mut g, s, t), 42);
+    }
+}

@@ -1,0 +1,416 @@
+//! Flow networks with incremental Edmonds–Karp maximum flow.
+//!
+//! The Delta paper's `UpdateManager` computes minimum-weight vertex covers
+//! by max-flow, *incrementally*: as queries and updates join the interaction
+//! graph "the previous flow remains a valid flow though it may not be
+//! maximum any more" (§4), so each recomputation only searches for the new
+//! augmenting paths. [`FlowNetwork::max_flow`] is written exactly that way —
+//! it never resets existing flow, so calling it after mutations performs the
+//! incremental step, and calling [`FlowNetwork::reset_flow`] first gives the
+//! classic from-scratch algorithm.
+
+/// Node handle within a [`FlowNetwork`].
+pub type NodeId = usize;
+
+/// Edge handle within a [`FlowNetwork`]. The reverse (residual) edge of
+/// edge `e` is always `e ^ 1`.
+pub type EdgeId = usize;
+
+/// Effectively-infinite capacity that still leaves headroom against
+/// accidental `u64` overflow when summing cuts.
+pub const INF: u64 = u64::MAX / 4;
+
+/// A directed edge with explicit flow (residual capacity is `cap - flow`).
+#[derive(Clone, Copy, Debug)]
+pub struct Edge {
+    /// Head node.
+    pub to: NodeId,
+    /// Capacity. Reverse edges have capacity 0.
+    pub cap: u64,
+    /// Current flow; negative flow on a reverse edge is represented by the
+    /// *forward* edge's flow, so this stays in `0..=cap` on forward edges
+    /// and `-flow(fwd)` is encoded as residual headroom on the twin.
+    pub flow: i64,
+}
+
+impl Edge {
+    /// Residual capacity available for augmentation along this direction.
+    #[inline]
+    pub fn residual(&self) -> u64 {
+        debug_assert!(self.flow <= self.cap as i64);
+        (self.cap as i64 - self.flow) as u64
+    }
+}
+
+/// An adjacency-list flow network supporting node deletion and incremental
+/// max-flow.
+#[derive(Clone, Debug, Default)]
+pub struct FlowNetwork {
+    adj: Vec<Vec<EdgeId>>,
+    edges: Vec<Edge>,
+    deleted: Vec<bool>,
+    /// Scratch buffers reused across BFS invocations.
+    parent: Vec<Option<EdgeId>>,
+    queue: Vec<NodeId>,
+}
+
+impl FlowNetwork {
+    /// Creates an empty network.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a node and returns its id.
+    pub fn add_node(&mut self) -> NodeId {
+        self.adj.push(Vec::new());
+        self.deleted.push(false);
+        self.adj.len() - 1
+    }
+
+    /// Number of nodes ever added (including deleted ones).
+    pub fn node_count(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Number of live (non-deleted) nodes.
+    pub fn live_node_count(&self) -> usize {
+        self.deleted.iter().filter(|&&d| !d).count()
+    }
+
+    /// Number of forward edges ever added.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len() / 2
+    }
+
+    /// Adds a directed edge `from -> to` with the given capacity and returns
+    /// its id. A paired reverse edge (capacity 0) is created at `id ^ 1`.
+    ///
+    /// # Panics
+    /// Panics if either endpoint is deleted or out of range.
+    pub fn add_edge(&mut self, from: NodeId, to: NodeId, cap: u64) -> EdgeId {
+        assert!(!self.deleted[from] && !self.deleted[to], "endpoint deleted");
+        let id = self.edges.len();
+        self.edges.push(Edge { to, cap, flow: 0 });
+        self.edges.push(Edge { to: from, cap: 0, flow: 0 });
+        self.adj[from].push(id);
+        self.adj[to].push(id + 1);
+        id
+    }
+
+    /// Read access to an edge.
+    pub fn edge(&self, e: EdgeId) -> &Edge {
+        &self.edges[e]
+    }
+
+    /// Edge ids incident to `v` (both directions, forward and residual).
+    pub fn adjacency(&self, v: NodeId) -> &[EdgeId] {
+        &self.adj[v]
+    }
+
+    /// Current flow on a forward edge (0 for unused).
+    pub fn flow_on(&self, e: EdgeId) -> u64 {
+        self.edges[e].flow.max(0) as u64
+    }
+
+    /// Marks a node deleted. The caller is responsible for having cancelled
+    /// any flow through it first (see `force_flow`); deleted nodes are
+    /// skipped by BFS and never traversed again.
+    ///
+    /// # Panics
+    /// Panics (in debug builds) if flow still passes through the node.
+    pub fn delete_node(&mut self, v: NodeId) {
+        debug_assert!(
+            self.adj[v]
+                .iter()
+                .all(|&e| self.edges[e].flow <= 0 || self.edges[e ^ 1].flow <= 0),
+            "deleting node with live flow"
+        );
+        debug_assert!(
+            self.adj[v].iter().all(|&e| self.edges[e].flow.max(0) == 0),
+            "deleting node {v} with outgoing flow"
+        );
+        self.deleted[v] = true;
+    }
+
+    /// Whether the node has been deleted.
+    pub fn is_deleted(&self, v: NodeId) -> bool {
+        self.deleted[v]
+    }
+
+    /// Directly adjusts the flow on edge `e` (and its twin) by `delta`.
+    ///
+    /// Used for structured flow cancellation (e.g. removing a node from a
+    /// three-layer cover network where the rerouting is known in closed
+    /// form). The caller must keep the overall flow conserved.
+    pub fn force_flow(&mut self, e: EdgeId, delta: i64) {
+        self.edges[e].flow += delta;
+        self.edges[e ^ 1].flow -= delta;
+        debug_assert!(self.edges[e].flow <= self.edges[e].cap as i64);
+        debug_assert!(self.edges[e ^ 1].flow <= self.edges[e ^ 1].cap as i64);
+    }
+
+    /// Zeroes all flow (turning the next [`Self::max_flow`] into a
+    /// from-scratch computation).
+    pub fn reset_flow(&mut self) {
+        for e in &mut self.edges {
+            e.flow = 0;
+        }
+    }
+
+    /// Total flow currently leaving `s`.
+    pub fn flow_value(&self, s: NodeId) -> u64 {
+        self.adj[s]
+            .iter()
+            .map(|&e| self.edges[e].flow.max(0) as u64)
+            .sum()
+    }
+
+    /// Runs Edmonds–Karp **continuing from the current flow**: repeatedly
+    /// finds a shortest augmenting path and saturates it. Returns the flow
+    /// *added* by this call.
+    pub fn max_flow(&mut self, s: NodeId, t: NodeId) -> u64 {
+        let mut added = 0u64;
+        while let Some(bottleneck) = self.augment_once(s, t) {
+            added += bottleneck;
+        }
+        added
+    }
+
+    /// Finds one shortest augmenting path and pushes flow along it.
+    /// Returns the amount pushed, or `None` if no augmenting path exists.
+    pub fn augment_once(&mut self, s: NodeId, t: NodeId) -> Option<u64> {
+        debug_assert!(!self.deleted[s] && !self.deleted[t]);
+        let n = self.adj.len();
+        self.parent.clear();
+        self.parent.resize(n, None);
+        self.queue.clear();
+        self.queue.push(s);
+        let mut seen = vec![false; n];
+        seen[s] = true;
+        let mut head = 0;
+        'bfs: while head < self.queue.len() {
+            let v = self.queue[head];
+            head += 1;
+            for &e in &self.adj[v] {
+                let edge = self.edges[e];
+                if edge.residual() == 0 || self.deleted[edge.to] || seen[edge.to] {
+                    continue;
+                }
+                seen[edge.to] = true;
+                self.parent[edge.to] = Some(e);
+                if edge.to == t {
+                    break 'bfs;
+                }
+                self.queue.push(edge.to);
+            }
+        }
+        self.parent[t]?;
+        // Walk back to find the bottleneck.
+        let mut bottleneck = u64::MAX;
+        let mut v = t;
+        while v != s {
+            let e = self.parent[v].expect("path reaches s");
+            bottleneck = bottleneck.min(self.edges[e].residual());
+            v = self.edges[e ^ 1].to;
+        }
+        debug_assert!(bottleneck > 0);
+        // Apply.
+        let mut v = t;
+        while v != s {
+            let e = self.parent[v].expect("path reaches s");
+            self.edges[e].flow += bottleneck as i64;
+            self.edges[e ^ 1].flow -= bottleneck as i64;
+            v = self.edges[e ^ 1].to;
+        }
+        Some(bottleneck)
+    }
+
+    /// Nodes reachable from `s` in the residual graph (deleted nodes are
+    /// never reachable). This is the min-cut side used for vertex-cover
+    /// extraction.
+    pub fn residual_reachable(&self, s: NodeId) -> Vec<bool> {
+        let n = self.adj.len();
+        let mut seen = vec![false; n];
+        if self.deleted[s] {
+            return seen;
+        }
+        let mut stack = vec![s];
+        seen[s] = true;
+        while let Some(v) = stack.pop() {
+            for &e in &self.adj[v] {
+                let edge = self.edges[e];
+                if edge.residual() > 0 && !self.deleted[edge.to] && !seen[edge.to] {
+                    seen[edge.to] = true;
+                    stack.push(edge.to);
+                }
+            }
+        }
+        seen
+    }
+
+    /// Verifies flow conservation at every live node except `s` and `t`.
+    /// Intended for tests and debug assertions.
+    pub fn check_conservation(&self, s: NodeId, t: NodeId) -> Result<(), String> {
+        let n = self.adj.len();
+        let mut net = vec![0i64; n];
+        for (i, e) in self.edges.iter().enumerate() {
+            if i % 2 == 0 {
+                let from = self.edges[i ^ 1].to;
+                if e.flow < 0 {
+                    return Err(format!("negative flow {} on forward edge {i}", e.flow));
+                }
+                if e.flow > e.cap as i64 {
+                    return Err(format!("flow exceeds capacity on edge {i}"));
+                }
+                net[from] -= e.flow;
+                net[e.to] += e.flow;
+            }
+        }
+        for (v, &flow) in net.iter().enumerate() {
+            if v == s || v == t || self.deleted[v] {
+                continue;
+            }
+            if flow != 0 {
+                return Err(format!("conservation violated at node {v}: net {flow}"));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// CLRS figure network: known max flow 23.
+    fn clrs_network() -> (FlowNetwork, NodeId, NodeId) {
+        let mut g = FlowNetwork::new();
+        let s = g.add_node();
+        let v1 = g.add_node();
+        let v2 = g.add_node();
+        let v3 = g.add_node();
+        let v4 = g.add_node();
+        let t = g.add_node();
+        g.add_edge(s, v1, 16);
+        g.add_edge(s, v2, 13);
+        g.add_edge(v1, v3, 12);
+        g.add_edge(v2, v1, 4);
+        g.add_edge(v2, v4, 14);
+        g.add_edge(v3, v2, 9);
+        g.add_edge(v3, t, 20);
+        g.add_edge(v4, v3, 7);
+        g.add_edge(v4, t, 4);
+        (g, s, t)
+    }
+
+    #[test]
+    fn clrs_max_flow() {
+        let (mut g, s, t) = clrs_network();
+        assert_eq!(g.max_flow(s, t), 23);
+        assert_eq!(g.flow_value(s), 23);
+        g.check_conservation(s, t).unwrap();
+        // Converged: another call adds nothing.
+        assert_eq!(g.max_flow(s, t), 0);
+    }
+
+    #[test]
+    fn single_edge() {
+        let mut g = FlowNetwork::new();
+        let s = g.add_node();
+        let t = g.add_node();
+        g.add_edge(s, t, 7);
+        assert_eq!(g.max_flow(s, t), 7);
+    }
+
+    #[test]
+    fn disconnected_is_zero() {
+        let mut g = FlowNetwork::new();
+        let s = g.add_node();
+        let t = g.add_node();
+        let _u = g.add_node();
+        assert_eq!(g.max_flow(s, t), 0);
+    }
+
+    #[test]
+    fn incremental_matches_scratch() {
+        // Build half the CLRS network, flow, add the rest, flow again:
+        // total must equal the from-scratch value.
+        let mut g = FlowNetwork::new();
+        let s = g.add_node();
+        let v1 = g.add_node();
+        let v2 = g.add_node();
+        let v3 = g.add_node();
+        let v4 = g.add_node();
+        let t = g.add_node();
+        g.add_edge(s, v1, 16);
+        g.add_edge(v1, v3, 12);
+        g.add_edge(v3, t, 20);
+        let f1 = g.max_flow(s, t);
+        assert_eq!(f1, 12);
+        g.add_edge(s, v2, 13);
+        g.add_edge(v2, v1, 4);
+        g.add_edge(v2, v4, 14);
+        g.add_edge(v3, v2, 9);
+        g.add_edge(v4, v3, 7);
+        g.add_edge(v4, t, 4);
+        let f2 = g.max_flow(s, t);
+        assert_eq!(f1 + f2, 23);
+        g.check_conservation(s, t).unwrap();
+    }
+
+    #[test]
+    fn reset_flow_restores_scratch() {
+        let (mut g, s, t) = clrs_network();
+        g.max_flow(s, t);
+        g.reset_flow();
+        assert_eq!(g.flow_value(s), 0);
+        assert_eq!(g.max_flow(s, t), 23);
+    }
+
+    #[test]
+    fn residual_reachability_defines_min_cut() {
+        let (mut g, s, t) = clrs_network();
+        g.max_flow(s, t);
+        let reach = g.residual_reachable(s);
+        assert!(reach[s]);
+        assert!(!reach[t], "t reachable => flow not maximum");
+        // Cut capacity across (reach, !reach) equals the flow value.
+        let mut cut = 0u64;
+        for v in 0..g.node_count() {
+            if !reach[v] {
+                continue;
+            }
+            for &e in &g.adj[v] {
+                if e % 2 == 0 && !reach[g.edges[e].to] {
+                    cut += g.edges[e].cap;
+                }
+            }
+        }
+        assert_eq!(cut, 23);
+    }
+
+    #[test]
+    fn deleted_nodes_are_skipped() {
+        let mut g = FlowNetwork::new();
+        let s = g.add_node();
+        let m1 = g.add_node();
+        let m2 = g.add_node();
+        let t = g.add_node();
+        g.add_edge(s, m1, 5);
+        g.add_edge(m1, t, 5);
+        g.add_edge(s, m2, 3);
+        g.add_edge(m2, t, 3);
+        g.delete_node(m2);
+        assert_eq!(g.max_flow(s, t), 5, "only the live path should carry flow");
+    }
+
+    #[test]
+    #[should_panic(expected = "endpoint deleted")]
+    fn add_edge_to_deleted_panics() {
+        let mut g = FlowNetwork::new();
+        let a = g.add_node();
+        let b = g.add_node();
+        g.delete_node(b);
+        g.add_edge(a, b, 1);
+    }
+}

@@ -1,0 +1,84 @@
+//! Property-based tests for the HTM substrate.
+
+use delta_htm::{mesh, Partition, Region, Trixel, TrixelId, Vec3};
+use proptest::prelude::*;
+
+fn arb_radec() -> impl Strategy<Value = (f64, f64)> {
+    (0.0..360.0f64, -89.9..89.9f64)
+}
+
+proptest! {
+    /// Point lookup always yields a trixel that contains the point, at any
+    /// level, and levels are consistent (nested).
+    #[test]
+    fn lookup_contains_and_nests((ra, dec) in arb_radec(), level in 0u8..8) {
+        let p = Vec3::from_radec_deg(ra, dec);
+        let id = mesh::lookup(p, level);
+        prop_assert_eq!(id.level(), level);
+        prop_assert!(Trixel::from_id(id).contains(p));
+        if level > 0 {
+            let coarse = mesh::lookup(p, level - 1);
+            prop_assert!(id.is_descendant_of(coarse));
+        }
+    }
+
+    /// Raw-id round trip for ids built by random descent.
+    #[test]
+    fn id_raw_round_trip(base in 0u8..8, path in proptest::collection::vec(0u8..4, 0..10)) {
+        let mut id = TrixelId::base(base);
+        for c in path {
+            id = id.child(c);
+        }
+        prop_assert_eq!(TrixelId::from_raw(id.raw()), Some(id));
+    }
+
+    /// A cone region's trixel cover contains the trixel of every point
+    /// sampled inside the cone.
+    #[test]
+    fn cone_cover_is_sound(
+        (ra, dec) in arb_radec(),
+        radius_deg in 0.1..20.0f64,
+        (dra, ddec) in (-1.0..1.0f64, -1.0..1.0f64),
+        level in 2u8..5,
+    ) {
+        let region = Region::cone_deg(ra, dec, radius_deg);
+        let ids = mesh::cover(&region, level);
+        // A point guaranteed inside: offset center by < radius.
+        let f = radius_deg / 3.0;
+        let p = Vec3::from_radec_deg(ra + dra * f, (dec + ddec * f).clamp(-89.9, 89.9));
+        if region.contains(p) {
+            prop_assert!(ids.contains(&mesh::lookup(p, level)));
+        }
+    }
+
+    /// Adaptive partitions: locate() result always covers the point, and
+    /// region covers always include the located object.
+    #[test]
+    fn partition_locate_cover_consistent(
+        (ra, dec) in arb_radec(),
+        target in 8usize..150,
+        radius_deg in 0.1..10.0f64,
+    ) {
+        let part = Partition::adaptive(|t| t.solid_angle(), target);
+        prop_assert!(part.len() >= target);
+        let p = Vec3::from_radec_deg(ra, dec);
+        let idx = part.locate(p);
+        prop_assert!(part.leaves()[idx].contains(p));
+        let objs = part.objects_for_region(&Region::cone_deg(ra, dec, radius_deg));
+        prop_assert!(objs.contains(&idx));
+        // Indices are in range and strictly sorted (deduped).
+        prop_assert!(objs.windows(2).all(|w| w[0] < w[1]));
+        prop_assert!(objs.iter().all(|&o| o < part.len()));
+    }
+
+    /// Solid angles of any subdivision sum to the parent's.
+    #[test]
+    fn subdivision_preserves_area(base in 0u8..8, path in proptest::collection::vec(0u8..4, 0..4)) {
+        let mut t = Trixel::base(base);
+        for c in path {
+            t = t.subdivide()[c as usize];
+        }
+        let sum: f64 = t.subdivide().iter().map(|k| k.solid_angle()).sum();
+        prop_assert!((sum - t.solid_angle()).abs() < 1e-9);
+    }
+}

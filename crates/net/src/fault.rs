@@ -1,0 +1,180 @@
+//! Link fault injection: lossy transfers with TCP-style retransmission.
+//!
+//! The paper assumes a reliable, size-proportional transport (§3). A real
+//! WAN occasionally drops segments; TCP retransmits and delivers anyway —
+//! the *charged* cost model is unchanged, but real bytes on the wire grow
+//! by the retransmitted fraction. [`LossyEndpoint`] wraps an
+//! [`Endpoint`] with a deterministic per-message loss process: each data
+//! message is "transmitted" one or more times until a send succeeds; the
+//! failed attempts are metered under [`TrafficClass::Retransmit`] so
+//! overhead is visible and auditable, while delivery semantics stay
+//! exactly-once (no protocol-level reordering or deadlock).
+
+use crate::link::{Endpoint, LinkError};
+use crate::message::NetMessage;
+use crate::meter::{TrafficMeter, TrafficSnapshot, TrafficClass};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::sync::Arc;
+
+/// A deterministic message-loss process.
+#[derive(Debug)]
+pub struct LossModel {
+    loss_probability: f64,
+    rng: StdRng,
+    drops: u64,
+}
+
+impl LossModel {
+    /// Creates a loss process dropping each transmission attempt with
+    /// `loss_probability`, seeded for reproducibility.
+    ///
+    /// # Panics
+    /// Panics unless `0.0 <= loss_probability < 1.0` (a probability of 1
+    /// would never deliver anything).
+    pub fn new(loss_probability: f64, seed: u64) -> Self {
+        assert!(
+            (0.0..1.0).contains(&loss_probability),
+            "loss probability must be in [0, 1), got {loss_probability}"
+        );
+        Self { loss_probability, rng: StdRng::seed_from_u64(seed), drops: 0 }
+    }
+
+    /// A loss-free process (wrapping with this is a no-op).
+    pub fn reliable() -> Self {
+        Self::new(0.0, 0)
+    }
+
+    /// Whether the next transmission attempt is lost.
+    fn attempt_lost(&mut self) -> bool {
+        let lost = self.loss_probability > 0.0 && self.rng.random_bool(self.loss_probability);
+        if lost {
+            self.drops += 1;
+        }
+        lost
+    }
+
+    /// Transmission attempts lost so far.
+    pub fn drops(&self) -> u64 {
+        self.drops
+    }
+}
+
+/// An endpoint whose sends traverse a lossy wire with retransmission.
+#[derive(Debug)]
+pub struct LossyEndpoint {
+    inner: Endpoint,
+    loss: LossModel,
+    meter: Arc<TrafficMeter>,
+}
+
+impl LossyEndpoint {
+    /// Wraps `inner`. Retransmitted bytes are recorded on `meter` (pass
+    /// the link's shared meter so snapshots show everything in one
+    /// place).
+    pub fn new(inner: Endpoint, loss: LossModel, meter: Arc<TrafficMeter>) -> Self {
+        Self { inner, loss, meter }
+    }
+
+    /// Sends `msg`, retransmitting through losses until it is delivered.
+    /// Every lost attempt's wire bytes are metered as
+    /// [`TrafficClass::Retransmit`]; the successful attempt is metered
+    /// normally by the underlying endpoint.
+    ///
+    /// # Errors
+    /// Returns [`LinkError::Disconnected`] if the peer is gone.
+    pub fn send(&mut self, msg: NetMessage) -> Result<(), LinkError> {
+        while self.loss.attempt_lost() {
+            self.meter.record(TrafficClass::Retransmit, msg.wire_bytes());
+        }
+        self.inner.send(msg)
+    }
+
+    /// Blocking receive (reception is reliable: loss is modeled at the
+    /// sender, where TCP's retransmission bookkeeping lives).
+    ///
+    /// # Errors
+    /// Returns [`LinkError::Disconnected`] if the peer is gone.
+    pub fn recv(&self) -> Result<NetMessage, LinkError> {
+        self.inner.recv()
+    }
+
+    /// Snapshot of the link meter.
+    pub fn meter(&self) -> TrafficSnapshot {
+        self.inner.meter()
+    }
+
+    /// Transmission attempts lost so far.
+    pub fn drops(&self) -> u64 {
+        self.loss.drops()
+    }
+
+    /// The wrapped endpoint.
+    pub fn inner(&self) -> &Endpoint {
+        &self.inner
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::link::Link;
+
+    #[test]
+    fn reliable_model_never_drops() {
+        let (a, b, meter) = Link::pair();
+        let mut lossy = LossyEndpoint::new(a, LossModel::reliable(), Arc::clone(&meter));
+        for i in 0..100 {
+            lossy.send(NetMessage::QueryShip { query_seq: i, result_bytes: 10 }).unwrap();
+        }
+        drop(lossy);
+        for _ in 0..100 {
+            b.recv().unwrap();
+        }
+        let s = meter.snapshot();
+        assert_eq!(s.bytes_for(TrafficClass::Retransmit), 0);
+        assert_eq!(s.bytes_for(TrafficClass::QueryShip), 1000);
+    }
+
+    #[test]
+    fn lossy_link_still_delivers_everything_once() {
+        let (a, b, meter) = Link::pair();
+        let mut lossy = LossyEndpoint::new(a, LossModel::new(0.3, 42), Arc::clone(&meter));
+        for i in 0..500 {
+            lossy.send(NetMessage::QueryShip { query_seq: i, result_bytes: 10 }).unwrap();
+        }
+        let drops = lossy.drops();
+        assert!(drops > 0, "30% loss over 500 sends must drop something");
+        // Exactly-once delivery in order.
+        for i in 0..500 {
+            match b.recv().unwrap() {
+                NetMessage::QueryShip { query_seq, .. } => assert_eq!(query_seq, i),
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        let s = meter.snapshot();
+        assert_eq!(s.bytes_for(TrafficClass::QueryShip), 5000, "charged bytes unchanged");
+        assert_eq!(
+            s.bytes_for(TrafficClass::Retransmit),
+            drops * 10,
+            "every lost attempt metered"
+        );
+    }
+
+    #[test]
+    fn loss_process_is_deterministic() {
+        let run = || {
+            let mut m = LossModel::new(0.25, 7);
+            (0..1000).filter(|_| m.attempt_lost()).count()
+        };
+        assert_eq!(run(), run());
+        let c = run();
+        assert!((150..350).contains(&c), "got {c} losses out of 1000 at p=0.25");
+    }
+
+    #[test]
+    #[should_panic(expected = "loss probability")]
+    fn certain_loss_rejected() {
+        let _ = LossModel::new(1.0, 0);
+    }
+}

@@ -1,0 +1,38 @@
+//! # delta-net — simulated network substrate
+//!
+//! Replaces the paper's physical deployment (MS SQL replication links
+//! between a server and a middleware cache, §6.1) with metered in-process
+//! links:
+//!
+//! * [`TrafficMeter`] / [`TrafficClass`] — byte counters per communication
+//!   mechanism (query shipping, update shipping, object loading — the
+//!   paper's three, §3 — plus uncharged control traffic).
+//! * [`NetMessage`] — logical wire messages carrying byte counts instead of
+//!   real payloads, preserving the size-proportional cost model.
+//! * [`Link`] / [`Endpoint`] — metered duplex crossbeam channels for the
+//!   threaded client/cache/server deployment; meters reconcile with the
+//!   simulator's cost ledger byte-for-byte.
+//!
+//! ```
+//! use delta_net::{Link, NetMessage, TrafficClass};
+//!
+//! let (cache, server, meter) = Link::pair();
+//! cache.send(NetMessage::QueryShip { query_seq: 7, result_bytes: 1024 }).unwrap();
+//! assert!(matches!(server.recv().unwrap(), NetMessage::QueryShip { .. }));
+//! assert_eq!(meter.snapshot().bytes_for(TrafficClass::QueryShip), 1024);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod fault;
+pub mod latency;
+pub mod link;
+pub mod message;
+pub mod meter;
+
+pub use fault::{LossModel, LossyEndpoint};
+pub use latency::LinkModel;
+pub use link::{Endpoint, Link, LinkError};
+pub use message::{NetMessage, ObjectLog};
+pub use meter::{TrafficClass, TrafficMeter, TrafficSnapshot};

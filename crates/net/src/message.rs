@@ -1,0 +1,174 @@
+//! Wire messages between the middleware cache and the repository server.
+//!
+//! Payloads are *logical*: a message carries the byte count of the data it
+//! represents rather than gigabytes of synthetic content. Links charge
+//! meters by [`NetMessage::wire_bytes`], which preserves the paper's
+//! size-proportional cost model exactly while keeping simulation memory
+//! flat.
+
+use crate::meter::TrafficClass;
+use serde::{Deserialize, Serialize};
+
+/// Identifier types shared with `delta-storage` (kept as raw integers here
+/// so the net crate stays dependency-light).
+pub type ObjectNo = u32;
+
+/// A message on the cache↔server WAN link.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum NetMessage {
+    /// Cache forwards a query for server-side execution. `result_bytes` is
+    /// the size of the result the server will return to the client.
+    QueryShip {
+        /// Query sequence number.
+        query_seq: u64,
+        /// Result size in bytes — the ν(q) network charge.
+        result_bytes: u64,
+    },
+    /// Server ships a range of updates for one object.
+    UpdateShip {
+        /// Target object.
+        object: ObjectNo,
+        /// Version range `(from, to]` being shipped.
+        from_version: u64,
+        /// End of the version range.
+        to_version: u64,
+        /// Update content size — the ν(u) charge for the range.
+        bytes: u64,
+    },
+    /// Server bulk-copies a whole object to the cache.
+    ObjectLoad {
+        /// Object being loaded.
+        object: ObjectNo,
+        /// Version the copy is current to.
+        version: u64,
+        /// Object size including all updates so far — the load charge ν(o).
+        bytes: u64,
+    },
+    /// Cache tells the server it dropped an object (so the server stops
+    /// propagating its invalidations). Control-plane; not charged.
+    EvictNotice {
+        /// Object evicted.
+        object: ObjectNo,
+    },
+    /// Cache asks the server to ship an update range. Control-plane; the
+    /// charged bytes travel back in the [`NetMessage::UpdateShip`] reply.
+    UpdateFetch {
+        /// Target object.
+        object: ObjectNo,
+        /// First version wanted (exclusive of already-applied).
+        from_version: u64,
+        /// Last version wanted.
+        to_version: u64,
+    },
+    /// Cache asks the server to bulk-copy an object. Control-plane; the
+    /// charged bytes travel back in the [`NetMessage::ObjectLoad`] reply.
+    LoadRequest {
+        /// Object wanted.
+        object: ObjectNo,
+    },
+    /// Server notifies the cache that an object got a new update and its
+    /// cached copy is stale (§3 invalidation). Carries the update's
+    /// metadata (size, arrival time) so the cache's catalog mirror stays
+    /// exact. Control-plane; not charged — the update *content* only moves
+    /// via [`NetMessage::UpdateShip`].
+    Invalidation {
+        /// Object invalidated.
+        object: ObjectNo,
+        /// New server-side version.
+        version: u64,
+        /// Size of the update's content (metadata).
+        bytes: u64,
+        /// Global sequence number of the update's arrival.
+        seq: u64,
+    },
+    /// A recovering cache asks the server for the full metadata history
+    /// needed to rebuild its repository mirror (failure recovery).
+    /// Control-plane; not charged.
+    SyncRequest,
+    /// Server's answer to [`NetMessage::SyncRequest`]: per-object update
+    /// logs (sizes and arrival times only — metadata, not content).
+    /// Control-plane; a real system would pay a few bytes per entry,
+    /// which the paper's cost model does not charge.
+    SyncReply {
+        /// One log per object that has received updates.
+        logs: Vec<ObjectLog>,
+    },
+    /// End-of-stream marker for orderly shutdown of threaded deployments.
+    Shutdown,
+}
+
+/// The update history of one object, as carried by
+/// [`NetMessage::SyncReply`].
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ObjectLog {
+    /// The object.
+    pub object: ObjectNo,
+    /// `(bytes, seq)` of each update, in application order; replaying
+    /// them through a fresh repository reproduces the server's version
+    /// numbering exactly.
+    pub updates: Vec<(u64, u64)>,
+}
+
+impl NetMessage {
+    /// The bytes this message occupies on the wire under the paper's
+    /// size-proportional model.
+    pub fn wire_bytes(&self) -> u64 {
+        match *self {
+            NetMessage::QueryShip { result_bytes, .. } => result_bytes,
+            NetMessage::UpdateShip { bytes, .. } => bytes,
+            NetMessage::ObjectLoad { bytes, .. } => bytes,
+            // Control messages are a few dozen bytes; the paper does not
+            // charge them and neither do we.
+            NetMessage::EvictNotice { .. }
+            | NetMessage::UpdateFetch { .. }
+            | NetMessage::LoadRequest { .. }
+            | NetMessage::Invalidation { .. }
+            | NetMessage::SyncRequest
+            | NetMessage::SyncReply { .. }
+            | NetMessage::Shutdown => 0,
+        }
+    }
+
+    /// The traffic class this message is metered under.
+    pub fn class(&self) -> TrafficClass {
+        match self {
+            NetMessage::QueryShip { .. } => TrafficClass::QueryShip,
+            NetMessage::UpdateShip { .. } => TrafficClass::UpdateShip,
+            NetMessage::ObjectLoad { .. } => TrafficClass::ObjectLoad,
+            _ => TrafficClass::Control,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_bytes_follow_payload() {
+        assert_eq!(NetMessage::QueryShip { query_seq: 1, result_bytes: 42 }.wire_bytes(), 42);
+        assert_eq!(
+            NetMessage::UpdateShip { object: 1, from_version: 0, to_version: 2, bytes: 9 }
+                .wire_bytes(),
+            9
+        );
+        assert_eq!(NetMessage::ObjectLoad { object: 1, version: 5, bytes: 100 }.wire_bytes(), 100);
+        assert_eq!(
+            NetMessage::Invalidation { object: 1, version: 1, bytes: 9, seq: 3 }.wire_bytes(),
+            0,
+            "invalidations carry metadata only"
+        );
+        assert_eq!(NetMessage::UpdateFetch { object: 1, from_version: 0, to_version: 2 }.wire_bytes(), 0);
+        assert_eq!(NetMessage::LoadRequest { object: 1 }.wire_bytes(), 0);
+        assert_eq!(NetMessage::Shutdown.wire_bytes(), 0);
+    }
+
+    #[test]
+    fn classes_map_to_mechanisms() {
+        assert_eq!(
+            NetMessage::QueryShip { query_seq: 0, result_bytes: 0 }.class(),
+            TrafficClass::QueryShip
+        );
+        assert_eq!(NetMessage::EvictNotice { object: 3 }.class(), TrafficClass::Control);
+    }
+}

@@ -1,0 +1,309 @@
+//! GDSF — Greedy-Dual-Size-Frequency (Cherkasova 1998) — and FIFO.
+//!
+//! Two more `A_obj` candidates for the ablation study around the paper's
+//! Greedy-Dual-Size choice:
+//!
+//! * [`Gdsf`] extends GDS with an explicit access-frequency factor,
+//!   `H = L + freq × cost / size`, the standard refinement used by web
+//!   proxies (e.g. Squid). Frequency matters for Delta's workload because
+//!   hotspot objects are re-queried many times between drifts.
+//! * [`Fifo`] ignores everything but arrival order — the "no signal"
+//!   floor an informed policy must beat.
+
+use crate::traits::{Admission, ReplacementPolicy};
+use delta_storage::ObjectId;
+use std::collections::{HashMap, VecDeque};
+
+#[derive(Clone, Copy, Debug)]
+struct GdsfEntry {
+    h: f64,
+    size: u64,
+    cost: u64,
+    freq: u64,
+    tick: u64,
+}
+
+/// Greedy-Dual-Size-Frequency replacement.
+#[derive(Clone, Debug)]
+pub struct Gdsf {
+    capacity: u64,
+    used: u64,
+    inflation: f64,
+    tick: u64,
+    entries: HashMap<ObjectId, GdsfEntry>,
+}
+
+impl Gdsf {
+    /// Creates a policy managing `capacity` bytes.
+    pub fn new(capacity: u64) -> Self {
+        Self { capacity, used: 0, inflation: 0.0, tick: 0, entries: HashMap::new() }
+    }
+
+    /// Current inflation value `L`.
+    pub fn inflation(&self) -> f64 {
+        self.inflation
+    }
+
+    /// Access count of a resident object.
+    pub fn frequency(&self, id: ObjectId) -> Option<u64> {
+        self.entries.get(&id).map(|e| e.freq)
+    }
+
+    fn bump(&mut self) -> u64 {
+        self.tick += 1;
+        self.tick
+    }
+
+    fn priority(inflation: f64, freq: u64, cost: u64, size: u64) -> f64 {
+        inflation + freq as f64 * cost as f64 / size.max(1) as f64
+    }
+
+    fn victim_inner(&self) -> Option<ObjectId> {
+        self.entries
+            .iter()
+            .min_by(|a, b| {
+                a.1.h
+                    .total_cmp(&b.1.h)
+                    .then_with(|| a.1.tick.cmp(&b.1.tick))
+                    .then_with(|| a.0.cmp(b.0))
+            })
+            .map(|(&id, _)| id)
+    }
+}
+
+impl ReplacementPolicy for Gdsf {
+    fn request(&mut self, id: ObjectId, size: u64, cost: u64) -> Admission {
+        let tick = self.bump();
+        if let Some(e) = self.entries.get_mut(&id) {
+            e.freq += 1;
+            e.cost = cost;
+            e.h = Self::priority(self.inflation, e.freq, e.cost, e.size);
+            e.tick = tick;
+            return Admission { admitted: true, evicted: Vec::new() };
+        }
+        if size > self.capacity {
+            return Admission::default();
+        }
+        let mut evicted = Vec::new();
+        while self.used + size > self.capacity {
+            let v = self.victim_inner().expect("used > 0 implies a victim");
+            let e = self.entries.remove(&v).expect("victim resident");
+            self.used -= e.size;
+            self.inflation = self.inflation.max(e.h);
+            evicted.push(v);
+        }
+        let h = Self::priority(self.inflation, 1, cost, size);
+        self.entries.insert(id, GdsfEntry { h, size, cost, freq: 1, tick });
+        self.used += size;
+        Admission { admitted: true, evicted }
+    }
+
+    fn touch(&mut self, id: ObjectId) {
+        let tick = self.bump();
+        if let Some(e) = self.entries.get_mut(&id) {
+            e.freq += 1;
+            e.h = Self::priority(self.inflation, e.freq, e.cost, e.size);
+            e.tick = tick;
+        }
+    }
+
+    fn forget(&mut self, id: ObjectId) {
+        if let Some(e) = self.entries.remove(&id) {
+            self.used -= e.size;
+        }
+    }
+
+    fn contains(&self, id: ObjectId) -> bool {
+        self.entries.contains_key(&id)
+    }
+
+    fn used(&self) -> u64 {
+        self.used
+    }
+
+    fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    fn resident(&self) -> Vec<ObjectId> {
+        self.entries.keys().copied().collect()
+    }
+
+    fn victim(&self) -> Option<ObjectId> {
+        self.victim_inner()
+    }
+}
+
+/// First-in-first-out replacement: evicts in admission order, learns
+/// nothing from hits.
+#[derive(Clone, Debug)]
+pub struct Fifo {
+    capacity: u64,
+    used: u64,
+    queue: VecDeque<ObjectId>,
+    sizes: HashMap<ObjectId, u64>,
+}
+
+impl Fifo {
+    /// Creates a policy managing `capacity` bytes.
+    pub fn new(capacity: u64) -> Self {
+        Self { capacity, used: 0, queue: VecDeque::new(), sizes: HashMap::new() }
+    }
+}
+
+impl ReplacementPolicy for Fifo {
+    fn request(&mut self, id: ObjectId, size: u64, _cost: u64) -> Admission {
+        if self.sizes.contains_key(&id) {
+            return Admission { admitted: true, evicted: Vec::new() };
+        }
+        if size > self.capacity {
+            return Admission::default();
+        }
+        let mut evicted = Vec::new();
+        while self.used + size > self.capacity {
+            let v = self.queue.pop_front().expect("used > 0 implies a victim");
+            let s = self.sizes.remove(&v).expect("victim resident");
+            self.used -= s;
+            evicted.push(v);
+        }
+        self.queue.push_back(id);
+        self.sizes.insert(id, size);
+        self.used += size;
+        Admission { admitted: true, evicted }
+    }
+
+    fn touch(&mut self, _id: ObjectId) {
+        // FIFO is access-oblivious by definition.
+    }
+
+    fn forget(&mut self, id: ObjectId) {
+        if let Some(s) = self.sizes.remove(&id) {
+            self.used -= s;
+            self.queue.retain(|&o| o != id);
+        }
+    }
+
+    fn contains(&self, id: ObjectId) -> bool {
+        self.sizes.contains_key(&id)
+    }
+
+    fn used(&self) -> u64 {
+        self.used
+    }
+
+    fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    fn resident(&self) -> Vec<ObjectId> {
+        self.queue.iter().copied().collect()
+    }
+
+    fn victim(&self) -> Option<ObjectId> {
+        self.queue.front().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn o(i: u32) -> ObjectId {
+        ObjectId(i)
+    }
+
+    #[test]
+    fn gdsf_prefers_frequent_objects() {
+        let mut p = Gdsf::new(100);
+        assert!(p.request(o(1), 50, 50).admitted);
+        assert!(p.request(o(2), 50, 50).admitted);
+        // Hammer object 1.
+        for _ in 0..5 {
+            p.touch(o(1));
+        }
+        assert_eq!(p.frequency(o(1)), Some(6));
+        // Admitting a third object must evict the infrequent one.
+        let a = p.request(o(3), 50, 50);
+        assert!(a.admitted);
+        assert_eq!(a.evicted, vec![o(2)]);
+        assert!(p.contains(o(1)));
+    }
+
+    #[test]
+    fn gdsf_inflation_rises_monotonically() {
+        let mut p = Gdsf::new(60);
+        p.request(o(1), 30, 30);
+        p.request(o(2), 30, 30);
+        let l0 = p.inflation();
+        p.request(o(3), 60, 60); // evicts both
+        assert!(p.inflation() >= l0);
+        assert!(p.contains(o(3)));
+        assert_eq!(p.used(), 60);
+    }
+
+    #[test]
+    fn gdsf_cheap_big_objects_evict_first() {
+        let mut p = Gdsf::new(100);
+        p.request(o(1), 80, 8); // cost/size = 0.1
+        p.request(o(2), 20, 200); // cost/size = 10
+        let a = p.request(o(3), 50, 50);
+        assert!(a.admitted);
+        assert_eq!(a.evicted, vec![o(1)], "low-value big object goes first");
+    }
+
+    #[test]
+    fn gdsf_oversized_object_rejected_without_churn() {
+        let mut p = Gdsf::new(100);
+        p.request(o(1), 60, 60);
+        let a = p.request(o(2), 200, 200);
+        assert!(!a.admitted);
+        assert!(a.evicted.is_empty());
+        assert!(p.contains(o(1)));
+    }
+
+    #[test]
+    fn gdsf_forget_frees_space() {
+        let mut p = Gdsf::new(100);
+        p.request(o(1), 60, 60);
+        p.forget(o(1));
+        assert_eq!(p.used(), 0);
+        assert!(!p.contains(o(1)));
+        p.forget(o(1)); // idempotent
+    }
+
+    #[test]
+    fn fifo_evicts_in_arrival_order_regardless_of_use() {
+        let mut p = Fifo::new(100);
+        p.request(o(1), 40, 1);
+        p.request(o(2), 40, 1_000_000);
+        for _ in 0..100 {
+            p.touch(o(1)); // FIFO doesn't care
+        }
+        let a = p.request(o(3), 40, 1);
+        assert!(a.admitted);
+        assert_eq!(a.evicted, vec![o(1)], "oldest goes first, hits ignored");
+        assert_eq!(p.victim(), Some(o(2)));
+    }
+
+    #[test]
+    fn fifo_accounting_is_exact() {
+        let mut p = Fifo::new(100);
+        p.request(o(1), 30, 1);
+        p.request(o(2), 30, 1);
+        assert_eq!(p.used(), 60);
+        p.forget(o(1));
+        assert_eq!(p.used(), 30);
+        assert_eq!(p.resident(), vec![o(2)]);
+        assert_eq!(p.capacity(), 100);
+    }
+
+    #[test]
+    fn fifo_rehit_is_not_readmission() {
+        let mut p = Fifo::new(100);
+        p.request(o(1), 60, 1);
+        let a = p.request(o(1), 60, 1);
+        assert!(a.admitted);
+        assert!(a.evicted.is_empty());
+        assert_eq!(p.used(), 60, "no double counting");
+    }
+}

@@ -1,0 +1,47 @@
+//! # delta-policy — object-cache replacement policies
+//!
+//! The cache-management building blocks of Delta's `LoadManager` (paper
+//! §4, Fig. 6):
+//!
+//! * [`GreedyDualSize`] — the `A_obj` of the paper's prototype (Cao &
+//!   Irani's cost/size-aware policy with inflation).
+//! * [`lazy::plan_batch`] — the "lazy version of A_obj": runs a query's
+//!   whole load-candidate subsequence through the policy and emits only the
+//!   net loads/evictions, so nothing is fetched just to be evicted moments
+//!   later.
+//! * [`RandomizedAdmission`] — the memoryless bypass-caching gate: an
+//!   object becomes a load candidate with probability
+//!   `attributed_cost / load_cost`, making the expected shipped cost before
+//!   loading equal to the load cost without per-object counters.
+//! * [`Lru`] / [`Lfu`] / [`Gdsf`] / [`Fifo`] — comparators for ablation
+//!   benchmarks (recency, frequency, frequency-weighted GDS, and the
+//!   no-signal floor).
+//!
+//! ```
+//! use delta_policy::{lazy, GreedyDualSize, ReplacementPolicy};
+//! use delta_storage::ObjectId;
+//!
+//! let mut gds = GreedyDualSize::new(100);
+//! let plan = lazy::plan_batch(&mut gds, &[
+//!     (ObjectId(1), 100, 50),   // would be admitted...
+//!     (ObjectId(2), 100, 500),  // ...then displaced by this one
+//! ]);
+//! assert_eq!(plan.load, vec![ObjectId(2)]); // o1 never touches the network
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod bypass;
+pub mod gds;
+pub mod gdsf;
+pub mod lazy;
+pub mod lru;
+pub mod traits;
+
+pub use bypass::RandomizedAdmission;
+pub use gds::GreedyDualSize;
+pub use gdsf::{Fifo, Gdsf};
+pub use lazy::{plan_batch, BatchPlan};
+pub use lru::{Lfu, Lru};
+pub use traits::{Admission, ReplacementPolicy};

@@ -1,0 +1,222 @@
+//! Size-aware LRU and LFU comparators.
+//!
+//! Not used by VCover itself, but the paper positions GDS against simpler
+//! policies; these give the benchmark harness ablation points for the
+//! LoadManager's choice of `A_obj`.
+
+use crate::traits::{Admission, ReplacementPolicy};
+use delta_storage::ObjectId;
+use std::collections::HashMap;
+
+/// Least-recently-used with byte capacity.
+#[derive(Clone, Debug)]
+pub struct Lru {
+    capacity: u64,
+    used: u64,
+    tick: u64,
+    entries: HashMap<ObjectId, (u64, u64)>, // (last tick, size)
+}
+
+impl Lru {
+    /// Creates an LRU policy managing `capacity` bytes.
+    pub fn new(capacity: u64) -> Self {
+        Self { capacity, used: 0, tick: 0, entries: HashMap::new() }
+    }
+
+    fn victim_inner(&self) -> Option<ObjectId> {
+        self.entries
+            .iter()
+            .min_by_key(|(id, &(t, _))| (t, **id))
+            .map(|(&id, _)| id)
+    }
+}
+
+impl ReplacementPolicy for Lru {
+    fn request(&mut self, id: ObjectId, size: u64, _cost: u64) -> Admission {
+        self.tick += 1;
+        if let Some(e) = self.entries.get_mut(&id) {
+            e.0 = self.tick;
+            return Admission { admitted: true, evicted: Vec::new() };
+        }
+        if size > self.capacity {
+            return Admission::default();
+        }
+        let mut evicted = Vec::new();
+        while self.used + size > self.capacity {
+            let v = self.victim_inner().expect("non-empty");
+            let (_, s) = self.entries.remove(&v).expect("resident");
+            self.used -= s;
+            evicted.push(v);
+        }
+        self.entries.insert(id, (self.tick, size));
+        self.used += size;
+        Admission { admitted: true, evicted }
+    }
+
+    fn touch(&mut self, id: ObjectId) {
+        self.tick += 1;
+        if let Some(e) = self.entries.get_mut(&id) {
+            e.0 = self.tick;
+        }
+    }
+
+    fn forget(&mut self, id: ObjectId) {
+        if let Some((_, s)) = self.entries.remove(&id) {
+            self.used -= s;
+        }
+    }
+
+    fn contains(&self, id: ObjectId) -> bool {
+        self.entries.contains_key(&id)
+    }
+
+    fn used(&self) -> u64 {
+        self.used
+    }
+
+    fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    fn resident(&self) -> Vec<ObjectId> {
+        self.entries.keys().copied().collect()
+    }
+
+    fn victim(&self) -> Option<ObjectId> {
+        self.victim_inner()
+    }
+}
+
+/// Least-frequently-used with byte capacity (ties broken by recency).
+#[derive(Clone, Debug)]
+pub struct Lfu {
+    capacity: u64,
+    used: u64,
+    tick: u64,
+    entries: HashMap<ObjectId, (u64, u64, u64)>, // (count, last tick, size)
+}
+
+impl Lfu {
+    /// Creates an LFU policy managing `capacity` bytes.
+    pub fn new(capacity: u64) -> Self {
+        Self { capacity, used: 0, tick: 0, entries: HashMap::new() }
+    }
+
+    fn victim_inner(&self) -> Option<ObjectId> {
+        self.entries
+            .iter()
+            .min_by_key(|(id, &(c, t, _))| (c, t, **id))
+            .map(|(&id, _)| id)
+    }
+}
+
+impl ReplacementPolicy for Lfu {
+    fn request(&mut self, id: ObjectId, size: u64, _cost: u64) -> Admission {
+        self.tick += 1;
+        if let Some(e) = self.entries.get_mut(&id) {
+            e.0 += 1;
+            e.1 = self.tick;
+            return Admission { admitted: true, evicted: Vec::new() };
+        }
+        if size > self.capacity {
+            return Admission::default();
+        }
+        let mut evicted = Vec::new();
+        while self.used + size > self.capacity {
+            let v = self.victim_inner().expect("non-empty");
+            let (_, _, s) = self.entries.remove(&v).expect("resident");
+            self.used -= s;
+            evicted.push(v);
+        }
+        self.entries.insert(id, (1, self.tick, size));
+        self.used += size;
+        Admission { admitted: true, evicted }
+    }
+
+    fn touch(&mut self, id: ObjectId) {
+        self.tick += 1;
+        if let Some(e) = self.entries.get_mut(&id) {
+            e.0 += 1;
+            e.1 = self.tick;
+        }
+    }
+
+    fn forget(&mut self, id: ObjectId) {
+        if let Some((_, _, s)) = self.entries.remove(&id) {
+            self.used -= s;
+        }
+    }
+
+    fn contains(&self, id: ObjectId) -> bool {
+        self.entries.contains_key(&id)
+    }
+
+    fn used(&self) -> u64 {
+        self.used
+    }
+
+    fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    fn resident(&self) -> Vec<ObjectId> {
+        self.entries.keys().copied().collect()
+    }
+
+    fn victim(&self) -> Option<ObjectId> {
+        self.victim_inner()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn o(i: u32) -> ObjectId {
+        ObjectId(i)
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let mut l = Lru::new(100);
+        l.request(o(1), 50, 0);
+        l.request(o(2), 50, 0);
+        l.touch(o(1)); // o2 now least recent
+        let a = l.request(o(3), 50, 0);
+        assert_eq!(a.evicted, vec![o(2)]);
+    }
+
+    #[test]
+    fn lfu_evicts_least_frequent() {
+        let mut l = Lfu::new(100);
+        l.request(o(1), 50, 0);
+        l.request(o(2), 50, 0);
+        l.touch(o(1));
+        l.touch(o(1)); // o1 count 3, o2 count 1
+        let a = l.request(o(3), 50, 0);
+        assert_eq!(a.evicted, vec![o(2)]);
+    }
+
+    #[test]
+    fn lru_hit_no_eviction() {
+        let mut l = Lru::new(100);
+        l.request(o(1), 100, 0);
+        let a = l.request(o(1), 100, 0);
+        assert!(a.admitted && a.evicted.is_empty());
+        assert_eq!(l.used(), 100);
+    }
+
+    #[test]
+    fn capacity_never_exceeded() {
+        let mut l = Lru::new(75);
+        for i in 0..50 {
+            l.request(o(i), 10 + (i as u64 % 30), 0);
+            assert!(l.used() <= l.capacity());
+        }
+        let mut f = Lfu::new(75);
+        for i in 0..50 {
+            f.request(o(i), 10 + (i as u64 % 30), 0);
+            assert!(f.used() <= f.capacity());
+        }
+    }
+}

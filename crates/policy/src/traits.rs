@@ -1,0 +1,53 @@
+//! The replacement-policy abstraction the LoadManager plugs into.
+//!
+//! The paper's LoadManager is parameterized by an object-caching algorithm
+//! `A_obj` (Fig. 6) — Greedy-Dual-Size in their prototype. A policy here is
+//! a *logical* cache: it tracks which objects it would keep and answers
+//! admission requests with an eviction plan; the physical
+//! `delta_storage::CacheStore` executes the plan.
+
+use delta_storage::ObjectId;
+
+/// Outcome of asking a policy to admit an object.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Admission {
+    /// Whether the object was admitted (it is now logically resident).
+    pub admitted: bool,
+    /// Objects the policy gave up to make room, in eviction order.
+    pub evicted: Vec<ObjectId>,
+}
+
+/// A size- and cost-aware object replacement policy.
+pub trait ReplacementPolicy {
+    /// Requests that `id` (of `size` bytes, re-fetch cost `cost`) be made
+    /// resident, evicting others if needed. If `id` is already resident
+    /// this records an access (refreshing its priority) and returns an
+    /// admitted result with no evictions.
+    fn request(&mut self, id: ObjectId, size: u64, cost: u64) -> Admission;
+
+    /// Records a cache hit on a resident object without admission
+    /// semantics (refreshes recency/frequency state). Unknown ids are
+    /// ignored.
+    fn touch(&mut self, id: ObjectId);
+
+    /// Removes an object because the outside world evicted it (e.g. the
+    /// decision framework dropped it); keeps policy state in sync.
+    fn forget(&mut self, id: ObjectId);
+
+    /// Whether the policy currently considers `id` resident.
+    fn contains(&self, id: ObjectId) -> bool;
+
+    /// Logical bytes in residence.
+    fn used(&self) -> u64;
+
+    /// Capacity in bytes.
+    fn capacity(&self) -> u64;
+
+    /// Resident objects (unspecified order).
+    fn resident(&self) -> Vec<ObjectId>;
+
+    /// The object the policy would evict next, if any — used by callers
+    /// that must shed space for reasons the policy cannot see (e.g.
+    /// resident objects growing as updates are applied).
+    fn victim(&self) -> Option<ObjectId>;
+}

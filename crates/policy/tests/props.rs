@@ -1,0 +1,115 @@
+//! Property tests shared by all replacement policies.
+
+use delta_policy::{lazy, GreedyDualSize, Lfu, Lru, ReplacementPolicy};
+use delta_storage::ObjectId;
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+#[derive(Clone, Debug)]
+enum Op {
+    Request(u32, u64, u64),
+    Touch(u32),
+    Forget(u32),
+}
+
+fn arb_ops() -> impl Strategy<Value = Vec<Op>> {
+    proptest::collection::vec(
+        prop_oneof![
+            (0u32..30, 1u64..60, 0u64..100).prop_map(|(i, s, c)| Op::Request(i, s, c)),
+            (0u32..30).prop_map(Op::Touch),
+            (0u32..30).prop_map(Op::Forget),
+        ],
+        0..120,
+    )
+}
+
+fn check_policy<P: ReplacementPolicy>(mut p: P, ops: &[Op]) -> Result<(), TestCaseError> {
+    let mut sizes: std::collections::HashMap<u32, u64> = Default::default();
+    for op in ops {
+        match *op {
+            Op::Request(i, s, c) => {
+                // A policy may keep an object's original size on repeat
+                // requests; use a stable size per id to avoid ambiguity.
+                let s = *sizes.entry(i).or_insert(s);
+                let adm = p.request(ObjectId(i), s, c);
+                for e in &adm.evicted {
+                    prop_assert!(*e != ObjectId(i), "cannot evict the object being admitted");
+                }
+                if adm.admitted {
+                    prop_assert!(p.contains(ObjectId(i)));
+                }
+            }
+            Op::Touch(i) => p.touch(ObjectId(i)),
+            Op::Forget(i) => {
+                p.forget(ObjectId(i));
+                prop_assert!(!p.contains(ObjectId(i)));
+            }
+        }
+        // Core invariant: never exceed capacity.
+        prop_assert!(p.used() <= p.capacity(), "capacity exceeded");
+        // used() equals the sum of resident sizes.
+        let total: u64 = p.resident().iter().map(|id| sizes[&id.0]).sum();
+        prop_assert_eq!(p.used(), total, "used() out of sync with residents");
+    }
+    Ok(())
+}
+
+proptest! {
+    #[test]
+    fn gds_invariants(ops in arb_ops(), cap in 50u64..300) {
+        check_policy(GreedyDualSize::new(cap), &ops)?;
+    }
+
+    #[test]
+    fn lru_invariants(ops in arb_ops(), cap in 50u64..300) {
+        check_policy(Lru::new(cap), &ops)?;
+    }
+
+    #[test]
+    fn lfu_invariants(ops in arb_ops(), cap in 50u64..300) {
+        check_policy(Lfu::new(cap), &ops)?;
+    }
+
+    /// The lazy batch plan is consistent: loads are disjoint from evicts,
+    /// every eviction was resident before, every load is resident after,
+    /// and replaying the plan against a set reproduces the policy's
+    /// resident set.
+    #[test]
+    fn lazy_plan_consistency(
+        pre in proptest::collection::vec((0u32..20, 10u64..50), 0..6),
+        batch in proptest::collection::vec((20u32..40, 10u64..80, 1u64..200), 0..10),
+        cap in 100u64..300,
+    ) {
+        let mut gds = GreedyDualSize::new(cap);
+        for &(i, s) in &pre {
+            gds.request(ObjectId(i), s, s);
+        }
+        let before: HashSet<ObjectId> = gds.resident().into_iter().collect();
+        let cands: Vec<(ObjectId, u64, u64)> =
+            batch.iter().map(|&(i, s, c)| (ObjectId(i), s, c)).collect();
+        let plan = lazy::plan_batch(&mut gds, &cands);
+        let after: HashSet<ObjectId> = gds.resident().into_iter().collect();
+
+        for l in &plan.load {
+            prop_assert!(!before.contains(l));
+            prop_assert!(after.contains(l));
+        }
+        for e in &plan.evict {
+            prop_assert!(before.contains(e));
+            prop_assert!(!after.contains(e));
+        }
+        let loads: HashSet<_> = plan.load.iter().collect();
+        let evicts: HashSet<_> = plan.evict.iter().collect();
+        prop_assert!(loads.is_disjoint(&evicts));
+
+        // Replay: before - evict + load == after.
+        let mut replay = before.clone();
+        for e in &plan.evict {
+            replay.remove(e);
+        }
+        for l in &plan.load {
+            replay.insert(*l);
+        }
+        prop_assert_eq!(replay, after);
+    }
+}

@@ -1,0 +1,529 @@
+//! Semantic analysis: validate a parsed query against the schema and
+//! derive its spatial footprint, selectivity and workload classification.
+//!
+//! This is the front half of the "semantic framework that determines the
+//! mapping between the query, q, and the data objects, B(q)" the paper
+//! requires of any VCover implementation (§4): queries specify a spatial
+//! region, objects are spatial partitions, so the footprint is what links
+//! the two.
+
+use crate::ast::{CmpOp, Predicate, Projection, Query, Shape};
+use crate::error::AnalyzeError;
+use crate::schema::{Schema, Table};
+use delta_htm::Region;
+use delta_workload::QueryKind;
+
+/// Everything the middleware needs to know about a query, short of the
+/// concrete object IDs (which depend on the partition; see
+/// [`crate::Compiler`]).
+#[derive(Clone, Debug)]
+pub struct AnalyzedQuery {
+    /// The validated parse tree.
+    pub query: Query,
+    /// The sky footprint the query touches.
+    pub region: Region,
+    /// Fraction of footprint rows surviving the non-spatial predicates,
+    /// in `(0, 1]`.
+    pub selectivity: f64,
+    /// Bytes of one result row under the query's projection.
+    pub row_width: u64,
+    /// Row count cap (`TOP n`), if any.
+    pub row_cap: Option<u64>,
+    /// Workload classification, per the paper's §6.1 taxonomy.
+    pub kind: QueryKind,
+    /// Currency requirement `t(q)` in ticks (0 when unspecified).
+    pub tolerance: u64,
+}
+
+/// Validates `query` against `schema` and derives its footprint.
+///
+/// # Errors
+/// Returns [`AnalyzeError`] for unknown tables/columns, invalid geometry
+/// (negative radius, out-of-range declination) or contradictory
+/// predicates.
+pub fn analyze(query: Query, schema: &Schema) -> Result<AnalyzedQuery, AnalyzeError> {
+    let table = schema.table(&query.table)?;
+
+    // Column validation for the projection.
+    let row_width = match &query.projection {
+        Projection::All => table.full_row_width(),
+        Projection::Count => 8,
+        Projection::Columns(cols) => table.projected_row_width(cols)?,
+    };
+
+    // Column validation + selectivity for the WHERE clause, plus the
+    // spatial parts (explicit shapes and RA/Dec range predicates).
+    let mut selectivity = 1.0f64;
+    let mut shapes: Vec<Shape> = Vec::new();
+    let mut ra_range: Option<(f64, f64)> = None;
+    let mut dec_range: Option<(f64, f64)> = None;
+
+    for p in &query.predicates {
+        match p {
+            Predicate::AnyOf(arms) => {
+                selectivity *= disjunction_selectivity(table, arms)?;
+            }
+            Predicate::Spatial(s) => {
+                validate_shape(s)?;
+                shapes.push(*s);
+            }
+            Predicate::Between { column, lo, hi } => {
+                let col = lookup(table, column)?;
+                if is_ra(column) {
+                    ra_range = Some(merge_range(ra_range, (*lo, *hi), column)?);
+                } else if is_dec(column) {
+                    dec_range = Some(merge_range(dec_range, (*lo, *hi), column)?);
+                } else {
+                    selectivity *= range_selectivity(col.min, col.max, *lo, *hi);
+                }
+            }
+            Predicate::Compare { column, op, value } => {
+                let col = lookup(table, column)?;
+                if is_ra(column) || is_dec(column) {
+                    let (lo, hi) = half_range(col.min, col.max, *op, *value);
+                    if is_ra(column) {
+                        ra_range = Some(merge_range(ra_range, (lo, hi), column)?);
+                    } else {
+                        dec_range = Some(merge_range(dec_range, (lo, hi), column)?);
+                    }
+                } else {
+                    selectivity *= compare_selectivity(col.min, col.max, *op, *value);
+                }
+            }
+        }
+    }
+
+    // RA/Dec range predicates form a rectangle footprint.
+    if ra_range.is_some() || dec_range.is_some() {
+        let (ra_min, ra_max) = ra_range.unwrap_or((0.0, 360.0));
+        let (dec_min, dec_max) = dec_range.unwrap_or((-90.0, 90.0));
+        validate_rect(ra_min, dec_min, ra_max, dec_max)?;
+        shapes.push(Shape::Rect { ra_min, dec_min, ra_max, dec_max });
+    }
+
+    // Conservative intersection of multiple footprints: keep the one with
+    // the smallest solid angle (any sound cover of the true intersection
+    // is a subset of each shape's cover; the smallest gives the tightest
+    // B(q) we can produce without exact intersection geometry).
+    let region = shapes
+        .iter()
+        .map(shape_region)
+        .min_by(|a, b| solid_angle(a).total_cmp(&solid_angle(b)))
+        .unwrap_or(Region::All);
+
+    let kind = classify(&query, &shapes, &region);
+    let selectivity = selectivity.clamp(1e-9, 1.0);
+    Ok(AnalyzedQuery {
+        tolerance: query.tolerance.unwrap_or(0),
+        row_cap: query.top,
+        query,
+        region,
+        selectivity,
+        row_width,
+        kind,
+    })
+}
+
+/// Selectivity of `(p1 OR p2 OR ...)` over attribute predicates, by
+/// inclusion–exclusion under independence: `1 - Π(1 - s_i)`.
+///
+/// # Errors
+/// Rejects spatial shapes and RA/Dec constraints inside a disjunction —
+/// a disjunctive footprint would need union regions, which the footprint
+/// model (one conservative region per query) does not represent.
+fn disjunction_selectivity(
+    table: &Table,
+    arms: &[Predicate],
+) -> Result<f64, AnalyzeError> {
+    let mut miss = 1.0f64;
+    for p in arms {
+        let s = match p {
+            Predicate::Spatial(_) => {
+                return Err(AnalyzeError::InvalidGeometry(
+                    "spatial shapes are not allowed inside OR groups".into(),
+                ))
+            }
+            Predicate::AnyOf(inner) => disjunction_selectivity(table, inner)?,
+            Predicate::Between { column, lo, hi } => {
+                if is_ra(column) || is_dec(column) {
+                    return Err(AnalyzeError::InvalidGeometry(
+                        "RA/Dec constraints are not allowed inside OR groups".into(),
+                    ));
+                }
+                let col = lookup(table, column)?;
+                range_selectivity(col.min, col.max, *lo, *hi)
+            }
+            Predicate::Compare { column, op, value } => {
+                if is_ra(column) || is_dec(column) {
+                    return Err(AnalyzeError::InvalidGeometry(
+                        "RA/Dec constraints are not allowed inside OR groups".into(),
+                    ));
+                }
+                let col = lookup(table, column)?;
+                compare_selectivity(col.min, col.max, *op, *value)
+            }
+        };
+        miss *= 1.0 - s.clamp(0.0, 1.0);
+    }
+    Ok((1.0 - miss).clamp(1e-9, 1.0))
+}
+
+fn lookup<'t>(table: &'t Table, column: &str) -> Result<&'t crate::schema::Column, AnalyzeError> {
+    table.column(column).ok_or_else(|| AnalyzeError::UnknownColumn {
+        column: column.to_string(),
+        table: table.name.to_string(),
+    })
+}
+
+fn is_ra(column: &str) -> bool {
+    column.eq_ignore_ascii_case("ra")
+}
+
+fn is_dec(column: &str) -> bool {
+    column.eq_ignore_ascii_case("dec")
+}
+
+fn merge_range(
+    existing: Option<(f64, f64)>,
+    new: (f64, f64),
+    column: &str,
+) -> Result<(f64, f64), AnalyzeError> {
+    let merged = match existing {
+        None => new,
+        Some((lo, hi)) => (lo.max(new.0), hi.min(new.1)),
+    };
+    if merged.0 > merged.1 {
+        return Err(AnalyzeError::EmptyPredicate(format!(
+            "constraints on `{column}` have empty intersection"
+        )));
+    }
+    Ok(merged)
+}
+
+fn half_range(min: f64, max: f64, op: CmpOp, value: f64) -> (f64, f64) {
+    match op {
+        CmpOp::Lt | CmpOp::Le => (min, value.min(max)),
+        CmpOp::Gt | CmpOp::Ge => (value.max(min), max),
+        CmpOp::Eq => (value, value),
+        // `<>` on a continuous coordinate excludes a measure-zero set.
+        CmpOp::Ne => (min, max),
+    }
+}
+
+/// Fraction of a uniform `[min, max]` column surviving `BETWEEN lo AND hi`.
+fn range_selectivity(min: f64, max: f64, lo: f64, hi: f64) -> f64 {
+    let width = (max - min).max(f64::MIN_POSITIVE);
+    let overlap = (hi.min(max) - lo.max(min)).max(0.0);
+    (overlap / width).clamp(0.0, 1.0).max(1e-9)
+}
+
+/// Selectivity of `column op value` under a uniform value model.
+fn compare_selectivity(min: f64, max: f64, op: CmpOp, value: f64) -> f64 {
+    let width = (max - min).max(f64::MIN_POSITIVE);
+    let frac_below = ((value - min) / width).clamp(0.0, 1.0);
+    // Equality selects a "bucket": discrete codes (small ranges like
+    // `type` 0..=9) select ~1/range; wide continuous columns select a
+    // sliver.
+    let eq_frac = (1.0 / width).clamp(1e-9, 1.0);
+    match op {
+        CmpOp::Lt | CmpOp::Le => frac_below.max(1e-9),
+        CmpOp::Gt | CmpOp::Ge => (1.0 - frac_below).max(1e-9),
+        CmpOp::Eq => eq_frac,
+        CmpOp::Ne => (1.0 - eq_frac).max(1e-9),
+    }
+}
+
+fn validate_shape(s: &Shape) -> Result<(), AnalyzeError> {
+    match *s {
+        Shape::Circle { ra, dec, radius_deg } | Shape::Neighbors { ra, dec, radius_deg } => {
+            if !(0.0..=360.0).contains(&ra) {
+                return Err(AnalyzeError::InvalidGeometry(format!("RA {ra} outside [0, 360]")));
+            }
+            if !(-90.0..=90.0).contains(&dec) {
+                return Err(AnalyzeError::InvalidGeometry(format!(
+                    "Dec {dec} outside [-90, 90]"
+                )));
+            }
+            if !(radius_deg > 0.0 && radius_deg <= 180.0) {
+                return Err(AnalyzeError::InvalidGeometry(format!(
+                    "radius {radius_deg} outside (0, 180]"
+                )));
+            }
+            Ok(())
+        }
+        Shape::Rect { ra_min, dec_min, ra_max, dec_max } => {
+            validate_rect(ra_min, dec_min, ra_max, dec_max)
+        }
+    }
+}
+
+fn validate_rect(ra_min: f64, dec_min: f64, ra_max: f64, dec_max: f64) -> Result<(), AnalyzeError> {
+    for ra in [ra_min, ra_max] {
+        if !(0.0..=360.0).contains(&ra) {
+            return Err(AnalyzeError::InvalidGeometry(format!("RA {ra} outside [0, 360]")));
+        }
+    }
+    for dec in [dec_min, dec_max] {
+        if !(-90.0..=90.0).contains(&dec) {
+            return Err(AnalyzeError::InvalidGeometry(format!("Dec {dec} outside [-90, 90]")));
+        }
+    }
+    if dec_min > dec_max {
+        return Err(AnalyzeError::InvalidGeometry(format!(
+            "Dec range inverted ({dec_min} > {dec_max})"
+        )));
+    }
+    // RA may wrap (ra_min > ra_max means the range crosses RA = 0).
+    Ok(())
+}
+
+fn shape_region(s: &Shape) -> Region {
+    match *s {
+        Shape::Circle { ra, dec, radius_deg } | Shape::Neighbors { ra, dec, radius_deg } => {
+            Region::cone_deg(ra, dec, radius_deg)
+        }
+        Shape::Rect { ra_min, dec_min, ra_max, dec_max } => {
+            Region::RaDecRect { ra_min, ra_max, dec_min, dec_max }
+        }
+    }
+}
+
+/// Solid angle of a region in steradians (exact for cones/rects, 4π for
+/// the whole sky, band formula for scans).
+pub fn solid_angle(r: &Region) -> f64 {
+    use std::f64::consts::PI;
+    match *r {
+        Region::Cone { radius_rad, .. } => 2.0 * PI * (1.0 - radius_rad.cos()),
+        Region::RaDecRect { ra_min, ra_max, dec_min, dec_max } => {
+            let dra = if ra_max >= ra_min { ra_max - ra_min } else { 360.0 - ra_min + ra_max };
+            dra.to_radians() * (dec_max.to_radians().sin() - dec_min.to_radians().sin()).abs()
+        }
+        Region::GreatCircleBand { half_width_rad, .. } => 4.0 * PI * half_width_rad.sin(),
+        Region::All => 4.0 * PI,
+    }
+}
+
+fn classify(query: &Query, shapes: &[Shape], region: &Region) -> QueryKind {
+    if shapes.iter().any(|s| matches!(s, Shape::Neighbors { .. })) {
+        return QueryKind::SelfJoin;
+    }
+    if query.projection == Projection::Count {
+        return QueryKind::Aggregate;
+    }
+    // Point lookup on a key column.
+    let key_lookup = query.predicates.iter().any(|p| {
+        matches!(p, Predicate::Compare { column, op: CmpOp::Eq, .. }
+                 if column.eq_ignore_ascii_case("objID")
+                 || column.eq_ignore_ascii_case("specObjID")
+                 || column.eq_ignore_ascii_case("htmID"))
+    });
+    if key_lookup {
+        return QueryKind::Selection;
+    }
+    match region {
+        Region::Cone { .. } => QueryKind::Cone,
+        Region::RaDecRect { .. } => QueryKind::Range,
+        Region::GreatCircleBand { .. } | Region::All => QueryKind::Scan,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse;
+
+    fn analyzed(sql: &str) -> AnalyzedQuery {
+        analyze(parse(sql).unwrap(), &Schema::sdss()).unwrap()
+    }
+
+    #[test]
+    fn cone_query_gets_cone_region() {
+        let a = analyzed("SELECT ra, dec FROM PhotoObj WHERE CIRCLE(185.0, 15.3, 0.5)");
+        assert!(matches!(a.region, Region::Cone { .. }));
+        assert_eq!(a.kind, QueryKind::Cone);
+        assert_eq!(a.row_width, 16);
+        assert_eq!(a.tolerance, 0);
+    }
+
+    #[test]
+    fn radec_betweens_become_rect() {
+        let a = analyzed(
+            "SELECT * FROM PhotoObj WHERE ra BETWEEN 180 AND 190 AND dec BETWEEN 10 AND 20",
+        );
+        match a.region {
+            Region::RaDecRect { ra_min, ra_max, dec_min, dec_max } => {
+                assert_eq!((ra_min, ra_max, dec_min, dec_max), (180.0, 190.0, 10.0, 20.0));
+            }
+            other => panic!("expected rect, got {other:?}"),
+        }
+        assert_eq!(a.kind, QueryKind::Range);
+        // Coordinate predicates must not contribute to attribute
+        // selectivity: the footprint already accounts for them.
+        assert!((a.selectivity - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn smallest_shape_wins_for_multiple_footprints() {
+        let a = analyzed(
+            "SELECT ra FROM PhotoObj WHERE RECT(0, -90, 360, 90) AND CIRCLE(10, 0, 0.1)",
+        );
+        match a.region {
+            Region::Cone { radius_rad, .. } => {
+                assert!((radius_rad - 0.1f64.to_radians()).abs() < 1e-12)
+            }
+            other => panic!("expected the tight cone, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn selectivity_multiplies_across_attribute_predicates() {
+        let a = analyzed("SELECT ra FROM PhotoObj WHERE g BETWEEN 17 AND 19 AND r < 19");
+        // g: 2/10 of [14,24]; r: 5/10 below 19.
+        assert!((a.selectivity - 0.2 * 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn count_star_is_aggregate_with_tiny_rows() {
+        let a = analyzed("SELECT COUNT(*) FROM PhotoObj WHERE RECT(10, -5, 20, 5)");
+        assert_eq!(a.kind, QueryKind::Aggregate);
+        assert_eq!(a.row_width, 8);
+    }
+
+    #[test]
+    fn neighbors_is_selfjoin() {
+        let a = analyzed("SELECT * FROM PhotoObj WHERE NEIGHBORS(185.0, 15.3, 0.05)");
+        assert_eq!(a.kind, QueryKind::SelfJoin);
+    }
+
+    #[test]
+    fn objid_equality_is_selection() {
+        let a = analyzed("SELECT * FROM PhotoObj WHERE objID = 1237648720693755918");
+        assert_eq!(a.kind, QueryKind::Selection);
+    }
+
+    #[test]
+    fn no_where_clause_is_all_sky_scan() {
+        let a = analyzed("SELECT COUNT(*) FROM SpecObj");
+        // Count outranks scan in classification.
+        assert_eq!(a.kind, QueryKind::Aggregate);
+        assert!(matches!(a.region, Region::All));
+        let b = analyzed("SELECT ra FROM SpecObj");
+        assert_eq!(b.kind, QueryKind::Scan);
+    }
+
+    #[test]
+    fn unknown_column_rejected() {
+        let err = analyze(
+            parse("SELECT ra FROM PhotoObj WHERE warp < 3").unwrap(),
+            &Schema::sdss(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, AnalyzeError::UnknownColumn { .. }));
+    }
+
+    #[test]
+    fn contradictory_ranges_rejected() {
+        let err = analyze(
+            parse("SELECT ra FROM PhotoObj WHERE ra BETWEEN 10 AND 20 AND ra BETWEEN 30 AND 40")
+                .unwrap(),
+            &Schema::sdss(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, AnalyzeError::EmptyPredicate(_)));
+    }
+
+    #[test]
+    fn negative_radius_rejected() {
+        let err = analyze(
+            parse("SELECT ra FROM PhotoObj WHERE CIRCLE(10, 10, -1)").unwrap(),
+            &Schema::sdss(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, AnalyzeError::InvalidGeometry(_)));
+    }
+
+    #[test]
+    fn solid_angles_are_sane() {
+        use std::f64::consts::PI;
+        assert!((solid_angle(&Region::All) - 4.0 * PI).abs() < 1e-12);
+        let hemisphere = Region::RaDecRect { ra_min: 0.0, ra_max: 360.0, dec_min: 0.0, dec_max: 90.0 };
+        assert!((solid_angle(&hemisphere) - 2.0 * PI).abs() < 1e-9);
+        let tiny = solid_angle(&Region::cone_deg(0.0, 0.0, 0.01));
+        assert!(tiny > 0.0 && tiny < 1e-4);
+    }
+
+    #[test]
+    fn wrapping_ra_rect_allowed() {
+        let a = analyzed("SELECT ra FROM PhotoObj WHERE RECT(350, -5, 10, 5)");
+        let sa = solid_angle(&a.region);
+        let direct = solid_angle(&Region::RaDecRect {
+            ra_min: 0.0,
+            ra_max: 20.0,
+            dec_min: -5.0,
+            dec_max: 5.0,
+        });
+        assert!((sa - direct).abs() < 1e-9, "wrap-around covers 20 degrees of RA");
+    }
+}
+#[cfg(test)]
+mod or_analysis_tests {
+    use super::*;
+    use crate::parse;
+
+    #[test]
+    fn disjunction_selectivity_uses_inclusion_exclusion() {
+        // g < 19 selects 0.5 of [14,24]; r < 19 likewise. OR under
+        // independence: 1 - 0.5*0.5 = 0.75.
+        let a = analyze(
+            parse("SELECT ra FROM PhotoObj WHERE (g < 19 OR r < 19)").unwrap(),
+            &Schema::sdss(),
+        )
+        .unwrap();
+        assert!((a.selectivity - 0.75).abs() < 1e-9, "got {}", a.selectivity);
+    }
+
+    #[test]
+    fn disjunction_never_shrinks_below_strongest_arm() {
+        let single = analyze(
+            parse("SELECT ra FROM PhotoObj WHERE g < 16").unwrap(),
+            &Schema::sdss(),
+        )
+        .unwrap();
+        let or = analyze(
+            parse("SELECT ra FROM PhotoObj WHERE (g < 16 OR r < 15)").unwrap(),
+            &Schema::sdss(),
+        )
+        .unwrap();
+        assert!(or.selectivity >= single.selectivity);
+    }
+
+    #[test]
+    fn spatial_inside_or_rejected() {
+        let err = analyze(
+            parse("SELECT ra FROM PhotoObj WHERE (CIRCLE(1, 1, 1) OR g < 18)").unwrap(),
+            &Schema::sdss(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, AnalyzeError::InvalidGeometry(_)));
+    }
+
+    #[test]
+    fn radec_inside_or_rejected() {
+        let err = analyze(
+            parse("SELECT ra FROM PhotoObj WHERE (ra < 100 OR g < 18)").unwrap(),
+            &Schema::sdss(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, AnalyzeError::InvalidGeometry(_)));
+    }
+
+    #[test]
+    fn unknown_column_inside_or_rejected() {
+        let err = analyze(
+            parse("SELECT ra FROM PhotoObj WHERE (bogus < 18 OR g < 18)").unwrap(),
+            &Schema::sdss(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, AnalyzeError::UnknownColumn { .. }));
+    }
+}

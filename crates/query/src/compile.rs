@@ -1,0 +1,225 @@
+//! Compilation: SQL text → a priced, object-mapped [`QueryEvent`].
+//!
+//! [`Compiler`] bundles the schema (validation and row widths), the sky
+//! model (result-size estimation) and the spatial mapper (footprint →
+//! `B(q)`), completing the semantic framework of §4: given a query string
+//! it produces exactly the event the decoupling framework consumes.
+
+use crate::analyze::{analyze, AnalyzedQuery};
+use crate::error::QueryError;
+use crate::estimate::{Estimator, SizeEstimate};
+use crate::parser::parse;
+use crate::schema::Schema;
+use delta_storage::{ObjectId, SpatialMapper};
+use delta_workload::{QueryEvent, SkyModel};
+
+/// A compiled query: the analysis plus the concrete object set and price.
+#[derive(Clone, Debug)]
+pub struct CompiledQuery {
+    /// The analyzed query (footprint, selectivity, classification).
+    pub analyzed: AnalyzedQuery,
+    /// The data objects the query accesses — the paper's `B(q)`.
+    pub objects: Vec<ObjectId>,
+    /// The estimated result size — the paper's ν(q).
+    pub estimate: SizeEstimate,
+}
+
+impl CompiledQuery {
+    /// Materializes the trace event at sequence number `seq`.
+    pub fn into_event(self, seq: u64) -> QueryEvent {
+        QueryEvent {
+            seq,
+            objects: self.objects,
+            result_bytes: self.estimate.bytes,
+            tolerance: self.analyzed.tolerance,
+            kind: self.analyzed.kind,
+        }
+    }
+}
+
+/// The query frontend: compiles SQL text into middleware events.
+///
+/// ```
+/// use delta_query::{Compiler, Schema};
+/// use delta_htm::Partition;
+/// use delta_storage::SpatialMapper;
+/// use delta_workload::SkyModel;
+///
+/// let sky = SkyModel::sdss_like(7, 12);
+/// let mapper = SpatialMapper::new(Partition::adaptive(|t| t.solid_angle(), 68));
+/// let compiler = Compiler::new(Schema::sdss(), sky, mapper);
+/// let q = compiler.compile(
+///     "SELECT ra, dec, g FROM PhotoObj WHERE CIRCLE(185.0, 15.3, 0.5) WITH TOLERANCE 10",
+/// )?;
+/// assert!(!q.objects.is_empty());
+/// assert!(q.estimate.bytes > 0);
+/// # Ok::<(), delta_query::QueryError>(())
+/// ```
+#[derive(Debug)]
+pub struct Compiler {
+    schema: Schema,
+    sky: SkyModel,
+    mapper: SpatialMapper,
+    samples: usize,
+}
+
+impl Compiler {
+    /// Creates a compiler over a schema, sky model and object partition.
+    pub fn new(schema: Schema, sky: SkyModel, mapper: SpatialMapper) -> Self {
+        Self { schema, sky, mapper, samples: 512 }
+    }
+
+    /// Overrides the density-integration sample budget (default 512).
+    ///
+    /// # Panics
+    /// Panics if `samples` is zero.
+    pub fn with_samples(mut self, samples: usize) -> Self {
+        assert!(samples > 0, "sample budget must be positive");
+        self.samples = samples;
+        self
+    }
+
+    /// The schema queries are validated against.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// The spatial mapper resolving footprints to objects.
+    pub fn mapper(&self) -> &SpatialMapper {
+        &self.mapper
+    }
+
+    /// Compiles one SQL query.
+    ///
+    /// # Errors
+    /// Returns [`QueryError`] when the text does not parse or does not
+    /// validate against the schema.
+    pub fn compile(&self, sql: &str) -> Result<CompiledQuery, QueryError> {
+        let parsed = parse(sql)?;
+        let analyzed = analyze(parsed, &self.schema)?;
+        let table = self.schema.table(&analyzed.query.table)?;
+        let estimator = Estimator::with_samples(&self.sky, self.samples);
+        let estimate = estimator.estimate(&analyzed, table);
+        let objects = self.mapper.objects_for(&analyzed.region);
+        Ok(CompiledQuery { analyzed, objects, estimate })
+    }
+
+    /// Compiles a batch of queries, assigning consecutive sequence
+    /// numbers starting at `first_seq`.
+    ///
+    /// # Errors
+    /// Fails on the first query that does not compile, reporting its
+    /// index alongside the error.
+    pub fn compile_batch(
+        &self,
+        sqls: &[&str],
+        first_seq: u64,
+    ) -> Result<Vec<QueryEvent>, (usize, QueryError)> {
+        sqls.iter()
+            .enumerate()
+            .map(|(i, sql)| {
+                self.compile(sql).map(|c| c.into_event(first_seq + i as u64)).map_err(|e| (i, e))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use delta_htm::Partition;
+    use delta_workload::QueryKind;
+
+    fn compiler() -> Compiler {
+        let sky = SkyModel::sdss_like(7, 12);
+        let mapper = SpatialMapper::new(Partition::adaptive(|t| t.solid_angle(), 68));
+        Compiler::new(Schema::sdss(), sky, mapper).with_samples(256)
+    }
+
+    #[test]
+    fn cone_query_maps_to_objects() {
+        let c = compiler();
+        let q = c.compile("SELECT ra FROM PhotoObj WHERE CIRCLE(185.0, 15.3, 0.5)").unwrap();
+        assert!(!q.objects.is_empty());
+        assert!(q.objects.len() < 68, "a half-degree cone is not the whole sky");
+        assert_eq!(q.analyzed.kind, QueryKind::Cone);
+    }
+
+    #[test]
+    fn footprint_objects_contain_the_center() {
+        let c = compiler();
+        let q = c.compile("SELECT ra FROM PhotoObj WHERE CIRCLE(200.0, -40.0, 1.0)").unwrap();
+        let center = c.mapper().object_at(delta_htm::Vec3::from_radec_deg(200.0, -40.0));
+        assert!(q.objects.contains(&center));
+    }
+
+    #[test]
+    fn all_sky_scan_touches_everything() {
+        let c = compiler();
+        let q = c.compile("SELECT ra FROM PhotoObj").unwrap();
+        assert_eq!(q.objects.len(), 68);
+        assert_eq!(q.analyzed.kind, QueryKind::Scan);
+    }
+
+    #[test]
+    fn tolerance_flows_into_event() {
+        let c = compiler();
+        let ev = c
+            .compile("SELECT ra FROM PhotoObj WHERE CIRCLE(10, 10, 1) WITH TOLERANCE 42")
+            .unwrap()
+            .into_event(1000);
+        assert_eq!(ev.seq, 1000);
+        assert_eq!(ev.tolerance, 42);
+        assert!(ev.result_bytes > 0);
+    }
+
+    #[test]
+    fn batch_compilation_sequences_events() {
+        let c = compiler();
+        let evs = c
+            .compile_batch(
+                &[
+                    "SELECT ra FROM PhotoObj WHERE CIRCLE(10, 10, 1)",
+                    "SELECT COUNT(*) FROM PhotoObj WHERE RECT(10, -5, 20, 5)",
+                ],
+                5,
+            )
+            .unwrap();
+        assert_eq!(evs.len(), 2);
+        assert_eq!(evs[0].seq, 5);
+        assert_eq!(evs[1].seq, 6);
+        assert_eq!(evs[1].kind, QueryKind::Aggregate);
+    }
+
+    #[test]
+    fn batch_reports_failing_index() {
+        let c = compiler();
+        let err = c
+            .compile_batch(
+                &["SELECT ra FROM PhotoObj", "SELECT zap FROM PhotoObj"],
+                0,
+            )
+            .unwrap_err();
+        assert_eq!(err.0, 1);
+    }
+
+    #[test]
+    fn parse_errors_surface() {
+        let c = compiler();
+        assert!(matches!(c.compile("SELEC oops"), Err(QueryError::Parse(_))));
+        assert!(matches!(
+            c.compile("SELECT ra FROM NoTable"),
+            Err(QueryError::Analyze(_))
+        ));
+    }
+
+    #[test]
+    fn wider_cone_costs_more() {
+        let c = compiler();
+        let narrow =
+            c.compile("SELECT * FROM PhotoObj WHERE CIRCLE(185, 15, 0.2)").unwrap().estimate;
+        let wide =
+            c.compile("SELECT * FROM PhotoObj WHERE CIRCLE(185, 15, 2.0)").unwrap().estimate;
+        assert!(wide.bytes > narrow.bytes);
+    }
+}

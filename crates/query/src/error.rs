@@ -1,0 +1,141 @@
+//! Error types for the query frontend.
+
+use std::fmt;
+
+/// A byte range in the query source.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Span {
+    /// First byte of the offending text.
+    pub start: usize,
+    /// One past the last byte.
+    pub end: usize,
+}
+
+impl Span {
+    /// A zero-width span at a position.
+    pub fn at(pos: usize) -> Self {
+        Span { start: pos, end: pos }
+    }
+}
+
+/// Error raised while lexing or parsing a query.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    message: String,
+    span: Span,
+}
+
+impl ParseError {
+    /// Creates an error with a message and source span.
+    pub fn new(message: impl Into<String>, span: Span) -> Self {
+        Self { message: message.into(), span }
+    }
+
+    /// The source span the error points at.
+    pub fn span(&self) -> Span {
+        self.span
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} at byte {}..{}", self.message, self.span.start, self.span.end)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Error raised while semantically analyzing a parsed query against the
+/// schema (unknown tables/columns, type mismatches, invalid geometry).
+#[derive(Clone, Debug, PartialEq)]
+pub enum AnalyzeError {
+    /// The FROM table is not in the schema.
+    UnknownTable(String),
+    /// A referenced column is not in the table.
+    UnknownColumn {
+        /// The column name as written.
+        column: String,
+        /// The table searched.
+        table: String,
+    },
+    /// A geometric argument is out of range (e.g. negative radius).
+    InvalidGeometry(String),
+    /// The query carries contradictory constraints (e.g. an empty BETWEEN).
+    EmptyPredicate(String),
+}
+
+impl fmt::Display for AnalyzeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AnalyzeError::UnknownTable(t) => write!(f, "unknown table `{t}`"),
+            AnalyzeError::UnknownColumn { column, table } => {
+                write!(f, "unknown column `{column}` in table `{table}`")
+            }
+            AnalyzeError::InvalidGeometry(m) => write!(f, "invalid geometry: {m}"),
+            AnalyzeError::EmptyPredicate(m) => write!(f, "empty predicate: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for AnalyzeError {}
+
+/// Any error the frontend can produce for a query text.
+#[derive(Clone, Debug, PartialEq)]
+pub enum QueryError {
+    /// Lexing/parsing failed.
+    Parse(ParseError),
+    /// Semantic analysis failed.
+    Analyze(AnalyzeError),
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryError::Parse(e) => write!(f, "parse error: {e}"),
+            QueryError::Analyze(e) => write!(f, "analyze error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            QueryError::Parse(e) => Some(e),
+            QueryError::Analyze(e) => Some(e),
+        }
+    }
+}
+
+impl From<ParseError> for QueryError {
+    fn from(e: ParseError) -> Self {
+        QueryError::Parse(e)
+    }
+}
+
+impl From<AnalyzeError> for QueryError {
+    fn from(e: AnalyzeError) -> Self {
+        QueryError::Analyze(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        let p = ParseError::new("boom", Span { start: 3, end: 5 });
+        assert_eq!(p.to_string(), "boom at byte 3..5");
+        let a = AnalyzeError::UnknownColumn { column: "zz".into(), table: "PhotoObj".into() };
+        assert_eq!(a.to_string(), "unknown column `zz` in table `PhotoObj`");
+        let q: QueryError = a.into();
+        assert!(q.to_string().starts_with("analyze error"));
+    }
+
+    #[test]
+    fn error_sources_chain() {
+        use std::error::Error;
+        let q: QueryError = ParseError::new("x", Span::at(0)).into();
+        assert!(q.source().is_some());
+    }
+}

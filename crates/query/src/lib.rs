@@ -1,0 +1,57 @@
+//! # delta-query — the SQL semantic frontend for Delta
+//!
+//! §4 of the paper notes that "an implementation of VCover requires a
+//! semantic framework that determines the mapping between the query, q,
+//! and the data objects, B(q), it accesses … in astronomy, queries
+//! specify a spatial region and objects are also spatially partitioned."
+//! This crate is that framework: a parser and analyzer for the
+//! SkyServer-style SQL subset the SDSS trace consists of, producing for
+//! each query text
+//!
+//! * the **footprint** (a [`delta_htm::Region`]),
+//! * the **object set** `B(q)` under a given HTM partition,
+//! * an estimated **result size** ν(q) (density-integrated cardinality ×
+//!   projected row width),
+//! * the **currency requirement** `t(q)` (`WITH TOLERANCE n`), and
+//! * the workload **classification** of §6.1 (cone / range / self-join /
+//!   aggregate / scan / selection).
+//!
+//! ```
+//! use delta_query::{Compiler, Schema};
+//! use delta_htm::Partition;
+//! use delta_storage::SpatialMapper;
+//! use delta_workload::SkyModel;
+//!
+//! let compiler = Compiler::new(
+//!     Schema::sdss(),
+//!     SkyModel::sdss_like(7, 12),
+//!     SpatialMapper::new(Partition::adaptive(|t| t.solid_angle(), 68)),
+//! );
+//! let event = compiler
+//!     .compile("SELECT TOP 100 ra, dec, g FROM PhotoObj \
+//!               WHERE CONTAINS(POINT('J2000', 185.0, 15.3), CIRCLE('J2000', 185.0, 15.3, 0.25)) = 1 \
+//!               AND g BETWEEN 17 AND 20 WITH TOLERANCE 50")?
+//!     .into_event(0);
+//! assert_eq!(event.tolerance, 50);
+//! # Ok::<(), delta_query::QueryError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod analyze;
+pub mod ast;
+pub mod compile;
+pub mod error;
+pub mod estimate;
+pub mod parser;
+pub mod schema;
+pub mod token;
+
+pub use analyze::{analyze, AnalyzedQuery};
+pub use ast::{CmpOp, Predicate, Projection, Query, Shape};
+pub use compile::{CompiledQuery, Compiler};
+pub use error::{AnalyzeError, ParseError, QueryError};
+pub use estimate::{Estimator, SizeEstimate};
+pub use parser::parse;
+pub use schema::{Column, Schema, Table};

@@ -1,0 +1,492 @@
+//! Recursive-descent parser for the SkyServer-style SQL subset.
+
+use crate::ast::{CmpOp, Predicate, Projection, Query, Shape};
+use crate::error::{ParseError, Span};
+use crate::token::{tokenize, Keyword, SpannedToken, Token};
+
+/// Parses one query.
+///
+/// # Errors
+/// Returns [`ParseError`] with a source span when the text is not a valid
+/// query of the subset.
+///
+/// ```
+/// let q = delta_query::parse(
+///     "SELECT ra, dec FROM PhotoObj WHERE CIRCLE(185.0, 15.3, 0.25) AND g < 20",
+/// )?;
+/// assert_eq!(q.table, "PhotoObj");
+/// assert_eq!(q.predicates.len(), 2);
+/// # Ok::<(), delta_query::ParseError>(())
+/// ```
+pub fn parse(input: &str) -> Result<Query, ParseError> {
+    let tokens = tokenize(input)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let q = p.query()?;
+    p.expect_eof()?;
+    Ok(q)
+}
+
+struct Parser {
+    tokens: Vec<SpannedToken>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos].token
+    }
+
+    fn span(&self) -> Span {
+        self.tokens[self.pos].span
+    }
+
+    fn bump(&mut self) -> Token {
+        let t = self.tokens[self.pos].token.clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat_keyword(&mut self, k: Keyword) -> bool {
+        if self.peek() == &Token::Keyword(k) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_keyword(&mut self, k: Keyword) -> Result<(), ParseError> {
+        if self.eat_keyword(k) {
+            Ok(())
+        } else {
+            Err(ParseError::new(format!("expected {k:?}, found {}", self.peek()), self.span()))
+        }
+    }
+
+    fn expect(&mut self, t: Token) -> Result<(), ParseError> {
+        if self.peek() == &t {
+            self.bump();
+            Ok(())
+        } else {
+            Err(ParseError::new(format!("expected {t}, found {}", self.peek()), self.span()))
+        }
+    }
+
+    fn expect_eof(&mut self) -> Result<(), ParseError> {
+        match self.peek() {
+            Token::Eof => Ok(()),
+            other => {
+                Err(ParseError::new(format!("unexpected trailing {other}"), self.span()))
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<f64, ParseError> {
+        match self.peek().clone() {
+            Token::Number(n) => {
+                self.bump();
+                Ok(n)
+            }
+            other => Err(ParseError::new(format!("expected number, found {other}"), self.span())),
+        }
+    }
+
+    fn unsigned_int(&mut self, what: &str) -> Result<u64, ParseError> {
+        let span = self.span();
+        let n = self.number()?;
+        if n < 0.0 || n.fract() != 0.0 || n > u64::MAX as f64 {
+            return Err(ParseError::new(
+                format!("{what} must be a non-negative integer, got `{n}`"),
+                span,
+            ));
+        }
+        Ok(n as u64)
+    }
+
+    fn ident(&mut self, what: &str) -> Result<String, ParseError> {
+        match self.peek().clone() {
+            Token::Ident(s) => {
+                self.bump();
+                Ok(s)
+            }
+            other => {
+                Err(ParseError::new(format!("expected {what}, found {other}"), self.span()))
+            }
+        }
+    }
+
+    /// A column reference, optionally alias-qualified (`p.ra` → `ra`).
+    fn column(&mut self) -> Result<String, ParseError> {
+        let first = self.ident("column name")?;
+        if self.peek() == &Token::Dot {
+            self.bump();
+            self.ident("column name after `.`")
+        } else {
+            Ok(first)
+        }
+    }
+
+    fn query(&mut self) -> Result<Query, ParseError> {
+        self.expect_keyword(Keyword::Select)?;
+        let top = if self.eat_keyword(Keyword::Top) {
+            Some(self.unsigned_int("TOP count")?)
+        } else {
+            None
+        };
+        let projection = self.projection()?;
+        self.expect_keyword(Keyword::From)?;
+        let table = self.ident("table name")?;
+        let alias = match self.peek().clone() {
+            Token::Ident(a) => {
+                self.bump();
+                Some(a)
+            }
+            Token::Keyword(Keyword::As) => {
+                self.bump();
+                Some(self.ident("alias after AS")?)
+            }
+            _ => None,
+        };
+        let mut predicates = Vec::new();
+        if self.eat_keyword(Keyword::Where) {
+            predicates.push(self.conjunct()?);
+            while self.eat_keyword(Keyword::And) {
+                predicates.push(self.conjunct()?);
+            }
+        }
+        let tolerance = if self.eat_keyword(Keyword::With) {
+            self.expect_keyword(Keyword::Tolerance)?;
+            Some(self.unsigned_int("TOLERANCE")?)
+        } else {
+            None
+        };
+        Ok(Query { projection, top, table, alias, predicates, tolerance })
+    }
+
+    fn projection(&mut self) -> Result<Projection, ParseError> {
+        match self.peek().clone() {
+            Token::Star => {
+                self.bump();
+                Ok(Projection::All)
+            }
+            Token::Keyword(Keyword::Count) => {
+                self.bump();
+                self.expect(Token::LParen)?;
+                self.expect(Token::Star)?;
+                self.expect(Token::RParen)?;
+                Ok(Projection::Count)
+            }
+            _ => {
+                let mut cols = vec![self.column()?];
+                while self.peek() == &Token::Comma {
+                    self.bump();
+                    cols.push(self.column()?);
+                }
+                Ok(Projection::Columns(cols))
+            }
+        }
+    }
+
+    fn conjunct(&mut self) -> Result<Predicate, ParseError> {
+        if self.peek() == &Token::LParen {
+            // Parenthesized disjunction group: ( p OR p [OR p ...] ).
+            self.bump();
+            let mut arms = vec![self.simple_predicate()?];
+            while self.eat_keyword(Keyword::Or) {
+                arms.push(self.simple_predicate()?);
+            }
+            self.expect(Token::RParen)?;
+            return Ok(if arms.len() == 1 {
+                arms.pop().expect("one arm")
+            } else {
+                Predicate::AnyOf(arms)
+            });
+        }
+        self.simple_predicate()
+    }
+
+    fn simple_predicate(&mut self) -> Result<Predicate, ParseError> {
+        match self.peek().clone() {
+            Token::Keyword(Keyword::Contains) => {
+                self.bump();
+                self.expect(Token::LParen)?;
+                // POINT(...) is descriptive only: the shape that follows
+                // defines the footprint, matching SkyServer usage.
+                self.point()?;
+                self.expect(Token::Comma)?;
+                let shape = self.shape()?;
+                self.expect(Token::RParen)?;
+                // SkyServer writes `CONTAINS(...) = 1`; accept and ignore.
+                if self.peek() == &Token::Eq {
+                    self.bump();
+                    self.number()?;
+                }
+                Ok(Predicate::Spatial(shape))
+            }
+            Token::Keyword(Keyword::Circle)
+            | Token::Keyword(Keyword::Rect)
+            | Token::Keyword(Keyword::Neighbors) => Ok(Predicate::Spatial(self.shape()?)),
+            _ => {
+                let column = self.column()?;
+                if self.eat_keyword(Keyword::Between) {
+                    let span = self.span();
+                    let lo = self.number()?;
+                    self.expect_keyword(Keyword::And)?;
+                    let hi = self.number()?;
+                    if lo > hi {
+                        return Err(ParseError::new(
+                            format!("BETWEEN bounds are inverted ({lo} > {hi})"),
+                            span,
+                        ));
+                    }
+                    Ok(Predicate::Between { column, lo, hi })
+                } else {
+                    let op = self.cmp_op()?;
+                    let value = self.number()?;
+                    Ok(Predicate::Compare { column, op, value })
+                }
+            }
+        }
+    }
+
+    fn cmp_op(&mut self) -> Result<CmpOp, ParseError> {
+        let op = match self.peek() {
+            Token::Eq => CmpOp::Eq,
+            Token::Lt => CmpOp::Lt,
+            Token::Gt => CmpOp::Gt,
+            Token::Le => CmpOp::Le,
+            Token::Ge => CmpOp::Ge,
+            Token::Ne => CmpOp::Ne,
+            other => {
+                return Err(ParseError::new(
+                    format!("expected comparison operator, found {other}"),
+                    self.span(),
+                ))
+            }
+        };
+        self.bump();
+        Ok(op)
+    }
+
+    fn point(&mut self) -> Result<(f64, f64), ParseError> {
+        self.expect_keyword(Keyword::Point)?;
+        self.expect(Token::LParen)?;
+        self.skip_frame_tag();
+        let ra = self.number()?;
+        self.expect(Token::Comma)?;
+        let dec = self.number()?;
+        self.expect(Token::RParen)?;
+        Ok((ra, dec))
+    }
+
+    /// Optional leading `'J2000',` coordinate-frame tag inside geometry
+    /// functions, as in SkyServer.
+    fn skip_frame_tag(&mut self) {
+        if let Token::Str(_) = self.peek() {
+            self.bump();
+            if self.peek() == &Token::Comma {
+                self.bump();
+            }
+        }
+    }
+
+    fn shape(&mut self) -> Result<Shape, ParseError> {
+        match self.bump() {
+            Token::Keyword(Keyword::Circle) => {
+                self.expect(Token::LParen)?;
+                self.skip_frame_tag();
+                let ra = self.number()?;
+                self.expect(Token::Comma)?;
+                let dec = self.number()?;
+                self.expect(Token::Comma)?;
+                let radius_deg = self.number()?;
+                self.expect(Token::RParen)?;
+                Ok(Shape::Circle { ra, dec, radius_deg })
+            }
+            Token::Keyword(Keyword::Rect) => {
+                self.expect(Token::LParen)?;
+                self.skip_frame_tag();
+                let ra_min = self.number()?;
+                self.expect(Token::Comma)?;
+                let dec_min = self.number()?;
+                self.expect(Token::Comma)?;
+                let ra_max = self.number()?;
+                self.expect(Token::Comma)?;
+                let dec_max = self.number()?;
+                self.expect(Token::RParen)?;
+                Ok(Shape::Rect { ra_min, dec_min, ra_max, dec_max })
+            }
+            Token::Keyword(Keyword::Neighbors) => {
+                self.expect(Token::LParen)?;
+                self.skip_frame_tag();
+                let ra = self.number()?;
+                self.expect(Token::Comma)?;
+                let dec = self.number()?;
+                self.expect(Token::Comma)?;
+                let radius_deg = self.number()?;
+                self.expect(Token::RParen)?;
+                Ok(Shape::Neighbors { ra, dec, radius_deg })
+            }
+            other => Err(ParseError::new(
+                format!("expected CIRCLE, RECT or NEIGHBORS, found {other}"),
+                self.span(),
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimal_query() {
+        let q = parse("SELECT * FROM PhotoObj").unwrap();
+        assert_eq!(q.projection, Projection::All);
+        assert_eq!(q.table, "PhotoObj");
+        assert!(q.predicates.is_empty());
+        assert_eq!(q.tolerance, None);
+    }
+
+    #[test]
+    fn full_query() {
+        let q = parse(
+            "SELECT TOP 50 p.ra, p.dec, p.g FROM PhotoObj AS p \
+             WHERE CONTAINS(POINT('J2000', 185.0, 15.3), CIRCLE('J2000', 185.0, 15.3, 0.25)) = 1 \
+             AND p.g BETWEEN 17 AND 20 AND p.type = 6 WITH TOLERANCE 100",
+        )
+        .unwrap();
+        assert_eq!(q.top, Some(50));
+        assert_eq!(q.alias.as_deref(), Some("p"));
+        assert_eq!(q.predicates.len(), 3);
+        assert_eq!(q.tolerance, Some(100));
+        assert!(matches!(q.predicates[0], Predicate::Spatial(Shape::Circle { .. })));
+    }
+
+    #[test]
+    fn count_star() {
+        let q = parse("SELECT COUNT(*) FROM PhotoObj WHERE RECT(10, -5, 20, 5)").unwrap();
+        assert_eq!(q.projection, Projection::Count);
+        assert!(matches!(q.predicates[0], Predicate::Spatial(Shape::Rect { .. })));
+    }
+
+    #[test]
+    fn neighbors_shape() {
+        let q = parse("SELECT * FROM PhotoObj WHERE NEIGHBORS(185.0, 15.3, 0.05)").unwrap();
+        assert!(matches!(q.predicates[0], Predicate::Spatial(Shape::Neighbors { .. })));
+    }
+
+    #[test]
+    fn bare_circle_without_contains() {
+        let q = parse("SELECT ra FROM PhotoObj WHERE CIRCLE(1.0, 2.0, 3.0)").unwrap();
+        assert_eq!(
+            q.predicates[0],
+            Predicate::Spatial(Shape::Circle { ra: 1.0, dec: 2.0, radius_deg: 3.0 })
+        );
+    }
+
+    #[test]
+    fn comparison_operators_all_parse() {
+        for (text, op) in [
+            ("=", CmpOp::Eq),
+            ("<", CmpOp::Lt),
+            (">", CmpOp::Gt),
+            ("<=", CmpOp::Le),
+            (">=", CmpOp::Ge),
+            ("<>", CmpOp::Ne),
+            ("!=", CmpOp::Ne),
+        ] {
+            let q = parse(&format!("SELECT ra FROM PhotoObj WHERE g {text} 20")).unwrap();
+            assert_eq!(
+                q.predicates[0],
+                Predicate::Compare { column: "g".into(), op, value: 20.0 },
+                "operator {text}"
+            );
+        }
+    }
+
+    #[test]
+    fn inverted_between_rejected() {
+        let err = parse("SELECT ra FROM PhotoObj WHERE g BETWEEN 20 AND 10").unwrap_err();
+        assert!(err.to_string().contains("inverted"));
+    }
+
+    #[test]
+    fn fractional_top_rejected() {
+        let err = parse("SELECT TOP 1.5 ra FROM PhotoObj").unwrap_err();
+        assert!(err.to_string().contains("non-negative integer"));
+    }
+
+    #[test]
+    fn trailing_tokens_rejected() {
+        let err = parse("SELECT * FROM PhotoObj garbage garbage").unwrap_err();
+        assert!(err.to_string().contains("trailing"));
+    }
+
+    #[test]
+    fn missing_from_rejected() {
+        assert!(parse("SELECT ra WHERE g < 10").is_err());
+    }
+
+    #[test]
+    fn negative_coordinates_parse() {
+        let q = parse("SELECT * FROM PhotoObj WHERE CIRCLE(310.25, -12.5, 0.1)").unwrap();
+        assert_eq!(
+            q.predicates[0],
+            Predicate::Spatial(Shape::Circle { ra: 310.25, dec: -12.5, radius_deg: 0.1 })
+        );
+    }
+
+    #[test]
+    fn display_round_trips() {
+        let texts = [
+            "SELECT * FROM PhotoObj",
+            "SELECT COUNT(*) FROM PhotoObj WHERE RECT(10, -5, 20, 5)",
+            "SELECT TOP 10 ra, dec FROM PhotoObj p WHERE CIRCLE(1, 2, 3) AND g < 20 \
+             WITH TOLERANCE 7",
+        ];
+        for t in texts {
+            let q1 = parse(t).unwrap();
+            let q2 = parse(&q1.to_string()).unwrap();
+            assert_eq!(q1, q2, "round-trip of `{t}`");
+        }
+    }
+}
+#[cfg(test)]
+mod or_tests {
+    use super::*;
+
+    #[test]
+    fn disjunction_group_parses() {
+        let q = parse(
+            "SELECT ra FROM PhotoObj WHERE CIRCLE(10, 10, 1) AND (g < 18 OR r < 17 OR i < 16)",
+        )
+        .unwrap();
+        assert_eq!(q.predicates.len(), 2);
+        match &q.predicates[1] {
+            Predicate::AnyOf(arms) => assert_eq!(arms.len(), 3),
+            other => panic!("expected AnyOf, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn single_arm_parentheses_collapse() {
+        let q = parse("SELECT ra FROM PhotoObj WHERE (g < 18)").unwrap();
+        assert!(matches!(q.predicates[0], Predicate::Compare { .. }));
+    }
+
+    #[test]
+    fn disjunction_round_trips_through_display() {
+        let sql = "SELECT ra FROM PhotoObj WHERE (g < 18 OR r BETWEEN 15 AND 17)";
+        let q1 = parse(sql).unwrap();
+        let q2 = parse(&q1.to_string()).unwrap();
+        assert_eq!(q1, q2);
+    }
+
+    #[test]
+    fn unclosed_group_rejected() {
+        assert!(parse("SELECT ra FROM PhotoObj WHERE (g < 18 OR r < 17").is_err());
+    }
+}

@@ -1,0 +1,199 @@
+//! Logical schema: tables, columns, row widths and value ranges.
+//!
+//! The Delta paper runs against the SDSS `PhotoObj` table — "data about
+//! each astronomical body including its spatial location and about 700
+//! other physical attributes", roughly 1 TB (§6.1). The schema here
+//! supplies exactly what the frontend needs from that world: column
+//! existence (validation), per-column byte widths (result-size
+//! estimation) and value ranges (selectivity estimation).
+
+use crate::error::AnalyzeError;
+
+/// A column of a table.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Column {
+    /// Column name (matched case-insensitively).
+    pub name: &'static str,
+    /// Bytes per value in a shipped result row.
+    pub width: u32,
+    /// Smallest value the column takes (for selectivity).
+    pub min: f64,
+    /// Largest value the column takes.
+    pub max: f64,
+}
+
+/// A table of the schema.
+#[derive(Clone, Debug)]
+pub struct Table {
+    /// Table name (matched case-insensitively).
+    pub name: &'static str,
+    /// Declared columns. `PhotoObj`'s "700 other attributes" beyond these
+    /// are modeled by [`Table::hidden_width`].
+    pub columns: Vec<Column>,
+    /// Extra bytes per row for `SELECT *` beyond the declared columns,
+    /// standing in for the long tail of physical attributes.
+    pub hidden_width: u32,
+    /// Total number of rows in the table (for cardinality estimates).
+    pub rows: u64,
+}
+
+impl Table {
+    /// Looks up a column case-insensitively.
+    pub fn column(&self, name: &str) -> Option<&Column> {
+        self.columns.iter().find(|c| c.name.eq_ignore_ascii_case(name))
+    }
+
+    /// Bytes of one full row (`SELECT *`).
+    pub fn full_row_width(&self) -> u64 {
+        self.columns.iter().map(|c| c.width as u64).sum::<u64>() + self.hidden_width as u64
+    }
+
+    /// Bytes of one row restricted to `cols`.
+    ///
+    /// # Errors
+    /// Returns [`AnalyzeError::UnknownColumn`] if any name is not in the
+    /// table.
+    pub fn projected_row_width(&self, cols: &[String]) -> Result<u64, AnalyzeError> {
+        let mut w = 0u64;
+        for c in cols {
+            let col = self.column(c).ok_or_else(|| AnalyzeError::UnknownColumn {
+                column: c.clone(),
+                table: self.name.to_string(),
+            })?;
+            w += col.width as u64;
+        }
+        Ok(w)
+    }
+}
+
+/// The schema: a set of tables.
+#[derive(Clone, Debug)]
+pub struct Schema {
+    tables: Vec<Table>,
+}
+
+impl Schema {
+    /// A schema with the given tables.
+    pub fn new(tables: Vec<Table>) -> Self {
+        Self { tables }
+    }
+
+    /// The SDSS-like default schema the paper's workload runs against:
+    /// `PhotoObj` (primary photometric table; 98 % of trace queries) and
+    /// `SpecObj` (spectroscopic detections; SkyServer's second most
+    /// queried table).
+    pub fn sdss() -> Self {
+        let photoobj = Table {
+            name: "PhotoObj",
+            columns: vec![
+                col("objID", 8, 0.0, 1.0e18),
+                col("ra", 8, 0.0, 360.0),
+                col("dec", 8, -90.0, 90.0),
+                // ugriz PSF magnitudes: SDSS detection limits roughly 14–24.
+                col("u", 4, 14.0, 24.0),
+                col("g", 4, 14.0, 24.0),
+                col("r", 4, 14.0, 24.0),
+                col("i", 4, 14.0, 24.0),
+                col("z", 4, 14.0, 24.0),
+                // Morphological type code: 0..=9 (3 = galaxy, 6 = star).
+                col("type", 4, 0.0, 9.0),
+                col("flags", 8, 0.0, 1.0e18),
+                col("psfMag_r", 4, 14.0, 24.0),
+                col("petroRad_r", 4, 0.0, 60.0),
+                col("extinction_r", 4, 0.0, 2.0),
+                col("run", 4, 0.0, 9000.0),
+                col("camcol", 4, 1.0, 6.0),
+                col("field", 4, 0.0, 1000.0),
+                col("mjd", 8, 50000.0, 60000.0),
+                col("htmID", 8, 0.0, 1.0e18),
+            ],
+            // ~700 attributes at ~4 bytes each beyond the declared ones.
+            hidden_width: 2800,
+            // ~300M photometric objects (DR7-era PhotoObj).
+            rows: 300_000_000,
+        };
+        let specobj = Table {
+            name: "SpecObj",
+            columns: vec![
+                col("specObjID", 8, 0.0, 1.0e18),
+                col("ra", 8, 0.0, 360.0),
+                col("dec", 8, -90.0, 90.0),
+                col("z", 4, -0.01, 7.0),
+                col("zErr", 4, 0.0, 1.0),
+                col("class", 4, 0.0, 3.0),
+                col("mjd", 8, 50000.0, 60000.0),
+            ],
+            hidden_width: 400,
+            rows: 1_600_000,
+        };
+        Self::new(vec![photoobj, specobj])
+    }
+
+    /// Looks up a table case-insensitively.
+    ///
+    /// # Errors
+    /// Returns [`AnalyzeError::UnknownTable`] when absent.
+    pub fn table(&self, name: &str) -> Result<&Table, AnalyzeError> {
+        self.tables
+            .iter()
+            .find(|t| t.name.eq_ignore_ascii_case(name))
+            .ok_or_else(|| AnalyzeError::UnknownTable(name.to_string()))
+    }
+
+    /// Iterates over the tables.
+    pub fn tables(&self) -> impl Iterator<Item = &Table> {
+        self.tables.iter()
+    }
+}
+
+impl Default for Schema {
+    fn default() -> Self {
+        Self::sdss()
+    }
+}
+
+fn col(name: &'static str, width: u32, min: f64, max: f64) -> Column {
+    Column { name, width, min, max }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn photoobj_lookup_is_case_insensitive() {
+        let s = Schema::sdss();
+        assert!(s.table("photoobj").is_ok());
+        assert!(s.table("PHOTOOBJ").is_ok());
+        assert!(matches!(s.table("NoSuch"), Err(AnalyzeError::UnknownTable(_))));
+    }
+
+    #[test]
+    fn column_lookup_and_width() {
+        let s = Schema::sdss();
+        let t = s.table("PhotoObj").unwrap();
+        assert!(t.column("RA").is_some());
+        assert!(t.column("nope").is_none());
+        let w = t.projected_row_width(&["ra".into(), "dec".into(), "g".into()]).unwrap();
+        assert_eq!(w, 8 + 8 + 4);
+        assert!(t.full_row_width() > 2800, "hidden attributes dominate SELECT *");
+    }
+
+    #[test]
+    fn unknown_projection_column_is_an_error() {
+        let s = Schema::sdss();
+        let t = s.table("PhotoObj").unwrap();
+        let err = t.projected_row_width(&["ra".into(), "bogus".into()]).unwrap_err();
+        assert!(matches!(err, AnalyzeError::UnknownColumn { .. }));
+    }
+
+    #[test]
+    fn magnitude_ranges_are_sane() {
+        let s = Schema::sdss();
+        let t = s.table("PhotoObj").unwrap();
+        for band in ["u", "g", "r", "i", "z"] {
+            let c = t.column(band).unwrap();
+            assert!(c.min < c.max, "band {band}");
+        }
+    }
+}

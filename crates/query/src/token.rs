@@ -1,0 +1,360 @@
+//! Lexer for the SkyServer-style SQL subset.
+//!
+//! Keywords are case-insensitive, as in SQL. Identifiers keep their
+//! original spelling (SDSS column names are case-sensitive only by
+//! convention; we compare case-insensitively in the schema layer).
+
+use crate::error::{ParseError, Span};
+use std::fmt;
+
+/// A lexical token.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Token {
+    /// Case-insensitive SQL keyword.
+    Keyword(Keyword),
+    /// Identifier (table, column or alias name).
+    Ident(String),
+    /// Numeric literal (integers are parsed as floats; the parser
+    /// re-validates integrality where the grammar requires it).
+    Number(f64),
+    /// Single-quoted string literal (used for coordinate-system tags like
+    /// `'J2000'`, which we accept and ignore, as SkyServer does).
+    Str(String),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `,`
+    Comma,
+    /// `*`
+    Star,
+    /// `.` (qualified names such as `p.ra`)
+    Dot,
+    /// `=`
+    Eq,
+    /// `<`
+    Lt,
+    /// `>`
+    Gt,
+    /// `<=`
+    Le,
+    /// `>=`
+    Ge,
+    /// `<>` or `!=`
+    Ne,
+    /// End of input.
+    Eof,
+}
+
+/// The reserved words of the subset.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum Keyword {
+    Select,
+    Top,
+    Count,
+    From,
+    Where,
+    And,
+    Or,
+    Between,
+    With,
+    Tolerance,
+    Contains,
+    Point,
+    Circle,
+    Rect,
+    As,
+    Neighbors,
+}
+
+impl Keyword {
+    fn from_str(s: &str) -> Option<Keyword> {
+        Some(match s.to_ascii_uppercase().as_str() {
+            "SELECT" => Keyword::Select,
+            "TOP" => Keyword::Top,
+            "COUNT" => Keyword::Count,
+            "FROM" => Keyword::From,
+            "WHERE" => Keyword::Where,
+            "AND" => Keyword::And,
+            "OR" => Keyword::Or,
+            "BETWEEN" => Keyword::Between,
+            "WITH" => Keyword::With,
+            "TOLERANCE" => Keyword::Tolerance,
+            "CONTAINS" => Keyword::Contains,
+            "POINT" => Keyword::Point,
+            "CIRCLE" => Keyword::Circle,
+            "RECT" => Keyword::Rect,
+            "AS" => Keyword::As,
+            "NEIGHBORS" => Keyword::Neighbors,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Keyword(k) => write!(f, "{k:?}"),
+            Token::Ident(s) => write!(f, "identifier `{s}`"),
+            Token::Number(n) => write!(f, "number `{n}`"),
+            Token::Str(s) => write!(f, "string '{s}'"),
+            Token::LParen => write!(f, "`(`"),
+            Token::RParen => write!(f, "`)`"),
+            Token::Comma => write!(f, "`,`"),
+            Token::Star => write!(f, "`*`"),
+            Token::Dot => write!(f, "`.`"),
+            Token::Eq => write!(f, "`=`"),
+            Token::Lt => write!(f, "`<`"),
+            Token::Gt => write!(f, "`>`"),
+            Token::Le => write!(f, "`<=`"),
+            Token::Ge => write!(f, "`>=`"),
+            Token::Ne => write!(f, "`<>`"),
+            Token::Eof => write!(f, "end of input"),
+        }
+    }
+}
+
+/// A token plus the byte range it came from (for error reporting).
+#[derive(Clone, Debug, PartialEq)]
+pub struct SpannedToken {
+    /// The token.
+    pub token: Token,
+    /// Source byte range.
+    pub span: Span,
+}
+
+/// Tokenizes `input` into a vector ending with [`Token::Eof`].
+///
+/// # Errors
+/// Returns [`ParseError`] on unterminated strings, malformed numbers or
+/// characters outside the subset.
+pub fn tokenize(input: &str) -> Result<Vec<SpannedToken>, ParseError> {
+    let bytes = input.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        let start = i;
+        match c {
+            c if c.is_ascii_whitespace() => {
+                i += 1;
+            }
+            '-' if i + 1 < bytes.len() && bytes[i + 1] == b'-' => {
+                // SQL line comment.
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '(' => {
+                out.push(tok(Token::LParen, start, i + 1));
+                i += 1;
+            }
+            ')' => {
+                out.push(tok(Token::RParen, start, i + 1));
+                i += 1;
+            }
+            ',' => {
+                out.push(tok(Token::Comma, start, i + 1));
+                i += 1;
+            }
+            '*' => {
+                out.push(tok(Token::Star, start, i + 1));
+                i += 1;
+            }
+            '.' if i + 1 >= bytes.len() || !bytes[i + 1].is_ascii_digit() => {
+                out.push(tok(Token::Dot, start, i + 1));
+                i += 1;
+            }
+            '=' => {
+                out.push(tok(Token::Eq, start, i + 1));
+                i += 1;
+            }
+            '!' if i + 1 < bytes.len() && bytes[i + 1] == b'=' => {
+                out.push(tok(Token::Ne, start, i + 2));
+                i += 2;
+            }
+            '<' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    out.push(tok(Token::Le, start, i + 2));
+                    i += 2;
+                } else if i + 1 < bytes.len() && bytes[i + 1] == b'>' {
+                    out.push(tok(Token::Ne, start, i + 2));
+                    i += 2;
+                } else {
+                    out.push(tok(Token::Lt, start, i + 1));
+                    i += 1;
+                }
+            }
+            '>' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    out.push(tok(Token::Ge, start, i + 2));
+                    i += 2;
+                } else {
+                    out.push(tok(Token::Gt, start, i + 1));
+                    i += 1;
+                }
+            }
+            '\'' => {
+                let mut j = i + 1;
+                while j < bytes.len() && bytes[j] != b'\'' {
+                    j += 1;
+                }
+                if j >= bytes.len() {
+                    return Err(ParseError::new(
+                        "unterminated string literal",
+                        Span { start, end: bytes.len() },
+                    ));
+                }
+                out.push(tok(Token::Str(input[i + 1..j].to_string()), start, j + 1));
+                i = j + 1;
+            }
+            c if c.is_ascii_digit()
+                || (c == '-' || c == '+' || c == '.')
+                    && i + 1 < bytes.len()
+                    && (bytes[i + 1].is_ascii_digit() || bytes[i + 1] == b'.') =>
+            {
+                let mut j = i + 1;
+                let mut seen_e = false;
+                while j < bytes.len() {
+                    let d = bytes[j] as char;
+                    if d.is_ascii_digit() || d == '.' {
+                        j += 1;
+                    } else if (d == 'e' || d == 'E') && !seen_e {
+                        seen_e = true;
+                        j += 1;
+                        if j < bytes.len() && (bytes[j] == b'-' || bytes[j] == b'+') {
+                            j += 1;
+                        }
+                    } else {
+                        break;
+                    }
+                }
+                let text = &input[i..j];
+                let n: f64 = text.parse().map_err(|_| {
+                    ParseError::new(
+                        format!("malformed numeric literal `{text}`"),
+                        Span { start, end: j },
+                    )
+                })?;
+                out.push(tok(Token::Number(n), start, j));
+                i = j;
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let mut j = i + 1;
+                while j < bytes.len()
+                    && ((bytes[j] as char).is_ascii_alphanumeric() || bytes[j] == b'_')
+                {
+                    j += 1;
+                }
+                let word = &input[i..j];
+                match Keyword::from_str(word) {
+                    Some(k) => out.push(tok(Token::Keyword(k), start, j)),
+                    None => out.push(tok(Token::Ident(word.to_string()), start, j)),
+                }
+                i = j;
+            }
+            other => {
+                return Err(ParseError::new(
+                    format!("unexpected character `{other}`"),
+                    Span { start, end: start + 1 },
+                ));
+            }
+        }
+    }
+    out.push(tok(Token::Eof, input.len(), input.len()));
+    Ok(out)
+}
+
+fn tok(token: Token, start: usize, end: usize) -> SpannedToken {
+    SpannedToken { token, span: Span { start, end } }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(input: &str) -> Vec<Token> {
+        tokenize(input).unwrap().into_iter().map(|t| t.token).collect()
+    }
+
+    #[test]
+    fn keywords_are_case_insensitive() {
+        assert_eq!(
+            kinds("select SELECT SeLeCt"),
+            vec![
+                Token::Keyword(Keyword::Select),
+                Token::Keyword(Keyword::Select),
+                Token::Keyword(Keyword::Select),
+                Token::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers_with_signs_and_exponents() {
+        assert_eq!(
+            kinds("1 2.5 -0.75 1e3 2.5E-2 .5"),
+            vec![
+                Token::Number(1.0),
+                Token::Number(2.5),
+                Token::Number(-0.75),
+                Token::Number(1000.0),
+                Token::Number(0.025),
+                Token::Number(0.5),
+                Token::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn comparison_operators() {
+        assert_eq!(
+            kinds("= < > <= >= <> !="),
+            vec![
+                Token::Eq,
+                Token::Lt,
+                Token::Gt,
+                Token::Le,
+                Token::Ge,
+                Token::Ne,
+                Token::Ne,
+                Token::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn qualified_identifier() {
+        assert_eq!(
+            kinds("p.ra"),
+            vec![Token::Ident("p".into()), Token::Dot, Token::Ident("ra".into()), Token::Eof]
+        );
+    }
+
+    #[test]
+    fn string_literal_and_comment() {
+        assert_eq!(
+            kinds("'J2000' -- trailing comment\n42"),
+            vec![Token::Str("J2000".into()), Token::Number(42.0), Token::Eof]
+        );
+    }
+
+    #[test]
+    fn unterminated_string_is_an_error() {
+        assert!(tokenize("'oops").is_err());
+    }
+
+    #[test]
+    fn unexpected_character_is_an_error() {
+        let err = tokenize("select ;").unwrap_err();
+        assert!(err.to_string().contains("unexpected character"));
+    }
+
+    #[test]
+    fn spans_point_into_source() {
+        let toks = tokenize("select ra").unwrap();
+        assert_eq!(toks[0].span, Span { start: 0, end: 6 });
+        assert_eq!(toks[1].span, Span { start: 7, end: 9 });
+    }
+}

@@ -1,0 +1,153 @@
+//! Property tests for the query frontend.
+
+use delta_query::{analyze, parse, CmpOp, Predicate, Projection, Query, Schema, Shape};
+use proptest::prelude::*;
+
+fn arb_column() -> impl Strategy<Value = String> {
+    prop::sample::select(vec!["ra", "dec", "u", "g", "r", "i", "z", "type", "petroRad_r"])
+        .prop_map(str::to_string)
+}
+
+fn arb_attr_column() -> impl Strategy<Value = String> {
+    prop::sample::select(vec!["u", "g", "r", "i", "z", "petroRad_r"]).prop_map(str::to_string)
+}
+
+fn arb_shape() -> impl Strategy<Value = Shape> {
+    prop_oneof![
+        (0.0..360.0, -89.0..89.0, 0.01..30.0).prop_map(|(ra, dec, radius_deg)| Shape::Circle {
+            ra,
+            dec,
+            radius_deg
+        }),
+        (0.0..300.0, -80.0..0.0, 0.1..59.0, 0.1..80.0).prop_map(
+            |(ra_min, dec_min, dra, ddec)| Shape::Rect {
+                ra_min,
+                dec_min,
+                ra_max: ra_min + dra,
+                dec_max: dec_min + ddec,
+            }
+        ),
+        (0.0..360.0, -89.0..89.0, 0.001..0.5).prop_map(|(ra, dec, radius_deg)| {
+            Shape::Neighbors { ra, dec, radius_deg }
+        }),
+    ]
+}
+
+fn arb_attr_predicate() -> impl Strategy<Value = Predicate> {
+    prop_oneof![
+        (
+            arb_attr_column(),
+            prop::sample::select(vec![CmpOp::Lt, CmpOp::Gt, CmpOp::Le, CmpOp::Ge]),
+            14.0..24.0f64
+        )
+            .prop_map(|(column, op, value)| Predicate::Compare { column, op, value }),
+        (arb_attr_column(), 14.0..19.0f64, 0.1..5.0f64)
+            .prop_map(|(column, lo, w)| Predicate::Between { column, lo, hi: lo + w }),
+    ]
+}
+
+fn arb_predicate() -> impl Strategy<Value = Predicate> {
+    prop_oneof![
+        arb_shape().prop_map(Predicate::Spatial),
+        prop::collection::vec(arb_attr_predicate(), 2..4).prop_map(Predicate::AnyOf),
+        (
+            arb_attr_column(),
+            prop::sample::select(vec![
+                CmpOp::Eq,
+                CmpOp::Lt,
+                CmpOp::Gt,
+                CmpOp::Le,
+                CmpOp::Ge,
+                CmpOp::Ne
+            ]),
+            14.0..24.0f64
+        )
+            .prop_map(|(column, op, value)| Predicate::Compare { column, op, value }),
+        (arb_attr_column(), 14.0..19.0f64, 0.1..5.0f64)
+            .prop_map(|(column, lo, w)| Predicate::Between { column, lo, hi: lo + w }),
+    ]
+}
+
+fn arb_projection() -> impl Strategy<Value = Projection> {
+    prop_oneof![
+        Just(Projection::All),
+        Just(Projection::Count),
+        prop::collection::vec(arb_column(), 1..5).prop_map(|mut cols| {
+            cols.dedup();
+            Projection::Columns(cols)
+        }),
+    ]
+}
+
+fn arb_query() -> impl Strategy<Value = Query> {
+    (
+        arb_projection(),
+        prop::option::of(1u64..100_000),
+        prop::option::of(Just("p".to_string())),
+        prop::collection::vec(arb_predicate(), 0..4),
+        prop::option::of(0u64..10_000),
+    )
+        .prop_map(|(projection, top, alias, predicates, tolerance)| Query {
+            projection,
+            top,
+            table: "PhotoObj".to_string(),
+            alias,
+            predicates,
+            tolerance,
+        })
+}
+
+proptest! {
+    /// Rendering a query to SQL and parsing it back is the identity.
+    #[test]
+    fn display_parse_round_trip(q in arb_query()) {
+        let sql = q.to_string();
+        let parsed = parse(&sql).unwrap_or_else(|e| panic!("`{sql}` failed: {e}"));
+        prop_assert_eq!(parsed, q);
+    }
+
+    /// The lexer and parser never panic, whatever the input.
+    #[test]
+    fn parser_total_on_arbitrary_input(s in "\\PC*") {
+        let _ = parse(&s);
+    }
+
+    /// Parser is total on near-miss SQL-looking strings too.
+    #[test]
+    fn parser_total_on_sqlish_input(s in "(SELECT|FROM|WHERE|CIRCLE|[a-z]{1,8}|[0-9.]{1,6}|[(),*<>=]| ){0,20}") {
+        let _ = parse(&s);
+    }
+
+    /// Every analyzable query has selectivity in (0, 1] and a positive
+    /// row width under the SDSS schema.
+    #[test]
+    fn analysis_invariants(q in arb_query()) {
+        let schema = Schema::sdss();
+        if let Ok(a) = analyze(q, &schema) {
+            prop_assert!(a.selectivity > 0.0 && a.selectivity <= 1.0);
+            prop_assert!(a.row_width >= 8 || matches!(a.query.projection, Projection::Columns(_)));
+            prop_assert!(delta_query::analyze::solid_angle(&a.region) > 0.0);
+        }
+    }
+
+    /// Growing a cone's radius never shrinks its object footprint.
+    #[test]
+    fn footprint_monotone_in_radius(ra in 0.0..360.0f64, dec in -85.0..85.0f64, r1 in 0.1..5.0f64, grow in 1.0..4.0f64) {
+        use delta_htm::Partition;
+        use delta_storage::SpatialMapper;
+        use delta_workload::SkyModel;
+        use delta_query::Compiler;
+
+        let mapper = SpatialMapper::new(Partition::adaptive(|t| t.solid_angle(), 68));
+        let compiler = Compiler::new(Schema::sdss(), SkyModel::uniform(), mapper).with_samples(32);
+        let small = compiler
+            .compile(&format!("SELECT ra FROM PhotoObj WHERE CIRCLE({ra}, {dec}, {r1})"))
+            .unwrap();
+        let big = compiler
+            .compile(&format!("SELECT ra FROM PhotoObj WHERE CIRCLE({ra}, {dec}, {})", r1 * grow))
+            .unwrap();
+        for o in &small.objects {
+            prop_assert!(big.objects.contains(o), "object {o:?} lost when the cone grew");
+        }
+    }
+}

@@ -1,0 +1,312 @@
+//! The middleware cache's object store.
+//!
+//! Objects are cached *in entirety or not at all* (§3), the cache is
+//! space-constrained (typically 20–30 % of the server, §6), and a resident
+//! object carries the version up to which updates have been applied.
+//! Capacity accounting charges an object's bytes as held at load time plus
+//! any update bytes shipped to it since.
+
+use crate::object::ObjectId;
+use std::collections::HashMap;
+
+/// Why a load was refused.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CacheError {
+    /// The object would not fit even in an empty cache.
+    TooLarge {
+        /// The object's size.
+        needed: u64,
+        /// Total cache capacity.
+        capacity: u64,
+    },
+    /// Not enough free space; evict first.
+    NoSpace {
+        /// The object's size.
+        needed: u64,
+        /// Currently free bytes.
+        free: u64,
+    },
+    /// The object is already resident.
+    AlreadyResident,
+    /// The object is not resident.
+    NotResident,
+}
+
+impl std::fmt::Display for CacheError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            CacheError::TooLarge { needed, capacity } => {
+                write!(f, "object of {needed} B exceeds cache capacity {capacity} B")
+            }
+            CacheError::NoSpace { needed, free } => {
+                write!(f, "need {needed} B but only {free} B free")
+            }
+            CacheError::AlreadyResident => write!(f, "object already resident"),
+            CacheError::NotResident => write!(f, "object not resident"),
+        }
+    }
+}
+
+impl std::error::Error for CacheError {}
+
+/// A resident object's cache-side state.
+#[derive(Clone, Copy, Debug)]
+pub struct Resident {
+    /// Bytes currently held (load size + shipped update bytes).
+    pub bytes: u64,
+    /// Number of the object's updates applied at the cache.
+    pub applied_version: u64,
+    /// Whether updates newer than `applied_version` exist at the server
+    /// (the invalidation mark of §3: "objects at the cache are invalidated
+    /// when updates arrive for them at the server").
+    pub stale: bool,
+}
+
+/// The space-constrained object store at the middleware.
+#[derive(Clone, Debug)]
+pub struct CacheStore {
+    capacity: u64,
+    used: u64,
+    resident: HashMap<ObjectId, Resident>,
+    loads: u64,
+    evictions: u64,
+}
+
+impl CacheStore {
+    /// Creates an empty cache with the given byte capacity.
+    pub fn new(capacity: u64) -> Self {
+        Self { capacity, used: 0, resident: HashMap::new(), loads: 0, evictions: 0 }
+    }
+
+    /// Total capacity in bytes.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Bytes currently occupied.
+    pub fn used(&self) -> u64 {
+        self.used
+    }
+
+    /// Bytes currently free. Zero when the store is at — or, transiently,
+    /// over — capacity: applying updates grows resident objects in place
+    /// (§3: updates insert data), and the policy layer sheds the excess at
+    /// its next decision point.
+    pub fn free(&self) -> u64 {
+        self.capacity.saturating_sub(self.used)
+    }
+
+    /// Number of resident objects.
+    pub fn len(&self) -> usize {
+        self.resident.len()
+    }
+
+    /// Whether no objects are resident.
+    pub fn is_empty(&self) -> bool {
+        self.resident.is_empty()
+    }
+
+    /// Lifetime count of completed loads.
+    pub fn load_count(&self) -> u64 {
+        self.loads
+    }
+
+    /// Lifetime count of evictions.
+    pub fn eviction_count(&self) -> u64 {
+        self.evictions
+    }
+
+    /// Whether `id` is resident.
+    pub fn contains(&self, id: ObjectId) -> bool {
+        self.resident.contains_key(&id)
+    }
+
+    /// Resident state of `id`, if cached.
+    pub fn get(&self, id: ObjectId) -> Option<&Resident> {
+        self.resident.get(&id)
+    }
+
+    /// Iterates over resident objects.
+    pub fn iter(&self) -> impl Iterator<Item = (ObjectId, &Resident)> {
+        self.resident.iter().map(|(&k, v)| (k, v))
+    }
+
+    /// Loads `id` (size `bytes`, fully updated to `version`).
+    ///
+    /// Fails if already resident or if there is no room — eviction is the
+    /// policy layer's job, the store never evicts on its own.
+    pub fn load(&mut self, id: ObjectId, bytes: u64, version: u64) -> Result<(), CacheError> {
+        if self.resident.contains_key(&id) {
+            return Err(CacheError::AlreadyResident);
+        }
+        if bytes > self.capacity {
+            return Err(CacheError::TooLarge { needed: bytes, capacity: self.capacity });
+        }
+        if bytes > self.free() {
+            return Err(CacheError::NoSpace { needed: bytes, free: self.free() });
+        }
+        self.resident.insert(id, Resident { bytes, applied_version: version, stale: false });
+        self.used += bytes;
+        self.loads += 1;
+        Ok(())
+    }
+
+    /// Evicts `id`, freeing its bytes.
+    pub fn evict(&mut self, id: ObjectId) -> Result<(), CacheError> {
+        match self.resident.remove(&id) {
+            Some(r) => {
+                self.used -= r.bytes;
+                self.evictions += 1;
+                Ok(())
+            }
+            None => Err(CacheError::NotResident),
+        }
+    }
+
+    /// Marks a resident object stale (an update arrived for it at the
+    /// server). Non-resident ids are ignored.
+    pub fn invalidate(&mut self, id: ObjectId) {
+        if let Some(r) = self.resident.get_mut(&id) {
+            r.stale = true;
+        }
+    }
+
+    /// Applies shipped updates to a resident object: advances its version
+    /// to `new_version`, grows it by `bytes`, and clears the stale mark iff
+    /// `fully_fresh`.
+    ///
+    /// # Panics
+    /// Panics if the object is not resident or the version would move
+    /// backwards.
+    pub fn apply_updates(&mut self, id: ObjectId, new_version: u64, bytes: u64, fully_fresh: bool) {
+        let r = self
+            .resident
+            .get_mut(&id)
+            .expect("applying updates to non-resident object");
+        assert!(new_version >= r.applied_version, "version must not regress");
+        r.applied_version = new_version;
+        r.bytes += bytes;
+        if fully_fresh {
+            r.stale = false;
+        }
+        self.used += bytes;
+        // Update growth may push the cache over nominal capacity; `used()`
+        // exceeding `capacity()` is the policy layer's cue to evict, not an
+        // invariant violation here (a single shipped range can be large).
+    }
+
+    /// Applied version of a resident object.
+    pub fn applied_version(&self, id: ObjectId) -> Option<u64> {
+        self.resident.get(&id).map(|r| r.applied_version)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn load_and_evict_track_space() {
+        let mut c = CacheStore::new(100);
+        c.load(ObjectId(1), 40, 0).unwrap();
+        c.load(ObjectId(2), 60, 3).unwrap();
+        assert_eq!(c.used(), 100);
+        assert_eq!(c.free(), 0);
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.load(ObjectId(3), 1, 0), Err(CacheError::NoSpace { needed: 1, free: 0 }));
+        c.evict(ObjectId(1)).unwrap();
+        assert_eq!(c.free(), 40);
+        assert_eq!(c.load_count(), 2);
+        assert_eq!(c.eviction_count(), 1);
+    }
+
+    #[test]
+    fn too_large_versus_no_space() {
+        let mut c = CacheStore::new(100);
+        assert_eq!(
+            c.load(ObjectId(0), 150, 0),
+            Err(CacheError::TooLarge { needed: 150, capacity: 100 })
+        );
+        c.load(ObjectId(1), 80, 0).unwrap();
+        assert_eq!(
+            c.load(ObjectId(2), 90, 0),
+            Err(CacheError::NoSpace { needed: 90, free: 20 })
+        );
+    }
+
+    #[test]
+    fn double_load_rejected() {
+        let mut c = CacheStore::new(100);
+        c.load(ObjectId(1), 10, 0).unwrap();
+        assert_eq!(c.load(ObjectId(1), 10, 0), Err(CacheError::AlreadyResident));
+    }
+
+    #[test]
+    fn evict_missing_rejected() {
+        let mut c = CacheStore::new(100);
+        assert_eq!(c.evict(ObjectId(9)), Err(CacheError::NotResident));
+    }
+
+    #[test]
+    fn staleness_lifecycle() {
+        let mut c = CacheStore::new(100);
+        c.load(ObjectId(1), 10, 2).unwrap();
+        assert!(!c.get(ObjectId(1)).unwrap().stale);
+        c.invalidate(ObjectId(1));
+        assert!(c.get(ObjectId(1)).unwrap().stale);
+        // Ship updates to version 4, 5 bytes, fully fresh.
+        c.apply_updates(ObjectId(1), 4, 5, true);
+        let r = c.get(ObjectId(1)).unwrap();
+        assert!(!r.stale);
+        assert_eq!(r.applied_version, 4);
+        assert_eq!(r.bytes, 15);
+        assert_eq!(c.used(), 15);
+    }
+
+    #[test]
+    fn partial_update_keeps_stale() {
+        let mut c = CacheStore::new(100);
+        c.load(ObjectId(1), 10, 0).unwrap();
+        c.invalidate(ObjectId(1));
+        // Ship only part of the outstanding range (tolerance allowed it).
+        c.apply_updates(ObjectId(1), 1, 2, false);
+        assert!(c.get(ObjectId(1)).unwrap().stale);
+    }
+
+    #[test]
+    fn invalidate_nonresident_is_noop() {
+        let mut c = CacheStore::new(10);
+        c.invalidate(ObjectId(5));
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "version must not regress")]
+    fn version_regression_panics() {
+        let mut c = CacheStore::new(100);
+        c.load(ObjectId(1), 10, 5).unwrap();
+        c.apply_updates(ObjectId(1), 3, 0, true);
+    }
+}
+#[cfg(test)]
+mod growth_tests {
+    use super::*;
+
+    #[test]
+    fn free_saturates_when_growth_exceeds_capacity() {
+        let mut c = CacheStore::new(100);
+        c.load(ObjectId(0), 90, 0).unwrap();
+        // Updates grow the object past the nominal capacity.
+        c.apply_updates(ObjectId(0), 1, 30, true);
+        assert_eq!(c.used(), 120);
+        assert_eq!(c.free(), 0, "over-capacity reads as zero free, not underflow");
+        // Loading anything else reports NoSpace rather than panicking.
+        assert!(matches!(
+            c.load(ObjectId(1), 10, 0),
+            Err(CacheError::NoSpace { free: 0, .. })
+        ));
+        // Shedding the grown object restores headroom.
+        c.evict(ObjectId(0)).unwrap();
+        assert_eq!(c.free(), 100);
+    }
+}

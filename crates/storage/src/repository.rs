@@ -1,0 +1,176 @@
+//! The server-side repository: authoritative object state and update log.
+//!
+//! A rapidly-growing repository receives a stream of updates, each
+//! affecting exactly one object (§3: "each incoming update u affects just
+//! one object o(u)"). Data is never deleted (archival), so the per-object
+//! state is an append-only log; an object's *version* is the number of
+//! updates applied to it so far.
+
+use crate::object::{ObjectCatalog, ObjectId};
+use serde::{Deserialize, Serialize};
+
+/// One update applied at the repository.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct UpdateRecord {
+    /// Global event-sequence number at which the update arrived. Doubles
+    /// as the update's timestamp for staleness-tolerance checks.
+    pub seq: u64,
+    /// Size of the update's data content — its shipping cost ν(u).
+    pub bytes: u64,
+}
+
+/// The authoritative data store at the server.
+#[derive(Clone, Debug)]
+pub struct Repository {
+    catalog: ObjectCatalog,
+    logs: Vec<Vec<UpdateRecord>>,
+    /// Per-object prefix sums of update bytes (`cum[v]` = bytes of the
+    /// first `v` updates), so any range cost is O(1).
+    cum: Vec<Vec<u64>>,
+    grown_bytes: Vec<u64>,
+}
+
+impl Repository {
+    /// Creates a repository over a catalog, with empty update logs.
+    pub fn new(catalog: ObjectCatalog) -> Self {
+        let n = catalog.len();
+        Self { catalog, logs: vec![Vec::new(); n], cum: vec![vec![0]; n], grown_bytes: vec![0; n] }
+    }
+
+    /// The object catalog.
+    pub fn catalog(&self) -> &ObjectCatalog {
+        &self.catalog
+    }
+
+    /// Applies an update to `id` at global sequence `seq`, returning the
+    /// object's new version.
+    ///
+    /// # Panics
+    /// Panics if `seq` is not monotonically non-decreasing for the object.
+    pub fn apply_update(&mut self, id: ObjectId, bytes: u64, seq: u64) -> u64 {
+        let log = &mut self.logs[id.index()];
+        if let Some(last) = log.last() {
+            assert!(seq >= last.seq, "update sequence must be monotone");
+        }
+        log.push(UpdateRecord { seq, bytes });
+        let c = &mut self.cum[id.index()];
+        c.push(c.last().copied().unwrap_or(0) + bytes);
+        self.grown_bytes[id.index()] += bytes;
+        log.len() as u64
+    }
+
+    /// Current version (number of updates ever applied) of an object.
+    pub fn version(&self, id: ObjectId) -> u64 {
+        self.logs[id.index()].len() as u64
+    }
+
+    /// The update records of `id` from version `from` (0-based) onward.
+    pub fn updates_since(&self, id: ObjectId, from: u64) -> &[UpdateRecord] {
+        &self.logs[id.index()][from as usize..]
+    }
+
+    /// Version of `id` as of time `now - tolerance`: the number of its
+    /// updates with `seq <= horizon`. A cached copy at this version (or
+    /// later) satisfies a query with the given tolerance (§3's t(q)
+    /// semantics: all updates except those within the last t(q) time
+    /// units).
+    pub fn version_at_horizon(&self, id: ObjectId, now: u64, tolerance: u64) -> u64 {
+        let horizon = now.saturating_sub(tolerance);
+        let log = &self.logs[id.index()];
+        // Logs are seq-sorted; binary search for the first record newer
+        // than the horizon.
+        log.partition_point(|r| r.seq <= horizon) as u64
+    }
+
+    /// Current size of the object: base catalog size plus all update bytes
+    /// — the cost of loading it now ("the entire data object (including
+    /// the updates) is shipped", §3).
+    pub fn current_size(&self, id: ObjectId) -> u64 {
+        self.catalog.size(id) + self.grown_bytes[id.index()]
+    }
+
+    /// Current total repository size.
+    pub fn total_current_bytes(&self) -> u64 {
+        self.catalog.total_bytes() + self.grown_bytes.iter().sum::<u64>()
+    }
+
+    /// Total bytes of updates between versions `from..to` of an object —
+    /// the cost of shipping that update range to the cache. O(1) via
+    /// prefix sums.
+    pub fn update_bytes(&self, id: ObjectId, from: u64, to: u64) -> u64 {
+        let c = &self.cum[id.index()];
+        c[to as usize] - c[from as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::object::ObjectCatalog;
+
+    fn repo() -> Repository {
+        Repository::new(ObjectCatalog::from_sizes(&[100, 200, 300]))
+    }
+
+    #[test]
+    fn versions_advance_per_object() {
+        let mut r = repo();
+        let a = ObjectId(0);
+        let b = ObjectId(1);
+        assert_eq!(r.version(a), 0);
+        assert_eq!(r.apply_update(a, 5, 1), 1);
+        assert_eq!(r.apply_update(a, 7, 3), 2);
+        assert_eq!(r.apply_update(b, 2, 4), 1);
+        assert_eq!(r.version(a), 2);
+        assert_eq!(r.version(b), 1);
+        assert_eq!(r.version(ObjectId(2)), 0);
+    }
+
+    #[test]
+    fn horizon_version_respects_tolerance() {
+        let mut r = repo();
+        let a = ObjectId(0);
+        r.apply_update(a, 1, 10);
+        r.apply_update(a, 1, 20);
+        r.apply_update(a, 1, 30);
+        // At time 35 with tolerance 10, horizon is 25: two updates needed.
+        assert_eq!(r.version_at_horizon(a, 35, 10), 2);
+        // Zero tolerance needs everything up to now.
+        assert_eq!(r.version_at_horizon(a, 35, 0), 3);
+        // Huge tolerance needs nothing.
+        assert_eq!(r.version_at_horizon(a, 35, 1000), 0);
+        // Horizon exactly on an update's seq includes it.
+        assert_eq!(r.version_at_horizon(a, 30, 10), 2);
+    }
+
+    #[test]
+    fn sizes_grow_with_updates() {
+        let mut r = repo();
+        let a = ObjectId(0);
+        assert_eq!(r.current_size(a), 100);
+        r.apply_update(a, 40, 1);
+        assert_eq!(r.current_size(a), 140);
+        assert_eq!(r.total_current_bytes(), 640);
+    }
+
+    #[test]
+    fn update_bytes_ranges() {
+        let mut r = repo();
+        let a = ObjectId(0);
+        r.apply_update(a, 5, 1);
+        r.apply_update(a, 7, 2);
+        r.apply_update(a, 11, 3);
+        assert_eq!(r.update_bytes(a, 0, 3), 23);
+        assert_eq!(r.update_bytes(a, 1, 2), 7);
+        assert_eq!(r.update_bytes(a, 2, 2), 0);
+        assert_eq!(r.updates_since(a, 1).len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "monotone")]
+    fn non_monotone_seq_panics() {
+        let mut r = repo();
+        r.apply_update(ObjectId(0), 1, 5);
+        r.apply_update(ObjectId(0), 1, 4);
+    }
+}

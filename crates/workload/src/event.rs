@@ -1,0 +1,110 @@
+//! Trace events: the interleaved query/update sequence of the paper's §6.
+//!
+//! The paper's experimental unit is a *query-update event sequence* —
+//! 250,000 queries (a two-month SkyServer trace) interleaved with 250,000
+//! synthetic updates. Event sequence numbers double as the time axis, so a
+//! tolerance-for-staleness `t(q)` is expressed in event ticks.
+
+use delta_storage::ObjectId;
+use serde::{Deserialize, Serialize};
+
+/// The SQL shape of a query, as classified in §6.1 ("range queries,
+/// spatial self-join queries, simple selection queries, as well as
+/// aggregation queries").
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum QueryKind {
+    /// Cone search around a position.
+    Cone,
+    /// RA/Dec rectangle range scan.
+    Range,
+    /// Spatial self-join (neighbourhood pairs).
+    SelfJoin,
+    /// Aggregation over a wide region.
+    Aggregate,
+    /// Survey-style scan along a great-circle stripe.
+    Scan,
+    /// Point selection on a single object.
+    Selection,
+}
+
+/// A read-only user query arriving at the cache.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct QueryEvent {
+    /// Global event sequence number (the time axis).
+    pub seq: u64,
+    /// The set of data objects the query accesses — the paper's `B(q)`.
+    pub objects: Vec<ObjectId>,
+    /// Size of the query's result — its shipping cost ν(q).
+    pub result_bytes: u64,
+    /// Tolerance for staleness `t(q)` in event ticks (0 = must be fully
+    /// current).
+    pub tolerance: u64,
+    /// Query shape (for workload statistics; policies ignore it).
+    pub kind: QueryKind,
+}
+
+/// A data update arriving at the repository.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct UpdateEvent {
+    /// Global event sequence number.
+    pub seq: u64,
+    /// The single object the update affects — the paper's `o(u)`.
+    pub object: ObjectId,
+    /// Size of the update's content — its shipping cost ν(u).
+    pub bytes: u64,
+}
+
+/// One event of the interleaved trace.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Event {
+    /// A user query at the cache.
+    Query(QueryEvent),
+    /// A repository update.
+    Update(UpdateEvent),
+}
+
+impl Event {
+    /// Global sequence number of the event.
+    pub fn seq(&self) -> u64 {
+        match self {
+            Event::Query(q) => q.seq,
+            Event::Update(u) => u.seq,
+        }
+    }
+
+    /// Whether this is a query event.
+    pub fn is_query(&self) -> bool {
+        matches!(self, Event::Query(_))
+    }
+
+    /// The network bytes this event would cost if shipped in isolation.
+    pub fn ship_bytes(&self) -> u64 {
+        match self {
+            Event::Query(q) => q.result_bytes,
+            Event::Update(u) => u.bytes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn event_accessors() {
+        let q = Event::Query(QueryEvent {
+            seq: 5,
+            objects: vec![ObjectId(1), ObjectId(2)],
+            result_bytes: 100,
+            tolerance: 0,
+            kind: QueryKind::Cone,
+        });
+        let u = Event::Update(UpdateEvent { seq: 6, object: ObjectId(1), bytes: 9 });
+        assert_eq!(q.seq(), 5);
+        assert!(q.is_query());
+        assert_eq!(q.ship_bytes(), 100);
+        assert_eq!(u.seq(), 6);
+        assert!(!u.is_query());
+        assert_eq!(u.ship_bytes(), 9);
+    }
+}

@@ -1,0 +1,51 @@
+//! # delta-workload — SDSS-like astronomy workload reconstruction
+//!
+//! The paper evaluates Delta on a real two-month SkyServer query trace and
+//! an astronomer-consulted synthetic update trace, neither of which is
+//! publicly available. This crate rebuilds both from their *published
+//! properties* (§6.1, Fig. 7(a)):
+//!
+//! * [`SkyModel`] — inhomogeneous sky density (band + over-density blobs)
+//!   giving the 50 MB–90 GB object-size spread;
+//! * [`QueryGenerator`] — drifting Zipf hotspots, a mixed bag of query
+//!   shapes (cone/range/self-join/aggregate/scan/selection), Pareto
+//!   heavy-tailed result sizes, a cheap warm-up prefix, and per-query
+//!   staleness tolerances;
+//! * [`UpdateGenerator`] — great-circle telescope stripes producing
+//!   spatially-clustered updates sized by object density;
+//! * [`SyntheticSurvey`] — the one-call builder (sky → HTM partition →
+//!   catalog → interleaved trace), fully deterministic in the seed;
+//! * [`trace`] — a self-contained JSONL trace format;
+//! * [`stats`] — per-object activity, hotspot extraction and the
+//!   Fig. 7(a) scatter series.
+//!
+//! ```
+//! use delta_workload::{SyntheticSurvey, WorkloadConfig};
+//!
+//! let mut cfg = WorkloadConfig::small();
+//! cfg.n_queries = 100;
+//! cfg.n_updates = 100;
+//! let survey = SyntheticSurvey::generate(&cfg);
+//! assert_eq!(survey.trace.len(), 200);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod config;
+pub mod event;
+pub mod generator;
+pub mod querygen;
+pub mod sky;
+pub mod stats;
+pub mod trace;
+pub mod updategen;
+
+pub use config::{QueryMix, WorkloadConfig};
+pub use event::{Event, QueryEvent, QueryKind, UpdateEvent};
+pub use generator::SyntheticSurvey;
+pub use querygen::QueryGenerator;
+pub use sky::SkyModel;
+pub use stats::{fig7a_series, MixStats, ScatterPoint, TraceStats};
+pub use trace::{read_jsonl, read_jsonl_with_header, write_jsonl, Trace, TraceHeader};
+pub use updategen::UpdateGenerator;

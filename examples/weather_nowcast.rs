@@ -1,0 +1,105 @@
+//! Delta outside astronomy: a weather nowcasting repository.
+//!
+//! §4 of the paper points beyond sky surveys: "in some applications,
+//! such as weather prediction, which have similar rapidly-growing
+//! repositories, minimizing overall response time is equally important."
+//! This example builds such a repository directly from the generic API —
+//! no sky model, no HTM: a grid of radar/forecast tiles where a few
+//! storm-active tiles receive a torrent of updates while forecasters
+//! hammer the tiles around population centers — and runs VCover and
+//! Preship(VCover) against NoCache on both traffic and response time.
+//!
+//! ```sh
+//! cargo run --release --example weather_nowcast
+//! ```
+
+use delta::core::{simulate, NoCache, Preship, PreshipConfig, SimOptions, VCover};
+use delta::net::LinkModel;
+use delta::storage::{ObjectCatalog, ObjectId};
+use delta::workload::{Event, QueryEvent, QueryKind, Trace, UpdateEvent};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+fn main() {
+    // 64 forecast tiles of 300 MB – 1 GB (model grids + radar mosaics).
+    let mut rng = StdRng::seed_from_u64(2024);
+    let sizes: Vec<u64> = (0..64)
+        .map(|_| 300_000_000 + rng.random_range(0..700_000_000u64))
+        .collect();
+    let catalog = ObjectCatalog::from_sizes(&sizes);
+
+    // Storm corridor: tiles 10..16 get 70% of the updates (radar volume
+    // scans every few minutes). Metro tiles 40..48 get 80% of the queries
+    // (forecaster dashboards, zero staleness tolerance during an event).
+    let mut events = Vec::new();
+    for seq in 0..30_000u64 {
+        if rng.random_bool(0.5) {
+            let tile = if rng.random_bool(0.7) {
+                10 + rng.random_range(0..6u32)
+            } else {
+                rng.random_range(0..64u32)
+            };
+            events.push(Event::Update(UpdateEvent {
+                seq,
+                object: ObjectId(tile),
+                bytes: 2_000_000 + rng.random_range(0..6_000_000u64),
+            }));
+        } else {
+            let tile = if rng.random_bool(0.8) {
+                40 + rng.random_range(0..8u32)
+            } else {
+                rng.random_range(0..64u32)
+            };
+            // Dashboards pull rendered layers: a few MB each; nowcasts
+            // must be current, climatology lookups tolerate minutes.
+            let (bytes, tolerance) = if rng.random_bool(0.75) {
+                (1_000_000 + rng.random_range(0..8_000_000u64), 0)
+            } else {
+                (200_000 + rng.random_range(0..800_000u64), 2_000)
+            };
+            events.push(Event::Query(QueryEvent {
+                seq,
+                objects: vec![ObjectId(tile)],
+                result_bytes: bytes,
+                tolerance,
+                kind: QueryKind::Selection,
+            }));
+        }
+    }
+    let trace = Trace::new(events);
+
+    // Forecast office cache: a third of the repository, over a WAN to the
+    // national center.
+    let opts = SimOptions::with_cache_fraction(&catalog, 0.33, 3_000)
+        .with_link(LinkModel::wan());
+
+    println!("weather repository: 64 tiles, {:.0} GB total; {} events\n", catalog.total_bytes() as f64 / 1e9, trace.len());
+    println!("{:<17} {:>12} {:>7} {:>26}", "policy", "traffic", "hit%", "response time");
+    for report in [
+        simulate(&mut NoCache, &catalog, &trace, opts),
+        simulate(&mut VCover::new(opts.cache_bytes, 7), &catalog, &trace, opts),
+        simulate(
+            &mut Preship::new(
+                VCover::new(opts.cache_bytes, 7),
+                PreshipConfig { half_life_events: 3_000.0, hot_threshold: 2.0 },
+            ),
+            &catalog,
+            &trace,
+            opts,
+        ),
+    ] {
+        let l = report.latency.expect("link configured");
+        println!(
+            "{:<17} {:>12} {:>6.1}% {:>20}",
+            report.policy,
+            report.total().to_string(),
+            report.ledger.hit_rate() * 100.0,
+            format!("p50 {:.0} ms / p99 {:.0} ms", l.p50_secs * 1e3, l.p99_secs * 1e3),
+        );
+    }
+    println!(
+        "\nthe decoupling framework separates the storm corridor (update-hot,\n\
+         left at the center) from the metro tiles (query-hot, cached at the\n\
+         office); preshipping keeps the cached tiles fresh between dashboards."
+    );
+}

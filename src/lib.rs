@@ -1,0 +1,21 @@
+//! # delta — facade crate
+//!
+//! Re-exports the whole Delta reproduction workspace behind one dependency:
+//! the paper's decoupling framework ([`delta_core`]), and the substrates it
+//! runs on (HTM sky partitioning, max-flow/vertex-cover engine, simulated
+//! network, object stores, replacement policies, and the SDSS-like workload
+//! reconstruction).
+//!
+//! See the `examples/` directory for runnable entry points, `DESIGN.md` for
+//! the crate map and `EXPERIMENTS.md` for the paper-vs-measured record.
+
+#![forbid(unsafe_code)]
+
+pub use delta_core as core;
+pub use delta_flow as flow;
+pub use delta_htm as htm;
+pub use delta_net as net;
+pub use delta_policy as policy;
+pub use delta_query as query;
+pub use delta_storage as storage;
+pub use delta_workload as workload;

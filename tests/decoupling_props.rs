@@ -1,0 +1,133 @@
+//! Property-based integration tests over randomized mini-workloads:
+//! Delta's structural invariants must hold for *any* event sequence, not
+//! just the SDSS-like generator's.
+
+use delta::core::{compare_all, SimOptions};
+use delta::storage::{ObjectCatalog, ObjectId};
+use delta::workload::{Event, QueryEvent, QueryKind, Trace, UpdateEvent};
+use proptest::prelude::*;
+
+/// A random but well-formed trace over `n_objects`.
+fn arb_trace(n_objects: usize, max_events: usize) -> impl Strategy<Value = (Vec<u64>, Trace)> {
+    let sizes = proptest::collection::vec(50u64..5_000, n_objects);
+    let events = proptest::collection::vec(
+        prop_oneof![
+            // Query: subset of objects, result bytes, tolerance.
+            (
+                proptest::collection::btree_set(0..n_objects as u32, 1..4),
+                1u64..2_000,
+                prop_oneof![Just(0u64), 1u64..50],
+            )
+                .prop_map(|(objs, bytes, tol)| {
+                    (true, objs.into_iter().collect::<Vec<u32>>(), bytes, tol)
+                }),
+            // Update: one object, bytes.
+            (0..n_objects as u32, 1u64..500)
+                .prop_map(|(o, bytes)| (false, vec![o], bytes, 0)),
+        ],
+        1..max_events,
+    );
+    (sizes, events).prop_map(|(sizes, evs)| {
+        let events = evs
+            .into_iter()
+            .enumerate()
+            .map(|(i, (is_q, objs, bytes, tol))| {
+                if is_q {
+                    Event::Query(QueryEvent {
+                        seq: i as u64,
+                        objects: objs.into_iter().map(ObjectId).collect(),
+                        result_bytes: bytes,
+                        tolerance: tol,
+                        kind: QueryKind::Cone,
+                    })
+                } else {
+                    Event::Update(UpdateEvent {
+                        seq: i as u64,
+                        object: ObjectId(objs[0]),
+                        bytes,
+                    })
+                }
+            })
+            .collect();
+        (sizes, Trace::new(events))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// All five policies answer every query, never lose track of costs,
+    /// and respect the trivial bounds, on arbitrary workloads.
+    #[test]
+    fn five_policies_on_arbitrary_traces((sizes, trace) in arb_trace(6, 120)) {
+        let catalog = ObjectCatalog::from_sizes(&sizes);
+        let opts = SimOptions { cache_bytes: catalog.total_bytes() / 2, sample_every: 50, link: None };
+        let n_queries = trace.n_queries() as u64;
+        let reports = compare_all(&catalog, &trace, opts, 5);
+        let nocache = reports[0].total().bytes();
+        let replica = reports[1].total().bytes();
+        prop_assert_eq!(nocache, trace.total_query_bytes());
+        prop_assert_eq!(replica, trace.total_update_bytes());
+        for r in &reports {
+            prop_assert_eq!(
+                r.ledger.shipped_queries + r.ledger.local_answers,
+                n_queries,
+                "{} lost a query", &r.policy
+            );
+            // Per-mechanism invariants: no policy ships more query bytes
+            // than NoCache, and no update range ships twice, so update
+            // bytes never exceed Replica's.
+            prop_assert!(
+                r.ledger.breakdown.query_ship.bytes() <= nocache,
+                "{} shipped more query bytes than NoCache", &r.policy
+            );
+            prop_assert!(
+                r.ledger.breakdown.update_ship.bytes() <= replica,
+                "{} shipped more update bytes than Replica", &r.policy
+            );
+        }
+    }
+
+    /// VCover with a zero-size cache degenerates to NoCache exactly.
+    #[test]
+    fn vcover_with_no_cache_is_nocache((sizes, trace) in arb_trace(5, 80)) {
+        use delta::core::{simulate, VCover};
+        let catalog = ObjectCatalog::from_sizes(&sizes);
+        let opts = SimOptions { cache_bytes: 0, sample_every: 50, link: None };
+        let mut v = VCover::new(0, 1);
+        let r = simulate(&mut v, &catalog, &trace, opts);
+        prop_assert_eq!(r.total().bytes(), trace.total_query_bytes());
+        prop_assert_eq!(r.ledger.loads, 0);
+    }
+
+    /// With an unbounded cache and no updates, VCover converges to
+    /// answering hot objects locally: total cost is bounded by query
+    /// bytes plus one load per object.
+    #[test]
+    fn query_only_workload_costs_bounded(
+        sizes in proptest::collection::vec(50u64..500, 4),
+        picks in proptest::collection::vec((0u32..4, 100u64..1_000), 10..80),
+    ) {
+        use delta::core::{simulate, VCover};
+        let catalog = ObjectCatalog::from_sizes(&sizes);
+        let events: Vec<Event> = picks
+            .iter()
+            .enumerate()
+            .map(|(i, &(o, bytes))| Event::Query(QueryEvent {
+                seq: i as u64,
+                objects: vec![ObjectId(o)],
+                result_bytes: bytes,
+                tolerance: 0,
+                kind: QueryKind::Selection,
+            }))
+            .collect();
+        let trace = Trace::new(events);
+        let opts = SimOptions { cache_bytes: catalog.total_bytes() * 2, sample_every: 50, link: None };
+        let mut v = VCover::new(opts.cache_bytes, 2);
+        let r = simulate(&mut v, &catalog, &trace, opts);
+        let bound = trace.total_query_bytes() + catalog.total_bytes();
+        prop_assert!(r.total().bytes() <= bound,
+            "cost {} exceeds query bytes + all loads {}", r.total().bytes(), bound);
+        prop_assert_eq!(r.ledger.breakdown.update_ship.bytes(), 0);
+    }
+}

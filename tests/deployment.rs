@@ -1,0 +1,74 @@
+//! Cross-crate integration: the threaded client/cache/server deployment
+//! must agree with the in-process simulator byte-for-byte, for every
+//! policy, and the WAN meter must reconcile with the ledger.
+
+use delta::core::deploy::run_deployed;
+use delta::core::{
+    simulate, Benefit, BenefitConfig, CachingPolicy, NoCache, Replica, SOptimal, SimOptions,
+    VCover,
+};
+use delta::net::TrafficClass;
+use delta::workload::{SyntheticSurvey, WorkloadConfig};
+
+fn survey() -> SyntheticSurvey {
+    let mut cfg = WorkloadConfig::small();
+    cfg.n_queries = 800;
+    cfg.n_updates = 800;
+    SyntheticSurvey::generate(&cfg)
+}
+
+fn check_policy<P: CachingPolicy + Send>(mut mk: impl FnMut() -> P) {
+    let s = survey();
+    let opts = SimOptions::with_cache_fraction(&s.catalog, 0.3, 400);
+    let mut p_sim = mk();
+    let sim = simulate(&mut p_sim, &s.catalog, &s.trace, opts);
+    let mut p_dep = mk();
+    let (dep, wan) = run_deployed(&mut p_dep, &s.catalog, &s.trace, opts);
+
+    assert_eq!(sim.total().bytes(), dep.total().bytes(), "{}", sim.policy);
+    assert_eq!(sim.ledger.breakdown, dep.ledger.breakdown, "{}", sim.policy);
+    assert_eq!(dep.total().bytes(), wan.charged_total(), "{} meter", sim.policy);
+    assert_eq!(
+        wan.bytes_for(TrafficClass::QueryShip),
+        dep.ledger.breakdown.query_ship.bytes()
+    );
+    assert_eq!(
+        wan.bytes_for(TrafficClass::UpdateShip),
+        dep.ledger.breakdown.update_ship.bytes()
+    );
+    assert_eq!(
+        wan.bytes_for(TrafficClass::ObjectLoad),
+        dep.ledger.breakdown.load.bytes()
+    );
+}
+
+#[test]
+fn deployed_nocache_matches() {
+    check_policy(|| NoCache);
+}
+
+#[test]
+fn deployed_replica_matches() {
+    check_policy(|| Replica);
+}
+
+#[test]
+fn deployed_vcover_matches() {
+    let s = survey();
+    let opts = SimOptions::with_cache_fraction(&s.catalog, 0.3, 400);
+    check_policy(|| VCover::new(opts.cache_bytes, 17));
+}
+
+#[test]
+fn deployed_benefit_matches() {
+    let s = survey();
+    let opts = SimOptions::with_cache_fraction(&s.catalog, 0.3, 400);
+    check_policy(|| Benefit::new(opts.cache_bytes, BenefitConfig { window: 200, alpha: 0.5 }));
+}
+
+#[test]
+fn deployed_soptimal_matches() {
+    let s = survey();
+    let opts = SimOptions::with_cache_fraction(&s.catalog, 0.3, 400);
+    check_policy(|| SOptimal::plan(&s.catalog, &s.trace, opts.cache_bytes));
+}

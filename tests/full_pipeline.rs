@@ -1,0 +1,133 @@
+//! End-to-end integration: generate a survey, run all five policies,
+//! check the paper's structural invariants and orderings.
+
+use delta::core::{compare_all, simulate, NoCache, Replica, SimOptions, SimReport, VCover};
+use delta::workload::{SyntheticSurvey, WorkloadConfig};
+
+fn survey(n: usize, objects: usize) -> SyntheticSurvey {
+    let mut cfg = WorkloadConfig::small();
+    cfg.n_queries = n;
+    cfg.n_updates = n;
+    cfg.target_objects = objects;
+    SyntheticSurvey::generate(&cfg)
+}
+
+#[test]
+fn yardstick_totals_are_closed_form() {
+    let s = survey(1_500, 16);
+    let opts = SimOptions::with_cache_fraction(&s.catalog, 0.3, 500);
+    // NoCache total == sum of query result bytes, independent of anything.
+    let mut nc = NoCache;
+    let rn = simulate(&mut nc, &s.catalog, &s.trace, opts);
+    assert_eq!(rn.total().bytes(), s.trace.total_query_bytes());
+    // Replica total == sum of update bytes.
+    let mut rp = Replica;
+    let rr = simulate(&mut rp, &s.catalog, &s.trace, opts);
+    assert_eq!(rr.total().bytes(), s.trace.total_update_bytes());
+}
+
+#[test]
+fn every_policy_satisfies_every_query() {
+    let s = survey(1_500, 16);
+    let opts = SimOptions::with_cache_fraction(&s.catalog, 0.3, 500);
+    for r in compare_all(&s.catalog, &s.trace, opts, 7) {
+        assert_eq!(
+            r.ledger.shipped_queries + r.ledger.local_answers,
+            s.trace.n_queries() as u64,
+            "{} lost queries",
+            r.policy
+        );
+        // Non-negative, monotone series ending at the total.
+        assert!(r.series.windows(2).all(|w| w[0].cumulative_bytes <= w[1].cumulative_bytes));
+        assert_eq!(r.series.last().unwrap().cumulative_bytes, r.total().bytes());
+    }
+}
+
+#[test]
+fn vcover_never_loses_to_doing_nothing_plus_everything() {
+    // A trivial upper bound: VCover's total is at most NoCache + Replica
+    // combined (it could always have shipped everything).
+    let s = survey(2_000, 32);
+    let opts = SimOptions::with_cache_fraction(&s.catalog, 0.3, 500);
+    let reports = compare_all(&s.catalog, &s.trace, opts, 11);
+    let by_name = |n: &str| reports.iter().find(|r| r.policy == n).unwrap();
+    let vcover = by_name("VCover").total().bytes();
+    let nocache = by_name("NoCache").total().bytes();
+    let replica = by_name("Replica").total().bytes();
+    assert!(
+        vcover <= nocache + replica,
+        "VCover {vcover} worse than NoCache+Replica {}",
+        nocache + replica
+    );
+}
+
+#[test]
+fn cache_capacity_respected_throughout() {
+    // Run VCover step by step and assert the store never exceeds capacity
+    // at event boundaries (transient overshoot within an event is shed by
+    // rebalance before the handler returns).
+    use delta::core::CachingPolicy;
+    use delta::core::SimContext;
+    use delta::storage::{CacheStore, Repository};
+    use delta::workload::Event;
+
+    let s = survey(1_200, 16);
+    let opts = SimOptions::with_cache_fraction(&s.catalog, 0.25, 500);
+    let mut repo = Repository::new(s.catalog.clone());
+    let mut cache = CacheStore::new(opts.cache_bytes);
+    let mut ledger = delta::core::CostLedger::default();
+    let mut v = VCover::new(opts.cache_bytes, 3);
+    for e in s.trace.iter() {
+        match e {
+            Event::Update(u) => {
+                repo.apply_update(u.object, u.bytes, u.seq);
+                cache.invalidate(u.object);
+                let mut ctx = SimContext::new(&mut repo, &mut cache, &mut ledger, u.seq);
+                v.on_update(u, &mut ctx);
+            }
+            Event::Query(q) => {
+                let mut ctx = SimContext::new(&mut repo, &mut cache, &mut ledger, q.seq);
+                v.on_query(q, &mut ctx);
+            }
+        }
+        assert!(
+            cache.used() <= cache.capacity(),
+            "cache over capacity after event {}",
+            e.seq()
+        );
+    }
+}
+
+#[test]
+fn deterministic_end_to_end() {
+    let s1 = survey(1_000, 16);
+    let s2 = survey(1_000, 16);
+    assert_eq!(s1.trace, s2.trace);
+    let opts = SimOptions::with_cache_fraction(&s1.catalog, 0.3, 250);
+    let run = |s: &SyntheticSurvey| -> Vec<u64> {
+        compare_all(&s.catalog, &s.trace, opts, 99)
+            .into_iter()
+            .map(|r: SimReport| r.total().bytes())
+            .collect()
+    };
+    assert_eq!(run(&s1), run(&s2));
+}
+
+#[test]
+fn trace_round_trips_through_disk() {
+    let s = survey(500, 16);
+    let dir = std::env::temp_dir().join("delta_integration");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("pipeline.jsonl");
+    delta::workload::write_jsonl(&path, &s.catalog, &s.trace, "integration").unwrap();
+    let (cat2, trace2) = delta::workload::read_jsonl(&path).unwrap();
+    assert_eq!(trace2, s.trace);
+    // Replay from the file gives identical results.
+    let opts = SimOptions::with_cache_fraction(&s.catalog, 0.3, 250);
+    let mut v1 = VCover::new(opts.cache_bytes, 5);
+    let r1 = simulate(&mut v1, &s.catalog, &s.trace, opts);
+    let mut v2 = VCover::new(opts.cache_bytes, 5);
+    let r2 = simulate(&mut v2, &cat2, &trace2, opts);
+    assert_eq!(r1.total(), r2.total());
+    std::fs::remove_file(&path).ok();
+}

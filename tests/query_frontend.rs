@@ -1,0 +1,119 @@
+//! Cross-crate integration: the SQL frontend feeding the decoupling
+//! framework end-to-end.
+
+use delta::core::{simulate, NoCache, SimOptions, VCover};
+use delta::htm::Partition;
+use delta::query::{Compiler, QueryError, Schema};
+use delta::storage::{ObjectCatalog, ObjectId, SpatialMapper};
+use delta::workload::{Event, SkyModel, Trace, UpdateEvent};
+
+fn world(objects: usize) -> (ObjectCatalog, Compiler) {
+    let sky = SkyModel::sdss_like(7, 12);
+    let mut partition = Partition::adaptive(|t| t.solid_angle(), objects);
+    partition.reweight(|t| sky.trixel_mass(t));
+    let catalog =
+        ObjectCatalog::from_partition(&partition, 80_000_000_000, 5_000_000, 9_000_000_000);
+    let mapper = SpatialMapper::new(partition);
+    (catalog, Compiler::new(Schema::sdss(), sky, mapper).with_samples(128))
+}
+
+#[test]
+fn compiled_queries_drive_the_simulator() {
+    let (catalog, compiler) = world(32);
+    let sqls = [
+        "SELECT * FROM PhotoObj WHERE CIRCLE(185.0, 15.3, 2.0)",
+        "SELECT ra, dec FROM PhotoObj WHERE RECT(10, -20, 40, 10) AND g < 20",
+        "SELECT COUNT(*) FROM PhotoObj",
+        "SELECT * FROM PhotoObj WHERE NEIGHBORS(200.0, -30.0, 0.3) WITH TOLERANCE 5",
+    ];
+    let mut events = Vec::new();
+    let mut seq = 0u64;
+    for round in 0..50 {
+        for sql in sqls {
+            let ev = compiler.compile(sql).expect("compiles").into_event(seq);
+            assert!(!ev.objects.is_empty(), "B(q) must be non-empty for {sql}");
+            assert!(ev.result_bytes > 0);
+            events.push(Event::Query(ev));
+            seq += 1;
+        }
+        events.push(Event::Update(UpdateEvent {
+            seq,
+            object: ObjectId((round % 32) as u32),
+            bytes: 100_000,
+        }));
+        seq += 1;
+    }
+    let trace = Trace { events };
+    let opts = SimOptions::with_cache_fraction(&catalog, 0.3, 50);
+    let mut vcover = VCover::new(opts.cache_bytes, 3);
+    let r = simulate(&mut vcover, &catalog, &trace, opts);
+    assert_eq!(
+        r.ledger.shipped_queries + r.ledger.local_answers,
+        (sqls.len() * 50) as u64,
+        "every compiled query satisfied"
+    );
+    // Same trace under NoCache costs exactly the estimated bytes.
+    let mut nc = NoCache;
+    let rn = simulate(&mut nc, &catalog, &trace, opts);
+    assert_eq!(rn.total().bytes(), trace.total_query_bytes());
+}
+
+#[test]
+fn footprint_respects_partition_granularity() {
+    // The same cone compiled against finer partitions touches more,
+    // smaller objects — the granularity knob of Fig. 8(b).
+    let mut last_total_objects = 0;
+    for objects in [16usize, 64, 256] {
+        let (catalog, compiler) = world(objects);
+        assert_eq!(catalog.len(), compiler.mapper().partition().len());
+        let q = compiler
+            .compile("SELECT ra FROM PhotoObj WHERE CIRCLE(185.0, 15.3, 5.0)")
+            .unwrap();
+        assert!(
+            catalog.len() >= last_total_objects,
+            "partitions grow: {objects} leaves"
+        );
+        last_total_objects = catalog.len();
+        assert!(!q.objects.is_empty());
+        assert!(
+            q.objects.len() <= catalog.len(),
+            "footprint bounded by catalog"
+        );
+        for &o in &q.objects {
+            assert!((o.index()) < catalog.len(), "object ids in range");
+        }
+    }
+}
+
+#[test]
+fn errors_carry_useful_context() {
+    let (_, compiler) = world(16);
+    match compiler.compile("SELECT ra FROM NoSuchTable") {
+        Err(QueryError::Analyze(e)) => assert!(e.to_string().contains("NoSuchTable")),
+        other => panic!("expected analyze error, got {other:?}"),
+    }
+    match compiler.compile("SELEC ra FROM PhotoObj") {
+        Err(QueryError::Parse(e)) => assert!(e.to_string().contains("expected")),
+        other => panic!("expected parse error, got {other:?}"),
+    }
+}
+
+#[test]
+fn tolerance_clause_relaxes_currency_demands() {
+    // Two identical hot queries, one with tolerance: against a stream of
+    // updates, the tolerant one can be answered locally without shipping
+    // the very latest update range.
+    let (catalog, compiler) = world(16);
+    let strict = compiler
+        .compile("SELECT * FROM PhotoObj WHERE CIRCLE(185.0, 15.3, 1.0)")
+        .unwrap()
+        .into_event(0);
+    let tolerant = compiler
+        .compile("SELECT * FROM PhotoObj WHERE CIRCLE(185.0, 15.3, 1.0) WITH TOLERANCE 1000000")
+        .unwrap()
+        .into_event(0);
+    assert_eq!(strict.objects, tolerant.objects);
+    assert_eq!(strict.tolerance, 0);
+    assert_eq!(tolerant.tolerance, 1_000_000);
+    let _ = catalog;
+}
