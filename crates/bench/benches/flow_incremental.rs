@@ -50,25 +50,29 @@ fn bench_incremental(c: &mut Criterion) {
                 }
             })
         });
-        g.bench_with_input(BenchmarkId::new("from_scratch_each_time", n), &inst, |b, inst| {
-            b.iter(|| {
-                // Rebuild the whole graph after every arrival: the
-                // non-incremental baseline.
-                for k in 1..=inst.len() {
-                    let mut cg = CoverGraph::new();
-                    let mut us = Vec::new();
-                    for (uw, qw, edges) in &inst[..k] {
-                        let u = cg.add_update(*uw);
-                        us.push(u);
-                        let q = cg.add_query(*qw);
-                        for &e in edges {
-                            cg.add_interaction(us[e], q);
+        g.bench_with_input(
+            BenchmarkId::new("from_scratch_each_time", n),
+            &inst,
+            |b, inst| {
+                b.iter(|| {
+                    // Rebuild the whole graph after every arrival: the
+                    // non-incremental baseline.
+                    for k in 1..=inst.len() {
+                        let mut cg = CoverGraph::new();
+                        let mut us = Vec::new();
+                        for (uw, qw, edges) in &inst[..k] {
+                            let u = cg.add_update(*uw);
+                            us.push(u);
+                            let q = cg.add_query(*qw);
+                            for &e in edges {
+                                cg.add_interaction(us[e], q);
+                            }
                         }
+                        black_box(cg.solve().weight);
                     }
-                    black_box(cg.solve().weight);
-                }
-            })
-        });
+                })
+            },
+        );
     }
     g.finish();
 }

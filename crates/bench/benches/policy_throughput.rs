@@ -32,8 +32,9 @@ fn bench_policies(c: &mut Criterion) {
         b.iter(|| black_box(drive(&mut Lfu::new(2_000), N)))
     });
     g.bench_function("lazy_batch_plan", |b| {
-        let candidates: Vec<(ObjectId, u64, u64)> =
-            (0..32u32).map(|i| (ObjectId(i), 50 + (i as u64 * 13) % 100, 100)).collect();
+        let candidates: Vec<(ObjectId, u64, u64)> = (0..32u32)
+            .map(|i| (ObjectId(i), 50 + (i as u64 * 13) % 100, 100))
+            .collect();
         b.iter(|| {
             let mut gds = GreedyDualSize::new(1_000);
             black_box(lazy::plan_batch(&mut gds, &candidates).load.len())

@@ -26,8 +26,14 @@ const QUERIES: &[(&str, &str)] = &[
          WHERE ra BETWEEN 150 AND 190 AND dec BETWEEN -5 AND 5 AND type = 3 \
          WITH TOLERANCE 2000",
     ),
-    ("selfjoin", "SELECT * FROM PhotoObj WHERE NEIGHBORS(185.2, 15.1, 0.05)"),
-    ("aggregate", "SELECT COUNT(*) FROM PhotoObj WHERE RECT(184, 14, 186, 16)"),
+    (
+        "selfjoin",
+        "SELECT * FROM PhotoObj WHERE NEIGHBORS(185.2, 15.1, 0.05)",
+    ),
+    (
+        "aggregate",
+        "SELECT COUNT(*) FROM PhotoObj WHERE RECT(184, 14, 186, 16)",
+    ),
 ];
 
 fn bench_parse(c: &mut Criterion) {

@@ -21,6 +21,15 @@ struct AblationRow {
     report: SimReport,
 }
 
+impl serde_json::ToJson for AblationRow {
+    fn to_json(&self) -> serde_json::Value {
+        serde_json::Value::Object(vec![
+            ("variant".into(), serde_json::ToJson::to_json(&self.variant)),
+            ("report".into(), serde_json::ToJson::to_json(&self.report)),
+        ])
+    }
+}
+
 fn main() {
     let scale = Scale::from_args();
     let cfg = scale.config();
@@ -37,27 +46,42 @@ fn main() {
     {
         let mut v = VCover::new(opts.cache_bytes, cfg.seed);
         let report = simulate(&mut v, &survey.catalog, &survey.trace, opts);
-        rows.push(AblationRow { variant: "bypass + GDS (paper)".into(), report });
+        rows.push(AblationRow {
+            variant: "bypass + GDS (paper)".into(),
+            report,
+        });
     }
     {
         let mut v = VCover::with_policy(Lru::new(opts.cache_bytes), cfg.seed);
         let report = simulate(&mut v, &survey.catalog, &survey.trace, opts);
-        rows.push(AblationRow { variant: "bypass + LRU".into(), report });
+        rows.push(AblationRow {
+            variant: "bypass + LRU".into(),
+            report,
+        });
     }
     {
         let mut v = VCover::with_policy(Lfu::new(opts.cache_bytes), cfg.seed);
         let report = simulate(&mut v, &survey.catalog, &survey.trace, opts);
-        rows.push(AblationRow { variant: "bypass + LFU".into(), report });
+        rows.push(AblationRow {
+            variant: "bypass + LFU".into(),
+            report,
+        });
     }
     {
         let mut v = VCover::with_policy(Gdsf::new(opts.cache_bytes), cfg.seed);
         let report = simulate(&mut v, &survey.catalog, &survey.trace, opts);
-        rows.push(AblationRow { variant: "bypass + GDSF".into(), report });
+        rows.push(AblationRow {
+            variant: "bypass + GDSF".into(),
+            report,
+        });
     }
     {
         let mut v = VCover::with_policy(Fifo::new(opts.cache_bytes), cfg.seed);
         let report = simulate(&mut v, &survey.catalog, &survey.trace, opts);
-        rows.push(AblationRow { variant: "bypass + FIFO".into(), report });
+        rows.push(AblationRow {
+            variant: "bypass + FIFO".into(),
+            report,
+        });
     }
     {
         let mut v = VCover::with_policy_and_mode(
@@ -66,7 +90,10 @@ fn main() {
             AdmissionMode::Counter,
         );
         let report = simulate(&mut v, &survey.catalog, &survey.trace, opts);
-        rows.push(AblationRow { variant: "counter + GDS".into(), report });
+        rows.push(AblationRow {
+            variant: "counter + GDS".into(),
+            report,
+        });
     }
     {
         let mut v = VCover::with_policy_and_mode(
@@ -75,7 +102,10 @@ fn main() {
             AdmissionMode::FirstTouch,
         );
         let report = simulate(&mut v, &survey.catalog, &survey.trace, opts);
-        rows.push(AblationRow { variant: "first-touch + GDS".into(), report });
+        rows.push(AblationRow {
+            variant: "first-touch + GDS".into(),
+            report,
+        });
     }
 
     print_reports(

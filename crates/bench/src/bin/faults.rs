@@ -39,16 +39,21 @@ fn main() {
         ("16 cold crashes", 16, RecoveryMode::Cold),
     ] {
         let plan = FaultPlan {
-            crashes: (1..=crashes).map(|i| (i * n / (crashes + 1), mode)).collect(),
+            crashes: (1..=crashes)
+                .map(|i| (i * n / (crashes + 1), mode))
+                .collect(),
         };
         let mut factory = move || -> Box<dyn CachingPolicy + Send> {
             Box::new(VCover::new(opts.cache_bytes, seed))
         };
         let (report, wan, rec) =
             run_deployed_faulty(&mut factory, &survey.catalog, &survey.trace, opts, &plan);
-        assert_eq!(report.total().bytes(), wan.charged_total(), "ledger/meter reconcile");
-        let overhead =
-            report.total().bytes() as f64 / clean.total().bytes().max(1) as f64 - 1.0;
+        assert_eq!(
+            report.total().bytes(),
+            wan.charged_total(),
+            "ledger/meter reconcile"
+        );
+        let overhead = report.total().bytes() as f64 / clean.total().bytes().max(1) as f64 - 1.0;
         println!(
             "{:<24} {:>12} {:>8.1}% {:>8} {:>10} {:>10}",
             label,

@@ -54,7 +54,10 @@ fn main() {
     let uhot = stats.top_update_objects(6);
     println!("\nquery hotspots (top 6 object-IDs): {qhot:?}");
     println!("update hotspots (top 6 object-IDs): {uhot:?}");
-    println!("hotspot overlap (Jaccard, k=6): {:.2}", stats.hotspot_overlap(6));
+    println!(
+        "hotspot overlap (Jaccard, k=6): {:.2}",
+        stats.hotspot_overlap(6)
+    );
     println!(
         "\npaper's observation: query hotspots (their IDs 22-24, 62-64) and update \
          hotspots (11-13, 30-32) are distinct clusters; queries evolve over time."

@@ -21,7 +21,11 @@ fn main() {
     let reports = compare_all(&survey.catalog, &survey.trace, opts, cfg.seed);
     write_json(&format!("fig7b_{}.json", scale.label()), &reports);
 
-    print_reports("Fig 7(b): cumulative traffic, cache = 30% of server", warmup, &reports);
+    print_reports(
+        "Fig 7(b): cumulative traffic, cache = 30% of server",
+        warmup,
+        &reports,
+    );
 
     // Cumulative curve (post-warm-up), sampled at 10 checkpoints.
     println!("\npost-warm-up cumulative traffic (GB):");
@@ -48,11 +52,28 @@ fn main() {
             .map(|r| r.cost_after(warmup).bytes())
             .unwrap_or(0)
     };
-    let (nocache, replica, benefit, vcover, soptimal) =
-        (get("NoCache"), get("Replica"), get("Benefit"), get("VCover"), get("SOptimal"));
+    let (nocache, replica, benefit, vcover, soptimal) = (
+        get("NoCache"),
+        get("Replica"),
+        get("Benefit"),
+        get("VCover"),
+        get("SOptimal"),
+    );
     println!("\nshape checks (post-warm-up):");
-    println!("  NoCache / VCover  = {:.2}  (paper: ~2)", factor(nocache, vcover));
-    println!("  Benefit / VCover  = {:.2}  (paper: >=2)", factor(benefit, vcover));
-    println!("  Replica / VCover  = {:.2}  (paper: ~1.5)", factor(replica, vcover));
-    println!("  VCover / SOptimal = {:.2}  (paper: ~1.4 at trace end)", factor(vcover, soptimal));
+    println!(
+        "  NoCache / VCover  = {:.2}  (paper: ~2)",
+        factor(nocache, vcover)
+    );
+    println!(
+        "  Benefit / VCover  = {:.2}  (paper: >=2)",
+        factor(benefit, vcover)
+    );
+    println!(
+        "  Replica / VCover  = {:.2}  (paper: ~1.5)",
+        factor(replica, vcover)
+    );
+    println!(
+        "  VCover / SOptimal = {:.2}  (paper: ~1.4 at trace end)",
+        factor(vcover, soptimal)
+    );
 }

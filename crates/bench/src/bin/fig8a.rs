@@ -16,6 +16,18 @@ struct SweepPoint {
     reports: Vec<SimReport>,
 }
 
+impl serde_json::ToJson for SweepPoint {
+    fn to_json(&self) -> serde_json::Value {
+        serde_json::Value::Object(vec![
+            (
+                "n_updates".into(),
+                serde_json::ToJson::to_json(&self.n_updates),
+            ),
+            ("reports".into(), serde_json::ToJson::to_json(&self.reports)),
+        ])
+    }
+}
+
 fn main() {
     let scale = Scale::from_args();
     let base_cfg = scale.config();
@@ -34,8 +46,15 @@ fn main() {
         let trace = survey.regenerate_trace(&cfg);
         let warmup = (trace.len() as f64 * cfg.warmup_fraction) as u64;
         let reports = compare_all(&survey.catalog, &trace, opts, cfg.seed);
-        print_reports(&format!("Fig 8(a) point: {} updates", cfg.n_updates), warmup, &reports);
-        sweep.push(SweepPoint { n_updates: cfg.n_updates, reports });
+        print_reports(
+            &format!("Fig 8(a) point: {} updates", cfg.n_updates),
+            warmup,
+            &reports,
+        );
+        sweep.push(SweepPoint {
+            n_updates: cfg.n_updates,
+            reports,
+        });
     }
     write_json(&format!("fig8a_{}.json", scale.label()), &sweep);
 

@@ -18,6 +18,22 @@ struct GranularityPoint {
     report: SimReport,
 }
 
+impl serde_json::ToJson for GranularityPoint {
+    fn to_json(&self) -> serde_json::Value {
+        serde_json::Value::Object(vec![
+            (
+                "target_objects".into(),
+                serde_json::ToJson::to_json(&self.target_objects),
+            ),
+            (
+                "actual_objects".into(),
+                serde_json::ToJson::to_json(&self.actual_objects),
+            ),
+            ("report".into(), serde_json::ToJson::to_json(&self.report)),
+        ])
+    }
+}
+
 fn main() {
     let scale = Scale::from_args();
     let base_cfg = scale.config();

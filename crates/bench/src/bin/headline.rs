@@ -18,6 +18,37 @@ struct Headline {
     benefit_over_vcover: f64,
 }
 
+impl serde_json::ToJson for Headline {
+    fn to_json(&self) -> serde_json::Value {
+        serde_json::Value::Object(vec![
+            (
+                "cache_fraction".into(),
+                serde_json::ToJson::to_json(&self.cache_fraction),
+            ),
+            (
+                "nocache_post_gb".into(),
+                serde_json::ToJson::to_json(&self.nocache_post_gb),
+            ),
+            (
+                "vcover_post_gb".into(),
+                serde_json::ToJson::to_json(&self.vcover_post_gb),
+            ),
+            (
+                "benefit_post_gb".into(),
+                serde_json::ToJson::to_json(&self.benefit_post_gb),
+            ),
+            (
+                "reduction_vs_nocache".into(),
+                serde_json::ToJson::to_json(&self.reduction_vs_nocache),
+            ),
+            (
+                "benefit_over_vcover".into(),
+                serde_json::ToJson::to_json(&self.benefit_over_vcover),
+            ),
+        ])
+    }
+}
+
 fn main() {
     let scale = Scale::from_args();
     let cfg = scale.config();
@@ -61,8 +92,6 @@ fn main() {
         );
         rows.push(row);
     }
-    println!(
-        "\npaper: traffic cut nearly in half at one-fifth cache; VCover beats Benefit 2-5x."
-    );
+    println!("\npaper: traffic cut nearly in half at one-fifth cache; VCover beats Benefit 2-5x.");
     write_json(&format!("headline_{}.json", scale.label()), &rows);
 }

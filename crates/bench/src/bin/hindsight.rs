@@ -9,8 +9,8 @@
 //! both?
 
 use delta_bench::{factor, write_json, Scale};
-use delta_core::{hindsight_decoupling, simulate, SimOptions, VCover};
 use delta_core::yardstick::SOptimal;
+use delta_core::{hindsight_decoupling, simulate, SimOptions, VCover};
 use delta_workload::SyntheticSurvey;
 
 fn main() {
@@ -25,7 +25,10 @@ fn main() {
     let chosen = sopt.chosen().clone();
     let sopt_run = simulate(&mut sopt, &survey.catalog, &survey.trace, opts);
 
-    eprintln!("solving the hindsight vertex cover ({} cached objects)...", chosen.len());
+    eprintln!(
+        "solving the hindsight vertex cover ({} cached objects)...",
+        chosen.len()
+    );
     let hind = hindsight_decoupling(&survey.catalog, &survey.trace, &chosen);
 
     eprintln!("running online VCover...");
@@ -33,7 +36,10 @@ fn main() {
     let vc_run = simulate(&mut vcover, &survey.catalog, &survey.trace, opts);
 
     let (un, qn, en) = hind.graph_size;
-    println!("\n=== Theorem 1 in hindsight (static set = SOptimal's, {} objects) ===", chosen.len());
+    println!(
+        "\n=== Theorem 1 in hindsight (static set = SOptimal's, {} objects) ===",
+        chosen.len()
+    );
     println!("interaction graph solved: {un} update nodes, {qn} query nodes, {en} edges");
     println!(
         "\n{:<22} {:>12} {:>14} {:>14} {:>12}",

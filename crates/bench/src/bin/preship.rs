@@ -9,8 +9,8 @@
 //! NoCache pays the full WAN round-trip on every query either way.
 
 use delta_bench::{write_json, Scale};
-use delta_core::{simulate, Preship, PreshipConfig, SimOptions, SimReport, VCover};
 use delta_core::yardstick::NoCache;
+use delta_core::{simulate, Preship, PreshipConfig, SimOptions, SimReport, VCover};
 use delta_net::LinkModel;
 use delta_workload::SyntheticSurvey;
 
@@ -28,7 +28,10 @@ fn main() {
     reports.push(simulate(&mut nocache, &survey.catalog, &survey.trace, opts));
     let mut vcover = VCover::new(opts.cache_bytes, cfg.seed);
     reports.push(simulate(&mut vcover, &survey.catalog, &survey.trace, opts));
-    let mut preship = Preship::new(VCover::new(opts.cache_bytes, cfg.seed), PreshipConfig::default());
+    let mut preship = Preship::new(
+        VCover::new(opts.cache_bytes, cfg.seed),
+        PreshipConfig::default(),
+    );
     reports.push(simulate(&mut preship, &survey.catalog, &survey.trace, opts));
     let (pre_ranges, pre_bytes) = preship.preshipped();
 

@@ -7,10 +7,15 @@ fn main() {
     let opts = delta_core::SimOptions::with_cache_fraction(&s.catalog, 0.3, 5000);
     let warmup = (s.trace.len() as f64 * cfg.warmup_fraction) as u64;
     let stats = delta_workload::TraceStats::compute(&s.trace, s.catalog.len());
-    println!("== objects={} total={:.0}GB cache={:.0}GB qbytes={:.0}GB ubytes={:.0}GB overlap={:.2}",
-        s.catalog.len(), s.catalog.total_bytes() as f64/1e9, opts.cache_bytes as f64/1e9,
-        s.trace.total_query_bytes() as f64/1e9, s.trace.total_update_bytes() as f64/1e9,
-        stats.hotspot_overlap(10));
+    println!(
+        "== objects={} total={:.0}GB cache={:.0}GB qbytes={:.0}GB ubytes={:.0}GB overlap={:.2}",
+        s.catalog.len(),
+        s.catalog.total_bytes() as f64 / 1e9,
+        opts.cache_bytes as f64 / 1e9,
+        s.trace.total_query_bytes() as f64 / 1e9,
+        s.trace.total_update_bytes() as f64 / 1e9,
+        stats.hotspot_overlap(10)
+    );
     for r in delta_core::compare_all(&s.catalog, &s.trace, opts, 42) {
         let b = &r.ledger.breakdown;
         println!("{:<9} total={:>7.1}GB post={:>7.1}GB q={:>7.1} u={:>6.1} l={:>6.1} hit={:>5.1}% loads={} evict={} [{:?}]",

@@ -62,14 +62,34 @@ fn inspect(path: PathBuf) -> Result<(), Box<dyn std::error::Error>> {
     println!("trace: {}", path.display());
     println!("  description : {}", header.description);
     println!("  objects     : {}", catalog.len());
-    println!("  events      : {} ({} queries, {} updates)", trace.len(), trace.n_queries(), trace.n_updates());
-    println!("  query bytes : {:.2} GB (NoCache cost)", trace.total_query_bytes() as f64 / 1e9);
-    println!("  update bytes: {:.2} GB (Replica cost)", trace.total_update_bytes() as f64 / 1e9);
+    println!(
+        "  events      : {} ({} queries, {} updates)",
+        trace.len(),
+        trace.n_queries(),
+        trace.n_updates()
+    );
+    println!(
+        "  query bytes : {:.2} GB (NoCache cost)",
+        trace.total_query_bytes() as f64 / 1e9
+    );
+    println!(
+        "  update bytes: {:.2} GB (Replica cost)",
+        trace.total_update_bytes() as f64 / 1e9
+    );
 
     let stats = TraceStats::compute(&trace, catalog.len());
-    println!("  query hotspots (top 6 object-IDs) : {:?}", stats.top_query_objects(6));
-    println!("  update hotspots (top 6 object-IDs): {:?}", stats.top_update_objects(6));
-    println!("  hotspot overlap (Jaccard, k=6)    : {:.2}", stats.hotspot_overlap(6));
+    println!(
+        "  query hotspots (top 6 object-IDs) : {:?}",
+        stats.top_query_objects(6)
+    );
+    println!(
+        "  update hotspots (top 6 object-IDs): {:?}",
+        stats.top_update_objects(6)
+    );
+    println!(
+        "  hotspot overlap (Jaccard, k=6)    : {:.2}",
+        stats.hotspot_overlap(6)
+    );
     let mix = MixStats::compute(&trace);
     println!(
         "  query mix (cone/range/join/agg/scan/sel): {:?}",

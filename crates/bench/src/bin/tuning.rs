@@ -15,6 +15,25 @@ struct TuningResults {
     alpha_sweep: Vec<(f64, SimReport)>,
 }
 
+impl serde_json::ToJson for TuningResults {
+    fn to_json(&self) -> serde_json::Value {
+        serde_json::Value::Object(vec![
+            (
+                "cache_sweep".into(),
+                serde_json::ToJson::to_json(&self.cache_sweep),
+            ),
+            (
+                "window_sweep".into(),
+                serde_json::ToJson::to_json(&self.window_sweep),
+            ),
+            (
+                "alpha_sweep".into(),
+                serde_json::ToJson::to_json(&self.alpha_sweep),
+            ),
+        ])
+    }
+}
+
 fn main() {
     let scale = Scale::from_args();
     let cfg = scale.config();
@@ -47,7 +66,12 @@ fn main() {
     for window in [250u64, 500, 1000, 2000, 4000] {
         let mut b = Benefit::new(opts.cache_bytes, BenefitConfig { window, alpha: 0.3 });
         let r = simulate(&mut b, &survey.catalog, &survey.trace, opts);
-        println!("{:>10} {:>12} {:>6.1}%", window, r.total().to_string(), r.ledger.hit_rate() * 100.0);
+        println!(
+            "{:>10} {:>12} {:>6.1}%",
+            window,
+            r.total().to_string(),
+            r.ledger.hit_rate() * 100.0
+        );
         window_sweep.push((window, r));
     }
 
@@ -56,14 +80,29 @@ fn main() {
     println!("\nalpha sweep (Benefit, window = 1000):");
     println!("{:>10} {:>12} {:>7}", "alpha", "total", "hit%");
     for alpha in [0.1, 0.3, 0.5, 0.8, 1.0] {
-        let mut b = Benefit::new(opts.cache_bytes, BenefitConfig { window: 1000, alpha });
+        let mut b = Benefit::new(
+            opts.cache_bytes,
+            BenefitConfig {
+                window: 1000,
+                alpha,
+            },
+        );
         let r = simulate(&mut b, &survey.catalog, &survey.trace, opts);
-        println!("{:>10.1} {:>12} {:>6.1}%", alpha, r.total().to_string(), r.ledger.hit_rate() * 100.0);
+        println!(
+            "{:>10.1} {:>12} {:>6.1}%",
+            alpha,
+            r.total().to_string(),
+            r.ledger.hit_rate() * 100.0
+        );
         alpha_sweep.push((alpha, r));
     }
 
     write_json(
         &format!("tuning_{}.json", scale.label()),
-        &TuningResults { cache_sweep, window_sweep, alpha_sweep },
+        &TuningResults {
+            cache_sweep,
+            window_sweep,
+            alpha_sweep,
+        },
     );
 }

@@ -83,7 +83,7 @@ pub fn results_dir() -> PathBuf {
 }
 
 /// Writes a serializable artifact as pretty JSON under `results/`.
-pub fn write_json<T: serde::Serialize>(name: &str, value: &T) {
+pub fn write_json<T: serde_json::ToJson>(name: &str, value: &T) {
     let path = results_dir().join(name);
     let json = serde_json::to_string_pretty(value).expect("serialize artifact");
     std::fs::write(&path, json).expect("write artifact");
@@ -95,7 +95,15 @@ pub fn print_reports(title: &str, warmup_cutoff: u64, reports: &[SimReport]) {
     println!("\n=== {title} ===");
     println!(
         "{:<9} {:>12} {:>14} {:>12} {:>12} {:>12} {:>7} {:>6} {:>6}",
-        "policy", "total", "post-warmup", "query-ship", "update-ship", "load", "hit%", "loads", "evict"
+        "policy",
+        "total",
+        "post-warmup",
+        "query-ship",
+        "update-ship",
+        "load",
+        "hit%",
+        "loads",
+        "evict"
     );
     for r in reports {
         let b = &r.ledger.breakdown;

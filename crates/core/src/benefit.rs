@@ -32,7 +32,10 @@ pub struct BenefitConfig {
 
 impl Default for BenefitConfig {
     fn default() -> Self {
-        Self { window: 1000, alpha: 0.3 }
+        Self {
+            window: 1000,
+            alpha: 0.3,
+        }
     }
 }
 
@@ -63,7 +66,14 @@ pub struct Benefit {
 impl Benefit {
     /// Creates a Benefit policy for a cache of `capacity` bytes.
     pub fn new(capacity: u64, cfg: BenefitConfig) -> Self {
-        Self { cfg, capacity, mu: Vec::new(), acc: Vec::new(), next_boundary: cfg.window, windows_closed: 0 }
+        Self {
+            cfg,
+            capacity,
+            mu: Vec::new(),
+            acc: Vec::new(),
+            next_boundary: cfg.window,
+            windows_closed: 0,
+        }
     }
 
     /// Number of completed windows (for tests).
@@ -86,7 +96,12 @@ impl Benefit {
         let total = total.max(1) as f64;
         q.objects
             .iter()
-            .map(|&o| (o, q.result_bytes as f64 * ctx.repo.current_size(o) as f64 / total))
+            .map(|&o| {
+                (
+                    o,
+                    q.result_bytes as f64 * ctx.repo.current_size(o) as f64 / total,
+                )
+            })
             .collect()
     }
 
@@ -231,7 +246,13 @@ mod tests {
         let mut repo = Repository::new(ObjectCatalog::from_sizes(&[100, 100]));
         let mut cache = CacheStore::new(150);
         let mut ledger = CostLedger::default();
-        let mut b = Benefit::new(150, BenefitConfig { window: 10, alpha: 1.0 });
+        let mut b = Benefit::new(
+            150,
+            BenefitConfig {
+                window: 10,
+                alpha: 1.0,
+            },
+        );
         // Window 0: hot queries on o0 (shipped: nothing cached).
         for seq in 0..10u64 {
             let mut ctx = SimContext::new(&mut repo, &mut cache, &mut ledger, seq);
@@ -251,7 +272,13 @@ mod tests {
         let mut repo = Repository::new(ObjectCatalog::from_sizes(&[100]));
         let mut cache = CacheStore::new(200);
         let mut ledger = CostLedger::default();
-        let mut b = Benefit::new(200, BenefitConfig { window: 10, alpha: 1.0 });
+        let mut b = Benefit::new(
+            200,
+            BenefitConfig {
+                window: 10,
+                alpha: 1.0,
+            },
+        );
         // Window 0: make o0 attractive.
         for seq in 0..10u64 {
             let mut ctx = SimContext::new(&mut repo, &mut cache, &mut ledger, seq);
@@ -270,7 +297,11 @@ mod tests {
             {
                 let mut ctx = SimContext::new(&mut repo, &mut cache, &mut ledger, seq);
                 b.on_update(
-                    &UpdateEvent { seq, object: ObjectId(0), bytes: 500 },
+                    &UpdateEvent {
+                        seq,
+                        object: ObjectId(0),
+                        bytes: 500,
+                    },
                     &mut ctx,
                 );
             }
@@ -279,7 +310,10 @@ mod tests {
             b.on_query(&q(seq, vec![0], 10), &mut ctx);
             seq += 1;
         }
-        assert!(!cache.contains(ObjectId(0)), "update-hot object should be dropped");
+        assert!(
+            !cache.contains(ObjectId(0)),
+            "update-hot object should be dropped"
+        );
     }
 
     #[test]
@@ -287,7 +321,13 @@ mod tests {
         let mut repo = Repository::new(ObjectCatalog::from_sizes(&[100]));
         let mut cache = CacheStore::new(200);
         let mut ledger = CostLedger::default();
-        let mut b = Benefit::new(200, BenefitConfig { window: 5, alpha: 0.5 });
+        let mut b = Benefit::new(
+            200,
+            BenefitConfig {
+                window: 5,
+                alpha: 0.5,
+            },
+        );
         {
             let mut ctx = SimContext::new(&mut repo, &mut cache, &mut ledger, 0);
             b.on_query(&q(0, vec![0], 10), &mut ctx);

@@ -56,7 +56,16 @@ impl<'a> SimContext<'a> {
         ledger: &'a mut CostLedger,
         now: u64,
     ) -> Self {
-        Self { repo, cache, ledger, now, satisfied: false, sync_messages: 0, sync_bytes: 0, transport: None }
+        Self {
+            repo,
+            cache,
+            ledger,
+            now,
+            satisfied: false,
+            sync_messages: 0,
+            sync_bytes: 0,
+            transport: None,
+        }
     }
 
     /// Creates a context whose data movements are mirrored onto a
@@ -204,7 +213,13 @@ mod tests {
     }
 
     fn query(objects: Vec<ObjectId>, bytes: u64, tolerance: u64) -> QueryEvent {
-        QueryEvent { seq: 10, objects, result_bytes: bytes, tolerance, kind: QueryKind::Cone }
+        QueryEvent {
+            seq: 10,
+            objects,
+            result_bytes: bytes,
+            tolerance,
+            kind: QueryKind::Cone,
+        }
     }
 
     #[test]

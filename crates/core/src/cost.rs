@@ -85,7 +85,7 @@ impl CostBreakdown {
 }
 
 /// The running account of a simulation run.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct CostLedger {
     /// Byte costs by mechanism.
     pub breakdown: CostBreakdown,
@@ -118,6 +118,35 @@ impl CostLedger {
     }
 }
 
+impl serde_json::ToJson for Cost {
+    fn to_json(&self) -> serde_json::Value {
+        self.0.to_json()
+    }
+}
+
+impl serde_json::ToJson for CostBreakdown {
+    fn to_json(&self) -> serde_json::Value {
+        serde_json::Value::Object(vec![
+            ("query_ship".into(), self.query_ship.to_json()),
+            ("update_ship".into(), self.update_ship.to_json()),
+            ("load".into(), self.load.to_json()),
+        ])
+    }
+}
+
+impl serde_json::ToJson for CostLedger {
+    fn to_json(&self) -> serde_json::Value {
+        serde_json::Value::Object(vec![
+            ("breakdown".into(), self.breakdown.to_json()),
+            ("shipped_queries".into(), self.shipped_queries.to_json()),
+            ("local_answers".into(), self.local_answers.to_json()),
+            ("update_ships".into(), self.update_ships.to_json()),
+            ("loads".into(), self.loads.to_json()),
+            ("evictions".into(), self.evictions.to_json()),
+        ])
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -143,7 +172,11 @@ mod tests {
 
     #[test]
     fn breakdown_totals() {
-        let b = CostBreakdown { query_ship: Cost(1), update_ship: Cost(2), load: Cost(3) };
+        let b = CostBreakdown {
+            query_ship: Cost(1),
+            update_ship: Cost(2),
+            load: Cost(3),
+        };
         assert_eq!(b.total(), Cost(6));
     }
 

@@ -76,7 +76,9 @@ pub struct FaultPlan {
 impl FaultPlan {
     /// A plan with one crash before event `at`.
     pub fn crash_at(at: u64, mode: RecoveryMode) -> Self {
-        Self { crashes: vec![(at, mode)] }
+        Self {
+            crashes: vec![(at, mode)],
+        }
     }
 }
 
@@ -183,16 +185,28 @@ struct WanTransport {
 impl Transport for WanTransport {
     fn query_shipped(&mut self, q: &delta_workload::QueryEvent) {
         self.wan
-            .send(NetMessage::QueryShip { query_seq: q.seq, result_bytes: q.result_bytes })
+            .send(NetMessage::QueryShip {
+                query_seq: q.seq,
+                result_bytes: q.result_bytes,
+            })
             .expect("server alive");
     }
 
     fn updates_fetched(&mut self, o: ObjectId, from: u64, to: u64, bytes: u64) {
         self.wan
-            .send(NetMessage::UpdateFetch { object: o.0, from_version: from, to_version: to })
+            .send(NetMessage::UpdateFetch {
+                object: o.0,
+                from_version: from,
+                to_version: to,
+            })
             .expect("server alive");
         match self.wan.recv().expect("server alive") {
-            NetMessage::UpdateShip { object, from_version, to_version, bytes: got } => {
+            NetMessage::UpdateShip {
+                object,
+                from_version,
+                to_version,
+                bytes: got,
+            } => {
                 assert_eq!(object, o.0);
                 assert_eq!((from_version, to_version), (from, to));
                 assert_eq!(
@@ -205,9 +219,15 @@ impl Transport for WanTransport {
     }
 
     fn object_loaded(&mut self, o: ObjectId, version: u64, bytes: u64) {
-        self.wan.send(NetMessage::LoadRequest { object: o.0 }).expect("server alive");
+        self.wan
+            .send(NetMessage::LoadRequest { object: o.0 })
+            .expect("server alive");
         match self.wan.recv().expect("server alive") {
-            NetMessage::ObjectLoad { object, version: v, bytes: got } => {
+            NetMessage::ObjectLoad {
+                object,
+                version: v,
+                bytes: got,
+            } => {
                 assert_eq!(object, o.0);
                 assert_eq!(v, version, "server and cache disagree on {o}'s version");
                 assert_eq!(got, bytes, "server and cache disagree on {o}'s size");
@@ -217,14 +237,19 @@ impl Transport for WanTransport {
     }
 
     fn object_evicted(&mut self, o: ObjectId) {
-        self.wan.send(NetMessage::EvictNotice { object: o.0 }).expect("server alive");
+        self.wan
+            .send(NetMessage::EvictNotice { object: o.0 })
+            .expect("server alive");
     }
 }
 
 /// Rebuilds a repository mirror from a recovery sync over the WAN.
 /// Returns the number of log entries replayed.
 fn resync_mirror(transport: &mut WanTransport, catalog: &ObjectCatalog) -> (Repository, u64) {
-    transport.wan.send(NetMessage::SyncRequest).expect("server alive");
+    transport
+        .wan
+        .send(NetMessage::SyncRequest)
+        .expect("server alive");
     let mut mirror = Repository::new(catalog.clone());
     let mut replayed = 0u64;
     loop {
@@ -281,7 +306,9 @@ pub fn run_deployed(
     let mut slot = Some(policy);
     let (report, snapshot, recovery) = run_deployed_inner(
         &mut move || -> Box<dyn CachingPolicy + Send> {
-            Box::new(Borrowed(slot.take().expect("fault-free runs build one policy")))
+            Box::new(Borrowed(
+                slot.take().expect("fault-free runs build one policy"),
+            ))
         },
         catalog,
         trace,
@@ -373,13 +400,22 @@ where
                     ClientMsg::AbsorbInvalidation => {
                         // The matching invalidation is already in flight.
                         match transport.wan.recv().expect("server alive") {
-                            NetMessage::Invalidation { object, version, bytes, seq } => {
+                            NetMessage::Invalidation {
+                                object,
+                                version,
+                                bytes,
+                                seq,
+                            } => {
                                 last_seq = seq;
                                 let o = ObjectId(object);
                                 let v = mirror.apply_update(o, bytes, seq);
                                 assert_eq!(v, version, "mirror version drift on {o}");
                                 store.invalidate(o);
-                                let u = UpdateEvent { seq, object: o, bytes };
+                                let u = UpdateEvent {
+                                    seq,
+                                    object: o,
+                                    bytes,
+                                };
                                 let mut ctx = SimContext::with_transport(
                                     &mut mirror,
                                     &mut store,
@@ -416,10 +452,8 @@ where
                                 // Disk survived; freshness metadata must be
                                 // re-derived by comparing applied versions
                                 // against the resynced mirror.
-                                let residents: Vec<(ObjectId, u64)> = store
-                                    .iter()
-                                    .map(|(o, r)| (o, r.applied_version))
-                                    .collect();
+                                let residents: Vec<(ObjectId, u64)> =
+                                    store.iter().map(|(o, r)| (o, r.applied_version)).collect();
                                 recovery_ref.objects_kept += residents.len() as u64;
                                 for (o, applied) in residents {
                                     if applied < mirror.version(o) {
@@ -443,18 +477,27 @@ where
                         continue;
                     }
                     ClientMsg::Done => {
-                        transport.wan.send(NetMessage::Shutdown).expect("server alive");
+                        transport
+                            .wan
+                            .send(NetMessage::Shutdown)
+                            .expect("server alive");
                         break;
                     }
                 }
                 count += 1;
-                if count % opts.sample_every == 0 {
-                    series.push(SeriesPoint { seq: last_seq, cumulative_bytes: ledger.total().bytes() });
+                if count.is_multiple_of(opts.sample_every) {
+                    series.push(SeriesPoint {
+                        seq: last_seq,
+                        cumulative_bytes: ledger.total().bytes(),
+                    });
                 }
                 ack_tx.send(()).expect("client alive");
             }
             if series.last().map(|p| p.seq) != Some(last_seq) {
-                series.push(SeriesPoint { seq: last_seq, cumulative_bytes: ledger.total().bytes() });
+                series.push(SeriesPoint {
+                    seq: last_seq,
+                    cumulative_bytes: ledger.total().bytes(),
+                });
             }
             *report_ref = Some(SimReport {
                 policy: policy.name().to_string(),
@@ -478,11 +521,15 @@ where
             }
             match event {
                 Event::Query(q) => {
-                    client_tx.send(ClientMsg::Query(q.clone())).expect("cache alive");
+                    client_tx
+                        .send(ClientMsg::Query(q.clone()))
+                        .expect("cache alive");
                 }
                 Event::Update(u) => {
                     pipeline_tx.send(*u).expect("server alive");
-                    client_tx.send(ClientMsg::AbsorbInvalidation).expect("cache alive");
+                    client_tx
+                        .send(ClientMsg::AbsorbInvalidation)
+                        .expect("cache alive");
                 }
             }
             ack_rx.recv().expect("cache alive");
@@ -492,7 +539,11 @@ where
 
     server.join().expect("server thread panicked");
     let snapshot = meter.snapshot();
-    (report.expect("cache thread produced a report"), snapshot, recovery)
+    (
+        report.expect("cache thread produced a report"),
+        snapshot,
+        recovery,
+    )
 }
 
 #[cfg(test)]
@@ -560,7 +611,11 @@ mod tests {
         let (report, wan, rec) =
             run_deployed_faulty(&mut factory, &s.catalog, &s.trace, opts, &plan);
         assert_eq!(rec.crashes, 1);
-        assert_eq!(report.total().bytes(), wan.charged_total(), "ledger and meter reconcile");
+        assert_eq!(
+            report.total().bytes(),
+            wan.charged_total(),
+            "ledger and meter reconcile"
+        );
         assert_eq!(
             report.ledger.shipped_queries + report.ledger.local_answers,
             s.trace.n_queries() as u64,
@@ -585,9 +640,8 @@ mod tests {
         let opts = SimOptions::with_cache_fraction(&s.catalog, 0.3, 100);
         let mid = (s.trace.len() * 3 / 4) as u64;
         let plan = FaultPlan::crash_at(mid, RecoveryMode::Warm);
-        let mut factory = move || -> Box<dyn CachingPolicy + Send> {
-            Box::new(VCover::new(opts.cache_bytes, 5))
-        };
+        let mut factory =
+            move || -> Box<dyn CachingPolicy + Send> { Box::new(VCover::new(opts.cache_bytes, 5)) };
         let (report, wan, rec) =
             run_deployed_faulty(&mut factory, &s.catalog, &s.trace, opts, &plan);
         assert_eq!(rec.crashes, 1);
@@ -597,7 +651,10 @@ mod tests {
             report.ledger.shipped_queries + report.ledger.local_answers,
             s.trace.n_queries() as u64
         );
-        assert!(rec.log_entries_replayed > 0, "mirror was rebuilt from the server log");
+        assert!(
+            rec.log_entries_replayed > 0,
+            "mirror was rebuilt from the server log"
+        );
     }
 
     #[test]
@@ -608,11 +665,9 @@ mod tests {
         let plan = FaultPlan {
             crashes: (1..8).map(|i| (i * n / 8, RecoveryMode::Cold)).collect(),
         };
-        let mut factory = move || -> Box<dyn CachingPolicy + Send> {
-            Box::new(VCover::new(opts.cache_bytes, 5))
-        };
-        let (report, _, rec) =
-            run_deployed_faulty(&mut factory, &s.catalog, &s.trace, opts, &plan);
+        let mut factory =
+            move || -> Box<dyn CachingPolicy + Send> { Box::new(VCover::new(opts.cache_bytes, 5)) };
+        let (report, _, rec) = run_deployed_faulty(&mut factory, &s.catalog, &s.trace, opts, &plan);
         assert_eq!(rec.crashes, 7);
         assert_eq!(
             report.ledger.shipped_queries + report.ledger.local_answers,

@@ -88,6 +88,19 @@ pub struct LatencyStats {
     pub max_secs: f64,
 }
 
+impl serde_json::ToJson for LatencyStats {
+    fn to_json(&self) -> serde_json::Value {
+        serde_json::Value::Object(vec![
+            ("count".into(), self.count.to_json()),
+            ("mean_secs".into(), self.mean_secs.to_json()),
+            ("p50_secs".into(), self.p50_secs.to_json()),
+            ("p95_secs".into(), self.p95_secs.to_json()),
+            ("p99_secs".into(), self.p99_secs.to_json()),
+            ("max_secs".into(), self.max_secs.to_json()),
+        ])
+    }
+}
+
 impl std::fmt::Display for LatencyStats {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
@@ -138,7 +151,10 @@ mod tests {
 
     #[test]
     fn shipped_query_pays_rtt_and_bandwidth() {
-        let link = LinkModel { bandwidth_bytes_per_sec: 1e6, rtt_secs: 0.05 };
+        let link = LinkModel {
+            bandwidth_bytes_per_sec: 1e6,
+            rtt_secs: 0.05,
+        };
         let mut c = LatencyCollector::new();
         c.record_exchanges(&link, 1, 1_000_000);
         let s = c.summarize();

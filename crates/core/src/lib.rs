@@ -61,8 +61,8 @@ pub use benefit::{Benefit, BenefitConfig};
 pub use context::SimContext;
 pub use cost::{Cost, CostBreakdown, CostLedger};
 pub use latency::{LatencyCollector, LatencyStats};
-pub use offline::{hindsight_decoupling, HindsightReport};
 pub use load_manager::{AdmissionMode, LoadManager};
+pub use offline::{hindsight_decoupling, HindsightReport};
 pub use policy_trait::CachingPolicy;
 pub use preship::{Preship, PreshipConfig};
 pub use sim::{compare_all, simulate, SeriesPoint, SimOptions, SimReport};

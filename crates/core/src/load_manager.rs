@@ -119,8 +119,12 @@ impl<P: ReplacementPolicy> LoadManager<P> {
     /// objects, gate admissions, run the lazy GDS batch and execute the
     /// net plan. `um` is kept in sync on evictions.
     pub fn consider(&mut self, q: &QueryEvent, ctx: &mut SimContext<'_>, um: &mut UpdateManager) {
-        let mut missing: Vec<ObjectId> =
-            q.objects.iter().copied().filter(|&o| !ctx.cache.contains(o)).collect();
+        let mut missing: Vec<ObjectId> = q
+            .objects
+            .iter()
+            .copied()
+            .filter(|&o| !ctx.cache.contains(o))
+            .collect();
         if missing.is_empty() {
             return;
         }
@@ -248,7 +252,9 @@ impl<P: ReplacementPolicy> LoadManager<P> {
         // (shouldn't happen — every resident is tracked), fall back to
         // evicting arbitrary residents to preserve the capacity invariant.
         while ctx.over_capacity() {
-            let Some((v, _)) = ctx.cache.iter().next() else { break };
+            let Some((v, _)) = ctx.cache.iter().next() else {
+                break;
+            };
             ctx.evict_object(v);
             self.stats.evictions += 1;
             um.on_evict(v);
@@ -274,7 +280,11 @@ mod tests {
     }
 
     fn world(sizes: &[u64], cap: u64) -> (Repository, CacheStore, CostLedger) {
-        (Repository::new(ObjectCatalog::from_sizes(sizes)), CacheStore::new(cap), CostLedger::default())
+        (
+            Repository::new(ObjectCatalog::from_sizes(sizes)),
+            CacheStore::new(cap),
+            CostLedger::default(),
+        )
     }
 
     #[test]
@@ -319,7 +329,10 @@ mod tests {
         let mut ctx = SimContext::new(&mut repo, &mut cache, &mut ledger, 2);
         lm.consider(&q(2, vec![0], 500), &mut ctx, &mut um);
         let r = cache.get(ObjectId(0)).unwrap();
-        assert_eq!(r.applied_version, 1, "updates during/before load are included");
+        assert_eq!(
+            r.applied_version, 1,
+            "updates during/before load are included"
+        );
         assert!(!r.stale);
         assert_eq!(r.bytes, 120, "load ships base + updates");
         assert_eq!(ledger.breakdown.load.bytes(), 120);
@@ -351,7 +364,11 @@ mod tests {
         }
         assert!(cache.contains(ObjectId(1)));
         assert!(!cache.contains(ObjectId(0)));
-        assert_eq!(um.live_update_nodes(), 0, "evicted object's update nodes dropped");
+        assert_eq!(
+            um.live_update_nodes(),
+            0,
+            "evicted object's update nodes dropped"
+        );
     }
 
     #[test]

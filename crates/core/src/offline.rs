@@ -175,7 +175,11 @@ mod tests {
     }
 
     fn u(seq: u64, object: u32, bytes: u64) -> Event {
-        Event::Update(UpdateEvent { seq, object: ObjectId(object), bytes })
+        Event::Update(UpdateEvent {
+            seq,
+            object: ObjectId(object),
+            bytes,
+        })
     }
 
     fn trace_of(events: Vec<Event>) -> Trace {
@@ -189,11 +193,7 @@ mod tests {
         // covering the query (6).
         let catalog = ObjectCatalog::from_sizes(&[10, 20]);
         let cached: HashSet<ObjectId> = [ObjectId(0), ObjectId(1)].into();
-        let t = trace_of(vec![
-            u(1, 1, 1),
-            u(2, 1, 2),
-            q(3, vec![1], 6, 0),
-        ]);
+        let t = trace_of(vec![u(1, 1, 1), u(2, 1, 2), q(3, vec![1], 6, 0)]);
         let r = hindsight_decoupling(&catalog, &t, &cached);
         assert_eq!(r.cover_update, Cost(3));
         assert_eq!(r.cover_query, Cost::ZERO);
@@ -207,7 +207,11 @@ mod tests {
         let cached: HashSet<ObjectId> = [ObjectId(0)].into();
         let t = trace_of(vec![u(1, 0, 50), q(2, vec![0], 4, 0)]);
         let r = hindsight_decoupling(&catalog, &t, &cached);
-        assert_eq!(r.cover_query, Cost(4), "shipping the 4-byte query beats 50 bytes of updates");
+        assert_eq!(
+            r.cover_query,
+            Cost(4),
+            "shipping the 4-byte query beats 50 bytes of updates"
+        );
         assert_eq!(r.cover_update, Cost::ZERO);
     }
 

@@ -35,7 +35,10 @@ pub struct PreshipConfig {
 
 impl Default for PreshipConfig {
     fn default() -> Self {
-        Self { half_life_events: 2000.0, hot_threshold: 3.0 }
+        Self {
+            half_life_events: 2000.0,
+            hot_threshold: 3.0,
+        }
     }
 }
 
@@ -126,9 +129,7 @@ impl<P: CachingPolicy> CachingPolicy for Preship<P> {
         // anyway; VCover records the outstanding update).
         self.inner.on_update(u, ctx);
         let i = u.object.index();
-        if ctx.cache.contains(u.object)
-            && self.heat_now(i, ctx.now) >= self.cfg.hot_threshold
-        {
+        if ctx.cache.contains(u.object) && self.heat_now(i, ctx.now) >= self.cfg.hot_threshold {
             let target = ctx.repo.version(u.object);
             let already = ctx.cache.applied_version(u.object).unwrap_or(0);
             if target > already {
@@ -172,7 +173,10 @@ mod tests {
         let mut ledger = CostLedger::default();
         let mut p = Preship::new(
             NoCache,
-            PreshipConfig { half_life_events: 100.0, hot_threshold: 2.0 },
+            PreshipConfig {
+                half_life_events: 100.0,
+                hot_threshold: 2.0,
+            },
         );
         // Make the object resident and hot.
         {
@@ -187,7 +191,14 @@ mod tests {
         repo.apply_update(ObjectId(0), 7, 4);
         cache.invalidate(ObjectId(0));
         let mut ctx = SimContext::new(&mut repo, &mut cache, &mut ledger, 4);
-        p.on_update(&UpdateEvent { seq: 4, object: ObjectId(0), bytes: 7 }, &mut ctx);
+        p.on_update(
+            &UpdateEvent {
+                seq: 4,
+                object: ObjectId(0),
+                bytes: 7,
+            },
+            &mut ctx,
+        );
         assert_eq!(p.preshipped(), (1, 7));
         assert!(!cache.get(ObjectId(0)).unwrap().stale);
     }
@@ -199,7 +210,10 @@ mod tests {
         let mut ledger = CostLedger::default();
         let mut p = Preship::new(
             NoCache,
-            PreshipConfig { half_life_events: 100.0, hot_threshold: 2.0 },
+            PreshipConfig {
+                half_life_events: 100.0,
+                hot_threshold: 2.0,
+            },
         );
         {
             let mut ctx = SimContext::new(&mut repo, &mut cache, &mut ledger, 0);
@@ -208,7 +222,14 @@ mod tests {
         repo.apply_update(ObjectId(0), 7, 1);
         cache.invalidate(ObjectId(0));
         let mut ctx = SimContext::new(&mut repo, &mut cache, &mut ledger, 1);
-        p.on_update(&UpdateEvent { seq: 1, object: ObjectId(0), bytes: 7 }, &mut ctx);
+        p.on_update(
+            &UpdateEvent {
+                seq: 1,
+                object: ObjectId(0),
+                bytes: 7,
+            },
+            &mut ctx,
+        );
         assert_eq!(p.preshipped(), (0, 0), "no query heat, no preship");
         assert!(cache.get(ObjectId(0)).unwrap().stale);
     }
@@ -220,7 +241,10 @@ mod tests {
         let mut ledger = CostLedger::default();
         let mut p = Preship::new(
             NoCache,
-            PreshipConfig { half_life_events: 10.0, hot_threshold: 2.0 },
+            PreshipConfig {
+                half_life_events: 10.0,
+                hot_threshold: 2.0,
+            },
         );
         {
             let mut ctx = SimContext::new(&mut repo, &mut cache, &mut ledger, 0);
@@ -234,7 +258,14 @@ mod tests {
         repo.apply_update(ObjectId(0), 7, 103);
         cache.invalidate(ObjectId(0));
         let mut ctx = SimContext::new(&mut repo, &mut cache, &mut ledger, 103);
-        p.on_update(&UpdateEvent { seq: 103, object: ObjectId(0), bytes: 7 }, &mut ctx);
+        p.on_update(
+            &UpdateEvent {
+                seq: 103,
+                object: ObjectId(0),
+                bytes: 7,
+            },
+            &mut ctx,
+        );
         assert_eq!(p.preshipped(), (0, 0), "heat decayed below threshold");
     }
 

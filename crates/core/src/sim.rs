@@ -89,6 +89,34 @@ impl SimReport {
     }
 }
 
+impl serde_json::ToJson for SeriesPoint {
+    fn to_json(&self) -> serde_json::Value {
+        serde_json::Value::Object(vec![
+            ("seq".into(), self.seq.to_json()),
+            ("cumulative_bytes".into(), self.cumulative_bytes.to_json()),
+        ])
+    }
+}
+
+impl serde_json::ToJson for SimReport {
+    fn to_json(&self) -> serde_json::Value {
+        serde_json::Value::Object(vec![
+            ("policy".into(), self.policy.to_json()),
+            ("cache_bytes".into(), self.cache_bytes.to_json()),
+            ("ledger".into(), self.ledger.to_json()),
+            ("series".into(), self.series.to_json()),
+            ("events".into(), self.events.to_json()),
+            (
+                "latency".into(),
+                self.latency
+                    .as_ref()
+                    .map(|l| l.to_json())
+                    .unwrap_or(serde_json::Value::Null),
+            ),
+        ])
+    }
+}
+
 impl std::fmt::Display for SimReport {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         let b = &self.ledger.breakdown;
@@ -154,14 +182,20 @@ pub fn simulate(
             }
         }
         count += 1;
-        if count % opts.sample_every == 0 {
-            series.push(SeriesPoint { seq: now, cumulative_bytes: ledger.total().bytes() });
+        if count.is_multiple_of(opts.sample_every) {
+            series.push(SeriesPoint {
+                seq: now,
+                cumulative_bytes: ledger.total().bytes(),
+            });
         }
     }
     // Always close the curve.
     let last_seq = trace.events.last().map(|e| e.seq()).unwrap_or(0);
     if series.last().map(|p| p.seq) != Some(last_seq) {
-        series.push(SeriesPoint { seq: last_seq, cumulative_bytes: ledger.total().bytes() });
+        series.push(SeriesPoint {
+            seq: last_seq,
+            cumulative_bytes: ledger.total().bytes(),
+        });
     }
 
     SimReport {
@@ -254,7 +288,10 @@ mod tests {
         let opts = SimOptions::with_cache_fraction(&s.catalog, 0.3, 50);
         let mut p = VCover::new(opts.cache_bytes, 1);
         let r = simulate(&mut p, &s.catalog, &s.trace, opts);
-        assert!(r.series.windows(2).all(|w| w[0].cumulative_bytes <= w[1].cumulative_bytes));
+        assert!(r
+            .series
+            .windows(2)
+            .all(|w| w[0].cumulative_bytes <= w[1].cumulative_bytes));
         assert_eq!(
             r.series.last().unwrap().cumulative_bytes,
             r.total().bytes(),
@@ -269,7 +306,10 @@ mod tests {
         let opts = SimOptions::with_cache_fraction(&s.catalog, 0.3, 100);
         let rs = compare_all(&s.catalog, &s.trace, opts, 7);
         let names: Vec<_> = rs.iter().map(|r| r.policy.as_str()).collect();
-        assert_eq!(names, vec!["NoCache", "Replica", "Benefit", "VCover", "SOptimal"]);
+        assert_eq!(
+            names,
+            vec!["NoCache", "Replica", "Benefit", "VCover", "SOptimal"]
+        );
     }
 
     #[test]

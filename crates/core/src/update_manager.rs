@@ -192,7 +192,9 @@ impl UpdateManager {
     /// vertices once their counts exceed the bounds.
     fn enforce_caps(&mut self, q: &QueryEvent) {
         for &o in &q.objects {
-            let Some(segs) = self.by_object.get_mut(&o) else { continue };
+            let Some(segs) = self.by_object.get_mut(&o) else {
+                continue;
+            };
             if segs.len() <= MAX_SEGMENTS_PER_OBJECT {
                 continue;
             }
@@ -247,7 +249,11 @@ impl UpdateManager {
             let start = covered_to.max(from);
             let w = ctx.repo.update_bytes(o, start, to);
             let node = graph.add_update(w);
-            segs.push(Segment { start, end: to, node });
+            segs.push(Segment {
+                start,
+                end: to,
+                node,
+            });
         } else if let Some(idx) = segs.iter().position(|s| s.start < to && to < s.end) {
             // Split the straddling segment at `to`.
             self.stats.segment_splits += 1;
@@ -268,8 +274,19 @@ impl UpdateManager {
                     self.node_queries.entry(n2).or_default().push(adj_q);
                 }
             }
-            segs[idx] = Segment { start: old.start, end: to, node: n1 };
-            segs.insert(idx + 1, Segment { start: to, end: old.end, node: n2 });
+            segs[idx] = Segment {
+                start: old.start,
+                end: to,
+                node: n1,
+            };
+            segs.insert(
+                idx + 1,
+                Segment {
+                    start: to,
+                    end: old.end,
+                    node: n2,
+                },
+            );
         }
     }
 
@@ -351,7 +368,13 @@ mod tests {
 
     /// Loads object `o` at time 0 (uncharged, direct).
     fn preload(repo: &Repository, cache: &mut CacheStore, o: u32) {
-        cache.load(ObjectId(o), repo.current_size(ObjectId(o)), repo.version(ObjectId(o))).unwrap();
+        cache
+            .load(
+                ObjectId(o),
+                repo.current_size(ObjectId(o)),
+                repo.version(ObjectId(o)),
+            )
+            .unwrap();
     }
 
     #[test]
@@ -381,7 +404,11 @@ mod tests {
         assert_eq!(ledger.breakdown.update_ship.bytes(), 7);
         assert_eq!(ledger.breakdown.query_ship.bytes(), 0);
         assert_eq!(ledger.local_answers, 1);
-        assert_eq!(um.live_update_nodes(), 0, "shipped segments leave the graph");
+        assert_eq!(
+            um.live_update_nodes(),
+            0,
+            "shipped segments leave the graph"
+        );
         assert_eq!(um.retained_queries(), 0);
     }
 
@@ -440,7 +467,11 @@ mod tests {
         let mut ctx = SimContext::new(&mut repo, &mut cache, &mut ledger, 10);
         // tolerance 5: horizon 5, only the seq-1 update interacts.
         um.handle_query(&q(10, vec![0], 1000, 5), &mut ctx);
-        assert_eq!(ledger.breakdown.update_ship.bytes(), 30, "only the old update ships");
+        assert_eq!(
+            ledger.breakdown.update_ship.bytes(),
+            30,
+            "only the old update ships"
+        );
         assert_eq!(ledger.local_answers, 1);
         // The recent update was never materialized.
         assert_eq!(um.live_update_nodes(), 0);
@@ -531,7 +562,11 @@ mod tests {
             let mut ctx = SimContext::new(&mut repo, &mut cache, &mut ledger, 6);
             um.handle_query(&q(6, vec![0], 1000, 0), &mut ctx);
         }
-        assert_eq!(ledger.breakdown.update_ship.bytes(), 10, "no double shipping");
+        assert_eq!(
+            ledger.breakdown.update_ship.bytes(),
+            10,
+            "no double shipping"
+        );
         assert_eq!(ledger.local_answers, 2);
     }
 
@@ -593,7 +628,7 @@ mod cap_tests {
             let q = QueryEvent {
                 seq,
                 objects: vec![ObjectId(0)],
-                result_bytes: 1, // always cheaper to ship the query
+                result_bytes: 1,   // always cheaper to ship the query
                 tolerance: i % 97, // churning horizons
                 kind: QueryKind::Cone,
             };

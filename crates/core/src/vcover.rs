@@ -41,7 +41,10 @@ impl<P: ReplacementPolicy> VCover<P> {
     /// Creates a VCover instance with a custom `A_obj` (for the ablation
     /// benchmarks: LRU, LFU, ...).
     pub fn with_policy(policy: P, seed: u64) -> Self {
-        Self { um: UpdateManager::new(), lm: LoadManager::with_policy(policy, seed) }
+        Self {
+            um: UpdateManager::new(),
+            lm: LoadManager::with_policy(policy, seed),
+        }
     }
 
     /// Creates a VCover variant with an explicit admission mode —
@@ -160,7 +163,14 @@ mod tests {
         repo.apply_update(ObjectId(0), 10, 1);
         cache.invalidate(ObjectId(0));
         let mut ctx = SimContext::new(&mut repo, &mut cache, &mut ledger, 1);
-        v.on_update(&delta_workload::UpdateEvent { seq: 1, object: ObjectId(0), bytes: 10 }, &mut ctx);
+        v.on_update(
+            &delta_workload::UpdateEvent {
+                seq: 1,
+                object: ObjectId(0),
+                bytes: 10,
+            },
+            &mut ctx,
+        );
         assert_eq!(ledger.total().bytes(), 0);
     }
 
@@ -181,7 +191,11 @@ mod tests {
             {
                 let mut ctx = SimContext::new(&mut repo, &mut cache, &mut ledger, seq);
                 v.on_update(
-                    &delta_workload::UpdateEvent { seq, object: ObjectId(1), bytes: 400 },
+                    &delta_workload::UpdateEvent {
+                        seq,
+                        object: ObjectId(1),
+                        bytes: 400,
+                    },
                     &mut ctx,
                 );
             }
@@ -193,8 +207,14 @@ mod tests {
             seq += 1;
         }
         // o0 cached and serving hits.
-        assert!(cache.contains(ObjectId(0)), "query-hot object should be cached");
-        assert!(ledger.local_answers > 100, "most o0 queries answered locally");
+        assert!(
+            cache.contains(ObjectId(0)),
+            "query-hot object should be cached"
+        );
+        assert!(
+            ledger.local_answers > 100,
+            "most o0 queries answered locally"
+        );
         // Total far below NoCache (200 × 300 = 60000).
         assert!(
             ledger.total().bytes() < 30_000,

@@ -53,7 +53,8 @@ impl CachingPolicy for Replica {
         // ignored").
         let ids: Vec<ObjectId> = ctx.repo.catalog().ids().collect();
         for o in ids {
-            ctx.load_object_uncharged(o).expect("replica cache sized to fit everything");
+            ctx.load_object_uncharged(o)
+                .expect("replica cache sized to fit everything");
         }
     }
 
@@ -89,15 +90,19 @@ impl SOptimal {
                     let total: u64 = q.objects.iter().map(|&o| catalog.size(o)).sum();
                     let total = total.max(1) as f64;
                     for &o in &q.objects {
-                        share[o.index()] +=
-                            q.result_bytes as f64 * catalog.size(o) as f64 / total;
+                        share[o.index()] += q.result_bytes as f64 * catalog.size(o) as f64 / total;
                     }
                 }
                 Event::Update(u) => upd[u.object.index()] += u.bytes,
             }
         }
         let mut ranked: Vec<(f64, usize)> = (0..n)
-            .map(|i| (share[i] - upd[i] as f64 - catalog.size(ObjectId(i as u32)) as f64, i))
+            .map(|i| {
+                (
+                    share[i] - upd[i] as f64 - catalog.size(ObjectId(i as u32)) as f64,
+                    i,
+                )
+            })
             .filter(|&(net, _)| net > 0.0)
             .collect();
         ranked.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
@@ -204,7 +209,14 @@ mod tests {
             repo.apply_update(ObjectId(0), 3, seq);
             cache.invalidate(ObjectId(0));
             let mut ctx = SimContext::new(&mut repo, &mut cache, &mut ledger, seq);
-            p.on_update(&UpdateEvent { seq, object: ObjectId(0), bytes: 3 }, &mut ctx);
+            p.on_update(
+                &UpdateEvent {
+                    seq,
+                    object: ObjectId(0),
+                    bytes: 3,
+                },
+                &mut ctx,
+            );
         }
         {
             let mut ctx = SimContext::new(&mut repo, &mut cache, &mut ledger, 6);
@@ -224,7 +236,11 @@ mod tests {
             if seq % 2 == 0 {
                 events.push(Event::Query(q(seq, vec![0], 50)));
             } else {
-                events.push(Event::Update(UpdateEvent { seq, object: ObjectId(1), bytes: 50 }));
+                events.push(Event::Update(UpdateEvent {
+                    seq,
+                    object: ObjectId(1),
+                    bytes: 50,
+                }));
             }
         }
         let trace = Trace::new(events);

@@ -1,9 +1,7 @@
 //! Property tests for the extension modules: preshipping, the offline
 //! hindsight solver, and latency accounting.
 
-use delta_core::{
-    hindsight_decoupling, simulate, Preship, PreshipConfig, SimOptions, VCover,
-};
+use delta_core::{hindsight_decoupling, simulate, Preship, PreshipConfig, SimOptions, VCover};
 use delta_net::LinkModel;
 use delta_storage::{ObjectCatalog, ObjectId};
 use delta_workload::{Event, QueryEvent, QueryKind, Trace, UpdateEvent};
@@ -21,7 +19,12 @@ fn arb_trace(n_objects: usize, max_events: usize) -> impl Strategy<Value = (Vec<
                 1u64..2_000,
                 prop_oneof![Just(0u64), 1u64..40],
             )
-                .prop_map(|(objs, bytes, tol)| (true, objs.into_iter().collect::<Vec<u32>>(), bytes, tol)),
+                .prop_map(|(objs, bytes, tol)| (
+                    true,
+                    objs.into_iter().collect::<Vec<u32>>(),
+                    bytes,
+                    tol
+                )),
             (0..n_objects as u32, 1u64..500).prop_map(|(o, bytes)| (false, vec![o], bytes, 0)),
         ],
         1..max_events,
@@ -40,7 +43,11 @@ fn arb_trace(n_objects: usize, max_events: usize) -> impl Strategy<Value = (Vec<
                         kind: QueryKind::Cone,
                     })
                 } else {
-                    Event::Update(UpdateEvent { seq: i as u64, object: ObjectId(objs[0]), bytes })
+                    Event::Update(UpdateEvent {
+                        seq: i as u64,
+                        object: ObjectId(objs[0]),
+                        bytes,
+                    })
                 }
             })
             .collect();
@@ -165,7 +172,11 @@ fn preship_moves_update_shipping_off_the_query_path() {
     let mut events = Vec::new();
     let mut seq = 0u64;
     for round in 0..50u64 {
-        events.push(Event::Update(UpdateEvent { seq, object: ObjectId(0), bytes: 10 }));
+        events.push(Event::Update(UpdateEvent {
+            seq,
+            object: ObjectId(0),
+            bytes: 10,
+        }));
         seq += 1;
         events.push(Event::Query(QueryEvent {
             seq,
@@ -187,7 +198,10 @@ fn preship_moves_update_shipping_off_the_query_path() {
     let base = simulate(&mut plain, &catalog, &trace, opts);
     let mut pre = Preship::new(
         VCover::new(opts.cache_bytes, 1),
-        PreshipConfig { half_life_events: 50.0, hot_threshold: 1.0 },
+        PreshipConfig {
+            half_life_events: 50.0,
+            hot_threshold: 1.0,
+        },
     );
     let with = simulate(&mut pre, &catalog, &trace, opts);
     let (b, p) = (base.latency.unwrap(), with.latency.unwrap());

@@ -48,10 +48,10 @@ impl ReferenceManager {
         let mut g = CoverGraph::new();
         let mut unodes: HashMap<(ObjectId, u64), delta_flow::UpdateNode> = HashMap::new();
         let node_of = |g: &mut CoverGraph,
-                           unodes: &mut HashMap<(ObjectId, u64), delta_flow::UpdateNode>,
-                           ctx: &SimContext<'_>,
-                           o: ObjectId,
-                           k: u64| {
+                       unodes: &mut HashMap<(ObjectId, u64), delta_flow::UpdateNode>,
+                       ctx: &SimContext<'_>,
+                       o: ObjectId,
+                       k: u64| {
             *unodes
                 .entry((o, k))
                 .or_insert_with(|| g.add_update(ctx.repo.update_bytes(o, k, k + 1)))
@@ -63,7 +63,10 @@ impl ReferenceManager {
                 .iter()
                 .copied()
                 .filter(|&(o, k)| {
-                    ctx.cache.applied_version(o).map(|v| k >= v).unwrap_or(false)
+                    ctx.cache
+                        .applied_version(o)
+                        .map(|v| k >= v)
+                        .unwrap_or(false)
                 })
                 .collect();
             if applied.is_empty() {
@@ -102,7 +105,10 @@ impl ReferenceManager {
             // (isolation pruning).
             self.retained.retain(|(_, adj)| {
                 adj.iter().any(|&(o, k)| {
-                    ctx.cache.applied_version(o).map(|v| k >= v).unwrap_or(false)
+                    ctx.cache
+                        .applied_version(o)
+                        .map(|v| k >= v)
+                        .unwrap_or(false)
                 })
             });
             (false, shipped)

@@ -88,14 +88,29 @@ impl CoverGraph {
         let mut net = FlowNetwork::new();
         let s = net.add_node();
         let t = net.add_node();
-        Self { net, s, t, us: Vec::new(), qs: Vec::new(), live_u: 0, live_q: 0, removed_nodes: 0 }
+        Self {
+            net,
+            s,
+            t,
+            us: Vec::new(),
+            qs: Vec::new(),
+            live_u: 0,
+            live_q: 0,
+            removed_nodes: 0,
+        }
     }
 
     /// Adds an update node with shipping cost `weight`.
     pub fn add_update(&mut self, weight: u64) -> UpdateNode {
         let node = self.net.add_node();
         let s_edge = self.net.add_edge(self.s, node, weight);
-        self.us.push(UEntry { node, s_edge, weight, edges: Vec::new(), alive: true });
+        self.us.push(UEntry {
+            node,
+            s_edge,
+            weight,
+            edges: Vec::new(),
+            alive: true,
+        });
         self.live_u += 1;
         UpdateNode(self.us.len() - 1)
     }
@@ -104,7 +119,13 @@ impl CoverGraph {
     pub fn add_query(&mut self, weight: u64) -> QueryNode {
         let node = self.net.add_node();
         let t_edge = self.net.add_edge(node, self.t, weight);
-        self.qs.push(QEntry { node, t_edge, weight, edges: Vec::new(), alive: true });
+        self.qs.push(QEntry {
+            node,
+            t_edge,
+            weight,
+            edges: Vec::new(),
+            alive: true,
+        });
         self.live_q += 1;
         QueryNode(self.qs.len() - 1)
     }
@@ -145,12 +166,20 @@ impl CoverGraph {
     /// Number of live edges incident to `u` (edges to removed queries don't
     /// count).
     pub fn update_degree(&self, u: UpdateNode) -> usize {
-        self.us[u.0].edges.iter().filter(|(_, q)| self.qs[q.0].alive).count()
+        self.us[u.0]
+            .edges
+            .iter()
+            .filter(|(_, q)| self.qs[q.0].alive)
+            .count()
     }
 
     /// Number of live edges incident to `q`.
     pub fn query_degree(&self, q: QueryNode) -> usize {
-        self.qs[q.0].edges.iter().filter(|(_, u)| self.us[u.0].alive).count()
+        self.qs[q.0]
+            .edges
+            .iter()
+            .filter(|(_, u)| self.us[u.0].alive)
+            .count()
     }
 
     /// Live update-node count.
@@ -226,7 +255,10 @@ impl CoverGraph {
     pub fn solve(&mut self) -> Cover {
         self.net.max_flow(self.s, self.t);
         let reach = self.net.residual_reachable(self.s);
-        let mut cover = Cover { weight: self.net.flow_value(self.s), ..Default::default() };
+        let mut cover = Cover {
+            weight: self.net.flow_value(self.s),
+            ..Default::default()
+        };
         for (i, u) in self.us.iter().enumerate() {
             if u.alive && !reach[u.node] {
                 cover.updates.insert(UpdateNode(i));
@@ -337,7 +369,10 @@ pub fn brute_force_cover_weight(
     q_weights: &[u64],
     edges: &[(usize, usize)],
 ) -> u64 {
-    assert!(u_weights.len() <= 20, "brute force limited to 20 update nodes");
+    assert!(
+        u_weights.len() <= 20,
+        "brute force limited to 20 update nodes"
+    );
     let mut best = u64::MAX;
     for mask in 0u32..(1 << u_weights.len()) {
         let mut w: u64 = 0;

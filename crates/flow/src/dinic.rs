@@ -41,8 +41,7 @@ pub fn dinic_max_flow(net: &mut FlowNetwork, s: NodeId, t: NodeId) -> u64 {
             head += 1;
             for &e in net.adjacency(v) {
                 let edge = net.edge(e);
-                if edge.residual() > 0 && !net.is_deleted(edge.to) && level[edge.to] == u32::MAX
-                {
+                if edge.residual() > 0 && !net.is_deleted(edge.to) && level[edge.to] == u32::MAX {
                     level[edge.to] = level[v] + 1;
                     queue.push(edge.to);
                 }
@@ -91,9 +90,7 @@ fn dfs_push(
             let e = net.adjacency(v)[it[v]];
             let edge = net.edge(e);
             let to = edge.to;
-            if edge.residual() > 0
-                && !net.is_deleted(to)
-                && level[to] == level[v].saturating_add(1)
+            if edge.residual() > 0 && !net.is_deleted(to) && level[to] == level[v].saturating_add(1)
             {
                 bottleneck = bottleneck.min(edge.residual());
                 path.push((v, e));
@@ -185,7 +182,11 @@ mod tests {
         g.add_edge(s, b, 7);
         g.add_edge(b, t, 7);
         g.delete_node(b);
-        assert_eq!(dinic_max_flow(&mut g, s, t), 5, "only the live path carries flow");
+        assert_eq!(
+            dinic_max_flow(&mut g, s, t),
+            5,
+            "only the live path carries flow"
+        );
     }
 
     #[test]

@@ -91,7 +91,11 @@ impl FlowNetwork {
         assert!(!self.deleted[from] && !self.deleted[to], "endpoint deleted");
         let id = self.edges.len();
         self.edges.push(Edge { to, cap, flow: 0 });
-        self.edges.push(Edge { to: from, cap: 0, flow: 0 });
+        self.edges.push(Edge {
+            to: from,
+            cap: 0,
+            flow: 0,
+        });
         self.adj[from].push(id);
         self.adj[to].push(id + 1);
         id

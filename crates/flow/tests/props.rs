@@ -19,7 +19,11 @@ fn arb_instance(max_side: usize, max_edges: usize) -> impl Strategy<Value = Inst
             proptest::collection::vec(1u64..100, nq),
             proptest::collection::vec((0..nu, 0..nq), 0..=max_edges),
         )
-            .prop_map(|(u_weights, q_weights, edges)| Instance { u_weights, q_weights, edges })
+            .prop_map(|(u_weights, q_weights, edges)| Instance {
+                u_weights,
+                q_weights,
+                edges,
+            })
     })
 }
 

@@ -83,7 +83,10 @@ mod tests {
     fn lookup_nested_across_levels() {
         // The level-k trixel must be a descendant of the level-(k-1) one.
         for i in 0..100 {
-            let p = Vec3::from_radec_deg((i as f64 * 37.3) % 360.0, ((i as f64 * 11.9) % 170.0) - 85.0);
+            let p = Vec3::from_radec_deg(
+                (i as f64 * 37.3) % 360.0,
+                ((i as f64 * 11.9) % 170.0) - 85.0,
+            );
             let a = lookup(p, 2);
             let b = lookup(p, 3);
             assert!(b.is_descendant_of(a));
@@ -123,6 +126,10 @@ mod tests {
                 (v - 8) as u8
             })
             .collect();
-        assert_eq!(bases.len(), 8, "equatorial band must cross every base trixel");
+        assert_eq!(
+            bases.len(),
+            8,
+            "equatorial band must cross every base trixel"
+        );
     }
 }

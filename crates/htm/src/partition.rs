@@ -87,7 +87,10 @@ impl Partition {
         assert!(target >= 8, "target must be at least the 8 base trixels");
         let mut heap: BinaryHeap<Candidate> = Trixel::bases()
             .iter()
-            .map(|&t| Candidate { weight: weight(&t).max(0.0), trixel: t })
+            .map(|&t| Candidate {
+                weight: weight(&t).max(0.0),
+                trixel: t,
+            })
             .collect();
         let total: f64 = heap.iter().map(|c| c.weight).sum();
         let negligible = total * 1e-9;
@@ -95,7 +98,10 @@ impl Partition {
         let mut done: Vec<Candidate> = Vec::new();
 
         let live = |heap: &BinaryHeap<Candidate>, done: &Vec<Candidate>| {
-            heap.iter().chain(done.iter()).filter(|c| c.weight > negligible).count()
+            heap.iter()
+                .chain(done.iter())
+                .filter(|c| c.weight > negligible)
+                .count()
         };
 
         while live(&heap, &done) < target {
@@ -113,15 +119,14 @@ impl Partition {
             split.insert(top.trixel.id);
             for k in top.trixel.subdivide() {
                 let w = weight(&k).max(0.0);
-                heap.push(Candidate { weight: w, trixel: k });
+                heap.push(Candidate {
+                    weight: w,
+                    trixel: k,
+                });
             }
         }
 
-        let leaves: Vec<Trixel> = heap
-            .into_iter()
-            .chain(done)
-            .map(|c| c.trixel)
-            .collect();
+        let leaves: Vec<Trixel> = heap.into_iter().chain(done).map(|c| c.trixel).collect();
         Self::finish(leaves, split, |t| weight(t).max(0.0))
     }
 
@@ -133,7 +138,12 @@ impl Partition {
         leaves.sort_unstable_by_key(|t| t.id);
         let index_of = leaves.iter().enumerate().map(|(i, t)| (t.id, i)).collect();
         let weights = leaves.iter().map(&weight).collect();
-        Self { leaves, index_of, split, weights }
+        Self {
+            leaves,
+            index_of,
+            split,
+            weights,
+        }
     }
 
     /// Number of leaf objects.

@@ -62,7 +62,12 @@ impl Region {
     pub fn contains(&self, p: Vec3) -> bool {
         match *self {
             Region::Cone { center, radius_rad } => center.angular_distance(p) <= radius_rad,
-            Region::RaDecRect { ra_min, ra_max, dec_min, dec_max } => {
+            Region::RaDecRect {
+                ra_min,
+                ra_max,
+                dec_min,
+                dec_max,
+            } => {
                 let (ra, dec) = p.to_radec_deg();
                 let ra_ok = if ra_min <= ra_max {
                     ra >= ra_min && ra <= ra_max
@@ -71,9 +76,10 @@ impl Region {
                 };
                 ra_ok && dec >= dec_min && dec <= dec_max
             }
-            Region::GreatCircleBand { pole, half_width_rad } => {
-                (std::f64::consts::FRAC_PI_2 - pole.angular_distance(p)).abs() <= half_width_rad
-            }
+            Region::GreatCircleBand {
+                pole,
+                half_width_rad,
+            } => (std::f64::consts::FRAC_PI_2 - pole.angular_distance(p)).abs() <= half_width_rad,
             Region::All => true,
         }
     }
@@ -84,7 +90,12 @@ impl Region {
     pub fn bounding_cone(&self) -> (Vec3, f64) {
         match *self {
             Region::Cone { center, radius_rad } => (center, radius_rad),
-            Region::RaDecRect { ra_min, ra_max, dec_min, dec_max } => {
+            Region::RaDecRect {
+                ra_min,
+                ra_max,
+                dec_min,
+                dec_max,
+            } => {
                 let span = if ra_min <= ra_max {
                     ra_max - ra_min
                 } else {
@@ -135,7 +146,10 @@ impl Region {
                 let (rc, rr) = self.bounding_cone();
                 t.min_distance_to(rc) <= rr
             }
-            Region::GreatCircleBand { pole, half_width_rad } => {
+            Region::GreatCircleBand {
+                pole,
+                half_width_rad,
+            } => {
                 // The band is the locus of points at distance
                 // [pi/2 - w, pi/2 + w] from the pole; the trixel spans
                 // distances [min, max] from the pole. Intersect iff the
@@ -164,7 +178,12 @@ mod tests {
 
     #[test]
     fn rect_wrapping_ra() {
-        let r = Region::RaDecRect { ra_min: 350.0, ra_max: 10.0, dec_min: -5.0, dec_max: 5.0 };
+        let r = Region::RaDecRect {
+            ra_min: 350.0,
+            ra_max: 10.0,
+            dec_min: -5.0,
+            dec_max: 5.0,
+        };
         assert!(r.contains(Vec3::from_radec_deg(355.0, 0.0)));
         assert!(r.contains(Vec3::from_radec_deg(5.0, 0.0)));
         assert!(!r.contains(Vec3::from_radec_deg(180.0, 0.0)));
@@ -187,7 +206,12 @@ mod tests {
         // intersect the region.
         let regions = [
             Region::cone_deg(120.0, 40.0, 3.0),
-            Region::RaDecRect { ra_min: 10.0, ra_max: 30.0, dec_min: -20.0, dec_max: 20.0 },
+            Region::RaDecRect {
+                ra_min: 10.0,
+                ra_max: 30.0,
+                dec_min: -20.0,
+                dec_max: 20.0,
+            },
             Region::GreatCircleBand {
                 pole: Vec3::from_radec_deg(0.0, 60.0),
                 half_width_rad: 0.1,

@@ -63,7 +63,7 @@ impl TrixelId {
         }
         let bits = 64 - v.leading_zeros();
         // Valid ids have bit length 4 + 2*level.
-        if (bits - 4) % 2 != 0 {
+        if !(bits - 4).is_multiple_of(2) {
             return None;
         }
         let level = (bits - 4) / 2;
@@ -137,7 +137,11 @@ impl std::fmt::Display for TrixelId {
             v /= 4;
         }
         let base = (v - 8) as u8;
-        let (hemi, b) = if base < 4 { ('S', base) } else { ('N', base - 4) };
+        let (hemi, b) = if base < 4 {
+            ('S', base)
+        } else {
+            ('N', base - 4)
+        };
         write!(f, "{hemi}{b}")?;
         for d in digits.iter().rev() {
             write!(f, "{d}")?;
@@ -196,10 +200,22 @@ impl Trixel {
         let w1 = self.v[0].midpoint(self.v[2]);
         let w2 = self.v[0].midpoint(self.v[1]);
         [
-            Trixel { id: self.id.child(0), v: [self.v[0], w2, w1] },
-            Trixel { id: self.id.child(1), v: [self.v[1], w0, w2] },
-            Trixel { id: self.id.child(2), v: [self.v[2], w1, w0] },
-            Trixel { id: self.id.child(3), v: [w0, w1, w2] },
+            Trixel {
+                id: self.id.child(0),
+                v: [self.v[0], w2, w1],
+            },
+            Trixel {
+                id: self.id.child(1),
+                v: [self.v[1], w0, w2],
+            },
+            Trixel {
+                id: self.id.child(2),
+                v: [self.v[2], w1, w0],
+            },
+            Trixel {
+                id: self.id.child(3),
+                v: [w0, w1, w2],
+            },
         ]
     }
 
@@ -305,7 +321,11 @@ pub fn arc_distance(p: Vec3, a: Vec3, b: Vec3) -> f64 {
     }
     let n = Vec3::new(n.x / n_norm, n.y / n_norm, n.z / n_norm);
     // Projection of p onto the circle's plane, renormalized to the sphere.
-    let proj = Vec3::new(p.x - n.x * p.dot(n), p.y - n.y * p.dot(n), p.z - n.z * p.dot(n));
+    let proj = Vec3::new(
+        p.x - n.x * p.dot(n),
+        p.y - n.y * p.dot(n),
+        p.z - n.z * p.dot(n),
+    );
     if proj.norm() > 1e-15 {
         let c = proj.normalized();
         // c lies on the arc iff it is on the a-side of b and b-side of a.

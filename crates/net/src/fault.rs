@@ -12,7 +12,7 @@
 
 use crate::link::{Endpoint, LinkError};
 use crate::message::NetMessage;
-use crate::meter::{TrafficMeter, TrafficSnapshot, TrafficClass};
+use crate::meter::{TrafficClass, TrafficMeter, TrafficSnapshot};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use std::sync::Arc;
@@ -37,7 +37,11 @@ impl LossModel {
             (0.0..1.0).contains(&loss_probability),
             "loss probability must be in [0, 1), got {loss_probability}"
         );
-        Self { loss_probability, rng: StdRng::seed_from_u64(seed), drops: 0 }
+        Self {
+            loss_probability,
+            rng: StdRng::seed_from_u64(seed),
+            drops: 0,
+        }
     }
 
     /// A loss-free process (wrapping with this is a no-op).
@@ -85,7 +89,8 @@ impl LossyEndpoint {
     /// Returns [`LinkError::Disconnected`] if the peer is gone.
     pub fn send(&mut self, msg: NetMessage) -> Result<(), LinkError> {
         while self.loss.attempt_lost() {
-            self.meter.record(TrafficClass::Retransmit, msg.wire_bytes());
+            self.meter
+                .record(TrafficClass::Retransmit, msg.wire_bytes());
         }
         self.inner.send(msg)
     }
@@ -125,7 +130,12 @@ mod tests {
         let (a, b, meter) = Link::pair();
         let mut lossy = LossyEndpoint::new(a, LossModel::reliable(), Arc::clone(&meter));
         for i in 0..100 {
-            lossy.send(NetMessage::QueryShip { query_seq: i, result_bytes: 10 }).unwrap();
+            lossy
+                .send(NetMessage::QueryShip {
+                    query_seq: i,
+                    result_bytes: 10,
+                })
+                .unwrap();
         }
         drop(lossy);
         for _ in 0..100 {
@@ -141,7 +151,12 @@ mod tests {
         let (a, b, meter) = Link::pair();
         let mut lossy = LossyEndpoint::new(a, LossModel::new(0.3, 42), Arc::clone(&meter));
         for i in 0..500 {
-            lossy.send(NetMessage::QueryShip { query_seq: i, result_bytes: 10 }).unwrap();
+            lossy
+                .send(NetMessage::QueryShip {
+                    query_seq: i,
+                    result_bytes: 10,
+                })
+                .unwrap();
         }
         let drops = lossy.drops();
         assert!(drops > 0, "30% loss over 500 sends must drop something");
@@ -153,7 +168,11 @@ mod tests {
             }
         }
         let s = meter.snapshot();
-        assert_eq!(s.bytes_for(TrafficClass::QueryShip), 5000, "charged bytes unchanged");
+        assert_eq!(
+            s.bytes_for(TrafficClass::QueryShip),
+            5000,
+            "charged bytes unchanged"
+        );
         assert_eq!(
             s.bytes_for(TrafficClass::Retransmit),
             drops * 10,
@@ -169,7 +188,10 @@ mod tests {
         };
         assert_eq!(run(), run());
         let c = run();
-        assert!((150..350).contains(&c), "got {c} losses out of 1000 at p=0.25");
+        assert!(
+            (150..350).contains(&c),
+            "got {c} losses out of 1000 at p=0.25"
+        );
     }
 
     #[test]

@@ -26,13 +26,19 @@ impl LinkModel {
     /// cache-to-repository path of the paper's architecture (the cache is
     /// "far" from the repository, §3).
     pub fn wan() -> Self {
-        Self { bandwidth_bytes_per_sec: 125e6, rtt_secs: 0.050 }
+        Self {
+            bandwidth_bytes_per_sec: 125e6,
+            rtt_secs: 0.050,
+        }
     }
 
     /// A local-area link: 10 Gb/s, 0.5 ms RTT — clients sit next to the
     /// cache.
     pub fn lan() -> Self {
-        Self { bandwidth_bytes_per_sec: 1.25e9, rtt_secs: 0.0005 }
+        Self {
+            bandwidth_bytes_per_sec: 1.25e9,
+            rtt_secs: 0.0005,
+        }
     }
 
     /// Seconds to complete one synchronous exchange moving `bytes`.
@@ -55,21 +61,29 @@ mod tests {
 
     #[test]
     fn transfer_time_is_rtt_plus_serialization() {
-        let l = LinkModel { bandwidth_bytes_per_sec: 1000.0, rtt_secs: 0.1 };
+        let l = LinkModel {
+            bandwidth_bytes_per_sec: 1000.0,
+            rtt_secs: 0.1,
+        };
         assert!((l.transfer_secs(500) - 0.6).abs() < 1e-12);
         assert!((l.transfer_secs(0) - 0.1).abs() < 1e-12);
     }
 
     #[test]
     fn exchanges_pay_rtt_per_message() {
-        let l = LinkModel { bandwidth_bytes_per_sec: 1000.0, rtt_secs: 0.1 };
+        let l = LinkModel {
+            bandwidth_bytes_per_sec: 1000.0,
+            rtt_secs: 0.1,
+        };
         assert!((l.exchange_secs(3, 1000) - (0.3 + 1.0)).abs() < 1e-12);
         assert_eq!(l.exchange_secs(0, 0), 0.0);
     }
 
     #[test]
     fn wan_is_slower_than_lan() {
-        assert!(LinkModel::wan().transfer_secs(1_000_000) > LinkModel::lan().transfer_secs(1_000_000));
+        assert!(
+            LinkModel::wan().transfer_secs(1_000_000) > LinkModel::lan().transfer_secs(1_000_000)
+        );
     }
 
     #[test]

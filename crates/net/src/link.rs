@@ -91,8 +91,16 @@ impl Link {
         let meter = Arc::new(TrafficMeter::new());
         let (atx, brx) = unbounded();
         let (btx, arx) = unbounded();
-        let a = Endpoint { tx: atx, rx: arx, meter: Arc::clone(&meter) };
-        let b = Endpoint { tx: btx, rx: brx, meter: Arc::clone(&meter) };
+        let a = Endpoint {
+            tx: atx,
+            rx: arx,
+            meter: Arc::clone(&meter),
+        };
+        let b = Endpoint {
+            tx: btx,
+            rx: brx,
+            meter: Arc::clone(&meter),
+        };
         (a, b, meter)
     }
 }
@@ -106,12 +114,26 @@ mod tests {
     fn round_trip_and_metering() {
         let (cache, server, meter) = Link::pair();
         cache
-            .send(NetMessage::QueryShip { query_seq: 1, result_bytes: 500 })
+            .send(NetMessage::QueryShip {
+                query_seq: 1,
+                result_bytes: 500,
+            })
             .unwrap();
         let got = server.recv().unwrap();
-        assert_eq!(got, NetMessage::QueryShip { query_seq: 1, result_bytes: 500 });
+        assert_eq!(
+            got,
+            NetMessage::QueryShip {
+                query_seq: 1,
+                result_bytes: 500
+            }
+        );
         server
-            .send(NetMessage::UpdateShip { object: 2, from_version: 0, to_version: 1, bytes: 70 })
+            .send(NetMessage::UpdateShip {
+                object: 2,
+                from_version: 0,
+                to_version: 1,
+                bytes: 70,
+            })
             .unwrap();
         let _ = cache.recv().unwrap();
         let s = meter.snapshot();
@@ -131,9 +153,15 @@ mod tests {
     #[test]
     fn timeout_vs_data() {
         let (a, b, _) = Link::pair();
-        assert_eq!(a.recv_timeout(Duration::from_millis(10)), Err(LinkError::Timeout));
+        assert_eq!(
+            a.recv_timeout(Duration::from_millis(10)),
+            Err(LinkError::Timeout)
+        );
         b.send(NetMessage::Shutdown).unwrap();
-        assert_eq!(a.recv_timeout(Duration::from_millis(100)), Ok(NetMessage::Shutdown));
+        assert_eq!(
+            a.recv_timeout(Duration::from_millis(100)),
+            Ok(NetMessage::Shutdown)
+        );
         assert!(a.try_recv().is_none());
     }
 
@@ -145,7 +173,10 @@ mod tests {
             let mut served = 0u64;
             loop {
                 match server.recv().unwrap() {
-                    NetMessage::QueryShip { query_seq, result_bytes } => {
+                    NetMessage::QueryShip {
+                        query_seq,
+                        result_bytes,
+                    } => {
                         served += 1;
                         server
                             .send(NetMessage::ObjectLoad {
@@ -162,7 +193,12 @@ mod tests {
         });
         let mut sent = 0u64;
         for i in 0..100 {
-            cache.send(NetMessage::QueryShip { query_seq: i, result_bytes: 10 }).unwrap();
+            cache
+                .send(NetMessage::QueryShip {
+                    query_seq: i,
+                    result_bytes: 10,
+                })
+                .unwrap();
             sent += 10;
             let reply = cache.recv().unwrap();
             assert!(matches!(reply, NetMessage::ObjectLoad { .. }));

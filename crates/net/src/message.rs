@@ -146,19 +146,53 @@ mod tests {
 
     #[test]
     fn wire_bytes_follow_payload() {
-        assert_eq!(NetMessage::QueryShip { query_seq: 1, result_bytes: 42 }.wire_bytes(), 42);
         assert_eq!(
-            NetMessage::UpdateShip { object: 1, from_version: 0, to_version: 2, bytes: 9 }
-                .wire_bytes(),
+            NetMessage::QueryShip {
+                query_seq: 1,
+                result_bytes: 42
+            }
+            .wire_bytes(),
+            42
+        );
+        assert_eq!(
+            NetMessage::UpdateShip {
+                object: 1,
+                from_version: 0,
+                to_version: 2,
+                bytes: 9
+            }
+            .wire_bytes(),
             9
         );
-        assert_eq!(NetMessage::ObjectLoad { object: 1, version: 5, bytes: 100 }.wire_bytes(), 100);
         assert_eq!(
-            NetMessage::Invalidation { object: 1, version: 1, bytes: 9, seq: 3 }.wire_bytes(),
+            NetMessage::ObjectLoad {
+                object: 1,
+                version: 5,
+                bytes: 100
+            }
+            .wire_bytes(),
+            100
+        );
+        assert_eq!(
+            NetMessage::Invalidation {
+                object: 1,
+                version: 1,
+                bytes: 9,
+                seq: 3
+            }
+            .wire_bytes(),
             0,
             "invalidations carry metadata only"
         );
-        assert_eq!(NetMessage::UpdateFetch { object: 1, from_version: 0, to_version: 2 }.wire_bytes(), 0);
+        assert_eq!(
+            NetMessage::UpdateFetch {
+                object: 1,
+                from_version: 0,
+                to_version: 2
+            }
+            .wire_bytes(),
+            0
+        );
         assert_eq!(NetMessage::LoadRequest { object: 1 }.wire_bytes(), 0);
         assert_eq!(NetMessage::Shutdown.wire_bytes(), 0);
     }
@@ -166,9 +200,16 @@ mod tests {
     #[test]
     fn classes_map_to_mechanisms() {
         assert_eq!(
-            NetMessage::QueryShip { query_seq: 0, result_bytes: 0 }.class(),
+            NetMessage::QueryShip {
+                query_seq: 0,
+                result_bytes: 0
+            }
+            .class(),
             TrafficClass::QueryShip
         );
-        assert_eq!(NetMessage::EvictNotice { object: 3 }.class(), TrafficClass::Control);
+        assert_eq!(
+            NetMessage::EvictNotice { object: 3 }.class(),
+            TrafficClass::Control
+        );
     }
 }

@@ -145,6 +145,9 @@ mod tests {
         for h in handles {
             h.join().unwrap();
         }
-        assert_eq!(m.snapshot().bytes_for(TrafficClass::ObjectLoad), 8 * 10_000 * 3);
+        assert_eq!(
+            m.snapshot().bytes_for(TrafficClass::ObjectLoad),
+            8 * 10_000 * 3
+        );
     }
 }

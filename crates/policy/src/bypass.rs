@@ -31,7 +31,11 @@ impl RandomizedAdmission {
     /// Creates a gate with a deterministic seed (experiments must be
     /// reproducible).
     pub fn new(seed: u64) -> Self {
-        Self { rng: StdRng::seed_from_u64(seed), trials: 0, admits: 0 }
+        Self {
+            rng: StdRng::seed_from_u64(seed),
+            trials: 0,
+            admits: 0,
+        }
     }
 
     /// Decides whether an object with load cost `load_cost` becomes a load
@@ -125,6 +129,9 @@ mod tests {
             totals.push(total as f64);
         }
         let mean = totals.iter().sum::<f64>() / totals.len() as f64;
-        assert!((mean - 50.0).abs() < 7.0, "mean cost before admission {mean}");
+        assert!(
+            (mean - 50.0).abs() < 7.0,
+            "mean cost before admission {mean}"
+        );
     }
 }

@@ -34,7 +34,13 @@ pub struct GreedyDualSize {
 impl GreedyDualSize {
     /// Creates a policy managing `capacity` bytes.
     pub fn new(capacity: u64) -> Self {
-        Self { capacity, used: 0, inflation: 0.0, tick: 0, entries: HashMap::new() }
+        Self {
+            capacity,
+            used: 0,
+            inflation: 0.0,
+            tick: 0,
+            entries: HashMap::new(),
+        }
     }
 
     /// Current inflation value `L`.
@@ -73,14 +79,19 @@ impl ReplacementPolicy for GreedyDualSize {
             e.h = self.inflation + cost as f64 / size.max(1) as f64;
             let t = self.bump();
             self.entries.get_mut(&id).expect("present").tick = t;
-            return Admission { admitted: true, evicted: Vec::new() };
+            return Admission {
+                admitted: true,
+                evicted: Vec::new(),
+            };
         }
         if size > self.capacity {
             return Admission::default();
         }
         let mut evicted = Vec::new();
         while self.used + size > self.capacity {
-            let v = self.victim_inner().expect("used > 0 implies a victim exists");
+            let v = self
+                .victim_inner()
+                .expect("used > 0 implies a victim exists");
             let e = self.entries.remove(&v).expect("victim resident");
             self.used -= e.size;
             // Inflation rises to the evicted priority.
@@ -91,7 +102,10 @@ impl ReplacementPolicy for GreedyDualSize {
         let tick = self.bump();
         self.entries.insert(id, Entry { h, size, tick });
         self.used += size;
-        Admission { admitted: true, evicted }
+        Admission {
+            admitted: true,
+            evicted,
+        }
     }
 
     fn touch(&mut self, id: ObjectId) {
@@ -203,7 +217,11 @@ mod tests {
         }
         let a = g.request(o(9), 90, 500);
         assert!(a.admitted);
-        assert_eq!(a.evicted.len(), 5, "all five small objects evicted: need 90 of 100");
+        assert_eq!(
+            a.evicted.len(),
+            5,
+            "all five small objects evicted: need 90 of 100"
+        );
         assert_eq!(g.used(), 90);
     }
 }

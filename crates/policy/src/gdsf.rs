@@ -36,7 +36,13 @@ pub struct Gdsf {
 impl Gdsf {
     /// Creates a policy managing `capacity` bytes.
     pub fn new(capacity: u64) -> Self {
-        Self { capacity, used: 0, inflation: 0.0, tick: 0, entries: HashMap::new() }
+        Self {
+            capacity,
+            used: 0,
+            inflation: 0.0,
+            tick: 0,
+            entries: HashMap::new(),
+        }
     }
 
     /// Current inflation value `L`.
@@ -79,7 +85,10 @@ impl ReplacementPolicy for Gdsf {
             e.cost = cost;
             e.h = Self::priority(self.inflation, e.freq, e.cost, e.size);
             e.tick = tick;
-            return Admission { admitted: true, evicted: Vec::new() };
+            return Admission {
+                admitted: true,
+                evicted: Vec::new(),
+            };
         }
         if size > self.capacity {
             return Admission::default();
@@ -93,9 +102,21 @@ impl ReplacementPolicy for Gdsf {
             evicted.push(v);
         }
         let h = Self::priority(self.inflation, 1, cost, size);
-        self.entries.insert(id, GdsfEntry { h, size, cost, freq: 1, tick });
+        self.entries.insert(
+            id,
+            GdsfEntry {
+                h,
+                size,
+                cost,
+                freq: 1,
+                tick,
+            },
+        );
         self.used += size;
-        Admission { admitted: true, evicted }
+        Admission {
+            admitted: true,
+            evicted,
+        }
     }
 
     fn touch(&mut self, id: ObjectId) {
@@ -147,14 +168,22 @@ pub struct Fifo {
 impl Fifo {
     /// Creates a policy managing `capacity` bytes.
     pub fn new(capacity: u64) -> Self {
-        Self { capacity, used: 0, queue: VecDeque::new(), sizes: HashMap::new() }
+        Self {
+            capacity,
+            used: 0,
+            queue: VecDeque::new(),
+            sizes: HashMap::new(),
+        }
     }
 }
 
 impl ReplacementPolicy for Fifo {
     fn request(&mut self, id: ObjectId, size: u64, _cost: u64) -> Admission {
         if self.sizes.contains_key(&id) {
-            return Admission { admitted: true, evicted: Vec::new() };
+            return Admission {
+                admitted: true,
+                evicted: Vec::new(),
+            };
         }
         if size > self.capacity {
             return Admission::default();
@@ -169,7 +198,10 @@ impl ReplacementPolicy for Fifo {
         self.queue.push_back(id);
         self.sizes.insert(id, size);
         self.used += size;
-        Admission { admitted: true, evicted }
+        Admission {
+            admitted: true,
+            evicted,
+        }
     }
 
     fn touch(&mut self, _id: ObjectId) {

@@ -20,7 +20,12 @@ pub struct Lru {
 impl Lru {
     /// Creates an LRU policy managing `capacity` bytes.
     pub fn new(capacity: u64) -> Self {
-        Self { capacity, used: 0, tick: 0, entries: HashMap::new() }
+        Self {
+            capacity,
+            used: 0,
+            tick: 0,
+            entries: HashMap::new(),
+        }
     }
 
     fn victim_inner(&self) -> Option<ObjectId> {
@@ -36,7 +41,10 @@ impl ReplacementPolicy for Lru {
         self.tick += 1;
         if let Some(e) = self.entries.get_mut(&id) {
             e.0 = self.tick;
-            return Admission { admitted: true, evicted: Vec::new() };
+            return Admission {
+                admitted: true,
+                evicted: Vec::new(),
+            };
         }
         if size > self.capacity {
             return Admission::default();
@@ -50,7 +58,10 @@ impl ReplacementPolicy for Lru {
         }
         self.entries.insert(id, (self.tick, size));
         self.used += size;
-        Admission { admitted: true, evicted }
+        Admission {
+            admitted: true,
+            evicted,
+        }
     }
 
     fn touch(&mut self, id: ObjectId) {
@@ -99,7 +110,12 @@ pub struct Lfu {
 impl Lfu {
     /// Creates an LFU policy managing `capacity` bytes.
     pub fn new(capacity: u64) -> Self {
-        Self { capacity, used: 0, tick: 0, entries: HashMap::new() }
+        Self {
+            capacity,
+            used: 0,
+            tick: 0,
+            entries: HashMap::new(),
+        }
     }
 
     fn victim_inner(&self) -> Option<ObjectId> {
@@ -116,7 +132,10 @@ impl ReplacementPolicy for Lfu {
         if let Some(e) = self.entries.get_mut(&id) {
             e.0 += 1;
             e.1 = self.tick;
-            return Admission { admitted: true, evicted: Vec::new() };
+            return Admission {
+                admitted: true,
+                evicted: Vec::new(),
+            };
         }
         if size > self.capacity {
             return Admission::default();
@@ -130,7 +149,10 @@ impl ReplacementPolicy for Lfu {
         }
         self.entries.insert(id, (1, self.tick, size));
         self.used += size;
-        Admission { admitted: true, evicted }
+        Admission {
+            admitted: true,
+            evicted,
+        }
     }
 
     fn touch(&mut self, id: ObjectId) {

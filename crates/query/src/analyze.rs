@@ -98,7 +98,12 @@ pub fn analyze(query: Query, schema: &Schema) -> Result<AnalyzedQuery, AnalyzeEr
         let (ra_min, ra_max) = ra_range.unwrap_or((0.0, 360.0));
         let (dec_min, dec_max) = dec_range.unwrap_or((-90.0, 90.0));
         validate_rect(ra_min, dec_min, ra_max, dec_max)?;
-        shapes.push(Shape::Rect { ra_min, dec_min, ra_max, dec_max });
+        shapes.push(Shape::Rect {
+            ra_min,
+            dec_min,
+            ra_max,
+            dec_max,
+        });
     }
 
     // Conservative intersection of multiple footprints: keep the one with
@@ -131,10 +136,7 @@ pub fn analyze(query: Query, schema: &Schema) -> Result<AnalyzedQuery, AnalyzeEr
 /// Rejects spatial shapes and RA/Dec constraints inside a disjunction —
 /// a disjunctive footprint would need union regions, which the footprint
 /// model (one conservative region per query) does not represent.
-fn disjunction_selectivity(
-    table: &Table,
-    arms: &[Predicate],
-) -> Result<f64, AnalyzeError> {
+fn disjunction_selectivity(table: &Table, arms: &[Predicate]) -> Result<f64, AnalyzeError> {
     let mut miss = 1.0f64;
     for p in arms {
         let s = match p {
@@ -169,10 +171,12 @@ fn disjunction_selectivity(
 }
 
 fn lookup<'t>(table: &'t Table, column: &str) -> Result<&'t crate::schema::Column, AnalyzeError> {
-    table.column(column).ok_or_else(|| AnalyzeError::UnknownColumn {
-        column: column.to_string(),
-        table: table.name.to_string(),
-    })
+    table
+        .column(column)
+        .ok_or_else(|| AnalyzeError::UnknownColumn {
+            column: column.to_string(),
+            table: table.name.to_string(),
+        })
 }
 
 fn is_ra(column: &str) -> bool {
@@ -235,9 +239,20 @@ fn compare_selectivity(min: f64, max: f64, op: CmpOp, value: f64) -> f64 {
 
 fn validate_shape(s: &Shape) -> Result<(), AnalyzeError> {
     match *s {
-        Shape::Circle { ra, dec, radius_deg } | Shape::Neighbors { ra, dec, radius_deg } => {
+        Shape::Circle {
+            ra,
+            dec,
+            radius_deg,
+        }
+        | Shape::Neighbors {
+            ra,
+            dec,
+            radius_deg,
+        } => {
             if !(0.0..=360.0).contains(&ra) {
-                return Err(AnalyzeError::InvalidGeometry(format!("RA {ra} outside [0, 360]")));
+                return Err(AnalyzeError::InvalidGeometry(format!(
+                    "RA {ra} outside [0, 360]"
+                )));
             }
             if !(-90.0..=90.0).contains(&dec) {
                 return Err(AnalyzeError::InvalidGeometry(format!(
@@ -251,21 +266,28 @@ fn validate_shape(s: &Shape) -> Result<(), AnalyzeError> {
             }
             Ok(())
         }
-        Shape::Rect { ra_min, dec_min, ra_max, dec_max } => {
-            validate_rect(ra_min, dec_min, ra_max, dec_max)
-        }
+        Shape::Rect {
+            ra_min,
+            dec_min,
+            ra_max,
+            dec_max,
+        } => validate_rect(ra_min, dec_min, ra_max, dec_max),
     }
 }
 
 fn validate_rect(ra_min: f64, dec_min: f64, ra_max: f64, dec_max: f64) -> Result<(), AnalyzeError> {
     for ra in [ra_min, ra_max] {
         if !(0.0..=360.0).contains(&ra) {
-            return Err(AnalyzeError::InvalidGeometry(format!("RA {ra} outside [0, 360]")));
+            return Err(AnalyzeError::InvalidGeometry(format!(
+                "RA {ra} outside [0, 360]"
+            )));
         }
     }
     for dec in [dec_min, dec_max] {
         if !(-90.0..=90.0).contains(&dec) {
-            return Err(AnalyzeError::InvalidGeometry(format!("Dec {dec} outside [-90, 90]")));
+            return Err(AnalyzeError::InvalidGeometry(format!(
+                "Dec {dec} outside [-90, 90]"
+            )));
         }
     }
     if dec_min > dec_max {
@@ -279,12 +301,27 @@ fn validate_rect(ra_min: f64, dec_min: f64, ra_max: f64, dec_max: f64) -> Result
 
 fn shape_region(s: &Shape) -> Region {
     match *s {
-        Shape::Circle { ra, dec, radius_deg } | Shape::Neighbors { ra, dec, radius_deg } => {
-            Region::cone_deg(ra, dec, radius_deg)
+        Shape::Circle {
+            ra,
+            dec,
+            radius_deg,
         }
-        Shape::Rect { ra_min, dec_min, ra_max, dec_max } => {
-            Region::RaDecRect { ra_min, ra_max, dec_min, dec_max }
-        }
+        | Shape::Neighbors {
+            ra,
+            dec,
+            radius_deg,
+        } => Region::cone_deg(ra, dec, radius_deg),
+        Shape::Rect {
+            ra_min,
+            dec_min,
+            ra_max,
+            dec_max,
+        } => Region::RaDecRect {
+            ra_min,
+            ra_max,
+            dec_min,
+            dec_max,
+        },
     }
 }
 
@@ -294,8 +331,17 @@ pub fn solid_angle(r: &Region) -> f64 {
     use std::f64::consts::PI;
     match *r {
         Region::Cone { radius_rad, .. } => 2.0 * PI * (1.0 - radius_rad.cos()),
-        Region::RaDecRect { ra_min, ra_max, dec_min, dec_max } => {
-            let dra = if ra_max >= ra_min { ra_max - ra_min } else { 360.0 - ra_min + ra_max };
+        Region::RaDecRect {
+            ra_min,
+            ra_max,
+            dec_min,
+            dec_max,
+        } => {
+            let dra = if ra_max >= ra_min {
+                ra_max - ra_min
+            } else {
+                360.0 - ra_min + ra_max
+            };
             dra.to_radians() * (dec_max.to_radians().sin() - dec_min.to_radians().sin()).abs()
         }
         Region::GreatCircleBand { half_width_rad, .. } => 4.0 * PI * half_width_rad.sin(),
@@ -351,8 +397,16 @@ mod tests {
             "SELECT * FROM PhotoObj WHERE ra BETWEEN 180 AND 190 AND dec BETWEEN 10 AND 20",
         );
         match a.region {
-            Region::RaDecRect { ra_min, ra_max, dec_min, dec_max } => {
-                assert_eq!((ra_min, ra_max, dec_min, dec_max), (180.0, 190.0, 10.0, 20.0));
+            Region::RaDecRect {
+                ra_min,
+                ra_max,
+                dec_min,
+                dec_max,
+            } => {
+                assert_eq!(
+                    (ra_min, ra_max, dec_min, dec_max),
+                    (180.0, 190.0, 10.0, 20.0)
+                );
             }
             other => panic!("expected rect, got {other:?}"),
         }
@@ -364,9 +418,8 @@ mod tests {
 
     #[test]
     fn smallest_shape_wins_for_multiple_footprints() {
-        let a = analyzed(
-            "SELECT ra FROM PhotoObj WHERE RECT(0, -90, 360, 90) AND CIRCLE(10, 0, 0.1)",
-        );
+        let a =
+            analyzed("SELECT ra FROM PhotoObj WHERE RECT(0, -90, 360, 90) AND CIRCLE(10, 0, 0.1)");
         match a.region {
             Region::Cone { radius_rad, .. } => {
                 assert!((radius_rad - 0.1f64.to_radians()).abs() < 1e-12)
@@ -446,7 +499,12 @@ mod tests {
     fn solid_angles_are_sane() {
         use std::f64::consts::PI;
         assert!((solid_angle(&Region::All) - 4.0 * PI).abs() < 1e-12);
-        let hemisphere = Region::RaDecRect { ra_min: 0.0, ra_max: 360.0, dec_min: 0.0, dec_max: 90.0 };
+        let hemisphere = Region::RaDecRect {
+            ra_min: 0.0,
+            ra_max: 360.0,
+            dec_min: 0.0,
+            dec_max: 90.0,
+        };
         assert!((solid_angle(&hemisphere) - 2.0 * PI).abs() < 1e-9);
         let tiny = solid_angle(&Region::cone_deg(0.0, 0.0, 0.01));
         assert!(tiny > 0.0 && tiny < 1e-4);
@@ -462,7 +520,10 @@ mod tests {
             dec_min: -5.0,
             dec_max: 5.0,
         });
-        assert!((sa - direct).abs() < 1e-9, "wrap-around covers 20 degrees of RA");
+        assert!(
+            (sa - direct).abs() < 1e-9,
+            "wrap-around covers 20 degrees of RA"
+        );
     }
 }
 #[cfg(test)]

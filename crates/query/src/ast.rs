@@ -153,13 +153,26 @@ impl fmt::Display for CmpOp {
 impl fmt::Display for Shape {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            Shape::Circle { ra, dec, radius_deg } => {
+            Shape::Circle {
+                ra,
+                dec,
+                radius_deg,
+            } => {
                 write!(f, "CIRCLE({ra}, {dec}, {radius_deg})")
             }
-            Shape::Rect { ra_min, dec_min, ra_max, dec_max } => {
+            Shape::Rect {
+                ra_min,
+                dec_min,
+                ra_max,
+                dec_max,
+            } => {
                 write!(f, "RECT({ra_min}, {dec_min}, {ra_max}, {dec_max})")
             }
-            Shape::Neighbors { ra, dec, radius_deg } => {
+            Shape::Neighbors {
+                ra,
+                dec,
+                radius_deg,
+            } => {
                 write!(f, "NEIGHBORS({ra}, {dec}, {radius_deg})")
             }
         }
@@ -229,10 +242,7 @@ impl fmt::Display for Query {
 impl Query {
     /// All column names referenced in the WHERE clause.
     pub fn referenced_columns(&self) -> Vec<&str> {
-        self.predicates
-            .iter()
-            .flat_map(collect_columns)
-            .collect()
+        self.predicates.iter().flat_map(collect_columns).collect()
     }
 
     /// Whether any predicate constrains the query spatially (including
@@ -275,9 +285,21 @@ mod tests {
             table: "PhotoObj".into(),
             alias: Some("p".into()),
             predicates: vec![
-                Predicate::Spatial(Shape::Circle { ra: 185.0, dec: 15.5, radius_deg: 0.5 }),
-                Predicate::Between { column: "g".into(), lo: 17.0, hi: 19.5 },
-                Predicate::Compare { column: "type".into(), op: CmpOp::Eq, value: 6.0 },
+                Predicate::Spatial(Shape::Circle {
+                    ra: 185.0,
+                    dec: 15.5,
+                    radius_deg: 0.5,
+                }),
+                Predicate::Between {
+                    column: "g".into(),
+                    lo: 17.0,
+                    hi: 19.5,
+                },
+                Predicate::Compare {
+                    column: "type".into(),
+                    op: CmpOp::Eq,
+                    value: 6.0,
+                },
             ],
             tolerance: Some(50),
         }
@@ -307,7 +329,11 @@ mod tests {
         assert!(q.has_spatial_constraint());
         q.predicates.clear();
         assert!(!q.has_spatial_constraint());
-        q.predicates.push(Predicate::Between { column: "ra".into(), lo: 10.0, hi: 20.0 });
+        q.predicates.push(Predicate::Between {
+            column: "ra".into(),
+            lo: 10.0,
+            hi: 20.0,
+        });
         assert!(q.has_spatial_constraint());
     }
 }

@@ -66,7 +66,12 @@ pub struct Compiler {
 impl Compiler {
     /// Creates a compiler over a schema, sky model and object partition.
     pub fn new(schema: Schema, sky: SkyModel, mapper: SpatialMapper) -> Self {
-        Self { schema, sky, mapper, samples: 512 }
+        Self {
+            schema,
+            sky,
+            mapper,
+            samples: 512,
+        }
     }
 
     /// Overrides the density-integration sample budget (default 512).
@@ -101,7 +106,11 @@ impl Compiler {
         let estimator = Estimator::with_samples(&self.sky, self.samples);
         let estimate = estimator.estimate(&analyzed, table);
         let objects = self.mapper.objects_for(&analyzed.region);
-        Ok(CompiledQuery { analyzed, objects, estimate })
+        Ok(CompiledQuery {
+            analyzed,
+            objects,
+            estimate,
+        })
     }
 
     /// Compiles a batch of queries, assigning consecutive sequence
@@ -118,7 +127,9 @@ impl Compiler {
         sqls.iter()
             .enumerate()
             .map(|(i, sql)| {
-                self.compile(sql).map(|c| c.into_event(first_seq + i as u64)).map_err(|e| (i, e))
+                self.compile(sql)
+                    .map(|c| c.into_event(first_seq + i as u64))
+                    .map_err(|e| (i, e))
             })
             .collect()
     }
@@ -139,17 +150,26 @@ mod tests {
     #[test]
     fn cone_query_maps_to_objects() {
         let c = compiler();
-        let q = c.compile("SELECT ra FROM PhotoObj WHERE CIRCLE(185.0, 15.3, 0.5)").unwrap();
+        let q = c
+            .compile("SELECT ra FROM PhotoObj WHERE CIRCLE(185.0, 15.3, 0.5)")
+            .unwrap();
         assert!(!q.objects.is_empty());
-        assert!(q.objects.len() < 68, "a half-degree cone is not the whole sky");
+        assert!(
+            q.objects.len() < 68,
+            "a half-degree cone is not the whole sky"
+        );
         assert_eq!(q.analyzed.kind, QueryKind::Cone);
     }
 
     #[test]
     fn footprint_objects_contain_the_center() {
         let c = compiler();
-        let q = c.compile("SELECT ra FROM PhotoObj WHERE CIRCLE(200.0, -40.0, 1.0)").unwrap();
-        let center = c.mapper().object_at(delta_htm::Vec3::from_radec_deg(200.0, -40.0));
+        let q = c
+            .compile("SELECT ra FROM PhotoObj WHERE CIRCLE(200.0, -40.0, 1.0)")
+            .unwrap();
+        let center = c
+            .mapper()
+            .object_at(delta_htm::Vec3::from_radec_deg(200.0, -40.0));
         assert!(q.objects.contains(&center));
     }
 
@@ -195,10 +215,7 @@ mod tests {
     fn batch_reports_failing_index() {
         let c = compiler();
         let err = c
-            .compile_batch(
-                &["SELECT ra FROM PhotoObj", "SELECT zap FROM PhotoObj"],
-                0,
-            )
+            .compile_batch(&["SELECT ra FROM PhotoObj", "SELECT zap FROM PhotoObj"], 0)
             .unwrap_err();
         assert_eq!(err.0, 1);
     }
@@ -216,10 +233,14 @@ mod tests {
     #[test]
     fn wider_cone_costs_more() {
         let c = compiler();
-        let narrow =
-            c.compile("SELECT * FROM PhotoObj WHERE CIRCLE(185, 15, 0.2)").unwrap().estimate;
-        let wide =
-            c.compile("SELECT * FROM PhotoObj WHERE CIRCLE(185, 15, 2.0)").unwrap().estimate;
+        let narrow = c
+            .compile("SELECT * FROM PhotoObj WHERE CIRCLE(185, 15, 0.2)")
+            .unwrap()
+            .estimate;
+        let wide = c
+            .compile("SELECT * FROM PhotoObj WHERE CIRCLE(185, 15, 2.0)")
+            .unwrap()
+            .estimate;
         assert!(wide.bytes > narrow.bytes);
     }
 }

@@ -14,7 +14,10 @@ pub struct Span {
 impl Span {
     /// A zero-width span at a position.
     pub fn at(pos: usize) -> Self {
-        Span { start: pos, end: pos }
+        Span {
+            start: pos,
+            end: pos,
+        }
     }
 }
 
@@ -28,7 +31,10 @@ pub struct ParseError {
 impl ParseError {
     /// Creates an error with a message and source span.
     pub fn new(message: impl Into<String>, span: Span) -> Self {
-        Self { message: message.into(), span }
+        Self {
+            message: message.into(),
+            span,
+        }
     }
 
     /// The source span the error points at.
@@ -39,7 +45,11 @@ impl ParseError {
 
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} at byte {}..{}", self.message, self.span.start, self.span.end)
+        write!(
+            f,
+            "{} at byte {}..{}",
+            self.message, self.span.start, self.span.end
+        )
     }
 }
 
@@ -126,7 +136,10 @@ mod tests {
     fn display_formats() {
         let p = ParseError::new("boom", Span { start: 3, end: 5 });
         assert_eq!(p.to_string(), "boom at byte 3..5");
-        let a = AnalyzeError::UnknownColumn { column: "zz".into(), table: "PhotoObj".into() };
+        let a = AnalyzeError::UnknownColumn {
+            column: "zz".into(),
+            table: "PhotoObj".into(),
+        };
         assert_eq!(a.to_string(), "unknown column `zz` in table `PhotoObj`");
         let q: QueryError = a.into();
         assert!(q.to_string().starts_with("analyze error"));

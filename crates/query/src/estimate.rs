@@ -51,7 +51,11 @@ impl<'a> Estimator<'a> {
     pub fn with_samples(sky: &'a SkyModel, samples: usize) -> Self {
         assert!(samples > 0, "estimator needs at least one sample");
         let sphere_mean = mean_density(sky, &Region::All, samples);
-        Self { sky, samples, sphere_mean }
+        Self {
+            sky,
+            samples,
+            sphere_mean,
+        }
     }
 
     /// Mean sky density over `region` (deterministic).
@@ -119,17 +123,32 @@ fn sample_point(region: &Region, k: usize, n: usize) -> Vec3 {
             let cos_t = 1.0 - u * (1.0 - radius_rad.cos());
             point_at_z_phi(center, cos_t, phi)
         }
-        Region::RaDecRect { ra_min, ra_max, dec_min, dec_max } => {
-            let dra = if ra_max >= ra_min { ra_max - ra_min } else { 360.0 - ra_min + ra_max };
+        Region::RaDecRect {
+            ra_min,
+            ra_max,
+            dec_min,
+            dec_max,
+        } => {
+            let dra = if ra_max >= ra_min {
+                ra_max - ra_min
+            } else {
+                360.0 - ra_min + ra_max
+            };
             let ra = (ra_min + u * dra).rem_euclid(360.0);
             // Uniform over area: sin(dec) uniform.
             let s_lo = dec_min.to_radians().sin();
             let s_hi = dec_max.to_radians().sin();
             let frac = (phi / (2.0 * PI)).fract();
-            let dec = (s_lo + frac * (s_hi - s_lo)).clamp(-1.0, 1.0).asin().to_degrees();
+            let dec = (s_lo + frac * (s_hi - s_lo))
+                .clamp(-1.0, 1.0)
+                .asin()
+                .to_degrees();
             Vec3::from_radec_deg(ra, dec)
         }
-        Region::GreatCircleBand { pole, half_width_rad } => {
+        Region::GreatCircleBand {
+            pole,
+            half_width_rad,
+        } => {
             // Uniform over the band: distance from the circle's plane
             // (dot with pole) uniform in [-sin w, sin w].
             let s = half_width_rad.sin();
@@ -214,7 +233,10 @@ mod tests {
     #[test]
     fn top_caps_rows() {
         let sky = SkyModel::sdss_like(7, 12);
-        let capped = estimate("SELECT TOP 10 ra FROM PhotoObj WHERE CIRCLE(185, 15, 2.0)", &sky);
+        let capped = estimate(
+            "SELECT TOP 10 ra FROM PhotoObj WHERE CIRCLE(185, 15, 2.0)",
+            &sky,
+        );
         assert!(capped.rows <= 10);
         assert_eq!(capped.bytes, RESULT_HEADER_BYTES + capped.rows * 8);
     }
@@ -222,7 +244,10 @@ mod tests {
     #[test]
     fn count_is_one_row() {
         let sky = SkyModel::sdss_like(7, 12);
-        let c = estimate("SELECT COUNT(*) FROM PhotoObj WHERE RECT(10, -5, 20, 5)", &sky);
+        let c = estimate(
+            "SELECT COUNT(*) FROM PhotoObj WHERE RECT(10, -5, 20, 5)",
+            &sky,
+        );
         assert_eq!(c.rows, 1);
         assert_eq!(c.bytes, RESULT_HEADER_BYTES + 8);
     }
@@ -273,7 +298,12 @@ mod tests {
     fn sample_points_stay_in_region() {
         let regions = [
             Region::cone_deg(10.0, 20.0, 3.0),
-            Region::RaDecRect { ra_min: 100.0, ra_max: 140.0, dec_min: -10.0, dec_max: 30.0 },
+            Region::RaDecRect {
+                ra_min: 100.0,
+                ra_max: 140.0,
+                dec_min: -10.0,
+                dec_max: 30.0,
+            },
             Region::All,
         ];
         for r in &regions {

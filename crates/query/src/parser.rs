@@ -61,7 +61,10 @@ impl Parser {
         if self.eat_keyword(k) {
             Ok(())
         } else {
-            Err(ParseError::new(format!("expected {k:?}, found {}", self.peek()), self.span()))
+            Err(ParseError::new(
+                format!("expected {k:?}, found {}", self.peek()),
+                self.span(),
+            ))
         }
     }
 
@@ -70,16 +73,20 @@ impl Parser {
             self.bump();
             Ok(())
         } else {
-            Err(ParseError::new(format!("expected {t}, found {}", self.peek()), self.span()))
+            Err(ParseError::new(
+                format!("expected {t}, found {}", self.peek()),
+                self.span(),
+            ))
         }
     }
 
     fn expect_eof(&mut self) -> Result<(), ParseError> {
         match self.peek() {
             Token::Eof => Ok(()),
-            other => {
-                Err(ParseError::new(format!("unexpected trailing {other}"), self.span()))
-            }
+            other => Err(ParseError::new(
+                format!("unexpected trailing {other}"),
+                self.span(),
+            )),
         }
     }
 
@@ -89,7 +96,10 @@ impl Parser {
                 self.bump();
                 Ok(n)
             }
-            other => Err(ParseError::new(format!("expected number, found {other}"), self.span())),
+            other => Err(ParseError::new(
+                format!("expected number, found {other}"),
+                self.span(),
+            )),
         }
     }
 
@@ -111,9 +121,10 @@ impl Parser {
                 self.bump();
                 Ok(s)
             }
-            other => {
-                Err(ParseError::new(format!("expected {what}, found {other}"), self.span()))
-            }
+            other => Err(ParseError::new(
+                format!("expected {what}, found {other}"),
+                self.span(),
+            )),
         }
     }
 
@@ -162,7 +173,14 @@ impl Parser {
         } else {
             None
         };
-        Ok(Query { projection, top, table, alias, predicates, tolerance })
+        Ok(Query {
+            projection,
+            top,
+            table,
+            alias,
+            predicates,
+            tolerance,
+        })
     }
 
     fn projection(&mut self) -> Result<Projection, ParseError> {
@@ -303,7 +321,11 @@ impl Parser {
                 self.expect(Token::Comma)?;
                 let radius_deg = self.number()?;
                 self.expect(Token::RParen)?;
-                Ok(Shape::Circle { ra, dec, radius_deg })
+                Ok(Shape::Circle {
+                    ra,
+                    dec,
+                    radius_deg,
+                })
             }
             Token::Keyword(Keyword::Rect) => {
                 self.expect(Token::LParen)?;
@@ -316,7 +338,12 @@ impl Parser {
                 self.expect(Token::Comma)?;
                 let dec_max = self.number()?;
                 self.expect(Token::RParen)?;
-                Ok(Shape::Rect { ra_min, dec_min, ra_max, dec_max })
+                Ok(Shape::Rect {
+                    ra_min,
+                    dec_min,
+                    ra_max,
+                    dec_max,
+                })
             }
             Token::Keyword(Keyword::Neighbors) => {
                 self.expect(Token::LParen)?;
@@ -327,7 +354,11 @@ impl Parser {
                 self.expect(Token::Comma)?;
                 let radius_deg = self.number()?;
                 self.expect(Token::RParen)?;
-                Ok(Shape::Neighbors { ra, dec, radius_deg })
+                Ok(Shape::Neighbors {
+                    ra,
+                    dec,
+                    radius_deg,
+                })
             }
             other => Err(ParseError::new(
                 format!("expected CIRCLE, RECT or NEIGHBORS, found {other}"),
@@ -362,20 +393,29 @@ mod tests {
         assert_eq!(q.alias.as_deref(), Some("p"));
         assert_eq!(q.predicates.len(), 3);
         assert_eq!(q.tolerance, Some(100));
-        assert!(matches!(q.predicates[0], Predicate::Spatial(Shape::Circle { .. })));
+        assert!(matches!(
+            q.predicates[0],
+            Predicate::Spatial(Shape::Circle { .. })
+        ));
     }
 
     #[test]
     fn count_star() {
         let q = parse("SELECT COUNT(*) FROM PhotoObj WHERE RECT(10, -5, 20, 5)").unwrap();
         assert_eq!(q.projection, Projection::Count);
-        assert!(matches!(q.predicates[0], Predicate::Spatial(Shape::Rect { .. })));
+        assert!(matches!(
+            q.predicates[0],
+            Predicate::Spatial(Shape::Rect { .. })
+        ));
     }
 
     #[test]
     fn neighbors_shape() {
         let q = parse("SELECT * FROM PhotoObj WHERE NEIGHBORS(185.0, 15.3, 0.05)").unwrap();
-        assert!(matches!(q.predicates[0], Predicate::Spatial(Shape::Neighbors { .. })));
+        assert!(matches!(
+            q.predicates[0],
+            Predicate::Spatial(Shape::Neighbors { .. })
+        ));
     }
 
     #[test]
@@ -383,7 +423,11 @@ mod tests {
         let q = parse("SELECT ra FROM PhotoObj WHERE CIRCLE(1.0, 2.0, 3.0)").unwrap();
         assert_eq!(
             q.predicates[0],
-            Predicate::Spatial(Shape::Circle { ra: 1.0, dec: 2.0, radius_deg: 3.0 })
+            Predicate::Spatial(Shape::Circle {
+                ra: 1.0,
+                dec: 2.0,
+                radius_deg: 3.0
+            })
         );
     }
 
@@ -401,7 +445,11 @@ mod tests {
             let q = parse(&format!("SELECT ra FROM PhotoObj WHERE g {text} 20")).unwrap();
             assert_eq!(
                 q.predicates[0],
-                Predicate::Compare { column: "g".into(), op, value: 20.0 },
+                Predicate::Compare {
+                    column: "g".into(),
+                    op,
+                    value: 20.0
+                },
                 "operator {text}"
             );
         }
@@ -435,7 +483,11 @@ mod tests {
         let q = parse("SELECT * FROM PhotoObj WHERE CIRCLE(310.25, -12.5, 0.1)").unwrap();
         assert_eq!(
             q.predicates[0],
-            Predicate::Spatial(Shape::Circle { ra: 310.25, dec: -12.5, radius_deg: 0.1 })
+            Predicate::Spatial(Shape::Circle {
+                ra: 310.25,
+                dec: -12.5,
+                radius_deg: 0.1
+            })
         );
     }
 

@@ -40,7 +40,9 @@ pub struct Table {
 impl Table {
     /// Looks up a column case-insensitively.
     pub fn column(&self, name: &str) -> Option<&Column> {
-        self.columns.iter().find(|c| c.name.eq_ignore_ascii_case(name))
+        self.columns
+            .iter()
+            .find(|c| c.name.eq_ignore_ascii_case(name))
     }
 
     /// Bytes of one full row (`SELECT *`).
@@ -153,7 +155,12 @@ impl Default for Schema {
 }
 
 fn col(name: &'static str, width: u32, min: f64, max: f64) -> Column {
-    Column { name, width, min, max }
+    Column {
+        name,
+        width,
+        min,
+        max,
+    }
 }
 
 #[cfg(test)]
@@ -165,7 +172,10 @@ mod tests {
         let s = Schema::sdss();
         assert!(s.table("photoobj").is_ok());
         assert!(s.table("PHOTOOBJ").is_ok());
-        assert!(matches!(s.table("NoSuch"), Err(AnalyzeError::UnknownTable(_))));
+        assert!(matches!(
+            s.table("NoSuch"),
+            Err(AnalyzeError::UnknownTable(_))
+        ));
     }
 
     #[test]
@@ -174,16 +184,23 @@ mod tests {
         let t = s.table("PhotoObj").unwrap();
         assert!(t.column("RA").is_some());
         assert!(t.column("nope").is_none());
-        let w = t.projected_row_width(&["ra".into(), "dec".into(), "g".into()]).unwrap();
+        let w = t
+            .projected_row_width(&["ra".into(), "dec".into(), "g".into()])
+            .unwrap();
         assert_eq!(w, 8 + 8 + 4);
-        assert!(t.full_row_width() > 2800, "hidden attributes dominate SELECT *");
+        assert!(
+            t.full_row_width() > 2800,
+            "hidden attributes dominate SELECT *"
+        );
     }
 
     #[test]
     fn unknown_projection_column_is_an_error() {
         let s = Schema::sdss();
         let t = s.table("PhotoObj").unwrap();
-        let err = t.projected_row_width(&["ra".into(), "bogus".into()]).unwrap_err();
+        let err = t
+            .projected_row_width(&["ra".into(), "bogus".into()])
+            .unwrap_err();
         assert!(matches!(err, AnalyzeError::UnknownColumn { .. }));
     }
 

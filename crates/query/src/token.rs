@@ -203,7 +203,10 @@ pub fn tokenize(input: &str) -> Result<Vec<SpannedToken>, ParseError> {
                 if j >= bytes.len() {
                     return Err(ParseError::new(
                         "unterminated string literal",
-                        Span { start, end: bytes.len() },
+                        Span {
+                            start,
+                            end: bytes.len(),
+                        },
                     ));
                 }
                 out.push(tok(Token::Str(input[i + 1..j].to_string()), start, j + 1));
@@ -257,7 +260,10 @@ pub fn tokenize(input: &str) -> Result<Vec<SpannedToken>, ParseError> {
             other => {
                 return Err(ParseError::new(
                     format!("unexpected character `{other}`"),
-                    Span { start, end: start + 1 },
+                    Span {
+                        start,
+                        end: start + 1,
+                    },
                 ));
             }
         }
@@ -267,7 +273,10 @@ pub fn tokenize(input: &str) -> Result<Vec<SpannedToken>, ParseError> {
 }
 
 fn tok(token: Token, start: usize, end: usize) -> SpannedToken {
-    SpannedToken { token, span: Span { start, end } }
+    SpannedToken {
+        token,
+        span: Span { start, end },
+    }
 }
 
 #[cfg(test)]
@@ -275,7 +284,11 @@ mod tests {
     use super::*;
 
     fn kinds(input: &str) -> Vec<Token> {
-        tokenize(input).unwrap().into_iter().map(|t| t.token).collect()
+        tokenize(input)
+            .unwrap()
+            .into_iter()
+            .map(|t| t.token)
+            .collect()
     }
 
     #[test]
@@ -328,7 +341,12 @@ mod tests {
     fn qualified_identifier() {
         assert_eq!(
             kinds("p.ra"),
-            vec![Token::Ident("p".into()), Token::Dot, Token::Ident("ra".into()), Token::Eof]
+            vec![
+                Token::Ident("p".into()),
+                Token::Dot,
+                Token::Ident("ra".into()),
+                Token::Eof
+            ]
         );
     }
 

@@ -4,8 +4,18 @@ use delta_query::{analyze, parse, CmpOp, Predicate, Projection, Query, Schema, S
 use proptest::prelude::*;
 
 fn arb_column() -> impl Strategy<Value = String> {
-    prop::sample::select(vec!["ra", "dec", "u", "g", "r", "i", "z", "type", "petroRad_r"])
-        .prop_map(str::to_string)
+    prop::sample::select(vec![
+        "ra",
+        "dec",
+        "u",
+        "g",
+        "r",
+        "i",
+        "z",
+        "type",
+        "petroRad_r",
+    ])
+    .prop_map(str::to_string)
 }
 
 fn arb_attr_column() -> impl Strategy<Value = String> {
@@ -19,16 +29,20 @@ fn arb_shape() -> impl Strategy<Value = Shape> {
             dec,
             radius_deg
         }),
-        (0.0..300.0, -80.0..0.0, 0.1..59.0, 0.1..80.0).prop_map(
-            |(ra_min, dec_min, dra, ddec)| Shape::Rect {
+        (0.0..300.0, -80.0..0.0, 0.1..59.0, 0.1..80.0).prop_map(|(ra_min, dec_min, dra, ddec)| {
+            Shape::Rect {
                 ra_min,
                 dec_min,
                 ra_max: ra_min + dra,
                 dec_max: dec_min + ddec,
             }
-        ),
+        }),
         (0.0..360.0, -89.0..89.0, 0.001..0.5).prop_map(|(ra, dec, radius_deg)| {
-            Shape::Neighbors { ra, dec, radius_deg }
+            Shape::Neighbors {
+                ra,
+                dec,
+                radius_deg,
+            }
         }),
     ]
 }
@@ -41,8 +55,13 @@ fn arb_attr_predicate() -> impl Strategy<Value = Predicate> {
             14.0..24.0f64
         )
             .prop_map(|(column, op, value)| Predicate::Compare { column, op, value }),
-        (arb_attr_column(), 14.0..19.0f64, 0.1..5.0f64)
-            .prop_map(|(column, lo, w)| Predicate::Between { column, lo, hi: lo + w }),
+        (arb_attr_column(), 14.0..19.0f64, 0.1..5.0f64).prop_map(|(column, lo, w)| {
+            Predicate::Between {
+                column,
+                lo,
+                hi: lo + w,
+            }
+        }),
     ]
 }
 
@@ -63,8 +82,13 @@ fn arb_predicate() -> impl Strategy<Value = Predicate> {
             14.0..24.0f64
         )
             .prop_map(|(column, op, value)| Predicate::Compare { column, op, value }),
-        (arb_attr_column(), 14.0..19.0f64, 0.1..5.0f64)
-            .prop_map(|(column, lo, w)| Predicate::Between { column, lo, hi: lo + w }),
+        (arb_attr_column(), 14.0..19.0f64, 0.1..5.0f64).prop_map(|(column, lo, w)| {
+            Predicate::Between {
+                column,
+                lo,
+                hi: lo + w,
+            }
+        }),
     ]
 }
 

@@ -1,0 +1,233 @@
+//! `delta-loadgen` — replays a Delta workload trace against a running
+//! `delta-serverd` over TCP.
+//!
+//! ```text
+//! delta-loadgen --addr 127.0.0.1:7117
+//!               [--trace trace.jsonl | --preset small|paper]
+//!               [--limit N] [--clients C] [--shutdown]
+//! ```
+//!
+//! With `--clients C`, the trace is dealt round-robin over C connections
+//! driven by C threads (updates and queries stay globally ordered per
+//! connection, not across them — useful for throughput smoke tests; use
+//! the default single client for simulator-equivalent replays).
+//!
+//! After the replay it fetches the statistics snapshot, prints the
+//! per-shard table, and verifies that the per-shard ledgers sum to the
+//! aggregate totals.
+
+use delta_server::DeltaClient;
+use delta_workload::{Event, Trace, WorkloadConfig};
+use std::process::exit;
+use std::time::Instant;
+
+struct Args {
+    addr: String,
+    trace: Option<String>,
+    preset: String,
+    limit: usize,
+    clients: usize,
+    shutdown: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: delta-loadgen --addr ADDR [--trace FILE | --preset small|paper] \
+         [--limit N] [--clients C] [--shutdown]"
+    );
+    exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        addr: String::new(),
+        trace: None,
+        preset: "small".to_string(),
+        limit: usize::MAX,
+        clients: 1,
+        shutdown: false,
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    let value = |argv: &[String], i: usize| -> String {
+        argv.get(i + 1).cloned().unwrap_or_else(|| usage())
+    };
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--addr" => args.addr = value(&argv, i),
+            "--trace" => args.trace = Some(value(&argv, i)),
+            "--preset" => args.preset = value(&argv, i),
+            "--limit" => args.limit = value(&argv, i).parse().unwrap_or_else(|_| usage()),
+            "--clients" => args.clients = value(&argv, i).parse().unwrap_or_else(|_| usage()),
+            "--shutdown" => {
+                args.shutdown = true;
+                i += 1;
+                continue;
+            }
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("delta-loadgen: unknown flag {other:?}");
+                usage();
+            }
+        }
+        i += 2;
+    }
+    if args.addr.is_empty() {
+        usage();
+    }
+    if args.clients == 0 {
+        args.clients = 1;
+    }
+    args
+}
+
+fn load_trace(args: &Args) -> Trace {
+    let trace = if let Some(path) = &args.trace {
+        let (_catalog, trace) = delta_workload::read_jsonl(std::path::Path::new(path))
+            .unwrap_or_else(|e| {
+                eprintln!("delta-loadgen: cannot read trace {path:?}: {e}");
+                exit(1);
+            });
+        trace
+    } else {
+        let cfg = WorkloadConfig::from_preset(&args.preset).unwrap_or_else(|e| {
+            eprintln!("delta-loadgen: {e}");
+            exit(2);
+        });
+        delta_workload::SyntheticSurvey::generate(&cfg).trace
+    };
+    trace.truncated(args.limit)
+}
+
+fn replay(addr: &str, events: &[Event]) -> std::io::Result<(u64, u64, u64)> {
+    let mut client = DeltaClient::connect(addr)?;
+    let (mut queries, mut updates, mut sub_queries) = (0u64, 0u64, 0u64);
+    for event in events {
+        match event {
+            Event::Query(q) => {
+                let reply = client.query(q)?;
+                queries += 1;
+                sub_queries += reply.shards_touched as u64;
+            }
+            Event::Update(u) => {
+                client.update(u)?;
+                updates += 1;
+            }
+        }
+    }
+    Ok((queries, updates, sub_queries))
+}
+
+fn main() {
+    let args = parse_args();
+    let trace = load_trace(&args);
+    eprintln!(
+        "replaying {} events ({} queries, {} updates) against {} over {} client(s)",
+        trace.len(),
+        trace.n_queries(),
+        trace.n_updates(),
+        args.addr,
+        args.clients,
+    );
+
+    // Baseline snapshot, so the post-replay consistency check measures
+    // exactly what this replay contributed even on a warm server.
+    let baseline = DeltaClient::connect(&args.addr)
+        .and_then(|mut c| c.stats())
+        .unwrap_or_else(|e| {
+            eprintln!("delta-loadgen: cannot fetch baseline stats: {e}");
+            exit(1);
+        });
+
+    let start = Instant::now();
+    let (queries, updates, sub_queries) = if args.clients == 1 {
+        replay(&args.addr, &trace.events).unwrap_or_else(|e| {
+            eprintln!("delta-loadgen: replay failed: {e}");
+            exit(1);
+        })
+    } else {
+        // Deal events round-robin across C lockstep connections.
+        let lanes: Vec<Vec<Event>> = (0..args.clients)
+            .map(|lane| {
+                trace
+                    .events
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| i % args.clients == lane)
+                    .map(|(_, e)| e.clone())
+                    .collect()
+            })
+            .collect();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = lanes
+                .iter()
+                .map(|lane| scope.spawn(|| replay(&args.addr, lane)))
+                .collect();
+            let mut totals = (0u64, 0u64, 0u64);
+            for h in handles {
+                match h.join().expect("replay thread panicked") {
+                    Ok((q, u, sq)) => {
+                        totals.0 += q;
+                        totals.1 += u;
+                        totals.2 += sq;
+                    }
+                    Err(e) => {
+                        eprintln!("delta-loadgen: replay failed: {e}");
+                        exit(1);
+                    }
+                }
+            }
+            totals
+        })
+    };
+    let elapsed = start.elapsed();
+    let rate = (queries + updates) as f64 / elapsed.as_secs_f64();
+    eprintln!(
+        "replayed {queries} queries + {updates} updates in {:.2}s ({rate:.0} events/s)",
+        elapsed.as_secs_f64()
+    );
+
+    let mut client = DeltaClient::connect(&args.addr).unwrap_or_else(|e| {
+        eprintln!("delta-loadgen: cannot reconnect for stats: {e}");
+        exit(1);
+    });
+    let stats = client.stats().unwrap_or_else(|e| {
+        eprintln!("delta-loadgen: stats failed: {e}");
+        exit(1);
+    });
+
+    print!("{}", stats.render_table());
+    let global = stats.total_ledger();
+    println!("\naggregate: {}", stats.to_sim_report());
+
+    // Cross-check the server's accounting against what this client
+    // actually sent: every update is one shard event, and every query
+    // fans into the `shards_touched` sub-queries its reply declared.
+    let delta_events = stats.total_events() - baseline.total_events();
+    let delta_bytes = global.total().bytes() - baseline.total_ledger().total().bytes();
+    let expected = updates + sub_queries;
+    assert!(delta_bytes > 0, "replay moved no bytes — empty trace?");
+    assert!(
+        delta_events >= expected,
+        "server accounted {delta_events} shard events but this client alone sent {expected}"
+    );
+    if delta_events == expected {
+        println!(
+            "consistency: server accounted {delta_events} shard events == {updates} updates + {sub_queries} sub-queries sent; {delta_bytes} bytes moved over {} shards ✓",
+            stats.shards.len()
+        );
+    } else {
+        println!(
+            "consistency: server accounted {delta_events} shard events >= our {expected} (other clients active); {delta_bytes} bytes moved over {} shards ✓",
+            stats.shards.len()
+        );
+    }
+
+    if args.shutdown {
+        client.shutdown().unwrap_or_else(|e| {
+            eprintln!("delta-loadgen: shutdown failed: {e}");
+            exit(1);
+        });
+        eprintln!("server shutdown requested");
+    }
+}

@@ -1,0 +1,138 @@
+//! `delta-serverd` — the sharded Delta cache service daemon.
+//!
+//! The repository catalog comes either from a trace file header
+//! (`--trace`, as written by `tracegen` / `delta_workload::write_jsonl`)
+//! or from a synthetic workload preset (`--preset small|paper`).
+//!
+//! ```text
+//! delta-serverd [--bind 127.0.0.1:7117] [--shards 4]
+//!               [--cache-fraction 0.3 | --cache-bytes N]
+//!               [--policy vcover|benefit|nocache|replica]
+//!               [--seed N]
+//!               [--trace trace.jsonl | --preset small|paper]
+//! ```
+//!
+//! The daemon prints the bound address, serves until a client sends a
+//! `Shutdown` frame (or SIGINT terminates the process), then prints the
+//! final per-shard statistics table.
+
+use delta_server::{PolicyKind, Server, ServerConfig};
+use delta_storage::ObjectCatalog;
+use delta_workload::WorkloadConfig;
+use std::process::exit;
+
+struct Args {
+    config: ServerConfig,
+    cache_fraction: f64,
+    trace: Option<String>,
+    preset: String,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: delta-serverd [--bind ADDR] [--shards N] \
+         [--cache-fraction F | --cache-bytes N] \
+         [--policy vcover|benefit|nocache|replica] [--seed N] \
+         [--trace FILE | --preset small|paper]"
+    );
+    exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        config: ServerConfig::default(),
+        cache_fraction: 0.3,
+        trace: None,
+        preset: "small".to_string(),
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    let value = |argv: &[String], i: usize| -> String {
+        argv.get(i + 1).cloned().unwrap_or_else(|| usage())
+    };
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--bind" => args.config.bind = value(&argv, i),
+            "--shards" => {
+                args.config.n_shards = value(&argv, i).parse().unwrap_or_else(|_| usage())
+            }
+            "--cache-bytes" => {
+                args.config.cache_bytes = value(&argv, i).parse().unwrap_or_else(|_| usage());
+                args.cache_fraction = 0.0;
+            }
+            "--cache-fraction" => {
+                args.cache_fraction = value(&argv, i).parse().unwrap_or_else(|_| usage())
+            }
+            "--policy" => {
+                args.config.policy = PolicyKind::parse(&value(&argv, i)).unwrap_or_else(|e| {
+                    eprintln!("delta-serverd: {e}");
+                    exit(2);
+                })
+            }
+            "--seed" => args.config.seed = value(&argv, i).parse().unwrap_or_else(|_| usage()),
+            "--trace" => args.trace = Some(value(&argv, i)),
+            "--preset" => args.preset = value(&argv, i),
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("delta-serverd: unknown flag {other:?}");
+                usage();
+            }
+        }
+        i += 2;
+    }
+    args
+}
+
+fn load_catalog(args: &Args) -> ObjectCatalog {
+    if let Some(path) = &args.trace {
+        let (catalog, _trace) = delta_workload::read_jsonl(std::path::Path::new(path))
+            .unwrap_or_else(|e| {
+                eprintln!("delta-serverd: cannot read trace {path:?}: {e}");
+                exit(1);
+            });
+        eprintln!(
+            "catalog from {path}: {} objects, {} total bytes",
+            catalog.len(),
+            catalog.total_bytes()
+        );
+        catalog
+    } else {
+        let cfg = WorkloadConfig::from_preset(&args.preset).unwrap_or_else(|e| {
+            eprintln!("delta-serverd: {e}");
+            exit(2);
+        });
+        let survey = delta_workload::SyntheticSurvey::generate(&cfg);
+        eprintln!(
+            "catalog from preset {}: {} objects, {} total bytes",
+            args.preset,
+            survey.catalog.len(),
+            survey.catalog.total_bytes()
+        );
+        survey.catalog
+    }
+}
+
+fn main() {
+    let mut args = parse_args();
+    let catalog = load_catalog(&args);
+    if args.config.cache_bytes == 0 {
+        args.config.cache_bytes = (catalog.total_bytes() as f64 * args.cache_fraction) as u64;
+    }
+
+    let server = Server::start(args.config.clone(), catalog).unwrap_or_else(|e| {
+        eprintln!("delta-serverd: cannot start: {e}");
+        exit(1);
+    });
+    println!("delta-serverd listening on {}", server.local_addr());
+    println!(
+        "  shards={} policy={} cache={} B seed={}",
+        args.config.n_shards, args.config.policy, args.config.cache_bytes, args.config.seed
+    );
+
+    // Serve until a client sends a Shutdown frame.
+    let stats = server.join();
+    println!("\nfinal per-shard statistics:");
+    print!("{}", stats.render_table());
+    let report = stats.to_sim_report();
+    println!("\naggregate: {report}");
+}

@@ -1,0 +1,97 @@
+//! Typed client for the delta-server wire protocol.
+
+use crate::protocol::{read_frame, write_frame, Request, Response, StatsSnapshot};
+use delta_workload::{QueryEvent, UpdateEvent};
+use std::io;
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// Outcome of a query request.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct QueryReply {
+    /// Shards the query fanned out to.
+    pub shards_touched: u16,
+    /// Sub-queries answered from shard caches.
+    pub local_answers: u16,
+    /// Sub-queries shipped to the repository.
+    pub shipped: u16,
+}
+
+/// Outcome of an update request.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct UpdateReply {
+    /// Shard that owns the updated object.
+    pub shard: u16,
+    /// The object's new version at that shard.
+    pub version: u64,
+}
+
+/// A synchronous connection to a delta-server.
+///
+/// One request is in flight at a time; open several clients for
+/// concurrency (the server is happy to serve many connections).
+pub struct DeltaClient {
+    stream: TcpStream,
+}
+
+impl DeltaClient {
+    /// Connects to a server.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<DeltaClient> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(DeltaClient { stream })
+    }
+
+    fn round_trip(&mut self, request: &Request) -> io::Result<Response> {
+        write_frame(&mut self.stream, &request.encode())?;
+        let payload = read_frame(&mut self.stream)?;
+        let response = Response::decode(&payload)?;
+        if let Response::Error { code, message } = &response {
+            return Err(io::Error::other(format!("server error {code}: {message}")));
+        }
+        Ok(response)
+    }
+
+    /// Serves one query event (objects are global catalog ids).
+    pub fn query(&mut self, q: &QueryEvent) -> io::Result<QueryReply> {
+        match self.round_trip(&Request::Query(q.clone()))? {
+            Response::QueryOk {
+                shards_touched,
+                local_answers,
+                shipped,
+            } => Ok(QueryReply {
+                shards_touched,
+                local_answers,
+                shipped,
+            }),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Applies one update event.
+    pub fn update(&mut self, u: &UpdateEvent) -> io::Result<UpdateReply> {
+        match self.round_trip(&Request::Update(*u))? {
+            Response::UpdateOk { shard, version } => Ok(UpdateReply { shard, version }),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Fetches the per-shard statistics snapshot.
+    pub fn stats(&mut self) -> io::Result<StatsSnapshot> {
+        match self.round_trip(&Request::Stats)? {
+            Response::StatsOk(snapshot) => Ok(snapshot),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Asks the server to shut down gracefully.
+    pub fn shutdown(&mut self) -> io::Result<()> {
+        match self.round_trip(&Request::Shutdown)? {
+            Response::ShutdownOk => Ok(()),
+            other => Err(unexpected(&other)),
+        }
+    }
+}
+
+fn unexpected(r: &Response) -> io::Error {
+    io::Error::other(format!("unexpected response {r:?}"))
+}

@@ -1,0 +1,125 @@
+//! Server configuration: shard count, cache budget, policy choice.
+
+use delta_core::{Benefit, BenefitConfig, CachingPolicy, NoCache, Replica, VCover};
+
+/// Which decoupling policy each shard runs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PolicyKind {
+    /// The paper's incremental vertex-cover algorithm (default).
+    VCover,
+    /// The windowed exponential-smoothing greedy baseline.
+    Benefit,
+    /// Ship every query (no cache) — a yardstick, useful for smoke tests.
+    NoCache,
+    /// Mirror the repository — the other yardstick.
+    Replica,
+}
+
+impl PolicyKind {
+    /// Builds a fresh policy instance for one shard.
+    pub fn build(&self, cache_bytes: u64, seed: u64) -> Box<dyn CachingPolicy + Send> {
+        match self {
+            PolicyKind::VCover => Box::new(VCover::new(cache_bytes, seed)),
+            PolicyKind::Benefit => Box::new(Benefit::new(cache_bytes, BenefitConfig::default())),
+            PolicyKind::NoCache => Box::new(NoCache),
+            PolicyKind::Replica => Box::new(Replica),
+        }
+    }
+
+    /// Parses a policy name (as accepted by `delta-serverd --policy`).
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s.to_ascii_lowercase().as_str() {
+            "vcover" => Ok(PolicyKind::VCover),
+            "benefit" => Ok(PolicyKind::Benefit),
+            "nocache" => Ok(PolicyKind::NoCache),
+            "replica" => Ok(PolicyKind::Replica),
+            other => Err(format!(
+                "unknown policy {other:?}; expected vcover, benefit, nocache or replica"
+            )),
+        }
+    }
+}
+
+impl std::fmt::Display for PolicyKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PolicyKind::VCover => write!(f, "vcover"),
+            PolicyKind::Benefit => write!(f, "benefit"),
+            PolicyKind::NoCache => write!(f, "nocache"),
+            PolicyKind::Replica => write!(f, "replica"),
+        }
+    }
+}
+
+/// Everything `delta-serverd` needs besides the object catalog.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Listen address, e.g. `127.0.0.1:7117` (port 0 picks one).
+    pub bind: String,
+    /// Number of shards (each owns a policy, repository slice and cache).
+    pub n_shards: usize,
+    /// Total middleware cache budget in bytes, split across shards
+    /// proportionally to their share of the catalog.
+    pub cache_bytes: u64,
+    /// Policy each shard runs.
+    pub policy: PolicyKind,
+    /// Master seed; shard `s` seeds its policy with `seed + s`.
+    pub seed: u64,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            bind: "127.0.0.1:7117".to_string(),
+            n_shards: 4,
+            cache_bytes: 0,
+            policy: PolicyKind::VCover,
+            seed: 0xDE17A,
+        }
+    }
+}
+
+impl ServerConfig {
+    /// Validates the configuration.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.n_shards == 0 {
+            return Err("n_shards must be at least 1".into());
+        }
+        if self.n_shards > u16::MAX as usize {
+            return Err("n_shards exceeds u16".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn policy_parse_round_trips() {
+        for kind in [
+            PolicyKind::VCover,
+            PolicyKind::Benefit,
+            PolicyKind::NoCache,
+            PolicyKind::Replica,
+        ] {
+            assert_eq!(PolicyKind::parse(&kind.to_string()), Ok(kind));
+        }
+        assert!(PolicyKind::parse("lru").is_err());
+    }
+
+    #[test]
+    fn config_validation() {
+        let mut cfg = ServerConfig::default();
+        assert!(cfg.validate().is_ok());
+        cfg.n_shards = 0;
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn built_policies_report_names() {
+        assert_eq!(PolicyKind::VCover.build(1_000, 1).name(), "VCover");
+        assert_eq!(PolicyKind::NoCache.build(1_000, 1).name(), "NoCache");
+    }
+}

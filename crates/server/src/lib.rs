@@ -1,0 +1,75 @@
+//! # delta-server — the decoupling engine on the wire
+//!
+//! The paper's Delta is a *middleware* service between clients and a
+//! rapidly-growing repository; this crate supplies that missing service
+//! layer over the in-process engine:
+//!
+//! * [`protocol`] — a length-prefixed binary wire protocol with `Query`,
+//!   `Update`, `Stats` and `Shutdown` frames.
+//! * [`partition`] — round-robin catalog sharding, exact result-byte
+//!   apportioning and the offline [`partition::shard_trace`] twin that
+//!   makes server runs testable against [`delta_core::simulate`].
+//! * [`shard`] — one worker thread per shard, each owning a
+//!   [`delta_core::CachingPolicy`] (VCover by default, pluggable), a
+//!   [`delta_storage::Repository`] slice and a cache, accounting into its
+//!   own [`delta_core::CostLedger`].
+//! * [`server`] — the TCP listener: per-connection framing threads, shard
+//!   fan-out, wire-byte metering on a [`delta_net::TrafficMeter`], and
+//!   graceful drain on shutdown.
+//! * [`client`] — the typed synchronous client.
+//!
+//! Everything is std-only (`std::net` + threads), in the style of
+//! `delta_core::deploy`. The binaries `delta-serverd` and `delta-loadgen`
+//! wrap [`server::Server`] and [`client::DeltaClient`] for the command
+//! line; see the repository README for a two-command quickstart.
+//!
+//! ```
+//! use delta_server::{DeltaClient, PolicyKind, Server, ServerConfig};
+//! use delta_storage::{ObjectCatalog, ObjectId};
+//! use delta_workload::{QueryEvent, QueryKind, UpdateEvent};
+//!
+//! let catalog = ObjectCatalog::from_sizes(&[500, 600, 700, 800]);
+//! let config = ServerConfig {
+//!     bind: "127.0.0.1:0".into(),
+//!     n_shards: 2,
+//!     cache_bytes: 1_000,
+//!     policy: PolicyKind::VCover,
+//!     seed: 7,
+//! };
+//! let server = Server::start(config, catalog).unwrap();
+//! let mut client = DeltaClient::connect(server.local_addr()).unwrap();
+//!
+//! client.update(&UpdateEvent { seq: 1, object: ObjectId(2), bytes: 40 }).unwrap();
+//! let reply = client
+//!     .query(&QueryEvent {
+//!         seq: 2,
+//!         objects: vec![ObjectId(0), ObjectId(1)],
+//!         result_bytes: 128,
+//!         tolerance: 0,
+//!         kind: QueryKind::Cone,
+//!     })
+//!     .unwrap();
+//! assert_eq!(reply.shards_touched, 2);
+//!
+//! let stats = client.stats().unwrap();
+//! assert_eq!(stats.total_events(), 3);
+//! client.shutdown().unwrap();
+//! let final_stats = server.join();
+//! assert_eq!(final_stats.total_ledger().total().bytes(), stats.total_ledger().total().bytes());
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod client;
+pub mod config;
+pub mod partition;
+pub mod protocol;
+pub mod server;
+pub mod shard;
+
+pub use client::{DeltaClient, QueryReply, UpdateReply};
+pub use config::{PolicyKind, ServerConfig};
+pub use partition::{shard_trace, ShardMap};
+pub use protocol::{Request, Response, ShardStats, StatsSnapshot};
+pub use server::Server;

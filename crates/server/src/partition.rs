@@ -1,0 +1,330 @@
+//! Catalog sharding and query splitting.
+//!
+//! The server hash-partitions the object catalog over N shards by object
+//! id (round-robin: global id `g` lives on shard `g % N` as local id
+//! `g / N`). A query touching several shards is split into per-shard
+//! sub-queries whose `result_bytes` are apportioned by the touched
+//! objects' catalog sizes (largest-remainder rounding, so the shares sum
+//! exactly to the original).
+//!
+//! Everything here is pure and deterministic, and [`shard_trace`] applies
+//! the *same* mapping to a whole trace offline. That is what makes the
+//! server testable against the in-process simulator: replaying a trace
+//! over TCP against an N-shard server must produce, per shard, exactly
+//! the ledger `sim::simulate` produces on that shard's sub-catalog and
+//! sub-trace.
+
+use delta_storage::{ObjectCatalog, ObjectId};
+use delta_workload::{Event, QueryEvent, Trace, UpdateEvent};
+
+/// The round-robin object partitioning over `n_shards`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ShardMap {
+    n_shards: u32,
+}
+
+impl ShardMap {
+    /// Creates a map over `n_shards` (at least 1).
+    pub fn new(n_shards: usize) -> Self {
+        assert!(n_shards >= 1, "need at least one shard");
+        assert!(n_shards <= u16::MAX as usize, "shard count exceeds u16");
+        ShardMap {
+            n_shards: n_shards as u32,
+        }
+    }
+
+    /// Number of shards.
+    pub fn n_shards(&self) -> usize {
+        self.n_shards as usize
+    }
+
+    /// The shard owning a global object id.
+    pub fn shard_of(&self, o: ObjectId) -> usize {
+        (o.0 % self.n_shards) as usize
+    }
+
+    /// The local (per-shard dense) id of a global object id.
+    pub fn local_id(&self, o: ObjectId) -> ObjectId {
+        ObjectId(o.0 / self.n_shards)
+    }
+
+    /// The global id of a shard-local object id.
+    pub fn global_id(&self, shard: usize, local: ObjectId) -> ObjectId {
+        ObjectId(local.0 * self.n_shards + shard as u32)
+    }
+
+    /// Number of objects shard `shard` owns out of a `n_objects` catalog.
+    pub fn shard_len(&self, shard: usize, n_objects: usize) -> usize {
+        let n = self.n_shards as usize;
+        (n_objects + n - 1 - shard) / n
+    }
+
+    /// Builds shard `shard`'s sub-catalog of `catalog`.
+    pub fn shard_catalog(&self, shard: usize, catalog: &ObjectCatalog) -> ObjectCatalog {
+        let sizes: Vec<u64> = (0..self.shard_len(shard, catalog.len()))
+            .map(|l| catalog.size(self.global_id(shard, ObjectId(l as u32))))
+            .collect();
+        ObjectCatalog::from_sizes(&sizes)
+    }
+
+    /// Splits the configured total cache budget across shards,
+    /// proportional to sub-catalog bytes (largest-remainder exact split).
+    pub fn shard_cache_bytes(&self, total_cache: u64, catalog: &ObjectCatalog) -> Vec<u64> {
+        let weights: Vec<u64> = (0..self.n_shards())
+            .map(|s| self.shard_catalog(s, catalog).total_bytes())
+            .collect();
+        apportion(total_cache, &weights)
+    }
+
+    /// Splits a query (global ids) into `(shard, sub-query)` pairs with
+    /// local ids and exactly-apportioned result bytes. Sub-queries come
+    /// out in ascending shard order.
+    pub fn split_query(&self, q: &QueryEvent, catalog: &ObjectCatalog) -> Vec<(usize, QueryEvent)> {
+        let mut per_shard: Vec<Vec<ObjectId>> = vec![Vec::new(); self.n_shards()];
+        for &o in &q.objects {
+            per_shard[self.shard_of(o)].push(self.local_id(o));
+        }
+        let touched: Vec<usize> = (0..self.n_shards())
+            .filter(|&s| !per_shard[s].is_empty())
+            .collect();
+        // Weight each touched shard by the catalog bytes of its touched
+        // objects: bigger objects presumably contribute more result rows.
+        let weights: Vec<u64> = touched
+            .iter()
+            .map(|&s| {
+                per_shard[s]
+                    .iter()
+                    .map(|&l| catalog.size(self.global_id(s, l)))
+                    .sum::<u64>()
+                    .max(1)
+            })
+            .collect();
+        let shares = apportion(q.result_bytes, &weights);
+        touched
+            .into_iter()
+            .zip(shares)
+            .map(|(s, result_bytes)| {
+                (
+                    s,
+                    QueryEvent {
+                        seq: q.seq,
+                        objects: std::mem::take(&mut per_shard[s]),
+                        result_bytes,
+                        tolerance: q.tolerance,
+                        kind: q.kind,
+                    },
+                )
+            })
+            .collect()
+    }
+
+    /// Maps an update (global id) to its `(shard, local update)`.
+    pub fn split_update(&self, u: &UpdateEvent) -> (usize, UpdateEvent) {
+        (
+            self.shard_of(u.object),
+            UpdateEvent {
+                seq: u.seq,
+                object: self.local_id(u.object),
+                bytes: u.bytes,
+            },
+        )
+    }
+}
+
+/// Splits `total` into shares proportional to `weights`, summing exactly
+/// to `total` (largest-remainder method; ties go to the earlier entry).
+pub fn apportion(total: u64, weights: &[u64]) -> Vec<u64> {
+    if weights.is_empty() {
+        return Vec::new();
+    }
+    let wsum: u128 = weights.iter().map(|&w| w as u128).sum();
+    if wsum == 0 {
+        let mut out = vec![0; weights.len()];
+        out[0] = total;
+        return out;
+    }
+    let mut shares: Vec<u64> = Vec::with_capacity(weights.len());
+    let mut remainders: Vec<(u128, usize)> = Vec::with_capacity(weights.len());
+    let mut assigned: u64 = 0;
+    for (i, &w) in weights.iter().enumerate() {
+        let num = total as u128 * w as u128;
+        let share = (num / wsum) as u64;
+        shares.push(share);
+        assigned += share;
+        remainders.push((num % wsum, i));
+    }
+    // Hand the leftover units to the largest remainders.
+    remainders.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+    let mut leftover = total - assigned;
+    for &(_, i) in &remainders {
+        if leftover == 0 {
+            break;
+        }
+        shares[i] += 1;
+        leftover -= 1;
+    }
+    shares
+}
+
+/// Applies the shard mapping to a whole trace: returns, per shard, its
+/// sub-catalog, sub-trace (local ids, apportioned bytes) and cache
+/// budget. This is the offline twin of what the live server does online.
+pub fn shard_trace(
+    map: ShardMap,
+    catalog: &ObjectCatalog,
+    trace: &Trace,
+    total_cache: u64,
+) -> Vec<(ObjectCatalog, Trace, u64)> {
+    let caches = map.shard_cache_bytes(total_cache, catalog);
+    let mut events: Vec<Vec<Event>> = vec![Vec::new(); map.n_shards()];
+    for event in trace.iter() {
+        match event {
+            Event::Query(q) => {
+                for (s, sub) in map.split_query(q, catalog) {
+                    events[s].push(Event::Query(sub));
+                }
+            }
+            Event::Update(u) => {
+                let (s, sub) = map.split_update(u);
+                events[s].push(Event::Update(sub));
+            }
+        }
+    }
+    events
+        .into_iter()
+        .enumerate()
+        .map(|(s, evs)| (map.shard_catalog(s, catalog), Trace::new(evs), caches[s]))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use delta_workload::QueryKind;
+
+    fn catalog() -> ObjectCatalog {
+        ObjectCatalog::from_sizes(&[100, 200, 300, 400, 500, 600, 700])
+    }
+
+    #[test]
+    fn round_robin_ids_are_inverse() {
+        let map = ShardMap::new(3);
+        for g in 0..100u32 {
+            let o = ObjectId(g);
+            let s = map.shard_of(o);
+            let l = map.local_id(o);
+            assert_eq!(map.global_id(s, l), o);
+        }
+        assert_eq!(map.shard_len(0, 7), 3); // 0, 3, 6
+        assert_eq!(map.shard_len(1, 7), 2); // 1, 4
+        assert_eq!(map.shard_len(2, 7), 2); // 2, 5
+    }
+
+    #[test]
+    fn sub_catalogs_cover_everything_once() {
+        let c = catalog();
+        let map = ShardMap::new(3);
+        let total: u64 = (0..3).map(|s| map.shard_catalog(s, &c).total_bytes()).sum();
+        assert_eq!(total, c.total_bytes());
+        // Shard 0 owns global 0, 3, 6.
+        let s0 = map.shard_catalog(0, &c);
+        assert_eq!(s0.len(), 3);
+        assert_eq!(s0.size(ObjectId(0)), 100);
+        assert_eq!(s0.size(ObjectId(1)), 400);
+        assert_eq!(s0.size(ObjectId(2)), 700);
+    }
+
+    #[test]
+    fn apportion_is_exact_and_proportional() {
+        assert_eq!(apportion(100, &[1, 1]), vec![50, 50]);
+        assert_eq!(apportion(101, &[1, 1]), vec![51, 50]);
+        assert_eq!(apportion(10, &[0, 0, 0]), vec![10, 0, 0]);
+        let shares = apportion(1_000_003, &[3, 7, 11, 2]);
+        assert_eq!(shares.iter().sum::<u64>(), 1_000_003);
+        assert!(shares[2] > shares[1] && shares[1] > shares[0]);
+    }
+
+    #[test]
+    fn split_query_preserves_bytes_and_objects() {
+        let c = catalog();
+        let map = ShardMap::new(3);
+        let q = QueryEvent {
+            seq: 9,
+            objects: vec![ObjectId(0), ObjectId(1), ObjectId(3), ObjectId(5)],
+            result_bytes: 1_000,
+            tolerance: 4,
+            kind: QueryKind::Range,
+        };
+        let subs = map.split_query(&q, &c);
+        // Shards 0 (objects 0,3), 1 (object 1), 2 (object 5).
+        assert_eq!(subs.len(), 3);
+        assert_eq!(subs.iter().map(|(_, s)| s.result_bytes).sum::<u64>(), 1_000);
+        for (s, sub) in &subs {
+            assert_eq!(sub.seq, 9);
+            assert_eq!(sub.tolerance, 4);
+            assert_eq!(sub.kind, QueryKind::Range);
+            for &l in &sub.objects {
+                assert_eq!(map.shard_of(map.global_id(*s, l)), *s);
+            }
+        }
+        let (s0, sub0) = &subs[0];
+        assert_eq!(*s0, 0);
+        assert_eq!(sub0.objects, vec![ObjectId(0), ObjectId(1)]); // global 0 and 3
+    }
+
+    #[test]
+    fn single_shard_split_is_identity() {
+        let c = catalog();
+        let map = ShardMap::new(1);
+        let q = QueryEvent {
+            seq: 1,
+            objects: vec![ObjectId(2), ObjectId(4)],
+            result_bytes: 77,
+            tolerance: 0,
+            kind: QueryKind::Cone,
+        };
+        let subs = map.split_query(&q, &c);
+        assert_eq!(subs.len(), 1);
+        assert_eq!(subs[0].1, q);
+    }
+
+    #[test]
+    fn shard_trace_partitions_all_events() {
+        let c = catalog();
+        let map = ShardMap::new(4);
+        let trace = Trace::new(vec![
+            Event::Query(QueryEvent {
+                seq: 0,
+                objects: vec![ObjectId(0), ObjectId(1), ObjectId(2)],
+                result_bytes: 100,
+                tolerance: 0,
+                kind: QueryKind::Cone,
+            }),
+            Event::Update(UpdateEvent {
+                seq: 1,
+                object: ObjectId(5),
+                bytes: 9,
+            }),
+            Event::Query(QueryEvent {
+                seq: 2,
+                objects: vec![ObjectId(5)],
+                result_bytes: 40,
+                tolerance: 1,
+                kind: QueryKind::Selection,
+            }),
+        ]);
+        let shards = shard_trace(map, &c, &trace, 1_000);
+        assert_eq!(shards.len(), 4);
+        let total_cache: u64 = shards.iter().map(|(_, _, cache)| cache).sum();
+        assert_eq!(total_cache, 1_000);
+        let query_bytes: u64 = shards.iter().map(|(_, t, _)| t.total_query_bytes()).sum();
+        assert_eq!(query_bytes, 140);
+        let update_bytes: u64 = shards.iter().map(|(_, t, _)| t.total_update_bytes()).sum();
+        assert_eq!(update_bytes, 9);
+        // Update to global object 5 landed on shard 1 as local id 1.
+        let (_, t1, _) = &shards[1];
+        assert!(t1
+            .iter()
+            .any(|e| matches!(e, Event::Update(u) if u.object == ObjectId(1) && u.bytes == 9)));
+    }
+}

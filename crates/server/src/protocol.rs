@@ -1,0 +1,687 @@
+//! The delta-server wire protocol.
+//!
+//! Frames are length-prefixed binary: a 4-byte big-endian payload length,
+//! then a 1-byte opcode, then opcode-specific fields (integers big-endian,
+//! strings length-prefixed UTF-8). Four request kinds exist — `Query`,
+//! `Update`, `Stats` and `Shutdown` — mirroring the event model of the
+//! in-process simulator so a trace replay over TCP exercises exactly the
+//! decisions `sim::simulate` makes.
+//!
+//! The protocol is synchronous per connection: every request frame gets
+//! exactly one response frame, in order. Concurrency comes from running
+//! many connections (the server fans each request out to its shards).
+
+use delta_core::CostLedger;
+use delta_storage::ObjectId;
+use delta_workload::{QueryEvent, QueryKind, UpdateEvent};
+use std::io::{self, Read, Write};
+
+/// Protocol version; bumped on incompatible frame changes.
+pub const PROTOCOL_VERSION: u8 = 1;
+
+/// Upper bound on a frame payload, to fail fast on corrupt length words.
+pub const MAX_FRAME_BYTES: u32 = 64 * 1024 * 1024;
+
+const OP_QUERY: u8 = 0x01;
+const OP_UPDATE: u8 = 0x02;
+const OP_STATS: u8 = 0x03;
+const OP_SHUTDOWN: u8 = 0x04;
+const OP_QUERY_OK: u8 = 0x81;
+const OP_UPDATE_OK: u8 = 0x82;
+const OP_STATS_OK: u8 = 0x83;
+const OP_SHUTDOWN_OK: u8 = 0x84;
+const OP_ERROR: u8 = 0xFF;
+
+/// A client-to-server request.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Request {
+    /// Serve a query event (objects are global catalog ids).
+    Query(QueryEvent),
+    /// Apply an update event at the repository.
+    Update(UpdateEvent),
+    /// Fetch the per-shard and aggregate statistics snapshot.
+    Stats,
+    /// Stop the server after replying.
+    Shutdown,
+}
+
+/// Per-shard statistics in a [`Response::StatsOk`] snapshot.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ShardStats {
+    /// Shard index.
+    pub shard: u16,
+    /// Policy driving this shard.
+    pub policy: String,
+    /// Events (queries + updates) this shard has processed.
+    pub events: u64,
+    /// Shard cache capacity in bytes.
+    pub cache_capacity: u64,
+    /// Bytes currently resident in the shard cache.
+    pub cache_used: u64,
+    /// Objects resident in the shard cache.
+    pub residents: u64,
+    /// The shard's cost account.
+    pub ledger: CostLedger,
+}
+
+/// The full statistics snapshot returned by [`Request::Stats`].
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct StatsSnapshot {
+    /// One entry per shard, in shard order.
+    pub shards: Vec<ShardStats>,
+}
+
+impl StatsSnapshot {
+    /// Sums the per-shard ledgers into one global account.
+    pub fn total_ledger(&self) -> CostLedger {
+        let mut total = CostLedger::default();
+        for s in &self.shards {
+            total.breakdown.query_ship += s.ledger.breakdown.query_ship;
+            total.breakdown.update_ship += s.ledger.breakdown.update_ship;
+            total.breakdown.load += s.ledger.breakdown.load;
+            total.shipped_queries += s.ledger.shipped_queries;
+            total.local_answers += s.ledger.local_answers;
+            total.update_ships += s.ledger.update_ships;
+            total.loads += s.ledger.loads;
+            total.evictions += s.ledger.evictions;
+        }
+        total
+    }
+
+    /// Total events processed across shards.
+    pub fn total_events(&self) -> u64 {
+        self.shards.iter().map(|s| s.events).sum()
+    }
+
+    /// Renders the per-shard statistics as the table both binaries print.
+    pub fn render_table(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:>5} {:>8} {:>9} {:>14} {:>14} {:>14} {:>8} {:>8}",
+            "shard", "events", "resident", "query-ship", "update-ship", "load", "hit%", "evict"
+        );
+        for s in &self.shards {
+            let _ = writeln!(
+                out,
+                "{:>5} {:>8} {:>9} {:>14} {:>14} {:>14} {:>7.1}% {:>8}",
+                s.shard,
+                s.events,
+                s.residents,
+                s.ledger.breakdown.query_ship.to_string(),
+                s.ledger.breakdown.update_ship.to_string(),
+                s.ledger.breakdown.load.to_string(),
+                s.ledger.hit_rate() * 100.0,
+                s.ledger.evictions,
+            );
+        }
+        out
+    }
+
+    /// Renders the snapshot as a [`delta_core::SimReport`]-shaped summary,
+    /// so server runs slot into the same reporting helpers the simulator
+    /// uses (the series holds one closing point).
+    pub fn to_sim_report(&self) -> delta_core::SimReport {
+        let ledger = self.total_ledger();
+        let total = ledger.total().bytes();
+        delta_core::SimReport {
+            policy: self
+                .shards
+                .first()
+                .map(|s| format!("{}x{}", s.policy, self.shards.len()))
+                .unwrap_or_else(|| "empty".to_string()),
+            cache_bytes: self.shards.iter().map(|s| s.cache_capacity).sum(),
+            ledger,
+            series: vec![delta_core::SeriesPoint {
+                seq: self.total_events(),
+                cumulative_bytes: total,
+            }],
+            events: self.total_events(),
+            latency: None,
+        }
+    }
+}
+
+/// A server-to-client response.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Response {
+    /// The query was served. Counts are over the shard sub-queries the
+    /// request fanned out into.
+    QueryOk {
+        /// Shards the query touched.
+        shards_touched: u16,
+        /// Sub-queries answered from shard caches.
+        local_answers: u16,
+        /// Sub-queries shipped to the repository.
+        shipped: u16,
+    },
+    /// The update was applied.
+    UpdateOk {
+        /// Shard owning the object.
+        shard: u16,
+        /// The object's new version at that shard.
+        version: u64,
+    },
+    /// The statistics snapshot.
+    StatsOk(StatsSnapshot),
+    /// The server is shutting down.
+    ShutdownOk,
+    /// The request could not be served.
+    Error {
+        /// Machine-readable error code.
+        code: u16,
+        /// Human-readable explanation.
+        message: String,
+    },
+}
+
+/// Error codes carried by [`Response::Error`].
+pub mod error_code {
+    /// The request frame could not be decoded.
+    pub const BAD_FRAME: u16 = 1;
+    /// An object id is outside the catalog.
+    pub const UNKNOWN_OBJECT: u16 = 2;
+    /// The server is draining and no longer accepts events.
+    pub const SHUTTING_DOWN: u16 = 3;
+}
+
+// ---- primitive encoding helpers ----
+
+struct Enc {
+    buf: Vec<u8>,
+}
+
+impl Enc {
+    fn new(op: u8) -> Self {
+        Enc { buf: vec![op] }
+    }
+    fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+    fn u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+    }
+    fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+    }
+    fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+    }
+    fn str(&mut self, s: &str) {
+        let bytes = s.as_bytes();
+        let len =
+            u16::try_from(bytes.len()).expect("protocol strings are short (policy names, errors)");
+        self.u16(len);
+        self.buf.extend_from_slice(bytes);
+    }
+}
+
+struct Dec<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Dec<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Dec { buf, pos: 0 }
+    }
+    fn take(&mut self, n: usize) -> io::Result<&'a [u8]> {
+        if self.pos + n > self.buf.len() {
+            return Err(bad("truncated frame"));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+    fn u8(&mut self) -> io::Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+    fn u16(&mut self) -> io::Result<u16> {
+        Ok(u16::from_be_bytes(self.take(2)?.try_into().unwrap()))
+    }
+    fn u32(&mut self) -> io::Result<u32> {
+        Ok(u32::from_be_bytes(self.take(4)?.try_into().unwrap()))
+    }
+    fn u64(&mut self) -> io::Result<u64> {
+        Ok(u64::from_be_bytes(self.take(8)?.try_into().unwrap()))
+    }
+    fn str(&mut self) -> io::Result<String> {
+        let n = self.u16()? as usize;
+        let bytes = self.take(n)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| bad("invalid UTF-8 in frame"))
+    }
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+    fn finish(&self) -> io::Result<()> {
+        if self.pos == self.buf.len() {
+            Ok(())
+        } else {
+            Err(bad("trailing bytes in frame"))
+        }
+    }
+}
+
+fn bad(msg: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.to_string())
+}
+
+fn kind_to_u8(k: QueryKind) -> u8 {
+    match k {
+        QueryKind::Cone => 0,
+        QueryKind::Range => 1,
+        QueryKind::SelfJoin => 2,
+        QueryKind::Aggregate => 3,
+        QueryKind::Scan => 4,
+        QueryKind::Selection => 5,
+    }
+}
+
+fn kind_from_u8(v: u8) -> io::Result<QueryKind> {
+    Ok(match v {
+        0 => QueryKind::Cone,
+        1 => QueryKind::Range,
+        2 => QueryKind::SelfJoin,
+        3 => QueryKind::Aggregate,
+        4 => QueryKind::Scan,
+        5 => QueryKind::Selection,
+        _ => return Err(bad("unknown query kind")),
+    })
+}
+
+fn enc_ledger(e: &mut Enc, l: &CostLedger) {
+    e.u64(l.breakdown.query_ship.bytes());
+    e.u64(l.breakdown.update_ship.bytes());
+    e.u64(l.breakdown.load.bytes());
+    e.u64(l.shipped_queries);
+    e.u64(l.local_answers);
+    e.u64(l.update_ships);
+    e.u64(l.loads);
+    e.u64(l.evictions);
+}
+
+fn dec_ledger(d: &mut Dec<'_>) -> io::Result<CostLedger> {
+    use delta_core::Cost;
+    let mut l = CostLedger::default();
+    l.breakdown.query_ship = Cost(d.u64()?);
+    l.breakdown.update_ship = Cost(d.u64()?);
+    l.breakdown.load = Cost(d.u64()?);
+    l.shipped_queries = d.u64()?;
+    l.local_answers = d.u64()?;
+    l.update_ships = d.u64()?;
+    l.loads = d.u64()?;
+    l.evictions = d.u64()?;
+    Ok(l)
+}
+
+impl Request {
+    /// Encodes the request payload (opcode included, length prefix not).
+    pub fn encode(&self) -> Vec<u8> {
+        match self {
+            Request::Query(q) => {
+                let mut e = Enc::new(OP_QUERY);
+                e.u64(q.seq);
+                e.u64(q.result_bytes);
+                e.u64(q.tolerance);
+                e.u8(kind_to_u8(q.kind));
+                e.u32(
+                    u32::try_from(q.objects.len())
+                        .expect("query touches more than u32::MAX objects"),
+                );
+                for o in &q.objects {
+                    e.u32(o.0);
+                }
+                e.buf
+            }
+            Request::Update(u) => {
+                let mut e = Enc::new(OP_UPDATE);
+                e.u64(u.seq);
+                e.u32(u.object.0);
+                e.u64(u.bytes);
+                e.buf
+            }
+            Request::Stats => Enc::new(OP_STATS).buf,
+            Request::Shutdown => Enc::new(OP_SHUTDOWN).buf,
+        }
+    }
+
+    /// Decodes a request payload.
+    pub fn decode(payload: &[u8]) -> io::Result<Request> {
+        let mut d = Dec::new(payload);
+        let req = match d.u8()? {
+            OP_QUERY => {
+                let seq = d.u64()?;
+                let result_bytes = d.u64()?;
+                let tolerance = d.u64()?;
+                let kind = kind_from_u8(d.u8()?)?;
+                let n = d.u32()? as usize;
+                // Validate the count against the bytes actually present
+                // before allocating — the count is attacker-controlled.
+                if n > d.remaining() / 4 {
+                    return Err(bad("object count exceeds frame payload"));
+                }
+                let mut objects = Vec::with_capacity(n);
+                for _ in 0..n {
+                    objects.push(ObjectId(d.u32()?));
+                }
+                Request::Query(QueryEvent {
+                    seq,
+                    objects,
+                    result_bytes,
+                    tolerance,
+                    kind,
+                })
+            }
+            OP_UPDATE => {
+                let seq = d.u64()?;
+                let object = ObjectId(d.u32()?);
+                let bytes = d.u64()?;
+                Request::Update(UpdateEvent { seq, object, bytes })
+            }
+            OP_STATS => Request::Stats,
+            OP_SHUTDOWN => Request::Shutdown,
+            _ => return Err(bad("unknown request opcode")),
+        };
+        d.finish()?;
+        Ok(req)
+    }
+}
+
+impl Response {
+    /// Encodes the response payload (opcode included, length prefix not).
+    pub fn encode(&self) -> Vec<u8> {
+        match self {
+            Response::QueryOk {
+                shards_touched,
+                local_answers,
+                shipped,
+            } => {
+                let mut e = Enc::new(OP_QUERY_OK);
+                e.u16(*shards_touched);
+                e.u16(*local_answers);
+                e.u16(*shipped);
+                e.buf
+            }
+            Response::UpdateOk { shard, version } => {
+                let mut e = Enc::new(OP_UPDATE_OK);
+                e.u16(*shard);
+                e.u64(*version);
+                e.buf
+            }
+            Response::StatsOk(snapshot) => {
+                let mut e = Enc::new(OP_STATS_OK);
+                e.u16(snapshot.shards.len() as u16);
+                for s in &snapshot.shards {
+                    e.u16(s.shard);
+                    e.str(&s.policy);
+                    e.u64(s.events);
+                    e.u64(s.cache_capacity);
+                    e.u64(s.cache_used);
+                    e.u64(s.residents);
+                    enc_ledger(&mut e, &s.ledger);
+                }
+                e.buf
+            }
+            Response::ShutdownOk => Enc::new(OP_SHUTDOWN_OK).buf,
+            Response::Error { code, message } => {
+                let mut e = Enc::new(OP_ERROR);
+                e.u16(*code);
+                e.str(message);
+                e.buf
+            }
+        }
+    }
+
+    /// Decodes a response payload.
+    pub fn decode(payload: &[u8]) -> io::Result<Response> {
+        let mut d = Dec::new(payload);
+        let resp = match d.u8()? {
+            OP_QUERY_OK => Response::QueryOk {
+                shards_touched: d.u16()?,
+                local_answers: d.u16()?,
+                shipped: d.u16()?,
+            },
+            OP_UPDATE_OK => Response::UpdateOk {
+                shard: d.u16()?,
+                version: d.u64()?,
+            },
+            OP_STATS_OK => {
+                let n = d.u16()? as usize;
+                let mut shards = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let shard = d.u16()?;
+                    let policy = d.str()?;
+                    let events = d.u64()?;
+                    let cache_capacity = d.u64()?;
+                    let cache_used = d.u64()?;
+                    let residents = d.u64()?;
+                    let ledger = dec_ledger(&mut d)?;
+                    shards.push(ShardStats {
+                        shard,
+                        policy,
+                        events,
+                        cache_capacity,
+                        cache_used,
+                        residents,
+                        ledger,
+                    });
+                }
+                Response::StatsOk(StatsSnapshot { shards })
+            }
+            OP_SHUTDOWN_OK => Response::ShutdownOk,
+            OP_ERROR => Response::Error {
+                code: d.u16()?,
+                message: d.str()?,
+            },
+            _ => return Err(bad("unknown response opcode")),
+        };
+        d.finish()?;
+        Ok(resp)
+    }
+}
+
+/// Writes one length-prefixed frame as a single socket write (both ends
+/// run with TCP_NODELAY, so separate length/payload writes would cost a
+/// syscall and often a packet each).
+pub fn write_frame<W: Write>(w: &mut W, payload: &[u8]) -> io::Result<()> {
+    if payload.len() > MAX_FRAME_BYTES as usize {
+        return Err(bad("frame exceeds MAX_FRAME_BYTES"));
+    }
+    let mut wire = Vec::with_capacity(4 + payload.len());
+    wire.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+    wire.extend_from_slice(payload);
+    w.write_all(&wire)?;
+    w.flush()
+}
+
+/// Reads one length-prefixed frame payload.
+pub fn read_frame<R: Read>(r: &mut R) -> io::Result<Vec<u8>> {
+    let mut len_bytes = [0u8; 4];
+    r.read_exact(&mut len_bytes)?;
+    let len = u32::from_be_bytes(len_bytes);
+    if len > MAX_FRAME_BYTES {
+        return Err(bad("frame exceeds MAX_FRAME_BYTES"));
+    }
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload)?;
+    Ok(payload)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use delta_core::Cost;
+
+    fn round_trip_request(req: Request) {
+        let enc = req.encode();
+        assert_eq!(Request::decode(&enc).unwrap(), req);
+    }
+
+    fn round_trip_response(resp: Response) {
+        let enc = resp.encode();
+        assert_eq!(Response::decode(&enc).unwrap(), resp);
+    }
+
+    #[test]
+    fn requests_round_trip() {
+        round_trip_request(Request::Query(QueryEvent {
+            seq: 42,
+            objects: vec![ObjectId(0), ObjectId(7), ObjectId(65_000)],
+            result_bytes: 123_456_789,
+            tolerance: 500,
+            kind: QueryKind::SelfJoin,
+        }));
+        round_trip_request(Request::Update(UpdateEvent {
+            seq: 43,
+            object: ObjectId(9),
+            bytes: u64::MAX / 3,
+        }));
+        round_trip_request(Request::Stats);
+        round_trip_request(Request::Shutdown);
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        round_trip_response(Response::QueryOk {
+            shards_touched: 3,
+            local_answers: 2,
+            shipped: 1,
+        });
+        round_trip_response(Response::UpdateOk {
+            shard: 2,
+            version: 99,
+        });
+        round_trip_response(Response::ShutdownOk);
+        round_trip_response(Response::Error {
+            code: 7,
+            message: "object out of range".into(),
+        });
+
+        let mut ledger = CostLedger::default();
+        ledger.breakdown.query_ship = Cost(11);
+        ledger.breakdown.update_ship = Cost(22);
+        ledger.breakdown.load = Cost(33);
+        ledger.shipped_queries = 4;
+        ledger.local_answers = 5;
+        ledger.update_ships = 6;
+        ledger.loads = 7;
+        ledger.evictions = 8;
+        let snapshot = StatsSnapshot {
+            shards: vec![
+                ShardStats {
+                    shard: 0,
+                    policy: "VCover".into(),
+                    events: 100,
+                    cache_capacity: 1_000,
+                    cache_used: 400,
+                    residents: 3,
+                    ledger: ledger.clone(),
+                },
+                ShardStats {
+                    shard: 1,
+                    policy: "VCover".into(),
+                    ..Default::default()
+                },
+            ],
+        };
+        assert_eq!(snapshot.total_ledger().total(), Cost(66));
+        round_trip_response(Response::StatsOk(snapshot));
+    }
+
+    #[test]
+    fn snapshot_aggregates_to_sim_report() {
+        let mut a = CostLedger::default();
+        a.breakdown.query_ship = Cost(10);
+        a.shipped_queries = 1;
+        let mut b = CostLedger::default();
+        b.breakdown.load = Cost(5);
+        b.local_answers = 2;
+        let snap = StatsSnapshot {
+            shards: vec![
+                ShardStats {
+                    shard: 0,
+                    policy: "VCover".into(),
+                    events: 3,
+                    cache_capacity: 100,
+                    ledger: a,
+                    ..Default::default()
+                },
+                ShardStats {
+                    shard: 1,
+                    policy: "VCover".into(),
+                    events: 4,
+                    cache_capacity: 200,
+                    ledger: b,
+                    ..Default::default()
+                },
+            ],
+        };
+        let report = snap.to_sim_report();
+        assert_eq!(report.total(), Cost(15));
+        assert_eq!(report.events, 7);
+        assert_eq!(report.cache_bytes, 300);
+        assert_eq!(report.policy, "VCoverx2");
+        assert_eq!(report.ledger.local_answers, 2);
+    }
+
+    #[test]
+    fn frame_io_round_trips() {
+        let req = Request::Query(QueryEvent {
+            seq: 1,
+            objects: vec![ObjectId(3)],
+            result_bytes: 50,
+            tolerance: 0,
+            kind: QueryKind::Cone,
+        });
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &req.encode()).unwrap();
+        let mut cursor = std::io::Cursor::new(wire);
+        let payload = read_frame(&mut cursor).unwrap();
+        assert_eq!(Request::decode(&payload).unwrap(), req);
+    }
+
+    #[test]
+    fn oversized_frame_rejected() {
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&(MAX_FRAME_BYTES + 1).to_be_bytes());
+        let mut cursor = std::io::Cursor::new(wire);
+        assert!(read_frame(&mut cursor).is_err());
+    }
+
+    #[test]
+    fn hostile_object_count_rejected_without_allocation() {
+        // 34-byte frame claiming u32::MAX objects: must be rejected by
+        // the count-vs-payload check, not by attempting a 16 GiB Vec.
+        let mut payload = vec![0x01u8]; // OP_QUERY
+        payload.extend_from_slice(&1u64.to_be_bytes()); // seq
+        payload.extend_from_slice(&2u64.to_be_bytes()); // result_bytes
+        payload.extend_from_slice(&0u64.to_be_bytes()); // tolerance
+        payload.push(0); // kind
+        payload.extend_from_slice(&u32::MAX.to_be_bytes()); // object count
+        let err = Request::decode(&payload).unwrap_err();
+        assert!(err.to_string().contains("object count"), "{err}");
+    }
+
+    #[test]
+    fn oversized_write_rejected_in_release_too() {
+        let huge = vec![0u8; MAX_FRAME_BYTES as usize + 1];
+        let mut sink = Vec::new();
+        assert!(write_frame(&mut sink, &huge).is_err());
+        assert!(sink.is_empty(), "nothing may reach the wire");
+    }
+
+    #[test]
+    fn corrupt_payloads_rejected() {
+        assert!(Request::decode(&[]).is_err());
+        assert!(Request::decode(&[0x99]).is_err());
+        assert!(Request::decode(&[OP_UPDATE, 1, 2]).is_err());
+        let mut q = Request::Stats.encode();
+        q.push(0);
+        assert!(
+            Request::decode(&q).is_err(),
+            "trailing bytes must be rejected"
+        );
+        assert!(Response::decode(&[OP_ERROR, 0]).is_err());
+    }
+}

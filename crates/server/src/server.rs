@@ -1,0 +1,402 @@
+//! The TCP service: listener, per-connection framing, shard fan-out and
+//! graceful shutdown.
+//!
+//! Each accepted connection gets a thread that decodes request frames and
+//! fans them out to the shard workers; replies are joined and one
+//! response frame goes back, so each connection sees strictly ordered
+//! request/response pairs while different connections proceed in
+//! parallel. Wire bytes are recorded on a shared
+//! [`delta_net::TrafficMeter`] (query frames as `QueryShip`, update
+//! frames as `UpdateShip`, the rest as `Control`), so an operator can
+//! audit protocol overhead separately from the policy-level ledgers.
+
+use crate::config::ServerConfig;
+use crate::partition::ShardMap;
+use crate::protocol::{error_code, write_frame, Request, Response, ShardStats, StatsSnapshot};
+use crate::shard::{spawn_shard, ShardHandle, ShardReply, ShardRequest};
+use crossbeam::channel::unbounded;
+use delta_net::{TrafficClass, TrafficMeter};
+use delta_storage::{ObjectCatalog, ObjectId};
+use delta_workload::QueryEvent;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// How often blocked accept/read loops re-check the shutdown flag.
+const POLL: Duration = Duration::from_millis(25);
+
+/// A running delta-server instance.
+pub struct Server {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    accept_thread: std::thread::JoinHandle<StatsSnapshot>,
+    meter: Arc<TrafficMeter>,
+}
+
+impl Server {
+    /// Binds and starts serving `catalog` with `config`. Returns once the
+    /// listener is live; serving happens on background threads.
+    pub fn start(config: ServerConfig, catalog: ObjectCatalog) -> io::Result<Server> {
+        config
+            .validate()
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e))?;
+        let listener = TcpListener::bind(&config.bind)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+
+        let map = ShardMap::new(config.n_shards);
+        let sub_catalogs: Vec<ObjectCatalog> = (0..config.n_shards)
+            .map(|s| map.shard_catalog(s, &catalog))
+            .collect();
+        let weights: Vec<u64> = sub_catalogs.iter().map(|c| c.total_bytes()).collect();
+        let caches = crate::partition::apportion(config.cache_bytes, &weights);
+        let shards: Vec<ShardHandle> = sub_catalogs
+            .into_iter()
+            .enumerate()
+            .map(|(s, sub)| {
+                spawn_shard(
+                    s as u16,
+                    sub,
+                    caches[s],
+                    config.policy,
+                    config.seed + s as u64,
+                )
+            })
+            .collect();
+
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let meter = Arc::new(TrafficMeter::new());
+        let shared = Arc::new(Shared {
+            map,
+            catalog,
+            shard_txs: shards.iter().map(|h| h.tx.clone()).collect(),
+            shutdown: Arc::clone(&shutdown),
+            meter: Arc::clone(&meter),
+        });
+
+        let accept_shutdown = Arc::clone(&shutdown);
+        let accept_thread = std::thread::Builder::new()
+            .name("delta-accept".to_string())
+            .spawn(move || accept_loop(listener, shared, accept_shutdown, shards))
+            .expect("spawn accept thread");
+
+        Ok(Server {
+            addr,
+            shutdown,
+            accept_thread,
+            meter,
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Snapshot of the wire-byte meter.
+    pub fn meter(&self) -> delta_net::TrafficSnapshot {
+        self.meter.snapshot()
+    }
+
+    /// Requests shutdown without waiting (a `Shutdown` frame does this
+    /// too).
+    pub fn request_shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+    }
+
+    /// Waits for the server to stop (after [`Server::request_shutdown`]
+    /// or a client `Shutdown` frame) and returns the final per-shard
+    /// statistics.
+    pub fn join(self) -> StatsSnapshot {
+        self.accept_thread.join().expect("accept thread panicked")
+    }
+
+    /// Convenience: request shutdown and wait for the final snapshot.
+    pub fn stop(self) -> StatsSnapshot {
+        self.request_shutdown();
+        self.join()
+    }
+}
+
+struct Shared {
+    map: ShardMap,
+    catalog: ObjectCatalog,
+    shard_txs: Vec<crossbeam::channel::Sender<ShardRequest>>,
+    shutdown: Arc<AtomicBool>,
+    meter: Arc<TrafficMeter>,
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    shared: Arc<Shared>,
+    shutdown: Arc<AtomicBool>,
+    shards: Vec<ShardHandle>,
+) -> StatsSnapshot {
+    let mut connections: Vec<std::thread::JoinHandle<()>> = Vec::new();
+    while !shutdown.load(Ordering::SeqCst) {
+        // Reap finished connections so a long-lived daemon doesn't
+        // accumulate dead handles.
+        connections.retain(|h| !h.is_finished());
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let shared = Arc::clone(&shared);
+                let handle = std::thread::Builder::new()
+                    .name("delta-conn".to_string())
+                    .spawn(move || {
+                        if let Err(e) = serve_connection(stream, &shared) {
+                            // Disconnects are routine; anything else is
+                            // worth a trace on stderr.
+                            if e.kind() != io::ErrorKind::UnexpectedEof {
+                                eprintln!("delta-server: connection error: {e}");
+                            }
+                        }
+                    })
+                    .expect("spawn connection thread");
+                connections.push(handle);
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(POLL);
+            }
+            Err(e) => {
+                eprintln!("delta-server: accept error: {e}");
+                std::thread::sleep(POLL);
+            }
+        }
+    }
+    // Drain: connections first (they observe the flag within one poll
+    // interval; reads and writes are both bounded), then the shards,
+    // collecting their final ledgers.
+    for handle in connections {
+        let _ = handle.join();
+    }
+    let mut stats: Vec<ShardStats> = shards.into_iter().map(ShardHandle::shutdown).collect();
+    stats.sort_by_key(|s| s.shard);
+    StatsSnapshot { shards: stats }
+}
+
+/// How long a connection may stall (mid-frame read after shutdown, or a
+/// blocked write) before the server drops it.
+const STALL_LIMIT: Duration = Duration::from_secs(5);
+
+/// Reads exactly `buf.len()` bytes from a socket whose read timeout is
+/// [`POLL`], preserving partial progress across timeouts (a plain
+/// `read_exact` would discard mid-frame bytes on `WouldBlock` and
+/// desynchronize the stream). Returns `Ok(false)` on a clean stop: EOF
+/// or server shutdown, both only at a frame boundary (`at_boundary` and
+/// nothing read yet). Mid-frame, shutdown grants [`STALL_LIMIT`] for the
+/// frame to finish before the connection errors out.
+fn read_full_polling(
+    reader: &mut TcpStream,
+    buf: &mut [u8],
+    shared: &Shared,
+    at_boundary: bool,
+) -> io::Result<bool> {
+    use std::io::Read;
+    let mut filled = 0;
+    let mut stall_started: Option<std::time::Instant> = None;
+    while filled < buf.len() {
+        match reader.read(&mut buf[filled..]) {
+            Ok(0) => {
+                if at_boundary && filled == 0 {
+                    return Ok(false);
+                }
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "connection closed mid-frame",
+                ));
+            }
+            Ok(n) => {
+                filled += n;
+                stall_started = None;
+            }
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    if at_boundary && filled == 0 {
+                        return Ok(false);
+                    }
+                    let started = stall_started.get_or_insert_with(std::time::Instant::now);
+                    if started.elapsed() > STALL_LIMIT {
+                        return Err(io::Error::new(
+                            io::ErrorKind::TimedOut,
+                            "frame stalled past shutdown grace period",
+                        ));
+                    }
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(true)
+}
+
+/// Reads one frame, polling the shutdown flag while idle between frames.
+/// `Ok(None)` means stop serving (EOF or shutdown at a frame boundary).
+fn read_frame_polling(reader: &mut TcpStream, shared: &Shared) -> io::Result<Option<Vec<u8>>> {
+    let mut len_bytes = [0u8; 4];
+    if !read_full_polling(reader, &mut len_bytes, shared, true)? {
+        return Ok(None);
+    }
+    let len = u32::from_be_bytes(len_bytes);
+    if len > crate::protocol::MAX_FRAME_BYTES {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "frame exceeds MAX_FRAME_BYTES",
+        ));
+    }
+    let mut payload = vec![0u8; len as usize];
+    if !read_full_polling(reader, &mut payload, shared, false)? {
+        return Ok(None);
+    }
+    Ok(Some(payload))
+}
+
+fn serve_connection(stream: TcpStream, shared: &Shared) -> io::Result<()> {
+    // BSD-derived platforms propagate the listener's O_NONBLOCK to
+    // accepted sockets; clear it so the read timeout below governs.
+    stream.set_nonblocking(false)?;
+    stream.set_nodelay(true)?;
+    stream.set_read_timeout(Some(POLL))?;
+    // A client that stops draining responses must not be able to wedge
+    // graceful shutdown behind an unbounded blocking write.
+    stream.set_write_timeout(Some(STALL_LIMIT))?;
+    let mut reader = stream.try_clone()?;
+    let mut writer = stream;
+    loop {
+        let payload = match read_frame_polling(&mut reader, shared)? {
+            Some(p) => p,
+            None => return Ok(()),
+        };
+        let response = match Request::decode(&payload) {
+            Ok(request) => {
+                // +4 for the length prefix, so the meter reflects real
+                // socket bytes, not just payloads.
+                meter_request(shared, &request, payload.len() as u64 + 4);
+                handle_request(shared, request)
+            }
+            Err(e) => Response::Error {
+                code: error_code::BAD_FRAME,
+                message: e.to_string(),
+            },
+        };
+        let out = response.encode();
+        shared
+            .meter
+            .record(TrafficClass::Control, out.len() as u64 + 4);
+        write_frame(&mut writer, &out)?;
+        if matches!(response, Response::ShutdownOk) {
+            return Ok(());
+        }
+    }
+}
+
+fn meter_request(shared: &Shared, request: &Request, wire_bytes: u64) {
+    let class = match request {
+        Request::Query(_) => TrafficClass::QueryShip,
+        Request::Update(_) => TrafficClass::UpdateShip,
+        Request::Stats | Request::Shutdown => TrafficClass::Control,
+    };
+    shared.meter.record(class, wire_bytes);
+}
+
+fn handle_request(shared: &Shared, request: Request) -> Response {
+    match request {
+        Request::Query(q) => handle_query(shared, q),
+        Request::Update(u) => {
+            if u.object.index() >= shared.catalog.len() {
+                return unknown_object(u.object);
+            }
+            let (shard, local) = shared.map.split_update(&u);
+            let (reply_tx, reply_rx) = unbounded();
+            if shared.shard_txs[shard]
+                .send(ShardRequest::Update(local, reply_tx))
+                .is_err()
+            {
+                return draining();
+            }
+            match reply_rx.recv() {
+                Ok(ShardReply::UpdateDone { shard, version }) => {
+                    Response::UpdateOk { shard, version }
+                }
+                _ => draining(),
+            }
+        }
+        Request::Stats => {
+            let (reply_tx, reply_rx) = unbounded();
+            let mut expected = 0;
+            for tx in &shared.shard_txs {
+                if tx.send(ShardRequest::Stats(reply_tx.clone())).is_ok() {
+                    expected += 1;
+                }
+            }
+            let mut shards = Vec::with_capacity(expected);
+            for _ in 0..expected {
+                match reply_rx.recv() {
+                    Ok(ShardReply::Stats(s)) => shards.push(s),
+                    _ => return draining(),
+                }
+            }
+            shards.sort_by_key(|s| s.shard);
+            Response::StatsOk(StatsSnapshot { shards })
+        }
+        Request::Shutdown => {
+            shared.shutdown.store(true, Ordering::SeqCst);
+            Response::ShutdownOk
+        }
+    }
+}
+
+fn handle_query(shared: &Shared, q: QueryEvent) -> Response {
+    if let Some(&bad) = q.objects.iter().find(|o| o.index() >= shared.catalog.len()) {
+        return unknown_object(bad);
+    }
+    let subs = shared.map.split_query(&q, &shared.catalog);
+    let (reply_tx, reply_rx) = unbounded();
+    let mut sent = 0u16;
+    for (shard, sub) in subs {
+        if shared.shard_txs[shard]
+            .send(ShardRequest::Query(sub, reply_tx.clone()))
+            .is_err()
+        {
+            return draining();
+        }
+        sent += 1;
+    }
+    let mut local_answers = 0u16;
+    let mut shipped = 0u16;
+    for _ in 0..sent {
+        match reply_rx.recv() {
+            Ok(ShardReply::QueryDone { local, .. }) => {
+                if local {
+                    local_answers += 1;
+                } else {
+                    shipped += 1;
+                }
+            }
+            _ => return draining(),
+        }
+    }
+    Response::QueryOk {
+        shards_touched: sent,
+        local_answers,
+        shipped,
+    }
+}
+
+fn unknown_object(o: ObjectId) -> Response {
+    Response::Error {
+        code: error_code::UNKNOWN_OBJECT,
+        message: format!("object {o} is outside the catalog"),
+    }
+}
+
+fn draining() -> Response {
+    Response::Error {
+        code: error_code::SHUTTING_DOWN,
+        message: "server is shutting down".to_string(),
+    }
+}

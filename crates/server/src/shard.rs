@@ -1,0 +1,264 @@
+//! Shard workers: one thread per shard, each owning a policy, a
+//! repository slice and a cache store.
+//!
+//! A worker's event loop is the network twin of [`delta_core::simulate`]:
+//! updates are applied to the repository and invalidate the cache before
+//! the policy sees them; queries run under the same satisfaction contract
+//! the simulator enforces. Because a shard only ever sees its own
+//! sub-catalog and sub-trace, its ledger is *byte-identical* to an
+//! in-process simulation of that sub-trace — the property the server
+//! integration tests pin down.
+
+use crate::config::PolicyKind;
+use crate::protocol::ShardStats;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use delta_core::{CostLedger, SimContext};
+use delta_storage::{CacheStore, ObjectCatalog, Repository};
+use delta_workload::{QueryEvent, UpdateEvent};
+use std::thread::JoinHandle;
+
+/// A request to one shard worker, carrying its reply channel.
+pub enum ShardRequest {
+    /// Apply an update (local object id).
+    Update(UpdateEvent, Sender<ShardReply>),
+    /// Serve a sub-query (local object ids, apportioned bytes).
+    Query(QueryEvent, Sender<ShardReply>),
+    /// Snapshot this shard's statistics.
+    Stats(Sender<ShardReply>),
+    /// Finish outstanding work, report final statistics, and exit.
+    Shutdown(Sender<ShardReply>),
+}
+
+/// A shard worker's reply.
+#[derive(Clone, Debug)]
+pub enum ShardReply {
+    /// The update was applied; the object is now at `version`.
+    UpdateDone {
+        /// Responding shard.
+        shard: u16,
+        /// New version of the updated object.
+        version: u64,
+    },
+    /// The sub-query was served.
+    QueryDone {
+        /// Responding shard.
+        shard: u16,
+        /// Whether it was answered from the shard cache (vs shipped).
+        local: bool,
+    },
+    /// Statistics snapshot (also the final reply to `Shutdown`).
+    Stats(ShardStats),
+}
+
+/// Handle to a running shard worker.
+pub struct ShardHandle {
+    /// Request channel into the worker.
+    pub tx: Sender<ShardRequest>,
+    join: JoinHandle<()>,
+}
+
+impl ShardHandle {
+    /// Asks the worker to finish and waits for it, returning its final
+    /// statistics.
+    pub fn shutdown(self) -> ShardStats {
+        let (reply_tx, reply_rx) = unbounded();
+        // A worker that already exited (e.g. panicked) just yields
+        // default stats; join below will propagate the panic.
+        let _ = self.tx.send(ShardRequest::Shutdown(reply_tx));
+        let stats = match reply_rx.recv() {
+            Ok(ShardReply::Stats(s)) => s,
+            _ => ShardStats::default(),
+        };
+        self.join.join().expect("shard worker panicked");
+        stats
+    }
+}
+
+/// Spawns shard worker `shard` over its sub-catalog.
+pub fn spawn_shard(
+    shard: u16,
+    catalog: ObjectCatalog,
+    cache_bytes: u64,
+    policy_kind: PolicyKind,
+    seed: u64,
+) -> ShardHandle {
+    let (tx, rx) = unbounded::<ShardRequest>();
+    let join = std::thread::Builder::new()
+        .name(format!("delta-shard-{shard}"))
+        .spawn(move || run_shard(shard, catalog, cache_bytes, policy_kind, seed, rx))
+        .expect("spawn shard worker");
+    ShardHandle { tx, join }
+}
+
+fn run_shard(
+    shard: u16,
+    catalog: ObjectCatalog,
+    cache_bytes: u64,
+    policy_kind: PolicyKind,
+    seed: u64,
+    rx: Receiver<ShardRequest>,
+) {
+    let mut policy = policy_kind.build(cache_bytes, seed);
+    let mut repo = Repository::new(catalog.clone());
+    let capacity = policy.preferred_capacity(&catalog, cache_bytes);
+    let mut cache = CacheStore::new(capacity);
+    let mut ledger = CostLedger::default();
+    let mut events = 0u64;
+    // The repository requires per-object monotone update sequences, and
+    // the staleness contract requires a query's horizon to cover every
+    // already-applied update. A single lockstep connection preserves
+    // trace order, but concurrent connections may deliver events out of
+    // order; clamp every timestamp to the shard's clock so arrival order
+    // becomes the authoritative order (as in any real ingest pipeline).
+    // Under lockstep replay the clamp is a no-op, so simulator
+    // equivalence is untouched.
+    let mut max_seq = 0u64;
+
+    {
+        let mut ctx = SimContext::new(&mut repo, &mut cache, &mut ledger, 0);
+        policy.init(&mut ctx);
+    }
+
+    let stats = |events: u64, cache: &CacheStore, ledger: &CostLedger| ShardStats {
+        shard,
+        policy: policy_name_of(policy_kind),
+        events,
+        cache_capacity: cache.capacity(),
+        cache_used: cache.used(),
+        residents: cache.len() as u64,
+        ledger: ledger.clone(),
+    };
+
+    while let Ok(req) = rx.recv() {
+        match req {
+            ShardRequest::Update(u, reply) => {
+                let seq = u.seq.max(max_seq);
+                max_seq = seq;
+                let u = UpdateEvent { seq, ..u };
+                let version = repo.apply_update(u.object, u.bytes, seq);
+                cache.invalidate(u.object);
+                let mut ctx = SimContext::new(&mut repo, &mut cache, &mut ledger, seq);
+                policy.on_update(&u, &mut ctx);
+                events += 1;
+                let _ = reply.send(ShardReply::UpdateDone { shard, version });
+            }
+            ShardRequest::Query(q, reply) => {
+                let now = q.seq.max(max_seq);
+                max_seq = now;
+                let q = QueryEvent { seq: now, ..q };
+                let local_before = ledger.local_answers;
+                {
+                    let mut ctx = SimContext::new(&mut repo, &mut cache, &mut ledger, now);
+                    policy.on_query(&q, &mut ctx);
+                    assert!(
+                        ctx.satisfied(),
+                        "policy {} neither shipped nor answered query at seq {} on shard {shard}",
+                        policy.name(),
+                        q.seq
+                    );
+                }
+                events += 1;
+                let local = ledger.local_answers > local_before;
+                let _ = reply.send(ShardReply::QueryDone { shard, local });
+            }
+            ShardRequest::Stats(reply) => {
+                let _ = reply.send(ShardReply::Stats(stats(events, &cache, &ledger)));
+            }
+            ShardRequest::Shutdown(reply) => {
+                let _ = reply.send(ShardReply::Stats(stats(events, &cache, &ledger)));
+                return;
+            }
+        }
+    }
+}
+
+fn policy_name_of(kind: PolicyKind) -> String {
+    // Stable names matching the policies' own `name()` strings.
+    match kind {
+        PolicyKind::VCover => "VCover".to_string(),
+        PolicyKind::Benefit => "Benefit".to_string(),
+        PolicyKind::NoCache => "NoCache".to_string(),
+        PolicyKind::Replica => "Replica".to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use delta_storage::ObjectId;
+    use delta_workload::QueryKind;
+
+    fn query(seq: u64, objects: Vec<u32>, bytes: u64) -> QueryEvent {
+        QueryEvent {
+            seq,
+            objects: objects.into_iter().map(ObjectId).collect(),
+            result_bytes: bytes,
+            tolerance: 0,
+            kind: QueryKind::Selection,
+        }
+    }
+
+    #[test]
+    fn worker_processes_events_and_reports() {
+        let catalog = ObjectCatalog::from_sizes(&[100, 200]);
+        let handle = spawn_shard(3, catalog, 1_000, PolicyKind::NoCache, 1);
+        let (reply_tx, reply_rx) = unbounded();
+
+        handle
+            .tx
+            .send(ShardRequest::Update(
+                UpdateEvent {
+                    seq: 1,
+                    object: ObjectId(0),
+                    bytes: 10,
+                },
+                reply_tx.clone(),
+            ))
+            .unwrap();
+        match reply_rx.recv().unwrap() {
+            ShardReply::UpdateDone { shard, version } => {
+                assert_eq!((shard, version), (3, 1));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+
+        handle
+            .tx
+            .send(ShardRequest::Query(query(2, vec![0], 55), reply_tx.clone()))
+            .unwrap();
+        match reply_rx.recv().unwrap() {
+            ShardReply::QueryDone { shard, local } => {
+                assert_eq!(shard, 3);
+                assert!(!local, "NoCache always ships");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+
+        let final_stats = handle.shutdown();
+        assert_eq!(final_stats.events, 2);
+        assert_eq!(final_stats.ledger.shipped_queries, 1);
+        assert_eq!(final_stats.ledger.breakdown.query_ship.bytes(), 55);
+        assert_eq!(final_stats.policy, "NoCache");
+    }
+
+    #[test]
+    fn replica_shard_mirrors_repository() {
+        let catalog = ObjectCatalog::from_sizes(&[100, 200]);
+        let handle = spawn_shard(0, catalog, 1, PolicyKind::Replica, 1);
+        let (reply_tx, reply_rx) = unbounded();
+        handle
+            .tx
+            .send(ShardRequest::Query(
+                query(1, vec![0, 1], 999),
+                reply_tx.clone(),
+            ))
+            .unwrap();
+        match reply_rx.recv().unwrap() {
+            ShardReply::QueryDone { local, .. } => assert!(local, "replica answers locally"),
+            other => panic!("unexpected {other:?}"),
+        }
+        let stats = handle.shutdown();
+        assert_eq!(stats.ledger.local_answers, 1);
+        assert_eq!(stats.residents, 2, "replica preloads the whole sub-catalog");
+    }
+}

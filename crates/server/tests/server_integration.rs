@@ -1,0 +1,276 @@
+//! End-to-end tests: a real `delta-serverd` instance on an ephemeral
+//! port, driven by the typed client over TCP.
+//!
+//! The central property: replaying a synthetic trace through a 4-shard
+//! server produces, per shard, exactly the ledger `sim::simulate`
+//! produces on that shard's sub-catalog and sub-trace (the offline twin
+//! from `partition::shard_trace`) — and the per-shard ledgers sum to the
+//! aggregate snapshot.
+
+use delta_core::{sim, CostLedger};
+use delta_server::{shard_trace, DeltaClient, PolicyKind, Server, ServerConfig, ShardMap};
+use delta_workload::{Event, SyntheticSurvey, WorkloadConfig};
+
+fn small_survey(n: usize) -> SyntheticSurvey {
+    let mut cfg = WorkloadConfig::small();
+    cfg.n_queries = n;
+    cfg.n_updates = n;
+    SyntheticSurvey::generate(&cfg)
+}
+
+fn start_server(
+    survey: &SyntheticSurvey,
+    n_shards: usize,
+    policy: PolicyKind,
+    cache_fraction: f64,
+) -> (Server, u64) {
+    let cache_bytes = (survey.catalog.total_bytes() as f64 * cache_fraction) as u64;
+    let config = ServerConfig {
+        bind: "127.0.0.1:0".to_string(),
+        n_shards,
+        cache_bytes,
+        policy,
+        seed: 42,
+    };
+    let server = Server::start(config, survey.catalog.clone()).expect("server starts");
+    (server, cache_bytes)
+}
+
+fn replay(client: &mut DeltaClient, survey: &SyntheticSurvey) {
+    for event in survey.trace.iter() {
+        match event {
+            Event::Query(q) => {
+                client.query(q).expect("query served");
+            }
+            Event::Update(u) => {
+                client.update(u).expect("update applied");
+            }
+        }
+    }
+}
+
+/// The sharded-simulation twin of a server run: per-shard ledgers from
+/// `sim::simulate` over `shard_trace`'s sub-traces.
+fn expected_shard_ledgers(
+    survey: &SyntheticSurvey,
+    n_shards: usize,
+    policy: PolicyKind,
+    cache_bytes: u64,
+    seed: u64,
+) -> Vec<CostLedger> {
+    let map = ShardMap::new(n_shards);
+    shard_trace(map, &survey.catalog, &survey.trace, cache_bytes)
+        .into_iter()
+        .enumerate()
+        .map(|(s, (catalog, trace, shard_cache))| {
+            let mut p = policy.build(shard_cache, seed + s as u64);
+            let opts = sim::SimOptions {
+                cache_bytes: shard_cache,
+                sample_every: u64::MAX,
+                link: None,
+            };
+            sim::simulate(p.as_mut(), &catalog, &trace, opts).ledger
+        })
+        .collect()
+}
+
+#[test]
+fn four_shard_server_matches_sharded_simulation_exactly() {
+    let survey = small_survey(400);
+    let (server, cache_bytes) = start_server(&survey, 4, PolicyKind::VCover, 0.3);
+    let addr = server.local_addr();
+
+    let mut client = DeltaClient::connect(addr).expect("connect");
+    replay(&mut client, &survey);
+    let stats = client.stats().expect("stats");
+    client.shutdown().expect("shutdown");
+    let final_stats = server.join();
+
+    assert_eq!(stats.shards.len(), 4);
+    let expected = expected_shard_ledgers(&survey, 4, PolicyKind::VCover, cache_bytes, 42);
+    for (shard, want) in stats.shards.iter().zip(&expected) {
+        assert_eq!(
+            &shard.ledger, want,
+            "shard {} ledger diverged from its in-process simulation twin",
+            shard.shard
+        );
+    }
+
+    // Per-shard ledgers sum exactly to the aggregate.
+    let global = stats.total_ledger();
+    let shard_sum: u64 = stats.shards.iter().map(|s| s.ledger.total().bytes()).sum();
+    assert!(global.total().bytes() > 0, "the replay must move bytes");
+    assert_eq!(shard_sum, global.total().bytes());
+
+    // Every query was satisfied somewhere.
+    assert!(
+        global.shipped_queries + global.local_answers >= survey.trace.n_queries() as u64,
+        "each query produces at least one shard sub-query"
+    );
+
+    // The final (post-drain) snapshot agrees with the live one.
+    assert_eq!(final_stats.total_ledger(), global);
+    assert_eq!(final_stats.total_events(), stats.total_events());
+}
+
+#[test]
+fn single_shard_server_equals_unsharded_simulation() {
+    let survey = small_survey(300);
+    let (server, cache_bytes) = start_server(&survey, 1, PolicyKind::VCover, 0.3);
+    let mut client = DeltaClient::connect(server.local_addr()).expect("connect");
+    replay(&mut client, &survey);
+    let stats = client.stats().expect("stats");
+    client.shutdown().expect("shutdown");
+    server.join();
+
+    // One shard means no splitting at all: the server must match a plain
+    // sim::simulate run byte-for-byte.
+    let mut vcover = delta_core::VCover::new(cache_bytes, 42);
+    let opts = sim::SimOptions {
+        cache_bytes,
+        sample_every: u64::MAX,
+        link: None,
+    };
+    let report = sim::simulate(&mut vcover, &survey.catalog, &survey.trace, opts);
+    assert_eq!(stats.shards.len(), 1);
+    assert_eq!(stats.shards[0].ledger, report.ledger);
+    assert_eq!(stats.total_events(), survey.trace.len() as u64);
+}
+
+#[test]
+fn nocache_server_ships_exactly_the_trace_query_bytes() {
+    let survey = small_survey(200);
+    let (server, _) = start_server(&survey, 3, PolicyKind::NoCache, 0.3);
+    let mut client = DeltaClient::connect(server.local_addr()).expect("connect");
+    replay(&mut client, &survey);
+    let stats = client.stats().expect("stats");
+    client.shutdown().expect("shutdown");
+    server.join();
+
+    // NoCache ships every sub-query; apportioning preserves byte totals,
+    // so the global query-ship cost equals the trace's query bytes.
+    let global = stats.total_ledger();
+    assert_eq!(
+        global.breakdown.query_ship.bytes(),
+        survey.trace.total_query_bytes()
+    );
+    assert_eq!(global.breakdown.update_ship.bytes(), 0);
+    assert_eq!(global.breakdown.load.bytes(), 0);
+}
+
+#[test]
+fn concurrent_clients_preserve_aggregate_accounting() {
+    let survey = small_survey(240);
+    let (server, _) = start_server(&survey, 4, PolicyKind::NoCache, 0.3);
+    let addr = server.local_addr();
+
+    // Four clients each replay a quarter of the events (round-robin deal).
+    std::thread::scope(|scope| {
+        for lane in 0..4usize {
+            let survey = &survey;
+            scope.spawn(move || {
+                let mut client = DeltaClient::connect(addr).expect("connect");
+                for (i, event) in survey.trace.iter().enumerate() {
+                    if i % 4 != lane {
+                        continue;
+                    }
+                    match event {
+                        Event::Query(q) => {
+                            client.query(q).expect("query");
+                        }
+                        Event::Update(u) => {
+                            client.update(u).expect("update");
+                        }
+                    }
+                }
+            });
+        }
+    });
+
+    let mut client = DeltaClient::connect(addr).expect("connect");
+    let stats = client.stats().expect("stats");
+    client.shutdown().expect("shutdown");
+    server.join();
+
+    // Interleaving across connections can reorder events, but NoCache
+    // accounting is order-independent: totals must still be exact.
+    let global = stats.total_ledger();
+    assert_eq!(
+        global.breakdown.query_ship.bytes(),
+        survey.trace.total_query_bytes()
+    );
+    let shard_sum: u64 = stats.shards.iter().map(|s| s.ledger.total().bytes()).sum();
+    assert_eq!(shard_sum, global.total().bytes());
+}
+
+#[test]
+fn server_rejects_unknown_objects_and_keeps_serving() {
+    use delta_storage::ObjectId;
+    use delta_workload::{QueryEvent, QueryKind, UpdateEvent};
+
+    let survey = small_survey(50);
+    let n_objects = survey.catalog.len() as u32;
+    let (server, _) = start_server(&survey, 2, PolicyKind::VCover, 0.3);
+    let mut client = DeltaClient::connect(server.local_addr()).expect("connect");
+
+    let bad_query = QueryEvent {
+        seq: 1,
+        objects: vec![ObjectId(n_objects + 5)],
+        result_bytes: 10,
+        tolerance: 0,
+        kind: QueryKind::Cone,
+    };
+    assert!(client.query(&bad_query).is_err());
+    let bad_update = UpdateEvent {
+        seq: 2,
+        object: ObjectId(n_objects),
+        bytes: 1,
+    };
+    assert!(client.update(&bad_update).is_err());
+
+    // The connection survives the errors and serves valid requests.
+    let ok = UpdateEvent {
+        seq: 3,
+        object: ObjectId(0),
+        bytes: 5,
+    };
+    let reply = client.update(&ok).expect("valid update still works");
+    assert_eq!(reply.version, 1);
+    let stats = client.stats().expect("stats");
+    assert_eq!(
+        stats.total_events(),
+        1,
+        "rejected events must not be accounted"
+    );
+
+    client.shutdown().expect("shutdown");
+    server.join();
+}
+
+#[test]
+fn wire_meter_records_traffic_classes() {
+    use delta_net::TrafficClass;
+
+    let survey = small_survey(60);
+    let (server, _) = start_server(&survey, 2, PolicyKind::VCover, 0.3);
+    let mut client = DeltaClient::connect(server.local_addr()).expect("connect");
+    replay(&mut client, &survey);
+    client.stats().expect("stats");
+
+    let meter = server.meter();
+    assert!(
+        meter.bytes_for(TrafficClass::QueryShip) > 0,
+        "query frames metered"
+    );
+    assert!(
+        meter.bytes_for(TrafficClass::UpdateShip) > 0,
+        "update frames metered"
+    );
+    assert!(
+        meter.bytes_for(TrafficClass::Control) > 0,
+        "responses metered as control"
+    );
+
+    client.shutdown().expect("shutdown");
+    server.join();
+}

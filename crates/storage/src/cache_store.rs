@@ -36,7 +36,10 @@ impl std::fmt::Display for CacheError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match *self {
             CacheError::TooLarge { needed, capacity } => {
-                write!(f, "object of {needed} B exceeds cache capacity {capacity} B")
+                write!(
+                    f,
+                    "object of {needed} B exceeds cache capacity {capacity} B"
+                )
             }
             CacheError::NoSpace { needed, free } => {
                 write!(f, "need {needed} B but only {free} B free")
@@ -75,7 +78,13 @@ pub struct CacheStore {
 impl CacheStore {
     /// Creates an empty cache with the given byte capacity.
     pub fn new(capacity: u64) -> Self {
-        Self { capacity, used: 0, resident: HashMap::new(), loads: 0, evictions: 0 }
+        Self {
+            capacity,
+            used: 0,
+            resident: HashMap::new(),
+            loads: 0,
+            evictions: 0,
+        }
     }
 
     /// Total capacity in bytes.
@@ -140,12 +149,25 @@ impl CacheStore {
             return Err(CacheError::AlreadyResident);
         }
         if bytes > self.capacity {
-            return Err(CacheError::TooLarge { needed: bytes, capacity: self.capacity });
+            return Err(CacheError::TooLarge {
+                needed: bytes,
+                capacity: self.capacity,
+            });
         }
         if bytes > self.free() {
-            return Err(CacheError::NoSpace { needed: bytes, free: self.free() });
+            return Err(CacheError::NoSpace {
+                needed: bytes,
+                free: self.free(),
+            });
         }
-        self.resident.insert(id, Resident { bytes, applied_version: version, stale: false });
+        self.resident.insert(
+            id,
+            Resident {
+                bytes,
+                applied_version: version,
+                stale: false,
+            },
+        );
         self.used += bytes;
         self.loads += 1;
         Ok(())
@@ -213,7 +235,10 @@ mod tests {
         assert_eq!(c.used(), 100);
         assert_eq!(c.free(), 0);
         assert_eq!(c.len(), 2);
-        assert_eq!(c.load(ObjectId(3), 1, 0), Err(CacheError::NoSpace { needed: 1, free: 0 }));
+        assert_eq!(
+            c.load(ObjectId(3), 1, 0),
+            Err(CacheError::NoSpace { needed: 1, free: 0 })
+        );
         c.evict(ObjectId(1)).unwrap();
         assert_eq!(c.free(), 40);
         assert_eq!(c.load_count(), 2);
@@ -225,12 +250,18 @@ mod tests {
         let mut c = CacheStore::new(100);
         assert_eq!(
             c.load(ObjectId(0), 150, 0),
-            Err(CacheError::TooLarge { needed: 150, capacity: 100 })
+            Err(CacheError::TooLarge {
+                needed: 150,
+                capacity: 100
+            })
         );
         c.load(ObjectId(1), 80, 0).unwrap();
         assert_eq!(
             c.load(ObjectId(2), 90, 0),
-            Err(CacheError::NoSpace { needed: 90, free: 20 })
+            Err(CacheError::NoSpace {
+                needed: 90,
+                free: 20
+            })
         );
     }
 
@@ -299,7 +330,11 @@ mod growth_tests {
         // Updates grow the object past the nominal capacity.
         c.apply_updates(ObjectId(0), 1, 30, true);
         assert_eq!(c.used(), 120);
-        assert_eq!(c.free(), 0, "over-capacity reads as zero free, not underflow");
+        assert_eq!(
+            c.free(),
+            0,
+            "over-capacity reads as zero free, not underflow"
+        );
         // Loading anything else reports NoSpace rather than panicking.
         assert!(matches!(
             c.load(ObjectId(1), 10, 0),

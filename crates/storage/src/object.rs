@@ -74,7 +74,10 @@ impl ObjectCatalog {
                 }
             })
             .collect();
-        Self { objects, total_bytes: total }
+        Self {
+            objects,
+            total_bytes: total,
+        }
     }
 
     /// Builds a catalog from an HTM partition and a sky-density functional:

@@ -34,7 +34,12 @@ impl Repository {
     /// Creates a repository over a catalog, with empty update logs.
     pub fn new(catalog: ObjectCatalog) -> Self {
         let n = catalog.len();
-        Self { catalog, logs: vec![Vec::new(); n], cum: vec![vec![0]; n], grown_bytes: vec![0; n] }
+        Self {
+            catalog,
+            logs: vec![Vec::new(); n],
+            cum: vec![vec![0]; n],
+            grown_bytes: vec![0; n],
+        }
     }
 
     /// The object catalog.

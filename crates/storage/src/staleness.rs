@@ -54,7 +54,12 @@ pub fn needed_updates(
     } else {
         0
     };
-    Some(NeededUpdates { object: id, from_version: from, to_version: required, bytes })
+    Some(NeededUpdates {
+        object: id,
+        from_version: from,
+        to_version: required,
+        bytes,
+    })
 }
 
 /// Whether the cache can answer a query over `objects` *right now* without
@@ -66,9 +71,9 @@ pub fn query_current(
     now: u64,
     tolerance: u64,
 ) -> bool {
-    objects.iter().all(|&o| {
-        needed_updates(repo, cache, o, now, tolerance).is_some_and(|n| n.is_current())
-    })
+    objects
+        .iter()
+        .all(|&o| needed_updates(repo, cache, o, now, tolerance).is_some_and(|n| n.is_current()))
 }
 
 #[cfg(test)]
@@ -119,7 +124,7 @@ mod tests {
         cache.load(a, 100, 0).unwrap();
         repo.apply_update(a, 5, 1);
         repo.apply_update(a, 7, 9); // recent
-        // At now=10 with tolerance 5, only the seq<=5 update is needed.
+                                    // At now=10 with tolerance 5, only the seq<=5 update is needed.
         let n = needed_updates(&repo, &cache, a, 10, 5).unwrap();
         assert_eq!(n.count(), 1);
         assert_eq!(n.bytes, 5);

@@ -30,7 +30,14 @@ pub struct QueryMix {
 impl QueryMix {
     /// The SkyServer-like default mix.
     pub fn sdss_like() -> Self {
-        QueryMix { cone: 0.38, range: 0.22, self_join: 0.12, aggregate: 0.08, scan: 0.05, selection: 0.15 }
+        QueryMix {
+            cone: 0.38,
+            range: 0.22,
+            self_join: 0.12,
+            aggregate: 0.08,
+            scan: 0.05,
+            selection: 0.15,
+        }
     }
 
     /// Sum of the weights (must be positive).
@@ -155,6 +162,16 @@ impl WorkloadConfig {
             excursion_frac: 0.18,
             excursion_deg: (4.0, 14.0),
             mix: QueryMix::sdss_like(),
+        }
+    }
+
+    /// Looks up a named preset, as accepted by the server and loadgen
+    /// binaries' `--preset` flags.
+    pub fn from_preset(name: &str) -> Result<Self, String> {
+        match name {
+            "small" => Ok(WorkloadConfig::small()),
+            "paper" => Ok(WorkloadConfig::sdss_like()),
+            other => Err(format!("unknown preset {other:?} (small|paper)")),
         }
     }
 

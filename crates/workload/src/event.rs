@@ -86,6 +86,120 @@ impl Event {
     }
 }
 
+mod json {
+    //! Hand-written JSON codecs (the vendored serde is derive-free),
+    //! matching serde's shape: newtype ids as bare numbers, unit enum
+    //! variants as strings, data-carrying variants externally tagged.
+
+    use super::{Event, QueryEvent, QueryKind, UpdateEvent};
+    use delta_storage::ObjectId;
+    use serde_json::{Error, FromJson, ToJson, Value};
+
+    fn field<'v>(v: &'v Value, name: &str) -> Result<&'v Value, Error> {
+        v.get(name)
+            .ok_or_else(|| Error::msg(format!("missing field `{name}`")))
+    }
+
+    impl ToJson for QueryKind {
+        fn to_json(&self) -> Value {
+            let name = match self {
+                QueryKind::Cone => "Cone",
+                QueryKind::Range => "Range",
+                QueryKind::SelfJoin => "SelfJoin",
+                QueryKind::Aggregate => "Aggregate",
+                QueryKind::Scan => "Scan",
+                QueryKind::Selection => "Selection",
+            };
+            Value::String(name.to_string())
+        }
+    }
+
+    impl FromJson for QueryKind {
+        fn from_json(v: &Value) -> Result<Self, Error> {
+            match v.as_str() {
+                Some("Cone") => Ok(QueryKind::Cone),
+                Some("Range") => Ok(QueryKind::Range),
+                Some("SelfJoin") => Ok(QueryKind::SelfJoin),
+                Some("Aggregate") => Ok(QueryKind::Aggregate),
+                Some("Scan") => Ok(QueryKind::Scan),
+                Some("Selection") => Ok(QueryKind::Selection),
+                _ => Err(Error::msg("unknown QueryKind")),
+            }
+        }
+    }
+
+    impl ToJson for QueryEvent {
+        fn to_json(&self) -> Value {
+            Value::Object(vec![
+                ("seq".into(), self.seq.to_json()),
+                (
+                    "objects".into(),
+                    Value::Array(self.objects.iter().map(|o| o.0.to_json()).collect()),
+                ),
+                ("result_bytes".into(), self.result_bytes.to_json()),
+                ("tolerance".into(), self.tolerance.to_json()),
+                ("kind".into(), self.kind.to_json()),
+            ])
+        }
+    }
+
+    impl FromJson for QueryEvent {
+        fn from_json(v: &Value) -> Result<Self, Error> {
+            Ok(QueryEvent {
+                seq: u64::from_json(field(v, "seq")?)?,
+                objects: Vec::<u32>::from_json(field(v, "objects")?)?
+                    .into_iter()
+                    .map(ObjectId)
+                    .collect(),
+                result_bytes: u64::from_json(field(v, "result_bytes")?)?,
+                tolerance: u64::from_json(field(v, "tolerance")?)?,
+                kind: QueryKind::from_json(field(v, "kind")?)?,
+            })
+        }
+    }
+
+    impl ToJson for UpdateEvent {
+        fn to_json(&self) -> Value {
+            Value::Object(vec![
+                ("seq".into(), self.seq.to_json()),
+                ("object".into(), self.object.0.to_json()),
+                ("bytes".into(), self.bytes.to_json()),
+            ])
+        }
+    }
+
+    impl FromJson for UpdateEvent {
+        fn from_json(v: &Value) -> Result<Self, Error> {
+            Ok(UpdateEvent {
+                seq: u64::from_json(field(v, "seq")?)?,
+                object: ObjectId(u32::from_json(field(v, "object")?)?),
+                bytes: u64::from_json(field(v, "bytes")?)?,
+            })
+        }
+    }
+
+    impl ToJson for Event {
+        fn to_json(&self) -> Value {
+            match self {
+                Event::Query(q) => Value::Object(vec![("Query".into(), q.to_json())]),
+                Event::Update(u) => Value::Object(vec![("Update".into(), u.to_json())]),
+            }
+        }
+    }
+
+    impl FromJson for Event {
+        fn from_json(v: &Value) -> Result<Self, Error> {
+            if let Some(q) = v.get("Query") {
+                Ok(Event::Query(QueryEvent::from_json(q)?))
+            } else if let Some(u) = v.get("Update") {
+                Ok(Event::Update(UpdateEvent::from_json(u)?))
+            } else {
+                Err(Error::msg("expected externally tagged Event"))
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -99,7 +213,11 @@ mod tests {
             tolerance: 0,
             kind: QueryKind::Cone,
         });
-        let u = Event::Update(UpdateEvent { seq: 6, object: ObjectId(1), bytes: 9 });
+        let u = Event::Update(UpdateEvent {
+            seq: 6,
+            object: ObjectId(1),
+            bytes: 9,
+        });
         assert_eq!(q.seq(), 5);
         assert!(q.is_query());
         assert_eq!(q.ship_bytes(), 100);

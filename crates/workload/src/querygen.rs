@@ -114,7 +114,13 @@ impl<'a> QueryGenerator<'a> {
             (-(u.ln()) * self.cfg.mean_tolerance as f64) as u64
         };
 
-        QueryEvent { seq, objects, result_bytes, tolerance, kind }
+        QueryEvent {
+            seq,
+            objects,
+            result_bytes,
+            tolerance,
+            kind,
+        }
     }
 
     /// Workload evolution: every `drift_interval` queries one hotspot
@@ -122,7 +128,7 @@ impl<'a> QueryGenerator<'a> {
     fn maybe_drift(&mut self, rng: &mut StdRng) {
         if self.cfg.drift_interval > 0
             && self.emitted > 0
-            && self.emitted % self.cfg.drift_interval == 0
+            && self.emitted.is_multiple_of(self.cfg.drift_interval)
         {
             let k = rng.random_range(0..self.hotspots.len());
             self.hotspots[k] = sparse_biased_direction(self.sky, rng);
@@ -254,7 +260,10 @@ mod tests {
             let q = g.next_query(seq, false, &mut rng);
             assert!(!q.objects.is_empty());
             assert!(q.result_bytes >= 64 && q.result_bytes <= cfg.max_result_bytes);
-            assert!(q.objects.windows(2).all(|w| w[0] < w[1]), "objects sorted/deduped");
+            assert!(
+                q.objects.windows(2).all(|w| w[0] < w[1]),
+                "objects sorted/deduped"
+            );
         }
     }
 
@@ -263,10 +272,14 @@ mod tests {
         let (cfg, mapper, sky) = setup();
         let mut rng = StdRng::seed_from_u64(2);
         let mut g = QueryGenerator::new(&cfg, &mapper, &sky, &mut rng);
-        let warm: u64 = (0..300).map(|s| g.next_query(s, true, &mut rng).result_bytes).sum();
+        let warm: u64 = (0..300)
+            .map(|s| g.next_query(s, true, &mut rng).result_bytes)
+            .sum();
         let mut rng = StdRng::seed_from_u64(2);
         let mut g = QueryGenerator::new(&cfg, &mapper, &sky, &mut rng);
-        let hot: u64 = (0..300).map(|s| g.next_query(s, false, &mut rng).result_bytes).sum();
+        let hot: u64 = (0..300)
+            .map(|s| g.next_query(s, false, &mut rng).result_bytes)
+            .sum();
         assert!(
             (warm as f64) < (hot as f64) * 0.4,
             "warm-up total {warm} not much cheaper than {hot}"
@@ -340,7 +353,9 @@ mod tests {
         let gen_series = || {
             let mut rng = StdRng::seed_from_u64(9);
             let mut g = QueryGenerator::new(&cfg, &mapper, &sky, &mut rng);
-            (0..100).map(|s| g.next_query(s, false, &mut rng)).collect::<Vec<_>>()
+            (0..100)
+                .map(|s| g.next_query(s, false, &mut rng))
+                .collect::<Vec<_>>()
         };
         assert_eq!(gen_series(), gen_series());
     }

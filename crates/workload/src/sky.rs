@@ -81,7 +81,8 @@ impl SkyModel {
         let mut d = self.floor;
         // Band: Gaussian in the colatitude from the band's great circle.
         let colat = std::f64::consts::FRAC_PI_2 - self.band_pole.angular_distance(p);
-        d += self.band_amplitude * (-(colat * colat) / (2.0 * self.band_sigma * self.band_sigma)).exp();
+        d += self.band_amplitude
+            * (-(colat * colat) / (2.0 * self.band_sigma * self.band_sigma)).exp();
         for b in &self.blobs {
             let r = b.center.angular_distance(p);
             d += b.amplitude * (-(r * r) / (2.0 * b.sigma_rad * b.sigma_rad)).exp();
@@ -130,7 +131,8 @@ mod tests {
     fn density_positive_everywhere() {
         let sky = SkyModel::sdss_like(7, 6);
         for i in 0..500 {
-            let p = Vec3::from_radec_deg((i as f64 * 7.7) % 360.0, ((i as f64 * 3.3) % 178.0) - 89.0);
+            let p =
+                Vec3::from_radec_deg((i as f64 * 7.7) % 360.0, ((i as f64 * 3.3) % 178.0) - 89.0);
             assert!(sky.density_at(p) > 0.0);
         }
     }
@@ -166,7 +168,10 @@ mod tests {
         let w = part.weights();
         let max = w.iter().cloned().fold(0.0, f64::max);
         let min = w.iter().cloned().fold(f64::INFINITY, f64::min);
-        assert!(max / min.max(1e-12) > 50.0, "sky too uniform: {max} / {min}");
+        assert!(
+            max / min.max(1e-12) > 50.0,
+            "sky too uniform: {max} / {min}"
+        );
     }
 
     #[test]

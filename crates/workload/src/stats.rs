@@ -92,6 +92,16 @@ pub struct ScatterPoint {
     pub is_update: bool,
 }
 
+impl serde_json::ToJson for ScatterPoint {
+    fn to_json(&self) -> serde_json::Value {
+        serde_json::Value::Object(vec![
+            ("seq".into(), self.seq.to_json()),
+            ("object".into(), self.object.to_json()),
+            ("is_update".into(), self.is_update.to_json()),
+        ])
+    }
+}
+
 /// Produces the Fig. 7(a) scatter, keeping one query in `stride` and one
 /// update in `stride` (sampled per stream, so a regular query/update
 /// interleave cannot alias one stream away), matching the paper's "sample
@@ -105,14 +115,22 @@ pub fn fig7a_series(trace: &Trace, stride: usize) -> Vec<ScatterPoint> {
             Event::Query(q) => {
                 if qi % stride == 0 {
                     for o in &q.objects {
-                        out.push(ScatterPoint { seq: q.seq, object: o.0, is_update: false });
+                        out.push(ScatterPoint {
+                            seq: q.seq,
+                            object: o.0,
+                            is_update: false,
+                        });
                     }
                 }
                 qi += 1;
             }
             Event::Update(u) => {
                 if ui % stride == 0 {
-                    out.push(ScatterPoint { seq: u.seq, object: u.object.0, is_update: true });
+                    out.push(ScatterPoint {
+                        seq: u.seq,
+                        object: u.object.0,
+                        is_update: true,
+                    });
                 }
                 ui += 1;
             }
@@ -139,8 +157,16 @@ mod tests {
                 tolerance: 0,
                 kind: QueryKind::Cone,
             }),
-            Event::Update(UpdateEvent { seq: 1, object: ObjectId(1), bytes: 5 }),
-            Event::Update(UpdateEvent { seq: 2, object: ObjectId(1), bytes: 5 }),
+            Event::Update(UpdateEvent {
+                seq: 1,
+                object: ObjectId(1),
+                bytes: 5,
+            }),
+            Event::Update(UpdateEvent {
+                seq: 2,
+                object: ObjectId(1),
+                bytes: 5,
+            }),
         ]);
         let s = TraceStats::compute(&trace, 3);
         assert_eq!(s.query_touches, vec![1, 1, 0]);
@@ -283,8 +309,8 @@ fn kind_index(k: QueryKind) -> usize {
 #[cfg(test)]
 mod mix_tests {
     use super::*;
-    use crate::generator::SyntheticSurvey;
     use crate::config::WorkloadConfig;
+    use crate::generator::SyntheticSurvey;
 
     #[test]
     fn mix_reflects_sdss_properties() {
@@ -299,7 +325,11 @@ mod mix_tests {
             "no single template dominates (§6.1): {:?}",
             m.kind_counts
         );
-        assert!(m.tail_ratio() > 5.0, "heavy tail expected, got {}", m.tail_ratio());
+        assert!(
+            m.tail_ratio() > 5.0,
+            "heavy tail expected, got {}",
+            m.tail_ratio()
+        );
         assert!(m.mean_fanout >= 1.0);
         assert!(
             (m.zero_tolerance_frac - cfg.zero_tolerance_frac).abs() < 0.1,

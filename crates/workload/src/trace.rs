@@ -77,7 +77,9 @@ impl Trace {
 
     /// A sub-trace with only the first `n` events (for quick experiments).
     pub fn truncated(&self, n: usize) -> Trace {
-        Trace { events: self.events[..n.min(self.events.len())].to_vec() }
+        Trace {
+            events: self.events[..n.min(self.events.len())].to_vec(),
+        }
     }
 }
 
@@ -90,6 +92,30 @@ pub struct TraceHeader {
     pub object_sizes: Vec<u64>,
     /// Free-form description (config echo).
     pub description: String,
+}
+
+impl serde_json::ToJson for TraceHeader {
+    fn to_json(&self) -> serde_json::Value {
+        serde_json::Value::Object(vec![
+            ("version".into(), self.version.to_json()),
+            ("object_sizes".into(), self.object_sizes.to_json()),
+            ("description".into(), self.description.to_json()),
+        ])
+    }
+}
+
+impl serde_json::FromJson for TraceHeader {
+    fn from_json(v: &serde_json::Value) -> Result<Self, serde_json::Error> {
+        let field = |name: &str| {
+            v.get(name)
+                .ok_or_else(|| serde_json::Error::msg(format!("missing field `{name}`")))
+        };
+        Ok(TraceHeader {
+            version: u32::from_json(field("version")?)?,
+            object_sizes: Vec::<u64>::from_json(field("object_sizes")?)?,
+            description: String::from_json(field("description")?)?,
+        })
+    }
 }
 
 /// Current trace-file format version.
@@ -130,14 +156,12 @@ pub fn read_jsonl(path: &Path) -> std::io::Result<(ObjectCatalog, Trace)> {
 /// # Errors
 /// Fails on I/O errors, a malformed header/event line, or an unsupported
 /// format version.
-pub fn read_jsonl_with_header(
-    path: &Path,
-) -> std::io::Result<(ObjectCatalog, Trace, TraceHeader)> {
+pub fn read_jsonl_with_header(path: &Path) -> std::io::Result<(ObjectCatalog, Trace, TraceHeader)> {
     let f = std::fs::File::open(path)?;
     let mut lines = BufReader::new(f).lines();
-    let header_line = lines
-        .next()
-        .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::InvalidData, "empty trace file"))??;
+    let header_line = lines.next().ok_or_else(|| {
+        std::io::Error::new(std::io::ErrorKind::InvalidData, "empty trace file")
+    })??;
     let header: TraceHeader = serde_json::from_str(&header_line)?;
     if header.version != TRACE_FORMAT_VERSION {
         return Err(std::io::Error::new(
@@ -173,7 +197,11 @@ mod tests {
                 tolerance: 0,
                 kind: QueryKind::Cone,
             }),
-            Event::Update(UpdateEvent { seq: 1, object: ObjectId(1), bytes: 7 }),
+            Event::Update(UpdateEvent {
+                seq: 1,
+                object: ObjectId(1),
+                bytes: 7,
+            }),
             Event::Query(QueryEvent {
                 seq: 2,
                 objects: vec![ObjectId(1)],
@@ -201,8 +229,16 @@ mod tests {
     #[should_panic(expected = "seq-ordered")]
     fn unordered_events_rejected() {
         let _ = Trace::new(vec![
-            Event::Update(UpdateEvent { seq: 5, object: ObjectId(0), bytes: 1 }),
-            Event::Update(UpdateEvent { seq: 3, object: ObjectId(0), bytes: 1 }),
+            Event::Update(UpdateEvent {
+                seq: 5,
+                object: ObjectId(0),
+                bytes: 1,
+            }),
+            Event::Update(UpdateEvent {
+                seq: 3,
+                object: ObjectId(0),
+                bytes: 1,
+            }),
         ]);
     }
 

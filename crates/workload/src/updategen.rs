@@ -66,7 +66,12 @@ impl<'a> UpdateGenerator<'a> {
     /// Creates a generator whose stripes are seeded from the RNG.
     pub fn new(cfg: &'a WorkloadConfig, mapper: &'a SpatialMapper, rng: &mut StdRng) -> Self {
         let stripes = (0..cfg.n_stripes)
-            .map(|_| Stripe::new(random_direction(rng), rng.random_range(0.0..std::f64::consts::TAU)))
+            .map(|_| {
+                Stripe::new(
+                    random_direction(rng),
+                    rng.random_range(0.0..std::f64::consts::TAU),
+                )
+            })
             .collect();
         let n = mapper.partition().len().max(1);
         UpdateGenerator {
@@ -98,11 +103,21 @@ impl<'a> UpdateGenerator<'a> {
         // Size ∝ object density, with multiplicative noise; lognormal(0,σ)
         // has mean e^{σ²/2}, divide it out to keep the configured mean.
         let density = self.mapper.partition().weights()[object.index()]
-            / self.mapper.partition().weights().iter().sum::<f64>().max(f64::MIN_POSITIVE);
+            / self
+                .mapper
+                .partition()
+                .weights()
+                .iter()
+                .sum::<f64>()
+                .max(f64::MIN_POSITIVE);
         let rel = density / self.mean_density;
         let noise = self.size_noise.sample(rng) / (0.4f64 * 0.4 / 2.0).exp();
         let bytes = (self.cfg.mean_update_bytes as f64 * rel * noise) as u64;
-        UpdateEvent { seq, object, bytes: bytes.max(64) }
+        UpdateEvent {
+            seq,
+            object,
+            bytes: bytes.max(64),
+        }
     }
 }
 
@@ -127,7 +142,9 @@ mod tests {
         let (cfg, mapper) = setup();
         let mut rng = StdRng::seed_from_u64(1);
         let mut g = UpdateGenerator::new(&cfg, &mapper, &mut rng);
-        let events: Vec<_> = (0..cfg.stripe_len as u64).map(|s| g.next_update(s, &mut rng)).collect();
+        let events: Vec<_> = (0..cfg.stripe_len as u64)
+            .map(|s| g.next_update(s, &mut rng))
+            .collect();
         let repeats = events
             .windows(2)
             .filter(|w| w[0].object == w[1].object)
@@ -182,7 +199,10 @@ mod tests {
             .iter()
             .filter(|(_, v)| v.len() >= 20)
             .map(|(&o, v)| {
-                (weights[o as usize], v.iter().sum::<u64>() as f64 / v.len() as f64)
+                (
+                    weights[o as usize],
+                    v.iter().sum::<u64>() as f64 / v.len() as f64,
+                )
             })
             .collect();
         touched.sort_by(|a, b| a.0.total_cmp(&b.0));
@@ -219,7 +239,9 @@ mod tests {
         let make = || {
             let mut rng = StdRng::seed_from_u64(11);
             let mut g = UpdateGenerator::new(&cfg, &mapper, &mut rng);
-            (0..200).map(|s| g.next_update(s, &mut rng)).collect::<Vec<_>>()
+            (0..200)
+                .map(|s| g.next_update(s, &mut rng))
+                .collect::<Vec<_>>()
         };
         assert_eq!(make(), make());
     }

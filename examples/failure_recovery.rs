@@ -31,11 +31,13 @@ fn main() {
 
     // A warm crash at 40% and a cold crash at 75% of the trace.
     let plan = FaultPlan {
-        crashes: vec![(n * 2 / 5, RecoveryMode::Warm), (n * 3 / 4, RecoveryMode::Cold)],
+        crashes: vec![
+            (n * 2 / 5, RecoveryMode::Warm),
+            (n * 3 / 4, RecoveryMode::Cold),
+        ],
     };
-    let mut factory = move || -> Box<dyn CachingPolicy + Send> {
-        Box::new(VCover::new(opts.cache_bytes, seed))
-    };
+    let mut factory =
+        move || -> Box<dyn CachingPolicy + Send> { Box::new(VCover::new(opts.cache_bytes, seed)) };
     let (report, wan, recovery) =
         run_deployed_faulty(&mut factory, &survey.catalog, &survey.trace, opts, &plan);
 
@@ -49,9 +51,15 @@ fn main() {
     println!("\nrecovery protocol:");
     println!("  crashes injected ............ {}", recovery.crashes);
     println!("  objects kept (warm) ......... {}", recovery.objects_kept);
-    println!("  of which stale on resync .... {}", recovery.objects_stale_on_recovery);
+    println!(
+        "  of which stale on resync .... {}",
+        recovery.objects_stale_on_recovery
+    );
     println!("  objects lost (cold) ......... {}", recovery.objects_lost);
-    println!("  metadata log entries replayed {}", recovery.log_entries_replayed);
+    println!(
+        "  metadata log entries replayed {}",
+        recovery.log_entries_replayed
+    );
     println!(
         "\ntraffic delta vs fault-free: {:+.1}%  (a crash re-pays loads and re-ships \
          queries; a restarted policy is a *different* online run, so an occasional \

@@ -20,15 +20,18 @@ fn main() {
     cfg.n_queries = 10_000;
     cfg.n_updates = 10_000;
     let survey = SyntheticSurvey::generate(&cfg);
-    let opts = SimOptions::with_cache_fraction(&survey.catalog, 0.3, 2000)
-        .with_link(LinkModel::wan());
+    let opts =
+        SimOptions::with_cache_fraction(&survey.catalog, 0.3, 2000).with_link(LinkModel::wan());
 
     let mut plain = VCover::new(opts.cache_bytes, cfg.seed);
     let base = simulate(&mut plain, &survey.catalog, &survey.trace, opts);
 
     let mut wrapped = Preship::new(
         VCover::new(opts.cache_bytes, cfg.seed),
-        PreshipConfig { half_life_events: 2000.0, hot_threshold: 2.0 },
+        PreshipConfig {
+            half_life_events: 2000.0,
+            hot_threshold: 2.0,
+        },
     );
     let pre = simulate(&mut wrapped, &survey.catalog, &survey.trace, opts);
     let (ranges, bytes) = wrapped.preshipped();

@@ -24,7 +24,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let sky = SkyModel::sdss_like(7, 12);
     let mut partition = Partition::adaptive(|t| t.solid_angle(), 68);
     partition.reweight(|t| sky.trixel_mass(t));
-    let catalog = ObjectCatalog::from_partition(&partition, 800_000_000_000, 50_000_000, 90_000_000_000);
+    let catalog =
+        ObjectCatalog::from_partition(&partition, 800_000_000_000, 50_000_000, 90_000_000_000);
     let mapper = SpatialMapper::new(partition);
     let compiler = Compiler::new(Schema::sdss(), sky, mapper);
 

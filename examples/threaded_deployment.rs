@@ -29,7 +29,11 @@ fn main() {
     println!("  {deployed}");
 
     println!("\nWAN meter (bytes actually crossing the cache<->server link):");
-    for class in [TrafficClass::QueryShip, TrafficClass::UpdateShip, TrafficClass::ObjectLoad] {
+    for class in [
+        TrafficClass::QueryShip,
+        TrafficClass::UpdateShip,
+        TrafficClass::ObjectLoad,
+    ] {
         println!("  {:?}: {}", class, wan.bytes_for(class));
     }
     assert_eq!(

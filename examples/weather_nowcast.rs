@@ -70,18 +70,32 @@ fn main() {
 
     // Forecast office cache: a third of the repository, over a WAN to the
     // national center.
-    let opts = SimOptions::with_cache_fraction(&catalog, 0.33, 3_000)
-        .with_link(LinkModel::wan());
+    let opts = SimOptions::with_cache_fraction(&catalog, 0.33, 3_000).with_link(LinkModel::wan());
 
-    println!("weather repository: 64 tiles, {:.0} GB total; {} events\n", catalog.total_bytes() as f64 / 1e9, trace.len());
-    println!("{:<17} {:>12} {:>7} {:>26}", "policy", "traffic", "hit%", "response time");
+    println!(
+        "weather repository: 64 tiles, {:.0} GB total; {} events\n",
+        catalog.total_bytes() as f64 / 1e9,
+        trace.len()
+    );
+    println!(
+        "{:<17} {:>12} {:>7} {:>26}",
+        "policy", "traffic", "hit%", "response time"
+    );
     for report in [
         simulate(&mut NoCache, &catalog, &trace, opts),
-        simulate(&mut VCover::new(opts.cache_bytes, 7), &catalog, &trace, opts),
+        simulate(
+            &mut VCover::new(opts.cache_bytes, 7),
+            &catalog,
+            &trace,
+            opts,
+        ),
         simulate(
             &mut Preship::new(
                 VCover::new(opts.cache_bytes, 7),
-                PreshipConfig { half_life_events: 3_000.0, hot_threshold: 2.0 },
+                PreshipConfig {
+                    half_life_events: 3_000.0,
+                    hot_threshold: 2.0,
+                },
             ),
             &catalog,
             &trace,
@@ -94,7 +108,11 @@ fn main() {
             report.policy,
             report.total().to_string(),
             report.ledger.hit_rate() * 100.0,
-            format!("p50 {:.0} ms / p99 {:.0} ms", l.p50_secs * 1e3, l.p99_secs * 1e3),
+            format!(
+                "p50 {:.0} ms / p99 {:.0} ms",
+                l.p50_secs * 1e3,
+                l.p99_secs * 1e3
+            ),
         );
     }
     println!(

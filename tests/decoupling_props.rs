@@ -22,8 +22,7 @@ fn arb_trace(n_objects: usize, max_events: usize) -> impl Strategy<Value = (Vec<
                     (true, objs.into_iter().collect::<Vec<u32>>(), bytes, tol)
                 }),
             // Update: one object, bytes.
-            (0..n_objects as u32, 1u64..500)
-                .prop_map(|(o, bytes)| (false, vec![o], bytes, 0)),
+            (0..n_objects as u32, 1u64..500).prop_map(|(o, bytes)| (false, vec![o], bytes, 0)),
         ],
         1..max_events,
     );

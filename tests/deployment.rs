@@ -4,8 +4,7 @@
 
 use delta::core::deploy::run_deployed;
 use delta::core::{
-    simulate, Benefit, BenefitConfig, CachingPolicy, NoCache, Replica, SOptimal, SimOptions,
-    VCover,
+    simulate, Benefit, BenefitConfig, CachingPolicy, NoCache, Replica, SOptimal, SimOptions, VCover,
 };
 use delta::net::TrafficClass;
 use delta::workload::{SyntheticSurvey, WorkloadConfig};
@@ -27,7 +26,12 @@ fn check_policy<P: CachingPolicy + Send>(mut mk: impl FnMut() -> P) {
 
     assert_eq!(sim.total().bytes(), dep.total().bytes(), "{}", sim.policy);
     assert_eq!(sim.ledger.breakdown, dep.ledger.breakdown, "{}", sim.policy);
-    assert_eq!(dep.total().bytes(), wan.charged_total(), "{} meter", sim.policy);
+    assert_eq!(
+        dep.total().bytes(),
+        wan.charged_total(),
+        "{} meter",
+        sim.policy
+    );
     assert_eq!(
         wan.bytes_for(TrafficClass::QueryShip),
         dep.ledger.breakdown.query_ship.bytes()
@@ -63,7 +67,15 @@ fn deployed_vcover_matches() {
 fn deployed_benefit_matches() {
     let s = survey();
     let opts = SimOptions::with_cache_fraction(&s.catalog, 0.3, 400);
-    check_policy(|| Benefit::new(opts.cache_bytes, BenefitConfig { window: 200, alpha: 0.5 }));
+    check_policy(|| {
+        Benefit::new(
+            opts.cache_bytes,
+            BenefitConfig {
+                window: 200,
+                alpha: 0.5,
+            },
+        )
+    });
 }
 
 #[test]

@@ -34,7 +34,11 @@ fn crashes_never_break_the_satisfaction_contract() {
             s.trace.n_queries() as u64,
             "{mode:?}: every query answered"
         );
-        assert_eq!(report.total().bytes(), wan.charged_total(), "{mode:?}: audit");
+        assert_eq!(
+            report.total().bytes(),
+            wan.charged_total(),
+            "{mode:?}: audit"
+        );
     }
 }
 
@@ -50,8 +54,7 @@ fn warm_recovery_is_cheaper_than_cold() {
         let mut factory = move || -> Box<dyn CachingPolicy + Send> {
             Box::new(VCover::new(opts.cache_bytes, 11))
         };
-        let (report, _, rec) =
-            run_deployed_faulty(&mut factory, &s.catalog, &s.trace, opts, &plan);
+        let (report, _, rec) = run_deployed_faulty(&mut factory, &s.catalog, &s.trace, opts, &plan);
         (report.ledger.breakdown.load.bytes(), rec)
     };
     let (_warm_loads, warm_rec) = run(RecoveryMode::Warm);
@@ -71,15 +74,17 @@ fn warm_recovery_is_cheaper_than_cold() {
 #[test]
 fn latency_accounting_orders_policies_sanely() {
     let s = survey(1_000);
-    let opts = SimOptions::with_cache_fraction(&s.catalog, 0.3, 200)
-        .with_link(LinkModel::wan());
+    let opts = SimOptions::with_cache_fraction(&s.catalog, 0.3, 200).with_link(LinkModel::wan());
     // A policy that answers locally (after warm-up) must beat NoCache on
     // median latency; NoCache pays a WAN round trip on every query.
     let mut nc = delta::core::NoCache;
     let rn = simulate(&mut nc, &s.catalog, &s.trace, opts);
     let ln = rn.latency.expect("link configured");
     assert_eq!(ln.count, s.trace.n_queries() as u64);
-    assert!(ln.p50_secs >= LinkModel::wan().rtt_secs, "every NoCache query pays the RTT");
+    assert!(
+        ln.p50_secs >= LinkModel::wan().rtt_secs,
+        "every NoCache query pays the RTT"
+    );
     // Latency summaries are internally consistent.
     assert!(ln.p50_secs <= ln.p95_secs && ln.p95_secs <= ln.p99_secs);
     assert!(ln.p99_secs <= ln.max_secs && ln.mean_secs <= ln.max_secs);
@@ -88,13 +93,15 @@ fn latency_accounting_orders_policies_sanely() {
 #[test]
 fn preshipping_does_not_change_correctness_and_helps_hot_latency() {
     let s = survey(4_000);
-    let opts = SimOptions::with_cache_fraction(&s.catalog, 0.3, 500)
-        .with_link(LinkModel::wan());
+    let opts = SimOptions::with_cache_fraction(&s.catalog, 0.3, 500).with_link(LinkModel::wan());
     let mut plain = VCover::new(opts.cache_bytes, 3);
     let base = simulate(&mut plain, &s.catalog, &s.trace, opts);
     let mut wrapped = Preship::new(
         VCover::new(opts.cache_bytes, 3),
-        PreshipConfig { half_life_events: 1000.0, hot_threshold: 2.0 },
+        PreshipConfig {
+            half_life_events: 1000.0,
+            hot_threshold: 2.0,
+        },
     );
     let pre = simulate(&mut wrapped, &s.catalog, &s.trace, opts);
     assert_eq!(
@@ -144,7 +151,11 @@ fn lossy_wan_preserves_charged_bytes_and_meters_overhead() {
     lossy.send(NetMessage::Shutdown).unwrap();
     assert_eq!(reader.join().unwrap(), 2_000, "exactly-once delivery");
     let snap = meter.snapshot();
-    assert_eq!(snap.bytes_for(TrafficClass::UpdateShip), payload, "charged cost unchanged");
+    assert_eq!(
+        snap.bytes_for(TrafficClass::UpdateShip),
+        payload,
+        "charged cost unchanged"
+    );
     let retx = snap.bytes_for(TrafficClass::Retransmit);
     assert!(retx > 0, "20% loss must cost retransmissions");
     assert!(

@@ -38,7 +38,10 @@ fn every_policy_satisfies_every_query() {
             r.policy
         );
         // Non-negative, monotone series ending at the total.
-        assert!(r.series.windows(2).all(|w| w[0].cumulative_bytes <= w[1].cumulative_bytes));
+        assert!(r
+            .series
+            .windows(2)
+            .all(|w| w[0].cumulative_bytes <= w[1].cumulative_bytes));
         assert_eq!(r.series.last().unwrap().cumulative_bytes, r.total().bytes());
     }
 }

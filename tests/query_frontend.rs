@@ -14,7 +14,10 @@ fn world(objects: usize) -> (ObjectCatalog, Compiler) {
     let catalog =
         ObjectCatalog::from_partition(&partition, 80_000_000_000, 5_000_000, 9_000_000_000);
     let mapper = SpatialMapper::new(partition);
-    (catalog, Compiler::new(Schema::sdss(), sky, mapper).with_samples(128))
+    (
+        catalog,
+        Compiler::new(Schema::sdss(), sky, mapper).with_samples(128),
+    )
 }
 
 #[test]

@@ -1,0 +1,325 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Provides the slice this workspace uses: `channel::unbounded` MPMC
+//! channels with blocking / timeout / non-blocking receives, and a
+//! [`select!`] macro. The channel is a `Mutex<VecDeque>` + `Condvar`
+//! (plenty for the threaded deployment's lockstep traffic), and
+//! `select!` polls its arms with a short sleep instead of registering
+//! wakeups — simple, correct, and fast enough for test workloads.
+
+#![forbid(unsafe_code)]
+
+/// Multi-producer multi-consumer channels.
+pub mod channel {
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Condvar, Mutex};
+    use std::time::{Duration, Instant};
+
+    struct Inner<T> {
+        queue: Mutex<State<T>>,
+        cond: Condvar,
+    }
+
+    struct State<T> {
+        items: VecDeque<T>,
+        senders: usize,
+        receivers: usize,
+    }
+
+    /// Sending half; clonable.
+    pub struct Sender<T> {
+        inner: Arc<Inner<T>>,
+    }
+
+    /// Receiving half; clonable (messages go to whichever receiver takes
+    /// them first).
+    pub struct Receiver<T> {
+        inner: Arc<Inner<T>>,
+    }
+
+    /// The message could not be delivered: no receiver is left.
+    #[derive(Clone, Copy, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    impl<T> std::fmt::Debug for SendError<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("SendError(..)")
+        }
+    }
+
+    /// The channel is empty and every sender is gone.
+    #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+    pub struct RecvError;
+
+    /// Why a non-blocking receive returned nothing.
+    #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// No message waiting (senders still connected).
+        Empty,
+        /// No message waiting and no sender left.
+        Disconnected,
+    }
+
+    /// Why a timed receive returned nothing.
+    #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// The timeout elapsed first.
+        Timeout,
+        /// No message waiting and no sender left.
+        Disconnected,
+    }
+
+    /// Creates an unbounded channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let inner = Arc::new(Inner {
+            queue: Mutex::new(State {
+                items: VecDeque::new(),
+                senders: 1,
+                receivers: 1,
+            }),
+            cond: Condvar::new(),
+        });
+        (
+            Sender {
+                inner: Arc::clone(&inner),
+            },
+            Receiver { inner },
+        )
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.inner.queue.lock().unwrap().senders += 1;
+            Sender {
+                inner: Arc::clone(&self.inner),
+            }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut st = self.inner.queue.lock().unwrap();
+            st.senders -= 1;
+            if st.senders == 0 {
+                self.inner.cond.notify_all();
+            }
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            self.inner.queue.lock().unwrap().receivers += 1;
+            Receiver {
+                inner: Arc::clone(&self.inner),
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            let mut st = self.inner.queue.lock().unwrap();
+            st.receivers -= 1;
+            if st.receivers == 0 {
+                // Nobody can receive these anymore; drop them now rather
+                // than when the last Sender goes away. Senders queued
+                // inside these messages (reply channels) must die with
+                // them, or their receivers would block forever.
+                st.items.clear();
+            }
+        }
+    }
+
+    impl<T> std::fmt::Debug for Sender<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("Sender { .. }")
+        }
+    }
+
+    impl<T> std::fmt::Debug for Receiver<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("Receiver { .. }")
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Enqueues a message; fails only if every receiver is gone.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            let mut st = self.inner.queue.lock().unwrap();
+            if st.receivers == 0 {
+                return Err(SendError(value));
+            }
+            st.items.push_back(value);
+            self.inner.cond.notify_one();
+            Ok(())
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Blocks until a message arrives or all senders are gone.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut st = self.inner.queue.lock().unwrap();
+            loop {
+                if let Some(v) = st.items.pop_front() {
+                    return Ok(v);
+                }
+                if st.senders == 0 {
+                    return Err(RecvError);
+                }
+                st = self.inner.cond.wait(st).unwrap();
+            }
+        }
+
+        /// Blocks up to `timeout` for a message.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            let deadline = Instant::now() + timeout;
+            let mut st = self.inner.queue.lock().unwrap();
+            loop {
+                if let Some(v) = st.items.pop_front() {
+                    return Ok(v);
+                }
+                if st.senders == 0 {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                let now = Instant::now();
+                if now >= deadline {
+                    return Err(RecvTimeoutError::Timeout);
+                }
+                let (guard, _) = self.inner.cond.wait_timeout(st, deadline - now).unwrap();
+                st = guard;
+            }
+        }
+
+        /// Non-blocking receive.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let mut st = self.inner.queue.lock().unwrap();
+            if let Some(v) = st.items.pop_front() {
+                Ok(v)
+            } else if st.senders == 0 {
+                Err(TryRecvError::Disconnected)
+            } else {
+                Err(TryRecvError::Empty)
+            }
+        }
+
+        /// [`select!`] support: `Some` when this channel would complete a
+        /// receive right now (with a message, or with disconnection).
+        #[doc(hidden)]
+        pub fn select_ready(&self) -> Option<Result<T, RecvError>> {
+            match self.try_recv() {
+                Ok(v) => Some(Ok(v)),
+                Err(TryRecvError::Disconnected) => Some(Err(RecvError)),
+                Err(TryRecvError::Empty) => None,
+            }
+        }
+    }
+
+    /// Waits on several channels, running the first ready arm.
+    ///
+    /// Supports the `recv(receiver) -> msg => { .. }` arm form. Arms are
+    /// polled in order with a short sleep in between; a disconnected
+    /// channel is ready with `Err(RecvError)`, like crossbeam's.
+    #[macro_export]
+    macro_rules! select {
+        ($(recv($rx:expr) -> $msg:pat => $body:block)+) => {{
+            let mut __empty_polls: u32 = 0;
+            '__select: loop {
+                $(
+                    if let ::core::option::Option::Some(__ready) = ($rx).select_ready() {
+                        let $msg = __ready;
+                        break '__select ($body);
+                    }
+                )+
+                // Spin briefly first — in lockstep pipelines the next
+                // message lands within microseconds — then back off to
+                // sleeping, so the loop is fast when hot and kind to the
+                // CPU when idle.
+                __empty_polls = __empty_polls.saturating_add(1);
+                if __empty_polls < 64 {
+                    ::std::thread::yield_now();
+                } else {
+                    ::std::thread::sleep(::core::time::Duration::from_micros(50));
+                }
+            }
+        }};
+    }
+
+    pub use crate::select;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::*;
+    use std::time::Duration;
+
+    #[test]
+    fn send_recv_fifo() {
+        let (tx, rx) = unbounded();
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.try_recv(), Ok(2));
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+    }
+
+    #[test]
+    fn disconnection_both_ways() {
+        let (tx, rx) = unbounded::<u32>();
+        drop(rx);
+        assert_eq!(tx.send(1), Err(SendError(1)));
+        let (tx, rx) = unbounded::<u32>();
+        drop(tx);
+        assert_eq!(rx.recv(), Err(RecvError));
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(1)),
+            Err(RecvTimeoutError::Disconnected)
+        );
+    }
+
+    #[test]
+    fn timeout_fires() {
+        let (_tx, rx) = unbounded::<u32>();
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(5)),
+            Err(RecvTimeoutError::Timeout)
+        );
+    }
+
+    #[test]
+    fn cross_thread_handoff() {
+        let (tx, rx) = unbounded();
+        let h = std::thread::spawn(move || {
+            for i in 0..1000 {
+                tx.send(i).unwrap();
+            }
+        });
+        let mut got = 0;
+        while let Ok(v) = rx.recv() {
+            assert_eq!(v, got);
+            got += 1;
+        }
+        h.join().unwrap();
+        assert_eq!(got, 1000);
+    }
+
+    #[test]
+    fn select_prefers_ready_channel() {
+        let (tx_a, rx_a) = unbounded::<u32>();
+        let (_tx_b, rx_b) = unbounded::<u32>();
+        tx_a.send(7).unwrap();
+        let got = crate::select! {
+            recv(rx_a) -> msg => { msg.unwrap() }
+            recv(rx_b) -> msg => { msg.unwrap_or(0) }
+        };
+        assert_eq!(got, 7);
+    }
+
+    #[test]
+    fn select_sees_disconnect() {
+        let (tx_a, rx_a) = unbounded::<u32>();
+        drop(tx_a);
+        let got = crate::select! {
+            recv(rx_a) -> msg => { msg.is_err() }
+        };
+        assert!(got);
+    }
+}

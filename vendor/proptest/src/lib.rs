@@ -1,0 +1,705 @@
+//! Offline mini-proptest.
+//!
+//! The build environment has no crates.io access, so this vendored crate
+//! reimplements the slice of proptest this workspace's property tests
+//! use: the [`Strategy`] trait with `prop_map` / `prop_flat_map`, range
+//! and tuple strategies, `collection::vec` / `collection::btree_set`,
+//! `option::of`, `sample::select`, `bool::ANY`, [`Just`], the
+//! [`prop_oneof!`] union, and the [`proptest!`] / [`prop_assert!`]
+//! macros. Generation is deterministic per test (seeded from the test
+//! name); there is no shrinking — a failing case panics with the
+//! generated inputs' `Debug` rendering instead.
+
+#![forbid(unsafe_code)]
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{RngExt, SeedableRng};
+use std::collections::BTreeSet;
+use std::ops::{Range, RangeInclusive};
+use std::rc::Rc;
+
+/// Runtime configuration of a [`proptest!`] block.
+#[derive(Clone, Copy, Debug)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Error a property body can raise via `?` (real proptest's early-exit
+/// channel; here it simply fails the test with its message).
+#[derive(Clone, Debug)]
+pub struct TestCaseError(pub String);
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for TestCaseError {}
+
+impl TestCaseError {
+    /// A failed test case with the given explanation.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError(msg.into())
+    }
+}
+
+/// A value generator. Unlike real proptest there is no shrinking; a
+/// strategy is just a deterministic sampling recipe.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Feeds generated values into `f` to build a dependent strategy.
+    fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S: Strategy,
+        F: Fn(Self::Value) -> S,
+    {
+        FlatMap { inner: self, f }
+    }
+
+    /// Type-erases the strategy (used by [`prop_oneof!`]).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Rc::new(move |rng| self.generate(rng)))
+    }
+}
+
+/// A type-erased strategy.
+#[derive(Clone)]
+pub struct BoxedStrategy<V>(Rc<dyn Fn(&mut StdRng) -> V>);
+
+impl<V> Strategy for BoxedStrategy<V> {
+    type Value = V;
+    fn generate(&self, rng: &mut StdRng) -> V {
+        (self.0)(rng)
+    }
+}
+
+/// See [`Strategy::prop_map`].
+#[derive(Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+    fn generate(&self, rng: &mut StdRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+#[derive(Clone)]
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, T: Strategy, F: Fn(S::Value) -> T> Strategy for FlatMap<S, F> {
+    type Value = T::Value;
+    fn generate(&self, rng: &mut StdRng) -> T::Value {
+        (self.f)(self.inner.generate(rng)).generate(rng)
+    }
+}
+
+/// Strategy that always yields a clone of its value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+    )*};
+}
+
+range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f64);
+
+macro_rules! tuple_strategy {
+    ($(($($name:ident),+))*) => {$(
+        #[allow(non_snake_case)]
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (A)
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+    (A, B, C, D, E)
+    (A, B, C, D, E, F)
+}
+
+/// Uniform union of same-valued strategies (backs [`prop_oneof!`]).
+#[derive(Clone)]
+pub struct Union<V>(pub Vec<BoxedStrategy<V>>);
+
+impl<V> Strategy for Union<V> {
+    type Value = V;
+    fn generate(&self, rng: &mut StdRng) -> V {
+        let idx = rng.random_range(0..self.0.len());
+        self.0[idx].generate(rng)
+    }
+}
+
+/// String strategies from regex-like patterns (proptest's `&str`
+/// strategy). Supports the subset this workspace's tests use: literals,
+/// `[...]` classes with ranges, `(a|b|c)` groups, `\PC` (any printable
+/// character), and the `*`, `+`, `?`, `{m,n}` repetitions.
+pub mod string {
+    use super::*;
+
+    #[derive(Clone, Debug)]
+    enum Node {
+        Seq(Vec<Node>),
+        Alt(Vec<Node>),
+        Class(Vec<char>),
+        Lit(char),
+        Printable,
+        Repeat(Box<Node>, usize, usize),
+    }
+
+    fn parse_alt(chars: &[char], mut i: usize, depth: usize) -> (Node, usize) {
+        let mut alts = Vec::new();
+        let (first, mut j) = parse_seq(chars, i, depth);
+        alts.push(first);
+        while j < chars.len() && chars[j] == '|' {
+            i = j + 1;
+            let (next, k) = parse_seq(chars, i, depth);
+            alts.push(next);
+            j = k;
+        }
+        if alts.len() == 1 {
+            (alts.pop().unwrap(), j)
+        } else {
+            (Node::Alt(alts), j)
+        }
+    }
+
+    fn parse_seq(chars: &[char], mut i: usize, depth: usize) -> (Node, usize) {
+        let mut seq = Vec::new();
+        while i < chars.len() {
+            let c = chars[i];
+            if c == '|' || (c == ')' && depth > 0) {
+                break;
+            }
+            let (atom, j) = parse_atom(chars, i, depth);
+            let (node, k) = parse_postfix(atom, chars, j);
+            seq.push(node);
+            i = k;
+        }
+        (Node::Seq(seq), i)
+    }
+
+    fn parse_atom(chars: &[char], i: usize, depth: usize) -> (Node, usize) {
+        match chars[i] {
+            '(' => {
+                let (node, j) = parse_alt(chars, i + 1, depth + 1);
+                assert!(chars.get(j) == Some(&')'), "unbalanced group in pattern");
+                (node, j + 1)
+            }
+            '[' => {
+                let mut set = Vec::new();
+                let mut j = i + 1;
+                while j < chars.len() && chars[j] != ']' {
+                    if chars[j] == '\\' {
+                        j += 1;
+                        set.push(chars[j]);
+                        j += 1;
+                    } else if j + 2 < chars.len() && chars[j + 1] == '-' && chars[j + 2] != ']' {
+                        let (lo, hi) = (chars[j] as u32, chars[j + 2] as u32);
+                        for c in lo..=hi {
+                            set.push(char::from_u32(c).expect("valid class range"));
+                        }
+                        j += 3;
+                    } else {
+                        set.push(chars[j]);
+                        j += 1;
+                    }
+                }
+                assert!(chars.get(j) == Some(&']'), "unbalanced class in pattern");
+                (Node::Class(set), j + 1)
+            }
+            '\\' => {
+                // `\PC` = not-category-C = printable; other escapes are
+                // taken literally.
+                if chars.get(i + 1) == Some(&'P') && chars.get(i + 2) == Some(&'C') {
+                    (Node::Printable, i + 3)
+                } else {
+                    (Node::Lit(chars[i + 1]), i + 2)
+                }
+            }
+            '.' => (Node::Printable, i + 1),
+            c => (Node::Lit(c), i + 1),
+        }
+    }
+
+    fn parse_postfix(atom: Node, chars: &[char], i: usize) -> (Node, usize) {
+        match chars.get(i) {
+            Some('*') => (Node::Repeat(Box::new(atom), 0, 8), i + 1),
+            Some('+') => (Node::Repeat(Box::new(atom), 1, 8), i + 1),
+            Some('?') => (Node::Repeat(Box::new(atom), 0, 1), i + 1),
+            Some('{') => {
+                let close = (i..chars.len())
+                    .find(|&j| chars[j] == '}')
+                    .expect("unclosed {m,n}");
+                let body: String = chars[i + 1..close].iter().collect();
+                let (min, max) = match body.split_once(',') {
+                    Some((m, n)) => (
+                        m.trim().parse().expect("bad {m,n}"),
+                        n.trim().parse().expect("bad {m,n}"),
+                    ),
+                    None => {
+                        let n = body.trim().parse().expect("bad {n}");
+                        (n, n)
+                    }
+                };
+                (Node::Repeat(Box::new(atom), min, max), close + 1)
+            }
+            _ => (atom, i),
+        }
+    }
+
+    fn generate_node(node: &Node, rng: &mut StdRng, out: &mut String) {
+        match node {
+            Node::Seq(items) => {
+                for n in items {
+                    generate_node(n, rng, out);
+                }
+            }
+            Node::Alt(alts) => {
+                let idx = rng.random_range(0..alts.len());
+                generate_node(&alts[idx], rng, out);
+            }
+            Node::Class(set) => {
+                out.push(*set.as_slice().choose(rng).expect("non-empty class"));
+            }
+            Node::Lit(c) => out.push(*c),
+            Node::Printable => {
+                // Mostly printable ASCII, sometimes further afield, so the
+                // parser-totality tests see multi-byte input too.
+                if rng.random_bool(0.9) {
+                    out.push(char::from_u32(rng.random_range(0x20..0x7Fu32)).unwrap());
+                } else {
+                    out.push(['é', 'Ω', '→', '星', '🌌'][rng.random_range(0..5usize)]);
+                }
+            }
+            Node::Repeat(inner, min, max) => {
+                let n = rng.random_range(*min..=*max);
+                for _ in 0..n {
+                    generate_node(inner, rng, out);
+                }
+            }
+        }
+    }
+
+    /// A compiled pattern strategy.
+    #[derive(Clone, Debug)]
+    pub struct PatternStrategy {
+        root: Node,
+    }
+
+    /// Compiles a regex-like pattern into a string strategy.
+    pub fn pattern(p: &str) -> PatternStrategy {
+        let chars: Vec<char> = p.chars().collect();
+        let (root, consumed) = parse_alt(&chars, 0, 0);
+        assert_eq!(
+            consumed,
+            chars.len(),
+            "trailing characters in pattern {p:?}"
+        );
+        PatternStrategy { root }
+    }
+
+    impl Strategy for PatternStrategy {
+        type Value = String;
+        fn generate(&self, rng: &mut StdRng) -> String {
+            let mut out = String::new();
+            generate_node(&self.root, rng, &mut out);
+            out
+        }
+    }
+}
+
+impl Strategy for &str {
+    type Value = String;
+    fn generate(&self, rng: &mut StdRng) -> String {
+        string::pattern(self).generate(rng)
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::*;
+
+    /// Sizes acceptable to [`vec`] / [`btree_set`]: an exact `usize` or a
+    /// (half-open or inclusive) range.
+    pub trait IntoSizeRange {
+        /// Samples a concrete length.
+        fn sample_len(&self, rng: &mut StdRng) -> usize;
+    }
+
+    impl IntoSizeRange for usize {
+        fn sample_len(&self, _rng: &mut StdRng) -> usize {
+            *self
+        }
+    }
+
+    impl IntoSizeRange for Range<usize> {
+        fn sample_len(&self, rng: &mut StdRng) -> usize {
+            rng.random_range(self.clone())
+        }
+    }
+
+    impl IntoSizeRange for RangeInclusive<usize> {
+        fn sample_len(&self, rng: &mut StdRng) -> usize {
+            rng.random_range(self.clone())
+        }
+    }
+
+    /// Strategy for `Vec`s of values from `element`.
+    pub struct VecStrategy<S, L> {
+        element: S,
+        len: L,
+    }
+
+    impl<S: Strategy, L: IntoSizeRange> Strategy for VecStrategy<S, L> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let n = self.len.sample_len(rng);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// Vectors with lengths drawn from `len`.
+    pub fn vec<S: Strategy, L: IntoSizeRange>(element: S, len: L) -> VecStrategy<S, L> {
+        VecStrategy { element, len }
+    }
+
+    /// Strategy for `BTreeSet`s of values from `element`.
+    pub struct BTreeSetStrategy<S, L> {
+        element: S,
+        len: L,
+    }
+
+    impl<S: Strategy, L: IntoSizeRange> Strategy for BTreeSetStrategy<S, L>
+    where
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+        fn generate(&self, rng: &mut StdRng) -> BTreeSet<S::Value> {
+            let target = self.len.sample_len(rng);
+            let mut out = BTreeSet::new();
+            // Duplicates may make the target unreachable (tiny element
+            // domains); bail out after a bounded number of attempts.
+            let mut attempts = 0usize;
+            while out.len() < target && attempts < 100 * (target + 1) {
+                out.insert(self.element.generate(rng));
+                attempts += 1;
+            }
+            out
+        }
+    }
+
+    /// Sets with sizes drawn from `len` (best-effort on tiny domains).
+    pub fn btree_set<S: Strategy, L: IntoSizeRange>(element: S, len: L) -> BTreeSetStrategy<S, L> {
+        BTreeSetStrategy { element, len }
+    }
+}
+
+/// Option strategies.
+pub mod option {
+    use super::*;
+
+    /// Strategy yielding `None` a quarter of the time.
+    pub struct OptionStrategy<S>(S);
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn generate(&self, rng: &mut StdRng) -> Option<S::Value> {
+            if rng.random_bool(0.25) {
+                None
+            } else {
+                Some(self.0.generate(rng))
+            }
+        }
+    }
+
+    /// Optional values of `element`.
+    pub fn of<S: Strategy>(element: S) -> OptionStrategy<S> {
+        OptionStrategy(element)
+    }
+}
+
+/// Sampling strategies.
+pub mod sample {
+    use super::*;
+
+    /// Strategy choosing uniformly from a fixed list.
+    pub struct Select<T: Clone>(Vec<T>);
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut StdRng) -> T {
+            self.0
+                .as_slice()
+                .choose(rng)
+                .expect("select over empty list")
+                .clone()
+        }
+    }
+
+    /// Uniform choice from `options` (must be non-empty).
+    pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+        Select(options)
+    }
+}
+
+/// Boolean strategies.
+pub mod bool {
+    use super::*;
+
+    /// Strategy for a fair coin.
+    #[derive(Clone, Copy, Debug)]
+    pub struct Any;
+
+    impl Strategy for Any {
+        type Value = core::primitive::bool;
+        fn generate(&self, rng: &mut StdRng) -> core::primitive::bool {
+            rng.random_bool(0.5)
+        }
+    }
+
+    /// A fair coin.
+    pub const ANY: Any = Any;
+}
+
+/// Everything a property test file needs.
+pub mod prelude {
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, BoxedStrategy, Just,
+        ProptestConfig, Strategy, TestCaseError,
+    };
+
+    /// The `prop::` alias module (`prop::collection::vec`, ...).
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::option;
+        pub use crate::sample;
+    }
+}
+
+/// FNV-1a over the test name: a stable per-test seed, so failures
+/// reproduce without configuration.
+pub fn seed_for(name: &str) -> u64 {
+    let mut h = 0xcbf29ce484222325u64;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// Creates the RNG for one property run.
+pub fn test_rng(name: &str) -> StdRng {
+    StdRng::seed_from_u64(seed_for(name))
+}
+
+/// Defines property tests: each `fn name(pat in strategy, ..) { body }`
+/// becomes a `#[test]` running `cases` generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { cfg = ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { cfg = ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_items {
+    (cfg = ($cfg:expr);) => {};
+    (cfg = ($cfg:expr);
+     $(#[$meta:meta])*
+     fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::ProptestConfig = $cfg;
+            let mut __rng = $crate::test_rng(concat!(module_path!(), "::", stringify!($name)));
+            for __case in 0..__config.cases {
+                $(let $pat = $crate::Strategy::generate(&($strat), &mut __rng);)+
+                #[allow(clippy::redundant_closure_call)]
+                let __outcome: ::core::result::Result<(), $crate::TestCaseError> = (|| {
+                    { $body }
+                    ::core::result::Result::Ok(())
+                })();
+                if let ::core::result::Result::Err(e) = __outcome {
+                    panic!("property {} failed on case {}: {}", stringify!($name), __case, e);
+                }
+            }
+        }
+        $crate::__proptest_items! { cfg = ($cfg); $($rest)* }
+    };
+}
+
+/// Asserts inside a property; panics with the formatted message.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond)
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        assert!($cond, $($fmt)*)
+    };
+}
+
+/// Equality assertion inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {
+        assert_eq!($a, $b)
+    };
+    ($a:expr, $b:expr, $($fmt:tt)*) => {
+        assert_eq!($a, $b, $($fmt)*)
+    };
+}
+
+/// Inequality assertion inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {
+        assert_ne!($a, $b)
+    };
+    ($a:expr, $b:expr, $($fmt:tt)*) => {
+        assert_ne!($a, $b, $($fmt)*)
+    };
+}
+
+/// Uniform union of strategies with the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::Union(vec![$($crate::Strategy::boxed($arm)),+])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[derive(Clone, Debug, PartialEq)]
+    enum Kind {
+        A,
+        B(u32),
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_and_tuples((a, b) in (0u32..10, 5u64..6)) {
+            prop_assert!(a < 10);
+            prop_assert_eq!(b, 5);
+        }
+
+        #[test]
+        fn vectors_respect_length(v in prop::collection::vec(1u64..100, 3..7)) {
+            prop_assert!((3..7).contains(&v.len()));
+            prop_assert!(v.iter().all(|&x| (1..100).contains(&x)));
+        }
+
+        #[test]
+        fn oneof_and_flat_map(k in prop_oneof![
+            Just(Kind::A),
+            (1u32..5).prop_map(Kind::B),
+        ], n in (1usize..4).prop_flat_map(|n| prop::collection::vec(0u32..10, n))) {
+            match k {
+                Kind::A => {}
+                Kind::B(x) => prop_assert!((1..5).contains(&x)),
+            }
+            prop_assert!(!n.is_empty() && n.len() < 4);
+        }
+
+        #[test]
+        fn sets_and_options(
+            s in prop::collection::btree_set(0u32..4, 1..4),
+            o in prop::option::of(0i32..3),
+            pick in prop::sample::select(vec!["x", "y"]),
+            flag in crate::bool::ANY,
+        ) {
+            prop_assert!(!s.is_empty() && s.len() < 4);
+            if let Some(v) = o { prop_assert!(v < 3); }
+            prop_assert!(pick == "x" || pick == "y");
+            let _ = flag;
+        }
+    }
+
+    #[test]
+    fn deterministic_per_test_name() {
+        let mut a = crate::test_rng("some::test");
+        let mut b = crate::test_rng("some::test");
+        use rand::RngExt;
+        assert_eq!(a.random_range(0..u64::MAX), b.random_range(0..u64::MAX));
+    }
+}

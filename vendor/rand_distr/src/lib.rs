@@ -1,0 +1,186 @@
+//! Offline stand-in for the `rand_distr` crate.
+//!
+//! Provides the three distributions the workload reconstruction samples —
+//! [`LogNormal`] (Box–Muller), [`Pareto`] (inverse CDF) and [`Zipf`]
+//! (tabulated CDF with binary search) — over the vendored `rand` RNG.
+
+#![forbid(unsafe_code)]
+
+use rand::RngCore;
+use std::marker::PhantomData;
+
+/// Types that can produce samples of `T` from an RNG.
+pub trait Distribution<T> {
+    /// Draws one sample.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// Error constructing a distribution from invalid parameters.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ParamError(&'static str);
+
+impl std::fmt::Display for ParamError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid distribution parameter: {}", self.0)
+    }
+}
+
+impl std::error::Error for ParamError {}
+
+/// Log-normal distribution: `exp(mu + sigma * Z)` with `Z` standard normal.
+#[derive(Clone, Copy, Debug)]
+pub struct LogNormal<F = f64> {
+    mu: f64,
+    sigma: f64,
+    _marker: PhantomData<F>,
+}
+
+impl LogNormal<f64> {
+    /// Creates the distribution from the mean and standard deviation of
+    /// the underlying normal.
+    pub fn new(mu: f64, sigma: f64) -> Result<Self, ParamError> {
+        if !mu.is_finite() || !sigma.is_finite() || sigma < 0.0 {
+            return Err(ParamError("lognormal requires finite mu and sigma >= 0"));
+        }
+        Ok(LogNormal {
+            mu,
+            sigma,
+            _marker: PhantomData,
+        })
+    }
+}
+
+impl Distribution<f64> for LogNormal<f64> {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        // Box–Muller; u1 nudged away from zero so ln() stays finite.
+        let u1 = rng.next_f64().max(1e-300);
+        let u2 = rng.next_f64();
+        let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+        (self.mu + self.sigma * z).exp()
+    }
+}
+
+/// Pareto distribution with scale `x_m` and shape `a`.
+#[derive(Clone, Copy, Debug)]
+pub struct Pareto<F = f64> {
+    scale: f64,
+    shape: f64,
+    _marker: PhantomData<F>,
+}
+
+impl Pareto<f64> {
+    /// Creates the distribution; both parameters must be positive.
+    pub fn new(scale: f64, shape: f64) -> Result<Self, ParamError> {
+        if !scale.is_finite() || scale <= 0.0 || !shape.is_finite() || shape <= 0.0 {
+            return Err(ParamError("pareto requires positive scale and shape"));
+        }
+        Ok(Pareto {
+            scale,
+            shape,
+            _marker: PhantomData,
+        })
+    }
+}
+
+impl Distribution<f64> for Pareto<f64> {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        // Inverse CDF on u in (0, 1].
+        let u = (1.0 - rng.next_f64()).max(1e-300);
+        self.scale / u.powf(1.0 / self.shape)
+    }
+}
+
+/// Zipf distribution over `{1, .., n}` with exponent `s`: `P(k) ∝ k^-s`.
+///
+/// Sampled via a precomputed CDF and binary search, which is exact and
+/// plenty fast for the catalog/hotspot sizes this workspace uses.
+#[derive(Clone, Debug)]
+pub struct Zipf<F = f64> {
+    cdf: Vec<f64>,
+    _marker: PhantomData<F>,
+}
+
+impl Zipf<f64> {
+    /// Creates the distribution over `{1, .., n.round()}`.
+    pub fn new(n: f64, s: f64) -> Result<Self, ParamError> {
+        let count = n.round();
+        if !(1.0..=4_000_000.0).contains(&count) {
+            return Err(ParamError("zipf requires 1 <= n <= 4e6"));
+        }
+        if !s.is_finite() || s < 0.0 {
+            return Err(ParamError("zipf requires finite s >= 0"));
+        }
+        let count = count as usize;
+        let mut cdf = Vec::with_capacity(count);
+        let mut acc = 0.0;
+        for k in 1..=count {
+            acc += (k as f64).powf(-s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        Ok(Zipf {
+            cdf,
+            _marker: PhantomData,
+        })
+    }
+}
+
+impl Distribution<f64> for Zipf<f64> {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        let u = rng.next_f64();
+        let idx = self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1);
+        (idx + 1) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn lognormal_is_positive_and_centered() {
+        let d = LogNormal::new(0.0, 0.5).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut sum = 0.0;
+        for _ in 0..20_000 {
+            let v = d.sample(&mut rng);
+            assert!(v > 0.0);
+            sum += v.ln();
+        }
+        assert!((sum / 20_000.0).abs() < 0.02, "mean of ln should be ~mu=0");
+    }
+
+    #[test]
+    fn pareto_respects_scale() {
+        let d = Pareto::new(2.0, 1.6).unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..10_000 {
+            assert!(d.sample(&mut rng) >= 2.0);
+        }
+    }
+
+    #[test]
+    fn zipf_favours_small_ranks() {
+        let d = Zipf::new(6.0, 1.35).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut counts = [0u32; 6];
+        for _ in 0..30_000 {
+            let v = d.sample(&mut rng);
+            assert!((1.0..=6.0).contains(&v));
+            counts[v as usize - 1] += 1;
+        }
+        assert!(counts[0] > counts[1] && counts[1] > counts[2]);
+    }
+
+    #[test]
+    fn invalid_params_rejected() {
+        assert!(LogNormal::new(f64::NAN, 1.0).is_err());
+        assert!(Pareto::new(0.0, 1.0).is_err());
+        assert!(Zipf::new(0.0, 1.0).is_err());
+    }
+}

@@ -1,0 +1,23 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build environment has no crates.io access, so this stub keeps the
+//! workspace's `#[derive(Serialize, Deserialize)]` annotations compiling
+//! without pulling in the real framework: [`Serialize`] and
+//! [`Deserialize`] are marker traits blanket-implemented for every type,
+//! and the re-exported derives expand to nothing. Code that actually
+//! reads or writes JSON uses the vendored `serde_json`'s `ToJson` /
+//! `FromJson` traits, which are implemented by hand where needed.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker for serializable types (blanket-implemented; see crate docs).
+pub trait Serialize {}
+
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker for deserializable types (blanket-implemented; see crate docs).
+pub trait Deserialize<'de> {}
+
+impl<'de, T: ?Sized> Deserialize<'de> for T {}

@@ -1,0 +1,20 @@
+//! No-op derive macros backing the offline `serde` stub.
+//!
+//! The stub `serde` crate blanket-implements its marker traits, so these
+//! derives only need to exist for `#[derive(Serialize, Deserialize)]`
+//! attributes to parse; they expand to nothing. Types that genuinely
+//! serialize implement `serde_json::ToJson`/`FromJson` by hand.
+
+use proc_macro::TokenStream;
+
+/// Expands to nothing; `serde::Serialize` is blanket-implemented.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Expands to nothing; `serde::Deserialize` is blanket-implemented.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -1,0 +1,614 @@
+//! Offline stand-in for `serde_json`.
+//!
+//! A self-contained JSON implementation covering what this workspace
+//! needs: a [`Value`] model, a strict parser ([`from_str`]), compact and
+//! pretty writers ([`to_writer`], [`to_string_pretty`]), and a [`json!`]
+//! macro. Because the vendored `serde` is derive-free, types that really
+//! serialize implement [`ToJson`] / [`FromJson`] by hand — a few lines
+//! each, and the on-disk format stays the same as serde's external
+//! tagging for the enums involved.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Write as _;
+
+mod parse;
+
+pub use parse::from_str_value;
+
+/// A JSON document.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A non-negative integer.
+    UInt(u64),
+    /// A negative integer.
+    Int(i64),
+    /// A floating-point number.
+    Float(f64),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object; insertion-ordered so output is deterministic.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Member of an object by key.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as a u64, if it is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Value::UInt(n) => Some(n),
+            Value::Int(n) if n >= 0 => Some(n as u64),
+            _ => None,
+        }
+    }
+
+    /// The value as an f64, if numeric.
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Value::UInt(n) => Some(n as f64),
+            Value::Int(n) => Some(n as f64),
+            Value::Float(f) => Some(f),
+            _ => None,
+        }
+    }
+
+    /// The value as a bool.
+    pub fn as_bool(&self) -> Option<bool> {
+        match *self {
+            Value::Bool(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// Compact serialization.
+    pub fn to_json_string(&self) -> String {
+        let mut out = String::new();
+        write_compact(self, &mut out);
+        out
+    }
+
+    /// Pretty serialization with two-space indentation.
+    pub fn to_json_string_pretty(&self) -> String {
+        let mut out = String::new();
+        write_pretty(self, &mut out, 0);
+        out
+    }
+}
+
+/// Error raised by parsing or conversion.
+#[derive(Clone, Debug)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    /// Creates an error with the given message.
+    pub fn msg(msg: impl Into<String>) -> Self {
+        Error { msg: msg.into() }
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<Error> for std::io::Error {
+    fn from(e: Error) -> Self {
+        std::io::Error::new(std::io::ErrorKind::InvalidData, e.msg)
+    }
+}
+
+/// Types that can render themselves as a JSON [`Value`].
+pub trait ToJson {
+    /// The value representation.
+    fn to_json(&self) -> Value;
+}
+
+/// Types that can be rebuilt from a JSON [`Value`].
+pub trait FromJson: Sized {
+    /// Rebuilds the type, or explains why the value does not fit.
+    fn from_json(v: &Value) -> Result<Self, Error>;
+}
+
+impl ToJson for Value {
+    fn to_json(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl FromJson for Value {
+    fn from_json(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
+macro_rules! to_json_uint {
+    ($($t:ty),*) => {$(
+        impl ToJson for $t {
+            fn to_json(&self) -> Value { Value::UInt(*self as u64) }
+        }
+        impl FromJson for $t {
+            fn from_json(v: &Value) -> Result<Self, Error> {
+                let n = v.as_u64().ok_or_else(|| Error::msg("expected unsigned integer"))?;
+                <$t>::try_from(n).map_err(|_| Error::msg("integer out of range"))
+            }
+        }
+    )*};
+}
+
+to_json_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! to_json_int {
+    ($($t:ty),*) => {$(
+        impl ToJson for $t {
+            fn to_json(&self) -> Value {
+                let n = *self as i64;
+                if n >= 0 { Value::UInt(n as u64) } else { Value::Int(n) }
+            }
+        }
+        impl FromJson for $t {
+            fn from_json(v: &Value) -> Result<Self, Error> {
+                match *v {
+                    Value::UInt(n) => <$t>::try_from(n).map_err(|_| Error::msg("integer out of range")),
+                    Value::Int(n) => <$t>::try_from(n).map_err(|_| Error::msg("integer out of range")),
+                    _ => Err(Error::msg("expected integer")),
+                }
+            }
+        }
+    )*};
+}
+
+to_json_int!(i8, i16, i32, i64, isize);
+
+impl ToJson for f64 {
+    fn to_json(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+
+impl FromJson for f64 {
+    fn from_json(v: &Value) -> Result<Self, Error> {
+        v.as_f64().ok_or_else(|| Error::msg("expected number"))
+    }
+}
+
+impl ToJson for f32 {
+    fn to_json(&self) -> Value {
+        Value::Float(*self as f64)
+    }
+}
+
+impl ToJson for bool {
+    fn to_json(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl FromJson for bool {
+    fn from_json(v: &Value) -> Result<Self, Error> {
+        v.as_bool().ok_or_else(|| Error::msg("expected bool"))
+    }
+}
+
+impl ToJson for str {
+    fn to_json(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl ToJson for String {
+    fn to_json(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl FromJson for String {
+    fn from_json(v: &Value) -> Result<Self, Error> {
+        v.as_str()
+            .map(str::to_string)
+            .ok_or_else(|| Error::msg("expected string"))
+    }
+}
+
+impl<T: ToJson + ?Sized> ToJson for &T {
+    fn to_json(&self) -> Value {
+        (**self).to_json()
+    }
+}
+
+impl<T: ToJson> ToJson for [T] {
+    fn to_json(&self) -> Value {
+        Value::Array(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl<T: ToJson> ToJson for Vec<T> {
+    fn to_json(&self) -> Value {
+        self.as_slice().to_json()
+    }
+}
+
+impl<T: FromJson> FromJson for Vec<T> {
+    fn from_json(v: &Value) -> Result<Self, Error> {
+        v.as_array()
+            .ok_or_else(|| Error::msg("expected array"))?
+            .iter()
+            .map(T::from_json)
+            .collect()
+    }
+}
+
+impl<T: ToJson> ToJson for Option<T> {
+    fn to_json(&self) -> Value {
+        match self {
+            Some(v) => v.to_json(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<A: ToJson, B: ToJson> ToJson for (A, B) {
+    fn to_json(&self) -> Value {
+        Value::Array(vec![self.0.to_json(), self.1.to_json()])
+    }
+}
+
+impl<A: ToJson, B: ToJson, C: ToJson> ToJson for (A, B, C) {
+    fn to_json(&self) -> Value {
+        Value::Array(vec![self.0.to_json(), self.1.to_json(), self.2.to_json()])
+    }
+}
+
+macro_rules! value_from_uint {
+    ($($t:ty),*) => {$(impl From<$t> for Value { fn from(v: $t) -> Value { Value::UInt(v as u64) } })*};
+}
+
+value_from_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! value_from_int {
+    ($($t:ty),*) => {$(impl From<$t> for Value {
+        fn from(v: $t) -> Value {
+            if v >= 0 { Value::UInt(v as u64) } else { Value::Int(v as i64) }
+        }
+    })*};
+}
+
+value_from_int!(i8, i16, i32, i64, isize);
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Value {
+        Value::Float(v)
+    }
+}
+
+impl From<f32> for Value {
+    fn from(v: f32) -> Value {
+        Value::Float(v as f64)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Value {
+        Value::Bool(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Value {
+        Value::String(v.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Value {
+        Value::String(v)
+    }
+}
+
+impl<T> From<Vec<T>> for Value
+where
+    Value: From<T>,
+{
+    fn from(v: Vec<T>) -> Value {
+        Value::Array(v.into_iter().map(Value::from).collect())
+    }
+}
+
+/// Serializes `value` compactly into a writer.
+pub fn to_writer<W: std::io::Write, T: ToJson + ?Sized>(
+    mut writer: W,
+    value: &T,
+) -> std::io::Result<()> {
+    writer.write_all(value.to_json().to_json_string().as_bytes())
+}
+
+/// Serializes `value` compactly into a string.
+pub fn to_string<T: ToJson + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(value.to_json().to_json_string())
+}
+
+/// Serializes `value` as indented JSON.
+pub fn to_string_pretty<T: ToJson + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(value.to_json().to_json_string_pretty())
+}
+
+/// Parses a JSON document into `T`.
+pub fn from_str<T: FromJson>(s: &str) -> Result<T, Error> {
+    T::from_json(&parse::from_str_value(s)?)
+}
+
+fn write_escaped(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0C}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn write_number(f: f64, out: &mut String) {
+    if f.is_finite() {
+        // `{}` is Rust's shortest round-trip float formatting; force a
+        // decimal point so the value reads back as a float.
+        let s = format!("{f}");
+        out.push_str(&s);
+        if !s.contains(['.', 'e', 'E']) {
+            out.push_str(".0");
+        }
+    } else {
+        out.push_str("null");
+    }
+}
+
+fn write_compact(v: &Value, out: &mut String) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::UInt(n) => {
+            let _ = write!(out, "{n}");
+        }
+        Value::Int(n) => {
+            let _ = write!(out, "{n}");
+        }
+        Value::Float(f) => write_number(*f, out),
+        Value::String(s) => write_escaped(s, out),
+        Value::Array(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_compact(item, out);
+            }
+            out.push(']');
+        }
+        Value::Object(members) => {
+            out.push('{');
+            for (i, (k, item)) in members.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_escaped(k, out);
+                out.push(':');
+                write_compact(item, out);
+            }
+            out.push('}');
+        }
+    }
+}
+
+fn write_pretty(v: &Value, out: &mut String, indent: usize) {
+    match v {
+        Value::Array(items) if !items.is_empty() => {
+            out.push_str("[\n");
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                for _ in 0..indent + 2 {
+                    out.push(' ');
+                }
+                write_pretty(item, out, indent + 2);
+            }
+            out.push('\n');
+            for _ in 0..indent {
+                out.push(' ');
+            }
+            out.push(']');
+        }
+        Value::Object(members) if !members.is_empty() => {
+            out.push_str("{\n");
+            for (i, (k, item)) in members.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                for _ in 0..indent + 2 {
+                    out.push(' ');
+                }
+                write_escaped(k, out);
+                out.push_str(": ");
+                write_pretty(item, out, indent + 2);
+            }
+            out.push('\n');
+            for _ in 0..indent {
+                out.push(' ');
+            }
+            out.push('}');
+        }
+        other => write_compact(other, out),
+    }
+}
+
+/// Builds a [`Value`] from JSON-like syntax: objects with literal string
+/// keys, arrays, `null`, and arbitrary Rust expressions as leaves.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ({ $($tt:tt)* }) => {
+        $crate::json_object_members!(@acc [] $($tt)*)
+    };
+    ([ $($tt:tt)* ]) => {
+        $crate::json_array_items!(@acc [] $($tt)*)
+    };
+    ($other:expr) => { $crate::Value::from($other) };
+}
+
+/// Implementation detail of [`json!`]: munches `"key": value` pairs into
+/// one `vec![..]` accumulator.
+#[macro_export]
+#[doc(hidden)]
+macro_rules! json_object_members {
+    (@acc [$($acc:tt)*]) => {
+        $crate::Value::Object(vec![$($acc)*])
+    };
+    (@acc [$($acc:tt)*] $k:literal : null $(, $($rest:tt)*)?) => {
+        $crate::json_object_members!(@acc [$($acc)* ($k.to_string(), $crate::Value::Null),] $($($rest)*)?)
+    };
+    (@acc [$($acc:tt)*] $k:literal : { $($v:tt)* } $(, $($rest:tt)*)?) => {
+        $crate::json_object_members!(@acc [$($acc)* ($k.to_string(), $crate::json!({ $($v)* })),] $($($rest)*)?)
+    };
+    (@acc [$($acc:tt)*] $k:literal : [ $($v:tt)* ] $(, $($rest:tt)*)?) => {
+        $crate::json_object_members!(@acc [$($acc)* ($k.to_string(), $crate::json!([ $($v)* ])),] $($($rest)*)?)
+    };
+    (@acc [$($acc:tt)*] $k:literal : $v:expr , $($rest:tt)*) => {
+        $crate::json_object_members!(@acc [$($acc)* ($k.to_string(), $crate::Value::from($v)),] $($rest)*)
+    };
+    (@acc [$($acc:tt)*] $k:literal : $v:expr) => {
+        $crate::json_object_members!(@acc [$($acc)* ($k.to_string(), $crate::Value::from($v)),])
+    };
+}
+
+/// Implementation detail of [`json!`]: munches array elements into one
+/// `vec![..]` accumulator.
+#[macro_export]
+#[doc(hidden)]
+macro_rules! json_array_items {
+    (@acc [$($acc:tt)*]) => {
+        $crate::Value::Array(vec![$($acc)*])
+    };
+    (@acc [$($acc:tt)*] null $(, $($rest:tt)*)?) => {
+        $crate::json_array_items!(@acc [$($acc)* $crate::Value::Null,] $($($rest)*)?)
+    };
+    (@acc [$($acc:tt)*] { $($v:tt)* } $(, $($rest:tt)*)?) => {
+        $crate::json_array_items!(@acc [$($acc)* $crate::json!({ $($v)* }),] $($($rest)*)?)
+    };
+    (@acc [$($acc:tt)*] [ $($v:tt)* ] $(, $($rest:tt)*)?) => {
+        $crate::json_array_items!(@acc [$($acc)* $crate::json!([ $($v)* ]),] $($($rest)*)?)
+    };
+    (@acc [$($acc:tt)*] $v:expr , $($rest:tt)*) => {
+        $crate::json_array_items!(@acc [$($acc)* $crate::Value::from($v),] $($rest)*)
+    };
+    (@acc [$($acc:tt)*] $v:expr) => {
+        $crate::json_array_items!(@acc [$($acc)* $crate::Value::from($v),])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_document() {
+        let v = json!({
+            "version": 1u32,
+            "sizes": [100u64, 200u64, 300u64],
+            "nested": { "pi": 3.5, "ok": true, "none": null },
+            "name": "trace",
+        });
+        let s = v.to_json_string();
+        let back: Value = from_str(&s).unwrap();
+        assert_eq!(back, v);
+        assert_eq!(back.get("version").unwrap().as_u64(), Some(1));
+        assert_eq!(
+            back.get("nested").unwrap().get("pi").unwrap().as_f64(),
+            Some(3.5)
+        );
+        assert_eq!(back.get("name").unwrap().as_str(), Some("trace"));
+    }
+
+    #[test]
+    fn string_escapes_round_trip() {
+        let v = Value::String("a\"b\\c\nd\te\u{1F600}\u{01}".to_string());
+        let back: Value = from_str(&v.to_json_string()).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn numbers_preserve_integers() {
+        let back: Value = from_str("18446744073709551615").unwrap();
+        assert_eq!(back, Value::UInt(u64::MAX));
+        let back: Value = from_str("-42").unwrap();
+        assert_eq!(back, Value::Int(-42));
+        let back: Value = from_str("2.5e3").unwrap();
+        assert_eq!(back, Value::Float(2500.0));
+    }
+
+    #[test]
+    fn pretty_output_parses_back() {
+        let v = json!({ "a": [1u32, 2u32], "b": { "c": "x" } });
+        let back: Value = from_str(&v.to_json_string_pretty()).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn typed_round_trips() {
+        let xs = vec![1u64, 5, 9];
+        let s = to_string(&xs).unwrap();
+        let back: Vec<u64> = from_str(&s).unwrap();
+        assert_eq!(back, xs);
+        let pair = (0.5f64, "hi".to_string());
+        assert_eq!(to_string(&pair).unwrap(), "[0.5,\"hi\"]");
+    }
+
+    #[test]
+    fn parse_errors_reported() {
+        assert!(from_str::<Value>("{\"a\":").is_err());
+        assert!(from_str::<Value>("[1,]").is_err());
+        assert!(from_str::<Value>("tru").is_err());
+        assert!(from_str::<Value>("1 2").is_err());
+    }
+}
