@@ -55,13 +55,20 @@ impl CompiledQuery {
 /// assert!(q.estimate.bytes > 0);
 /// # Ok::<(), delta_query::QueryError>(())
 /// ```
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct Compiler {
     schema: Schema,
     sky: SkyModel,
     mapper: SpatialMapper,
     samples: usize,
 }
+
+// The server hands one compiler clone to every connection thread; keep
+// the frontend shippable across threads by construction.
+const _: fn() = || {
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Compiler>();
+};
 
 impl Compiler {
     /// Creates a compiler over a schema, sky model and object partition.
@@ -111,6 +118,16 @@ impl Compiler {
             objects,
             estimate,
         })
+    }
+
+    /// Compiles one SQL query straight to the trace event at sequence
+    /// number `seq` — the one-call path wire servers use.
+    ///
+    /// # Errors
+    /// Returns [`QueryError`] when the text does not parse or does not
+    /// validate against the schema.
+    pub fn compile_event(&self, sql: &str, seq: u64) -> Result<QueryEvent, QueryError> {
+        Ok(self.compile(sql)?.into_event(seq))
     }
 
     /// Compiles a batch of queries, assigning consecutive sequence

@@ -50,6 +50,9 @@ pub mod token;
 
 pub use analyze::{analyze, AnalyzedQuery};
 pub use ast::{CmpOp, Predicate, Projection, Query, Shape};
+/// The name the service layer knows the frontend by: a per-connection,
+/// `Send` + `Clone` SQL → [`delta_workload::QueryEvent`] compiler.
+pub use compile::Compiler as QueryCompiler;
 pub use compile::{CompiledQuery, Compiler};
 pub use error::{AnalyzeError, ParseError, QueryError};
 pub use estimate::{Estimator, SizeEstimate};

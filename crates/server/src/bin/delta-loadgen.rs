@@ -4,7 +4,8 @@
 //! ```text
 //! delta-loadgen --addr 127.0.0.1:7117
 //!               [--trace trace.jsonl | --preset small|paper]
-//!               [--limit N] [--clients C] [--shutdown]
+//!               [--limit N] [--clients C]
+//!               [--batch N] [--pipeline W] [--shutdown]
 //! ```
 //!
 //! With `--clients C`, the trace is dealt round-robin over C connections
@@ -12,11 +13,19 @@
 //! connection, not across them — useful for throughput smoke tests; use
 //! the default single client for simulator-equivalent replays).
 //!
+//! `--batch N` packs up to N consecutive events into one `Batch` frame
+//! (one round-trip, one channel send per touched shard), and
+//! `--pipeline W` keeps up to W frames in flight per connection over
+//! tagged frames. Both default to 1, which is the PR-1 lockstep replay.
+//! Per-shard event order is preserved in every mode, so per-shard
+//! ledgers still match the offline `shard_trace` twin; only cross-shard
+//! interleaving varies.
+//!
 //! After the replay it fetches the statistics snapshot, prints the
 //! per-shard table, and verifies that the per-shard ledgers sum to the
 //! aggregate totals.
 
-use delta_server::DeltaClient;
+use delta_server::{BatchItem, BatchReply, DeltaClient, Request, Response};
 use delta_workload::{Event, Trace, WorkloadConfig};
 use std::process::exit;
 use std::time::Instant;
@@ -27,13 +36,15 @@ struct Args {
     preset: String,
     limit: usize,
     clients: usize,
+    batch: usize,
+    pipeline: usize,
     shutdown: bool,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: delta-loadgen --addr ADDR [--trace FILE | --preset small|paper] \
-         [--limit N] [--clients C] [--shutdown]"
+         [--limit N] [--clients C] [--batch N] [--pipeline W] [--shutdown]"
     );
     exit(2);
 }
@@ -45,6 +56,8 @@ fn parse_args() -> Args {
         preset: "small".to_string(),
         limit: usize::MAX,
         clients: 1,
+        batch: 1,
+        pipeline: 1,
         shutdown: false,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -59,6 +72,8 @@ fn parse_args() -> Args {
             "--preset" => args.preset = value(&argv, i),
             "--limit" => args.limit = value(&argv, i).parse().unwrap_or_else(|_| usage()),
             "--clients" => args.clients = value(&argv, i).parse().unwrap_or_else(|_| usage()),
+            "--batch" => args.batch = value(&argv, i).parse().unwrap_or_else(|_| usage()),
+            "--pipeline" => args.pipeline = value(&argv, i).parse().unwrap_or_else(|_| usage()),
             "--shutdown" => {
                 args.shutdown = true;
                 i += 1;
@@ -78,6 +93,8 @@ fn parse_args() -> Args {
     if args.clients == 0 {
         args.clients = 1;
     }
+    args.batch = args.batch.max(1);
+    args.pipeline = args.pipeline.max(1);
     args
 }
 
@@ -99,7 +116,20 @@ fn load_trace(args: &Args) -> Trace {
     trace.truncated(args.limit)
 }
 
-fn replay(addr: &str, events: &[Event]) -> std::io::Result<(u64, u64, u64)> {
+/// Replay totals: queries sent, updates sent, shard sub-queries fanned.
+type Totals = (u64, u64, u64);
+
+fn replay(addr: &str, events: &[Event], batch: usize, pipeline: usize) -> std::io::Result<Totals> {
+    if batch == 1 && pipeline == 1 {
+        replay_lockstep(addr, events)
+    } else if pipeline == 1 {
+        replay_batched(addr, events, batch)
+    } else {
+        replay_pipelined(addr, events, batch, pipeline)
+    }
+}
+
+fn replay_lockstep(addr: &str, events: &[Event]) -> std::io::Result<Totals> {
     let mut client = DeltaClient::connect(addr)?;
     let (mut queries, mut updates, mut sub_queries) = (0u64, 0u64, 0u64);
     for event in events {
@@ -118,16 +148,106 @@ fn replay(addr: &str, events: &[Event]) -> std::io::Result<(u64, u64, u64)> {
     Ok((queries, updates, sub_queries))
 }
 
+fn to_items(events: &[Event]) -> Vec<BatchItem> {
+    events
+        .iter()
+        .map(|e| match e {
+            Event::Query(q) => BatchItem::Query(q.clone()),
+            Event::Update(u) => BatchItem::Update(*u),
+        })
+        .collect()
+}
+
+fn tally_batch(replies: &[BatchReply], totals: &mut Totals) -> std::io::Result<()> {
+    for reply in replies {
+        match reply {
+            BatchReply::Query { shards_touched, .. } => {
+                totals.0 += 1;
+                totals.2 += *shards_touched as u64;
+            }
+            BatchReply::Update { .. } => totals.1 += 1,
+            BatchReply::Error { code, message } => {
+                return Err(std::io::Error::other(format!(
+                    "batch item failed: server error {code}: {message}"
+                )));
+            }
+        }
+    }
+    Ok(())
+}
+
+fn tally_response(response: &Response, totals: &mut Totals) -> std::io::Result<()> {
+    match response {
+        Response::QueryOk { shards_touched, .. } => {
+            totals.0 += 1;
+            totals.2 += *shards_touched as u64;
+        }
+        Response::UpdateOk { .. } => totals.1 += 1,
+        Response::BatchOk(replies) => tally_batch(replies, totals)?,
+        Response::Error { code, message } => {
+            return Err(std::io::Error::other(format!(
+                "server error {code}: {message}"
+            )));
+        }
+        other => {
+            return Err(std::io::Error::other(format!(
+                "unexpected response {other:?}"
+            )));
+        }
+    }
+    Ok(())
+}
+
+fn replay_batched(addr: &str, events: &[Event], batch: usize) -> std::io::Result<Totals> {
+    let mut client = DeltaClient::connect(addr)?;
+    let mut totals = (0u64, 0u64, 0u64);
+    for chunk in events.chunks(batch) {
+        let replies = client.batch(&to_items(chunk))?;
+        tally_batch(&replies, &mut totals)?;
+    }
+    Ok(totals)
+}
+
+fn replay_pipelined(
+    addr: &str,
+    events: &[Event],
+    batch: usize,
+    window: usize,
+) -> std::io::Result<Totals> {
+    let mut pipe = DeltaClient::connect(addr)?.pipelined(window);
+    let mut totals = (0u64, 0u64, 0u64);
+    for chunk in events.chunks(batch) {
+        let request = if batch == 1 {
+            match &chunk[0] {
+                Event::Query(q) => Request::Query(q.clone()),
+                Event::Update(u) => Request::Update(*u),
+            }
+        } else {
+            Request::Batch(to_items(chunk))
+        };
+        pipe.submit(&request)?;
+        for (_corr, response) in pipe.completed() {
+            tally_response(&response, &mut totals)?;
+        }
+    }
+    for (_corr, response) in pipe.drain()? {
+        tally_response(&response, &mut totals)?;
+    }
+    Ok(totals)
+}
+
 fn main() {
     let args = parse_args();
     let trace = load_trace(&args);
     eprintln!(
-        "replaying {} events ({} queries, {} updates) against {} over {} client(s)",
+        "replaying {} events ({} queries, {} updates) against {} over {} client(s), batch={}, pipeline={}",
         trace.len(),
         trace.n_queries(),
         trace.n_updates(),
         args.addr,
         args.clients,
+        args.batch,
+        args.pipeline,
     );
 
     // Baseline snapshot, so the post-replay consistency check measures
@@ -141,7 +261,7 @@ fn main() {
 
     let start = Instant::now();
     let (queries, updates, sub_queries) = if args.clients == 1 {
-        replay(&args.addr, &trace.events).unwrap_or_else(|e| {
+        replay(&args.addr, &trace.events, args.batch, args.pipeline).unwrap_or_else(|e| {
             eprintln!("delta-loadgen: replay failed: {e}");
             exit(1);
         })
@@ -161,7 +281,7 @@ fn main() {
         std::thread::scope(|scope| {
             let handles: Vec<_> = lanes
                 .iter()
-                .map(|lane| scope.spawn(|| replay(&args.addr, lane)))
+                .map(|lane| scope.spawn(|| replay(&args.addr, lane, args.batch, args.pipeline)))
                 .collect();
             let mut totals = (0u64, 0u64, 0u64);
             for h in handles {

@@ -10,7 +10,15 @@
 //!               [--policy vcover|benefit|nocache|replica]
 //!               [--seed N]
 //!               [--trace trace.jsonl | --preset small|paper]
+//!               [--sql-preset small|paper | --no-sql]
 //! ```
+//!
+//! When the catalog comes from a preset, the daemon also builds the SQL
+//! frontend from the same preset (schema, sky model, spatial partition),
+//! so clients can send raw SQL in `Sql` frames; `--no-sql` opts out.
+//! With `--trace`, pass `--sql-preset` naming the preset the trace was
+//! generated from (the server refuses a frontend whose partition does
+//! not match the served catalog).
 //!
 //! The daemon prints the bound address, serves until a client sends a
 //! `Shutdown` frame (or SIGINT terminates the process), then prints the
@@ -26,6 +34,8 @@ struct Args {
     cache_fraction: f64,
     trace: Option<String>,
     preset: String,
+    sql_preset: Option<String>,
+    no_sql: bool,
 }
 
 fn usage() -> ! {
@@ -33,7 +43,8 @@ fn usage() -> ! {
         "usage: delta-serverd [--bind ADDR] [--shards N] \
          [--cache-fraction F | --cache-bytes N] \
          [--policy vcover|benefit|nocache|replica] [--seed N] \
-         [--trace FILE | --preset small|paper]"
+         [--trace FILE | --preset small|paper] \
+         [--sql-preset small|paper | --no-sql]"
     );
     exit(2);
 }
@@ -44,6 +55,8 @@ fn parse_args() -> Args {
         cache_fraction: 0.3,
         trace: None,
         preset: "small".to_string(),
+        sql_preset: None,
+        no_sql: false,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -72,6 +85,12 @@ fn parse_args() -> Args {
             "--seed" => args.config.seed = value(&argv, i).parse().unwrap_or_else(|_| usage()),
             "--trace" => args.trace = Some(value(&argv, i)),
             "--preset" => args.preset = value(&argv, i),
+            "--sql-preset" => args.sql_preset = Some(value(&argv, i)),
+            "--no-sql" => {
+                args.no_sql = true;
+                i += 1;
+                continue;
+            }
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("delta-serverd: unknown flag {other:?}");
@@ -117,6 +136,29 @@ fn main() {
     let catalog = load_catalog(&args);
     if args.config.cache_bytes == 0 {
         args.config.cache_bytes = (catalog.total_bytes() as f64 * args.cache_fraction) as u64;
+    }
+
+    // SQL frontend: from --sql-preset when given, otherwise from the
+    // preset the catalog itself came from (trace-served catalogs have no
+    // implied preset, so SQL stays off unless --sql-preset says which).
+    let frontend_preset = if args.no_sql {
+        None
+    } else if args.sql_preset.is_some() {
+        args.sql_preset.clone()
+    } else if args.trace.is_none() {
+        Some(args.preset.clone())
+    } else {
+        None
+    };
+    if let Some(name) = frontend_preset {
+        let cfg = WorkloadConfig::from_preset(&name).unwrap_or_else(|e| {
+            eprintln!("delta-serverd: {e}");
+            exit(2);
+        });
+        args.config.frontend = Some(cfg);
+        eprintln!("SQL frontend enabled (preset {name})");
+    } else {
+        eprintln!("SQL frontend disabled");
     }
 
     let server = Server::start(args.config.clone(), catalog).unwrap_or_else(|e| {

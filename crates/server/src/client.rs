@@ -1,7 +1,13 @@
-//! Typed client for the delta-server wire protocol.
+//! Typed clients for the delta-server wire protocol: the lockstep
+//! [`DeltaClient`] (one request in flight) and the windowed
+//! [`PipelinedClient`] (many tagged frames in flight, replies matched by
+//! correlation id).
 
-use crate::protocol::{read_frame, write_frame, Request, Response, StatsSnapshot};
-use delta_workload::{QueryEvent, UpdateEvent};
+use crate::protocol::{
+    read_frame, write_frame, BatchItem, BatchReply, Request, Response, SqlStage, StatsSnapshot,
+};
+use delta_workload::{QueryEvent, QueryKind, UpdateEvent};
+use std::collections::HashSet;
 use std::io;
 use std::net::{TcpStream, ToSocketAddrs};
 
@@ -23,6 +29,47 @@ pub struct UpdateReply {
     pub shard: u16,
     /// The object's new version at that shard.
     pub version: u64,
+}
+
+/// Outcome of a successfully compiled and served SQL request.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SqlReply {
+    /// Shards the compiled query fanned out to.
+    pub shards_touched: u16,
+    /// Sub-queries answered from shard caches.
+    pub local_answers: u16,
+    /// Sub-queries shipped to the repository.
+    pub shipped: u16,
+    /// Size of the access set `B(q)` the server compiled.
+    pub objects: u32,
+    /// The estimated result size ν(q) in bytes.
+    pub result_bytes: u64,
+    /// The currency requirement `t(q)` parsed from the text.
+    pub tolerance: u64,
+    /// The server's workload classification of the query.
+    pub kind: QueryKind,
+}
+
+/// A compile rejection from the server's SQL frontend — the wire form of
+/// a [`delta_query::QueryError`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SqlRejection {
+    /// The frontend stage that failed.
+    pub stage: SqlStage,
+    /// Byte span in the SQL text (zero-width for analyze errors).
+    pub span: (u32, u32),
+    /// The rendered diagnostic.
+    pub message: String,
+}
+
+impl std::fmt::Display for SqlRejection {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let stage = match self.stage {
+            SqlStage::Parse => "parse",
+            SqlStage::Analyze => "analyze",
+        };
+        write!(f, "{} error: {}", stage, self.message)
+    }
 }
 
 /// A synchronous connection to a delta-server.
@@ -83,12 +130,184 @@ impl DeltaClient {
         }
     }
 
+    /// Sends raw SQL for server-side compilation at sequence number
+    /// `seq`. The outer `Result` is transport/protocol failure; the
+    /// inner one distinguishes a served query from a typed compile
+    /// rejection.
+    pub fn sql(&mut self, seq: u64, sql: &str) -> io::Result<Result<SqlReply, SqlRejection>> {
+        let request = Request::Sql {
+            seq,
+            sql: sql.to_string(),
+        };
+        write_frame(&mut self.stream, &request.encode())?;
+        let payload = read_frame(&mut self.stream)?;
+        match Response::decode(&payload)? {
+            Response::SqlOk {
+                shards_touched,
+                local_answers,
+                shipped,
+                objects,
+                result_bytes,
+                tolerance,
+                kind,
+            } => Ok(Ok(SqlReply {
+                shards_touched,
+                local_answers,
+                shipped,
+                objects,
+                result_bytes,
+                tolerance,
+                kind,
+            })),
+            Response::SqlRejected {
+                stage,
+                span_start,
+                span_end,
+                message,
+            } => Ok(Err(SqlRejection {
+                stage,
+                span: (span_start, span_end),
+                message,
+            })),
+            Response::Error { code, message } => {
+                Err(io::Error::other(format!("server error {code}: {message}")))
+            }
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Serves many events in one frame, returning one reply per item in
+    /// item order. Per-item failures come back as [`BatchReply::Error`]
+    /// without failing the rest of the batch.
+    pub fn batch(&mut self, items: &[BatchItem]) -> io::Result<Vec<BatchReply>> {
+        match self.round_trip(&Request::Batch(items.to_vec()))? {
+            Response::BatchOk(replies) => Ok(replies),
+            other => Err(unexpected(&other)),
+        }
+    }
+
     /// Asks the server to shut down gracefully.
     pub fn shutdown(&mut self) -> io::Result<()> {
         match self.round_trip(&Request::Shutdown)? {
             Response::ShutdownOk => Ok(()),
             other => Err(unexpected(&other)),
         }
+    }
+
+    /// Converts this client into a pipelined one keeping up to `window`
+    /// tagged requests in flight.
+    pub fn pipelined(self, window: usize) -> PipelinedClient {
+        PipelinedClient {
+            stream: self.stream,
+            window: window.max(1),
+            next_corr: 0,
+            pending: HashSet::new(),
+            completed: Vec::new(),
+        }
+    }
+}
+
+/// A windowed, pipelined connection to a delta-server.
+///
+/// Requests are wrapped in [`Request::Tagged`] frames with increasing
+/// correlation ids; up to `window` of them ride the socket before the
+/// client blocks on replies. Replies are matched by correlation id, so
+/// the client stays correct even if a server reorders responses (today's
+/// server replies strictly in order — the ids are cheap insurance and
+/// let `submit` detect cross-talk immediately).
+///
+/// Responses are *not* interpreted: they accumulate (with their ids) and
+/// are handed back from [`PipelinedClient::completed`] or
+/// [`PipelinedClient::drain`]. That keeps the window logic independent of
+/// the request mix — queries, updates, batches and SQL can interleave in
+/// one pipeline.
+///
+/// The client reads the socket only while the window is full (and on
+/// `drain`), so size the window such that `window ×` the largest
+/// expected response fits comfortably in the socket buffers: extreme
+/// shapes (multi-thousand-item batches × hundreds in flight) can back
+/// responses up until the server's bounded write stalls out. The
+/// loadgen defaults (batch ≤ a few hundred, window ≤ a few dozen) are
+/// orders of magnitude below that regime.
+pub struct PipelinedClient {
+    stream: TcpStream,
+    window: usize,
+    next_corr: u64,
+    pending: HashSet<u64>,
+    completed: Vec<(u64, Response)>,
+}
+
+impl PipelinedClient {
+    /// The correlation ids still awaiting replies.
+    pub fn in_flight(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Submits a request, first reaping replies if the window is full.
+    /// Returns the correlation id assigned to this request.
+    ///
+    /// # Panics
+    /// Panics on [`Request::Tagged`] input — the pipeline does its own
+    /// tagging.
+    pub fn submit(&mut self, request: &Request) -> io::Result<u64> {
+        assert!(
+            !matches!(request, Request::Tagged { .. }),
+            "submit() tags requests itself"
+        );
+        while self.pending.len() >= self.window {
+            self.reap_one()?;
+        }
+        let corr = self.next_corr;
+        self.next_corr += 1;
+        let tagged = Request::Tagged {
+            corr,
+            inner: Box::new(request.clone()),
+        };
+        write_frame(&mut self.stream, &tagged.encode())?;
+        self.pending.insert(corr);
+        Ok(corr)
+    }
+
+    fn reap_one(&mut self) -> io::Result<()> {
+        let payload = read_frame(&mut self.stream)?;
+        match Response::decode(&payload)? {
+            Response::Tagged { corr, inner } => {
+                if !self.pending.remove(&corr) {
+                    return Err(io::Error::other(format!(
+                        "server echoed unknown correlation id {corr}"
+                    )));
+                }
+                self.completed.push((corr, *inner));
+                Ok(())
+            }
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Takes the responses that have arrived so far, tagged with their
+    /// correlation ids, without blocking for more.
+    pub fn completed(&mut self) -> Vec<(u64, Response)> {
+        std::mem::take(&mut self.completed)
+    }
+
+    /// Waits for every outstanding reply, then returns all accumulated
+    /// responses.
+    pub fn drain(&mut self) -> io::Result<Vec<(u64, Response)>> {
+        while !self.pending.is_empty() {
+            self.reap_one()?;
+        }
+        Ok(self.completed())
+    }
+
+    /// Drains the pipeline and converts back into a lockstep client.
+    pub fn into_lockstep(mut self) -> io::Result<(DeltaClient, Vec<(u64, Response)>)> {
+        let responses = self.drain()?;
+        Ok((
+            DeltaClient {
+                stream: self.stream,
+            },
+            responses,
+        ))
     }
 }
 

@@ -1,6 +1,8 @@
-//! Server configuration: shard count, cache budget, policy choice.
+//! Server configuration: shard count, cache budget, policy choice and
+//! the optional SQL frontend.
 
 use delta_core::{Benefit, BenefitConfig, CachingPolicy, NoCache, Replica, VCover};
+use delta_workload::WorkloadConfig;
 
 /// Which decoupling policy each shard runs.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -65,6 +67,12 @@ pub struct ServerConfig {
     pub policy: PolicyKind,
     /// Master seed; shard `s` seeds its policy with `seed + s`.
     pub seed: u64,
+    /// Workload configuration the SQL frontend is built from: its seed,
+    /// blob count and target object count reconstruct the schema / sky
+    /// model / spatial partition that produced the served catalog, so
+    /// `Request::Sql` compiles against the same object mapping. `None`
+    /// disables SQL frames (they get `error_code::SQL_UNAVAILABLE`).
+    pub frontend: Option<WorkloadConfig>,
 }
 
 impl Default for ServerConfig {
@@ -75,6 +83,7 @@ impl Default for ServerConfig {
             cache_bytes: 0,
             policy: PolicyKind::VCover,
             seed: 0xDE17A,
+            frontend: None,
         }
     }
 }
@@ -87,6 +96,10 @@ impl ServerConfig {
         }
         if self.n_shards > u16::MAX as usize {
             return Err("n_shards exceeds u16".into());
+        }
+        if let Some(f) = &self.frontend {
+            f.validate()
+                .map_err(|e| format!("frontend workload config: {e}"))?;
         }
         Ok(())
     }

@@ -4,8 +4,11 @@
 //! rapidly-growing repository; this crate supplies that missing service
 //! layer over the in-process engine:
 //!
-//! * [`protocol`] — a length-prefixed binary wire protocol with `Query`,
-//!   `Update`, `Stats` and `Shutdown` frames.
+//! * [`protocol`] — a length-prefixed binary wire protocol: the
+//!   event-shaped `Query`, `Update`, `Stats` and `Shutdown` frames, plus
+//!   `Sql` (raw SQL compiled server-side into the access set `B(q)`),
+//!   `Batch` (many events in one frame, coalesced per shard) and
+//!   `Tagged` (correlation-id envelope the pipelined client rides).
 //! * [`partition`] — round-robin catalog sharding, exact result-byte
 //!   apportioning and the offline [`partition::shard_trace`] twin that
 //!   makes server runs testable against [`delta_core::simulate`].
@@ -16,7 +19,8 @@
 //! * [`server`] — the TCP listener: per-connection framing threads, shard
 //!   fan-out, wire-byte metering on a [`delta_net::TrafficMeter`], and
 //!   graceful drain on shutdown.
-//! * [`client`] — the typed synchronous client.
+//! * [`client`] — the typed clients: lockstep [`DeltaClient`] and the
+//!   windowed [`PipelinedClient`].
 //!
 //! Everything is std-only (`std::net` + threads), in the style of
 //! `delta_core::deploy`. The binaries `delta-serverd` and `delta-loadgen`
@@ -35,6 +39,7 @@
 //!     cache_bytes: 1_000,
 //!     policy: PolicyKind::VCover,
 //!     seed: 7,
+//!     frontend: None,
 //! };
 //! let server = Server::start(config, catalog).unwrap();
 //! let mut client = DeltaClient::connect(server.local_addr()).unwrap();
@@ -68,8 +73,8 @@ pub mod protocol;
 pub mod server;
 pub mod shard;
 
-pub use client::{DeltaClient, QueryReply, UpdateReply};
+pub use client::{DeltaClient, PipelinedClient, QueryReply, SqlRejection, SqlReply, UpdateReply};
 pub use config::{PolicyKind, ServerConfig};
-pub use partition::{shard_trace, ShardMap};
-pub use protocol::{Request, Response, ShardStats, StatsSnapshot};
+pub use partition::{apportion, shard_trace, ShardMap};
+pub use protocol::{BatchItem, BatchReply, Request, Response, ShardStats, SqlStage, StatsSnapshot};
 pub use server::Server;

@@ -2,14 +2,30 @@
 //!
 //! Frames are length-prefixed binary: a 4-byte big-endian payload length,
 //! then a 1-byte opcode, then opcode-specific fields (integers big-endian,
-//! strings length-prefixed UTF-8). Four request kinds exist — `Query`,
-//! `Update`, `Stats` and `Shutdown` — mirroring the event model of the
-//! in-process simulator so a trace replay over TCP exercises exactly the
-//! decisions `sim::simulate` makes.
+//! strings length-prefixed UTF-8). The event-shaped request kinds —
+//! `Query`, `Update`, `Stats` and `Shutdown` — mirror the event model of
+//! the in-process simulator so a trace replay over TCP exercises exactly
+//! the decisions `sim::simulate` makes. On top of those, three kinds make
+//! the wire a real query interface:
+//!
+//! * [`Request::Sql`] carries raw SQL text; the server compiles it with a
+//!   per-connection [`delta_query::QueryCompiler`] into the access set
+//!   `B(q)` and serves it like any query. Compile failures come back as
+//!   the typed [`Response::SqlRejected`], carrying the
+//!   [`delta_query::QueryError`] stage, span and message.
+//! * [`Request::Batch`] packs many query/update events into one frame;
+//!   the server coalesces each shard's sub-events into a single channel
+//!   send, amortizing the fan-out/join cost, and replies with one
+//!   [`Response::BatchOk`] holding a per-item reply in item order.
+//! * [`Request::Tagged`] wraps any other request with a caller-chosen
+//!   correlation id the server echoes on the [`Response::Tagged`] reply —
+//!   what lets a pipelined client keep a bounded window of frames in
+//!   flight and match replies even if a future server reorders them.
 //!
 //! The protocol is synchronous per connection: every request frame gets
 //! exactly one response frame, in order. Concurrency comes from running
-//! many connections (the server fans each request out to its shards).
+//! many connections (the server fans each request out to its shards) and
+//! from pipelining tagged frames within one.
 
 use delta_core::CostLedger;
 use delta_storage::ObjectId;
@@ -17,7 +33,9 @@ use delta_workload::{QueryEvent, QueryKind, UpdateEvent};
 use std::io::{self, Read, Write};
 
 /// Protocol version; bumped on incompatible frame changes.
-pub const PROTOCOL_VERSION: u8 = 1;
+/// Version 2 added `Sql`, `Batch` and `Tagged` frames (pure additions:
+/// version-1 frames are unchanged on the wire).
+pub const PROTOCOL_VERSION: u8 = 2;
 
 /// Upper bound on a frame payload, to fail fast on corrupt length words.
 pub const MAX_FRAME_BYTES: u32 = 64 * 1024 * 1024;
@@ -26,11 +44,23 @@ const OP_QUERY: u8 = 0x01;
 const OP_UPDATE: u8 = 0x02;
 const OP_STATS: u8 = 0x03;
 const OP_SHUTDOWN: u8 = 0x04;
+const OP_SQL: u8 = 0x05;
+const OP_BATCH: u8 = 0x06;
+const OP_TAGGED: u8 = 0x10;
 const OP_QUERY_OK: u8 = 0x81;
 const OP_UPDATE_OK: u8 = 0x82;
 const OP_STATS_OK: u8 = 0x83;
 const OP_SHUTDOWN_OK: u8 = 0x84;
+const OP_SQL_OK: u8 = 0x85;
+const OP_SQL_REJECTED: u8 = 0x86;
+const OP_BATCH_OK: u8 = 0x87;
+const OP_TAGGED_OK: u8 = 0x90;
 const OP_ERROR: u8 = 0xFF;
+
+/// The smallest encodable [`BatchItem`] (an update: tag + seq + object +
+/// bytes), used to validate attacker-controlled item counts before
+/// allocating.
+const MIN_BATCH_ITEM_BYTES: usize = 1 + 8 + 4 + 8;
 
 /// A client-to-server request.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -39,10 +69,76 @@ pub enum Request {
     Query(QueryEvent),
     /// Apply an update event at the repository.
     Update(UpdateEvent),
+    /// Compile a raw SQL query server-side and serve the result at
+    /// sequence number `seq`.
+    Sql {
+        /// Sequence number the compiled event is stamped with (the
+        /// shard clock clamps it to arrival order, like any event).
+        seq: u64,
+        /// The SQL text, in the frontend's SkyServer-style dialect.
+        sql: String,
+    },
+    /// Serve many events in one frame. Items are processed in order
+    /// *per shard*; items owned by different shards run concurrently.
+    Batch(Vec<BatchItem>),
+    /// Any other request wrapped with a correlation id the server echoes
+    /// back. Tagged frames must not nest.
+    Tagged {
+        /// Caller-chosen correlation id.
+        corr: u64,
+        /// The wrapped request (never itself `Tagged`).
+        inner: Box<Request>,
+    },
     /// Fetch the per-shard and aggregate statistics snapshot.
     Stats,
     /// Stop the server after replying.
     Shutdown,
+}
+
+/// One event inside a [`Request::Batch`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum BatchItem {
+    /// A query event (objects are global catalog ids).
+    Query(QueryEvent),
+    /// An update event.
+    Update(UpdateEvent),
+}
+
+/// The per-item outcome inside a [`Response::BatchOk`], in item order.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum BatchReply {
+    /// The query was served (counts over its shard sub-queries).
+    Query {
+        /// Shards the query touched.
+        shards_touched: u16,
+        /// Sub-queries answered from shard caches.
+        local_answers: u16,
+        /// Sub-queries shipped to the repository.
+        shipped: u16,
+    },
+    /// The update was applied.
+    Update {
+        /// Shard owning the object.
+        shard: u16,
+        /// The object's new version at that shard.
+        version: u64,
+    },
+    /// This item failed; the rest of the batch is unaffected.
+    Error {
+        /// Machine-readable error code (see [`error_code`]).
+        code: u16,
+        /// Human-readable explanation.
+        message: String,
+    },
+}
+
+/// Which frontend stage rejected the SQL of a [`Response::SqlRejected`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SqlStage {
+    /// Lexing/parsing failed; the span points into the SQL text.
+    Parse,
+    /// Semantic analysis against the schema failed.
+    Analyze,
 }
 
 /// Per-shard statistics in a [`Response::StatsOk`] snapshot.
@@ -163,6 +259,45 @@ pub enum Response {
         /// The object's new version at that shard.
         version: u64,
     },
+    /// The SQL compiled and the resulting query was served.
+    SqlOk {
+        /// Shards the compiled query touched.
+        shards_touched: u16,
+        /// Sub-queries answered from shard caches.
+        local_answers: u16,
+        /// Sub-queries shipped to the repository.
+        shipped: u16,
+        /// Size of the access set `B(q)` the compiler produced.
+        objects: u32,
+        /// The estimated result size ν(q) in bytes.
+        result_bytes: u64,
+        /// The currency requirement `t(q)` parsed from the text.
+        tolerance: u64,
+        /// The workload classification of the query.
+        kind: QueryKind,
+    },
+    /// The SQL did not compile; the query was not served. Carries the
+    /// [`delta_query::QueryError`] diagnostics: failing stage, source
+    /// span (zero-width for analyze errors) and rendered message.
+    SqlRejected {
+        /// The frontend stage that failed.
+        stage: SqlStage,
+        /// First byte of the offending SQL text.
+        span_start: u32,
+        /// One past the last offending byte.
+        span_end: u32,
+        /// The rendered diagnostic.
+        message: String,
+    },
+    /// Per-item outcomes of a [`Request::Batch`], in item order.
+    BatchOk(Vec<BatchReply>),
+    /// Reply to a [`Request::Tagged`], echoing its correlation id.
+    Tagged {
+        /// The correlation id from the request.
+        corr: u64,
+        /// The wrapped response (never itself `Tagged`).
+        inner: Box<Response>,
+    },
     /// The statistics snapshot.
     StatsOk(StatsSnapshot),
     /// The server is shutting down.
@@ -184,6 +319,9 @@ pub mod error_code {
     pub const UNKNOWN_OBJECT: u16 = 2;
     /// The server is draining and no longer accepts events.
     pub const SHUTTING_DOWN: u16 = 3;
+    /// The server was started without a SQL frontend (no workload
+    /// preset to build the schema/sky/partition from).
+    pub const SQL_UNAVAILABLE: u16 = 4;
 }
 
 // ---- primitive encoding helpers ----
@@ -213,6 +351,14 @@ impl Enc {
         let len =
             u16::try_from(bytes.len()).expect("protocol strings are short (policy names, errors)");
         self.u16(len);
+        self.buf.extend_from_slice(bytes);
+    }
+    /// A u32-length-prefixed string, for texts that may outgrow u16
+    /// (SQL queries).
+    fn lstr(&mut self, s: &str) {
+        let bytes = s.as_bytes();
+        let len = u32::try_from(bytes.len()).expect("protocol text exceeds u32::MAX bytes");
+        self.u32(len);
         self.buf.extend_from_slice(bytes);
     }
 }
@@ -248,6 +394,13 @@ impl<'a> Dec<'a> {
     }
     fn str(&mut self) -> io::Result<String> {
         let n = self.u16()? as usize;
+        let bytes = self.take(n)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| bad("invalid UTF-8 in frame"))
+    }
+    fn lstr(&mut self) -> io::Result<String> {
+        let n = self.u32()? as usize;
+        // `take` bounds-checks against the payload before any allocation,
+        // so a hostile length cannot force an oversized Vec.
         let bytes = self.take(n)?;
         String::from_utf8(bytes.to_vec()).map_err(|_| bad("invalid UTF-8 in frame"))
     }
@@ -290,6 +443,56 @@ fn kind_from_u8(v: u8) -> io::Result<QueryKind> {
     })
 }
 
+/// Encodes a query event's fields (no opcode/tag byte — callers prefix
+/// their own, so the layout is shared by `Query` frames and batch items).
+fn enc_query_event(e: &mut Enc, q: &QueryEvent) {
+    e.u64(q.seq);
+    e.u64(q.result_bytes);
+    e.u64(q.tolerance);
+    e.u8(kind_to_u8(q.kind));
+    e.u32(u32::try_from(q.objects.len()).expect("query touches more than u32::MAX objects"));
+    for o in &q.objects {
+        e.u32(o.0);
+    }
+}
+
+fn dec_query_event(d: &mut Dec<'_>) -> io::Result<QueryEvent> {
+    let seq = d.u64()?;
+    let result_bytes = d.u64()?;
+    let tolerance = d.u64()?;
+    let kind = kind_from_u8(d.u8()?)?;
+    let n = d.u32()? as usize;
+    // Validate the count against the bytes actually present before
+    // allocating — the count is attacker-controlled.
+    if n > d.remaining() / 4 {
+        return Err(bad("object count exceeds frame payload"));
+    }
+    let mut objects = Vec::with_capacity(n);
+    for _ in 0..n {
+        objects.push(ObjectId(d.u32()?));
+    }
+    Ok(QueryEvent {
+        seq,
+        objects,
+        result_bytes,
+        tolerance,
+        kind,
+    })
+}
+
+fn enc_update_event(e: &mut Enc, u: &UpdateEvent) {
+    e.u64(u.seq);
+    e.u32(u.object.0);
+    e.u64(u.bytes);
+}
+
+fn dec_update_event(d: &mut Dec<'_>) -> io::Result<UpdateEvent> {
+    let seq = d.u64()?;
+    let object = ObjectId(d.u32()?);
+    let bytes = d.u64()?;
+    Ok(UpdateEvent { seq, object, bytes })
+}
+
 fn enc_ledger(e: &mut Enc, l: &CostLedger) {
     e.u64(l.breakdown.query_ship.bytes());
     e.u64(l.breakdown.update_ship.bytes());
@@ -317,28 +520,53 @@ fn dec_ledger(d: &mut Dec<'_>) -> io::Result<CostLedger> {
 
 impl Request {
     /// Encodes the request payload (opcode included, length prefix not).
+    ///
+    /// # Panics
+    /// Panics when asked to encode nested [`Request::Tagged`] frames —
+    /// constructing one is a caller bug, not a wire condition.
     pub fn encode(&self) -> Vec<u8> {
         match self {
             Request::Query(q) => {
                 let mut e = Enc::new(OP_QUERY);
-                e.u64(q.seq);
-                e.u64(q.result_bytes);
-                e.u64(q.tolerance);
-                e.u8(kind_to_u8(q.kind));
-                e.u32(
-                    u32::try_from(q.objects.len())
-                        .expect("query touches more than u32::MAX objects"),
-                );
-                for o in &q.objects {
-                    e.u32(o.0);
-                }
+                enc_query_event(&mut e, q);
                 e.buf
             }
             Request::Update(u) => {
                 let mut e = Enc::new(OP_UPDATE);
-                e.u64(u.seq);
-                e.u32(u.object.0);
-                e.u64(u.bytes);
+                enc_update_event(&mut e, u);
+                e.buf
+            }
+            Request::Sql { seq, sql } => {
+                let mut e = Enc::new(OP_SQL);
+                e.u64(*seq);
+                e.lstr(sql);
+                e.buf
+            }
+            Request::Batch(items) => {
+                let mut e = Enc::new(OP_BATCH);
+                e.u32(u32::try_from(items.len()).expect("batch exceeds u32::MAX items"));
+                for item in items {
+                    match item {
+                        BatchItem::Query(q) => {
+                            e.u8(0);
+                            enc_query_event(&mut e, q);
+                        }
+                        BatchItem::Update(u) => {
+                            e.u8(1);
+                            enc_update_event(&mut e, u);
+                        }
+                    }
+                }
+                e.buf
+            }
+            Request::Tagged { corr, inner } => {
+                assert!(
+                    !matches!(**inner, Request::Tagged { .. }),
+                    "tagged requests must not nest"
+                );
+                let mut e = Enc::new(OP_TAGGED);
+                e.u64(*corr);
+                e.buf.extend_from_slice(&inner.encode());
                 e.buf
             }
             Request::Stats => Enc::new(OP_STATS).buf,
@@ -349,47 +577,59 @@ impl Request {
     /// Decodes a request payload.
     pub fn decode(payload: &[u8]) -> io::Result<Request> {
         let mut d = Dec::new(payload);
-        let req = match d.u8()? {
-            OP_QUERY => {
+        let req = Self::decode_inner(&mut d, true)?;
+        d.finish()?;
+        Ok(req)
+    }
+
+    fn decode_inner(d: &mut Dec<'_>, allow_tagged: bool) -> io::Result<Request> {
+        Ok(match d.u8()? {
+            OP_QUERY => Request::Query(dec_query_event(d)?),
+            OP_UPDATE => Request::Update(dec_update_event(d)?),
+            OP_SQL => {
                 let seq = d.u64()?;
-                let result_bytes = d.u64()?;
-                let tolerance = d.u64()?;
-                let kind = kind_from_u8(d.u8()?)?;
+                let sql = d.lstr()?;
+                Request::Sql { seq, sql }
+            }
+            OP_BATCH => {
                 let n = d.u32()? as usize;
                 // Validate the count against the bytes actually present
                 // before allocating — the count is attacker-controlled.
-                if n > d.remaining() / 4 {
-                    return Err(bad("object count exceeds frame payload"));
+                if n > d.remaining() / MIN_BATCH_ITEM_BYTES {
+                    return Err(bad("batch item count exceeds frame payload"));
                 }
-                let mut objects = Vec::with_capacity(n);
+                let mut items = Vec::with_capacity(n);
                 for _ in 0..n {
-                    objects.push(ObjectId(d.u32()?));
+                    items.push(match d.u8()? {
+                        0 => BatchItem::Query(dec_query_event(d)?),
+                        1 => BatchItem::Update(dec_update_event(d)?),
+                        _ => return Err(bad("unknown batch item tag")),
+                    });
                 }
-                Request::Query(QueryEvent {
-                    seq,
-                    objects,
-                    result_bytes,
-                    tolerance,
-                    kind,
-                })
+                Request::Batch(items)
             }
-            OP_UPDATE => {
-                let seq = d.u64()?;
-                let object = ObjectId(d.u32()?);
-                let bytes = d.u64()?;
-                Request::Update(UpdateEvent { seq, object, bytes })
+            OP_TAGGED if allow_tagged => {
+                let corr = d.u64()?;
+                let inner = Self::decode_inner(d, false)?;
+                Request::Tagged {
+                    corr,
+                    inner: Box::new(inner),
+                }
             }
+            OP_TAGGED => return Err(bad("nested tagged request")),
             OP_STATS => Request::Stats,
             OP_SHUTDOWN => Request::Shutdown,
             _ => return Err(bad("unknown request opcode")),
-        };
-        d.finish()?;
-        Ok(req)
+        })
     }
 }
 
 impl Response {
     /// Encodes the response payload (opcode included, length prefix not).
+    ///
+    /// # Panics
+    /// Panics when asked to encode nested [`Response::Tagged`] frames —
+    /// constructing one is a caller bug, not a wire condition.
     pub fn encode(&self) -> Vec<u8> {
         match self {
             Response::QueryOk {
@@ -407,6 +647,80 @@ impl Response {
                 let mut e = Enc::new(OP_UPDATE_OK);
                 e.u16(*shard);
                 e.u64(*version);
+                e.buf
+            }
+            Response::SqlOk {
+                shards_touched,
+                local_answers,
+                shipped,
+                objects,
+                result_bytes,
+                tolerance,
+                kind,
+            } => {
+                let mut e = Enc::new(OP_SQL_OK);
+                e.u16(*shards_touched);
+                e.u16(*local_answers);
+                e.u16(*shipped);
+                e.u32(*objects);
+                e.u64(*result_bytes);
+                e.u64(*tolerance);
+                e.u8(kind_to_u8(*kind));
+                e.buf
+            }
+            Response::SqlRejected {
+                stage,
+                span_start,
+                span_end,
+                message,
+            } => {
+                let mut e = Enc::new(OP_SQL_REJECTED);
+                e.u8(match stage {
+                    SqlStage::Parse => 0,
+                    SqlStage::Analyze => 1,
+                });
+                e.u32(*span_start);
+                e.u32(*span_end);
+                e.lstr(message);
+                e.buf
+            }
+            Response::BatchOk(replies) => {
+                let mut e = Enc::new(OP_BATCH_OK);
+                e.u32(u32::try_from(replies.len()).expect("batch exceeds u32::MAX items"));
+                for r in replies {
+                    match r {
+                        BatchReply::Query {
+                            shards_touched,
+                            local_answers,
+                            shipped,
+                        } => {
+                            e.u8(0);
+                            e.u16(*shards_touched);
+                            e.u16(*local_answers);
+                            e.u16(*shipped);
+                        }
+                        BatchReply::Update { shard, version } => {
+                            e.u8(1);
+                            e.u16(*shard);
+                            e.u64(*version);
+                        }
+                        BatchReply::Error { code, message } => {
+                            e.u8(2);
+                            e.u16(*code);
+                            e.str(message);
+                        }
+                    }
+                }
+                e.buf
+            }
+            Response::Tagged { corr, inner } => {
+                assert!(
+                    !matches!(**inner, Response::Tagged { .. }),
+                    "tagged responses must not nest"
+                );
+                let mut e = Enc::new(OP_TAGGED_OK);
+                e.u64(*corr);
+                e.buf.extend_from_slice(&inner.encode());
                 e.buf
             }
             Response::StatsOk(snapshot) => {
@@ -436,7 +750,13 @@ impl Response {
     /// Decodes a response payload.
     pub fn decode(payload: &[u8]) -> io::Result<Response> {
         let mut d = Dec::new(payload);
-        let resp = match d.u8()? {
+        let resp = Self::decode_inner(&mut d, true)?;
+        d.finish()?;
+        Ok(resp)
+    }
+
+    fn decode_inner(d: &mut Dec<'_>, allow_tagged: bool) -> io::Result<Response> {
+        Ok(match d.u8()? {
             OP_QUERY_OK => Response::QueryOk {
                 shards_touched: d.u16()?,
                 local_answers: d.u16()?,
@@ -446,6 +766,64 @@ impl Response {
                 shard: d.u16()?,
                 version: d.u64()?,
             },
+            OP_SQL_OK => Response::SqlOk {
+                shards_touched: d.u16()?,
+                local_answers: d.u16()?,
+                shipped: d.u16()?,
+                objects: d.u32()?,
+                result_bytes: d.u64()?,
+                tolerance: d.u64()?,
+                kind: kind_from_u8(d.u8()?)?,
+            },
+            OP_SQL_REJECTED => Response::SqlRejected {
+                stage: match d.u8()? {
+                    0 => SqlStage::Parse,
+                    1 => SqlStage::Analyze,
+                    _ => return Err(bad("unknown SQL error stage")),
+                },
+                span_start: d.u32()?,
+                span_end: d.u32()?,
+                message: d.lstr()?,
+            },
+            OP_BATCH_OK => {
+                let n = d.u32()? as usize;
+                // Smallest reply is an empty-message error: tag + u16
+                // code + u16 length. The guard only bounds allocation;
+                // per-reply decoding still checks every byte.
+                const MIN_BATCH_REPLY_BYTES: usize = 1 + 2 + 2;
+                if n > d.remaining() / MIN_BATCH_REPLY_BYTES {
+                    return Err(bad("batch reply count exceeds frame payload"));
+                }
+                let mut replies = Vec::with_capacity(n);
+                for _ in 0..n {
+                    replies.push(match d.u8()? {
+                        0 => BatchReply::Query {
+                            shards_touched: d.u16()?,
+                            local_answers: d.u16()?,
+                            shipped: d.u16()?,
+                        },
+                        1 => BatchReply::Update {
+                            shard: d.u16()?,
+                            version: d.u64()?,
+                        },
+                        2 => BatchReply::Error {
+                            code: d.u16()?,
+                            message: d.str()?,
+                        },
+                        _ => return Err(bad("unknown batch reply tag")),
+                    });
+                }
+                Response::BatchOk(replies)
+            }
+            OP_TAGGED_OK if allow_tagged => {
+                let corr = d.u64()?;
+                let inner = Self::decode_inner(d, false)?;
+                Response::Tagged {
+                    corr,
+                    inner: Box::new(inner),
+                }
+            }
+            OP_TAGGED_OK => return Err(bad("nested tagged response")),
             OP_STATS_OK => {
                 let n = d.u16()? as usize;
                 let mut shards = Vec::with_capacity(n);
@@ -456,7 +834,7 @@ impl Response {
                     let cache_capacity = d.u64()?;
                     let cache_used = d.u64()?;
                     let residents = d.u64()?;
-                    let ledger = dec_ledger(&mut d)?;
+                    let ledger = dec_ledger(d)?;
                     shards.push(ShardStats {
                         shard,
                         policy,
@@ -475,9 +853,7 @@ impl Response {
                 message: d.str()?,
             },
             _ => return Err(bad("unknown response opcode")),
-        };
-        d.finish()?;
-        Ok(resp)
+        })
     }
 }
 
@@ -539,6 +915,150 @@ mod tests {
         }));
         round_trip_request(Request::Stats);
         round_trip_request(Request::Shutdown);
+    }
+
+    #[test]
+    fn sql_and_batch_requests_round_trip() {
+        round_trip_request(Request::Sql {
+            seq: 77,
+            sql: "SELECT ra FROM PhotoObj WHERE CIRCLE(185.0, 15.3, 0.5)".into(),
+        });
+        round_trip_request(Request::Sql {
+            seq: 0,
+            sql: String::new(),
+        });
+        round_trip_request(Request::Batch(vec![]));
+        round_trip_request(Request::Batch(vec![
+            BatchItem::Query(QueryEvent {
+                seq: 1,
+                objects: vec![ObjectId(4), ObjectId(9)],
+                result_bytes: 640,
+                tolerance: 3,
+                kind: QueryKind::Range,
+            }),
+            BatchItem::Update(UpdateEvent {
+                seq: 2,
+                object: ObjectId(4),
+                bytes: 99,
+            }),
+            BatchItem::Query(QueryEvent {
+                seq: 3,
+                objects: vec![],
+                result_bytes: 0,
+                tolerance: 0,
+                kind: QueryKind::Scan,
+            }),
+        ]));
+        round_trip_request(Request::Tagged {
+            corr: u64::MAX,
+            inner: Box::new(Request::Sql {
+                seq: 5,
+                sql: "SELECT COUNT(*) FROM PhotoObj".into(),
+            }),
+        });
+        round_trip_request(Request::Tagged {
+            corr: 0,
+            inner: Box::new(Request::Stats),
+        });
+    }
+
+    #[test]
+    fn sql_and_batch_responses_round_trip() {
+        round_trip_response(Response::SqlOk {
+            shards_touched: 4,
+            local_answers: 1,
+            shipped: 3,
+            objects: 17,
+            result_bytes: 1 << 40,
+            tolerance: 50,
+            kind: QueryKind::Cone,
+        });
+        round_trip_response(Response::SqlRejected {
+            stage: SqlStage::Parse,
+            span_start: 3,
+            span_end: 9,
+            message: "expected FROM".into(),
+        });
+        round_trip_response(Response::SqlRejected {
+            stage: SqlStage::Analyze,
+            span_start: 0,
+            span_end: 0,
+            message: "unknown column `zap` in table `PhotoObj`".into(),
+        });
+        round_trip_response(Response::BatchOk(vec![]));
+        round_trip_response(Response::BatchOk(vec![
+            BatchReply::Query {
+                shards_touched: 2,
+                local_answers: 2,
+                shipped: 0,
+            },
+            BatchReply::Update {
+                shard: 1,
+                version: 12,
+            },
+            BatchReply::Error {
+                code: error_code::UNKNOWN_OBJECT,
+                message: "object 99 is outside the catalog".into(),
+            },
+        ]));
+        round_trip_response(Response::Tagged {
+            corr: 42,
+            inner: Box::new(Response::QueryOk {
+                shards_touched: 1,
+                local_answers: 1,
+                shipped: 0,
+            }),
+        });
+        // Regression: the smallest real reply (empty-message error) must
+        // pass the count-vs-payload guard.
+        round_trip_response(Response::BatchOk(vec![BatchReply::Error {
+            code: 1,
+            message: String::new(),
+        }]));
+    }
+
+    #[test]
+    fn nested_tagged_frames_rejected() {
+        // A hand-built doubly-tagged request payload must not decode.
+        let inner = Request::Tagged {
+            corr: 1,
+            inner: Box::new(Request::Stats),
+        }
+        .encode();
+        let mut payload = vec![0x10u8];
+        payload.extend_from_slice(&2u64.to_be_bytes());
+        payload.extend_from_slice(&inner);
+        assert!(Request::decode(&payload).is_err());
+
+        let inner = Response::Tagged {
+            corr: 1,
+            inner: Box::new(Response::ShutdownOk),
+        }
+        .encode();
+        let mut payload = vec![0x90u8];
+        payload.extend_from_slice(&2u64.to_be_bytes());
+        payload.extend_from_slice(&inner);
+        assert!(Response::decode(&payload).is_err());
+    }
+
+    #[test]
+    fn hostile_batch_count_rejected_without_allocation() {
+        // A tiny frame claiming u32::MAX items must fail on the
+        // count-vs-payload check, not by reserving a giant Vec.
+        let mut payload = vec![0x06u8]; // OP_BATCH
+        payload.extend_from_slice(&u32::MAX.to_be_bytes());
+        payload.push(1); // one truncated update item
+        let err = Request::decode(&payload).unwrap_err();
+        assert!(err.to_string().contains("batch item count"), "{err}");
+    }
+
+    #[test]
+    fn hostile_sql_length_rejected_without_allocation() {
+        let mut payload = vec![0x05u8]; // OP_SQL
+        payload.extend_from_slice(&1u64.to_be_bytes()); // seq
+        payload.extend_from_slice(&u32::MAX.to_be_bytes()); // text length
+        payload.extend_from_slice(b"SELECT"); // far fewer bytes present
+        assert!(Request::decode(&payload).is_err());
     }
 
     #[test]

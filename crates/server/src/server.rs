@@ -11,11 +11,15 @@
 //! audit protocol overhead separately from the policy-level ledgers.
 
 use crate::config::ServerConfig;
-use crate::partition::ShardMap;
-use crate::protocol::{error_code, write_frame, Request, Response, ShardStats, StatsSnapshot};
-use crate::shard::{spawn_shard, ShardHandle, ShardReply, ShardRequest};
+use crate::partition::{apportion, ShardMap};
+use crate::protocol::{
+    error_code, write_frame, BatchItem, BatchReply, Request, Response, ShardStats, SqlStage,
+    StatsSnapshot,
+};
+use crate::shard::{spawn_shard, OpOutcome, ShardHandle, ShardOp, ShardReply, ShardRequest};
 use crossbeam::channel::unbounded;
 use delta_net::{TrafficClass, TrafficMeter};
+use delta_query::{QueryCompiler, QueryError, Schema};
 use delta_storage::{ObjectCatalog, ObjectId};
 use delta_workload::QueryEvent;
 use std::io;
@@ -42,6 +46,44 @@ impl Server {
         config
             .validate()
             .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e))?;
+        if config.n_shards > catalog.len() {
+            // A shard with an empty sub-catalog cannot host a repository
+            // slice; refuse cleanly instead of panicking mid-start.
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!(
+                    "{} shards but only {} catalog objects",
+                    config.n_shards,
+                    catalog.len()
+                ),
+            ));
+        }
+        // Build the SQL frontend before binding: a frontend whose spatial
+        // partition disagrees with the served catalog would compile
+        // queries against the wrong object mapping.
+        let frontend = match &config.frontend {
+            None => None,
+            Some(wcfg) => {
+                let mapper = wcfg.spatial_mapper();
+                if mapper.partition().len() != catalog.len() {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidInput,
+                        format!(
+                            "frontend partition has {} leaves but the catalog has {} objects; \
+                             serve the catalog the frontend preset generates",
+                            mapper.partition().len(),
+                            catalog.len()
+                        ),
+                    ));
+                }
+                Some(Arc::new(QueryCompiler::new(
+                    Schema::sdss(),
+                    wcfg.sky_model(),
+                    mapper,
+                )))
+            }
+        };
+
         let listener = TcpListener::bind(&config.bind)?;
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
@@ -74,6 +116,7 @@ impl Server {
             shard_txs: shards.iter().map(|h| h.tx.clone()).collect(),
             shutdown: Arc::clone(&shutdown),
             meter: Arc::clone(&meter),
+            frontend,
         });
 
         let accept_shutdown = Arc::clone(&shutdown);
@@ -126,6 +169,9 @@ struct Shared {
     shard_txs: Vec<crossbeam::channel::Sender<ShardRequest>>,
     shutdown: Arc<AtomicBool>,
     meter: Arc<TrafficMeter>,
+    /// Template for the per-connection SQL compilers; `None` when the
+    /// server was started without a workload preset.
+    frontend: Option<Arc<QueryCompiler>>,
 }
 
 fn accept_loop(
@@ -266,6 +312,9 @@ fn serve_connection(stream: TcpStream, shared: &Shared) -> io::Result<()> {
     stream.set_write_timeout(Some(STALL_LIMIT))?;
     let mut reader = stream.try_clone()?;
     let mut writer = stream;
+    // Each connection compiles SQL with its own clone of the frontend —
+    // compilation is CPU-bound, so connections never contend on it.
+    let compiler: Option<QueryCompiler> = shared.frontend.as_ref().map(|c| (**c).clone());
     loop {
         let payload = match read_frame_polling(&mut reader, shared)? {
             Some(p) => p,
@@ -276,7 +325,13 @@ fn serve_connection(stream: TcpStream, shared: &Shared) -> io::Result<()> {
                 // +4 for the length prefix, so the meter reflects real
                 // socket bytes, not just payloads.
                 meter_request(shared, &request, payload.len() as u64 + 4);
-                handle_request(shared, request)
+                match request {
+                    Request::Tagged { corr, inner } => Response::Tagged {
+                        corr,
+                        inner: Box::new(handle_request(shared, *inner, compiler.as_ref())),
+                    },
+                    other => handle_request(shared, other, compiler.as_ref()),
+                }
             }
             Err(e) => Response::Error {
                 code: error_code::BAD_FRAME,
@@ -288,22 +343,47 @@ fn serve_connection(stream: TcpStream, shared: &Shared) -> io::Result<()> {
             .meter
             .record(TrafficClass::Control, out.len() as u64 + 4);
         write_frame(&mut writer, &out)?;
-        if matches!(response, Response::ShutdownOk) {
+        let shutting_down = match &response {
+            Response::ShutdownOk => true,
+            Response::Tagged { inner, .. } => matches!(**inner, Response::ShutdownOk),
+            _ => false,
+        };
+        if shutting_down {
             return Ok(());
         }
     }
 }
 
 fn meter_request(shared: &Shared, request: &Request, wire_bytes: u64) {
-    let class = match request {
-        Request::Query(_) => TrafficClass::QueryShip,
-        Request::Update(_) => TrafficClass::UpdateShip,
-        Request::Stats | Request::Shutdown => TrafficClass::Control,
-    };
-    shared.meter.record(class, wire_bytes);
+    match request {
+        Request::Query(_) | Request::Sql { .. } => {
+            shared.meter.record(TrafficClass::QueryShip, wire_bytes);
+        }
+        Request::Update(_) => shared.meter.record(TrafficClass::UpdateShip, wire_bytes),
+        Request::Batch(items) => {
+            // Split the frame's bytes over the classes it mixes, in
+            // proportion to item counts (exact, largest-remainder).
+            let nq = items
+                .iter()
+                .filter(|i| matches!(i, BatchItem::Query(_)))
+                .count() as u64;
+            let nu = items.len() as u64 - nq;
+            if nq + nu == 0 {
+                shared.meter.record(TrafficClass::Control, wire_bytes);
+                return;
+            }
+            let shares = apportion(wire_bytes, &[nq, nu]);
+            shared.meter.record(TrafficClass::QueryShip, shares[0]);
+            shared.meter.record(TrafficClass::UpdateShip, shares[1]);
+        }
+        Request::Tagged { inner, .. } => meter_request(shared, inner, wire_bytes),
+        Request::Stats | Request::Shutdown => {
+            shared.meter.record(TrafficClass::Control, wire_bytes);
+        }
+    }
 }
 
-fn handle_request(shared: &Shared, request: Request) -> Response {
+fn handle_request(shared: &Shared, request: Request, compiler: Option<&QueryCompiler>) -> Response {
     match request {
         Request::Query(q) => handle_query(shared, q),
         Request::Update(u) => {
@@ -325,6 +405,11 @@ fn handle_request(shared: &Shared, request: Request) -> Response {
                 _ => draining(),
             }
         }
+        Request::Sql { seq, sql } => handle_sql(shared, compiler, seq, &sql),
+        Request::Batch(items) => handle_batch(shared, items),
+        // Nested tags are rejected by the decoder; a bare Tagged here
+        // means the caller bypassed `serve_connection`'s unwrapping.
+        Request::Tagged { inner, .. } => handle_request(shared, *inner, compiler),
         Request::Stats => {
             let (reply_tx, reply_rx) = unbounded();
             let mut expected = 0;
@@ -384,6 +469,182 @@ fn handle_query(shared: &Shared, q: QueryEvent) -> Response {
         shards_touched: sent,
         local_answers,
         shipped,
+    }
+}
+
+/// Compiles raw SQL with the connection's compiler and serves the
+/// resulting event through the normal shard fan-out.
+fn handle_sql(shared: &Shared, compiler: Option<&QueryCompiler>, seq: u64, sql: &str) -> Response {
+    let Some(compiler) = compiler else {
+        return Response::Error {
+            code: error_code::SQL_UNAVAILABLE,
+            message: "server has no SQL frontend (start it from a workload preset)".to_string(),
+        };
+    };
+    let compiled = match compiler.compile(sql) {
+        Ok(c) => c,
+        Err(QueryError::Parse(e)) => {
+            let span = e.span();
+            return Response::SqlRejected {
+                stage: SqlStage::Parse,
+                span_start: span.start as u32,
+                span_end: span.end as u32,
+                message: e.to_string(),
+            };
+        }
+        Err(QueryError::Analyze(e)) => {
+            return Response::SqlRejected {
+                stage: SqlStage::Analyze,
+                span_start: 0,
+                span_end: 0,
+                message: e.to_string(),
+            };
+        }
+    };
+    let objects = compiled.objects.len() as u32;
+    let event = compiled.into_event(seq);
+    let (result_bytes, tolerance, kind) = (event.result_bytes, event.tolerance, event.kind);
+    match handle_query(shared, event) {
+        Response::QueryOk {
+            shards_touched,
+            local_answers,
+            shipped,
+        } => Response::SqlOk {
+            shards_touched,
+            local_answers,
+            shipped,
+            objects,
+            result_bytes,
+            tolerance,
+            kind,
+        },
+        other => other,
+    }
+}
+
+/// Serves a whole batch with one channel send per touched shard: every
+/// item is split as usual, but each shard receives its sub-events as one
+/// ordered [`ShardRequest::Batch`] and answers with one reply, so the
+/// fan-out/join cost is paid per *batch*, not per event.
+///
+/// Per-shard sub-event order equals item order, which is what keeps a
+/// batched replay byte-identical to the same events sent one frame at a
+/// time (pinned by the shard-level and integration tests).
+fn handle_batch(shared: &Shared, items: Vec<BatchItem>) -> Response {
+    struct QueryAcc {
+        sent: u16,
+        local: u16,
+        shipped: u16,
+    }
+    let mut replies: Vec<Option<BatchReply>> = Vec::with_capacity(items.len());
+    replies.resize_with(items.len(), || None);
+    let mut accs: Vec<Option<QueryAcc>> = Vec::with_capacity(items.len());
+    accs.resize_with(items.len(), || None);
+    let mut per_shard: Vec<Vec<ShardOp>> = vec![Vec::new(); shared.shard_txs.len()];
+
+    for (i, item) in items.into_iter().enumerate() {
+        match item {
+            BatchItem::Query(q) => {
+                if let Some(&bad) = q.objects.iter().find(|o| o.index() >= shared.catalog.len()) {
+                    replies[i] = Some(batch_error(unknown_object(bad)));
+                    continue;
+                }
+                let subs = shared.map.split_query(&q, &shared.catalog);
+                accs[i] = Some(QueryAcc {
+                    sent: subs.len() as u16,
+                    local: 0,
+                    shipped: 0,
+                });
+                for (s, sub) in subs {
+                    per_shard[s].push(ShardOp::Query {
+                        item: i as u32,
+                        event: sub,
+                    });
+                }
+            }
+            BatchItem::Update(u) => {
+                if u.object.index() >= shared.catalog.len() {
+                    replies[i] = Some(batch_error(unknown_object(u.object)));
+                    continue;
+                }
+                let (s, local) = shared.map.split_update(&u);
+                per_shard[s].push(ShardOp::Update {
+                    item: i as u32,
+                    event: local,
+                });
+            }
+        }
+    }
+
+    let (reply_tx, reply_rx) = unbounded();
+    let mut expected = 0usize;
+    for (s, ops) in per_shard.into_iter().enumerate() {
+        if ops.is_empty() {
+            continue;
+        }
+        if shared.shard_txs[s]
+            .send(ShardRequest::Batch(ops, reply_tx.clone()))
+            .is_err()
+        {
+            return draining();
+        }
+        expected += 1;
+    }
+    for _ in 0..expected {
+        match reply_rx.recv() {
+            Ok(ShardReply::BatchDone { shard, outcomes }) => {
+                for outcome in outcomes {
+                    match outcome {
+                        OpOutcome::Query { item, local } => {
+                            let acc = accs[item as usize]
+                                .as_mut()
+                                .expect("query outcome for non-query item");
+                            if local {
+                                acc.local += 1;
+                            } else {
+                                acc.shipped += 1;
+                            }
+                        }
+                        OpOutcome::Update { item, version } => {
+                            replies[item as usize] = Some(BatchReply::Update { shard, version });
+                        }
+                    }
+                }
+            }
+            _ => return draining(),
+        }
+    }
+
+    let replies = replies
+        .into_iter()
+        .zip(accs)
+        .map(|(reply, acc)| match (reply, acc) {
+            (Some(r), _) => r,
+            (None, Some(acc)) => BatchReply::Query {
+                shards_touched: acc.sent,
+                local_answers: acc.local,
+                shipped: acc.shipped,
+            },
+            // An update that reached no shard can't happen (every valid
+            // object id owns exactly one shard), but fail loudly if the
+            // invariant ever breaks rather than fabricating a reply.
+            (None, None) => BatchReply::Error {
+                code: error_code::BAD_FRAME,
+                message: "item produced no outcome".to_string(),
+            },
+        })
+        .collect();
+    Response::BatchOk(replies)
+}
+
+/// Converts a single-request error response into its batch-item shape.
+fn batch_error(r: Response) -> BatchReply {
+    match r {
+        Response::Error { code, message } => BatchReply::Error { code, message },
+        other => BatchReply::Error {
+            code: error_code::BAD_FRAME,
+            message: format!("unexpected error shape {other:?}"),
+        },
     }
 }
 

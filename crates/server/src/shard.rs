@@ -23,10 +23,53 @@ pub enum ShardRequest {
     Update(UpdateEvent, Sender<ShardReply>),
     /// Serve a sub-query (local object ids, apportioned bytes).
     Query(QueryEvent, Sender<ShardReply>),
+    /// Execute a coalesced sub-batch in order, replying once with all
+    /// outcomes — one channel send each way regardless of batch size.
+    Batch(Vec<ShardOp>, Sender<ShardReply>),
     /// Snapshot this shard's statistics.
     Stats(Sender<ShardReply>),
     /// Finish outstanding work, report final statistics, and exit.
     Shutdown(Sender<ShardReply>),
+}
+
+/// One operation inside a [`ShardRequest::Batch`], tagged with the index
+/// of the client-batch item it came from so the connection thread can
+/// reassemble per-item replies after the fan-out.
+#[derive(Clone, Debug)]
+pub enum ShardOp {
+    /// Serve a sub-query (local object ids, apportioned bytes).
+    Query {
+        /// Index of the originating batch item.
+        item: u32,
+        /// The shard-local sub-query.
+        event: QueryEvent,
+    },
+    /// Apply an update (local object id).
+    Update {
+        /// Index of the originating batch item.
+        item: u32,
+        /// The shard-local update.
+        event: UpdateEvent,
+    },
+}
+
+/// Outcome of one [`ShardOp`], in sub-batch order.
+#[derive(Clone, Copy, Debug)]
+pub enum OpOutcome {
+    /// The sub-query was served.
+    Query {
+        /// Index of the originating batch item.
+        item: u32,
+        /// Whether it was answered from the shard cache (vs shipped).
+        local: bool,
+    },
+    /// The update was applied.
+    Update {
+        /// Index of the originating batch item.
+        item: u32,
+        /// The object's new version.
+        version: u64,
+    },
 }
 
 /// A shard worker's reply.
@@ -45,6 +88,13 @@ pub enum ShardReply {
         shard: u16,
         /// Whether it was answered from the shard cache (vs shipped).
         local: bool,
+    },
+    /// All outcomes of a [`ShardRequest::Batch`], in sub-batch order.
+    BatchDone {
+        /// Responding shard.
+        shard: u16,
+        /// One outcome per op.
+        outcomes: Vec<OpOutcome>,
     },
     /// Statistics snapshot (also the final reply to `Shutdown`).
     Stats(ShardStats),
@@ -90,6 +140,73 @@ pub fn spawn_shard(
     ShardHandle { tx, join }
 }
 
+/// The mutable world one worker owns. Single events and batch ops go
+/// through the same two methods, so a coalesced sub-batch is, by
+/// construction, byte-identical to the same ops sent one frame each.
+struct ShardState {
+    shard: u16,
+    policy: Box<dyn delta_core::CachingPolicy + Send>,
+    repo: Repository,
+    cache: CacheStore,
+    ledger: CostLedger,
+    events: u64,
+    // The repository requires per-object monotone update sequences, and
+    // the staleness contract requires a query's horizon to cover every
+    // already-applied update. A single lockstep connection preserves
+    // trace order, but concurrent connections may deliver events out of
+    // order; clamp every timestamp to the shard's clock so arrival order
+    // becomes the authoritative order (as in any real ingest pipeline).
+    // Under lockstep replay the clamp is a no-op, so simulator
+    // equivalence is untouched.
+    max_seq: u64,
+}
+
+impl ShardState {
+    fn apply_update(&mut self, u: UpdateEvent) -> u64 {
+        let seq = u.seq.max(self.max_seq);
+        self.max_seq = seq;
+        let u = UpdateEvent { seq, ..u };
+        let version = self.repo.apply_update(u.object, u.bytes, seq);
+        self.cache.invalidate(u.object);
+        let mut ctx = SimContext::new(&mut self.repo, &mut self.cache, &mut self.ledger, seq);
+        self.policy.on_update(&u, &mut ctx);
+        self.events += 1;
+        version
+    }
+
+    fn serve_query(&mut self, q: QueryEvent) -> bool {
+        let now = q.seq.max(self.max_seq);
+        self.max_seq = now;
+        let q = QueryEvent { seq: now, ..q };
+        let local_before = self.ledger.local_answers;
+        {
+            let mut ctx = SimContext::new(&mut self.repo, &mut self.cache, &mut self.ledger, now);
+            self.policy.on_query(&q, &mut ctx);
+            assert!(
+                ctx.satisfied(),
+                "policy {} neither shipped nor answered query at seq {} on shard {}",
+                self.policy.name(),
+                q.seq,
+                self.shard
+            );
+        }
+        self.events += 1;
+        self.ledger.local_answers > local_before
+    }
+
+    fn stats(&self, policy_kind: PolicyKind) -> ShardStats {
+        ShardStats {
+            shard: self.shard,
+            policy: policy_name_of(policy_kind),
+            events: self.events,
+            cache_capacity: self.cache.capacity(),
+            cache_used: self.cache.used(),
+            residents: self.cache.len() as u64,
+            ledger: self.ledger.clone(),
+        }
+    }
+}
+
 fn run_shard(
     shard: u16,
     catalog: ObjectCatalog,
@@ -103,69 +220,51 @@ fn run_shard(
     let capacity = policy.preferred_capacity(&catalog, cache_bytes);
     let mut cache = CacheStore::new(capacity);
     let mut ledger = CostLedger::default();
-    let mut events = 0u64;
-    // The repository requires per-object monotone update sequences, and
-    // the staleness contract requires a query's horizon to cover every
-    // already-applied update. A single lockstep connection preserves
-    // trace order, but concurrent connections may deliver events out of
-    // order; clamp every timestamp to the shard's clock so arrival order
-    // becomes the authoritative order (as in any real ingest pipeline).
-    // Under lockstep replay the clamp is a no-op, so simulator
-    // equivalence is untouched.
-    let mut max_seq = 0u64;
-
     {
         let mut ctx = SimContext::new(&mut repo, &mut cache, &mut ledger, 0);
         policy.init(&mut ctx);
     }
-
-    let stats = |events: u64, cache: &CacheStore, ledger: &CostLedger| ShardStats {
+    let mut state = ShardState {
         shard,
-        policy: policy_name_of(policy_kind),
-        events,
-        cache_capacity: cache.capacity(),
-        cache_used: cache.used(),
-        residents: cache.len() as u64,
-        ledger: ledger.clone(),
+        policy,
+        repo,
+        cache,
+        ledger,
+        events: 0,
+        max_seq: 0,
     };
 
     while let Ok(req) = rx.recv() {
         match req {
             ShardRequest::Update(u, reply) => {
-                let seq = u.seq.max(max_seq);
-                max_seq = seq;
-                let u = UpdateEvent { seq, ..u };
-                let version = repo.apply_update(u.object, u.bytes, seq);
-                cache.invalidate(u.object);
-                let mut ctx = SimContext::new(&mut repo, &mut cache, &mut ledger, seq);
-                policy.on_update(&u, &mut ctx);
-                events += 1;
+                let version = state.apply_update(u);
                 let _ = reply.send(ShardReply::UpdateDone { shard, version });
             }
             ShardRequest::Query(q, reply) => {
-                let now = q.seq.max(max_seq);
-                max_seq = now;
-                let q = QueryEvent { seq: now, ..q };
-                let local_before = ledger.local_answers;
-                {
-                    let mut ctx = SimContext::new(&mut repo, &mut cache, &mut ledger, now);
-                    policy.on_query(&q, &mut ctx);
-                    assert!(
-                        ctx.satisfied(),
-                        "policy {} neither shipped nor answered query at seq {} on shard {shard}",
-                        policy.name(),
-                        q.seq
-                    );
-                }
-                events += 1;
-                let local = ledger.local_answers > local_before;
+                let local = state.serve_query(q);
                 let _ = reply.send(ShardReply::QueryDone { shard, local });
             }
+            ShardRequest::Batch(ops, reply) => {
+                let outcomes = ops
+                    .into_iter()
+                    .map(|op| match op {
+                        ShardOp::Query { item, event } => OpOutcome::Query {
+                            item,
+                            local: state.serve_query(event),
+                        },
+                        ShardOp::Update { item, event } => OpOutcome::Update {
+                            item,
+                            version: state.apply_update(event),
+                        },
+                    })
+                    .collect();
+                let _ = reply.send(ShardReply::BatchDone { shard, outcomes });
+            }
             ShardRequest::Stats(reply) => {
-                let _ = reply.send(ShardReply::Stats(stats(events, &cache, &ledger)));
+                let _ = reply.send(ShardReply::Stats(state.stats(policy_kind)));
             }
             ShardRequest::Shutdown(reply) => {
-                let _ = reply.send(ShardReply::Stats(stats(events, &cache, &ledger)));
+                let _ = reply.send(ShardReply::Stats(state.stats(policy_kind)));
                 return;
             }
         }
@@ -239,6 +338,83 @@ mod tests {
         assert_eq!(final_stats.ledger.shipped_queries, 1);
         assert_eq!(final_stats.ledger.breakdown.query_ship.bytes(), 55);
         assert_eq!(final_stats.policy, "NoCache");
+    }
+
+    #[test]
+    fn batched_ops_match_singles_byte_for_byte() {
+        let catalog = ObjectCatalog::from_sizes(&[100, 200, 300]);
+        let ops = vec![
+            ShardOp::Update {
+                item: 0,
+                event: UpdateEvent {
+                    seq: 1,
+                    object: ObjectId(0),
+                    bytes: 10,
+                },
+            },
+            ShardOp::Query {
+                item: 1,
+                event: query(2, vec![0, 2], 55),
+            },
+            ShardOp::Update {
+                item: 2,
+                event: UpdateEvent {
+                    seq: 3,
+                    object: ObjectId(1),
+                    bytes: 20,
+                },
+            },
+            ShardOp::Query {
+                item: 3,
+                event: query(4, vec![1], 7),
+            },
+        ];
+
+        // One frame per op.
+        let singles = spawn_shard(0, catalog.clone(), 500, PolicyKind::VCover, 9);
+        let (tx, rx) = unbounded();
+        for op in ops.clone() {
+            match op {
+                ShardOp::Query { event, .. } => {
+                    singles
+                        .tx
+                        .send(ShardRequest::Query(event, tx.clone()))
+                        .unwrap();
+                }
+                ShardOp::Update { event, .. } => {
+                    singles
+                        .tx
+                        .send(ShardRequest::Update(event, tx.clone()))
+                        .unwrap();
+                }
+            }
+            rx.recv().unwrap();
+        }
+        let want = singles.shutdown();
+
+        // The same ops coalesced into one channel send.
+        let batched = spawn_shard(0, catalog, 500, PolicyKind::VCover, 9);
+        let (tx, rx) = unbounded();
+        batched.tx.send(ShardRequest::Batch(ops, tx)).unwrap();
+        match rx.recv().unwrap() {
+            ShardReply::BatchDone { shard, outcomes } => {
+                assert_eq!(shard, 0);
+                assert_eq!(outcomes.len(), 4);
+                assert!(matches!(
+                    outcomes[0],
+                    OpOutcome::Update {
+                        item: 0,
+                        version: 1
+                    }
+                ));
+                assert!(matches!(outcomes[3], OpOutcome::Query { item: 3, .. }));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        let got = batched.shutdown();
+        assert_eq!(got.ledger, want.ledger);
+        assert_eq!(got.events, want.events);
+        assert_eq!(got.residents, want.residents);
     }
 
     #[test]

@@ -1,0 +1,198 @@
+//! Property tests for the sharding arithmetic: `apportion`'s exactness,
+//! query splitting under arbitrary shard counts, and agreement between
+//! the offline `shard_trace` twin and online routing on random traces.
+
+use delta_server::{apportion, shard_trace, ShardMap};
+use delta_storage::{ObjectCatalog, ObjectId};
+use delta_workload::{Event, QueryEvent, QueryKind, Trace, UpdateEvent};
+use proptest::prelude::*;
+
+fn arb_weights() -> impl Strategy<Value = Vec<u64>> {
+    prop::collection::vec(0u64..1_000_000_000, 0..24)
+}
+
+fn arb_catalog_sizes() -> impl Strategy<Value = Vec<u64>> {
+    prop::collection::vec(1u64..10_000, 1..48)
+}
+
+fn arb_kind() -> impl Strategy<Value = QueryKind> {
+    prop::sample::select(vec![
+        QueryKind::Cone,
+        QueryKind::Range,
+        QueryKind::SelfJoin,
+        QueryKind::Aggregate,
+        QueryKind::Scan,
+        QueryKind::Selection,
+    ])
+}
+
+proptest! {
+    /// Largest-remainder shares always sum exactly to the total, no
+    /// matter the weights (zeros and empty included).
+    #[test]
+    fn apportion_sums_exactly(total in 0u64..u64::MAX / 2, weights in arb_weights()) {
+        let shares = apportion(total, &weights);
+        prop_assert_eq!(shares.len(), weights.len());
+        if weights.is_empty() {
+            prop_assert!(shares.is_empty());
+        } else {
+            prop_assert_eq!(shares.iter().sum::<u64>(), total);
+        }
+    }
+
+    /// Shares track the ideal proportional split to within one unit
+    /// (the defining property of largest-remainder rounding), which
+    /// also makes them order-consistent: a strictly heavier weight
+    /// never receives two fewer units than a lighter one.
+    #[test]
+    fn apportion_is_near_proportional(total in 0u64..1_000_000_000, weights in arb_weights()) {
+        let wsum: u128 = weights.iter().map(|&w| w as u128).sum();
+        if wsum == 0 {
+            return Ok(());
+        }
+        let shares = apportion(total, &weights);
+        for (&share, &w) in shares.iter().zip(&weights) {
+            let ideal = total as f64 * w as f64 / wsum as f64;
+            prop_assert!(
+                (share as f64 - ideal).abs() < 1.0 + 1e-6,
+                "share {share} vs ideal {ideal}"
+            );
+        }
+    }
+
+    /// Splitting a query preserves its byte total and object multiset
+    /// for every shard count, and sub-queries use valid local ids.
+    #[test]
+    fn split_query_is_lossless_under_any_shard_count(
+        sizes in arb_catalog_sizes(),
+        n_shards in 1usize..12,
+        objects in prop::collection::vec(0u32..48, 1..24),
+        result_bytes in 0u64..1_000_000_000,
+        tolerance in 0u64..1_000,
+        kind in arb_kind(),
+    ) {
+        let catalog = ObjectCatalog::from_sizes(&sizes);
+        let objects: Vec<ObjectId> = objects
+            .into_iter()
+            .map(|o| ObjectId(o % sizes.len() as u32))
+            .collect();
+        let q = QueryEvent { seq: 1, objects: objects.clone(), result_bytes, tolerance, kind };
+        let map = ShardMap::new(n_shards);
+        let subs = map.split_query(&q, &catalog);
+
+        prop_assert_eq!(
+            subs.iter().map(|(_, s)| s.result_bytes).sum::<u64>(),
+            result_bytes
+        );
+        let mut reassembled: Vec<ObjectId> = subs
+            .iter()
+            .flat_map(|(s, sub)| sub.objects.iter().map(|&l| map.global_id(*s, l)))
+            .collect();
+        reassembled.sort();
+        let mut want = objects;
+        want.sort();
+        prop_assert_eq!(reassembled, want);
+        for (s, sub) in &subs {
+            prop_assert!(*s < n_shards);
+            prop_assert_eq!(sub.seq, q.seq);
+            prop_assert_eq!(sub.tolerance, q.tolerance);
+            prop_assert_eq!(sub.kind, q.kind);
+            prop_assert!(!sub.objects.is_empty());
+        }
+    }
+
+    /// The offline `shard_trace` twin routes every event exactly as the
+    /// online `split_query`/`split_update` path does, for random traces
+    /// and shard counts — the equivalence the integration tests lean on.
+    #[test]
+    fn shard_trace_agrees_with_online_routing(
+        sizes in arb_catalog_sizes(),
+        n_shards in 1usize..10,
+        total_cache in 0u64..1_000_000,
+        raw_events in prop::collection::vec(
+            (0u32..48, 0u64..1_000_000, 0u64..100, 0u8..2),
+            0..40
+        ),
+    ) {
+        let catalog = ObjectCatalog::from_sizes(&sizes);
+        // Sub-catalogs must be non-empty: shards never outnumber objects.
+        let n_shards = n_shards.min(sizes.len());
+        let n = sizes.len() as u32;
+        let events: Vec<Event> = raw_events
+            .into_iter()
+            .enumerate()
+            .map(|(seq, (obj, bytes, tol, is_query))| {
+                if is_query == 1 {
+                    Event::Query(QueryEvent {
+                        seq: seq as u64,
+                        objects: vec![ObjectId(obj % n), ObjectId((obj + 7) % n)],
+                        result_bytes: bytes,
+                        tolerance: tol,
+                        kind: QueryKind::Selection,
+                    })
+                } else {
+                    Event::Update(UpdateEvent {
+                        seq: seq as u64,
+                        object: ObjectId(obj % n),
+                        bytes,
+                    })
+                }
+            })
+            .collect();
+        let trace = Trace::new(events.clone());
+        let map = ShardMap::new(n_shards);
+
+        let offline = shard_trace(map, &catalog, &trace, total_cache);
+
+        // Online twin: route event by event with the same primitives.
+        let mut online: Vec<Vec<Event>> = vec![Vec::new(); n_shards];
+        for event in &events {
+            match event {
+                Event::Query(q) => {
+                    for (s, sub) in map.split_query(&q.clone(), &catalog) {
+                        online[s].push(Event::Query(sub));
+                    }
+                }
+                Event::Update(u) => {
+                    let (s, sub) = map.split_update(&u.clone());
+                    online[s].push(Event::Update(sub));
+                }
+            }
+        }
+
+        prop_assert_eq!(offline.len(), n_shards);
+        let caches = map.shard_cache_bytes(total_cache, &catalog);
+        prop_assert_eq!(caches.iter().sum::<u64>(), total_cache);
+        for (s, (sub_catalog, sub_trace, cache)) in offline.iter().enumerate() {
+            prop_assert_eq!(&sub_trace.events, &online[s], "shard {} sub-trace diverged", s);
+            prop_assert_eq!(*cache, caches[s]);
+            prop_assert_eq!(sub_catalog.len(), map.shard_len(s, catalog.len()));
+        }
+
+        // Byte totals survive the partitioning exactly.
+        let query_bytes: u64 = offline.iter().map(|(_, t, _)| t.total_query_bytes()).sum();
+        prop_assert_eq!(query_bytes, trace.total_query_bytes());
+        let update_bytes: u64 = offline.iter().map(|(_, t, _)| t.total_update_bytes()).sum();
+        prop_assert_eq!(update_bytes, trace.total_update_bytes());
+    }
+
+    /// Sub-catalogs tile the catalog: every object appears on exactly
+    /// one shard with its original size, for any shard count.
+    #[test]
+    fn sub_catalogs_tile_the_catalog(sizes in arb_catalog_sizes(), n_shards in 1usize..12) {
+        let catalog = ObjectCatalog::from_sizes(&sizes);
+        let n_shards = n_shards.min(sizes.len());
+        let map = ShardMap::new(n_shards);
+        let mut seen = vec![0u32; sizes.len()];
+        for s in 0..n_shards {
+            let sub = map.shard_catalog(s, &catalog);
+            for l in 0..sub.len() {
+                let g = map.global_id(s, ObjectId(l as u32));
+                prop_assert!(g.index() < sizes.len());
+                prop_assert_eq!(sub.size(ObjectId(l as u32)), catalog.size(g));
+                seen[g.index()] += 1;
+            }
+        }
+        prop_assert!(seen.iter().all(|&c| c == 1), "each object on exactly one shard");
+    }
+}

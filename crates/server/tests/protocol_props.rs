@@ -1,0 +1,408 @@
+//! Property tests for the wire codec: `decode ∘ encode = id` for every
+//! request and response kind, and hostile inputs (truncated frames,
+//! oversized lengths, bad enum tags, trailing bytes) always come back as
+//! clean `io::Error`s — never panics, never bogus values.
+
+use delta_core::{Cost, CostLedger};
+use delta_server::{BatchItem, BatchReply, Request, Response, ShardStats, SqlStage, StatsSnapshot};
+use delta_storage::ObjectId;
+use delta_workload::{QueryEvent, QueryKind, UpdateEvent};
+use proptest::prelude::*;
+
+fn arb_kind() -> impl Strategy<Value = QueryKind> {
+    prop::sample::select(vec![
+        QueryKind::Cone,
+        QueryKind::Range,
+        QueryKind::SelfJoin,
+        QueryKind::Aggregate,
+        QueryKind::Scan,
+        QueryKind::Selection,
+    ])
+}
+
+fn arb_query() -> impl Strategy<Value = QueryEvent> {
+    (
+        0u64..u64::MAX,
+        prop::collection::vec(0u32..1_000_000, 0..40),
+        0u64..u64::MAX,
+        0u64..100_000,
+        arb_kind(),
+    )
+        .prop_map(|(seq, objects, result_bytes, tolerance, kind)| QueryEvent {
+            seq,
+            objects: objects.into_iter().map(ObjectId).collect(),
+            result_bytes,
+            tolerance,
+            kind,
+        })
+}
+
+fn arb_update() -> impl Strategy<Value = UpdateEvent> {
+    (0u64..u64::MAX, 0u32..1_000_000, 0u64..u64::MAX).prop_map(|(seq, object, bytes)| UpdateEvent {
+        seq,
+        object: ObjectId(object),
+        bytes,
+    })
+}
+
+fn arb_sql_text() -> impl Strategy<Value = String> {
+    prop_oneof![
+        Just(String::new()),
+        Just("SELECT ra FROM PhotoObj WHERE CIRCLE(185.0, 15.3, 0.5)".to_string()),
+        proptest::string::pattern("[a-zA-Z0-9 _*(),.<>=']{0,200}"),
+        // Non-ASCII UTF-8 must survive the byte-length prefix.
+        Just("SELECT ★ FROM PhotoObj — ßky ÷ query".to_string()),
+    ]
+}
+
+fn arb_item() -> impl Strategy<Value = BatchItem> {
+    prop_oneof![
+        arb_query().prop_map(BatchItem::Query),
+        arb_update().prop_map(BatchItem::Update),
+    ]
+}
+
+fn arb_plain_request() -> impl Strategy<Value = Request> {
+    prop_oneof![
+        arb_query().prop_map(Request::Query),
+        arb_update().prop_map(Request::Update),
+        (0u64..u64::MAX, arb_sql_text()).prop_map(|(seq, sql)| Request::Sql { seq, sql }),
+        prop::collection::vec(arb_item(), 0..12).prop_map(Request::Batch),
+        Just(Request::Stats),
+        Just(Request::Shutdown),
+    ]
+}
+
+fn arb_request() -> impl Strategy<Value = Request> {
+    prop_oneof![
+        arb_plain_request(),
+        (0u64..u64::MAX, arb_plain_request()).prop_map(|(corr, inner)| Request::Tagged {
+            corr,
+            inner: Box::new(inner),
+        }),
+    ]
+}
+
+fn arb_ledger() -> impl Strategy<Value = CostLedger> {
+    (
+        (0u64..u64::MAX / 4, 0u64..u64::MAX / 4, 0u64..u64::MAX / 4),
+        (
+            0u64..1_000_000,
+            0u64..1_000_000,
+            0u64..1_000_000,
+            0u64..1_000_000,
+            0u64..1_000_000,
+        ),
+    )
+        .prop_map(|((q, u, l), (sq, la, us, lo, ev))| {
+            let mut ledger = CostLedger::default();
+            ledger.breakdown.query_ship = Cost(q);
+            ledger.breakdown.update_ship = Cost(u);
+            ledger.breakdown.load = Cost(l);
+            ledger.shipped_queries = sq;
+            ledger.local_answers = la;
+            ledger.update_ships = us;
+            ledger.loads = lo;
+            ledger.evictions = ev;
+            ledger
+        })
+}
+
+fn arb_shard_stats() -> impl Strategy<Value = ShardStats> {
+    (
+        (0u16..256, proptest::string::pattern("[A-Za-z]{1,12}")),
+        (
+            0u64..u64::MAX,
+            0u64..u64::MAX,
+            0u64..u64::MAX,
+            0u64..100_000,
+        ),
+        arb_ledger(),
+    )
+        .prop_map(
+            |((shard, policy), (events, cache_capacity, cache_used, residents), ledger)| {
+                ShardStats {
+                    shard,
+                    policy,
+                    events,
+                    cache_capacity,
+                    cache_used,
+                    residents,
+                    ledger,
+                }
+            },
+        )
+}
+
+fn arb_batch_reply() -> impl Strategy<Value = BatchReply> {
+    prop_oneof![
+        (0u16..64, 0u16..64, 0u16..64).prop_map(|(shards_touched, local_answers, shipped)| {
+            BatchReply::Query {
+                shards_touched,
+                local_answers,
+                shipped,
+            }
+        }),
+        (0u16..64, 0u64..u64::MAX)
+            .prop_map(|(shard, version)| BatchReply::Update { shard, version }),
+        (0u16..10, proptest::string::pattern("[ -~]{0,60}"))
+            .prop_map(|(code, message)| { BatchReply::Error { code, message } }),
+    ]
+}
+
+fn arb_plain_response() -> impl Strategy<Value = Response> {
+    prop_oneof![
+        (0u16..64, 0u16..64, 0u16..64).prop_map(|(shards_touched, local_answers, shipped)| {
+            Response::QueryOk {
+                shards_touched,
+                local_answers,
+                shipped,
+            }
+        }),
+        (0u16..64, 0u64..u64::MAX)
+            .prop_map(|(shard, version)| Response::UpdateOk { shard, version }),
+        (
+            (0u16..64, 0u16..64, 0u16..64),
+            (0u32..100_000, 0u64..u64::MAX, 0u64..100_000, arb_kind()),
+        )
+            .prop_map(
+                |(
+                    (shards_touched, local_answers, shipped),
+                    (objects, result_bytes, tolerance, kind),
+                )| {
+                    Response::SqlOk {
+                        shards_touched,
+                        local_answers,
+                        shipped,
+                        objects,
+                        result_bytes,
+                        tolerance,
+                        kind,
+                    }
+                }
+            ),
+        (
+            prop::sample::select(vec![SqlStage::Parse, SqlStage::Analyze]),
+            0u32..10_000,
+            0u32..10_000,
+            proptest::string::pattern("[ -~]{0,80}"),
+        )
+            .prop_map(
+                |(stage, span_start, span_end, message)| Response::SqlRejected {
+                    stage,
+                    span_start,
+                    span_end,
+                    message,
+                }
+            ),
+        prop::collection::vec(arb_batch_reply(), 0..12).prop_map(Response::BatchOk),
+        prop::collection::vec(arb_shard_stats(), 0..6)
+            .prop_map(|shards| Response::StatsOk(StatsSnapshot { shards })),
+        Just(Response::ShutdownOk),
+        (0u16..10, proptest::string::pattern("[ -~]{0,60}"))
+            .prop_map(|(code, message)| Response::Error { code, message }),
+    ]
+}
+
+fn arb_response() -> impl Strategy<Value = Response> {
+    prop_oneof![
+        arb_plain_response(),
+        (0u64..u64::MAX, arb_plain_response()).prop_map(|(corr, inner)| Response::Tagged {
+            corr,
+            inner: Box::new(inner),
+        }),
+    ]
+}
+
+proptest! {
+    /// `decode ∘ encode = id` over every request kind, tagged included.
+    #[test]
+    fn request_round_trips(req in arb_request()) {
+        let encoded = req.encode();
+        let decoded = Request::decode(&encoded);
+        prop_assert_eq!(decoded.unwrap(), req);
+    }
+
+    /// `decode ∘ encode = id` over every response kind, tagged included.
+    #[test]
+    fn response_round_trips(resp in arb_response()) {
+        let encoded = resp.encode();
+        let decoded = Response::decode(&encoded);
+        prop_assert_eq!(decoded.unwrap(), resp);
+    }
+
+    /// Every truncation of a valid frame is a clean error (the codec
+    /// never panics and never conjures a value from a prefix).
+    #[test]
+    fn truncated_requests_error_cleanly(req in arb_request()) {
+        let encoded = req.encode();
+        for cut in 0..encoded.len() {
+            prop_assert!(Request::decode(&encoded[..cut]).is_err(),
+                "prefix of {cut} bytes decoded", );
+        }
+    }
+
+    /// Same for responses.
+    #[test]
+    fn truncated_responses_error_cleanly(resp in arb_response()) {
+        let encoded = resp.encode();
+        for cut in 0..encoded.len() {
+            prop_assert!(Response::decode(&encoded[..cut]).is_err());
+        }
+    }
+
+    /// Trailing garbage after a valid frame is rejected on both sides.
+    #[test]
+    fn trailing_bytes_rejected(req in arb_request(), junk in 1u8..=255) {
+        let mut encoded = req.encode();
+        encoded.push(junk);
+        prop_assert!(Request::decode(&encoded).is_err());
+    }
+
+    /// Arbitrary byte soup either decodes to something that re-encodes
+    /// (a genuine frame) or errors — it must never panic.
+    #[test]
+    fn random_bytes_never_panic(bytes in prop::collection::vec(0u8..=255, 0..300)) {
+        if let Ok(req) = Request::decode(&bytes) {
+            // What decoded must re-encode to the same bytes (the codec
+            // has no redundant encodings).
+            prop_assert_eq!(req.encode(), bytes.clone());
+        }
+        if let Ok(resp) = Response::decode(&bytes) {
+            prop_assert_eq!(resp.encode(), bytes);
+        }
+    }
+
+    /// Flipping the opcode to a bad value errors.
+    #[test]
+    fn bad_opcodes_rejected(req in arb_plain_request(), op in 0x20u8..0x80) {
+        let mut encoded = req.encode();
+        encoded[0] = op;
+        prop_assert!(Request::decode(&encoded).is_err());
+    }
+}
+
+/// A deterministic corpus of specifically hostile frames, separate from
+/// the random sweep so each case is pinned forever.
+#[test]
+fn hostile_corpus_errors_cleanly() {
+    let cases: Vec<Vec<u8>> = vec![
+        vec![],                          // empty payload
+        vec![0x00],                      // zero opcode
+        vec![0x01],                      // query with no fields
+        vec![0x05, 0, 0, 0, 0, 0, 0, 0], // SQL with truncated seq
+        {
+            // SQL whose text length points far past the payload.
+            let mut v = vec![0x05];
+            v.extend_from_slice(&7u64.to_be_bytes());
+            v.extend_from_slice(&u32::MAX.to_be_bytes());
+            v.extend_from_slice(b"SELECT");
+            v
+        },
+        {
+            // Batch claiming u32::MAX items with one byte of body.
+            let mut v = vec![0x06];
+            v.extend_from_slice(&u32::MAX.to_be_bytes());
+            v.push(0);
+            v
+        },
+        {
+            // Batch with a bad item tag.
+            let mut v = vec![0x06];
+            v.extend_from_slice(&1u32.to_be_bytes());
+            v.push(9);
+            v
+        },
+        {
+            // Query whose object count outruns the payload.
+            let mut v = vec![0x01];
+            v.extend_from_slice(&1u64.to_be_bytes());
+            v.extend_from_slice(&1u64.to_be_bytes());
+            v.extend_from_slice(&0u64.to_be_bytes());
+            v.push(0);
+            v.extend_from_slice(&1_000_000u32.to_be_bytes());
+            v.extend_from_slice(&[0, 0, 0, 1]);
+            v
+        },
+        {
+            // Query with an unknown kind tag.
+            let mut v = vec![0x01];
+            v.extend_from_slice(&1u64.to_be_bytes());
+            v.extend_from_slice(&1u64.to_be_bytes());
+            v.extend_from_slice(&0u64.to_be_bytes());
+            v.push(250);
+            v.extend_from_slice(&0u32.to_be_bytes());
+            v
+        },
+        {
+            // Tagged wrapping tagged.
+            let inner = Request::Tagged {
+                corr: 1,
+                inner: Box::new(Request::Stats),
+            }
+            .encode();
+            let mut v = vec![0x10];
+            v.extend_from_slice(&2u64.to_be_bytes());
+            v.extend_from_slice(&inner);
+            v
+        },
+        {
+            // Tagged with a corr id but no inner frame.
+            let mut v = vec![0x10];
+            v.extend_from_slice(&3u64.to_be_bytes());
+            v
+        },
+        {
+            // Stats request with trailing bytes.
+            let mut v = Request::Stats.encode();
+            v.extend_from_slice(b"tail");
+            v
+        },
+        {
+            // SQL with invalid UTF-8 text.
+            let mut v = vec![0x05];
+            v.extend_from_slice(&1u64.to_be_bytes());
+            v.extend_from_slice(&2u32.to_be_bytes());
+            v.extend_from_slice(&[0xFF, 0xFE]);
+            v
+        },
+    ];
+    for (i, case) in cases.iter().enumerate() {
+        assert!(
+            Request::decode(case).is_err(),
+            "hostile request case {i} decoded: {case:?}"
+        );
+    }
+
+    // Response-side hostiles.
+    let resp_cases: Vec<Vec<u8>> = vec![
+        vec![0x85],             // SqlOk with no fields
+        vec![0x86, 7],          // SqlRejected with a bad stage tag... (7)
+        vec![0x87, 0, 0, 0, 1], // BatchOk claiming an item, no body
+        {
+            // BatchOk with a bad reply tag.
+            let mut v = vec![0x87];
+            v.extend_from_slice(&1u32.to_be_bytes());
+            v.push(7);
+            v
+        },
+        {
+            // Nested tagged response.
+            let inner = Response::Tagged {
+                corr: 1,
+                inner: Box::new(Response::ShutdownOk),
+            }
+            .encode();
+            let mut v = vec![0x90];
+            v.extend_from_slice(&2u64.to_be_bytes());
+            v.extend_from_slice(&inner);
+            v
+        },
+    ];
+    for (i, case) in resp_cases.iter().enumerate() {
+        assert!(
+            Response::decode(case).is_err(),
+            "hostile response case {i} decoded: {case:?}"
+        );
+    }
+}

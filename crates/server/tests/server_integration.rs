@@ -8,8 +8,20 @@
 //! aggregate snapshot.
 
 use delta_core::{sim, CostLedger};
-use delta_server::{shard_trace, DeltaClient, PolicyKind, Server, ServerConfig, ShardMap};
+use delta_server::{
+    shard_trace, BatchItem, BatchReply, DeltaClient, PolicyKind, Request, Response, Server,
+    ServerConfig, ShardMap,
+};
 use delta_workload::{Event, SyntheticSurvey, WorkloadConfig};
+
+/// Shard count for the parameterized tests; the CI matrix overrides it
+/// (1, 4, 8) so partition edge cases run on every push.
+fn shard_count() -> usize {
+    std::env::var("DELTA_TEST_SHARDS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(4)
+}
 
 fn small_survey(n: usize) -> SyntheticSurvey {
     let mut cfg = WorkloadConfig::small();
@@ -31,6 +43,7 @@ fn start_server(
         cache_bytes,
         policy,
         seed: 42,
+        frontend: None,
     };
     let server = Server::start(config, survey.catalog.clone()).expect("server starts");
     (server, cache_bytes)
@@ -75,9 +88,10 @@ fn expected_shard_ledgers(
 }
 
 #[test]
-fn four_shard_server_matches_sharded_simulation_exactly() {
+fn sharded_server_matches_sharded_simulation_exactly() {
+    let n_shards = shard_count();
     let survey = small_survey(400);
-    let (server, cache_bytes) = start_server(&survey, 4, PolicyKind::VCover, 0.3);
+    let (server, cache_bytes) = start_server(&survey, n_shards, PolicyKind::VCover, 0.3);
     let addr = server.local_addr();
 
     let mut client = DeltaClient::connect(addr).expect("connect");
@@ -86,8 +100,8 @@ fn four_shard_server_matches_sharded_simulation_exactly() {
     client.shutdown().expect("shutdown");
     let final_stats = server.join();
 
-    assert_eq!(stats.shards.len(), 4);
-    let expected = expected_shard_ledgers(&survey, 4, PolicyKind::VCover, cache_bytes, 42);
+    assert_eq!(stats.shards.len(), n_shards);
+    let expected = expected_shard_ledgers(&survey, n_shards, PolicyKind::VCover, cache_bytes, 42);
     for (shard, want) in stats.shards.iter().zip(&expected) {
         assert_eq!(
             &shard.ledger, want,
@@ -245,6 +259,181 @@ fn server_rejects_unknown_objects_and_keeps_serving() {
 
     client.shutdown().expect("shutdown");
     server.join();
+}
+
+/// Chunks `events` with cycling batch sizes and replays them through a
+/// pipelined connection with `window` frames in flight. Returns every
+/// `(object, version)` pair from update replies, for log-length checks.
+fn replay_mixed(
+    addr: std::net::SocketAddr,
+    events: &[Event],
+    batch_sizes: &[usize],
+    window: usize,
+) -> Vec<(delta_storage::ObjectId, u64)> {
+    let mut chunks: Vec<Vec<BatchItem>> = Vec::new();
+    let mut i = 0usize;
+    let mut size_i = 0usize;
+    while i < events.len() {
+        let take = batch_sizes[size_i % batch_sizes.len()]
+            .max(1)
+            .min(events.len() - i);
+        size_i += 1;
+        chunks.push(
+            events[i..i + take]
+                .iter()
+                .map(|e| match e {
+                    Event::Query(q) => BatchItem::Query(q.clone()),
+                    Event::Update(u) => BatchItem::Update(*u),
+                })
+                .collect(),
+        );
+        i += take;
+    }
+
+    let mut pipe = DeltaClient::connect(addr)
+        .expect("connect")
+        .pipelined(window);
+    let mut corr_to_chunk = std::collections::HashMap::new();
+    let mut versions = Vec::new();
+    let handle = |corr: u64,
+                  response: Response,
+                  corr_to_chunk: &std::collections::HashMap<u64, usize>,
+                  versions: &mut Vec<(delta_storage::ObjectId, u64)>,
+                  chunks: &[Vec<BatchItem>]| {
+        let chunk = &chunks[corr_to_chunk[&corr]];
+        match response {
+            Response::BatchOk(replies) => {
+                assert_eq!(replies.len(), chunk.len());
+                for (reply, item) in replies.iter().zip(chunk) {
+                    match (reply, item) {
+                        (BatchReply::Query { .. }, BatchItem::Query(_)) => {}
+                        (BatchReply::Update { version, .. }, BatchItem::Update(u)) => {
+                            versions.push((u.object, *version));
+                        }
+                        other => panic!("reply/item mismatch: {other:?}"),
+                    }
+                }
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    };
+    for (chunk_i, chunk) in chunks.iter().enumerate() {
+        let corr = pipe.submit(&Request::Batch(chunk.clone())).expect("submit");
+        corr_to_chunk.insert(corr, chunk_i);
+        for (corr, response) in pipe.completed() {
+            handle(corr, response, &corr_to_chunk, &mut versions, &chunks);
+        }
+    }
+    for (corr, response) in pipe.drain().expect("drain") {
+        handle(corr, response, &corr_to_chunk, &mut versions, &chunks);
+    }
+    versions
+}
+
+/// One connection, mixed batch sizes, deep pipeline: because per-shard
+/// sub-event order still equals trace order, the per-shard ledgers must
+/// stay byte-identical to the offline `shard_trace` simulation twin —
+/// batching and pipelining buy throughput without changing a single
+/// decision.
+#[test]
+fn batched_pipelined_replay_matches_sharded_simulation_exactly() {
+    let n_shards = shard_count();
+    let survey = small_survey(300);
+    let (server, cache_bytes) = start_server(&survey, n_shards, PolicyKind::VCover, 0.3);
+    let addr = server.local_addr();
+
+    replay_mixed(addr, &survey.trace.events, &[1, 3, 64, 7, 128, 2], 8);
+
+    let mut client = DeltaClient::connect(addr).expect("connect");
+    let stats = client.stats().expect("stats");
+    client.shutdown().expect("shutdown");
+    server.join();
+
+    let expected = expected_shard_ledgers(&survey, n_shards, PolicyKind::VCover, cache_bytes, 42);
+    for (shard, want) in stats.shards.iter().zip(&expected) {
+        assert_eq!(
+            &shard.ledger, want,
+            "shard {} ledger diverged under batching+pipelining",
+            shard.shard
+        );
+    }
+}
+
+/// Four concurrent connections with different batch sizes and pipeline
+/// windows: cross-connection interleaving may reorder events, but the
+/// order-independent invariants must hold exactly — total query bytes
+/// (NoCache ships everything), shard-sum == aggregate, and per-object
+/// update-log lengths (each object's final version equals its update
+/// count in the trace).
+#[test]
+fn concurrent_mixed_batch_and_pipeline_preserve_invariants() {
+    let n_shards = shard_count();
+    let survey = small_survey(240);
+    let (server, _) = start_server(&survey, n_shards, PolicyKind::NoCache, 0.3);
+    let addr = server.local_addr();
+
+    // Lane l gets events i with i % 4 == l, each lane with its own
+    // batching/pipelining shape (including the degenerate 1/1).
+    let shapes: [(&[usize], usize); 4] = [(&[1], 1), (&[4, 9], 2), (&[64], 8), (&[2, 31, 5], 4)];
+    let all_versions = std::sync::Mutex::new(Vec::new());
+    std::thread::scope(|scope| {
+        for (lane, (batch_sizes, window)) in shapes.iter().enumerate() {
+            let survey = &survey;
+            let all_versions = &all_versions;
+            scope.spawn(move || {
+                let lane_events: Vec<Event> = survey
+                    .trace
+                    .events
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| i % 4 == lane)
+                    .map(|(_, e)| e.clone())
+                    .collect();
+                let versions = replay_mixed(addr, &lane_events, batch_sizes, *window);
+                all_versions.lock().unwrap().extend(versions);
+            });
+        }
+    });
+
+    let mut client = DeltaClient::connect(addr).expect("connect");
+    let stats = client.stats().expect("stats");
+    client.shutdown().expect("shutdown");
+    server.join();
+
+    // Invariant 1: NoCache ships every sub-query; apportioning preserves
+    // byte totals exactly, independent of arrival order.
+    let global = stats.total_ledger();
+    assert_eq!(
+        global.breakdown.query_ship.bytes(),
+        survey.trace.total_query_bytes()
+    );
+    let shard_sum: u64 = stats.shards.iter().map(|s| s.ledger.total().bytes()).sum();
+    assert_eq!(shard_sum, global.total().bytes());
+    assert!(stats.total_events() as usize >= survey.trace.len());
+
+    // Invariant 2: per-object update-log lengths. Every update bumps its
+    // object's version by exactly one, so the max version each object
+    // reached equals its update count in the trace, whatever the
+    // interleaving.
+    let mut expected_counts = std::collections::HashMap::new();
+    for event in survey.trace.iter() {
+        if let Event::Update(u) = event {
+            *expected_counts.entry(u.object).or_insert(0u64) += 1;
+        }
+    }
+    let mut max_versions = std::collections::HashMap::new();
+    for (object, version) in all_versions.into_inner().unwrap() {
+        let entry = max_versions.entry(object).or_insert(0u64);
+        *entry = (*entry).max(version);
+    }
+    assert_eq!(max_versions.len(), expected_counts.len());
+    for (object, want) in expected_counts {
+        assert_eq!(
+            max_versions.get(&object),
+            Some(&want),
+            "object {object} log length diverged"
+        );
+    }
 }
 
 #[test]

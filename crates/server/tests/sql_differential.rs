@@ -1,0 +1,249 @@
+//! Differential test for SQL-on-the-wire: for a generated corpus of SQL
+//! strings, serving `Request::Sql` must leave the server in exactly the
+//! state that compiling locally with `QueryCompiler` and replaying the
+//! resulting `QueryEvent` via `Request::Query` does — byte-identical
+//! per-shard ledgers, identical reply counters, and identical compile
+//! rejections for invalid texts.
+
+use delta_query::{QueryCompiler, QueryError, Schema};
+use delta_server::{DeltaClient, PolicyKind, Server, ServerConfig, SqlStage};
+use delta_workload::{SyntheticSurvey, WorkloadConfig};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Shard count under test; the CI matrix overrides it (1, 4, 8).
+fn shard_count() -> usize {
+    std::env::var("DELTA_TEST_SHARDS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(4)
+}
+
+fn start_server(cfg: &WorkloadConfig, survey: &SyntheticSurvey) -> Server {
+    let config = ServerConfig {
+        bind: "127.0.0.1:0".to_string(),
+        n_shards: shard_count(),
+        cache_bytes: (survey.catalog.total_bytes() as f64 * 0.3) as u64,
+        policy: PolicyKind::VCover,
+        seed: 42,
+        frontend: Some(cfg.clone()),
+    };
+    Server::start(config, survey.catalog.clone()).expect("server starts")
+}
+
+/// A deterministic corpus mixing every query shape the frontend knows,
+/// with occasional updates to age the caches between queries.
+fn sql_corpus(n: usize, seed: u64) -> Vec<String> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        let ra = rng.random_range(0.0..360.0f64);
+        let dec = rng.random_range(-85.0..85.0f64);
+        let radius = rng.random_range(0.05..8.0f64);
+        let tol = rng.random_range(0u64..500);
+        let sql = match rng.random_range(0u32..7) {
+            0 => format!("SELECT ra, dec FROM PhotoObj WHERE CIRCLE({ra:.3}, {dec:.3}, {radius:.3})"),
+            1 => format!(
+                "SELECT * FROM PhotoObj WHERE CIRCLE({ra:.3}, {dec:.3}, {radius:.3}) WITH TOLERANCE {tol}"
+            ),
+            2 => {
+                let dra = rng.random_range(0.5..30.0f64);
+                let ddec = rng.random_range(0.5..20.0f64);
+                format!(
+                    "SELECT g, r FROM PhotoObj WHERE RECT({:.3}, {:.3}, {:.3}, {:.3}) AND g < 21",
+                    ra.min(329.0),
+                    dec.min(60.0),
+                    ra.min(329.0) + dra,
+                    dec.min(60.0) + ddec
+                )
+            }
+            3 => format!(
+                "SELECT COUNT(*) FROM PhotoObj WHERE CIRCLE({ra:.3}, {dec:.3}, {:.3})",
+                radius + 4.0
+            ),
+            4 => format!(
+                "SELECT * FROM PhotoObj WHERE NEIGHBORS({ra:.3}, {dec:.3}, {:.3})",
+                radius.min(0.4)
+            ),
+            5 => format!(
+                "SELECT TOP 500 ra, dec, u, g FROM PhotoObj WHERE CIRCLE({ra:.3}, {dec:.3}, {radius:.3}) AND u BETWEEN 15 AND 22"
+            ),
+            _ => "SELECT ra FROM PhotoObj".to_string(),
+        };
+        out.push(sql);
+    }
+    out
+}
+
+#[test]
+fn sql_over_wire_matches_local_compile_plus_query() {
+    let cfg = WorkloadConfig::small();
+    let survey = SyntheticSurvey::generate(&cfg);
+    let compiler = QueryCompiler::new(Schema::sdss(), cfg.sky_model(), cfg.spatial_mapper());
+
+    let sql_server = start_server(&cfg, &survey);
+    let event_server = start_server(&cfg, &survey);
+    let mut sql_client = DeltaClient::connect(sql_server.local_addr()).expect("connect");
+    let mut event_client = DeltaClient::connect(event_server.local_addr()).expect("connect");
+
+    let corpus = sql_corpus(120, 0xD1FF);
+    let mut update_rng = StdRng::seed_from_u64(0xA9E);
+    for (i, sql) in corpus.iter().enumerate() {
+        let seq = i as u64 * 2;
+
+        // Path A: the server compiles.
+        let wire = sql_client
+            .sql(seq, sql)
+            .expect("transport ok")
+            .unwrap_or_else(|rej| panic!("corpus query {i} rejected: {rej}\n  {sql}"));
+
+        // Path B: compile locally, ship the event.
+        let compiled = compiler.compile(sql).expect("local compile succeeds");
+        let n_objects = compiled.objects.len() as u32;
+        let event = compiled.into_event(seq);
+        let local = event_client.query(&event).expect("query served");
+
+        // The wire reply must describe exactly the locally-compiled event…
+        assert_eq!(wire.objects, n_objects, "B(q) diverged on query {i}");
+        assert_eq!(
+            wire.result_bytes, event.result_bytes,
+            "ν(q) diverged on query {i}"
+        );
+        assert_eq!(wire.tolerance, event.tolerance);
+        assert_eq!(wire.kind, event.kind);
+        // …and the fan-out must have made the same decisions.
+        assert_eq!(wire.shards_touched, local.shards_touched, "query {i}");
+        assert_eq!(wire.local_answers, local.local_answers, "query {i}");
+        assert_eq!(wire.shipped, local.shipped, "query {i}");
+
+        // Age both servers identically with an occasional update.
+        if update_rng.random_range(0u32..3) == 0 {
+            let object =
+                delta_storage::ObjectId(update_rng.random_range(0u32..survey.catalog.len() as u32));
+            let bytes = update_rng.random_range(1_000u64..1_000_000);
+            let u = delta_workload::UpdateEvent {
+                seq: seq + 1,
+                object,
+                bytes,
+            };
+            sql_client.update(&u).expect("update");
+            event_client.update(&u).expect("update");
+        }
+    }
+
+    // The decisive check: the two servers' final per-shard ledgers are
+    // byte-identical.
+    let sql_stats = sql_client.stats().expect("stats");
+    let event_stats = event_client.stats().expect("stats");
+    assert_eq!(sql_stats.shards.len(), shard_count());
+    assert!(
+        sql_stats.total_ledger().total().bytes() > 0,
+        "corpus must move bytes"
+    );
+    for (a, b) in sql_stats.shards.iter().zip(&event_stats.shards) {
+        assert_eq!(
+            a.ledger, b.ledger,
+            "shard {} ledger diverged between SQL and event replay",
+            a.shard
+        );
+        assert_eq!(a.events, b.events);
+        assert_eq!(a.residents, b.residents);
+        assert_eq!(a.cache_used, b.cache_used);
+    }
+
+    sql_client.shutdown().expect("shutdown");
+    event_client.shutdown().expect("shutdown");
+    sql_server.join();
+    event_server.join();
+}
+
+#[test]
+fn invalid_sql_rejections_match_local_compiler() {
+    let cfg = WorkloadConfig::small();
+    let survey = SyntheticSurvey::generate(&cfg);
+    let compiler = QueryCompiler::new(Schema::sdss(), cfg.sky_model(), cfg.spatial_mapper());
+
+    let server = start_server(&cfg, &survey);
+    let mut client = DeltaClient::connect(server.local_addr()).expect("connect");
+
+    let bad = [
+        "SELEC ra FROM PhotoObj",
+        "SELECT ra FROM NoSuchTable",
+        "SELECT zap FROM PhotoObj",
+        "SELECT ra FROM PhotoObj WHERE CIRCLE(1.0, 2.0, -5.0)",
+        "",
+        "WITH TOLERANCE 5",
+        "SELECT ra FROM PhotoObj WHERE g BETWEEN 25 AND 10",
+    ];
+    for sql in bad {
+        let rejection = client
+            .sql(0, sql)
+            .expect("transport ok")
+            .expect_err(&format!("{sql:?} should be rejected"));
+        let local = compiler
+            .compile(sql)
+            .expect_err(&format!("{sql:?} should fail locally"));
+        match (&rejection.stage, &local) {
+            (SqlStage::Parse, QueryError::Parse(e)) => {
+                assert_eq!(rejection.message, e.to_string());
+                assert_eq!(rejection.span, (e.span().start as u32, e.span().end as u32));
+            }
+            (SqlStage::Analyze, QueryError::Analyze(e)) => {
+                assert_eq!(rejection.message, e.to_string());
+            }
+            (stage, local) => {
+                panic!("stage mismatch for {sql:?}: wire {stage:?} vs local {local:?}")
+            }
+        }
+    }
+
+    // Rejected SQL must leave no trace in the accounting.
+    let stats = client.stats().expect("stats");
+    assert_eq!(stats.total_events(), 0, "rejections must not be accounted");
+
+    client.shutdown().expect("shutdown");
+    server.join();
+}
+
+#[test]
+fn sql_unavailable_without_frontend() {
+    let cfg = WorkloadConfig::small();
+    let survey = SyntheticSurvey::generate(&cfg);
+    let config = ServerConfig {
+        bind: "127.0.0.1:0".to_string(),
+        n_shards: 2,
+        cache_bytes: 10_000,
+        policy: PolicyKind::NoCache,
+        seed: 1,
+        frontend: None,
+    };
+    let server = Server::start(config, survey.catalog.clone()).expect("server starts");
+    let mut client = DeltaClient::connect(server.local_addr()).expect("connect");
+    let err = client
+        .sql(0, "SELECT ra FROM PhotoObj")
+        .expect_err("SQL must fail without a frontend");
+    assert!(err.to_string().contains("error 4"), "{err}");
+    client.shutdown().expect("shutdown");
+    server.join();
+}
+
+#[test]
+fn mismatched_frontend_refused_at_start() {
+    // A frontend whose partition cannot match the served catalog is a
+    // misconfiguration the server must refuse, not serve wrongly.
+    let cfg = WorkloadConfig::small();
+    let catalog = delta_storage::ObjectCatalog::from_sizes(&[100, 200, 300]);
+    let config = ServerConfig {
+        bind: "127.0.0.1:0".to_string(),
+        n_shards: 1,
+        cache_bytes: 100,
+        policy: PolicyKind::NoCache,
+        seed: 1,
+        frontend: Some(cfg),
+    };
+    let err = match Server::start(config, catalog) {
+        Err(e) => e,
+        Ok(_) => panic!("mismatched frontend must be refused"),
+    };
+    assert!(err.to_string().contains("frontend partition"), "{err}");
+}

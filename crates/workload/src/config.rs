@@ -180,6 +180,34 @@ impl WorkloadConfig {
         self.n_queries + self.n_updates
     }
 
+    /// The sky model every generator derived from this configuration
+    /// uses — deterministic in `seed` and `n_blobs`.
+    pub fn sky_model(&self) -> crate::sky::SkyModel {
+        crate::sky::SkyModel::sdss_like(self.seed, self.n_blobs)
+    }
+
+    /// The adaptive HTM partition of [`Self::sky_model`]'s sky: split by
+    /// solid angle into `target_objects` roughly equi-area leaves, then
+    /// reweighted by data mass — exactly the partition
+    /// [`crate::SyntheticSurvey::generate`] builds its catalog over.
+    pub fn spatial_partition(&self) -> delta_htm::Partition {
+        let sky = self.sky_model();
+        let mut partition =
+            delta_htm::Partition::adaptive(|t| t.solid_angle(), self.target_objects);
+        partition.reweight(|t| sky.trixel_mass(t));
+        partition
+    }
+
+    /// The region → object resolver over [`Self::spatial_partition`].
+    ///
+    /// This is the plumbing a wire server needs to compile SQL against a
+    /// preset-served catalog: object ids produced here agree with the
+    /// catalog [`crate::SyntheticSurvey::generate`] serves for the same
+    /// configuration.
+    pub fn spatial_mapper(&self) -> delta_storage::SpatialMapper {
+        delta_storage::SpatialMapper::new(self.spatial_partition())
+    }
+
     /// Checks internal consistency; returns a description of the first
     /// problem found.
     pub fn validate(&self) -> Result<(), String> {
@@ -244,6 +272,19 @@ mod tests {
         let mut c = WorkloadConfig::small();
         c.min_object_bytes = 0;
         assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn preset_mapper_matches_generated_survey() {
+        let cfg = WorkloadConfig::small();
+        let survey = crate::SyntheticSurvey::generate(&cfg);
+        let mapper = cfg.spatial_mapper();
+        assert_eq!(mapper.partition().len(), survey.mapper.partition().len());
+        assert_eq!(mapper.partition().len(), survey.catalog.len());
+        for (ra, dec) in [(0.0, 0.0), (185.0, 15.3), (300.0, -45.0), (42.0, 80.0)] {
+            let p = delta_htm::Vec3::from_radec_deg(ra, dec);
+            assert_eq!(mapper.object_at(p), survey.mapper.object_at(p));
+        }
     }
 
     #[test]

@@ -1,0 +1,114 @@
+//! Cross-crate integration through the `delta` facade: raw SQL and
+//! pipelined batches over a live TCP server, end to end.
+
+use delta::server::{
+    BatchItem, BatchReply, DeltaClient, PolicyKind, Request, Response, Server, ServerConfig,
+};
+use delta::workload::{Event, SyntheticSurvey, WorkloadConfig};
+
+fn world() -> (WorkloadConfig, SyntheticSurvey, Server) {
+    let mut cfg = WorkloadConfig::small();
+    cfg.n_queries = 150;
+    cfg.n_updates = 150;
+    let survey = SyntheticSurvey::generate(&cfg);
+    let config = ServerConfig {
+        bind: "127.0.0.1:0".to_string(),
+        n_shards: 4,
+        cache_bytes: (survey.catalog.total_bytes() as f64 * 0.3) as u64,
+        policy: PolicyKind::VCover,
+        seed: 7,
+        frontend: Some(cfg.clone()),
+    };
+    let server = Server::start(config, survey.catalog.clone()).expect("server starts");
+    (cfg, survey, server)
+}
+
+#[test]
+fn sql_batches_and_pipelining_compose_over_the_facade() {
+    let (_cfg, survey, server) = world();
+    let addr = server.local_addr();
+
+    // 1. Raw SQL straight onto the wire.
+    let mut client = DeltaClient::connect(addr).expect("connect");
+    let reply = client
+        .sql(
+            0,
+            "SELECT ra, dec FROM PhotoObj WHERE CIRCLE(185.0, 15.3, 2.0) WITH TOLERANCE 25",
+        )
+        .expect("transport ok")
+        .expect("compiles");
+    assert!(reply.objects > 0, "a 2° cone touches objects");
+    assert!(reply.result_bytes > 0);
+    assert_eq!(reply.tolerance, 25);
+    assert_eq!(
+        reply.local_answers + reply.shipped,
+        reply.shards_touched,
+        "every sub-query is satisfied somewhere"
+    );
+
+    // A typed rejection, not a dead connection.
+    let rejection = client
+        .sql(1, "SELECT warp FROM PhotoObj")
+        .expect("transport ok")
+        .expect_err("unknown column");
+    assert!(rejection.message.contains("warp"), "{rejection}");
+
+    // 2. A trace prefix as one batch frame.
+    let items: Vec<BatchItem> = survey
+        .trace
+        .events
+        .iter()
+        .take(60)
+        .map(|e| match e {
+            Event::Query(q) => BatchItem::Query(q.clone()),
+            Event::Update(u) => BatchItem::Update(*u),
+        })
+        .collect();
+    let replies = client.batch(&items).expect("batch served");
+    assert_eq!(replies.len(), 60);
+    for (reply, item) in replies.iter().zip(&items) {
+        match (reply, item) {
+            (BatchReply::Query { .. }, BatchItem::Query(_)) => {}
+            (BatchReply::Update { .. }, BatchItem::Update(_)) => {}
+            other => panic!("reply out of order: {other:?}"),
+        }
+    }
+
+    // 3. The rest of the trace pipelined, window of 6, mixing frame
+    // kinds — SQL included.
+    let mut pipe = client.pipelined(6);
+    for event in survey.trace.events.iter().skip(60).take(120) {
+        let request = match event {
+            Event::Query(q) => Request::Query(q.clone()),
+            Event::Update(u) => Request::Update(*u),
+        };
+        pipe.submit(&request).expect("submit");
+        assert!(pipe.in_flight() <= 6, "window respected");
+    }
+    pipe.submit(&Request::Sql {
+        seq: 500,
+        sql: "SELECT COUNT(*) FROM PhotoObj".to_string(),
+    })
+    .expect("submit sql");
+    let responses = pipe.drain().expect("drain");
+    assert_eq!(responses.len(), 121);
+    // Correlation ids are unique and every response is a success.
+    let mut corrs: Vec<u64> = responses.iter().map(|(c, _)| *c).collect();
+    corrs.sort();
+    corrs.dedup();
+    assert_eq!(corrs.len(), 121);
+    assert!(responses
+        .iter()
+        .any(|(_, r)| matches!(r, Response::SqlOk { .. })));
+    assert!(!responses
+        .iter()
+        .any(|(_, r)| matches!(r, Response::Error { .. })));
+
+    // 4. Back to lockstep on the same socket; the accounting adds up.
+    let (mut client, _) = pipe.into_lockstep().expect("drained");
+    let stats = client.stats().expect("stats");
+    assert_eq!(stats.shards.len(), 4);
+    assert!(stats.total_ledger().total().bytes() > 0);
+    client.shutdown().expect("shutdown");
+    server.join();
+}
