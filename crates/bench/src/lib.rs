@@ -94,7 +94,7 @@ pub fn write_json<T: serde_json::ToJson>(name: &str, value: &T) {
 pub fn print_reports(title: &str, warmup_cutoff: u64, reports: &[SimReport]) {
     println!("\n=== {title} ===");
     println!(
-        "{:<9} {:>12} {:>14} {:>12} {:>12} {:>12} {:>7} {:>6} {:>6}",
+        "{:<9} {:>12} {:>14} {:>12} {:>12} {:>12} {:>7} {:>7} {:>6} {:>6}",
         "policy",
         "total",
         "post-warmup",
@@ -102,13 +102,14 @@ pub fn print_reports(title: &str, warmup_cutoff: u64, reports: &[SimReport]) {
         "update-ship",
         "load",
         "hit%",
+        "tol-srv",
         "loads",
         "evict"
     );
     for r in reports {
         let b = &r.ledger.breakdown;
         println!(
-            "{:<9} {:>12} {:>14} {:>12} {:>12} {:>12} {:>6.1}% {:>6} {:>6}",
+            "{:<9} {:>12} {:>14} {:>12} {:>12} {:>12} {:>6.1}% {:>7} {:>6} {:>6}",
             r.policy,
             r.total().to_string(),
             r.cost_after(warmup_cutoff).to_string(),
@@ -116,6 +117,7 @@ pub fn print_reports(title: &str, warmup_cutoff: u64, reports: &[SimReport]) {
             b.update_ship.to_string(),
             b.load.to_string(),
             r.ledger.hit_rate() * 100.0,
+            r.metrics.tolerance_served,
             r.ledger.loads,
             r.ledger.evictions,
         );

@@ -116,6 +116,18 @@ impl CostLedger {
             self.local_answers as f64 / n as f64
         }
     }
+
+    /// Folds another account into this one (e.g. per-shard totals).
+    pub fn absorb(&mut self, other: &CostLedger) {
+        self.breakdown.query_ship += other.breakdown.query_ship;
+        self.breakdown.update_ship += other.breakdown.update_ship;
+        self.breakdown.load += other.breakdown.load;
+        self.shipped_queries += other.shipped_queries;
+        self.local_answers += other.local_answers;
+        self.update_ships += other.update_ships;
+        self.loads += other.loads;
+        self.evictions += other.evictions;
+    }
 }
 
 impl serde_json::ToJson for Cost {
@@ -144,6 +156,47 @@ impl serde_json::ToJson for CostLedger {
             ("loads".into(), self.loads.to_json()),
             ("evictions".into(), self.evictions.to_json()),
         ])
+    }
+}
+
+/// Looks up a required member of a JSON object — the shared helper for
+/// this crate's hand-rolled `FromJson` impls.
+pub(crate) fn json_field<'v>(
+    v: &'v serde_json::Value,
+    name: &str,
+) -> Result<&'v serde_json::Value, serde_json::Error> {
+    v.get(name)
+        .ok_or_else(|| serde_json::Error::msg(format!("missing field `{name}`")))
+}
+
+use json_field as field;
+
+impl serde_json::FromJson for Cost {
+    fn from_json(v: &serde_json::Value) -> Result<Self, serde_json::Error> {
+        Ok(Cost(u64::from_json(v)?))
+    }
+}
+
+impl serde_json::FromJson for CostBreakdown {
+    fn from_json(v: &serde_json::Value) -> Result<Self, serde_json::Error> {
+        Ok(CostBreakdown {
+            query_ship: Cost::from_json(field(v, "query_ship")?)?,
+            update_ship: Cost::from_json(field(v, "update_ship")?)?,
+            load: Cost::from_json(field(v, "load")?)?,
+        })
+    }
+}
+
+impl serde_json::FromJson for CostLedger {
+    fn from_json(v: &serde_json::Value) -> Result<Self, serde_json::Error> {
+        Ok(CostLedger {
+            breakdown: CostBreakdown::from_json(field(v, "breakdown")?)?,
+            shipped_queries: u64::from_json(field(v, "shipped_queries")?)?,
+            local_answers: u64::from_json(field(v, "local_answers")?)?,
+            update_ships: u64::from_json(field(v, "update_ships")?)?,
+            loads: u64::from_json(field(v, "loads")?)?,
+            evictions: u64::from_json(field(v, "evictions")?)?,
+        })
     }
 }
 

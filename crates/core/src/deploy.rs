@@ -35,12 +35,12 @@
 //! contract; the observable cost of a crash is extra traffic (reloads,
 //! re-shipped queries), which the returned report quantifies.
 
-use crate::context::{SimContext, Transport};
-use crate::cost::CostLedger;
+use crate::context::Transport;
+use crate::engine::{BorrowedPolicy, Engine, EngineOutcome};
 use crate::policy_trait::CachingPolicy;
 use crate::sim::{SeriesPoint, SimOptions, SimReport};
 use delta_net::{Endpoint, Link, NetMessage, ObjectLog, TrafficSnapshot};
-use delta_storage::{CacheStore, ObjectCatalog, ObjectId, Repository};
+use delta_storage::{ObjectCatalog, ObjectId, Repository};
 use delta_workload::{Event, Trace, UpdateEvent};
 
 /// Messages from the client/pipeline to the cache thread.
@@ -281,32 +281,12 @@ pub fn run_deployed(
     trace: &Trace,
     opts: SimOptions,
 ) -> (SimReport, TrafficSnapshot) {
-    /// Lets a borrowed policy flow through the box-producing factory
-    /// interface of the inner runner (fault-free runs build exactly one
-    /// policy, so the borrow is handed out once).
-    struct Borrowed<'p>(&'p mut (dyn CachingPolicy + Send));
-    impl CachingPolicy for Borrowed<'_> {
-        fn name(&self) -> &str {
-            self.0.name()
-        }
-        fn init(&mut self, ctx: &mut SimContext<'_>) {
-            self.0.init(ctx);
-        }
-        fn on_query(&mut self, q: &delta_workload::QueryEvent, ctx: &mut SimContext<'_>) {
-            self.0.on_query(q, ctx);
-        }
-        fn on_update(&mut self, u: &UpdateEvent, ctx: &mut SimContext<'_>) {
-            self.0.on_update(u, ctx);
-        }
-        fn preferred_capacity(&self, catalog: &ObjectCatalog, configured: u64) -> u64 {
-            self.0.preferred_capacity(catalog, configured)
-        }
-    }
-
+    // Fault-free runs build exactly one policy, so the borrow is handed
+    // out once, wrapped to fit the box-producing factory interface.
     let mut slot = Some(policy);
     let (report, snapshot, recovery) = run_deployed_inner(
-        &mut move || -> Box<dyn CachingPolicy + Send> {
-            Box::new(Borrowed(
+        &mut move || -> Box<dyn CachingPolicy + '_> {
+            Box::new(BorrowedPolicy(
                 slot.take().expect("fault-free runs build one policy"),
             ))
         },
@@ -331,7 +311,13 @@ pub fn run_deployed_faulty(
     opts: SimOptions,
     plan: &FaultPlan,
 ) -> (SimReport, TrafficSnapshot, RecoveryReport) {
-    run_deployed_inner(&mut || make_policy(), catalog, trace, opts, plan)
+    run_deployed_inner(
+        &mut || -> Box<dyn CachingPolicy> { make_policy() },
+        catalog,
+        trace,
+        opts,
+        plan,
+    )
 }
 
 fn run_deployed_inner<'p, F>(
@@ -342,7 +328,7 @@ fn run_deployed_inner<'p, F>(
     plan: &FaultPlan,
 ) -> (SimReport, TrafficSnapshot, RecoveryReport)
 where
-    F: FnMut() -> Box<dyn CachingPolicy + Send + 'p> + Send,
+    F: FnMut() -> Box<dyn CachingPolicy + 'p> + Send,
 {
     assert!(
         plan.crashes.windows(2).all(|w| w[0].0 < w[1].0),
@@ -362,40 +348,25 @@ where
         let report_ref = &mut report;
         let recovery_ref = &mut recovery;
         scope.spawn(move || {
-            let mut mirror = Repository::new(cache_catalog.clone());
-            let mut policy = next_policy();
-            let capacity = policy.preferred_capacity(&cache_catalog, opts.cache_bytes);
-            let mut store = CacheStore::new(capacity);
-            // The ledger is the experiment's measurement apparatus, not
-            // cache state: it survives crashes, like the WAN meter does.
-            let mut ledger = CostLedger::default();
+            // The engine owns the metadata mirror, the store and the
+            // ledger. The ledger is the experiment's measurement
+            // apparatus, not cache state: it survives crashes (the
+            // engine keeps it through policy/repository swaps), like the
+            // WAN meter does.
+            let mut engine = Engine::new(next_policy(), &cache_catalog, opts.cache_bytes);
             let mut transport = WanTransport { wan: cache_wan };
-            {
-                let mut ctx = SimContext::with_transport(
-                    &mut mirror,
-                    &mut store,
-                    &mut ledger,
-                    0,
-                    &mut transport,
-                );
-                policy.init(&mut ctx);
-            }
+            engine.init(Some(&mut transport));
             let mut series = Vec::new();
             let mut count = 0u64;
-            let mut last_seq = 0u64;
             loop {
                 match client_rx.recv().expect("client alive") {
                     ClientMsg::Query(q) => {
-                        last_seq = q.seq;
-                        let mut ctx = SimContext::with_transport(
-                            &mut mirror,
-                            &mut store,
-                            &mut ledger,
-                            q.seq,
-                            &mut transport,
-                        );
-                        policy.on_query(&q, &mut ctx);
-                        assert!(ctx.satisfied(), "query {} unsatisfied in deployment", q.seq);
+                        let seq = q.seq;
+                        engine
+                            .apply_with(&Event::Query(q), Some(&mut transport))
+                            .unwrap_or_else(|e| {
+                                panic!("query {seq} unsatisfied in deployment: {e}")
+                            });
                     }
                     ClientMsg::AbsorbInvalidation => {
                         // The matching invalidation is already in flight.
@@ -406,42 +377,41 @@ where
                                 bytes,
                                 seq,
                             } => {
-                                last_seq = seq;
                                 let o = ObjectId(object);
-                                let v = mirror.apply_update(o, bytes, seq);
-                                assert_eq!(v, version, "mirror version drift on {o}");
-                                store.invalidate(o);
                                 let u = UpdateEvent {
                                     seq,
                                     object: o,
                                     bytes,
                                 };
-                                let mut ctx = SimContext::with_transport(
-                                    &mut mirror,
-                                    &mut store,
-                                    &mut ledger,
-                                    seq,
-                                    &mut transport,
-                                );
-                                policy.on_update(&u, &mut ctx);
+                                match engine
+                                    .apply_with(&Event::Update(u), Some(&mut transport))
+                                    .expect("updates cannot violate the contract")
+                                {
+                                    EngineOutcome::Update { version: v } => {
+                                        assert_eq!(v, version, "mirror version drift on {o}");
+                                    }
+                                    other => panic!("update produced {other:?}"),
+                                }
                             }
                             other => panic!("expected Invalidation, got {other:?}"),
                         }
                     }
                     ClientMsg::Crash(mode) => {
                         recovery_ref.crashes += 1;
-                        // Volatile state dies with the process.
-                        policy = next_policy();
+                        // Volatile state dies with the process: the
+                        // policy's decision state and the mirror go; the
+                        // engine keeps the store and the ledger.
+                        engine.replace_policy(next_policy());
                         let (m, replayed) = resync_mirror(&mut transport, &cache_catalog);
-                        mirror = m;
                         recovery_ref.log_entries_replayed += replayed;
+                        engine.replace_repository(m);
                         match mode {
                             RecoveryMode::Cold => {
                                 let residents: Vec<ObjectId> =
-                                    store.iter().map(|(o, _)| o).collect();
+                                    engine.cache().iter().map(|(o, _)| o).collect();
                                 recovery_ref.objects_lost += residents.len() as u64;
                                 for o in residents {
-                                    store.evict(o).expect("resident");
+                                    engine.cache_mut().evict(o).expect("resident");
                                     transport
                                         .wan
                                         .send(NetMessage::EvictNotice { object: o.0 })
@@ -452,27 +422,21 @@ where
                                 // Disk survived; freshness metadata must be
                                 // re-derived by comparing applied versions
                                 // against the resynced mirror.
-                                let residents: Vec<(ObjectId, u64)> =
-                                    store.iter().map(|(o, r)| (o, r.applied_version)).collect();
+                                let residents: Vec<(ObjectId, u64)> = engine
+                                    .cache()
+                                    .iter()
+                                    .map(|(o, r)| (o, r.applied_version))
+                                    .collect();
                                 recovery_ref.objects_kept += residents.len() as u64;
                                 for (o, applied) in residents {
-                                    if applied < mirror.version(o) {
-                                        store.invalidate(o);
+                                    if applied < engine.repo().version(o) {
+                                        engine.cache_mut().invalidate(o);
                                         recovery_ref.objects_stale_on_recovery += 1;
                                     }
                                 }
                             }
                         }
-                        {
-                            let mut ctx = SimContext::with_transport(
-                                &mut mirror,
-                                &mut store,
-                                &mut ledger,
-                                last_seq,
-                                &mut transport,
-                            );
-                            policy.init(&mut ctx);
-                        }
+                        engine.init(Some(&mut transport));
                         ack_tx.send(()).expect("client alive");
                         continue;
                     }
@@ -487,25 +451,27 @@ where
                 count += 1;
                 if count.is_multiple_of(opts.sample_every) {
                     series.push(SeriesPoint {
-                        seq: last_seq,
-                        cumulative_bytes: ledger.total().bytes(),
+                        seq: engine.clock(),
+                        cumulative_bytes: engine.ledger().total().bytes(),
                     });
                 }
                 ack_tx.send(()).expect("client alive");
             }
-            if series.last().map(|p| p.seq) != Some(last_seq) {
+            if series.last().map(|p| p.seq) != Some(engine.clock()) {
                 series.push(SeriesPoint {
-                    seq: last_seq,
-                    cumulative_bytes: ledger.total().bytes(),
+                    seq: engine.clock(),
+                    cumulative_bytes: engine.ledger().total().bytes(),
                 });
             }
+            let metrics = engine.metrics();
             *report_ref = Some(SimReport {
-                policy: policy.name().to_string(),
-                cache_bytes: capacity,
-                ledger,
+                policy: engine.policy_name().to_string(),
+                cache_bytes: engine.cache().capacity(),
+                ledger: metrics.ledger.clone(),
                 series,
                 events: count,
                 latency: None,
+                metrics,
             });
         });
 

@@ -15,10 +15,14 @@
 //!   (§5).
 //! * [`NoCache`] / [`Replica`] / [`SOptimal`] — the three yardsticks of
 //!   §6.1.
+//! * [`engine`] — the one decoupling engine every driver runs: update
+//!   application, invalidation and the satisfaction contract behind a
+//!   typed [`EngineError`], with uniform [`EngineMetrics`] and
+//!   snapshot/warm-restart support.
 //! * [`sim`] — the event simulator producing the cumulative-traffic curves
-//!   of Fig. 7(b)/8, with enforced query-satisfaction and uniform cost
-//!   accounting; [`deploy`] — the same semantics over real threads and
-//!   metered channels, with crash/recovery fault injection (§7).
+//!   of Fig. 7(b)/8, a thin trace driver over the engine; [`deploy`] — the
+//!   same engine over real threads and metered channels, with
+//!   crash/recovery fault injection (§7).
 //! * [`offline`] — the Theorem-1 hindsight optimum: the exact
 //!   minimum-weight vertex cover over a whole trace for a static cached
 //!   set.
@@ -47,6 +51,7 @@ pub mod benefit;
 pub mod context;
 pub mod cost;
 pub mod deploy;
+pub mod engine;
 pub mod latency;
 pub mod load_manager;
 pub mod offline;
@@ -60,12 +65,13 @@ pub mod yardstick;
 pub use benefit::{Benefit, BenefitConfig};
 pub use context::SimContext;
 pub use cost::{Cost, CostBreakdown, CostLedger};
+pub use engine::{Engine, EngineError, EngineMetrics, EngineOutcome, EngineSnapshot};
 pub use latency::{LatencyCollector, LatencyStats};
 pub use load_manager::{AdmissionMode, LoadManager};
 pub use offline::{hindsight_decoupling, HindsightReport};
 pub use policy_trait::CachingPolicy;
 pub use preship::{Preship, PreshipConfig};
-pub use sim::{compare_all, simulate, SeriesPoint, SimOptions, SimReport};
+pub use sim::{compare_all, simulate, try_simulate, SeriesPoint, SimOptions, SimReport};
 pub use update_manager::UpdateManager;
 pub use vcover::VCover;
 pub use yardstick::{NoCache, Replica, SOptimal};

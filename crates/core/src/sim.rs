@@ -1,13 +1,19 @@
 //! The event simulator: replays a trace against a policy and produces the
 //! cost series the paper's figures plot.
+//!
+//! Since the engine extraction this module is a thin *driver*: the
+//! update/query loop, the satisfaction contract and all cost accounting
+//! live in [`crate::engine::Engine`]; the simulator supplies events from
+//! a trace, samples the cumulative-cost curve, and prices response times
+//! against an optional link model.
 
-use crate::context::SimContext;
 use crate::cost::{Cost, CostLedger};
+use crate::engine::{BorrowedPolicy, Engine, EngineError, EngineMetrics, EngineOutcome};
 use crate::latency::{LatencyCollector, LatencyStats};
 use crate::policy_trait::CachingPolicy;
 use delta_net::LinkModel;
-use delta_storage::{CacheStore, ObjectCatalog, Repository};
-use delta_workload::{Event, Trace};
+use delta_storage::ObjectCatalog;
+use delta_workload::Trace;
 use serde::{Deserialize, Serialize};
 
 /// Simulation options.
@@ -64,6 +70,10 @@ pub struct SimReport {
     pub events: u64,
     /// Response-time summary, present when [`SimOptions::link`] was set.
     pub latency: Option<LatencyStats>,
+    /// The engine's uniform operational counters (the `ledger` above is
+    /// a copy of `metrics.ledger`, kept as a first-class field because
+    /// the cost account *is* the experiment's result).
+    pub metrics: EngineMetrics,
 }
 
 impl SimReport {
@@ -113,6 +123,7 @@ impl serde_json::ToJson for SimReport {
                     .map(|l| l.to_json())
                     .unwrap_or(serde_json::Value::Null),
             ),
+            ("metrics".into(), self.metrics.to_json()),
         ])
     }
 }
@@ -137,55 +148,39 @@ impl std::fmt::Display for SimReport {
 }
 
 /// Replays `trace` against `policy` over a fresh repository built from
-/// `catalog`, enforcing the satisfaction contract for every query.
-pub fn simulate(
+/// `catalog`. An unsatisfied query surfaces as the engine's typed
+/// [`EngineError::ContractViolated`] instead of a panic.
+pub fn try_simulate(
     policy: &mut dyn CachingPolicy,
     catalog: &ObjectCatalog,
     trace: &Trace,
     opts: SimOptions,
-) -> SimReport {
-    let mut repo = Repository::new(catalog.clone());
-    let capacity = policy.preferred_capacity(catalog, opts.cache_bytes);
-    let mut cache = CacheStore::new(capacity);
-    let mut ledger = CostLedger::default();
-
-    {
-        let mut ctx = SimContext::new(&mut repo, &mut cache, &mut ledger, 0);
-        policy.init(&mut ctx);
-    }
+) -> Result<SimReport, EngineError> {
+    let mut engine = Engine::new(Box::new(BorrowedPolicy(policy)), catalog, opts.cache_bytes);
+    engine.init(None);
 
     let mut series = Vec::new();
     let mut latencies = opts.link.map(|_| LatencyCollector::new());
     let mut count = 0u64;
     for event in trace.iter() {
-        let now = event.seq();
-        match event {
-            Event::Update(u) => {
-                repo.apply_update(u.object, u.bytes, u.seq);
-                cache.invalidate(u.object);
-                let mut ctx = SimContext::new(&mut repo, &mut cache, &mut ledger, now);
-                policy.on_update(u, &mut ctx);
-            }
-            Event::Query(q) => {
-                let mut ctx = SimContext::new(&mut repo, &mut cache, &mut ledger, now);
-                policy.on_query(q, &mut ctx);
-                assert!(
-                    ctx.satisfied(),
-                    "policy {} neither shipped nor answered query at seq {}",
-                    policy.name(),
-                    q.seq
-                );
-                if let (Some(link), Some(lat)) = (&opts.link, latencies.as_mut()) {
-                    let (messages, bytes) = ctx.sync_traffic();
-                    lat.record_exchanges(link, messages, bytes);
-                }
-            }
+        let outcome = engine.apply(event)?;
+        if let (
+            EngineOutcome::Query {
+                sync_messages,
+                sync_bytes,
+                ..
+            },
+            Some(link),
+            Some(lat),
+        ) = (outcome, &opts.link, latencies.as_mut())
+        {
+            lat.record_exchanges(link, sync_messages, sync_bytes);
         }
         count += 1;
         if count.is_multiple_of(opts.sample_every) {
             series.push(SeriesPoint {
-                seq: now,
-                cumulative_bytes: ledger.total().bytes(),
+                seq: event.seq(),
+                cumulative_bytes: engine.ledger().total().bytes(),
             });
         }
     }
@@ -194,18 +189,35 @@ pub fn simulate(
     if series.last().map(|p| p.seq) != Some(last_seq) {
         series.push(SeriesPoint {
             seq: last_seq,
-            cumulative_bytes: ledger.total().bytes(),
+            cumulative_bytes: engine.ledger().total().bytes(),
         });
     }
 
-    SimReport {
-        policy: policy.name().to_string(),
-        cache_bytes: capacity,
-        ledger,
+    let metrics = engine.metrics();
+    Ok(SimReport {
+        policy: engine.policy_name().to_string(),
+        cache_bytes: engine.cache().capacity(),
+        ledger: metrics.ledger.clone(),
         series,
         events: count,
         latency: latencies.map(|l| l.summarize()),
-    }
+        metrics,
+    })
+}
+
+/// Replays `trace` against `policy`, enforcing the satisfaction contract
+/// for every query.
+///
+/// # Panics
+/// Panics if the policy violates the contract — a policy bug, never a
+/// legal outcome. Use [`try_simulate`] to handle it as a typed error.
+pub fn simulate(
+    policy: &mut dyn CachingPolicy,
+    catalog: &ObjectCatalog,
+    trace: &Trace,
+    opts: SimOptions,
+) -> SimReport {
+    try_simulate(policy, catalog, trace, opts).unwrap_or_else(|e| panic!("{e}"))
 }
 
 /// Convenience: run the full five-way comparison of §6 (VCover, Benefit,
@@ -310,6 +322,44 @@ mod tests {
             names,
             vec!["NoCache", "Replica", "Benefit", "VCover", "SOptimal"]
         );
+    }
+
+    #[test]
+    fn try_simulate_reports_contract_violations_typed() {
+        use crate::context::SimContext;
+        use delta_workload::{QueryEvent, UpdateEvent};
+        struct Broken;
+        impl crate::CachingPolicy for Broken {
+            fn name(&self) -> &str {
+                "Broken"
+            }
+            fn on_query(&mut self, _q: &QueryEvent, _ctx: &mut SimContext<'_>) {}
+            fn on_update(&mut self, _u: &UpdateEvent, _ctx: &mut SimContext<'_>) {}
+        }
+        let s = tiny_survey();
+        let opts = SimOptions::with_cache_fraction(&s.catalog, 0.3, 100);
+        let mut p = Broken;
+        let err = try_simulate(&mut p, &s.catalog, &s.trace, opts).unwrap_err();
+        assert!(matches!(err, crate::EngineError::ContractViolated { .. }));
+    }
+
+    #[test]
+    #[should_panic(expected = "neither shipped nor answered")]
+    fn simulate_still_panics_on_contract_violation() {
+        use crate::context::SimContext;
+        use delta_workload::{QueryEvent, UpdateEvent};
+        struct Broken;
+        impl crate::CachingPolicy for Broken {
+            fn name(&self) -> &str {
+                "Broken"
+            }
+            fn on_query(&mut self, _q: &QueryEvent, _ctx: &mut SimContext<'_>) {}
+            fn on_update(&mut self, _u: &UpdateEvent, _ctx: &mut SimContext<'_>) {}
+        }
+        let s = tiny_survey();
+        let opts = SimOptions::with_cache_fraction(&s.catalog, 0.3, 100);
+        let mut p = Broken;
+        let _ = simulate(&mut p, &s.catalog, &s.trace, opts);
     }
 
     #[test]

@@ -5,8 +5,19 @@
 //! delta-loadgen --addr 127.0.0.1:7117
 //!               [--trace trace.jsonl | --preset small|paper]
 //!               [--limit N] [--clients C]
-//!               [--batch N] [--pipeline W] [--shutdown]
+//!               [--batch N] [--pipeline W]
+//!               [--bench-json PATH] [--shutdown]
 //! ```
+//!
+//! `--bench-json PATH` switches to benchmark mode: after one unmeasured
+//! warm-up replay (so every mode runs against the same warmed caches and
+//! repository state, and the ratios compare protocol overhead rather
+//! than cache warmth), the trace is replayed three measured times —
+//! lockstep, batched and pipelined — and a JSON document with the
+//! events/s per mode, the server's shard count and the final aggregate
+//! metrics (reflecting all four replays) is written to PATH (the repo
+//! convention is `results/BENCH_server.json`), so successive PRs can
+//! track protocol throughput regressions from CI artifacts.
 //!
 //! With `--clients C`, the trace is dealt round-robin over C connections
 //! driven by C threads (updates and queries stay globally ordered per
@@ -38,13 +49,15 @@ struct Args {
     clients: usize,
     batch: usize,
     pipeline: usize,
+    bench_json: Option<String>,
     shutdown: bool,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: delta-loadgen --addr ADDR [--trace FILE | --preset small|paper] \
-         [--limit N] [--clients C] [--batch N] [--pipeline W] [--shutdown]"
+         [--limit N] [--clients C] [--batch N] [--pipeline W] \
+         [--bench-json PATH] [--shutdown]"
     );
     exit(2);
 }
@@ -58,6 +71,7 @@ fn parse_args() -> Args {
         clients: 1,
         batch: 1,
         pipeline: 1,
+        bench_json: None,
         shutdown: false,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -74,6 +88,7 @@ fn parse_args() -> Args {
             "--clients" => args.clients = value(&argv, i).parse().unwrap_or_else(|_| usage()),
             "--batch" => args.batch = value(&argv, i).parse().unwrap_or_else(|_| usage()),
             "--pipeline" => args.pipeline = value(&argv, i).parse().unwrap_or_else(|_| usage()),
+            "--bench-json" => args.bench_json = Some(value(&argv, i)),
             "--shutdown" => {
                 args.shutdown = true;
                 i += 1;
@@ -236,9 +251,110 @@ fn replay_pipelined(
     Ok(totals)
 }
 
+/// Benchmark mode: replay the trace in each protocol shape, measure
+/// events/s, and write the machine-readable results document.
+fn run_bench(args: &Args, trace: &Trace, path: &str) {
+    use serde_json::{ToJson, Value};
+    let batch = if args.batch > 1 { args.batch } else { 64 };
+    let window = if args.pipeline > 1 { args.pipeline } else { 8 };
+    // One unmeasured pass first: the modes must all run against the same
+    // warmed caches, or the first-measured mode pays the warm-up bytes
+    // and the per-mode ratios conflate protocol cost with cache state.
+    eprintln!("bench    warmup (unmeasured replay to steady state)");
+    replay(&args.addr, &trace.events, batch, 1).unwrap_or_else(|e| {
+        eprintln!("delta-loadgen: bench warmup failed: {e}");
+        exit(1);
+    });
+    let modes = [
+        ("lockstep", 1usize, 1usize),
+        ("batch", batch, 1),
+        ("pipeline", batch, window),
+    ];
+    let mut mode_docs = Vec::new();
+    for (name, b, w) in modes {
+        let start = Instant::now();
+        let (queries, updates, _) = replay(&args.addr, &trace.events, b, w).unwrap_or_else(|e| {
+            eprintln!("delta-loadgen: bench mode {name} failed: {e}");
+            exit(1);
+        });
+        let elapsed = start.elapsed().as_secs_f64();
+        let events = queries + updates;
+        let events_per_sec = events as f64 / elapsed;
+        eprintln!(
+            "bench {name:>9} (batch={b}, pipeline={w}): {events} events in {elapsed:.2}s ({events_per_sec:.0} events/s)"
+        );
+        mode_docs.push(Value::Object(vec![
+            ("name".into(), name.to_string().to_json()),
+            ("batch".into(), b.to_json()),
+            ("pipeline".into(), w.to_json()),
+            ("events".into(), events.to_json()),
+            ("elapsed_s".into(), elapsed.to_json()),
+            ("events_per_sec".into(), events_per_sec.to_json()),
+        ]));
+    }
+
+    let stats = DeltaClient::connect(&args.addr)
+        .and_then(|mut c| c.stats())
+        .unwrap_or_else(|e| {
+            eprintln!("delta-loadgen: stats failed: {e}");
+            exit(1);
+        });
+    print!("{}", stats.render_table());
+    let metrics = stats.total_metrics();
+    let doc = Value::Object(vec![
+        ("trace_events".into(), trace.len().to_json()),
+        ("shards".into(), stats.shards.len().to_json()),
+        (
+            "policy".into(),
+            stats
+                .shards
+                .first()
+                .map(|s| s.policy.clone())
+                .unwrap_or_default()
+                .to_json(),
+        ),
+        ("modes".into(), Value::Array(mode_docs)),
+        (
+            "final_ledger_bytes".into(),
+            metrics.ledger.total().bytes().to_json(),
+        ),
+        ("final_metrics".into(), metrics.to_json()),
+    ]);
+    if let Some(parent) = std::path::Path::new(path).parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent).unwrap_or_else(|e| {
+                eprintln!("delta-loadgen: cannot create {}: {e}", parent.display());
+                exit(1);
+            });
+        }
+    }
+    let mut body = doc.to_json_string_pretty();
+    body.push('\n');
+    std::fs::write(path, body).unwrap_or_else(|e| {
+        eprintln!("delta-loadgen: cannot write {path}: {e}");
+        exit(1);
+    });
+    eprintln!("wrote {path}");
+}
+
 fn main() {
     let args = parse_args();
     let trace = load_trace(&args);
+    if let Some(path) = args.bench_json.clone() {
+        run_bench(&args, &trace, &path);
+        if args.shutdown {
+            let mut client = DeltaClient::connect(&args.addr).unwrap_or_else(|e| {
+                eprintln!("delta-loadgen: cannot reconnect for shutdown: {e}");
+                exit(1);
+            });
+            client.shutdown().unwrap_or_else(|e| {
+                eprintln!("delta-loadgen: shutdown failed: {e}");
+                exit(1);
+            });
+            eprintln!("server shutdown requested");
+        }
+        return;
+    }
     eprintln!(
         "replaying {} events ({} queries, {} updates) against {} over {} client(s), batch={}, pipeline={}",
         trace.len(),

@@ -11,7 +11,15 @@
 //!               [--seed N]
 //!               [--trace trace.jsonl | --preset small|paper]
 //!               [--sql-preset small|paper | --no-sql]
+//!               [--snapshot-dir DIR]
 //! ```
+//!
+//! With `--snapshot-dir`, every shard persists its engine snapshot
+//! (update logs, cache residency, cost ledger) to `DIR/shard-N.jsonl` on
+//! graceful shutdown, and a later start with the same flag resumes warm:
+//! caches stay populated and the statistics continue where they left
+//! off. Snapshots are validated against the configured shard count and
+//! policy; a mismatch refuses startup.
 //!
 //! When the catalog comes from a preset, the daemon also builds the SQL
 //! frontend from the same preset (schema, sky model, spatial partition),
@@ -44,7 +52,7 @@ fn usage() -> ! {
          [--cache-fraction F | --cache-bytes N] \
          [--policy vcover|benefit|nocache|replica] [--seed N] \
          [--trace FILE | --preset small|paper] \
-         [--sql-preset small|paper | --no-sql]"
+         [--sql-preset small|paper | --no-sql] [--snapshot-dir DIR]"
     );
     exit(2);
 }
@@ -86,6 +94,9 @@ fn parse_args() -> Args {
             "--trace" => args.trace = Some(value(&argv, i)),
             "--preset" => args.preset = value(&argv, i),
             "--sql-preset" => args.sql_preset = Some(value(&argv, i)),
+            "--snapshot-dir" => {
+                args.config.snapshot_dir = Some(std::path::PathBuf::from(value(&argv, i)))
+            }
             "--no-sql" => {
                 args.no_sql = true;
                 i += 1;
@@ -170,6 +181,12 @@ fn main() {
         "  shards={} policy={} cache={} B seed={}",
         args.config.n_shards, args.config.policy, args.config.cache_bytes, args.config.seed
     );
+    if let Some(dir) = &args.config.snapshot_dir {
+        println!(
+            "  warm restart enabled: snapshots in {} (written on shutdown)",
+            dir.display()
+        );
+    }
 
     // Serve until a client sends a Shutdown frame.
     let stats = server.join();

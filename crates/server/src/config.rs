@@ -1,8 +1,8 @@
 //! Server configuration: shard count, cache budget, policy choice and
 //! the optional SQL frontend.
 
-use delta_core::{Benefit, BenefitConfig, CachingPolicy, NoCache, Replica, VCover};
-use delta_workload::WorkloadConfig;
+use delta_core::{Benefit, BenefitConfig, CachingPolicy, NoCache, Replica, SimContext, VCover};
+use delta_workload::{QueryEvent, UpdateEvent, WorkloadConfig};
 
 /// Which decoupling policy each shard runs.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -15,6 +15,24 @@ pub enum PolicyKind {
     NoCache,
     /// Mirror the repository — the other yardstick.
     Replica,
+    /// A policy that deliberately violates the satisfaction contract on
+    /// every query. Exists so hostile tests can prove the server maps
+    /// `EngineError::ContractViolated` to a typed error frame instead of
+    /// losing a shard thread; never use it to serve anything.
+    Broken,
+}
+
+/// The deliberately contract-violating policy behind
+/// [`PolicyKind::Broken`]: it ignores every query.
+#[derive(Clone, Copy, Debug, Default)]
+struct BrokenPolicy;
+
+impl CachingPolicy for BrokenPolicy {
+    fn name(&self) -> &str {
+        "Broken"
+    }
+    fn on_query(&mut self, _q: &QueryEvent, _ctx: &mut SimContext<'_>) {}
+    fn on_update(&mut self, _u: &UpdateEvent, _ctx: &mut SimContext<'_>) {}
 }
 
 impl PolicyKind {
@@ -25,16 +43,32 @@ impl PolicyKind {
             PolicyKind::Benefit => Box::new(Benefit::new(cache_bytes, BenefitConfig::default())),
             PolicyKind::NoCache => Box::new(NoCache),
             PolicyKind::Replica => Box::new(Replica),
+            PolicyKind::Broken => Box::new(BrokenPolicy),
+        }
+    }
+
+    /// The name the built policy reports (`CachingPolicy::name`), used
+    /// in stats frames and snapshot headers.
+    pub fn policy_name(&self) -> &'static str {
+        match self {
+            PolicyKind::VCover => "VCover",
+            PolicyKind::Benefit => "Benefit",
+            PolicyKind::NoCache => "NoCache",
+            PolicyKind::Replica => "Replica",
+            PolicyKind::Broken => "Broken",
         }
     }
 
     /// Parses a policy name (as accepted by `delta-serverd --policy`).
+    /// `broken` is accepted but undocumented — it exists for hostile
+    /// testing only.
     pub fn parse(s: &str) -> Result<Self, String> {
         match s.to_ascii_lowercase().as_str() {
             "vcover" => Ok(PolicyKind::VCover),
             "benefit" => Ok(PolicyKind::Benefit),
             "nocache" => Ok(PolicyKind::NoCache),
             "replica" => Ok(PolicyKind::Replica),
+            "broken" => Ok(PolicyKind::Broken),
             other => Err(format!(
                 "unknown policy {other:?}; expected vcover, benefit, nocache or replica"
             )),
@@ -49,6 +83,7 @@ impl std::fmt::Display for PolicyKind {
             PolicyKind::Benefit => write!(f, "benefit"),
             PolicyKind::NoCache => write!(f, "nocache"),
             PolicyKind::Replica => write!(f, "replica"),
+            PolicyKind::Broken => write!(f, "broken"),
         }
     }
 }
@@ -73,6 +108,12 @@ pub struct ServerConfig {
     /// `Request::Sql` compiles against the same object mapping. `None`
     /// disables SQL frames (they get `error_code::SQL_UNAVAILABLE`).
     pub frontend: Option<WorkloadConfig>,
+    /// Warm-restart directory. When set, each shard writes an engine
+    /// snapshot (`shard-N.jsonl`) on graceful shutdown, and on startup
+    /// any snapshot found there is validated against the shard's
+    /// sub-catalog and policy, then restored — the server resumes with
+    /// its caches, ledgers and update logs exactly as it left them.
+    pub snapshot_dir: Option<std::path::PathBuf>,
 }
 
 impl Default for ServerConfig {
@@ -84,6 +125,7 @@ impl Default for ServerConfig {
             policy: PolicyKind::VCover,
             seed: 0xDE17A,
             frontend: None,
+            snapshot_dir: None,
         }
     }
 }
@@ -116,8 +158,14 @@ mod tests {
             PolicyKind::Benefit,
             PolicyKind::NoCache,
             PolicyKind::Replica,
+            PolicyKind::Broken,
         ] {
             assert_eq!(PolicyKind::parse(&kind.to_string()), Ok(kind));
+            assert_eq!(
+                kind.build(1_000, 1).name(),
+                kind.policy_name(),
+                "policy_name must match what the built policy reports"
+            );
         }
         assert!(PolicyKind::parse("lru").is_err());
     }

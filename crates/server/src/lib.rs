@@ -40,6 +40,7 @@
 //!     policy: PolicyKind::VCover,
 //!     seed: 7,
 //!     frontend: None,
+//!     snapshot_dir: None,
 //! };
 //! let server = Server::start(config, catalog).unwrap();
 //! let mut client = DeltaClient::connect(server.local_addr()).unwrap();
@@ -76,5 +77,8 @@ pub mod shard;
 pub use client::{DeltaClient, PipelinedClient, QueryReply, SqlRejection, SqlReply, UpdateReply};
 pub use config::{PolicyKind, ServerConfig};
 pub use partition::{apportion, shard_trace, ShardMap};
-pub use protocol::{BatchItem, BatchReply, Request, Response, ShardStats, SqlStage, StatsSnapshot};
+pub use protocol::{
+    error_code, read_frame, write_frame, BatchItem, BatchReply, Request, Response, ShardStats,
+    SqlStage, StatsSnapshot,
+};
 pub use server::Server;

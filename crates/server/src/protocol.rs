@@ -27,15 +27,17 @@
 //! many connections (the server fans each request out to its shards) and
 //! from pipelining tagged frames within one.
 
-use delta_core::CostLedger;
+use delta_core::{CostLedger, EngineMetrics};
 use delta_storage::ObjectId;
 use delta_workload::{QueryEvent, QueryKind, UpdateEvent};
 use std::io::{self, Read, Write};
 
 /// Protocol version; bumped on incompatible frame changes.
 /// Version 2 added `Sql`, `Batch` and `Tagged` frames (pure additions:
-/// version-1 frames are unchanged on the wire).
-pub const PROTOCOL_VERSION: u8 = 2;
+/// version-1 frames are unchanged on the wire). Version 3 reshaped the
+/// `StatsOk` per-shard payload around the engine's uniform
+/// [`EngineMetrics`] (adds query/update/tolerance-served counters).
+pub const PROTOCOL_VERSION: u8 = 3;
 
 /// Upper bound on a frame payload, to fail fast on corrupt length words.
 pub const MAX_FRAME_BYTES: u32 = 64 * 1024 * 1024;
@@ -141,23 +143,17 @@ pub enum SqlStage {
     Analyze,
 }
 
-/// Per-shard statistics in a [`Response::StatsOk`] snapshot.
+/// Per-shard statistics in a [`Response::StatsOk`] snapshot: the
+/// engine's uniform metrics, tagged with the shard's identity.
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct ShardStats {
     /// Shard index.
     pub shard: u16,
     /// Policy driving this shard.
     pub policy: String,
-    /// Events (queries + updates) this shard has processed.
-    pub events: u64,
-    /// Shard cache capacity in bytes.
-    pub cache_capacity: u64,
-    /// Bytes currently resident in the shard cache.
-    pub cache_used: u64,
-    /// Objects resident in the shard cache.
-    pub residents: u64,
-    /// The shard's cost account.
-    pub ledger: CostLedger,
+    /// The shard engine's operational counters (ledger, hit rate,
+    /// tolerance-served queries, cache occupancy).
+    pub metrics: EngineMetrics,
 }
 
 /// The full statistics snapshot returned by [`Request::Stats`].
@@ -168,25 +164,28 @@ pub struct StatsSnapshot {
 }
 
 impl StatsSnapshot {
+    /// Folds the per-shard metrics into one global account (capacities
+    /// and occupancy sum; counters add).
+    pub fn total_metrics(&self) -> EngineMetrics {
+        let mut total = EngineMetrics::default();
+        for s in &self.shards {
+            total.absorb(&s.metrics);
+        }
+        total
+    }
+
     /// Sums the per-shard ledgers into one global account.
     pub fn total_ledger(&self) -> CostLedger {
         let mut total = CostLedger::default();
         for s in &self.shards {
-            total.breakdown.query_ship += s.ledger.breakdown.query_ship;
-            total.breakdown.update_ship += s.ledger.breakdown.update_ship;
-            total.breakdown.load += s.ledger.breakdown.load;
-            total.shipped_queries += s.ledger.shipped_queries;
-            total.local_answers += s.ledger.local_answers;
-            total.update_ships += s.ledger.update_ships;
-            total.loads += s.ledger.loads;
-            total.evictions += s.ledger.evictions;
+            total.absorb(&s.metrics.ledger);
         }
         total
     }
 
     /// Total events processed across shards.
     pub fn total_events(&self) -> u64 {
-        self.shards.iter().map(|s| s.events).sum()
+        self.shards.iter().map(|s| s.metrics.events()).sum()
     }
 
     /// Renders the per-shard statistics as the table both binaries print.
@@ -195,21 +194,31 @@ impl StatsSnapshot {
         let mut out = String::new();
         let _ = writeln!(
             out,
-            "{:>5} {:>8} {:>9} {:>14} {:>14} {:>14} {:>8} {:>8}",
-            "shard", "events", "resident", "query-ship", "update-ship", "load", "hit%", "evict"
+            "{:>5} {:>8} {:>9} {:>14} {:>14} {:>14} {:>8} {:>8} {:>8}",
+            "shard",
+            "events",
+            "resident",
+            "query-ship",
+            "update-ship",
+            "load",
+            "hit%",
+            "tol-srv",
+            "evict"
         );
         for s in &self.shards {
+            let m = &s.metrics;
             let _ = writeln!(
                 out,
-                "{:>5} {:>8} {:>9} {:>14} {:>14} {:>14} {:>7.1}% {:>8}",
+                "{:>5} {:>8} {:>9} {:>14} {:>14} {:>14} {:>7.1}% {:>8} {:>8}",
                 s.shard,
-                s.events,
-                s.residents,
-                s.ledger.breakdown.query_ship.to_string(),
-                s.ledger.breakdown.update_ship.to_string(),
-                s.ledger.breakdown.load.to_string(),
-                s.ledger.hit_rate() * 100.0,
-                s.ledger.evictions,
+                m.events(),
+                m.residents,
+                m.ledger.breakdown.query_ship.to_string(),
+                m.ledger.breakdown.update_ship.to_string(),
+                m.ledger.breakdown.load.to_string(),
+                m.hit_rate() * 100.0,
+                m.tolerance_served,
+                m.ledger.evictions,
             );
         }
         out
@@ -219,22 +228,23 @@ impl StatsSnapshot {
     /// so server runs slot into the same reporting helpers the simulator
     /// uses (the series holds one closing point).
     pub fn to_sim_report(&self) -> delta_core::SimReport {
-        let ledger = self.total_ledger();
-        let total = ledger.total().bytes();
+        let metrics = self.total_metrics();
+        let total = metrics.ledger.total().bytes();
         delta_core::SimReport {
             policy: self
                 .shards
                 .first()
                 .map(|s| format!("{}x{}", s.policy, self.shards.len()))
                 .unwrap_or_else(|| "empty".to_string()),
-            cache_bytes: self.shards.iter().map(|s| s.cache_capacity).sum(),
-            ledger,
+            cache_bytes: metrics.cache_capacity,
+            ledger: metrics.ledger.clone(),
             series: vec![delta_core::SeriesPoint {
-                seq: self.total_events(),
+                seq: metrics.events(),
                 cumulative_bytes: total,
             }],
-            events: self.total_events(),
+            events: metrics.events(),
             latency: None,
+            metrics,
         }
     }
 }
@@ -322,6 +332,10 @@ pub mod error_code {
     /// The server was started without a SQL frontend (no workload
     /// preset to build the schema/sky/partition from).
     pub const SQL_UNAVAILABLE: u16 = 4;
+    /// The shard policy violated the satisfaction contract on this
+    /// query (the engine's typed `ContractViolated`). The shard stays
+    /// up; the query was not served.
+    pub const CONTRACT_VIOLATED: u16 = 5;
 }
 
 // ---- primitive encoding helpers ----
@@ -516,6 +530,28 @@ fn dec_ledger(d: &mut Dec<'_>) -> io::Result<CostLedger> {
     l.loads = d.u64()?;
     l.evictions = d.u64()?;
     Ok(l)
+}
+
+fn enc_metrics(e: &mut Enc, m: &EngineMetrics) {
+    enc_ledger(e, &m.ledger);
+    e.u64(m.queries);
+    e.u64(m.updates);
+    e.u64(m.tolerance_served);
+    e.u64(m.cache_capacity);
+    e.u64(m.cache_used);
+    e.u64(m.residents);
+}
+
+fn dec_metrics(d: &mut Dec<'_>) -> io::Result<EngineMetrics> {
+    Ok(EngineMetrics {
+        ledger: dec_ledger(d)?,
+        queries: d.u64()?,
+        updates: d.u64()?,
+        tolerance_served: d.u64()?,
+        cache_capacity: d.u64()?,
+        cache_used: d.u64()?,
+        residents: d.u64()?,
+    })
 }
 
 impl Request {
@@ -729,11 +765,7 @@ impl Response {
                 for s in &snapshot.shards {
                     e.u16(s.shard);
                     e.str(&s.policy);
-                    e.u64(s.events);
-                    e.u64(s.cache_capacity);
-                    e.u64(s.cache_used);
-                    e.u64(s.residents);
-                    enc_ledger(&mut e, &s.ledger);
+                    enc_metrics(&mut e, &s.metrics);
                 }
                 e.buf
             }
@@ -830,19 +862,11 @@ impl Response {
                 for _ in 0..n {
                     let shard = d.u16()?;
                     let policy = d.str()?;
-                    let events = d.u64()?;
-                    let cache_capacity = d.u64()?;
-                    let cache_used = d.u64()?;
-                    let residents = d.u64()?;
-                    let ledger = dec_ledger(d)?;
+                    let metrics = dec_metrics(d)?;
                     shards.push(ShardStats {
                         shard,
                         policy,
-                        events,
-                        cache_capacity,
-                        cache_used,
-                        residents,
-                        ledger,
+                        metrics,
                     });
                 }
                 Response::StatsOk(StatsSnapshot { shards })
@@ -1092,11 +1116,15 @@ mod tests {
                 ShardStats {
                     shard: 0,
                     policy: "VCover".into(),
-                    events: 100,
-                    cache_capacity: 1_000,
-                    cache_used: 400,
-                    residents: 3,
-                    ledger: ledger.clone(),
+                    metrics: EngineMetrics {
+                        ledger: ledger.clone(),
+                        queries: 9,
+                        updates: 91,
+                        tolerance_served: 2,
+                        cache_capacity: 1_000,
+                        cache_used: 400,
+                        residents: 3,
+                    },
                 },
                 ShardStats {
                     shard: 1,
@@ -1106,6 +1134,7 @@ mod tests {
             ],
         };
         assert_eq!(snapshot.total_ledger().total(), Cost(66));
+        assert_eq!(snapshot.total_metrics().tolerance_served, 2);
         round_trip_response(Response::StatsOk(snapshot));
     }
 
@@ -1122,18 +1151,25 @@ mod tests {
                 ShardStats {
                     shard: 0,
                     policy: "VCover".into(),
-                    events: 3,
-                    cache_capacity: 100,
-                    ledger: a,
-                    ..Default::default()
+                    metrics: EngineMetrics {
+                        ledger: a,
+                        queries: 1,
+                        updates: 2,
+                        cache_capacity: 100,
+                        ..Default::default()
+                    },
                 },
                 ShardStats {
                     shard: 1,
                     policy: "VCover".into(),
-                    events: 4,
-                    cache_capacity: 200,
-                    ledger: b,
-                    ..Default::default()
+                    metrics: EngineMetrics {
+                        ledger: b,
+                        queries: 2,
+                        updates: 2,
+                        tolerance_served: 1,
+                        cache_capacity: 200,
+                        ..Default::default()
+                    },
                 },
             ],
         };
@@ -1143,6 +1179,7 @@ mod tests {
         assert_eq!(report.cache_bytes, 300);
         assert_eq!(report.policy, "VCoverx2");
         assert_eq!(report.ledger.local_answers, 2);
+        assert_eq!(report.metrics.tolerance_served, 1);
     }
 
     #[test]

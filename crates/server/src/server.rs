@@ -16,8 +16,12 @@ use crate::protocol::{
     error_code, write_frame, BatchItem, BatchReply, Request, Response, ShardStats, SqlStage,
     StatsSnapshot,
 };
-use crate::shard::{spawn_shard, OpOutcome, ShardHandle, ShardOp, ShardReply, ShardRequest};
+use crate::shard::{
+    spawn_shard, OpOutcome, ShardHandle, ShardOp, ShardReply, ShardRequest, ShardSpec,
+};
 use crossbeam::channel::unbounded;
+use delta_core::engine::read_snapshot;
+use delta_core::EngineSnapshot;
 use delta_net::{TrafficClass, TrafficMeter};
 use delta_query::{QueryCompiler, QueryError, Schema};
 use delta_storage::{ObjectCatalog, ObjectId};
@@ -94,17 +98,61 @@ impl Server {
             .collect();
         let weights: Vec<u64> = sub_catalogs.iter().map(|c| c.total_bytes()).collect();
         let caches = crate::partition::apportion(config.cache_bytes, &weights);
+
+        // Warm restart: read and validate any per-shard snapshots before
+        // spawning anything, so a bad snapshot refuses startup cleanly
+        // instead of panicking a worker thread.
+        let mut snapshot_paths: Vec<Option<std::path::PathBuf>> = vec![None; config.n_shards];
+        let mut restores: Vec<Option<EngineSnapshot>> = Vec::new();
+        restores.resize_with(config.n_shards, || None);
+        if let Some(dir) = &config.snapshot_dir {
+            std::fs::create_dir_all(dir)?;
+            for (s, sub) in sub_catalogs.iter().enumerate() {
+                let path = dir.join(format!("shard-{s}.jsonl"));
+                if path.exists() {
+                    let snap = read_snapshot(&path)?;
+                    let invalid = |msg: String| {
+                        io::Error::new(
+                            io::ErrorKind::InvalidInput,
+                            format!("snapshot {}: {msg}", path.display()),
+                        )
+                    };
+                    snap.validate(sub, config.policy.policy_name())
+                        .map_err(|e| invalid(e.to_string()))?;
+                    // A restored engine keeps the snapshot's cache
+                    // capacity, so a changed cache budget must refuse
+                    // loudly rather than be ignored invisibly.
+                    let configured = config
+                        .policy
+                        .build(caches[s], config.seed + s as u64)
+                        .preferred_capacity(sub, caches[s]);
+                    if snap.capacity != configured {
+                        return Err(invalid(format!(
+                            "was taken with cache capacity {} but this configuration \
+                             yields {}; restart with the original cache budget or \
+                             clear the snapshot directory",
+                            snap.capacity, configured
+                        )));
+                    }
+                    restores[s] = Some(snap);
+                }
+                snapshot_paths[s] = Some(path);
+            }
+        }
+
         let shards: Vec<ShardHandle> = sub_catalogs
             .into_iter()
             .enumerate()
             .map(|(s, sub)| {
-                spawn_shard(
-                    s as u16,
-                    sub,
-                    caches[s],
-                    config.policy,
-                    config.seed + s as u64,
-                )
+                spawn_shard(ShardSpec {
+                    shard: s as u16,
+                    catalog: sub,
+                    cache_bytes: caches[s],
+                    policy: config.policy,
+                    seed: config.seed + s as u64,
+                    restore: restores[s].take(),
+                    snapshot_path: snapshot_paths[s].take(),
+                })
             })
             .collect();
 
@@ -453,6 +501,7 @@ fn handle_query(shared: &Shared, q: QueryEvent) -> Response {
     }
     let mut local_answers = 0u16;
     let mut shipped = 0u16;
+    let mut failure: Option<String> = None;
     for _ in 0..sent {
         match reply_rx.recv() {
             Ok(ShardReply::QueryDone { local, .. }) => {
@@ -462,8 +511,19 @@ fn handle_query(shared: &Shared, q: QueryEvent) -> Response {
                     shipped += 1;
                 }
             }
+            // Drain the remaining sub-replies before reporting, so every
+            // shard finishes its work for this query.
+            Ok(ShardReply::QueryFailed { error, .. }) => {
+                failure.get_or_insert(error);
+            }
             _ => return draining(),
         }
+    }
+    if let Some(message) = failure {
+        return Response::Error {
+            code: error_code::CONTRACT_VIOLATED,
+            message,
+        };
     }
     Response::QueryOk {
         shards_touched: sent,
@@ -604,6 +664,16 @@ fn handle_batch(shared: &Shared, items: Vec<BatchItem>) -> Response {
                             } else {
                                 acc.shipped += 1;
                             }
+                        }
+                        // A contract violation poisons its item only;
+                        // the rest of the batch is unaffected. The error
+                        // reply takes precedence over any sub-queries of
+                        // the same item that other shards did serve.
+                        OpOutcome::QueryFailed { item, error } => {
+                            replies[item as usize] = Some(BatchReply::Error {
+                                code: error_code::CONTRACT_VIOLATED,
+                                message: error,
+                            });
                         }
                         OpOutcome::Update { item, version } => {
                             replies[item as usize] = Some(BatchReply::Update { shard, version });

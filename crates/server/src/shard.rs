@@ -1,20 +1,35 @@
-//! Shard workers: one thread per shard, each owning a policy, a
-//! repository slice and a cache store.
+//! Shard workers: one thread per shard, each driving its own
+//! [`delta_core::Engine`] over a repository slice.
 //!
-//! A worker's event loop is the network twin of [`delta_core::simulate`]:
-//! updates are applied to the repository and invalidate the cache before
-//! the policy sees them; queries run under the same satisfaction contract
-//! the simulator enforces. Because a shard only ever sees its own
-//! sub-catalog and sub-trace, its ledger is *byte-identical* to an
-//! in-process simulation of that sub-trace — the property the server
-//! integration tests pin down.
+//! A worker is the network driver of the same engine `delta_core::sim`
+//! and `delta_core::deploy` run: updates invalidate before the policy
+//! sees them, queries run under the satisfaction contract. Because a
+//! shard only ever sees its own sub-catalog and sub-trace, its ledger is
+//! *byte-identical* to an in-process simulation of that sub-trace — the
+//! property the server integration and tri-modal tests pin down.
+//!
+//! Two behaviors are shard-specific:
+//!
+//! * The engine runs with a **clamped clock** (arrival order wins), so
+//!   concurrent connections cannot violate the repository's per-object
+//!   monotonicity. Under lockstep replay the clamp is a no-op.
+//! * A policy that violates the satisfaction contract produces a typed
+//!   [`ShardReply::QueryFailed`] — the worker thread stays up and keeps
+//!   serving; the connection layer turns the failure into an error
+//!   frame.
+//!
+//! When the server was started with a snapshot directory, the worker
+//! writes its engine snapshot there on graceful shutdown, and
+//! [`spawn_shard`] accepts a restored snapshot to resume warm.
 
 use crate::config::PolicyKind;
 use crate::protocol::ShardStats;
 use crossbeam::channel::{unbounded, Receiver, Sender};
-use delta_core::{CostLedger, SimContext};
-use delta_storage::{CacheStore, ObjectCatalog, Repository};
-use delta_workload::{QueryEvent, UpdateEvent};
+use delta_core::engine::write_snapshot;
+use delta_core::{Engine, EngineOutcome, EngineSnapshot};
+use delta_storage::ObjectCatalog;
+use delta_workload::{Event, QueryEvent, UpdateEvent};
+use std::path::PathBuf;
 use std::thread::JoinHandle;
 
 /// A request to one shard worker, carrying its reply channel.
@@ -28,7 +43,8 @@ pub enum ShardRequest {
     Batch(Vec<ShardOp>, Sender<ShardReply>),
     /// Snapshot this shard's statistics.
     Stats(Sender<ShardReply>),
-    /// Finish outstanding work, report final statistics, and exit.
+    /// Finish outstanding work, persist the engine snapshot (when
+    /// configured), report final statistics, and exit.
     Shutdown(Sender<ShardReply>),
 }
 
@@ -54,7 +70,7 @@ pub enum ShardOp {
 }
 
 /// Outcome of one [`ShardOp`], in sub-batch order.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub enum OpOutcome {
     /// The sub-query was served.
     Query {
@@ -62,6 +78,13 @@ pub enum OpOutcome {
         item: u32,
         /// Whether it was answered from the shard cache (vs shipped).
         local: bool,
+    },
+    /// The sub-query violated the satisfaction contract.
+    QueryFailed {
+        /// Index of the originating batch item.
+        item: u32,
+        /// The rendered engine error.
+        error: String,
     },
     /// The update was applied.
     Update {
@@ -88,6 +111,14 @@ pub enum ShardReply {
         shard: u16,
         /// Whether it was answered from the shard cache (vs shipped).
         local: bool,
+    },
+    /// The sub-query violated the satisfaction contract; the worker is
+    /// still alive and serving.
+    QueryFailed {
+        /// Responding shard.
+        shard: u16,
+        /// The rendered engine error.
+        error: String,
     },
     /// All outcomes of a [`ShardRequest::Batch`], in sub-batch order.
     BatchDone {
@@ -124,160 +155,122 @@ impl ShardHandle {
     }
 }
 
-/// Spawns shard worker `shard` over its sub-catalog.
-pub fn spawn_shard(
-    shard: u16,
-    catalog: ObjectCatalog,
-    cache_bytes: u64,
-    policy_kind: PolicyKind,
-    seed: u64,
-) -> ShardHandle {
+/// Everything a shard worker is born with.
+pub struct ShardSpec {
+    /// Shard index.
+    pub shard: u16,
+    /// The shard's sub-catalog.
+    pub catalog: ObjectCatalog,
+    /// Configured cache budget for this shard.
+    pub cache_bytes: u64,
+    /// Policy kind every shard runs.
+    pub policy: PolicyKind,
+    /// Seed for this shard's policy.
+    pub seed: u64,
+    /// A validated snapshot to resume from, if warm-restarting.
+    pub restore: Option<EngineSnapshot>,
+    /// Where to persist the engine snapshot on graceful shutdown.
+    pub snapshot_path: Option<PathBuf>,
+}
+
+/// Spawns a shard worker from its spec.
+pub fn spawn_shard(spec: ShardSpec) -> ShardHandle {
     let (tx, rx) = unbounded::<ShardRequest>();
+    let name = format!("delta-shard-{}", spec.shard);
     let join = std::thread::Builder::new()
-        .name(format!("delta-shard-{shard}"))
-        .spawn(move || run_shard(shard, catalog, cache_bytes, policy_kind, seed, rx))
+        .name(name)
+        .spawn(move || run_shard(spec, rx))
         .expect("spawn shard worker");
     ShardHandle { tx, join }
 }
 
-/// The mutable world one worker owns. Single events and batch ops go
-/// through the same two methods, so a coalesced sub-batch is, by
-/// construction, byte-identical to the same ops sent one frame each.
-struct ShardState {
-    shard: u16,
-    policy: Box<dyn delta_core::CachingPolicy + Send>,
-    repo: Repository,
-    cache: CacheStore,
-    ledger: CostLedger,
-    events: u64,
-    // The repository requires per-object monotone update sequences, and
-    // the staleness contract requires a query's horizon to cover every
-    // already-applied update. A single lockstep connection preserves
-    // trace order, but concurrent connections may deliver events out of
-    // order; clamp every timestamp to the shard's clock so arrival order
-    // becomes the authoritative order (as in any real ingest pipeline).
-    // Under lockstep replay the clamp is a no-op, so simulator
-    // equivalence is untouched.
-    max_seq: u64,
-}
-
-impl ShardState {
-    fn apply_update(&mut self, u: UpdateEvent) -> u64 {
-        let seq = u.seq.max(self.max_seq);
-        self.max_seq = seq;
-        let u = UpdateEvent { seq, ..u };
-        let version = self.repo.apply_update(u.object, u.bytes, seq);
-        self.cache.invalidate(u.object);
-        let mut ctx = SimContext::new(&mut self.repo, &mut self.cache, &mut self.ledger, seq);
-        self.policy.on_update(&u, &mut ctx);
-        self.events += 1;
-        version
-    }
-
-    fn serve_query(&mut self, q: QueryEvent) -> bool {
-        let now = q.seq.max(self.max_seq);
-        self.max_seq = now;
-        let q = QueryEvent { seq: now, ..q };
-        let local_before = self.ledger.local_answers;
-        {
-            let mut ctx = SimContext::new(&mut self.repo, &mut self.cache, &mut self.ledger, now);
-            self.policy.on_query(&q, &mut ctx);
-            assert!(
-                ctx.satisfied(),
-                "policy {} neither shipped nor answered query at seq {} on shard {}",
-                self.policy.name(),
-                q.seq,
-                self.shard
-            );
-        }
-        self.events += 1;
-        self.ledger.local_answers > local_before
-    }
-
-    fn stats(&self, policy_kind: PolicyKind) -> ShardStats {
-        ShardStats {
-            shard: self.shard,
-            policy: policy_name_of(policy_kind),
-            events: self.events,
-            cache_capacity: self.cache.capacity(),
-            cache_used: self.cache.used(),
-            residents: self.cache.len() as u64,
-            ledger: self.ledger.clone(),
-        }
-    }
-}
-
-fn run_shard(
-    shard: u16,
-    catalog: ObjectCatalog,
-    cache_bytes: u64,
-    policy_kind: PolicyKind,
-    seed: u64,
-    rx: Receiver<ShardRequest>,
-) {
-    let mut policy = policy_kind.build(cache_bytes, seed);
-    let mut repo = Repository::new(catalog.clone());
-    let capacity = policy.preferred_capacity(&catalog, cache_bytes);
-    let mut cache = CacheStore::new(capacity);
-    let mut ledger = CostLedger::default();
-    {
-        let mut ctx = SimContext::new(&mut repo, &mut cache, &mut ledger, 0);
-        policy.init(&mut ctx);
-    }
-    let mut state = ShardState {
+fn run_shard(spec: ShardSpec, rx: Receiver<ShardRequest>) {
+    let ShardSpec {
         shard,
-        policy,
-        repo,
-        cache,
-        ledger,
-        events: 0,
-        max_seq: 0,
+        catalog,
+        cache_bytes,
+        policy: policy_kind,
+        seed,
+        restore,
+        snapshot_path,
+    } = spec;
+    let policy = policy_kind.build(cache_bytes, seed);
+    let mut engine = match restore {
+        // Snapshots are validated at server start; a mismatch here means
+        // the file changed underneath us — fail the thread loudly.
+        Some(snap) => Engine::restore(policy, &catalog, &snap)
+            .unwrap_or_else(|e| panic!("shard {shard}: snapshot restore failed: {e}"))
+            .clamp_clock(true),
+        None => {
+            let mut e = Engine::new(policy, &catalog, cache_bytes).clamp_clock(true);
+            e.init(None);
+            e
+        }
+    };
+
+    let serve_query = |engine: &mut Engine<'_>, q: QueryEvent| match engine.apply(&Event::Query(q))
+    {
+        Ok(EngineOutcome::Query { local, .. }) => Ok(local),
+        Ok(other) => panic!("query produced {other:?}"),
+        Err(e) => Err(format!("shard {shard}: {e}")),
+    };
+    let apply_update = |engine: &mut Engine<'_>, u: UpdateEvent| match engine
+        .apply(&Event::Update(u))
+        .expect("updates cannot violate the contract")
+    {
+        EngineOutcome::Update { version } => version,
+        other => panic!("update produced {other:?}"),
     };
 
     while let Ok(req) = rx.recv() {
         match req {
             ShardRequest::Update(u, reply) => {
-                let version = state.apply_update(u);
+                let version = apply_update(&mut engine, u);
                 let _ = reply.send(ShardReply::UpdateDone { shard, version });
             }
             ShardRequest::Query(q, reply) => {
-                let local = state.serve_query(q);
-                let _ = reply.send(ShardReply::QueryDone { shard, local });
+                let _ = reply.send(match serve_query(&mut engine, q) {
+                    Ok(local) => ShardReply::QueryDone { shard, local },
+                    Err(error) => ShardReply::QueryFailed { shard, error },
+                });
             }
             ShardRequest::Batch(ops, reply) => {
                 let outcomes = ops
                     .into_iter()
                     .map(|op| match op {
-                        ShardOp::Query { item, event } => OpOutcome::Query {
-                            item,
-                            local: state.serve_query(event),
+                        ShardOp::Query { item, event } => match serve_query(&mut engine, event) {
+                            Ok(local) => OpOutcome::Query { item, local },
+                            Err(error) => OpOutcome::QueryFailed { item, error },
                         },
                         ShardOp::Update { item, event } => OpOutcome::Update {
                             item,
-                            version: state.apply_update(event),
+                            version: apply_update(&mut engine, event),
                         },
                     })
                     .collect();
                 let _ = reply.send(ShardReply::BatchDone { shard, outcomes });
             }
             ShardRequest::Stats(reply) => {
-                let _ = reply.send(ShardReply::Stats(state.stats(policy_kind)));
+                let _ = reply.send(ShardReply::Stats(stats(shard, policy_kind, &engine)));
             }
             ShardRequest::Shutdown(reply) => {
-                let _ = reply.send(ShardReply::Stats(state.stats(policy_kind)));
+                if let Some(path) = &snapshot_path {
+                    if let Err(e) = write_snapshot(path, &engine.snapshot()) {
+                        eprintln!("delta-shard-{shard}: snapshot write failed: {e}");
+                    }
+                }
+                let _ = reply.send(ShardReply::Stats(stats(shard, policy_kind, &engine)));
                 return;
             }
         }
     }
 }
 
-fn policy_name_of(kind: PolicyKind) -> String {
-    // Stable names matching the policies' own `name()` strings.
-    match kind {
-        PolicyKind::VCover => "VCover".to_string(),
-        PolicyKind::Benefit => "Benefit".to_string(),
-        PolicyKind::NoCache => "NoCache".to_string(),
-        PolicyKind::Replica => "Replica".to_string(),
+fn stats(shard: u16, kind: PolicyKind, engine: &Engine<'_>) -> ShardStats {
+    ShardStats {
+        shard,
+        policy: kind.policy_name().to_string(),
+        metrics: engine.metrics(),
     }
 }
 
@@ -297,10 +290,22 @@ mod tests {
         }
     }
 
+    fn spawn(shard: u16, catalog: ObjectCatalog, cache: u64, policy: PolicyKind) -> ShardHandle {
+        spawn_shard(ShardSpec {
+            shard,
+            catalog,
+            cache_bytes: cache,
+            policy,
+            seed: if policy == PolicyKind::VCover { 9 } else { 1 },
+            restore: None,
+            snapshot_path: None,
+        })
+    }
+
     #[test]
     fn worker_processes_events_and_reports() {
         let catalog = ObjectCatalog::from_sizes(&[100, 200]);
-        let handle = spawn_shard(3, catalog, 1_000, PolicyKind::NoCache, 1);
+        let handle = spawn(3, catalog, 1_000, PolicyKind::NoCache);
         let (reply_tx, reply_rx) = unbounded();
 
         handle
@@ -334,9 +339,9 @@ mod tests {
         }
 
         let final_stats = handle.shutdown();
-        assert_eq!(final_stats.events, 2);
-        assert_eq!(final_stats.ledger.shipped_queries, 1);
-        assert_eq!(final_stats.ledger.breakdown.query_ship.bytes(), 55);
+        assert_eq!(final_stats.metrics.events(), 2);
+        assert_eq!(final_stats.metrics.ledger.shipped_queries, 1);
+        assert_eq!(final_stats.metrics.ledger.breakdown.query_ship.bytes(), 55);
         assert_eq!(final_stats.policy, "NoCache");
     }
 
@@ -371,7 +376,7 @@ mod tests {
         ];
 
         // One frame per op.
-        let singles = spawn_shard(0, catalog.clone(), 500, PolicyKind::VCover, 9);
+        let singles = spawn(0, catalog.clone(), 500, PolicyKind::VCover);
         let (tx, rx) = unbounded();
         for op in ops.clone() {
             match op {
@@ -393,7 +398,7 @@ mod tests {
         let want = singles.shutdown();
 
         // The same ops coalesced into one channel send.
-        let batched = spawn_shard(0, catalog, 500, PolicyKind::VCover, 9);
+        let batched = spawn(0, catalog, 500, PolicyKind::VCover);
         let (tx, rx) = unbounded();
         batched.tx.send(ShardRequest::Batch(ops, tx)).unwrap();
         match rx.recv().unwrap() {
@@ -412,15 +417,13 @@ mod tests {
             other => panic!("unexpected {other:?}"),
         }
         let got = batched.shutdown();
-        assert_eq!(got.ledger, want.ledger);
-        assert_eq!(got.events, want.events);
-        assert_eq!(got.residents, want.residents);
+        assert_eq!(got.metrics, want.metrics);
     }
 
     #[test]
     fn replica_shard_mirrors_repository() {
         let catalog = ObjectCatalog::from_sizes(&[100, 200]);
-        let handle = spawn_shard(0, catalog, 1, PolicyKind::Replica, 1);
+        let handle = spawn(0, catalog, 1, PolicyKind::Replica);
         let (reply_tx, reply_rx) = unbounded();
         handle
             .tx
@@ -434,7 +437,137 @@ mod tests {
             other => panic!("unexpected {other:?}"),
         }
         let stats = handle.shutdown();
-        assert_eq!(stats.ledger.local_answers, 1);
-        assert_eq!(stats.residents, 2, "replica preloads the whole sub-catalog");
+        assert_eq!(stats.metrics.ledger.local_answers, 1);
+        assert_eq!(
+            stats.metrics.residents, 2,
+            "replica preloads the whole sub-catalog"
+        );
+    }
+
+    #[test]
+    fn broken_policy_fails_typed_and_worker_survives() {
+        let catalog = ObjectCatalog::from_sizes(&[100, 200]);
+        let handle = spawn(0, catalog, 1_000, PolicyKind::Broken);
+        let (reply_tx, reply_rx) = unbounded();
+        handle
+            .tx
+            .send(ShardRequest::Query(query(1, vec![0], 5), reply_tx.clone()))
+            .unwrap();
+        match reply_rx.recv().unwrap() {
+            ShardReply::QueryFailed { shard, error } => {
+                assert_eq!(shard, 0);
+                assert!(error.contains("Broken"), "{error}");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // The worker is still alive and serves updates and batches.
+        handle
+            .tx
+            .send(ShardRequest::Update(
+                UpdateEvent {
+                    seq: 2,
+                    object: ObjectId(1),
+                    bytes: 4,
+                },
+                reply_tx.clone(),
+            ))
+            .unwrap();
+        assert!(matches!(
+            reply_rx.recv().unwrap(),
+            ShardReply::UpdateDone { version: 1, .. }
+        ));
+        let (tx, rx) = unbounded();
+        handle
+            .tx
+            .send(ShardRequest::Batch(
+                vec![
+                    ShardOp::Query {
+                        item: 0,
+                        event: query(3, vec![0], 5),
+                    },
+                    ShardOp::Update {
+                        item: 1,
+                        event: UpdateEvent {
+                            seq: 4,
+                            object: ObjectId(1),
+                            bytes: 1,
+                        },
+                    },
+                ],
+                tx,
+            ))
+            .unwrap();
+        match rx.recv().unwrap() {
+            ShardReply::BatchDone { outcomes, .. } => {
+                assert!(matches!(
+                    outcomes[0],
+                    OpOutcome::QueryFailed { item: 0, .. }
+                ));
+                assert!(matches!(
+                    outcomes[1],
+                    OpOutcome::Update {
+                        item: 1,
+                        version: 2
+                    }
+                ));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        let stats = handle.shutdown();
+        assert_eq!(stats.metrics.updates, 2);
+        assert_eq!(stats.metrics.queries, 0, "violated queries are not counted");
+    }
+
+    #[test]
+    fn shutdown_snapshot_roundtrips_through_spawn() {
+        let catalog = ObjectCatalog::from_sizes(&[100, 200]);
+        let path = std::env::temp_dir().join(format!(
+            "delta-shard-snap-{}-{:?}.jsonl",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let handle = spawn_shard(ShardSpec {
+            shard: 0,
+            catalog: catalog.clone(),
+            cache_bytes: 1_000,
+            policy: PolicyKind::VCover,
+            seed: 7,
+            restore: None,
+            snapshot_path: Some(path.clone()),
+        });
+        let (reply_tx, reply_rx) = unbounded();
+        handle
+            .tx
+            .send(ShardRequest::Update(
+                UpdateEvent {
+                    seq: 1,
+                    object: ObjectId(0),
+                    bytes: 10,
+                },
+                reply_tx.clone(),
+            ))
+            .unwrap();
+        reply_rx.recv().unwrap();
+        handle
+            .tx
+            .send(ShardRequest::Query(query(2, vec![0], 55), reply_tx.clone()))
+            .unwrap();
+        reply_rx.recv().unwrap();
+        let first = handle.shutdown();
+
+        // Resume from the written snapshot: metrics carry over exactly.
+        let snap = delta_core::engine::read_snapshot(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        let resumed = spawn_shard(ShardSpec {
+            shard: 0,
+            catalog,
+            cache_bytes: 1_000,
+            policy: PolicyKind::VCover,
+            seed: 7,
+            restore: Some(snap),
+            snapshot_path: None,
+        });
+        let stats = resumed.shutdown();
+        assert_eq!(stats.metrics, first.metrics);
     }
 }

@@ -3,6 +3,7 @@
 //! oversized lengths, bad enum tags, trailing bytes) always come back as
 //! clean `io::Error`s — never panics, never bogus values.
 
+use delta_core::EngineMetrics;
 use delta_core::{Cost, CostLedger};
 use delta_server::{BatchItem, BatchReply, Request, Response, ShardStats, SqlStage, StatsSnapshot};
 use delta_storage::ObjectId;
@@ -117,18 +118,28 @@ fn arb_shard_stats() -> impl Strategy<Value = ShardStats> {
             0u64..u64::MAX,
             0u64..100_000,
         ),
+        (0u64..u64::MAX, 0u64..u64::MAX, 0u64..u64::MAX),
         arb_ledger(),
     )
         .prop_map(
-            |((shard, policy), (events, cache_capacity, cache_used, residents), ledger)| {
+            |(
+                (shard, policy),
+                (queries, cache_capacity, cache_used, residents),
+                (updates, tolerance_served, _),
+                ledger,
+            )| {
                 ShardStats {
                     shard,
                     policy,
-                    events,
-                    cache_capacity,
-                    cache_used,
-                    residents,
-                    ledger,
+                    metrics: EngineMetrics {
+                        ledger,
+                        queries,
+                        updates,
+                        tolerance_served,
+                        cache_capacity,
+                        cache_used,
+                        residents,
+                    },
                 }
             },
         )

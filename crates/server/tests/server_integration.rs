@@ -44,6 +44,7 @@ fn start_server(
         policy,
         seed: 42,
         frontend: None,
+        snapshot_dir: None,
     };
     let server = Server::start(config, survey.catalog.clone()).expect("server starts");
     (server, cache_bytes)
@@ -104,7 +105,7 @@ fn sharded_server_matches_sharded_simulation_exactly() {
     let expected = expected_shard_ledgers(&survey, n_shards, PolicyKind::VCover, cache_bytes, 42);
     for (shard, want) in stats.shards.iter().zip(&expected) {
         assert_eq!(
-            &shard.ledger, want,
+            &shard.metrics.ledger, want,
             "shard {} ledger diverged from its in-process simulation twin",
             shard.shard
         );
@@ -112,7 +113,11 @@ fn sharded_server_matches_sharded_simulation_exactly() {
 
     // Per-shard ledgers sum exactly to the aggregate.
     let global = stats.total_ledger();
-    let shard_sum: u64 = stats.shards.iter().map(|s| s.ledger.total().bytes()).sum();
+    let shard_sum: u64 = stats
+        .shards
+        .iter()
+        .map(|s| s.metrics.ledger.total().bytes())
+        .sum();
     assert!(global.total().bytes() > 0, "the replay must move bytes");
     assert_eq!(shard_sum, global.total().bytes());
 
@@ -147,7 +152,7 @@ fn single_shard_server_equals_unsharded_simulation() {
     };
     let report = sim::simulate(&mut vcover, &survey.catalog, &survey.trace, opts);
     assert_eq!(stats.shards.len(), 1);
-    assert_eq!(stats.shards[0].ledger, report.ledger);
+    assert_eq!(stats.shards[0].metrics.ledger, report.ledger);
     assert_eq!(stats.total_events(), survey.trace.len() as u64);
 }
 
@@ -213,7 +218,11 @@ fn concurrent_clients_preserve_aggregate_accounting() {
         global.breakdown.query_ship.bytes(),
         survey.trace.total_query_bytes()
     );
-    let shard_sum: u64 = stats.shards.iter().map(|s| s.ledger.total().bytes()).sum();
+    let shard_sum: u64 = stats
+        .shards
+        .iter()
+        .map(|s| s.metrics.ledger.total().bytes())
+        .sum();
     assert_eq!(shard_sum, global.total().bytes());
 }
 
@@ -352,7 +361,7 @@ fn batched_pipelined_replay_matches_sharded_simulation_exactly() {
     let expected = expected_shard_ledgers(&survey, n_shards, PolicyKind::VCover, cache_bytes, 42);
     for (shard, want) in stats.shards.iter().zip(&expected) {
         assert_eq!(
-            &shard.ledger, want,
+            &shard.metrics.ledger, want,
             "shard {} ledger diverged under batching+pipelining",
             shard.shard
         );
@@ -407,7 +416,11 @@ fn concurrent_mixed_batch_and_pipeline_preserve_invariants() {
         global.breakdown.query_ship.bytes(),
         survey.trace.total_query_bytes()
     );
-    let shard_sum: u64 = stats.shards.iter().map(|s| s.ledger.total().bytes()).sum();
+    let shard_sum: u64 = stats
+        .shards
+        .iter()
+        .map(|s| s.metrics.ledger.total().bytes())
+        .sum();
     assert_eq!(shard_sum, global.total().bytes());
     assert!(stats.total_events() as usize >= survey.trace.len());
 

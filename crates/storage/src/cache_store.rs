@@ -221,6 +221,32 @@ impl CacheStore {
     pub fn applied_version(&self, id: ObjectId) -> Option<u64> {
         self.resident.get(&id).map(|r| r.applied_version)
     }
+
+    /// Re-inserts a resident object from a snapshot: no load is counted
+    /// and no capacity check runs (a legitimately captured store may sit
+    /// over nominal capacity from update growth, and warm-restart must
+    /// put it back exactly as it was).
+    pub fn restore(
+        &mut self,
+        id: ObjectId,
+        bytes: u64,
+        applied_version: u64,
+        stale: bool,
+    ) -> Result<(), CacheError> {
+        if self.resident.contains_key(&id) {
+            return Err(CacheError::AlreadyResident);
+        }
+        self.resident.insert(
+            id,
+            Resident {
+                bytes,
+                applied_version,
+                stale,
+            },
+        );
+        self.used += bytes;
+        Ok(())
+    }
 }
 
 #[cfg(test)]
