@@ -1,0 +1,209 @@
+//! The hot-path regression fence: engine apply throughput per policy and
+//! wire-codec roundtrip throughput, written to `results/BENCH_core.json`
+//! so CI can diff every PR against the committed trajectory.
+//!
+//! Runs under `cargo bench -p delta_bench --bench core_hot_path` with
+//! the workspace's mini-criterion conventions (harness = false, prints
+//! one line per benchmark) but does its own timing so the measured
+//! events/s can be serialized: each benchmark runs
+//! [`ROUNDS`] times and keeps the best round — the quantity a regression
+//! gate wants, since the best round is the least scheduler-disturbed.
+//!
+//! Output path: `results/BENCH_core.json` at the workspace root, or
+//! `$DELTA_BENCH_JSON` when set (CI writes a candidate file next to the
+//! committed baseline and diffs the two with the `bench_gate` binary).
+
+use delta_core::{sim, Benefit, BenefitConfig, CachingPolicy, NoCache, Replica, VCover};
+use delta_server::{BatchItem, Request, Response};
+use delta_storage::ObjectId;
+use delta_workload::{QueryEvent, QueryKind, SyntheticSurvey, UpdateEvent, WorkloadConfig};
+use serde_json::{ToJson, Value};
+use std::time::Instant;
+
+/// Measured rounds per benchmark; the best round is reported. Nine
+/// rounds spread each benchmark over enough wall clock that a transient
+/// contention window (another process stealing the core for a few
+/// hundred milliseconds) cannot depress every round at once.
+const ROUNDS: usize = 9;
+
+/// Events per engine-throughput run. Sized so one round takes tens of
+/// milliseconds — long enough that a 20% regression gate measures the
+/// code, not scheduler noise — while five rounds across four policies
+/// still finish in a few seconds.
+const ENGINE_EVENTS: usize = 200_000;
+
+/// Roundtrips per codec run (same tens-of-milliseconds sizing).
+const CODEC_ITERS: usize = 500_000;
+
+struct Measurement {
+    name: String,
+    events: u64,
+    elapsed_s: f64,
+    events_per_sec: f64,
+}
+
+/// Runs `f` [`ROUNDS`] times; `f` returns the event count it processed.
+/// Keeps the round with the best throughput.
+fn measure(name: &str, mut f: impl FnMut() -> u64) -> Measurement {
+    let mut best: Option<(u64, f64)> = None;
+    for _ in 0..ROUNDS {
+        let start = Instant::now();
+        let events = f();
+        let elapsed = start.elapsed().as_secs_f64().max(1e-9);
+        let better = match best {
+            Some((e, t)) => (events as f64 / elapsed) > (e as f64 / t),
+            None => true,
+        };
+        if better {
+            best = Some((events, elapsed));
+        }
+    }
+    let (events, elapsed_s) = best.expect("ROUNDS > 0");
+    let events_per_sec = events as f64 / elapsed_s;
+    println!("{name:<40} {events_per_sec:>14.0} events/s  (best of {ROUNDS})");
+    Measurement {
+        name: name.to_string(),
+        events,
+        elapsed_s,
+        events_per_sec,
+    }
+}
+
+/// A named policy constructor for the per-policy engine benches.
+type PolicyCtor<'a> = (&'a str, Box<dyn Fn() -> Box<dyn CachingPolicy>>);
+
+fn engine_benches(out: &mut Vec<Measurement>) {
+    let mut cfg = WorkloadConfig::small();
+    cfg.n_queries = ENGINE_EVENTS / 2;
+    cfg.n_updates = ENGINE_EVENTS - ENGINE_EVENTS / 2;
+    let s = SyntheticSurvey::generate(&cfg);
+    let opts = sim::SimOptions::with_cache_fraction(&s.catalog, 0.3, u64::MAX);
+
+    let policies: Vec<PolicyCtor<'_>> = vec![
+        ("NoCache", Box::new(|| Box::new(NoCache))),
+        ("Replica", Box::new(|| Box::new(Replica))),
+        (
+            "VCover",
+            Box::new(move || Box::new(VCover::new(opts.cache_bytes, 42))),
+        ),
+        (
+            "Benefit",
+            Box::new(move || Box::new(Benefit::new(opts.cache_bytes, BenefitConfig::default()))),
+        ),
+    ];
+    for (name, build) in policies {
+        out.push(measure(&format!("engine_apply/{name}"), || {
+            let mut policy = build();
+            let report = sim::simulate(&mut *policy, &s.catalog, &s.trace, opts);
+            report.events
+        }));
+    }
+}
+
+fn codec_benches(out: &mut Vec<Measurement>) {
+    let query = Request::Query(QueryEvent {
+        seq: 42,
+        objects: vec![ObjectId(0), ObjectId(7), ObjectId(12), ObjectId(3)],
+        result_bytes: 123_456_789,
+        tolerance: 500,
+        kind: QueryKind::Cone,
+    });
+    let batch = Request::Batch(
+        (0..64u64)
+            .map(|i| {
+                if i % 2 == 0 {
+                    BatchItem::Query(QueryEvent {
+                        seq: i,
+                        objects: vec![ObjectId((i % 16) as u32), ObjectId((i % 5) as u32)],
+                        result_bytes: 1000 + i,
+                        tolerance: i % 7,
+                        kind: QueryKind::Selection,
+                    })
+                } else {
+                    BatchItem::Update(UpdateEvent {
+                        seq: i,
+                        object: ObjectId((i % 16) as u32),
+                        bytes: 10 + i,
+                    })
+                }
+            })
+            .collect(),
+    );
+    let response = Response::QueryOk {
+        shards_touched: 4,
+        local_answers: 3,
+        shipped: 1,
+    };
+
+    let mut buf = Vec::new();
+    out.push(measure("codec/query_roundtrip", || {
+        for _ in 0..CODEC_ITERS {
+            buf.clear();
+            query.encode_into(&mut buf);
+            let decoded = Request::decode(&buf).expect("roundtrip");
+            assert!(matches!(decoded, Request::Query(_)));
+        }
+        CODEC_ITERS as u64
+    }));
+    out.push(measure("codec/batch64_roundtrip", || {
+        // Throughput counts *events* (64 per frame), matching the
+        // engine benches' unit.
+        for _ in 0..CODEC_ITERS / 64 {
+            buf.clear();
+            batch.encode_into(&mut buf);
+            let decoded = Request::decode(&buf).expect("roundtrip");
+            assert!(matches!(decoded, Request::Batch(_)));
+        }
+        (CODEC_ITERS / 64 * 64) as u64
+    }));
+    out.push(measure("codec/response_roundtrip", || {
+        for _ in 0..CODEC_ITERS {
+            buf.clear();
+            response.encode_into(&mut buf);
+            let decoded = Response::decode(&buf).expect("roundtrip");
+            assert!(matches!(decoded, Response::QueryOk { .. }));
+        }
+        CODEC_ITERS as u64
+    }));
+}
+
+fn main() {
+    // `cargo bench` passes harness flags (e.g. `--bench`); ignore them.
+    let mut measurements = Vec::new();
+    engine_benches(&mut measurements);
+    codec_benches(&mut measurements);
+
+    let path = std::env::var("DELTA_BENCH_JSON").unwrap_or_else(|_| {
+        format!(
+            "{}/../../results/BENCH_core.json",
+            env!("CARGO_MANIFEST_DIR")
+        )
+    });
+    let doc = Value::Object(vec![
+        ("suite".into(), "core_hot_path".to_string().to_json()),
+        ("rounds".into(), ROUNDS.to_json()),
+        (
+            "benchmarks".into(),
+            Value::Array(
+                measurements
+                    .iter()
+                    .map(|m| {
+                        Value::Object(vec![
+                            ("name".into(), m.name.to_json()),
+                            ("events".into(), m.events.to_json()),
+                            ("elapsed_s".into(), m.elapsed_s.to_json()),
+                            ("events_per_sec".into(), m.events_per_sec.to_json()),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ]);
+    if let Some(parent) = std::path::Path::new(&path).parent() {
+        std::fs::create_dir_all(parent).expect("create results dir");
+    }
+    let mut body = doc.to_json_string_pretty();
+    body.push('\n');
+    std::fs::write(&path, body).unwrap_or_else(|e| panic!("write {path}: {e}"));
+    println!("wrote {path}");
+}

@@ -1,0 +1,112 @@
+//! `bench_gate` — the throughput regression fence over
+//! `results/BENCH_core.json`.
+//!
+//! ```text
+//! bench_gate --baseline results/BENCH_core.json \
+//!            --candidate results/BENCH_core.new.json \
+//!            [--tolerance 0.20]
+//! ```
+//!
+//! Compares each benchmark's `events_per_sec` in the candidate run
+//! against the committed baseline and exits non-zero when any benchmark
+//! regressed by more than the tolerance (default 20%). Benchmarks that
+//! exist on only one side are reported but do not fail the gate (adding
+//! a benchmark must not require regenerating the baseline in the same
+//! PR). Improvements are reported too — commit the refreshed baseline
+//! when they are real, so the fence ratchets forward.
+
+use serde_json::Value;
+use std::collections::BTreeMap;
+use std::process::exit;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: bench_gate --baseline FILE --candidate FILE [--tolerance FRACTION (default 0.20)]"
+    );
+    exit(2);
+}
+
+fn read_rates(path: &str) -> BTreeMap<String, f64> {
+    let body = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("bench_gate: cannot read {path}: {e}");
+        exit(2);
+    });
+    let doc = serde_json::from_str_value(&body).unwrap_or_else(|e| {
+        eprintln!("bench_gate: cannot parse {path}: {e}");
+        exit(2);
+    });
+    let benches = doc
+        .get("benchmarks")
+        .and_then(Value::as_array)
+        .unwrap_or_else(|| {
+            eprintln!("bench_gate: {path} has no `benchmarks` array");
+            exit(2);
+        });
+    benches
+        .iter()
+        .filter_map(|b| {
+            let name = b.get("name")?.as_str()?.to_string();
+            let rate = b.get("events_per_sec")?.as_f64()?;
+            Some((name, rate))
+        })
+        .collect()
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let (mut baseline, mut candidate, mut tolerance) = (None, None, 0.20f64);
+    let mut i = 0;
+    while i < argv.len() {
+        let value = || argv.get(i + 1).cloned().unwrap_or_else(|| usage());
+        match argv[i].as_str() {
+            "--baseline" => baseline = Some(value()),
+            "--candidate" => candidate = Some(value()),
+            "--tolerance" => tolerance = value().parse().unwrap_or_else(|_| usage()),
+            _ => usage(),
+        }
+        i += 2;
+    }
+    let (Some(baseline), Some(candidate)) = (baseline, candidate) else {
+        usage();
+    };
+    let base = read_rates(&baseline);
+    let cand = read_rates(&candidate);
+
+    let mut failures = 0usize;
+    for (name, base_rate) in &base {
+        match cand.get(name) {
+            None => println!("{name:<40} MISSING in candidate (not gated)"),
+            Some(cand_rate) => {
+                let ratio = cand_rate / base_rate;
+                let verdict = if ratio < 1.0 - tolerance {
+                    failures += 1;
+                    "REGRESSED"
+                } else if ratio > 1.0 + tolerance {
+                    "improved (refresh the baseline)"
+                } else {
+                    "ok"
+                };
+                println!(
+                    "{name:<40} base {base_rate:>13.0} ev/s  cand {cand_rate:>13.0} ev/s  \
+                     {:>+6.1}%  {verdict}",
+                    (ratio - 1.0) * 100.0
+                );
+            }
+        }
+    }
+    for name in cand.keys().filter(|n| !base.contains_key(*n)) {
+        println!("{name:<40} NEW (not gated; commit a refreshed baseline)");
+    }
+    if failures > 0 {
+        eprintln!(
+            "bench_gate: {failures} benchmark(s) regressed more than {:.0}% against {baseline}",
+            tolerance * 100.0
+        );
+        exit(1);
+    }
+    println!(
+        "bench_gate: all {} shared benchmarks within {:.0}% of {baseline}",
+        base.len(),
+        tolerance * 100.0
+    );
+}

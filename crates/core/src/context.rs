@@ -9,7 +9,7 @@
 //! it one way or the other.
 
 use crate::cost::{Cost, CostLedger};
-use delta_storage::{staleness, CacheError, CacheStore, ObjectId, Repository};
+use delta_storage::{CacheError, CacheStore, ObjectId, Repository};
 use delta_workload::QueryEvent;
 
 /// Hook through which data movements become real network messages in the
@@ -39,6 +39,13 @@ pub struct SimContext<'a> {
     /// Current event sequence number (the clock).
     pub now: u64,
     pub(crate) satisfied: bool,
+    /// Whether [`SimContext::answer_local`] ran for the current event —
+    /// the engine reads this instead of diffing ledger counters.
+    pub(crate) answered_local: bool,
+    /// Whether the local answer read at least one stale resident — the
+    /// engine's tolerance-served signal, recorded during the currency
+    /// walk so no second pass over the objects is needed.
+    pub(crate) served_stale: bool,
     /// Synchronous (query-blocking) exchanges performed during this
     /// event: query shipping and update shipping block the client;
     /// object loading runs in background (§4) and eviction is local.
@@ -62,6 +69,8 @@ impl<'a> SimContext<'a> {
             ledger,
             now,
             satisfied: false,
+            answered_local: false,
+            served_stale: false,
             sync_messages: 0,
             sync_bytes: 0,
             transport: None,
@@ -83,6 +92,8 @@ impl<'a> SimContext<'a> {
             ledger,
             now,
             satisfied: false,
+            answered_local: false,
+            served_stale: false,
             sync_messages: 0,
             sync_bytes: 0,
             transport: Some(transport),
@@ -104,17 +115,31 @@ impl<'a> SimContext<'a> {
 
     /// Answers the query from the cache at zero network cost.
     ///
+    /// The currency walk doubles as the staleness census: one probe per
+    /// object both enforces the contract and records whether the answer
+    /// read stale data (the engine's tolerance-served signal).
+    ///
     /// # Panics
     /// Panics if any accessed object is missing or violates the query's
     /// staleness tolerance — a policy bug, never a legal outcome.
     pub fn answer_local(&mut self, q: &QueryEvent) {
+        let mut any_stale = false;
+        let current = q.objects.iter().all(|&o| match self.cache.get(o) {
+            Some(r) => {
+                any_stale |= r.stale;
+                r.applied_version >= self.repo.version_at_horizon(o, self.now, q.tolerance)
+            }
+            None => false,
+        });
         assert!(
-            staleness::query_current(self.repo, self.cache, &q.objects, self.now, q.tolerance),
+            current,
             "policy answered query at seq {} locally but the cache is stale or incomplete",
             q.seq
         );
         self.ledger.local_answers += 1;
         self.satisfied = true;
+        self.answered_local = true;
+        self.served_stale = any_stale;
     }
 
     /// Ships the update range `(applied, to_version]` for a resident
@@ -187,6 +212,16 @@ impl<'a> SimContext<'a> {
     /// Whether the current query event has been satisfied.
     pub fn satisfied(&self) -> bool {
         self.satisfied
+    }
+
+    /// Whether the current event was answered from the cache.
+    pub fn answered_local(&self) -> bool {
+        self.answered_local
+    }
+
+    /// Whether the local answer read at least one stale resident.
+    pub fn served_stale(&self) -> bool {
+        self.served_stale
     }
 
     /// Synchronous exchanges (messages, bytes) performed so far during

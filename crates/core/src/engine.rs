@@ -158,8 +158,15 @@ impl FromJson for EngineMetrics {
 
 /// The decoupling engine: one policy driving one repository/cache pair
 /// under uniform cost accounting. See the module docs.
-pub struct Engine<'p> {
-    policy: Box<dyn CachingPolicy + 'p>,
+///
+/// Generic over the boxed policy type `P` (defaulting to the plain
+/// `dyn CachingPolicy` every in-process driver uses) so thread-sharing
+/// drivers can instantiate `Engine<'static, dyn CachingPolicy + Send>`
+/// and place the engine behind a `Mutex` — the server's shard cores do
+/// exactly that.
+pub struct Engine<'p, P: CachingPolicy + ?Sized + 'p = dyn CachingPolicy + 'p> {
+    policy: Box<P>,
+    _policy_lifetime: std::marker::PhantomData<&'p ()>,
     repo: Repository,
     cache: CacheStore,
     ledger: CostLedger,
@@ -175,7 +182,7 @@ pub struct Engine<'p> {
     tolerance_served: u64,
 }
 
-impl std::fmt::Debug for Engine<'_> {
+impl<P: CachingPolicy + ?Sized> std::fmt::Debug for Engine<'_, P> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Engine")
             .field("policy", &self.policy.name())
@@ -187,18 +194,15 @@ impl std::fmt::Debug for Engine<'_> {
     }
 }
 
-impl<'p> Engine<'p> {
+impl<'p, P: CachingPolicy + ?Sized + 'p> Engine<'p, P> {
     /// Builds an engine over a fresh repository for `catalog`, with the
     /// cache sized by the policy's [`CachingPolicy::preferred_capacity`]
     /// of `cache_bytes`. Call [`Engine::init`] before the first event.
-    pub fn new(
-        policy: Box<dyn CachingPolicy + 'p>,
-        catalog: &ObjectCatalog,
-        cache_bytes: u64,
-    ) -> Self {
+    pub fn new(policy: Box<P>, catalog: &ObjectCatalog, cache_bytes: u64) -> Self {
         let capacity = policy.preferred_capacity(catalog, cache_bytes);
         Engine {
             policy,
+            _policy_lifetime: std::marker::PhantomData,
             repo: Repository::new(catalog.clone()),
             cache: CacheStore::new(capacity),
             ledger: CostLedger::default(),
@@ -298,8 +302,7 @@ impl<'p> Engine<'p> {
             };
             &clamped
         };
-        let local_before = self.ledger.local_answers;
-        let (satisfied, sync_messages, sync_bytes) = {
+        let (satisfied, local, served_stale, sync_messages, sync_bytes) = {
             let mut ctx = match transport {
                 Some(t) => SimContext::with_transport(
                     &mut self.repo,
@@ -312,7 +315,13 @@ impl<'p> Engine<'p> {
             };
             self.policy.on_query(q, &mut ctx);
             let (m, b) = ctx.sync_traffic();
-            (ctx.satisfied(), m, b)
+            (
+                ctx.satisfied(),
+                ctx.answered_local(),
+                ctx.served_stale(),
+                m,
+                b,
+            )
         };
         if !satisfied {
             return Err(EngineError::ContractViolated {
@@ -320,12 +329,9 @@ impl<'p> Engine<'p> {
                 seq: now,
             });
         }
-        let local = self.ledger.local_answers > local_before;
-        if local
-            && q.objects
-                .iter()
-                .any(|&o| self.cache.get(o).is_some_and(|r| r.stale))
-        {
+        // `served_stale` was recorded during the local answer's currency
+        // walk — no second pass over the query's objects here.
+        if local && served_stale {
             self.tolerance_served += 1;
         }
         self.queries += 1;
@@ -399,7 +405,7 @@ impl<'p> Engine<'p> {
 
     /// Swaps in a fresh policy (a crash lost the old one's volatile
     /// decision state). World state and the ledger are untouched.
-    pub fn replace_policy(&mut self, policy: Box<dyn CachingPolicy + 'p>) {
+    pub fn replace_policy(&mut self, policy: Box<P>) {
         self.policy = policy;
     }
 
@@ -449,7 +455,7 @@ impl<'p> Engine<'p> {
     /// they did). [`CachingPolicy::init`] is *not* run; see
     /// [`Engine::init`].
     pub fn restore(
-        policy: Box<dyn CachingPolicy + 'p>,
+        policy: Box<P>,
         catalog: &ObjectCatalog,
         snap: &EngineSnapshot,
     ) -> Result<Self, EngineError> {
@@ -471,6 +477,7 @@ impl<'p> Engine<'p> {
         }
         Ok(Engine {
             policy,
+            _policy_lifetime: std::marker::PhantomData,
             repo,
             cache,
             ledger: snap.ledger.clone(),

@@ -69,7 +69,14 @@ pub struct LoadManager<P: ReplacementPolicy = GreedyDualSize> {
     stats: LoadManagerStats,
     mode: AdmissionMode,
     /// Attributed-cost counters, used only in [`AdmissionMode::Counter`].
-    counters: std::collections::HashMap<ObjectId, u64>,
+    /// Object ids are dense catalog indices, so this is a slab (0 = no
+    /// attribution yet) rather than a hash map.
+    counters: Vec<u64>,
+    /// Reusable scratch for [`LoadManager::consider`]'s missing-object
+    /// list — no per-query heap allocation on the hot path.
+    missing_scratch: Vec<ObjectId>,
+    /// Reusable scratch for the admission candidates of one query.
+    candidates_scratch: Vec<(ObjectId, u64, u64)>,
 }
 
 impl LoadManager<GreedyDualSize> {
@@ -95,7 +102,9 @@ impl<P: ReplacementPolicy> LoadManager<P> {
             rng: StdRng::seed_from_u64(seed ^ 0x10AD_10AD),
             stats: LoadManagerStats::default(),
             mode,
-            counters: std::collections::HashMap::new(),
+            counters: Vec::new(),
+            missing_scratch: Vec::new(),
+            candidates_scratch: Vec::new(),
         }
     }
 
@@ -106,33 +115,50 @@ impl<P: ReplacementPolicy> LoadManager<P> {
 
     /// Records cache hits for the resident objects of a locally-answerable
     /// query, refreshing their GDS priority (usage = frequency + recency).
+    ///
+    /// The caller guarantees every object of `q` is resident (this runs
+    /// on the all-cached path), so no per-object residency re-check is
+    /// performed here.
     pub fn touch_residents(&mut self, q: &QueryEvent, ctx: &SimContext<'_>) {
         for &o in &q.objects {
-            if ctx.cache.contains(o) {
-                let size = ctx.repo.current_size(o);
-                self.gds.request(o, size, size);
-            }
+            let size = ctx.repo.current_size(o);
+            self.gds.request(o, size, size);
         }
+    }
+
+    /// The attribution counter slot for `o` ([`AdmissionMode::Counter`]).
+    fn counter_mut(&mut self, o: ObjectId) -> &mut u64 {
+        let i = o.index();
+        if i >= self.counters.len() {
+            self.counters.resize(i + 1, 0);
+        }
+        &mut self.counters[i]
     }
 
     /// Fig. 6: attribute the shipped query's cost across its uncached
     /// objects, gate admissions, run the lazy GDS batch and execute the
     /// net plan. `um` is kept in sync on evictions.
     pub fn consider(&mut self, q: &QueryEvent, ctx: &mut SimContext<'_>, um: &mut UpdateManager) {
-        let mut missing: Vec<ObjectId> = q
-            .objects
-            .iter()
-            .copied()
-            .filter(|&o| !ctx.cache.contains(o))
-            .collect();
+        // Reuse the scratch buffers across queries (allocation-free once
+        // warmed); they are returned to `self` before any early exit.
+        let mut missing = std::mem::take(&mut self.missing_scratch);
+        missing.clear();
+        missing.extend(
+            q.objects
+                .iter()
+                .copied()
+                .filter(|&o| !ctx.cache.contains(o)),
+        );
         if missing.is_empty() {
+            self.missing_scratch = missing;
             return;
         }
         self.stats.considered += 1;
         missing.shuffle(&mut self.rng);
 
         let mut c = q.result_bytes;
-        let mut candidates: Vec<(ObjectId, u64, u64)> = Vec::new();
+        let mut candidates = std::mem::take(&mut self.candidates_scratch);
+        candidates.clear();
         for &o in &missing {
             let l = ctx.repo.current_size(o);
             match self.mode {
@@ -148,11 +174,11 @@ impl<P: ReplacementPolicy> LoadManager<P> {
                         break;
                     }
                     let take = c.min(l);
-                    let acc = self.counters.entry(o).or_insert(0);
-                    *acc += take;
                     c -= take;
+                    let acc = self.counter_mut(o);
+                    *acc += take;
                     if *acc >= l {
-                        self.counters.remove(&o);
+                        *acc = 0;
                         candidates.push((o, l, l));
                     }
                     continue;
@@ -172,13 +198,16 @@ impl<P: ReplacementPolicy> LoadManager<P> {
                 c = 0;
             }
         }
+        self.missing_scratch = missing;
         if candidates.is_empty() {
+            self.candidates_scratch = candidates;
             return;
         }
         self.stats.candidates += candidates.len() as u64;
 
         // Lazy batch: only the net effect is physical.
         let plan = lazy::plan_batch(&mut self.gds, &candidates);
+        self.candidates_scratch = candidates;
         for e in plan.evict {
             if ctx.cache.contains(e) {
                 ctx.evict_object(e);

@@ -53,9 +53,27 @@ pub const MAX_SEGMENTS_PER_OBJECT: usize = 128;
 /// query can only bias later covers toward shipping queries again —
 /// never violates a currency contract).
 pub const MAX_RETAINED_QUERIES: usize = 4096;
-use delta_storage::{staleness, ObjectId};
+use delta_storage::ObjectId;
 use delta_workload::QueryEvent;
 use std::collections::HashMap;
+
+/// Appends `(o, applied, required)` to `ranges` when the cached copy at
+/// `applied` does not satisfy the query horizon — the same arithmetic as
+/// `staleness::needed_updates`, minus the second cache probe (the caller
+/// already holds the applied version).
+#[inline]
+fn push_needed_range(
+    ranges: &mut Vec<(ObjectId, u64, u64)>,
+    ctx: &SimContext<'_>,
+    o: ObjectId,
+    applied: u64,
+    tolerance: u64,
+) {
+    let required = ctx.repo.version_at_horizon(o, ctx.now, tolerance);
+    if applied < required {
+        ranges.push((o, applied, required));
+    }
+}
 
 /// Statistics the manager accumulates (reported in benchmarks).
 #[derive(Clone, Copy, Debug, Default)]
@@ -93,14 +111,22 @@ struct Segment {
 #[derive(Debug, Default)]
 pub struct UpdateManager {
     graph: CoverGraph,
-    /// Live segments per object: sorted, disjoint, contiguous from the
-    /// cache's applied version.
-    by_object: HashMap<ObjectId, Vec<Segment>>,
+    /// Live segments per object, indexed by the dense object id (an
+    /// empty Vec means no live segments): sorted, disjoint, contiguous
+    /// from the cache's applied version. A slab, not a hash map — object
+    /// ids are catalog indices.
+    by_object: Vec<Vec<Segment>>,
+    /// Live update-node count across all objects (kept so the hot path
+    /// never has to sum the slab).
+    live_nodes: usize,
     /// Live queries adjacent to each segment vertex (needed to re-wire on
     /// splits).
     node_queries: HashMap<UpdateNode, Vec<QueryNode>>,
     /// Retained (shipped) query vertices.
     retained: Vec<QueryNode>,
+    /// Reusable scratch for the per-query needed-update ranges — no
+    /// per-event heap allocation on the hot path.
+    ranges_scratch: Vec<(ObjectId, u64, u64)>,
     stats: UpdateManagerStats,
 }
 
@@ -117,12 +143,21 @@ impl UpdateManager {
 
     /// Number of live segment vertices (for tests).
     pub fn live_update_nodes(&self) -> usize {
-        self.by_object.values().map(Vec::len).sum()
+        self.live_nodes
     }
 
     /// Number of retained query vertices (for tests).
     pub fn retained_queries(&self) -> usize {
         self.retained.len()
+    }
+
+    /// The segment slot for `o`, growing the slab on demand.
+    fn segs_mut(&mut self, o: ObjectId) -> &mut Vec<Segment> {
+        let i = o.index();
+        if i >= self.by_object.len() {
+            self.by_object.resize_with(i + 1, Vec::new);
+        }
+        &mut self.by_object[i]
     }
 
     /// Decides and executes the ship-query vs ship-updates choice for a
@@ -132,18 +167,49 @@ impl UpdateManager {
     /// Panics if some object in `B(q)` is not resident.
     pub fn handle_query(&mut self, q: &QueryEvent, ctx: &mut SimContext<'_>) {
         // Collect the outstanding update ranges the query's tolerance
-        // requires, per object.
-        let mut ranges: Vec<(ObjectId, u64, u64)> = Vec::new();
+        // requires, per object, into the reusable scratch buffer.
+        let mut ranges = std::mem::take(&mut self.ranges_scratch);
+        ranges.clear();
         for &o in &q.objects {
-            let need = staleness::needed_updates(ctx.repo, ctx.cache, o, ctx.now, q.tolerance)
+            let applied = ctx
+                .cache
+                .applied_version(o)
                 .expect("UpdateManager invoked with non-resident object");
-            if !need.is_current() {
-                ranges.push((o, need.from_version, need.to_version));
-            }
+            push_needed_range(&mut ranges, ctx, o, applied, q.tolerance);
         }
+        self.decide(q, ranges, ctx);
+    }
 
+    /// [`UpdateManager::handle_query`] for callers that already probed
+    /// residency: `applied` carries each object's applied version in
+    /// `B(q)` order, so the cache is not consulted a second time.
+    pub fn handle_query_resident(
+        &mut self,
+        q: &QueryEvent,
+        applied: &[(ObjectId, u64)],
+        ctx: &mut SimContext<'_>,
+    ) {
+        debug_assert_eq!(applied.len(), q.objects.len());
+        let mut ranges = std::mem::take(&mut self.ranges_scratch);
+        ranges.clear();
+        for &(o, applied_version) in applied {
+            push_needed_range(&mut ranges, ctx, o, applied_version, q.tolerance);
+        }
+        self.decide(q, ranges, ctx);
+    }
+
+    /// The decision core shared by the two entry points. Takes ownership
+    /// of the scratch `ranges` buffer and returns it to `self` on every
+    /// path.
+    fn decide(
+        &mut self,
+        q: &QueryEvent,
+        ranges: Vec<(ObjectId, u64, u64)>,
+        ctx: &mut SimContext<'_>,
+    ) {
         // Fig. 4 lines 12–13: nothing outstanding interacts with q.
         if ranges.is_empty() {
+            self.ranges_scratch = ranges;
             self.stats.trivially_current += 1;
             ctx.answer_local(q);
             return;
@@ -154,10 +220,13 @@ impl UpdateManager {
         let qn = self.graph.add_query(q.result_bytes);
         for &(o, from, to) in &ranges {
             self.materialize(o, from, to, ctx);
-            for seg in self.by_object.get(&o).into_iter().flatten() {
+            let i = o.index();
+            for s in 0..self.by_object[i].len() {
+                let seg = &self.by_object[i][s];
                 if seg.end <= to {
-                    self.graph.add_interaction(seg.node, qn);
-                    self.node_queries.entry(seg.node).or_default().push(qn);
+                    let node = seg.node;
+                    self.graph.add_interaction(node, qn);
+                    self.node_queries.entry(node).or_default().push(qn);
                 }
             }
         }
@@ -184,6 +253,7 @@ impl UpdateManager {
             self.stats.answered_locally += 1;
             self.prune_isolated();
         }
+        self.ranges_scratch = ranges;
         self.enforce_caps(q);
     }
 
@@ -192,7 +262,7 @@ impl UpdateManager {
     /// vertices once their counts exceed the bounds.
     fn enforce_caps(&mut self, q: &QueryEvent) {
         for &o in &q.objects {
-            let Some(segs) = self.by_object.get_mut(&o) else {
+            let Some(segs) = self.by_object.get_mut(o.index()) else {
                 continue;
             };
             if segs.len() <= MAX_SEGMENTS_PER_OBJECT {
@@ -223,6 +293,7 @@ impl UpdateManager {
             adjacency.retain(|&adj_q| self.graph.query_alive(adj_q));
             self.node_queries.insert(node, adjacency);
             segs.insert(0, Segment { start, end, node });
+            self.live_nodes -= merged.len() - 1;
             self.stats.segments_coalesced += merged.len() as u64;
         }
         if self.retained.len() > MAX_RETAINED_QUERIES {
@@ -240,8 +311,9 @@ impl UpdateManager {
     /// Ensures segments exist covering `[from, to)` with a boundary at
     /// `to` (splitting if a segment straddles it).
     fn materialize(&mut self, o: ObjectId, from: u64, to: u64, ctx: &SimContext<'_>) {
+        self.segs_mut(o); // grow the slab before taking field borrows
         let graph = &mut self.graph;
-        let segs = self.by_object.entry(o).or_default();
+        let segs = &mut self.by_object[o.index()];
         debug_assert!(segs.first().map(|s| s.start).unwrap_or(from) == from || !segs.is_empty());
         // Extend coverage to `to` if needed.
         let covered_to = segs.last().map(|s| s.end).unwrap_or(from);
@@ -254,6 +326,7 @@ impl UpdateManager {
                 end: to,
                 node,
             });
+            self.live_nodes += 1;
         } else if let Some(idx) = segs.iter().position(|s| s.start < to && to < s.end) {
             // Split the straddling segment at `to`.
             self.stats.segment_splits += 1;
@@ -287,26 +360,21 @@ impl UpdateManager {
                     node: n2,
                 },
             );
+            self.live_nodes += 1;
         }
     }
 
     /// Removes all segments of `o` ending at or before `to` (they were
-    /// shipped and applied).
+    /// shipped and applied). Segments are sorted and disjoint, so the
+    /// shipped ones form a prefix — drained in place, no scratch Vec.
     fn drop_prefix(&mut self, o: ObjectId, to: u64) {
-        if let Some(segs) = self.by_object.get_mut(&o) {
-            let mut kept = Vec::with_capacity(segs.len());
-            for seg in segs.drain(..) {
-                if seg.end <= to {
-                    self.graph.remove_update(seg.node);
-                    self.node_queries.remove(&seg.node);
-                    self.stats.update_nodes_shipped += 1;
-                } else {
-                    kept.push(seg);
-                }
-            }
-            *segs = kept;
-            if segs.is_empty() {
-                self.by_object.remove(&o);
+        if let Some(segs) = self.by_object.get_mut(o.index()) {
+            let k = segs.iter().position(|s| s.end > to).unwrap_or(segs.len());
+            for seg in segs.drain(..k) {
+                self.graph.remove_update(seg.node);
+                self.node_queries.remove(&seg.node);
+                self.live_nodes -= 1;
+                self.stats.update_nodes_shipped += 1;
             }
         }
     }
@@ -315,13 +383,18 @@ impl UpdateManager {
     /// gone, its updates no longer need shipping (queries on it will be
     /// shipped instead).
     pub fn on_evict(&mut self, o: ObjectId) {
-        if let Some(segs) = self.by_object.remove(&o) {
-            for seg in segs {
-                self.graph.remove_update(seg.node);
-                self.node_queries.remove(&seg.node);
-            }
-            self.prune_isolated();
+        let Some(segs) = self.by_object.get_mut(o.index()) else {
+            return;
+        };
+        if segs.is_empty() {
+            return;
         }
+        for seg in std::mem::take(segs) {
+            self.graph.remove_update(seg.node);
+            self.node_queries.remove(&seg.node);
+            self.live_nodes -= 1;
+        }
+        self.prune_isolated();
     }
 
     /// Drops retained query vertices that no longer have live edges — they

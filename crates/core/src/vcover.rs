@@ -26,6 +26,10 @@ use delta_workload::{QueryEvent, UpdateEvent};
 pub struct VCover<P: ReplacementPolicy = GreedyDualSize> {
     um: UpdateManager,
     lm: LoadManager<P>,
+    /// Reusable scratch for the all-cached probe: each object's applied
+    /// version, collected once and handed to the UpdateManager so the
+    /// hit path probes the cache exactly once per object.
+    probe_scratch: Vec<(delta_storage::ObjectId, u64)>,
 }
 
 impl VCover<GreedyDualSize> {
@@ -44,6 +48,7 @@ impl<P: ReplacementPolicy> VCover<P> {
         Self {
             um: UpdateManager::new(),
             lm: LoadManager::with_policy(policy, seed),
+            probe_scratch: Vec::new(),
         }
     }
 
@@ -58,6 +63,7 @@ impl<P: ReplacementPolicy> VCover<P> {
         Self {
             um: UpdateManager::new(),
             lm: LoadManager::with_policy_and_mode(policy, seed, mode),
+            probe_scratch: Vec::new(),
         }
     }
 
@@ -78,12 +84,26 @@ impl<P: ReplacementPolicy> CachingPolicy for VCover<P> {
     }
 
     fn on_query(&mut self, q: &QueryEvent, ctx: &mut SimContext<'_>) {
-        let all_cached = q.objects.iter().all(|&o| ctx.cache.contains(o));
+        // One probe per object decides the all-cached question AND
+        // collects the applied versions the UpdateManager needs — no
+        // second `contains`/`get` pass over the same ids.
+        let mut probe = std::mem::take(&mut self.probe_scratch);
+        probe.clear();
+        let mut all_cached = true;
+        for &o in &q.objects {
+            match ctx.cache.applied_version(o) {
+                Some(v) => probe.push((o, v)),
+                None => {
+                    all_cached = false;
+                    break;
+                }
+            }
+        }
         if all_cached {
             // Cache hit path: refresh usage, then decide ship-query vs
             // ship-updates via the incremental vertex cover.
             self.lm.touch_residents(q, ctx);
-            self.um.handle_query(q, ctx);
+            self.um.handle_query_resident(q, &probe, ctx);
             // Shipped updates grow resident objects; shed if over.
             if ctx.over_capacity() {
                 self.lm.rebalance(ctx, &mut self.um);
@@ -94,6 +114,7 @@ impl<P: ReplacementPolicy> CachingPolicy for VCover<P> {
             ctx.ship_query(q);
             self.lm.consider(q, ctx, &mut self.um);
         }
+        self.probe_scratch = probe;
     }
 
     fn on_update(&mut self, _u: &UpdateEvent, _ctx: &mut SimContext<'_>) {

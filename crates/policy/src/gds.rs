@@ -7,10 +7,19 @@
 //! object's load cost and size its bytes, so `cost/size ≈ 1` and GDS
 //! degenerates gracefully toward size-aware LRU, exactly as the paper
 //! wants for "usage in the cache measured from frequency and recency".
+//!
+//! ## Representation
+//!
+//! Object ids are dense catalog indices, so entries live in a slab
+//! (`Vec<Option<Entry>>`) indexed by id — no hashing on the hot path —
+//! and victim selection runs over an **indexed binary min-heap** ordered
+//! by `(H, tick, id)`: peeking the next victim is O(1) and every
+//! insert/update/remove is O(log n), replacing the former O(n) scan over
+//! all residents. The heap's `pos` side-table maps id → heap slot so a
+//! priority refresh re-sifts exactly one path.
 
 use crate::traits::{Admission, ReplacementPolicy};
 use delta_storage::ObjectId;
-use std::collections::HashMap;
 
 #[derive(Clone, Copy, Debug)]
 struct Entry {
@@ -21,6 +30,9 @@ struct Entry {
     tick: u64,
 }
 
+/// Sentinel for "not in the heap" in the `pos` side-table.
+const ABSENT: u32 = u32::MAX;
+
 /// Greedy-Dual-Size replacement.
 #[derive(Clone, Debug)]
 pub struct GreedyDualSize {
@@ -28,7 +40,13 @@ pub struct GreedyDualSize {
     used: u64,
     inflation: f64,
     tick: u64,
-    entries: HashMap<ObjectId, Entry>,
+    /// Dense slab indexed by object id; `None` = not resident.
+    entries: Vec<Option<Entry>>,
+    len: usize,
+    /// Min-heap of resident ids ordered by `(h, tick, id)`.
+    heap: Vec<u32>,
+    /// `pos[id]` = index of `id` in `heap`, or [`ABSENT`].
+    pos: Vec<u32>,
 }
 
 impl GreedyDualSize {
@@ -39,7 +57,10 @@ impl GreedyDualSize {
             used: 0,
             inflation: 0.0,
             tick: 0,
-            entries: HashMap::new(),
+            entries: Vec::new(),
+            len: 0,
+            heap: Vec::new(),
+            pos: Vec::new(),
         }
     }
 
@@ -50,7 +71,21 @@ impl GreedyDualSize {
 
     /// Priority of a resident object.
     pub fn priority(&self, id: ObjectId) -> Option<f64> {
-        self.entries.get(&id).map(|e| e.h)
+        self.entry(id).map(|e| e.h)
+    }
+
+    #[inline]
+    fn entry(&self, id: ObjectId) -> Option<&Entry> {
+        self.entries.get(id.index()).and_then(|s| s.as_ref())
+    }
+
+    /// Grows both slabs so `id` has a slot.
+    fn ensure_slot(&mut self, id: ObjectId) {
+        let i = id.index();
+        if i >= self.entries.len() {
+            self.entries.resize(i + 1, None);
+            self.pos.resize(i + 1, ABSENT);
+        }
     }
 
     fn bump(&mut self) -> u64 {
@@ -58,27 +93,111 @@ impl GreedyDualSize {
         self.tick
     }
 
+    // ---- indexed heap primitives ----
+
+    /// Whether resident `a` orders strictly before resident `b` in the
+    /// victim order `(h, tick, id)`.
+    #[inline]
+    fn before(&self, a: u32, b: u32) -> bool {
+        let ea = self.entries[a as usize].as_ref().expect("heap id resident");
+        let eb = self.entries[b as usize].as_ref().expect("heap id resident");
+        match ea.h.total_cmp(&eb.h) {
+            std::cmp::Ordering::Less => true,
+            std::cmp::Ordering::Greater => false,
+            std::cmp::Ordering::Equal => (ea.tick, a) < (eb.tick, b),
+        }
+    }
+
+    #[inline]
+    fn place(&mut self, slot: usize, id: u32) {
+        self.heap[slot] = id;
+        self.pos[id as usize] = slot as u32;
+    }
+
+    fn sift_up(&mut self, mut slot: usize) {
+        let id = self.heap[slot];
+        while slot > 0 {
+            let parent = (slot - 1) / 2;
+            let pid = self.heap[parent];
+            if !self.before(id, pid) {
+                break;
+            }
+            self.place(slot, pid);
+            slot = parent;
+        }
+        self.place(slot, id);
+    }
+
+    fn sift_down(&mut self, mut slot: usize) {
+        let id = self.heap[slot];
+        let n = self.heap.len();
+        loop {
+            let mut child = 2 * slot + 1;
+            if child >= n {
+                break;
+            }
+            if child + 1 < n && self.before(self.heap[child + 1], self.heap[child]) {
+                child += 1;
+            }
+            let cid = self.heap[child];
+            if !self.before(cid, id) {
+                break;
+            }
+            self.place(slot, cid);
+            slot = child;
+        }
+        self.place(slot, id);
+    }
+
+    fn heap_push(&mut self, id: ObjectId) {
+        let slot = self.heap.len();
+        self.heap.push(id.0);
+        self.pos[id.index()] = slot as u32;
+        self.sift_up(slot);
+    }
+
+    /// Re-establishes heap order after `id`'s key changed either way.
+    fn heap_update(&mut self, id: ObjectId) {
+        let slot = self.pos[id.index()];
+        debug_assert_ne!(slot, ABSENT);
+        self.sift_up(slot as usize);
+        let slot = self.pos[id.index()] as usize;
+        self.sift_down(slot);
+    }
+
+    fn heap_remove(&mut self, id: ObjectId) {
+        let slot = self.pos[id.index()] as usize;
+        self.pos[id.index()] = ABSENT;
+        let last = self.heap.len() - 1;
+        if slot != last {
+            let moved = self.heap[last];
+            self.heap.truncate(last);
+            self.place(slot, moved);
+            self.sift_up(slot);
+            let slot = self.pos[moved as usize] as usize;
+            self.sift_down(slot);
+        } else {
+            self.heap.truncate(last);
+        }
+    }
+
     /// The resident object with the minimum `(H, tick)` — the next victim.
     fn victim_inner(&self) -> Option<ObjectId> {
-        self.entries
-            .iter()
-            .min_by(|a, b| {
-                a.1.h
-                    .total_cmp(&b.1.h)
-                    .then_with(|| a.1.tick.cmp(&b.1.tick))
-                    .then_with(|| a.0.cmp(b.0))
-            })
-            .map(|(&id, _)| id)
+        self.heap.first().map(|&id| ObjectId(id))
     }
 }
 
 impl ReplacementPolicy for GreedyDualSize {
     fn request(&mut self, id: ObjectId, size: u64, cost: u64) -> Admission {
-        if let Some(e) = self.entries.get_mut(&id) {
+        self.ensure_slot(id);
+        if self.entries[id.index()].is_some() {
             // Hit: refresh H with current inflation.
-            e.h = self.inflation + cost as f64 / size.max(1) as f64;
+            let h = self.inflation + cost as f64 / size.max(1) as f64;
             let t = self.bump();
-            self.entries.get_mut(&id).expect("present").tick = t;
+            let e = self.entries[id.index()].as_mut().expect("present");
+            e.h = h;
+            e.tick = t;
+            self.heap_update(id);
             return Admission {
                 admitted: true,
                 evicted: Vec::new(),
@@ -92,7 +211,9 @@ impl ReplacementPolicy for GreedyDualSize {
             let v = self
                 .victim_inner()
                 .expect("used > 0 implies a victim exists");
-            let e = self.entries.remove(&v).expect("victim resident");
+            let e = self.entries[v.index()].take().expect("victim resident");
+            self.len -= 1;
+            self.heap_remove(v);
             self.used -= e.size;
             // Inflation rises to the evicted priority.
             self.inflation = self.inflation.max(e.h);
@@ -100,7 +221,9 @@ impl ReplacementPolicy for GreedyDualSize {
         }
         let h = self.inflation + cost as f64 / size.max(1) as f64;
         let tick = self.bump();
-        self.entries.insert(id, Entry { h, size, tick });
+        self.entries[id.index()] = Some(Entry { h, size, tick });
+        self.len += 1;
+        self.heap_push(id);
         self.used += size;
         Admission {
             admitted: true,
@@ -109,24 +232,27 @@ impl ReplacementPolicy for GreedyDualSize {
     }
 
     fn touch(&mut self, id: ObjectId) {
-        if let Some(e) = self.entries.get(&id) {
+        if let Some(e) = self.entry(id) {
             let (size, h_base) = (e.size, self.inflation);
             let cost_over_size = e.h - h_base; // keep prior ratio contribution
             let t = self.bump();
-            let e = self.entries.get_mut(&id).expect("present");
+            let e = self.entries[id.index()].as_mut().expect("present");
             e.h = h_base + cost_over_size.max(1.0 / size.max(1) as f64);
             e.tick = t;
+            self.heap_update(id);
         }
     }
 
     fn forget(&mut self, id: ObjectId) {
-        if let Some(e) = self.entries.remove(&id) {
+        if let Some(e) = self.entries.get_mut(id.index()).and_then(Option::take) {
+            self.len -= 1;
+            self.heap_remove(id);
             self.used -= e.size;
         }
     }
 
     fn contains(&self, id: ObjectId) -> bool {
-        self.entries.contains_key(&id)
+        self.entry(id).is_some()
     }
 
     fn used(&self) -> u64 {
@@ -138,7 +264,11 @@ impl ReplacementPolicy for GreedyDualSize {
     }
 
     fn resident(&self) -> Vec<ObjectId> {
-        self.entries.keys().copied().collect()
+        self.entries
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.as_ref().map(|_| ObjectId(i as u32)))
+            .collect()
     }
 
     fn victim(&self) -> Option<ObjectId> {
@@ -223,5 +353,48 @@ mod tests {
             "all five small objects evicted: need 90 of 100"
         );
         assert_eq!(g.used(), 90);
+    }
+
+    /// The indexed heap must stay consistent with the slab through a
+    /// deterministic churn of admissions, hits, touches and forgets, and
+    /// every victim it reports must equal the brute-force `(H, tick, id)`
+    /// minimum over the live entries.
+    #[test]
+    fn heap_victim_matches_linear_scan_under_churn() {
+        let mut g = GreedyDualSize::new(500);
+        let mut x = 0x2545F4914F6CDD1Du64;
+        let mut next = move || {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x
+        };
+        for _ in 0..2_000 {
+            let id = o((next() % 64) as u32);
+            match next() % 4 {
+                0 | 1 => {
+                    let size = next() % 120 + 1;
+                    let cost = next() % 200 + 1;
+                    g.request(id, size, cost);
+                }
+                2 => g.touch(id),
+                _ => g.forget(id),
+            }
+            // Brute-force the victim from the slab and compare.
+            let scan = g
+                .entries
+                .iter()
+                .enumerate()
+                .filter_map(|(i, s)| s.as_ref().map(|e| (i as u32, e)))
+                .min_by(|a, b| {
+                    a.1.h
+                        .total_cmp(&b.1.h)
+                        .then_with(|| a.1.tick.cmp(&b.1.tick))
+                        .then_with(|| a.0.cmp(&b.0))
+                })
+                .map(|(i, _)| ObjectId(i));
+            assert_eq!(g.victim(), scan);
+            assert_eq!(g.heap.len(), g.len, "heap and slab must agree on size");
+        }
     }
 }

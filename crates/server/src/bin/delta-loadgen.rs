@@ -4,10 +4,16 @@
 //! ```text
 //! delta-loadgen --addr 127.0.0.1:7117
 //!               [--trace trace.jsonl | --preset small|paper]
-//!               [--limit N] [--clients C]
+//!               [--events N] [--limit N] [--clients C]
 //!               [--batch N] [--pipeline W]
 //!               [--bench-json PATH] [--shutdown]
 //! ```
+//!
+//! `--events N` regenerates the preset workload with N/2 queries and
+//! N/2 updates over the preset's catalog (unlike `--limit`, which
+//! truncates the preset's default-sized trace) — `--preset small
+//! --events 50000` reproduces the 50k-event trace the `tri_modal`
+//! differential suite pins.
 //!
 //! `--bench-json PATH` switches to benchmark mode: after one unmeasured
 //! warm-up replay (so every mode runs against the same warmed caches and
@@ -45,6 +51,7 @@ struct Args {
     addr: String,
     trace: Option<String>,
     preset: String,
+    events: Option<usize>,
     limit: usize,
     clients: usize,
     batch: usize,
@@ -56,7 +63,7 @@ struct Args {
 fn usage() -> ! {
     eprintln!(
         "usage: delta-loadgen --addr ADDR [--trace FILE | --preset small|paper] \
-         [--limit N] [--clients C] [--batch N] [--pipeline W] \
+         [--events N] [--limit N] [--clients C] [--batch N] [--pipeline W] \
          [--bench-json PATH] [--shutdown]"
     );
     exit(2);
@@ -67,6 +74,7 @@ fn parse_args() -> Args {
         addr: String::new(),
         trace: None,
         preset: "small".to_string(),
+        events: None,
         limit: usize::MAX,
         clients: 1,
         batch: 1,
@@ -84,6 +92,7 @@ fn parse_args() -> Args {
             "--addr" => args.addr = value(&argv, i),
             "--trace" => args.trace = Some(value(&argv, i)),
             "--preset" => args.preset = value(&argv, i),
+            "--events" => args.events = Some(value(&argv, i).parse().unwrap_or_else(|_| usage())),
             "--limit" => args.limit = value(&argv, i).parse().unwrap_or_else(|_| usage()),
             "--clients" => args.clients = value(&argv, i).parse().unwrap_or_else(|_| usage()),
             "--batch" => args.batch = value(&argv, i).parse().unwrap_or_else(|_| usage()),
@@ -122,10 +131,16 @@ fn load_trace(args: &Args) -> Trace {
             });
         trace
     } else {
-        let cfg = WorkloadConfig::from_preset(&args.preset).unwrap_or_else(|e| {
+        let mut cfg = WorkloadConfig::from_preset(&args.preset).unwrap_or_else(|e| {
             eprintln!("delta-loadgen: {e}");
             exit(2);
         });
+        if let Some(events) = args.events {
+            // Half queries, half updates over the preset's (unchanged)
+            // catalog — the shape the tri_modal suite pins at 50k.
+            cfg.n_queries = events / 2;
+            cfg.n_updates = events - events / 2;
+        }
         delta_workload::SyntheticSurvey::generate(&cfg).trace
     };
     trace.truncated(args.limit)
@@ -271,6 +286,7 @@ fn run_bench(args: &Args, trace: &Trace, path: &str) {
         ("pipeline", batch, window),
     ];
     let mut mode_docs = Vec::new();
+    let mut rates: Vec<(&str, f64)> = Vec::new();
     for (name, b, w) in modes {
         let start = Instant::now();
         let (queries, updates, _) = replay(&args.addr, &trace.events, b, w).unwrap_or_else(|e| {
@@ -283,6 +299,7 @@ fn run_bench(args: &Args, trace: &Trace, path: &str) {
         eprintln!(
             "bench {name:>9} (batch={b}, pipeline={w}): {events} events in {elapsed:.2}s ({events_per_sec:.0} events/s)"
         );
+        rates.push((name, events_per_sec));
         mode_docs.push(Value::Object(vec![
             ("name".into(), name.to_string().to_json()),
             ("batch".into(), b.to_json()),
@@ -291,6 +308,41 @@ fn run_bench(args: &Args, trace: &Trace, path: &str) {
             ("elapsed_s".into(), elapsed.to_json()),
             ("events_per_sec".into(), events_per_sec.to_json()),
         ]));
+    }
+
+    // The window coalescing exists precisely so that pipelining is never
+    // slower than plain batching; assert it so a regression fails the
+    // smoke bench instead of silently landing in the JSON artifact. The
+    // hard check needs a trace long enough to measure: on tiny traces
+    // the modes run in milliseconds and the later-measured mode pays the
+    // server-state drift of every earlier replay (each pass grows the
+    // policies' decision graphs), which swamps the protocol difference.
+    const BENCH_CHECK_MIN_EVENTS: usize = 20_000;
+    let rate = |want: &str| {
+        rates
+            .iter()
+            .find(|(n, _)| *n == want)
+            .map(|&(_, r)| r)
+            .unwrap_or(0.0)
+    };
+    let (batch_rate, pipeline_rate) = (rate("batch"), rate("pipeline"));
+    if pipeline_rate >= batch_rate {
+        eprintln!(
+            "bench check: pipeline ({pipeline_rate:.0} ev/s) >= batch ({batch_rate:.0} ev/s) ✓"
+        );
+    } else if trace.len() < BENCH_CHECK_MIN_EVENTS {
+        eprintln!(
+            "bench check: pipeline ({pipeline_rate:.0} ev/s) < batch ({batch_rate:.0} ev/s) \
+             on a {}-event trace — too short to be conclusive (< {BENCH_CHECK_MIN_EVENTS}); \
+             not failing. Re-run with --events 50000.",
+            trace.len()
+        );
+    } else {
+        eprintln!(
+            "delta-loadgen: bench check FAILED: pipeline ({pipeline_rate:.0} ev/s) < batch \
+             ({batch_rate:.0} ev/s) — per-frame flushing has regressed the windowed path"
+        );
+        exit(1);
     }
 
     let stats = DeltaClient::connect(&args.addr)

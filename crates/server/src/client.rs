@@ -4,12 +4,18 @@
 //! correlation id).
 
 use crate::protocol::{
-    read_frame, write_frame, BatchItem, BatchReply, Request, Response, SqlStage, StatsSnapshot,
+    append_frame_with, read_frame_into, BatchItem, BatchReply, Request, Response, SqlStage,
+    StatsSnapshot,
 };
 use delta_workload::{QueryEvent, QueryKind, UpdateEvent};
 use std::collections::HashSet;
-use std::io;
+use std::io::{self, BufReader, Write};
 use std::net::{TcpStream, ToSocketAddrs};
+
+/// Read-buffer capacity for client connections — large enough that a
+/// typical frame (even a windowed burst of tagged batch replies) arrives
+/// in one `read` syscall.
+const READ_BUF: usize = 64 * 1024;
 
 /// Outcome of a query request.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -76,8 +82,17 @@ impl std::fmt::Display for SqlRejection {
 ///
 /// One request is in flight at a time; open several clients for
 /// concurrency (the server is happy to serve many connections).
+///
+/// The connection owns one reusable encode buffer and one reusable
+/// decode buffer: a round trip performs zero heap allocation once the
+/// buffers are warm, and each frame is one `write_all` on the wire.
 pub struct DeltaClient {
-    stream: TcpStream,
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+    /// Reusable outgoing wire buffer (length prefix + payload).
+    wire: Vec<u8>,
+    /// Reusable incoming payload buffer.
+    payload: Vec<u8>,
 }
 
 impl DeltaClient {
@@ -85,13 +100,29 @@ impl DeltaClient {
     pub fn connect(addr: impl ToSocketAddrs) -> io::Result<DeltaClient> {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
-        Ok(DeltaClient { stream })
+        let reader = BufReader::with_capacity(READ_BUF, stream.try_clone()?);
+        Ok(DeltaClient {
+            reader,
+            writer: stream,
+            wire: Vec::new(),
+            payload: Vec::new(),
+        })
+    }
+
+    fn send(&mut self, request: &Request) -> io::Result<()> {
+        self.wire.clear();
+        append_frame_with(&mut self.wire, |buf| request.encode_into(buf))?;
+        self.writer.write_all(&self.wire)
+    }
+
+    fn receive(&mut self) -> io::Result<Response> {
+        read_frame_into(&mut self.reader, &mut self.payload)?;
+        Response::decode(&self.payload)
     }
 
     fn round_trip(&mut self, request: &Request) -> io::Result<Response> {
-        write_frame(&mut self.stream, &request.encode())?;
-        let payload = read_frame(&mut self.stream)?;
-        let response = Response::decode(&payload)?;
+        self.send(request)?;
+        let response = self.receive()?;
         if let Response::Error { code, message } = &response {
             return Err(io::Error::other(format!("server error {code}: {message}")));
         }
@@ -139,9 +170,8 @@ impl DeltaClient {
             seq,
             sql: sql.to_string(),
         };
-        write_frame(&mut self.stream, &request.encode())?;
-        let payload = read_frame(&mut self.stream)?;
-        match Response::decode(&payload)? {
+        self.send(&request)?;
+        match self.receive()? {
             Response::SqlOk {
                 shards_touched,
                 local_answers,
@@ -197,8 +227,16 @@ impl DeltaClient {
     /// Converts this client into a pipelined one keeping up to `window`
     /// tagged requests in flight.
     pub fn pipelined(self, window: usize) -> PipelinedClient {
+        // The lockstep path leaves the last sent frame in `wire` (it
+        // clears lazily, on the next send); the pipelined client only
+        // appends, so hand it a clean buffer.
+        let mut wire = self.wire;
+        wire.clear();
         PipelinedClient {
-            stream: self.stream,
+            reader: self.reader,
+            writer: self.writer,
+            wire,
+            payload: self.payload,
             window: window.max(1),
             next_corr: 0,
             pending: HashSet::new(),
@@ -222,6 +260,14 @@ impl DeltaClient {
 /// the request mix — queries, updates, batches and SQL can interleave in
 /// one pipeline.
 ///
+/// Outgoing frames are *coalesced per window*: `submit` appends to a
+/// reusable wire buffer, and the buffer hits the socket with exactly one
+/// `write_all` right before the client blocks for replies (window full
+/// or `drain`). That is the fix for the pipeline-slower-than-batch
+/// regression — the old per-frame `write` + flush cost a syscall and a
+/// packet per frame, making eight windowed frames dearer than one batch
+/// frame.
+///
 /// The client reads the socket only while the window is full (and on
 /// `drain`), so size the window such that `window ×` the largest
 /// expected response fits comfortably in the socket buffers: extreme
@@ -230,7 +276,13 @@ impl DeltaClient {
 /// loadgen defaults (batch ≤ a few hundred, window ≤ a few dozen) are
 /// orders of magnitude below that regime.
 pub struct PipelinedClient {
-    stream: TcpStream,
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+    /// Reusable outgoing wire buffer: frames accumulate here and are
+    /// written once per window.
+    wire: Vec<u8>,
+    /// Reusable incoming payload buffer.
+    payload: Vec<u8>,
     window: usize,
     next_corr: u64,
     pending: HashSet<u64>,
@@ -243,8 +295,20 @@ impl PipelinedClient {
         self.pending.len()
     }
 
+    /// Writes the coalesced window of frames to the socket — one
+    /// `write_all` no matter how many frames accumulated.
+    fn flush_wire(&mut self) -> io::Result<()> {
+        if !self.wire.is_empty() {
+            self.writer.write_all(&self.wire)?;
+            self.wire.clear();
+        }
+        Ok(())
+    }
+
     /// Submits a request, first reaping replies if the window is full.
-    /// Returns the correlation id assigned to this request.
+    /// Returns the correlation id assigned to this request. The frame is
+    /// buffered; it reaches the socket in one coalesced write when the
+    /// window fills (or on [`PipelinedClient::drain`]).
     ///
     /// # Panics
     /// Panics on [`Request::Tagged`] input — the pipeline does its own
@@ -254,23 +318,24 @@ impl PipelinedClient {
             !matches!(request, Request::Tagged { .. }),
             "submit() tags requests itself"
         );
-        while self.pending.len() >= self.window {
-            self.reap_one()?;
+        if self.pending.len() >= self.window {
+            self.flush_wire()?;
+            while self.pending.len() >= self.window {
+                self.reap_one()?;
+            }
         }
         let corr = self.next_corr;
         self.next_corr += 1;
-        let tagged = Request::Tagged {
-            corr,
-            inner: Box::new(request.clone()),
-        };
-        write_frame(&mut self.stream, &tagged.encode())?;
+        append_frame_with(&mut self.wire, |buf| {
+            crate::protocol::encode_tagged_request_into(corr, request, buf);
+        })?;
         self.pending.insert(corr);
         Ok(corr)
     }
 
     fn reap_one(&mut self) -> io::Result<()> {
-        let payload = read_frame(&mut self.stream)?;
-        match Response::decode(&payload)? {
+        read_frame_into(&mut self.reader, &mut self.payload)?;
+        match Response::decode(&self.payload)? {
             Response::Tagged { corr, inner } => {
                 if !self.pending.remove(&corr) {
                     return Err(io::Error::other(format!(
@@ -293,6 +358,7 @@ impl PipelinedClient {
     /// Waits for every outstanding reply, then returns all accumulated
     /// responses.
     pub fn drain(&mut self) -> io::Result<Vec<(u64, Response)>> {
+        self.flush_wire()?;
         while !self.pending.is_empty() {
             self.reap_one()?;
         }
@@ -304,7 +370,10 @@ impl PipelinedClient {
         let responses = self.drain()?;
         Ok((
             DeltaClient {
-                stream: self.stream,
+                reader: self.reader,
+                writer: self.writer,
+                wire: self.wire,
+                payload: self.payload,
             },
             responses,
         ))

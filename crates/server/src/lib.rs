@@ -12,13 +12,15 @@
 //! * [`partition`] — round-robin catalog sharding, exact result-byte
 //!   apportioning and the offline [`partition::shard_trace`] twin that
 //!   makes server runs testable against [`delta_core::simulate`].
-//! * [`shard`] — one worker thread per shard, each owning a
+//! * [`shard`] — one lock-protected engine core per shard, each owning a
 //!   [`delta_core::CachingPolicy`] (VCover by default, pluggable), a
 //!   [`delta_storage::Repository`] slice and a cache, accounting into its
-//!   own [`delta_core::CostLedger`].
-//! * [`server`] — the TCP listener: per-connection framing threads, shard
-//!   fan-out, wire-byte metering on a [`delta_net::TrafficMeter`], and
-//!   graceful drain on shutdown.
+//!   own [`delta_core::CostLedger`]; connection threads execute shard
+//!   work inline (no per-event thread handoff).
+//! * [`server`] — the TCP listener: per-connection framing threads with
+//!   reusable read/write buffers (responses coalesce into one socket
+//!   write per pipelined window), wire-byte metering on a
+//!   [`delta_net::TrafficMeter`], and graceful drain on shutdown.
 //! * [`client`] — the typed clients: lockstep [`DeltaClient`] and the
 //!   windowed [`PipelinedClient`].
 //!

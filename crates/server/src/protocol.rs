@@ -327,7 +327,9 @@ pub mod error_code {
     pub const BAD_FRAME: u16 = 1;
     /// An object id is outside the catalog.
     pub const UNKNOWN_OBJECT: u16 = 2;
-    /// The server is draining and no longer accepts events.
+    /// The server is draining and no longer accepts events. Kept for
+    /// wire compatibility: since shard execution moved inline (shards
+    /// live as long as the connections), the server no longer emits it.
     pub const SHUTTING_DOWN: u16 = 3;
     /// The server was started without a SQL frontend (no workload
     /// preset to build the schema/sky/partition from).
@@ -340,13 +342,17 @@ pub mod error_code {
 
 // ---- primitive encoding helpers ----
 
-struct Enc {
-    buf: Vec<u8>,
+/// Appends protocol primitives to a caller-owned buffer, so encoders can
+/// reuse one allocation across frames (`encode_into`) instead of minting
+/// a `Vec` per message.
+struct Enc<'a> {
+    buf: &'a mut Vec<u8>,
 }
 
-impl Enc {
-    fn new(op: u8) -> Self {
-        Enc { buf: vec![op] }
+impl<'a> Enc<'a> {
+    fn new(buf: &'a mut Vec<u8>, op: u8) -> Self {
+        buf.push(op);
+        Enc { buf }
     }
     fn u8(&mut self, v: u8) {
         self.buf.push(v);
@@ -459,7 +465,7 @@ fn kind_from_u8(v: u8) -> io::Result<QueryKind> {
 
 /// Encodes a query event's fields (no opcode/tag byte — callers prefix
 /// their own, so the layout is shared by `Query` frames and batch items).
-fn enc_query_event(e: &mut Enc, q: &QueryEvent) {
+fn enc_query_event(e: &mut Enc<'_>, q: &QueryEvent) {
     e.u64(q.seq);
     e.u64(q.result_bytes);
     e.u64(q.tolerance);
@@ -494,7 +500,7 @@ fn dec_query_event(d: &mut Dec<'_>) -> io::Result<QueryEvent> {
     })
 }
 
-fn enc_update_event(e: &mut Enc, u: &UpdateEvent) {
+fn enc_update_event(e: &mut Enc<'_>, u: &UpdateEvent) {
     e.u64(u.seq);
     e.u32(u.object.0);
     e.u64(u.bytes);
@@ -507,7 +513,7 @@ fn dec_update_event(d: &mut Dec<'_>) -> io::Result<UpdateEvent> {
     Ok(UpdateEvent { seq, object, bytes })
 }
 
-fn enc_ledger(e: &mut Enc, l: &CostLedger) {
+fn enc_ledger(e: &mut Enc<'_>, l: &CostLedger) {
     e.u64(l.breakdown.query_ship.bytes());
     e.u64(l.breakdown.update_ship.bytes());
     e.u64(l.breakdown.load.bytes());
@@ -532,7 +538,7 @@ fn dec_ledger(d: &mut Dec<'_>) -> io::Result<CostLedger> {
     Ok(l)
 }
 
-fn enc_metrics(e: &mut Enc, m: &EngineMetrics) {
+fn enc_metrics(e: &mut Enc<'_>, m: &EngineMetrics) {
     enc_ledger(e, &m.ledger);
     e.u64(m.queries);
     e.u64(m.updates);
@@ -555,31 +561,44 @@ fn dec_metrics(d: &mut Dec<'_>) -> io::Result<EngineMetrics> {
 }
 
 impl Request {
-    /// Encodes the request payload (opcode included, length prefix not).
+    /// Encodes the request payload (opcode included, length prefix not)
+    /// into a fresh buffer. Prefer [`Request::encode_into`] on hot paths.
     ///
     /// # Panics
     /// Panics when asked to encode nested [`Request::Tagged`] frames —
     /// constructing one is a caller bug, not a wire condition.
     pub fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::new();
+        self.encode_into(&mut buf);
+        buf
+    }
+
+    /// Appends the request payload (opcode included, length prefix not)
+    /// to `buf` without allocating. The buffer-reuse contract: the
+    /// encoder only ever *appends* — it never clears or reads `buf`, so
+    /// callers may stack multiple frames into one buffer and reuse it
+    /// across messages (clear between windows, not between frames).
+    ///
+    /// # Panics
+    /// Panics when asked to encode nested [`Request::Tagged`] frames —
+    /// constructing one is a caller bug, not a wire condition.
+    pub fn encode_into(&self, buf: &mut Vec<u8>) {
         match self {
             Request::Query(q) => {
-                let mut e = Enc::new(OP_QUERY);
+                let mut e = Enc::new(buf, OP_QUERY);
                 enc_query_event(&mut e, q);
-                e.buf
             }
             Request::Update(u) => {
-                let mut e = Enc::new(OP_UPDATE);
+                let mut e = Enc::new(buf, OP_UPDATE);
                 enc_update_event(&mut e, u);
-                e.buf
             }
             Request::Sql { seq, sql } => {
-                let mut e = Enc::new(OP_SQL);
+                let mut e = Enc::new(buf, OP_SQL);
                 e.u64(*seq);
                 e.lstr(sql);
-                e.buf
             }
             Request::Batch(items) => {
-                let mut e = Enc::new(OP_BATCH);
+                let mut e = Enc::new(buf, OP_BATCH);
                 e.u32(u32::try_from(items.len()).expect("batch exceeds u32::MAX items"));
                 for item in items {
                     match item {
@@ -593,20 +612,22 @@ impl Request {
                         }
                     }
                 }
-                e.buf
             }
             Request::Tagged { corr, inner } => {
                 assert!(
                     !matches!(**inner, Request::Tagged { .. }),
                     "tagged requests must not nest"
                 );
-                let mut e = Enc::new(OP_TAGGED);
+                let mut e = Enc::new(buf, OP_TAGGED);
                 e.u64(*corr);
-                e.buf.extend_from_slice(&inner.encode());
-                e.buf
+                inner.encode_into(e.buf);
             }
-            Request::Stats => Enc::new(OP_STATS).buf,
-            Request::Shutdown => Enc::new(OP_SHUTDOWN).buf,
+            Request::Stats => {
+                Enc::new(buf, OP_STATS);
+            }
+            Request::Shutdown => {
+                Enc::new(buf, OP_SHUTDOWN);
+            }
         }
     }
 
@@ -660,30 +681,53 @@ impl Request {
     }
 }
 
+/// Encodes `Request::Tagged { corr, inner }` straight into `buf` without
+/// boxing or cloning the inner request — the pipelined client's hot-path
+/// encoder. The caller guarantees `inner` is not itself `Tagged`.
+pub(crate) fn encode_tagged_request_into(corr: u64, inner: &Request, buf: &mut Vec<u8>) {
+    debug_assert!(!matches!(inner, Request::Tagged { .. }));
+    let mut e = Enc::new(buf, OP_TAGGED);
+    e.u64(corr);
+    inner.encode_into(e.buf);
+}
+
 impl Response {
-    /// Encodes the response payload (opcode included, length prefix not).
+    /// Encodes the response payload (opcode included, length prefix not)
+    /// into a fresh buffer. Prefer [`Response::encode_into`] on hot
+    /// paths.
     ///
     /// # Panics
     /// Panics when asked to encode nested [`Response::Tagged`] frames —
     /// constructing one is a caller bug, not a wire condition.
     pub fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::new();
+        self.encode_into(&mut buf);
+        buf
+    }
+
+    /// Appends the response payload (opcode included, length prefix not)
+    /// to `buf` without allocating — same buffer-reuse contract as
+    /// [`Request::encode_into`]: append-only, caller owns clearing.
+    ///
+    /// # Panics
+    /// Panics when asked to encode nested [`Response::Tagged`] frames —
+    /// constructing one is a caller bug, not a wire condition.
+    pub fn encode_into(&self, buf: &mut Vec<u8>) {
         match self {
             Response::QueryOk {
                 shards_touched,
                 local_answers,
                 shipped,
             } => {
-                let mut e = Enc::new(OP_QUERY_OK);
+                let mut e = Enc::new(buf, OP_QUERY_OK);
                 e.u16(*shards_touched);
                 e.u16(*local_answers);
                 e.u16(*shipped);
-                e.buf
             }
             Response::UpdateOk { shard, version } => {
-                let mut e = Enc::new(OP_UPDATE_OK);
+                let mut e = Enc::new(buf, OP_UPDATE_OK);
                 e.u16(*shard);
                 e.u64(*version);
-                e.buf
             }
             Response::SqlOk {
                 shards_touched,
@@ -694,7 +738,7 @@ impl Response {
                 tolerance,
                 kind,
             } => {
-                let mut e = Enc::new(OP_SQL_OK);
+                let mut e = Enc::new(buf, OP_SQL_OK);
                 e.u16(*shards_touched);
                 e.u16(*local_answers);
                 e.u16(*shipped);
@@ -702,7 +746,6 @@ impl Response {
                 e.u64(*result_bytes);
                 e.u64(*tolerance);
                 e.u8(kind_to_u8(*kind));
-                e.buf
             }
             Response::SqlRejected {
                 stage,
@@ -710,7 +753,7 @@ impl Response {
                 span_end,
                 message,
             } => {
-                let mut e = Enc::new(OP_SQL_REJECTED);
+                let mut e = Enc::new(buf, OP_SQL_REJECTED);
                 e.u8(match stage {
                     SqlStage::Parse => 0,
                     SqlStage::Analyze => 1,
@@ -718,10 +761,9 @@ impl Response {
                 e.u32(*span_start);
                 e.u32(*span_end);
                 e.lstr(message);
-                e.buf
             }
             Response::BatchOk(replies) => {
-                let mut e = Enc::new(OP_BATCH_OK);
+                let mut e = Enc::new(buf, OP_BATCH_OK);
                 e.u32(u32::try_from(replies.len()).expect("batch exceeds u32::MAX items"));
                 for r in replies {
                     match r {
@@ -747,34 +789,32 @@ impl Response {
                         }
                     }
                 }
-                e.buf
             }
             Response::Tagged { corr, inner } => {
                 assert!(
                     !matches!(**inner, Response::Tagged { .. }),
                     "tagged responses must not nest"
                 );
-                let mut e = Enc::new(OP_TAGGED_OK);
+                let mut e = Enc::new(buf, OP_TAGGED_OK);
                 e.u64(*corr);
-                e.buf.extend_from_slice(&inner.encode());
-                e.buf
+                inner.encode_into(e.buf);
             }
             Response::StatsOk(snapshot) => {
-                let mut e = Enc::new(OP_STATS_OK);
+                let mut e = Enc::new(buf, OP_STATS_OK);
                 e.u16(snapshot.shards.len() as u16);
                 for s in &snapshot.shards {
                     e.u16(s.shard);
                     e.str(&s.policy);
                     enc_metrics(&mut e, &s.metrics);
                 }
-                e.buf
             }
-            Response::ShutdownOk => Enc::new(OP_SHUTDOWN_OK).buf,
+            Response::ShutdownOk => {
+                Enc::new(buf, OP_SHUTDOWN_OK);
+            }
             Response::Error { code, message } => {
-                let mut e = Enc::new(OP_ERROR);
+                let mut e = Enc::new(buf, OP_ERROR);
                 e.u16(*code);
                 e.str(message);
-                e.buf
             }
         }
     }
@@ -895,17 +935,49 @@ pub fn write_frame<W: Write>(w: &mut W, payload: &[u8]) -> io::Result<()> {
     w.flush()
 }
 
+/// Appends one length-prefixed frame to `out`, producing the payload by
+/// running `encode` directly against the buffer (no intermediate copy):
+/// four zero bytes are reserved, the encoder appends the payload, then
+/// the length word is patched in place. Callers stack any number of
+/// frames into one buffer and hit the socket with a single `write_all`
+/// per window — the coalescing primitive of the wire hot path.
+///
+/// On an oversized payload the buffer is truncated back to its entry
+/// length, so a failed append never leaves a torn frame behind.
+pub fn append_frame_with<F: FnOnce(&mut Vec<u8>)>(out: &mut Vec<u8>, encode: F) -> io::Result<()> {
+    let start = out.len();
+    out.extend_from_slice(&[0u8; 4]);
+    encode(out);
+    let payload_len = out.len() - start - 4;
+    if payload_len > MAX_FRAME_BYTES as usize {
+        out.truncate(start);
+        return Err(bad("frame exceeds MAX_FRAME_BYTES"));
+    }
+    out[start..start + 4].copy_from_slice(&(payload_len as u32).to_be_bytes());
+    Ok(())
+}
+
 /// Reads one length-prefixed frame payload.
 pub fn read_frame<R: Read>(r: &mut R) -> io::Result<Vec<u8>> {
+    let mut payload = Vec::new();
+    read_frame_into(r, &mut payload)?;
+    Ok(payload)
+}
+
+/// Reads one length-prefixed frame payload into a reusable buffer (the
+/// buffer is cleared, then filled with exactly the payload bytes), so a
+/// long-lived connection allocates its read buffer once instead of per
+/// frame.
+pub fn read_frame_into<R: Read>(r: &mut R, payload: &mut Vec<u8>) -> io::Result<()> {
     let mut len_bytes = [0u8; 4];
     r.read_exact(&mut len_bytes)?;
     let len = u32::from_be_bytes(len_bytes);
     if len > MAX_FRAME_BYTES {
         return Err(bad("frame exceeds MAX_FRAME_BYTES"));
     }
-    let mut payload = vec![0u8; len as usize];
-    r.read_exact(&mut payload)?;
-    Ok(payload)
+    payload.clear();
+    payload.resize(len as usize, 0);
+    r.read_exact(payload)
 }
 
 #[cfg(test)]

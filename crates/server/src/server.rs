@@ -1,32 +1,30 @@
-//! The TCP service: listener, per-connection framing, shard fan-out and
-//! graceful shutdown.
+//! The TCP service: listener, per-connection framing, inline shard
+//! execution and graceful shutdown.
 //!
-//! Each accepted connection gets a thread that decodes request frames and
-//! fans them out to the shard workers; replies are joined and one
-//! response frame goes back, so each connection sees strictly ordered
-//! request/response pairs while different connections proceed in
-//! parallel. Wire bytes are recorded on a shared
-//! [`delta_net::TrafficMeter`] (query frames as `QueryShip`, update
-//! frames as `UpdateShip`, the rest as `Control`), so an operator can
-//! audit protocol overhead separately from the policy-level ledgers.
+//! Each accepted connection gets a thread that decodes request frames
+//! and executes them directly against the lock-protected
+//! [`crate::shard::ShardCore`]s (per-shard mutexes serialize per-shard
+//! event order; different connections proceed in parallel on different
+//! shards), so each connection sees strictly ordered request/response
+//! pairs with no per-event thread handoff. Wire bytes are recorded on a
+//! shared [`delta_net::TrafficMeter`] (query frames as `QueryShip`,
+//! update frames as `UpdateShip`, the rest as `Control`), so an operator
+//! can audit protocol overhead separately from the policy-level ledgers.
 
 use crate::config::ServerConfig;
 use crate::partition::{apportion, ShardMap};
 use crate::protocol::{
-    error_code, write_frame, BatchItem, BatchReply, Request, Response, ShardStats, SqlStage,
+    append_frame_with, error_code, BatchItem, BatchReply, Request, Response, ShardStats, SqlStage,
     StatsSnapshot,
 };
-use crate::shard::{
-    spawn_shard, OpOutcome, ShardHandle, ShardOp, ShardReply, ShardRequest, ShardSpec,
-};
-use crossbeam::channel::unbounded;
+use crate::shard::{OpOutcome, ShardCore, ShardOp, ShardSpec};
 use delta_core::engine::read_snapshot;
 use delta_core::EngineSnapshot;
 use delta_net::{TrafficClass, TrafficMeter};
 use delta_query::{QueryCompiler, QueryError, Schema};
 use delta_storage::{ObjectCatalog, ObjectId};
 use delta_workload::QueryEvent;
-use std::io;
+use std::io::{self, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -140,11 +138,11 @@ impl Server {
             }
         }
 
-        let shards: Vec<ShardHandle> = sub_catalogs
+        let shards: Vec<ShardCore> = sub_catalogs
             .into_iter()
             .enumerate()
             .map(|(s, sub)| {
-                spawn_shard(ShardSpec {
+                ShardCore::new(ShardSpec {
                     shard: s as u16,
                     catalog: sub,
                     cache_bytes: caches[s],
@@ -161,7 +159,7 @@ impl Server {
         let shared = Arc::new(Shared {
             map,
             catalog,
-            shard_txs: shards.iter().map(|h| h.tx.clone()).collect(),
+            shards,
             shutdown: Arc::clone(&shutdown),
             meter: Arc::clone(&meter),
             frontend,
@@ -170,7 +168,7 @@ impl Server {
         let accept_shutdown = Arc::clone(&shutdown);
         let accept_thread = std::thread::Builder::new()
             .name("delta-accept".to_string())
-            .spawn(move || accept_loop(listener, shared, accept_shutdown, shards))
+            .spawn(move || accept_loop(listener, shared, accept_shutdown))
             .expect("spawn accept thread");
 
         Ok(Server {
@@ -214,7 +212,7 @@ impl Server {
 struct Shared {
     map: ShardMap,
     catalog: ObjectCatalog,
-    shard_txs: Vec<crossbeam::channel::Sender<ShardRequest>>,
+    shards: Vec<ShardCore>,
     shutdown: Arc<AtomicBool>,
     meter: Arc<TrafficMeter>,
     /// Template for the per-connection SQL compilers; `None` when the
@@ -226,7 +224,6 @@ fn accept_loop(
     listener: TcpListener,
     shared: Arc<Shared>,
     shutdown: Arc<AtomicBool>,
-    shards: Vec<ShardHandle>,
 ) -> StatsSnapshot {
     let mut connections: Vec<std::thread::JoinHandle<()>> = Vec::new();
     while !shutdown.load(Ordering::SeqCst) {
@@ -261,11 +258,11 @@ fn accept_loop(
     }
     // Drain: connections first (they observe the flag within one poll
     // interval; reads and writes are both bounded), then the shards,
-    // collecting their final ledgers.
+    // collecting their final ledgers (and writing snapshots).
     for handle in connections {
         let _ = handle.join();
     }
-    let mut stats: Vec<ShardStats> = shards.into_iter().map(ShardHandle::shutdown).collect();
+    let mut stats: Vec<ShardStats> = shared.shards.iter().map(ShardCore::shutdown).collect();
     stats.sort_by_key(|s| s.shard);
     StatsSnapshot { shards: stats }
 }
@@ -274,26 +271,80 @@ fn accept_loop(
 /// blocked write) before the server drops it.
 const STALL_LIMIT: Duration = Duration::from_secs(5);
 
-/// Reads exactly `buf.len()` bytes from a socket whose read timeout is
-/// [`POLL`], preserving partial progress across timeouts (a plain
-/// `read_exact` would discard mid-frame bytes on `WouldBlock` and
-/// desynchronize the stream). Returns `Ok(false)` on a clean stop: EOF
-/// or server shutdown, both only at a frame boundary (`at_boundary` and
-/// nothing read yet). Mid-frame, shutdown grants [`STALL_LIMIT`] for the
-/// frame to finish before the connection errors out.
-fn read_full_polling(
+/// Initial per-connection read-buffer size; grows only when a single
+/// frame outgrows it.
+const READ_BUF: usize = 64 * 1024;
+
+/// Cap on coalesced response bytes before an early flush, bounding
+/// per-connection memory under huge pipelined windows.
+const WRITE_COALESCE_BYTES: usize = 256 * 1024;
+
+/// Length of the complete frame (header + payload) at the front of
+/// `buf`, or `None` when more bytes are needed. Rejects corrupt length
+/// words before any allocation.
+fn buffered_frame_len(buf: &[u8]) -> io::Result<Option<usize>> {
+    if buf.len() < 4 {
+        return Ok(None);
+    }
+    let len = u32::from_be_bytes(buf[..4].try_into().unwrap());
+    if len > crate::protocol::MAX_FRAME_BYTES {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "frame exceeds MAX_FRAME_BYTES",
+        ));
+    }
+    let total = 4 + len as usize;
+    Ok(if buf.len() >= total {
+        Some(total)
+    } else {
+        None
+    })
+}
+
+/// Pulls more bytes into `rbuf[*end..]` after compacting the unconsumed
+/// region `[*start, *end)` to the front (growing the buffer when the
+/// pending frame needs it), polling the shutdown flag while idle.
+///
+/// Returns `Ok(false)` on a clean stop — EOF or server shutdown, both
+/// only at a frame boundary (no partial frame buffered). Mid-frame,
+/// shutdown grants [`STALL_LIMIT`] for the frame to finish before the
+/// connection errors out; EOF mid-frame is an error immediately.
+fn fill_polling(
     reader: &mut TcpStream,
-    buf: &mut [u8],
+    rbuf: &mut Vec<u8>,
+    start: &mut usize,
+    end: &mut usize,
     shared: &Shared,
-    at_boundary: bool,
 ) -> io::Result<bool> {
     use std::io::Read;
-    let mut filled = 0;
+    if *start > 0 {
+        rbuf.copy_within(*start..*end, 0);
+        *end -= *start;
+        *start = 0;
+    }
+    // A frame larger than the buffer could never complete: grow to fit
+    // (`buffered_frame_len` already validated the length word). And a
+    // buffer grown for a *past* oversized frame must not stay pinned for
+    // the connection's lifetime (100 idle connections that each saw one
+    // 64 MiB frame would otherwise hold gigabytes): once nothing pending
+    // needs the extra room, give the memory back.
+    let needed = if *end >= 4 {
+        4 + u32::from_be_bytes(rbuf[..4].try_into().unwrap()) as usize
+    } else {
+        *end
+    };
+    if needed > rbuf.len() {
+        rbuf.resize(needed, 0);
+    } else if rbuf.len() > READ_BUF && *end <= READ_BUF && needed <= READ_BUF {
+        rbuf.truncate(READ_BUF);
+        rbuf.shrink_to_fit();
+    }
+    let at_boundary = *end == 0;
     let mut stall_started: Option<std::time::Instant> = None;
-    while filled < buf.len() {
-        match reader.read(&mut buf[filled..]) {
+    loop {
+        match reader.read(&mut rbuf[*end..]) {
             Ok(0) => {
-                if at_boundary && filled == 0 {
+                if at_boundary {
                     return Ok(false);
                 }
                 return Err(io::Error::new(
@@ -302,14 +353,14 @@ fn read_full_polling(
                 ));
             }
             Ok(n) => {
-                filled += n;
-                stall_started = None;
+                *end += n;
+                return Ok(true);
             }
             Err(e)
                 if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
             {
                 if shared.shutdown.load(Ordering::SeqCst) {
-                    if at_boundary && filled == 0 {
+                    if at_boundary {
                         return Ok(false);
                     }
                     let started = stall_started.get_or_insert_with(std::time::Instant::now);
@@ -325,30 +376,20 @@ fn read_full_polling(
             Err(e) => return Err(e),
         }
     }
-    Ok(true)
 }
 
-/// Reads one frame, polling the shutdown flag while idle between frames.
-/// `Ok(None)` means stop serving (EOF or shutdown at a frame boundary).
-fn read_frame_polling(reader: &mut TcpStream, shared: &Shared) -> io::Result<Option<Vec<u8>>> {
-    let mut len_bytes = [0u8; 4];
-    if !read_full_polling(reader, &mut len_bytes, shared, true)? {
-        return Ok(None);
-    }
-    let len = u32::from_be_bytes(len_bytes);
-    if len > crate::protocol::MAX_FRAME_BYTES {
-        return Err(io::Error::new(
-            io::ErrorKind::InvalidData,
-            "frame exceeds MAX_FRAME_BYTES",
-        ));
-    }
-    let mut payload = vec![0u8; len as usize];
-    if !read_full_polling(reader, &mut payload, shared, false)? {
-        return Ok(None);
-    }
-    Ok(Some(payload))
-}
-
+/// The per-connection serve loop, built around two reusable buffers:
+///
+/// * **Read side** — one flat buffer; a `read` syscall pulls as many
+///   pipelined frames as the socket holds, and the loop serves every
+///   complete frame before touching the socket again. No per-frame
+///   allocation, and typically one syscall per *window* rather than two
+///   per frame.
+/// * **Write side** — responses are encoded (length-prefixed) into a
+///   coalesced buffer that hits the socket with a single `write_all`
+///   right before the loop would block for input — one flush per window
+///   under pipelining, per frame under lockstep (where it cannot be
+///   avoided: the client is waiting).
 fn serve_connection(stream: TcpStream, shared: &Shared) -> io::Result<()> {
     // BSD-derived platforms propagate the listener's O_NONBLOCK to
     // accepted sockets; clear it so the read timeout below governs.
@@ -363,40 +404,77 @@ fn serve_connection(stream: TcpStream, shared: &Shared) -> io::Result<()> {
     // Each connection compiles SQL with its own clone of the frontend —
     // compilation is CPU-bound, so connections never contend on it.
     let compiler: Option<QueryCompiler> = shared.frontend.as_ref().map(|c| (**c).clone());
+
+    let mut rbuf = vec![0u8; READ_BUF];
+    let (mut start, mut end) = (0usize, 0usize);
+    let mut wbuf: Vec<u8> = Vec::with_capacity(16 * 1024);
+
     loop {
-        let payload = match read_frame_polling(&mut reader, shared)? {
-            Some(p) => p,
-            None => return Ok(()),
-        };
-        let response = match Request::decode(&payload) {
-            Ok(request) => {
-                // +4 for the length prefix, so the meter reflects real
-                // socket bytes, not just payloads.
-                meter_request(shared, &request, payload.len() as u64 + 4);
-                match request {
-                    Request::Tagged { corr, inner } => Response::Tagged {
-                        corr,
-                        inner: Box::new(handle_request(shared, *inner, compiler.as_ref())),
-                    },
-                    other => handle_request(shared, other, compiler.as_ref()),
+        // Serve every complete frame already buffered. On any error,
+        // flush the responses already earned by executed requests before
+        // propagating — engine state mutated; the acks must not vanish
+        // with the buffer.
+        loop {
+            let total = match buffered_frame_len(&rbuf[start..end]) {
+                Ok(Some(total)) => total,
+                Ok(None) => break,
+                Err(e) => {
+                    let _ = writer.write_all(&wbuf);
+                    return Err(e);
                 }
+            };
+            let payload = &rbuf[start + 4..start + total];
+            let response = match Request::decode(payload) {
+                Ok(request) => {
+                    // `total` includes the 4-byte length prefix, so the
+                    // meter reflects real socket bytes, not just
+                    // payloads.
+                    meter_request(shared, &request, total as u64);
+                    match request {
+                        Request::Tagged { corr, inner } => Response::Tagged {
+                            corr,
+                            inner: Box::new(handle_request(shared, *inner, compiler.as_ref())),
+                        },
+                        other => handle_request(shared, other, compiler.as_ref()),
+                    }
+                }
+                Err(e) => Response::Error {
+                    code: error_code::BAD_FRAME,
+                    message: e.to_string(),
+                },
+            };
+            start += total;
+            let before = wbuf.len();
+            if let Err(e) = append_frame_with(&mut wbuf, |buf| response.encode_into(buf)) {
+                // `append_frame_with` truncated the torn frame away, so
+                // wbuf holds only complete earlier responses.
+                let _ = writer.write_all(&wbuf);
+                return Err(e);
             }
-            Err(e) => Response::Error {
-                code: error_code::BAD_FRAME,
-                message: e.to_string(),
-            },
-        };
-        let out = response.encode();
-        shared
-            .meter
-            .record(TrafficClass::Control, out.len() as u64 + 4);
-        write_frame(&mut writer, &out)?;
-        let shutting_down = match &response {
-            Response::ShutdownOk => true,
-            Response::Tagged { inner, .. } => matches!(**inner, Response::ShutdownOk),
-            _ => false,
-        };
-        if shutting_down {
+            shared
+                .meter
+                .record(TrafficClass::Control, (wbuf.len() - before) as u64);
+            let shutting_down = match &response {
+                Response::ShutdownOk => true,
+                Response::Tagged { inner, .. } => matches!(**inner, Response::ShutdownOk),
+                _ => false,
+            };
+            if shutting_down {
+                writer.write_all(&wbuf)?;
+                return Ok(());
+            }
+            if wbuf.len() >= WRITE_COALESCE_BYTES {
+                writer.write_all(&wbuf)?;
+                wbuf.clear();
+            }
+        }
+        // About to wait for input: ship the coalesced responses first so
+        // the client can make progress (and so lockstep never stalls).
+        if !wbuf.is_empty() {
+            writer.write_all(&wbuf)?;
+            wbuf.clear();
+        }
+        if !fill_polling(&mut reader, &mut rbuf, &mut start, &mut end, shared)? {
             return Ok(());
         }
     }
@@ -439,18 +517,10 @@ fn handle_request(shared: &Shared, request: Request, compiler: Option<&QueryComp
                 return unknown_object(u.object);
             }
             let (shard, local) = shared.map.split_update(&u);
-            let (reply_tx, reply_rx) = unbounded();
-            if shared.shard_txs[shard]
-                .send(ShardRequest::Update(local, reply_tx))
-                .is_err()
-            {
-                return draining();
-            }
-            match reply_rx.recv() {
-                Ok(ShardReply::UpdateDone { shard, version }) => {
-                    Response::UpdateOk { shard, version }
-                }
-                _ => draining(),
+            let version = shared.shards[shard].apply_update(local);
+            Response::UpdateOk {
+                shard: shard as u16,
+                version,
             }
         }
         Request::Sql { seq, sql } => handle_sql(shared, compiler, seq, &sql),
@@ -459,21 +529,7 @@ fn handle_request(shared: &Shared, request: Request, compiler: Option<&QueryComp
         // means the caller bypassed `serve_connection`'s unwrapping.
         Request::Tagged { inner, .. } => handle_request(shared, *inner, compiler),
         Request::Stats => {
-            let (reply_tx, reply_rx) = unbounded();
-            let mut expected = 0;
-            for tx in &shared.shard_txs {
-                if tx.send(ShardRequest::Stats(reply_tx.clone())).is_ok() {
-                    expected += 1;
-                }
-            }
-            let mut shards = Vec::with_capacity(expected);
-            for _ in 0..expected {
-                match reply_rx.recv() {
-                    Ok(ShardReply::Stats(s)) => shards.push(s),
-                    _ => return draining(),
-                }
-            }
-            shards.sort_by_key(|s| s.shard);
+            let shards: Vec<ShardStats> = shared.shards.iter().map(ShardCore::stats).collect();
             Response::StatsOk(StatsSnapshot { shards })
         }
         Request::Shutdown => {
@@ -488,35 +544,21 @@ fn handle_query(shared: &Shared, q: QueryEvent) -> Response {
         return unknown_object(bad);
     }
     let subs = shared.map.split_query(&q, &shared.catalog);
-    let (reply_tx, reply_rx) = unbounded();
     let mut sent = 0u16;
-    for (shard, sub) in subs {
-        if shared.shard_txs[shard]
-            .send(ShardRequest::Query(sub, reply_tx.clone()))
-            .is_err()
-        {
-            return draining();
-        }
-        sent += 1;
-    }
     let mut local_answers = 0u16;
     let mut shipped = 0u16;
     let mut failure: Option<String> = None;
-    for _ in 0..sent {
-        match reply_rx.recv() {
-            Ok(ShardReply::QueryDone { local, .. }) => {
-                if local {
-                    local_answers += 1;
-                } else {
-                    shipped += 1;
-                }
-            }
-            // Drain the remaining sub-replies before reporting, so every
-            // shard finishes its work for this query.
-            Ok(ShardReply::QueryFailed { error, .. }) => {
+    // Every touched shard serves its sub-query even after a failure, so
+    // a contract violation on one shard never leaves another shard's
+    // sub-trace short (the differential tests depend on it).
+    for (shard, sub) in subs {
+        sent += 1;
+        match shared.shards[shard].serve_query(sub) {
+            Ok(true) => local_answers += 1,
+            Ok(false) => shipped += 1,
+            Err(error) => {
                 failure.get_or_insert(error);
             }
-            _ => return draining(),
         }
     }
     if let Some(message) = failure {
@@ -582,10 +624,10 @@ fn handle_sql(shared: &Shared, compiler: Option<&QueryCompiler>, seq: u64, sql: 
     }
 }
 
-/// Serves a whole batch with one channel send per touched shard: every
-/// item is split as usual, but each shard receives its sub-events as one
-/// ordered [`ShardRequest::Batch`] and answers with one reply, so the
-/// fan-out/join cost is paid per *batch*, not per event.
+/// Serves a whole batch with one lock acquisition per touched shard:
+/// every item is split as usual, but each shard executes its sub-events
+/// as one ordered [`ShardCore::run_batch`], so the serialization cost is
+/// paid per *batch*, not per event.
 ///
 /// Per-shard sub-event order equals item order, which is what keeps a
 /// batched replay byte-identical to the same events sent one frame at a
@@ -600,7 +642,7 @@ fn handle_batch(shared: &Shared, items: Vec<BatchItem>) -> Response {
     replies.resize_with(items.len(), || None);
     let mut accs: Vec<Option<QueryAcc>> = Vec::with_capacity(items.len());
     accs.resize_with(items.len(), || None);
-    let mut per_shard: Vec<Vec<ShardOp>> = vec![Vec::new(); shared.shard_txs.len()];
+    let mut per_shard: Vec<Vec<ShardOp>> = vec![Vec::new(); shared.shards.len()];
 
     for (i, item) in items.into_iter().enumerate() {
         match item {
@@ -636,52 +678,39 @@ fn handle_batch(shared: &Shared, items: Vec<BatchItem>) -> Response {
         }
     }
 
-    let (reply_tx, reply_rx) = unbounded();
-    let mut expected = 0usize;
     for (s, ops) in per_shard.into_iter().enumerate() {
         if ops.is_empty() {
             continue;
         }
-        if shared.shard_txs[s]
-            .send(ShardRequest::Batch(ops, reply_tx.clone()))
-            .is_err()
-        {
-            return draining();
-        }
-        expected += 1;
-    }
-    for _ in 0..expected {
-        match reply_rx.recv() {
-            Ok(ShardReply::BatchDone { shard, outcomes }) => {
-                for outcome in outcomes {
-                    match outcome {
-                        OpOutcome::Query { item, local } => {
-                            let acc = accs[item as usize]
-                                .as_mut()
-                                .expect("query outcome for non-query item");
-                            if local {
-                                acc.local += 1;
-                            } else {
-                                acc.shipped += 1;
-                            }
-                        }
-                        // A contract violation poisons its item only;
-                        // the rest of the batch is unaffected. The error
-                        // reply takes precedence over any sub-queries of
-                        // the same item that other shards did serve.
-                        OpOutcome::QueryFailed { item, error } => {
-                            replies[item as usize] = Some(BatchReply::Error {
-                                code: error_code::CONTRACT_VIOLATED,
-                                message: error,
-                            });
-                        }
-                        OpOutcome::Update { item, version } => {
-                            replies[item as usize] = Some(BatchReply::Update { shard, version });
-                        }
+        for outcome in shared.shards[s].run_batch(ops) {
+            match outcome {
+                OpOutcome::Query { item, local } => {
+                    let acc = accs[item as usize]
+                        .as_mut()
+                        .expect("query outcome for non-query item");
+                    if local {
+                        acc.local += 1;
+                    } else {
+                        acc.shipped += 1;
                     }
                 }
+                // A contract violation poisons its item only; the rest
+                // of the batch is unaffected. The error reply takes
+                // precedence over any sub-queries of the same item that
+                // other shards did serve.
+                OpOutcome::QueryFailed { item, error } => {
+                    replies[item as usize] = Some(BatchReply::Error {
+                        code: error_code::CONTRACT_VIOLATED,
+                        message: error,
+                    });
+                }
+                OpOutcome::Update { item, version } => {
+                    replies[item as usize] = Some(BatchReply::Update {
+                        shard: s as u16,
+                        version,
+                    });
+                }
             }
-            _ => return draining(),
         }
     }
 
@@ -722,12 +751,5 @@ fn unknown_object(o: ObjectId) -> Response {
     Response::Error {
         code: error_code::UNKNOWN_OBJECT,
         message: format!("object {o} is outside the catalog"),
-    }
-}
-
-fn draining() -> Response {
-    Response::Error {
-        code: error_code::SHUTTING_DOWN,
-        message: "server is shutting down".to_string(),
     }
 }

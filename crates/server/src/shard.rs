@@ -1,12 +1,25 @@
-//! Shard workers: one thread per shard, each driving its own
-//! [`delta_core::Engine`] over a repository slice.
+//! Shard cores: one lock-protected [`delta_core::Engine`] per shard,
+//! executed *inline* by the connection threads.
 //!
-//! A worker is the network driver of the same engine `delta_core::sim`
-//! and `delta_core::deploy` run: updates invalidate before the policy
-//! sees them, queries run under the satisfaction contract. Because a
-//! shard only ever sees its own sub-catalog and sub-trace, its ledger is
-//! *byte-identical* to an in-process simulation of that sub-trace — the
-//! property the server integration and tri-modal tests pin down.
+//! A shard core is the network driver of the same engine
+//! `delta_core::sim` and `delta_core::deploy` run: updates invalidate
+//! before the policy sees them, queries run under the satisfaction
+//! contract. Because a shard only ever sees its own sub-catalog and
+//! sub-trace, its ledger is *byte-identical* to an in-process simulation
+//! of that sub-trace — the property the server integration and tri-modal
+//! tests pin.
+//!
+//! Earlier revisions ran one worker thread per shard and ferried every
+//! event through a crossbeam channel pair. On the latency-bound lockstep
+//! path that cost two thread handoffs per event (four context switches
+//! on a loaded box) for microseconds of engine work. The cores are now
+//! plain `Mutex<Engine>` values the connection threads lock directly:
+//! per-shard serialization (the correctness requirement) is the mutex,
+//! cross-connection parallelism is connections locking different shards,
+//! and the per-event channel wakeups are gone. A [`ShardOp`] sub-batch
+//! still executes under a single lock acquisition, so a batched replay
+//! remains one serialization unit per shard exactly as the channel
+//! design's coalesced sends were.
 //!
 //! Two behaviors are shard-specific:
 //!
@@ -14,42 +27,28 @@
 //!   concurrent connections cannot violate the repository's per-object
 //!   monotonicity. Under lockstep replay the clamp is a no-op.
 //! * A policy that violates the satisfaction contract produces a typed
-//!   [`ShardReply::QueryFailed`] — the worker thread stays up and keeps
-//!   serving; the connection layer turns the failure into an error
-//!   frame.
+//!   error the connection layer turns into an error frame — the shard
+//!   stays up and keeps serving.
 //!
-//! When the server was started with a snapshot directory, the worker
-//! writes its engine snapshot there on graceful shutdown, and
-//! [`spawn_shard`] accepts a restored snapshot to resume warm.
+//! When the server was started with a snapshot directory, the core
+//! writes its engine snapshot on [`ShardCore::shutdown`], and
+//! [`ShardCore::new`] accepts a restored snapshot to resume warm.
 
 use crate::config::PolicyKind;
 use crate::protocol::ShardStats;
-use crossbeam::channel::{unbounded, Receiver, Sender};
 use delta_core::engine::write_snapshot;
-use delta_core::{Engine, EngineOutcome, EngineSnapshot};
+use delta_core::{CachingPolicy, Engine, EngineOutcome, EngineSnapshot};
 use delta_storage::ObjectCatalog;
 use delta_workload::{Event, QueryEvent, UpdateEvent};
 use std::path::PathBuf;
-use std::thread::JoinHandle;
+use std::sync::Mutex;
 
-/// A request to one shard worker, carrying its reply channel.
-pub enum ShardRequest {
-    /// Apply an update (local object id).
-    Update(UpdateEvent, Sender<ShardReply>),
-    /// Serve a sub-query (local object ids, apportioned bytes).
-    Query(QueryEvent, Sender<ShardReply>),
-    /// Execute a coalesced sub-batch in order, replying once with all
-    /// outcomes — one channel send each way regardless of batch size.
-    Batch(Vec<ShardOp>, Sender<ShardReply>),
-    /// Snapshot this shard's statistics.
-    Stats(Sender<ShardReply>),
-    /// Finish outstanding work, persist the engine snapshot (when
-    /// configured), report final statistics, and exit.
-    Shutdown(Sender<ShardReply>),
-}
+/// The engine type a shard core guards: `'static` policy, `Send` so the
+/// core can be shared across connection threads.
+type ShardEngine = Engine<'static, dyn CachingPolicy + Send>;
 
-/// One operation inside a [`ShardRequest::Batch`], tagged with the index
-/// of the client-batch item it came from so the connection thread can
+/// One operation inside a coalesced sub-batch, tagged with the index of
+/// the client-batch item it came from so the connection thread can
 /// reassemble per-item replies after the fan-out.
 #[derive(Clone, Debug)]
 pub enum ShardOp {
@@ -95,67 +94,7 @@ pub enum OpOutcome {
     },
 }
 
-/// A shard worker's reply.
-#[derive(Clone, Debug)]
-pub enum ShardReply {
-    /// The update was applied; the object is now at `version`.
-    UpdateDone {
-        /// Responding shard.
-        shard: u16,
-        /// New version of the updated object.
-        version: u64,
-    },
-    /// The sub-query was served.
-    QueryDone {
-        /// Responding shard.
-        shard: u16,
-        /// Whether it was answered from the shard cache (vs shipped).
-        local: bool,
-    },
-    /// The sub-query violated the satisfaction contract; the worker is
-    /// still alive and serving.
-    QueryFailed {
-        /// Responding shard.
-        shard: u16,
-        /// The rendered engine error.
-        error: String,
-    },
-    /// All outcomes of a [`ShardRequest::Batch`], in sub-batch order.
-    BatchDone {
-        /// Responding shard.
-        shard: u16,
-        /// One outcome per op.
-        outcomes: Vec<OpOutcome>,
-    },
-    /// Statistics snapshot (also the final reply to `Shutdown`).
-    Stats(ShardStats),
-}
-
-/// Handle to a running shard worker.
-pub struct ShardHandle {
-    /// Request channel into the worker.
-    pub tx: Sender<ShardRequest>,
-    join: JoinHandle<()>,
-}
-
-impl ShardHandle {
-    /// Asks the worker to finish and waits for it, returning its final
-    /// statistics.
-    pub fn shutdown(self) -> ShardStats {
-        let (reply_tx, reply_rx) = unbounded();
-        // A worker that already exited (e.g. panicked) just yields
-        // default stats; join below will propagate the panic.
-        let _ = self.tx.send(ShardRequest::Shutdown(reply_tx));
-        let stats = match reply_rx.recv() {
-            Ok(ShardReply::Stats(s)) => s,
-            _ => ShardStats::default(),
-        };
-        self.join.join().expect("shard worker panicked");
-        stats
-    }
-}
-
-/// Everything a shard worker is born with.
+/// Everything a shard core is born with.
 pub struct ShardSpec {
     /// Shard index.
     pub shard: u16,
@@ -173,100 +112,131 @@ pub struct ShardSpec {
     pub snapshot_path: Option<PathBuf>,
 }
 
-/// Spawns a shard worker from its spec.
-pub fn spawn_shard(spec: ShardSpec) -> ShardHandle {
-    let (tx, rx) = unbounded::<ShardRequest>();
-    let name = format!("delta-shard-{}", spec.shard);
-    let join = std::thread::Builder::new()
-        .name(name)
-        .spawn(move || run_shard(spec, rx))
-        .expect("spawn shard worker");
-    ShardHandle { tx, join }
+/// One shard: a lock-protected engine plus its identity and snapshot
+/// destination. Connection threads call the methods directly.
+pub struct ShardCore {
+    shard: u16,
+    policy: PolicyKind,
+    snapshot_path: Option<PathBuf>,
+    engine: Mutex<ShardEngine>,
 }
 
-fn run_shard(spec: ShardSpec, rx: Receiver<ShardRequest>) {
-    let ShardSpec {
-        shard,
-        catalog,
-        cache_bytes,
-        policy: policy_kind,
-        seed,
-        restore,
-        snapshot_path,
-    } = spec;
-    let policy = policy_kind.build(cache_bytes, seed);
-    let mut engine = match restore {
-        // Snapshots are validated at server start; a mismatch here means
-        // the file changed underneath us — fail the thread loudly.
-        Some(snap) => Engine::restore(policy, &catalog, &snap)
-            .unwrap_or_else(|e| panic!("shard {shard}: snapshot restore failed: {e}"))
-            .clamp_clock(true),
-        None => {
-            let mut e = Engine::new(policy, &catalog, cache_bytes).clamp_clock(true);
-            e.init(None);
-            e
+impl ShardCore {
+    /// Builds (or warm-restores) the shard engine from its spec.
+    ///
+    /// # Panics
+    /// Panics if a restore snapshot fails validation — the server
+    /// validates snapshots before constructing cores, so a failure here
+    /// means the world changed underneath us.
+    pub fn new(spec: ShardSpec) -> ShardCore {
+        let ShardSpec {
+            shard,
+            catalog,
+            cache_bytes,
+            policy: policy_kind,
+            seed,
+            restore,
+            snapshot_path,
+        } = spec;
+        let policy = policy_kind.build(cache_bytes, seed);
+        let engine = match restore {
+            Some(snap) => Engine::restore(policy, &catalog, &snap)
+                .unwrap_or_else(|e| panic!("shard {shard}: snapshot restore failed: {e}"))
+                .clamp_clock(true),
+            None => {
+                let mut e = Engine::new(policy, &catalog, cache_bytes).clamp_clock(true);
+                e.init(None);
+                e
+            }
+        };
+        ShardCore {
+            shard,
+            policy: policy_kind,
+            snapshot_path,
+            engine: Mutex::new(engine),
         }
-    };
+    }
 
-    let serve_query = |engine: &mut Engine<'_>, q: QueryEvent| match engine.apply(&Event::Query(q))
-    {
+    /// Shard index.
+    pub fn shard(&self) -> u16 {
+        self.shard
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, ShardEngine> {
+        // A poisoned mutex means a connection thread panicked mid-apply;
+        // the engine state can no longer be trusted — fail loudly.
+        self.engine.lock().expect("shard engine poisoned")
+    }
+
+    /// Applies one update, returning the object's new version.
+    pub fn apply_update(&self, u: UpdateEvent) -> u64 {
+        apply_update(&mut self.lock(), u)
+    }
+
+    /// Serves one sub-query: `Ok(local)` on success, the rendered engine
+    /// error when the policy violated the satisfaction contract (the
+    /// shard stays up either way).
+    pub fn serve_query(&self, q: QueryEvent) -> Result<bool, String> {
+        serve_query(self.shard, &mut self.lock(), q)
+    }
+
+    /// Executes a coalesced sub-batch in order under ONE lock
+    /// acquisition — the whole sub-batch is a single serialization unit,
+    /// exactly like the former worker's coalesced channel send.
+    pub fn run_batch(&self, ops: Vec<ShardOp>) -> Vec<OpOutcome> {
+        let mut engine = self.lock();
+        ops.into_iter()
+            .map(|op| match op {
+                ShardOp::Query { item, event } => match serve_query(self.shard, &mut engine, event)
+                {
+                    Ok(local) => OpOutcome::Query { item, local },
+                    Err(error) => OpOutcome::QueryFailed { item, error },
+                },
+                ShardOp::Update { item, event } => OpOutcome::Update {
+                    item,
+                    version: apply_update(&mut engine, event),
+                },
+            })
+            .collect()
+    }
+
+    /// Statistics snapshot.
+    pub fn stats(&self) -> ShardStats {
+        stats(self.shard, self.policy, &self.lock())
+    }
+
+    /// Persists the engine snapshot (when configured) and reports final
+    /// statistics. Called by the server after every connection drained.
+    pub fn shutdown(&self) -> ShardStats {
+        let engine = self.lock();
+        if let Some(path) = &self.snapshot_path {
+            if let Err(e) = write_snapshot(path, &engine.snapshot()) {
+                eprintln!("delta-shard-{}: snapshot write failed: {e}", self.shard);
+            }
+        }
+        stats(self.shard, self.policy, &engine)
+    }
+}
+
+fn serve_query(shard: u16, engine: &mut ShardEngine, q: QueryEvent) -> Result<bool, String> {
+    match engine.apply(&Event::Query(q)) {
         Ok(EngineOutcome::Query { local, .. }) => Ok(local),
         Ok(other) => panic!("query produced {other:?}"),
         Err(e) => Err(format!("shard {shard}: {e}")),
-    };
-    let apply_update = |engine: &mut Engine<'_>, u: UpdateEvent| match engine
+    }
+}
+
+fn apply_update(engine: &mut ShardEngine, u: UpdateEvent) -> u64 {
+    match engine
         .apply(&Event::Update(u))
         .expect("updates cannot violate the contract")
     {
         EngineOutcome::Update { version } => version,
         other => panic!("update produced {other:?}"),
-    };
-
-    while let Ok(req) = rx.recv() {
-        match req {
-            ShardRequest::Update(u, reply) => {
-                let version = apply_update(&mut engine, u);
-                let _ = reply.send(ShardReply::UpdateDone { shard, version });
-            }
-            ShardRequest::Query(q, reply) => {
-                let _ = reply.send(match serve_query(&mut engine, q) {
-                    Ok(local) => ShardReply::QueryDone { shard, local },
-                    Err(error) => ShardReply::QueryFailed { shard, error },
-                });
-            }
-            ShardRequest::Batch(ops, reply) => {
-                let outcomes = ops
-                    .into_iter()
-                    .map(|op| match op {
-                        ShardOp::Query { item, event } => match serve_query(&mut engine, event) {
-                            Ok(local) => OpOutcome::Query { item, local },
-                            Err(error) => OpOutcome::QueryFailed { item, error },
-                        },
-                        ShardOp::Update { item, event } => OpOutcome::Update {
-                            item,
-                            version: apply_update(&mut engine, event),
-                        },
-                    })
-                    .collect();
-                let _ = reply.send(ShardReply::BatchDone { shard, outcomes });
-            }
-            ShardRequest::Stats(reply) => {
-                let _ = reply.send(ShardReply::Stats(stats(shard, policy_kind, &engine)));
-            }
-            ShardRequest::Shutdown(reply) => {
-                if let Some(path) = &snapshot_path {
-                    if let Err(e) = write_snapshot(path, &engine.snapshot()) {
-                        eprintln!("delta-shard-{shard}: snapshot write failed: {e}");
-                    }
-                }
-                let _ = reply.send(ShardReply::Stats(stats(shard, policy_kind, &engine)));
-                return;
-            }
-        }
     }
 }
 
-fn stats(shard: u16, kind: PolicyKind, engine: &Engine<'_>) -> ShardStats {
+fn stats(shard: u16, kind: PolicyKind, engine: &ShardEngine) -> ShardStats {
     ShardStats {
         shard,
         policy: kind.policy_name().to_string(),
@@ -290,8 +260,8 @@ mod tests {
         }
     }
 
-    fn spawn(shard: u16, catalog: ObjectCatalog, cache: u64, policy: PolicyKind) -> ShardHandle {
-        spawn_shard(ShardSpec {
+    fn core(shard: u16, catalog: ObjectCatalog, cache: u64, policy: PolicyKind) -> ShardCore {
+        ShardCore::new(ShardSpec {
             shard,
             catalog,
             cache_bytes: cache,
@@ -303,42 +273,25 @@ mod tests {
     }
 
     #[test]
-    fn worker_processes_events_and_reports() {
+    fn core_processes_events_and_reports() {
         let catalog = ObjectCatalog::from_sizes(&[100, 200]);
-        let handle = spawn(3, catalog, 1_000, PolicyKind::NoCache);
-        let (reply_tx, reply_rx) = unbounded();
+        let core = core(3, catalog, 1_000, PolicyKind::NoCache);
 
-        handle
-            .tx
-            .send(ShardRequest::Update(
-                UpdateEvent {
-                    seq: 1,
-                    object: ObjectId(0),
-                    bytes: 10,
-                },
-                reply_tx.clone(),
-            ))
-            .unwrap();
-        match reply_rx.recv().unwrap() {
-            ShardReply::UpdateDone { shard, version } => {
-                assert_eq!((shard, version), (3, 1));
-            }
-            other => panic!("unexpected {other:?}"),
-        }
+        assert_eq!(
+            core.apply_update(UpdateEvent {
+                seq: 1,
+                object: ObjectId(0),
+                bytes: 10,
+            }),
+            1
+        );
+        assert_eq!(
+            core.serve_query(query(2, vec![0], 55)),
+            Ok(false),
+            "NoCache always ships"
+        );
 
-        handle
-            .tx
-            .send(ShardRequest::Query(query(2, vec![0], 55), reply_tx.clone()))
-            .unwrap();
-        match reply_rx.recv().unwrap() {
-            ShardReply::QueryDone { shard, local } => {
-                assert_eq!(shard, 3);
-                assert!(!local, "NoCache always ships");
-            }
-            other => panic!("unexpected {other:?}"),
-        }
-
-        let final_stats = handle.shutdown();
+        let final_stats = core.shutdown();
         assert_eq!(final_stats.metrics.events(), 2);
         assert_eq!(final_stats.metrics.ledger.shipped_queries, 1);
         assert_eq!(final_stats.metrics.ledger.breakdown.query_ship.bytes(), 55);
@@ -375,47 +328,32 @@ mod tests {
             },
         ];
 
-        // One frame per op.
-        let singles = spawn(0, catalog.clone(), 500, PolicyKind::VCover);
-        let (tx, rx) = unbounded();
+        // One call per op.
+        let singles = core(0, catalog.clone(), 500, PolicyKind::VCover);
         for op in ops.clone() {
             match op {
                 ShardOp::Query { event, .. } => {
-                    singles
-                        .tx
-                        .send(ShardRequest::Query(event, tx.clone()))
-                        .unwrap();
+                    let _ = singles.serve_query(event);
                 }
                 ShardOp::Update { event, .. } => {
-                    singles
-                        .tx
-                        .send(ShardRequest::Update(event, tx.clone()))
-                        .unwrap();
+                    singles.apply_update(event);
                 }
             }
-            rx.recv().unwrap();
         }
         let want = singles.shutdown();
 
-        // The same ops coalesced into one channel send.
-        let batched = spawn(0, catalog, 500, PolicyKind::VCover);
-        let (tx, rx) = unbounded();
-        batched.tx.send(ShardRequest::Batch(ops, tx)).unwrap();
-        match rx.recv().unwrap() {
-            ShardReply::BatchDone { shard, outcomes } => {
-                assert_eq!(shard, 0);
-                assert_eq!(outcomes.len(), 4);
-                assert!(matches!(
-                    outcomes[0],
-                    OpOutcome::Update {
-                        item: 0,
-                        version: 1
-                    }
-                ));
-                assert!(matches!(outcomes[3], OpOutcome::Query { item: 3, .. }));
+        // The same ops coalesced under one lock acquisition.
+        let batched = core(0, catalog, 500, PolicyKind::VCover);
+        let outcomes = batched.run_batch(ops);
+        assert_eq!(outcomes.len(), 4);
+        assert!(matches!(
+            outcomes[0],
+            OpOutcome::Update {
+                item: 0,
+                version: 1
             }
-            other => panic!("unexpected {other:?}"),
-        }
+        ));
+        assert!(matches!(outcomes[3], OpOutcome::Query { item: 3, .. }));
         let got = batched.shutdown();
         assert_eq!(got.metrics, want.metrics);
     }
@@ -423,20 +361,13 @@ mod tests {
     #[test]
     fn replica_shard_mirrors_repository() {
         let catalog = ObjectCatalog::from_sizes(&[100, 200]);
-        let handle = spawn(0, catalog, 1, PolicyKind::Replica);
-        let (reply_tx, reply_rx) = unbounded();
-        handle
-            .tx
-            .send(ShardRequest::Query(
-                query(1, vec![0, 1], 999),
-                reply_tx.clone(),
-            ))
-            .unwrap();
-        match reply_rx.recv().unwrap() {
-            ShardReply::QueryDone { local, .. } => assert!(local, "replica answers locally"),
-            other => panic!("unexpected {other:?}"),
-        }
-        let stats = handle.shutdown();
+        let core = core(0, catalog, 1, PolicyKind::Replica);
+        assert_eq!(
+            core.serve_query(query(1, vec![0, 1], 999)),
+            Ok(true),
+            "replica answers locally"
+        );
+        let stats = core.shutdown();
         assert_eq!(stats.metrics.ledger.local_answers, 1);
         assert_eq!(
             stats.metrics.residents, 2,
@@ -445,88 +376,59 @@ mod tests {
     }
 
     #[test]
-    fn broken_policy_fails_typed_and_worker_survives() {
+    fn broken_policy_fails_typed_and_core_survives() {
         let catalog = ObjectCatalog::from_sizes(&[100, 200]);
-        let handle = spawn(0, catalog, 1_000, PolicyKind::Broken);
-        let (reply_tx, reply_rx) = unbounded();
-        handle
-            .tx
-            .send(ShardRequest::Query(query(1, vec![0], 5), reply_tx.clone()))
-            .unwrap();
-        match reply_rx.recv().unwrap() {
-            ShardReply::QueryFailed { shard, error } => {
-                assert_eq!(shard, 0);
-                assert!(error.contains("Broken"), "{error}");
-            }
-            other => panic!("unexpected {other:?}"),
-        }
-        // The worker is still alive and serves updates and batches.
-        handle
-            .tx
-            .send(ShardRequest::Update(
-                UpdateEvent {
-                    seq: 2,
+        let core = core(0, catalog, 1_000, PolicyKind::Broken);
+        let err = core.serve_query(query(1, vec![0], 5)).unwrap_err();
+        assert!(err.contains("Broken"), "{err}");
+        // The core is still alive and serves updates and batches.
+        assert_eq!(
+            core.apply_update(UpdateEvent {
+                seq: 2,
+                object: ObjectId(1),
+                bytes: 4,
+            }),
+            1
+        );
+        let outcomes = core.run_batch(vec![
+            ShardOp::Query {
+                item: 0,
+                event: query(3, vec![0], 5),
+            },
+            ShardOp::Update {
+                item: 1,
+                event: UpdateEvent {
+                    seq: 4,
                     object: ObjectId(1),
-                    bytes: 4,
+                    bytes: 1,
                 },
-                reply_tx.clone(),
-            ))
-            .unwrap();
+            },
+        ]);
         assert!(matches!(
-            reply_rx.recv().unwrap(),
-            ShardReply::UpdateDone { version: 1, .. }
+            outcomes[0],
+            OpOutcome::QueryFailed { item: 0, .. }
         ));
-        let (tx, rx) = unbounded();
-        handle
-            .tx
-            .send(ShardRequest::Batch(
-                vec![
-                    ShardOp::Query {
-                        item: 0,
-                        event: query(3, vec![0], 5),
-                    },
-                    ShardOp::Update {
-                        item: 1,
-                        event: UpdateEvent {
-                            seq: 4,
-                            object: ObjectId(1),
-                            bytes: 1,
-                        },
-                    },
-                ],
-                tx,
-            ))
-            .unwrap();
-        match rx.recv().unwrap() {
-            ShardReply::BatchDone { outcomes, .. } => {
-                assert!(matches!(
-                    outcomes[0],
-                    OpOutcome::QueryFailed { item: 0, .. }
-                ));
-                assert!(matches!(
-                    outcomes[1],
-                    OpOutcome::Update {
-                        item: 1,
-                        version: 2
-                    }
-                ));
+        assert!(matches!(
+            outcomes[1],
+            OpOutcome::Update {
+                item: 1,
+                version: 2
             }
-            other => panic!("unexpected {other:?}"),
-        }
-        let stats = handle.shutdown();
+        ));
+        let stats = core.shutdown();
         assert_eq!(stats.metrics.updates, 2);
         assert_eq!(stats.metrics.queries, 0, "violated queries are not counted");
     }
 
     #[test]
-    fn shutdown_snapshot_roundtrips_through_spawn() {
+    fn shutdown_snapshot_roundtrips_through_new() {
         let catalog = ObjectCatalog::from_sizes(&[100, 200]);
         let path = std::env::temp_dir().join(format!(
             "delta-shard-snap-{}-{:?}.jsonl",
             std::process::id(),
             std::thread::current().id()
         ));
-        let handle = spawn_shard(ShardSpec {
+        let first = ShardCore::new(ShardSpec {
             shard: 0,
             catalog: catalog.clone(),
             cache_bytes: 1_000,
@@ -535,30 +437,18 @@ mod tests {
             restore: None,
             snapshot_path: Some(path.clone()),
         });
-        let (reply_tx, reply_rx) = unbounded();
-        handle
-            .tx
-            .send(ShardRequest::Update(
-                UpdateEvent {
-                    seq: 1,
-                    object: ObjectId(0),
-                    bytes: 10,
-                },
-                reply_tx.clone(),
-            ))
-            .unwrap();
-        reply_rx.recv().unwrap();
-        handle
-            .tx
-            .send(ShardRequest::Query(query(2, vec![0], 55), reply_tx.clone()))
-            .unwrap();
-        reply_rx.recv().unwrap();
-        let first = handle.shutdown();
+        first.apply_update(UpdateEvent {
+            seq: 1,
+            object: ObjectId(0),
+            bytes: 10,
+        });
+        first.serve_query(query(2, vec![0], 55)).unwrap();
+        let first = first.shutdown();
 
         // Resume from the written snapshot: metrics carry over exactly.
         let snap = delta_core::engine::read_snapshot(&path).unwrap();
         std::fs::remove_file(&path).ok();
-        let resumed = spawn_shard(ShardSpec {
+        let resumed = ShardCore::new(ShardSpec {
             shard: 0,
             catalog,
             cache_bytes: 1_000,

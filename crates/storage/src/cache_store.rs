@@ -7,7 +7,6 @@
 //! any update bytes shipped to it since.
 
 use crate::object::ObjectId;
-use std::collections::HashMap;
 
 /// Why a load was refused.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -66,11 +65,18 @@ pub struct Resident {
 }
 
 /// The space-constrained object store at the middleware.
+///
+/// Object ids are dense catalog indices, so residency lives in a
+/// catalog-sized slab (`Vec<Option<Resident>>`) rather than a hash map:
+/// every lookup on the query/update hot path is one unhashed index, and
+/// iteration walks memory in id order (deterministic, cache-friendly).
+/// The slab grows lazily to the highest id ever touched.
 #[derive(Clone, Debug)]
 pub struct CacheStore {
     capacity: u64,
     used: u64,
-    resident: HashMap<ObjectId, Resident>,
+    resident: Vec<Option<Resident>>,
+    len: usize,
     loads: u64,
     evictions: u64,
 }
@@ -81,10 +87,21 @@ impl CacheStore {
         Self {
             capacity,
             used: 0,
-            resident: HashMap::new(),
+            resident: Vec::new(),
+            len: 0,
             loads: 0,
             evictions: 0,
         }
+    }
+
+    /// The slab slot for `id`, growing the slab if the id is past the end.
+    #[inline]
+    fn slot_mut(&mut self, id: ObjectId) -> &mut Option<Resident> {
+        let i = id.index();
+        if i >= self.resident.len() {
+            self.resident.resize(i + 1, None);
+        }
+        &mut self.resident[i]
     }
 
     /// Total capacity in bytes.
@@ -107,12 +124,12 @@ impl CacheStore {
 
     /// Number of resident objects.
     pub fn len(&self) -> usize {
-        self.resident.len()
+        self.len
     }
 
     /// Whether no objects are resident.
     pub fn is_empty(&self) -> bool {
-        self.resident.is_empty()
+        self.len == 0
     }
 
     /// Lifetime count of completed loads.
@@ -126,48 +143,55 @@ impl CacheStore {
     }
 
     /// Whether `id` is resident.
+    #[inline]
     pub fn contains(&self, id: ObjectId) -> bool {
-        self.resident.contains_key(&id)
+        matches!(self.resident.get(id.index()), Some(Some(_)))
     }
 
     /// Resident state of `id`, if cached.
+    #[inline]
     pub fn get(&self, id: ObjectId) -> Option<&Resident> {
-        self.resident.get(&id)
+        self.resident.get(id.index()).and_then(|s| s.as_ref())
     }
 
-    /// Iterates over resident objects.
+    /// Iterates over resident objects, in id order.
     pub fn iter(&self) -> impl Iterator<Item = (ObjectId, &Resident)> {
-        self.resident.iter().map(|(&k, v)| (k, v))
+        self.resident
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.as_ref().map(|r| (ObjectId(i as u32), r)))
     }
 
     /// Loads `id` (size `bytes`, fully updated to `version`).
     ///
     /// Fails if already resident or if there is no room — eviction is the
-    /// policy layer's job, the store never evicts on its own.
+    /// policy layer's job, the store never evicts on its own. One slot
+    /// probe decides residency and performs the insert.
     pub fn load(&mut self, id: ObjectId, bytes: u64, version: u64) -> Result<(), CacheError> {
-        if self.resident.contains_key(&id) {
+        let capacity = self.capacity;
+        let free = self.free();
+        let slot = self.slot_mut(id);
+        if slot.is_some() {
             return Err(CacheError::AlreadyResident);
         }
-        if bytes > self.capacity {
+        if bytes > capacity {
             return Err(CacheError::TooLarge {
                 needed: bytes,
-                capacity: self.capacity,
+                capacity,
             });
         }
-        if bytes > self.free() {
+        if bytes > free {
             return Err(CacheError::NoSpace {
                 needed: bytes,
-                free: self.free(),
+                free,
             });
         }
-        self.resident.insert(
-            id,
-            Resident {
-                bytes,
-                applied_version: version,
-                stale: false,
-            },
-        );
+        *slot = Some(Resident {
+            bytes,
+            applied_version: version,
+            stale: false,
+        });
+        self.len += 1;
         self.used += bytes;
         self.loads += 1;
         Ok(())
@@ -175,9 +199,10 @@ impl CacheStore {
 
     /// Evicts `id`, freeing its bytes.
     pub fn evict(&mut self, id: ObjectId) -> Result<(), CacheError> {
-        match self.resident.remove(&id) {
+        match self.resident.get_mut(id.index()).and_then(Option::take) {
             Some(r) => {
                 self.used -= r.bytes;
+                self.len -= 1;
                 self.evictions += 1;
                 Ok(())
             }
@@ -188,7 +213,7 @@ impl CacheStore {
     /// Marks a resident object stale (an update arrived for it at the
     /// server). Non-resident ids are ignored.
     pub fn invalidate(&mut self, id: ObjectId) {
-        if let Some(r) = self.resident.get_mut(&id) {
+        if let Some(Some(r)) = self.resident.get_mut(id.index()) {
             r.stale = true;
         }
     }
@@ -203,7 +228,8 @@ impl CacheStore {
     pub fn apply_updates(&mut self, id: ObjectId, new_version: u64, bytes: u64, fully_fresh: bool) {
         let r = self
             .resident
-            .get_mut(&id)
+            .get_mut(id.index())
+            .and_then(Option::as_mut)
             .expect("applying updates to non-resident object");
         assert!(new_version >= r.applied_version, "version must not regress");
         r.applied_version = new_version;
@@ -218,8 +244,9 @@ impl CacheStore {
     }
 
     /// Applied version of a resident object.
+    #[inline]
     pub fn applied_version(&self, id: ObjectId) -> Option<u64> {
-        self.resident.get(&id).map(|r| r.applied_version)
+        self.get(id).map(|r| r.applied_version)
     }
 
     /// Re-inserts a resident object from a snapshot: no load is counted
@@ -233,17 +260,16 @@ impl CacheStore {
         applied_version: u64,
         stale: bool,
     ) -> Result<(), CacheError> {
-        if self.resident.contains_key(&id) {
+        let slot = self.slot_mut(id);
+        if slot.is_some() {
             return Err(CacheError::AlreadyResident);
         }
-        self.resident.insert(
-            id,
-            Resident {
-                bytes,
-                applied_version,
-                stale,
-            },
-        );
+        *slot = Some(Resident {
+            bytes,
+            applied_version,
+            stale,
+        });
+        self.len += 1;
         self.used += bytes;
         Ok(())
     }

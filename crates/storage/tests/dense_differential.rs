@@ -1,0 +1,438 @@
+//! Differential pin for the dense-slab conversion: the slab-backed
+//! [`CacheStore`] and the heap-indexed `GreedyDualSize` must be
+//! observationally identical to straightforward `HashMap` reference
+//! models (the pre-slab implementations, kept here verbatim in spirit)
+//! through arbitrary load/touch/evict/restore/update sequences.
+//!
+//! The models deliberately re-implement the *semantics*, not the code:
+//! the cache model tracks residency, byte accounting and counters in a
+//! map; the GDS model picks victims by a linear `(H, tick, id)` scan —
+//! exactly the scan the indexed binary heap replaced. If the slab or
+//! the heap ever diverges (a stale `pos` entry, a missed sift, a
+//! double-counted `used`), these properties catch it on the spot.
+
+use delta_policy::{GreedyDualSize, ReplacementPolicy};
+use delta_storage::{CacheError, CacheStore, ObjectId};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+// ---- CacheStore vs HashMap reference ----
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct RefResident {
+    bytes: u64,
+    applied_version: u64,
+    stale: bool,
+}
+
+/// The hash-map reference model of `CacheStore`.
+#[derive(Clone, Debug, Default)]
+struct RefCache {
+    capacity: u64,
+    used: u64,
+    resident: HashMap<u32, RefResident>,
+    loads: u64,
+    evictions: u64,
+}
+
+impl RefCache {
+    fn new(capacity: u64) -> Self {
+        RefCache {
+            capacity,
+            ..Default::default()
+        }
+    }
+
+    fn free(&self) -> u64 {
+        self.capacity.saturating_sub(self.used)
+    }
+
+    fn load(&mut self, id: u32, bytes: u64, version: u64) -> Result<(), CacheError> {
+        if self.resident.contains_key(&id) {
+            return Err(CacheError::AlreadyResident);
+        }
+        if bytes > self.capacity {
+            return Err(CacheError::TooLarge {
+                needed: bytes,
+                capacity: self.capacity,
+            });
+        }
+        if bytes > self.free() {
+            return Err(CacheError::NoSpace {
+                needed: bytes,
+                free: self.free(),
+            });
+        }
+        self.resident.insert(
+            id,
+            RefResident {
+                bytes,
+                applied_version: version,
+                stale: false,
+            },
+        );
+        self.used += bytes;
+        self.loads += 1;
+        Ok(())
+    }
+
+    fn evict(&mut self, id: u32) -> Result<(), CacheError> {
+        match self.resident.remove(&id) {
+            Some(r) => {
+                self.used -= r.bytes;
+                self.evictions += 1;
+                Ok(())
+            }
+            None => Err(CacheError::NotResident),
+        }
+    }
+
+    fn invalidate(&mut self, id: u32) {
+        if let Some(r) = self.resident.get_mut(&id) {
+            r.stale = true;
+        }
+    }
+
+    fn apply_updates(&mut self, id: u32, new_version: u64, bytes: u64, fully_fresh: bool) {
+        let r = self.resident.get_mut(&id).expect("resident");
+        r.applied_version = new_version;
+        r.bytes += bytes;
+        if fully_fresh {
+            r.stale = false;
+        }
+        self.used += bytes;
+    }
+
+    fn restore(
+        &mut self,
+        id: u32,
+        bytes: u64,
+        applied_version: u64,
+        stale: bool,
+    ) -> Result<(), CacheError> {
+        if self.resident.contains_key(&id) {
+            return Err(CacheError::AlreadyResident);
+        }
+        self.resident.insert(
+            id,
+            RefResident {
+                bytes,
+                applied_version,
+                stale,
+            },
+        );
+        self.used += bytes;
+        Ok(())
+    }
+}
+
+#[derive(Clone, Debug)]
+enum CacheOp {
+    Load {
+        id: u32,
+        bytes: u64,
+        version: u64,
+    },
+    Evict {
+        id: u32,
+    },
+    Invalidate {
+        id: u32,
+    },
+    /// Applied only when the object is resident (the store panics on
+    /// non-resident ids by contract); grows by `bytes`, advances the
+    /// version by `dv`.
+    ApplyUpdates {
+        id: u32,
+        dv: u64,
+        bytes: u64,
+        fully_fresh: bool,
+    },
+    Restore {
+        id: u32,
+        bytes: u64,
+        version: u64,
+        stale: bool,
+    },
+}
+
+const UNIVERSE: u32 = 24;
+
+fn arb_cache_ops() -> impl Strategy<Value = Vec<CacheOp>> {
+    proptest::collection::vec(
+        prop_oneof![
+            (0..UNIVERSE, 1u64..120, 0u64..8).prop_map(|(id, bytes, version)| CacheOp::Load {
+                id,
+                bytes,
+                version
+            }),
+            (0..UNIVERSE).prop_map(|id| CacheOp::Evict { id }),
+            (0..UNIVERSE).prop_map(|id| CacheOp::Invalidate { id }),
+            (0..UNIVERSE, 0u64..4, 0u64..40, proptest::bool::ANY).prop_map(
+                |(id, dv, bytes, fully_fresh)| CacheOp::ApplyUpdates {
+                    id,
+                    dv,
+                    bytes,
+                    fully_fresh
+                }
+            ),
+            (0..UNIVERSE, 1u64..120, 0u64..8, proptest::bool::ANY).prop_map(
+                |(id, bytes, version, stale)| CacheOp::Restore {
+                    id,
+                    bytes,
+                    version,
+                    stale
+                }
+            ),
+        ],
+        0..200,
+    )
+}
+
+/// Asserts every observable of the slab store equals the reference.
+fn assert_cache_equiv(store: &CacheStore, model: &RefCache) -> Result<(), TestCaseError> {
+    prop_assert_eq!(store.capacity(), model.capacity);
+    prop_assert_eq!(store.used(), model.used);
+    prop_assert_eq!(store.free(), model.free());
+    prop_assert_eq!(store.len(), model.resident.len());
+    prop_assert_eq!(store.is_empty(), model.resident.is_empty());
+    prop_assert_eq!(store.load_count(), model.loads);
+    prop_assert_eq!(store.eviction_count(), model.evictions);
+    for id in 0..UNIVERSE {
+        let got = store.get(ObjectId(id));
+        let want = model.resident.get(&id);
+        prop_assert_eq!(store.contains(ObjectId(id)), want.is_some());
+        prop_assert_eq!(
+            store.applied_version(ObjectId(id)),
+            want.map(|r| r.applied_version)
+        );
+        match (got, want) {
+            (None, None) => {}
+            (Some(g), Some(w)) => {
+                prop_assert_eq!(
+                    (g.bytes, g.applied_version, g.stale),
+                    (w.bytes, w.applied_version, w.stale)
+                );
+            }
+            other => prop_assert!(false, "residency mismatch for {}: {:?}", id, other),
+        }
+    }
+    // Iteration covers exactly the resident set.
+    let mut iterated: Vec<u32> = store.iter().map(|(o, _)| o.0).collect();
+    let mut expected: Vec<u32> = model.resident.keys().copied().collect();
+    iterated.sort_unstable();
+    expected.sort_unstable();
+    prop_assert_eq!(iterated, expected);
+    Ok(())
+}
+
+// ---- GreedyDualSize vs linear-scan reference ----
+
+#[derive(Clone, Copy, Debug)]
+struct RefEntry {
+    h: f64,
+    size: u64,
+    tick: u64,
+}
+
+/// The hash-map + linear-scan reference model of `GreedyDualSize` — the
+/// pre-heap implementation.
+#[derive(Clone, Debug)]
+struct RefGds {
+    capacity: u64,
+    used: u64,
+    inflation: f64,
+    tick: u64,
+    entries: HashMap<u32, RefEntry>,
+}
+
+impl RefGds {
+    fn new(capacity: u64) -> Self {
+        RefGds {
+            capacity,
+            used: 0,
+            inflation: 0.0,
+            tick: 0,
+            entries: HashMap::new(),
+        }
+    }
+
+    fn bump(&mut self) -> u64 {
+        self.tick += 1;
+        self.tick
+    }
+
+    fn victim(&self) -> Option<u32> {
+        self.entries
+            .iter()
+            .min_by(|a, b| {
+                a.1.h
+                    .total_cmp(&b.1.h)
+                    .then_with(|| a.1.tick.cmp(&b.1.tick))
+                    .then_with(|| a.0.cmp(b.0))
+            })
+            .map(|(&id, _)| id)
+    }
+
+    fn request(&mut self, id: u32, size: u64, cost: u64) -> (bool, Vec<u32>) {
+        if let Some(e) = self.entries.get_mut(&id) {
+            e.h = self.inflation + cost as f64 / size.max(1) as f64;
+            let t = self.bump();
+            self.entries.get_mut(&id).expect("present").tick = t;
+            return (true, Vec::new());
+        }
+        if size > self.capacity {
+            return (false, Vec::new());
+        }
+        let mut evicted = Vec::new();
+        while self.used + size > self.capacity {
+            let v = self.victim().expect("victim exists");
+            let e = self.entries.remove(&v).expect("resident");
+            self.used -= e.size;
+            self.inflation = self.inflation.max(e.h);
+            evicted.push(v);
+        }
+        let h = self.inflation + cost as f64 / size.max(1) as f64;
+        let tick = self.bump();
+        self.entries.insert(id, RefEntry { h, size, tick });
+        self.used += size;
+        (true, evicted)
+    }
+
+    fn touch(&mut self, id: u32) {
+        if let Some(e) = self.entries.get(&id) {
+            let (size, h_base) = (e.size, self.inflation);
+            let cost_over_size = e.h - h_base;
+            let t = self.bump();
+            let e = self.entries.get_mut(&id).expect("present");
+            e.h = h_base + cost_over_size.max(1.0 / size.max(1) as f64);
+            e.tick = t;
+        }
+    }
+
+    fn forget(&mut self, id: u32) {
+        if let Some(e) = self.entries.remove(&id) {
+            self.used -= e.size;
+        }
+    }
+}
+
+#[derive(Clone, Debug)]
+enum GdsOp {
+    Request(u32, u64, u64),
+    Touch(u32),
+    Forget(u32),
+}
+
+fn arb_gds_ops() -> impl Strategy<Value = Vec<GdsOp>> {
+    proptest::collection::vec(
+        prop_oneof![
+            (0..UNIVERSE, 1u64..150, 0u64..300).prop_map(|(i, s, c)| GdsOp::Request(i, s, c)),
+            (0..UNIVERSE).prop_map(GdsOp::Touch),
+            (0..UNIVERSE).prop_map(GdsOp::Forget),
+        ],
+        0..250,
+    )
+}
+
+fn assert_gds_equiv(gds: &GreedyDualSize, model: &RefGds) -> Result<(), TestCaseError> {
+    prop_assert_eq!(gds.used(), model.used);
+    prop_assert_eq!(gds.capacity(), model.capacity);
+    prop_assert_eq!(gds.victim().map(|o| o.0), model.victim());
+    prop_assert!((gds.inflation() - model.inflation).abs() < 1e-12);
+    for id in 0..UNIVERSE {
+        prop_assert_eq!(gds.contains(ObjectId(id)), model.entries.contains_key(&id));
+        let want = model.entries.get(&id).map(|e| e.h);
+        match (gds.priority(ObjectId(id)), want) {
+            (None, None) => {}
+            (Some(g), Some(w)) => prop_assert!((g - w).abs() < 1e-12, "priority {} vs {}", g, w),
+            other => prop_assert!(false, "priority mismatch for {}: {:?}", id, other),
+        }
+    }
+    let mut resident: Vec<u32> = gds.resident().iter().map(|o| o.0).collect();
+    let mut expected: Vec<u32> = model.entries.keys().copied().collect();
+    resident.sort_unstable();
+    expected.sort_unstable();
+    prop_assert_eq!(resident, expected);
+    Ok(())
+}
+
+proptest! {
+    /// The slab store and the hash-map model agree on every observable
+    /// after every operation.
+    #[test]
+    fn cache_store_matches_hashmap_reference(
+        cap in 50u64..400,
+        ops in arb_cache_ops(),
+    ) {
+        let mut store = CacheStore::new(cap);
+        let mut model = RefCache::new(cap);
+        for op in &ops {
+            match *op {
+                CacheOp::Load { id, bytes, version } => {
+                    prop_assert_eq!(
+                        store.load(ObjectId(id), bytes, version),
+                        model.load(id, bytes, version)
+                    );
+                }
+                CacheOp::Evict { id } => {
+                    prop_assert_eq!(store.evict(ObjectId(id)), model.evict(id));
+                }
+                CacheOp::Invalidate { id } => {
+                    store.invalidate(ObjectId(id));
+                    model.invalidate(id);
+                }
+                CacheOp::ApplyUpdates { id, dv, bytes, fully_fresh } => {
+                    // Only legal on residents; version must not regress.
+                    let Some(applied) = store.applied_version(ObjectId(id)) else {
+                        continue;
+                    };
+                    store.apply_updates(ObjectId(id), applied + dv, bytes, fully_fresh);
+                    model.apply_updates(id, applied + dv, bytes, fully_fresh);
+                }
+                CacheOp::Restore { id, bytes, version, stale } => {
+                    prop_assert_eq!(
+                        store.restore(ObjectId(id), bytes, version, stale),
+                        model.restore(id, bytes, version, stale)
+                    );
+                }
+            }
+            assert_cache_equiv(&store, &model)?;
+        }
+    }
+
+    /// The heap-indexed GDS and the linear-scan model make identical
+    /// decisions — same admissions, same eviction order, same victim,
+    /// same priorities — through arbitrary request/touch/forget churn.
+    #[test]
+    fn gds_heap_matches_linear_scan_reference(
+        cap in 50u64..500,
+        ops in arb_gds_ops(),
+    ) {
+        let mut gds = GreedyDualSize::new(cap);
+        let mut model = RefGds::new(cap);
+        for op in &ops {
+            match *op {
+                GdsOp::Request(id, size, cost) => {
+                    let adm = gds.request(ObjectId(id), size, cost);
+                    let (admitted, evicted) = model.request(id, size, cost);
+                    prop_assert_eq!(adm.admitted, admitted);
+                    prop_assert_eq!(
+                        adm.evicted.iter().map(|o| o.0).collect::<Vec<_>>(),
+                        evicted,
+                        "eviction order must match the linear scan"
+                    );
+                }
+                GdsOp::Touch(id) => {
+                    gds.touch(ObjectId(id));
+                    model.touch(id);
+                }
+                GdsOp::Forget(id) => {
+                    gds.forget(ObjectId(id));
+                    model.forget(id);
+                }
+            }
+            assert_gds_equiv(&gds, &model)?;
+        }
+    }
+}
