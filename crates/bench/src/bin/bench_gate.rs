@@ -1,5 +1,5 @@
-//! `bench_gate` — the throughput regression fence over
-//! `results/BENCH_core.json`.
+//! `bench_gate` — the throughput regression fence over the committed
+//! `results/BENCH_*.json` trajectories.
 //!
 //! ```text
 //! bench_gate --baseline results/BENCH_core.json \
@@ -9,11 +9,15 @@
 //!
 //! Compares each benchmark's `events_per_sec` in the candidate run
 //! against the committed baseline and exits non-zero when any benchmark
-//! regressed by more than the tolerance (default 20%). Benchmarks that
-//! exist on only one side are reported but do not fail the gate (adding
-//! a benchmark must not require regenerating the baseline in the same
-//! PR). Improvements are reported too — commit the refreshed baseline
-//! when they are real, so the fence ratchets forward.
+//! regressed by more than the tolerance (default 20%). Two document
+//! shapes are understood: the `benchmarks` array `core_hot_path` writes
+//! (`BENCH_core.json`) and the `modes` array `delta-loadgen --bench-json`
+//! writes (`BENCH_server.json` — lockstep/batch/pipeline events/s), so
+//! the same gate fences both the engine hot path and the wire protocol.
+//! Benchmarks that exist on only one side are reported but do not fail
+//! the gate (adding a benchmark must not require regenerating the
+//! baseline in the same PR). Improvements are reported too — commit the
+//! refreshed baseline when they are real, so the fence ratchets forward.
 
 use serde_json::Value;
 use std::collections::BTreeMap;
@@ -35,11 +39,14 @@ fn read_rates(path: &str) -> BTreeMap<String, f64> {
         eprintln!("bench_gate: cannot parse {path}: {e}");
         exit(2);
     });
+    // `benchmarks` is the core-bench shape; `modes` is the loadgen
+    // (server protocol) shape — both carry (name, events_per_sec).
     let benches = doc
         .get("benchmarks")
         .and_then(Value::as_array)
+        .or_else(|| doc.get("modes").and_then(Value::as_array))
         .unwrap_or_else(|| {
-            eprintln!("bench_gate: {path} has no `benchmarks` array");
+            eprintln!("bench_gate: {path} has neither a `benchmarks` nor a `modes` array");
             exit(2);
         });
     benches

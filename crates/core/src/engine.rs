@@ -32,7 +32,7 @@ use crate::policy_trait::CachingPolicy;
 use delta_storage::{CacheStore, ObjectCatalog, ObjectId, Repository, UpdateRecord};
 use delta_workload::{Event, QueryEvent, UpdateEvent};
 use serde_json::{FromJson, ToJson, Value};
-use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::io::{BufReader, BufWriter, Read, Write};
 use std::path::Path;
 
 /// Why the engine refused an event.
@@ -690,46 +690,46 @@ impl FromJson for ObjectEntry {
     }
 }
 
-/// Writes a snapshot as JSONL — a header line, then one line per object
-/// entry — atomically (temp file + rename), so a crash mid-write never
-/// leaves a torn snapshot where a good one stood.
-pub fn write_snapshot(path: &Path, snap: &EngineSnapshot) -> std::io::Result<()> {
-    let tmp = path.with_extension("tmp");
-    {
-        let f = std::fs::File::create(&tmp)?;
-        let mut w = BufWriter::new(f);
-        let header = Value::Object(vec![
-            ("format".into(), SNAPSHOT_FORMAT_VERSION.to_json()),
-            ("policy".into(), snap.policy.to_json()),
-            ("catalog_objects".into(), snap.catalog_objects.to_json()),
-            ("catalog_bytes".into(), snap.catalog_bytes.to_json()),
-            ("capacity".into(), snap.capacity.to_json()),
-            ("clock".into(), snap.clock.to_json()),
-            ("queries".into(), snap.queries.to_json()),
-            ("updates".into(), snap.updates.to_json()),
-            ("tolerance_served".into(), snap.tolerance_served.to_json()),
-            ("ledger".into(), snap.ledger.to_json()),
-            ("entries".into(), (snap.entries.len() as u64).to_json()),
-        ]);
-        w.write_all(header.to_json_string().as_bytes())?;
-        w.write_all(b"\n")?;
-        for entry in &snap.entries {
-            w.write_all(entry.to_json().to_json_string().as_bytes())?;
-            w.write_all(b"\n")?;
-        }
-        w.flush()?;
-    }
-    std::fs::rename(&tmp, path)
+/// The snapshot's JSON header line.
+fn snapshot_header(snap: &EngineSnapshot) -> Value {
+    Value::Object(vec![
+        ("format".into(), SNAPSHOT_FORMAT_VERSION.to_json()),
+        ("policy".into(), snap.policy.to_json()),
+        ("catalog_objects".into(), snap.catalog_objects.to_json()),
+        ("catalog_bytes".into(), snap.catalog_bytes.to_json()),
+        ("capacity".into(), snap.capacity.to_json()),
+        ("clock".into(), snap.clock.to_json()),
+        ("queries".into(), snap.queries.to_json()),
+        ("updates".into(), snap.updates.to_json()),
+        ("tolerance_served".into(), snap.tolerance_served.to_json()),
+        ("ledger".into(), snap.ledger.to_json()),
+        ("entries".into(), (snap.entries.len() as u64).to_json()),
+    ])
 }
 
-/// Reads a snapshot written by [`write_snapshot`].
-pub fn read_snapshot(path: &Path) -> std::io::Result<EngineSnapshot> {
-    let f = std::fs::File::open(path)?;
-    let mut lines = BufReader::new(f).lines();
-    let header_line = lines.next().ok_or_else(|| {
-        std::io::Error::new(std::io::ErrorKind::InvalidData, "empty snapshot file")
-    })??;
-    let header = serde_json::from_str_value(&header_line).map_err(std::io::Error::from)?;
+/// Renders a snapshot in the JSONL wire/file format — a header line,
+/// then one line per object entry. This is the byte layout both the
+/// warm-restart files and the cluster's shard-migration frames carry
+/// (the wire path needs the contiguous buffer; the file path streams
+/// through [`write_snapshot`] instead).
+pub fn snapshot_to_string(snap: &EngineSnapshot) -> String {
+    let mut out = snapshot_header(snap).to_json_string();
+    out.push('\n');
+    for entry in &snap.entries {
+        out.push_str(&entry.to_json().to_json_string());
+        out.push('\n');
+    }
+    out
+}
+
+/// Parses the JSONL snapshot format produced by [`snapshot_to_string`]
+/// (equivalently, the contents of a [`write_snapshot`] file).
+pub fn snapshot_from_str(body: &str) -> std::io::Result<EngineSnapshot> {
+    let mut lines = body.lines();
+    let header_line = lines
+        .next()
+        .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::InvalidData, "empty snapshot"))?;
+    let header = serde_json::from_str_value(header_line).map_err(std::io::Error::from)?;
     let format = u32::from_json(field(&header, "format").map_err(std::io::Error::from)?)?;
     if format != SNAPSHOT_FORMAT_VERSION {
         return Err(std::io::Error::new(
@@ -740,11 +740,10 @@ pub fn read_snapshot(path: &Path) -> std::io::Result<EngineSnapshot> {
     let expected = u64::from_json(field(&header, "entries").map_err(std::io::Error::from)?)?;
     let mut entries = Vec::new();
     for line in lines {
-        let line = line?;
         if line.trim().is_empty() {
             continue;
         }
-        let v = serde_json::from_str_value(&line).map_err(std::io::Error::from)?;
+        let v = serde_json::from_str_value(line).map_err(std::io::Error::from)?;
         entries.push(ObjectEntry::from_json(&v).map_err(std::io::Error::from)?);
     }
     if entries.len() as u64 != expected {
@@ -769,6 +768,33 @@ pub fn read_snapshot(path: &Path) -> std::io::Result<EngineSnapshot> {
         ledger: CostLedger::from_json(hfield("ledger")?)?,
         entries,
     })
+}
+
+/// Writes a snapshot in the JSONL format atomically (temp file +
+/// rename), so a crash mid-write never leaves a torn snapshot where a
+/// good one stood. Entries stream through the writer one line at a
+/// time — the whole snapshot is never materialized in memory.
+pub fn write_snapshot(path: &Path, snap: &EngineSnapshot) -> std::io::Result<()> {
+    let tmp = path.with_extension("tmp");
+    {
+        let f = std::fs::File::create(&tmp)?;
+        let mut w = BufWriter::new(f);
+        w.write_all(snapshot_header(snap).to_json_string().as_bytes())?;
+        w.write_all(b"\n")?;
+        for entry in &snap.entries {
+            w.write_all(entry.to_json().to_json_string().as_bytes())?;
+            w.write_all(b"\n")?;
+        }
+        w.flush()?;
+    }
+    std::fs::rename(&tmp, path)
+}
+
+/// Reads a snapshot written by [`write_snapshot`].
+pub fn read_snapshot(path: &Path) -> std::io::Result<EngineSnapshot> {
+    let mut body = String::new();
+    BufReader::new(std::fs::File::open(path)?).read_to_string(&mut body)?;
+    snapshot_from_str(&body)
 }
 
 #[cfg(test)]

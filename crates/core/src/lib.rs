@@ -54,6 +54,7 @@ pub mod deploy;
 pub mod engine;
 pub mod latency;
 pub mod load_manager;
+pub mod obj_cache;
 pub mod offline;
 pub mod policy_trait;
 pub mod preship;
@@ -68,6 +69,7 @@ pub use cost::{Cost, CostBreakdown, CostLedger};
 pub use engine::{Engine, EngineError, EngineMetrics, EngineOutcome, EngineSnapshot};
 pub use latency::{LatencyCollector, LatencyStats};
 pub use load_manager::{AdmissionMode, LoadManager};
+pub use obj_cache::ObjCache;
 pub use offline::{hindsight_decoupling, HindsightReport};
 pub use policy_trait::CachingPolicy;
 pub use preship::{Preship, PreshipConfig};

@@ -42,7 +42,7 @@
 //! per-shard table, and verifies that the per-shard ledgers sum to the
 //! aggregate totals.
 
-use delta_server::{BatchItem, BatchReply, DeltaClient, Request, Response};
+use delta_server::{BatchItem, BatchReply, DeltaClient, NodeInfo, Request, Response};
 use delta_workload::{Event, Trace, WorkloadConfig};
 use std::process::exit;
 use std::time::Instant;
@@ -58,13 +58,15 @@ struct Args {
     pipeline: usize,
     bench_json: Option<String>,
     shutdown: bool,
+    reshard_at: Option<usize>,
+    reshard: Option<(u16, u16)>,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: delta-loadgen --addr ADDR [--trace FILE | --preset small|paper] \
          [--events N] [--limit N] [--clients C] [--batch N] [--pipeline W] \
-         [--bench-json PATH] [--shutdown]"
+         [--bench-json PATH] [--reshard-at N --reshard SHARD:NODE] [--shutdown]"
     );
     exit(2);
 }
@@ -81,6 +83,8 @@ fn parse_args() -> Args {
         pipeline: 1,
         bench_json: None,
         shutdown: false,
+        reshard_at: None,
+        reshard: None,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -98,6 +102,17 @@ fn parse_args() -> Args {
             "--batch" => args.batch = value(&argv, i).parse().unwrap_or_else(|_| usage()),
             "--pipeline" => args.pipeline = value(&argv, i).parse().unwrap_or_else(|_| usage()),
             "--bench-json" => args.bench_json = Some(value(&argv, i)),
+            "--reshard-at" => {
+                args.reshard_at = Some(value(&argv, i).parse().unwrap_or_else(|_| usage()))
+            }
+            "--reshard" => {
+                let v = value(&argv, i);
+                let (shard, node) = v.split_once(':').unwrap_or_else(|| usage());
+                args.reshard = Some((
+                    shard.parse().unwrap_or_else(|_| usage()),
+                    node.parse().unwrap_or_else(|_| usage()),
+                ));
+            }
             "--shutdown" => {
                 args.shutdown = true;
                 i += 1;
@@ -117,9 +132,24 @@ fn parse_args() -> Args {
     if args.clients == 0 {
         args.clients = 1;
     }
+    if args.reshard_at.is_some() != args.reshard.is_some() {
+        eprintln!("delta-loadgen: --reshard-at and --reshard must be given together");
+        exit(2);
+    }
+    if args.reshard.is_some() && (args.clients > 1 || args.bench_json.is_some()) {
+        eprintln!("delta-loadgen: --reshard needs a single client and no --bench-json");
+        exit(2);
+    }
     args.batch = args.batch.max(1);
     args.pipeline = args.pipeline.max(1);
     args
+}
+
+/// Handshakes with the target to learn what it is (standalone server,
+/// cluster node or router) — recorded in the bench metadata so BENCH_*
+/// trajectories stay comparable across configurations.
+fn fetch_info(addr: &str) -> Option<NodeInfo> {
+    DeltaClient::connect(addr).and_then(|mut c| c.hello(0)).ok()
 }
 
 fn load_trace(args: &Args) -> Trace {
@@ -353,6 +383,10 @@ fn run_bench(args: &Args, trace: &Trace, path: &str) {
         });
     print!("{}", stats.render_table());
     let metrics = stats.total_metrics();
+    // Run metadata: which partitioner/policy/shard/node shape produced
+    // these numbers, so the BENCH_* trajectory stays comparable across
+    // configurations.
+    let info = fetch_info(&args.addr);
     let doc = Value::Object(vec![
         ("trace_events".into(), trace.len().to_json()),
         ("shards".into(), stats.shards.len().to_json()),
@@ -364,6 +398,21 @@ fn run_bench(args: &Args, trace: &Trace, path: &str) {
                 .map(|s| s.policy.clone())
                 .unwrap_or_default()
                 .to_json(),
+        ),
+        (
+            "partitioner".into(),
+            info.as_ref()
+                .map(|i| i.partitioner.clone())
+                .unwrap_or_default()
+                .to_json(),
+        ),
+        (
+            "nodes".into(),
+            info.as_ref().map(|i| i.nodes as u64).unwrap_or(1).to_json(),
+        ),
+        (
+            "epoch".into(),
+            info.as_ref().map(|i| i.epoch).unwrap_or(0).to_json(),
         ),
         ("modes".into(), Value::Array(mode_docs)),
         (
@@ -429,10 +478,43 @@ fn main() {
 
     let start = Instant::now();
     let (queries, updates, sub_queries) = if args.clients == 1 {
-        replay(&args.addr, &trace.events, args.batch, args.pipeline).unwrap_or_else(|e| {
-            eprintln!("delta-loadgen: replay failed: {e}");
-            exit(1);
-        })
+        let must = |r: std::io::Result<Totals>| -> Totals {
+            r.unwrap_or_else(|e| {
+                eprintln!("delta-loadgen: replay failed: {e}");
+                exit(1);
+            })
+        };
+        match (args.reshard_at, args.reshard) {
+            // Mid-trace live reshard: replay a prefix, ask the router to
+            // move the shard, replay the tail — the smoke-level twin of
+            // the cluster differential test.
+            (Some(at), Some((shard, node))) => {
+                let at = at.min(trace.len());
+                let head = must(replay(
+                    &args.addr,
+                    &trace.events[..at],
+                    args.batch,
+                    args.pipeline,
+                ));
+                let epoch = DeltaClient::connect(&args.addr)
+                    .and_then(|mut c| c.reshard(shard, node))
+                    .unwrap_or_else(|e| {
+                        eprintln!("delta-loadgen: reshard failed: {e}");
+                        exit(1);
+                    });
+                eprintln!(
+                    "resharded shard {shard} -> node {node} after event {at} (epoch {epoch})"
+                );
+                let tail = must(replay(
+                    &args.addr,
+                    &trace.events[at..],
+                    args.batch,
+                    args.pipeline,
+                ));
+                (head.0 + tail.0, head.1 + tail.1, head.2 + tail.2)
+            }
+            _ => must(replay(&args.addr, &trace.events, args.batch, args.pipeline)),
+        }
     } else {
         // Deal events round-robin across C lockstep connections.
         let lanes: Vec<Vec<Event>> = (0..args.clients)

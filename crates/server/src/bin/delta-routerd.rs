@@ -1,0 +1,154 @@
+//! `delta-routerd` — the cluster router fronting `delta-serverd` nodes.
+//!
+//! ```text
+//! delta-routerd [--bind 127.0.0.1:7118]
+//!               --node ADDR [--node ADDR ...]
+//!               [--trace trace.jsonl | --preset small|paper]
+//!               [--sql-preset small|paper | --no-sql]
+//! ```
+//!
+//! The router connects to every `--node` (in node-id order: the first
+//! `--node` must be the daemon started with `--node-id 0`, and so on),
+//! validates that they agree on the partitioner, shard count, catalog
+//! and routing epoch, then serves the full client protocol on `--bind`:
+//! queries are split across nodes exactly like a standalone server
+//! splits them across shards, per-item `Batch` semantics and `Tagged`
+//! pipelining included.
+//!
+//! A client `Reshard` frame moves one shard between nodes live (drain →
+//! snapshot → re-host → epoch bump); a client `Shutdown` frame shuts the
+//! nodes down too and then stops the router.
+//!
+//! The catalog source must match what the nodes serve — same preset or
+//! the same trace file — because the router apportions query result
+//! bytes by object sizes itself.
+
+use delta_server::{DeltaClient, Router, RouterConfig};
+use delta_storage::ObjectCatalog;
+use delta_workload::WorkloadConfig;
+use std::process::exit;
+
+struct Args {
+    bind: String,
+    nodes: Vec<String>,
+    trace: Option<String>,
+    preset: String,
+    sql_preset: Option<String>,
+    no_sql: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: delta-routerd [--bind ADDR] --node ADDR [--node ADDR ...] \
+         [--trace FILE | --preset small|paper] \
+         [--sql-preset small|paper | --no-sql]"
+    );
+    exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        bind: "127.0.0.1:7118".to_string(),
+        nodes: Vec::new(),
+        trace: None,
+        preset: "small".to_string(),
+        sql_preset: None,
+        no_sql: false,
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    let value = |argv: &[String], i: usize| -> String {
+        argv.get(i + 1).cloned().unwrap_or_else(|| usage())
+    };
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--bind" => args.bind = value(&argv, i),
+            "--node" => args.nodes.push(value(&argv, i)),
+            "--trace" => args.trace = Some(value(&argv, i)),
+            "--preset" => args.preset = value(&argv, i),
+            "--sql-preset" => args.sql_preset = Some(value(&argv, i)),
+            "--no-sql" => {
+                args.no_sql = true;
+                i += 1;
+                continue;
+            }
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("delta-routerd: unknown flag {other:?}");
+                usage();
+            }
+        }
+        i += 2;
+    }
+    if args.nodes.is_empty() {
+        usage();
+    }
+    args
+}
+
+fn load_catalog(args: &Args) -> ObjectCatalog {
+    if let Some(path) = &args.trace {
+        let (catalog, _trace) = delta_workload::read_jsonl(std::path::Path::new(path))
+            .unwrap_or_else(|e| {
+                eprintln!("delta-routerd: cannot read trace {path:?}: {e}");
+                exit(1);
+            });
+        catalog
+    } else {
+        let cfg = WorkloadConfig::from_preset(&args.preset).unwrap_or_else(|e| {
+            eprintln!("delta-routerd: {e}");
+            exit(2);
+        });
+        delta_workload::SyntheticSurvey::generate(&cfg).catalog
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    let catalog = load_catalog(&args);
+
+    let frontend_preset = if args.no_sql {
+        None
+    } else if args.sql_preset.is_some() {
+        args.sql_preset.clone()
+    } else if args.trace.is_none() {
+        Some(args.preset.clone())
+    } else {
+        None
+    };
+    let frontend = frontend_preset.map(|name| {
+        let cfg = WorkloadConfig::from_preset(&name).unwrap_or_else(|e| {
+            eprintln!("delta-routerd: {e}");
+            exit(2);
+        });
+        eprintln!("SQL frontend enabled (preset {name})");
+        cfg
+    });
+
+    let config = RouterConfig {
+        bind: args.bind.clone(),
+        nodes: args.nodes.clone(),
+        frontend,
+    };
+    let router = Router::start(config, catalog).unwrap_or_else(|e| {
+        eprintln!("delta-routerd: cannot start: {e}");
+        exit(1);
+    });
+    println!("delta-routerd listening on {}", router.local_addr());
+    for (i, node) in args.nodes.iter().enumerate() {
+        println!("  node {i}: {node}");
+    }
+
+    // Print the cluster's shape as the nodes report it.
+    match DeltaClient::connect(router.local_addr()).and_then(|mut c| c.hello(0)) {
+        Ok(info) => println!(
+            "  shards={} partitioner={} epoch={}",
+            info.cluster_shards, info.partitioner, info.epoch
+        ),
+        Err(e) => eprintln!("delta-routerd: self-handshake failed: {e}"),
+    }
+
+    // Serve until a client sends a Shutdown frame.
+    router.join();
+    println!("delta-routerd stopped");
+}

@@ -6,20 +6,30 @@
 //!
 //! ```text
 //! delta-serverd [--bind 127.0.0.1:7117] [--shards 4]
+//!               [--partitioner rr|ring]
 //!               [--cache-fraction 0.3 | --cache-bytes N]
-//!               [--policy vcover|benefit|nocache|replica]
+//!               [--policy vcover|benefit|nocache|replica|gds|gdsf|lru]
 //!               [--seed N]
 //!               [--trace trace.jsonl | --preset small|paper]
 //!               [--sql-preset small|paper | --no-sql]
 //!               [--snapshot-dir DIR]
+//!               [--node-id I --nodes N [--host-shards a,b,c]]
 //! ```
 //!
-//! With `--snapshot-dir`, every shard persists its engine snapshot
-//! (update logs, cache residency, cost ledger) to `DIR/shard-N.jsonl` on
-//! graceful shutdown, and a later start with the same flag resumes warm:
-//! caches stay populated and the statistics continue where they left
-//! off. Snapshots are validated against the configured shard count and
-//! policy; a mismatch refuses startup.
+//! With `--snapshot-dir`, every hosted shard persists its engine
+//! snapshot (update logs, cache residency, cost ledger) to
+//! `DIR/shard-N.jsonl` on graceful shutdown, and a later start with the
+//! same flag resumes warm: caches stay populated and the statistics
+//! continue where they left off. Snapshots are validated against the
+//! configured shard count and policy; a mismatch refuses startup.
+//!
+//! With `--node-id I --nodes N` the daemon becomes one node of a routed
+//! cluster: `--shards` names the *cluster-wide* shard count, the node
+//! hosts the shards in `--host-shards` (default: every shard `s` with
+//! `s % N == I`), and a `delta-routerd` fronts the nodes, fanning
+//! queries across them and coordinating live resharding. Every node of a
+//! cluster must be started with the same shards/partitioner/cache/
+//! policy/seed and the same catalog source.
 //!
 //! When the catalog comes from a preset, the daemon also builds the SQL
 //! frontend from the same preset (schema, sky model, spatial partition),
@@ -32,7 +42,7 @@
 //! `Shutdown` frame (or SIGINT terminates the process), then prints the
 //! final per-shard statistics table.
 
-use delta_server::{PolicyKind, Server, ServerConfig};
+use delta_server::{ClusterConfig, PartitionerKind, PolicyKind, Server, ServerConfig};
 use delta_storage::ObjectCatalog;
 use delta_workload::WorkloadConfig;
 use std::process::exit;
@@ -44,15 +54,19 @@ struct Args {
     preset: String,
     sql_preset: Option<String>,
     no_sql: bool,
+    node_id: Option<u16>,
+    nodes: Option<u16>,
+    host_shards: Option<Vec<u16>>,
 }
 
 fn usage() -> ! {
     eprintln!(
-        "usage: delta-serverd [--bind ADDR] [--shards N] \
+        "usage: delta-serverd [--bind ADDR] [--shards N] [--partitioner rr|ring] \
          [--cache-fraction F | --cache-bytes N] \
-         [--policy vcover|benefit|nocache|replica] [--seed N] \
+         [--policy vcover|benefit|nocache|replica|gds|gdsf|lru] [--seed N] \
          [--trace FILE | --preset small|paper] \
-         [--sql-preset small|paper | --no-sql] [--snapshot-dir DIR]"
+         [--sql-preset small|paper | --no-sql] [--snapshot-dir DIR] \
+         [--node-id I --nodes N [--host-shards a,b,c]]"
     );
     exit(2);
 }
@@ -65,6 +79,9 @@ fn parse_args() -> Args {
         preset: "small".to_string(),
         sql_preset: None,
         no_sql: false,
+        node_id: None,
+        nodes: None,
+        host_shards: None,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -76,6 +93,13 @@ fn parse_args() -> Args {
             "--bind" => args.config.bind = value(&argv, i),
             "--shards" => {
                 args.config.n_shards = value(&argv, i).parse().unwrap_or_else(|_| usage())
+            }
+            "--partitioner" => {
+                args.config.partitioner =
+                    PartitionerKind::parse(&value(&argv, i)).unwrap_or_else(|e| {
+                        eprintln!("delta-serverd: {e}");
+                        exit(2);
+                    })
             }
             "--cache-bytes" => {
                 args.config.cache_bytes = value(&argv, i).parse().unwrap_or_else(|_| usage());
@@ -96,6 +120,16 @@ fn parse_args() -> Args {
             "--sql-preset" => args.sql_preset = Some(value(&argv, i)),
             "--snapshot-dir" => {
                 args.config.snapshot_dir = Some(std::path::PathBuf::from(value(&argv, i)))
+            }
+            "--node-id" => args.node_id = Some(value(&argv, i).parse().unwrap_or_else(|_| usage())),
+            "--nodes" => args.nodes = Some(value(&argv, i).parse().unwrap_or_else(|_| usage())),
+            "--host-shards" => {
+                args.host_shards = Some(
+                    value(&argv, i)
+                        .split(',')
+                        .map(|s| s.trim().parse().unwrap_or_else(|_| usage()))
+                        .collect(),
+                )
             }
             "--no-sql" => {
                 args.no_sql = true;
@@ -149,6 +183,34 @@ fn main() {
         args.config.cache_bytes = (catalog.total_bytes() as f64 * args.cache_fraction) as u64;
     }
 
+    // Cluster role: --node-id and --nodes come (and go) together.
+    match (args.node_id, args.nodes) {
+        (None, None) => {
+            if args.host_shards.is_some() {
+                eprintln!("delta-serverd: --host-shards requires --node-id/--nodes");
+                exit(2);
+            }
+        }
+        (Some(node), Some(nodes)) => {
+            if nodes == 0 {
+                eprintln!("delta-serverd: --nodes must be at least 1");
+                exit(2);
+            }
+            let hosted = args.host_shards.clone().unwrap_or_else(|| {
+                ClusterConfig::default_hosted(node, nodes, args.config.n_shards)
+            });
+            args.config.cluster = Some(ClusterConfig {
+                node,
+                nodes,
+                hosted,
+            });
+        }
+        _ => {
+            eprintln!("delta-serverd: --node-id and --nodes must be given together");
+            exit(2);
+        }
+    }
+
     // SQL frontend: from --sql-preset when given, otherwise from the
     // preset the catalog itself came from (trace-served catalogs have no
     // implied preset, so SQL stays off unless --sql-preset says which).
@@ -178,9 +240,19 @@ fn main() {
     });
     println!("delta-serverd listening on {}", server.local_addr());
     println!(
-        "  shards={} policy={} cache={} B seed={}",
-        args.config.n_shards, args.config.policy, args.config.cache_bytes, args.config.seed
+        "  shards={} partitioner={} policy={} cache={} B seed={}",
+        args.config.n_shards,
+        args.config.partitioner,
+        args.config.policy,
+        args.config.cache_bytes,
+        args.config.seed
     );
+    if let Some(cluster) = &args.config.cluster {
+        println!(
+            "  cluster node {}/{} hosting shards {:?}",
+            cluster.node, cluster.nodes, cluster.hosted
+        );
+    }
     if let Some(dir) = &args.config.snapshot_dir {
         println!(
             "  warm restart enabled: snapshots in {} (written on shutdown)",

@@ -4,8 +4,8 @@
 //! correlation id).
 
 use crate::protocol::{
-    append_frame_with, read_frame_into, BatchItem, BatchReply, Request, Response, SqlStage,
-    StatsSnapshot,
+    append_frame_with, read_frame_into, BatchItem, BatchReply, NodeInfo, Request, Response,
+    SqlStage, StatsSnapshot, PROTOCOL_VERSION,
 };
 use delta_workload::{QueryEvent, QueryKind, UpdateEvent};
 use std::collections::HashSet;
@@ -127,6 +127,39 @@ impl DeltaClient {
             return Err(io::Error::other(format!("server error {code}: {message}")));
         }
         Ok(response)
+    }
+
+    /// Sends one raw request and returns the raw response, with no
+    /// error-to-`io::Error` mapping — the escape hatch for cluster admin
+    /// verbs and for tests that assert on typed frames (`WrongEpoch`,
+    /// `Error { code, .. }`) directly.
+    pub fn request(&mut self, request: &Request) -> io::Result<Response> {
+        self.send(request)?;
+        self.receive()
+    }
+
+    /// Performs the v4 node handshake: declares `epoch` as this
+    /// connection's routing epoch and returns the peer's
+    /// self-description. In cluster mode, event requests on this
+    /// connection are fenced against the declared epoch — re-`hello`
+    /// after a [`Response::WrongEpoch`] redirect.
+    pub fn hello(&mut self, epoch: u64) -> io::Result<NodeInfo> {
+        match self.round_trip(&Request::Hello {
+            version: PROTOCOL_VERSION,
+            epoch,
+        })? {
+            Response::HelloOk(info) => Ok(info),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Asks a router to move `shard` to `to_node` (live resharding).
+    /// Returns the routing epoch after the move.
+    pub fn reshard(&mut self, shard: u16, to_node: u16) -> io::Result<u64> {
+        match self.round_trip(&Request::Reshard { shard, to_node })? {
+            Response::ReshardOk { epoch } => Ok(epoch),
+            other => Err(unexpected(&other)),
+        }
     }
 
     /// Serves one query event (objects are global catalog ids).

@@ -1,8 +1,14 @@
-//! Server configuration: shard count, cache budget, policy choice and
-//! the optional SQL frontend.
+//! Server configuration: shard count, cache budget, policy choice,
+//! partitioner choice, the optional SQL frontend, and the optional
+//! cluster role.
 
-use delta_core::{Benefit, BenefitConfig, CachingPolicy, NoCache, Replica, SimContext, VCover};
+use delta_core::{
+    Benefit, BenefitConfig, CachingPolicy, NoCache, ObjCache, Replica, SimContext, VCover,
+};
+use delta_policy::{Gdsf, GreedyDualSize, Lru};
 use delta_workload::{QueryEvent, UpdateEvent, WorkloadConfig};
+
+pub use crate::partition::PartitionerKind;
 
 /// Which decoupling policy each shard runs.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -15,6 +21,14 @@ pub enum PolicyKind {
     NoCache,
     /// Mirror the repository — the other yardstick.
     Replica,
+    /// Classic object caching under Greedy-Dual-Size (the paper's
+    /// `A_obj` run *without* the decoupling framework around it — the
+    /// web-proxy baseline).
+    Gds,
+    /// Classic object caching under GDS-Frequency.
+    Gdsf,
+    /// Classic object caching under size-aware LRU.
+    Lru,
     /// A policy that deliberately violates the satisfaction contract on
     /// every query. Exists so hostile tests can prove the server maps
     /// `EngineError::ContractViolated` to a typed error frame instead of
@@ -43,6 +57,9 @@ impl PolicyKind {
             PolicyKind::Benefit => Box::new(Benefit::new(cache_bytes, BenefitConfig::default())),
             PolicyKind::NoCache => Box::new(NoCache),
             PolicyKind::Replica => Box::new(Replica),
+            PolicyKind::Gds => Box::new(ObjCache::new("Gds", GreedyDualSize::new(cache_bytes))),
+            PolicyKind::Gdsf => Box::new(ObjCache::new("Gdsf", Gdsf::new(cache_bytes))),
+            PolicyKind::Lru => Box::new(ObjCache::new("Lru", Lru::new(cache_bytes))),
             PolicyKind::Broken => Box::new(BrokenPolicy),
         }
     }
@@ -55,6 +72,9 @@ impl PolicyKind {
             PolicyKind::Benefit => "Benefit",
             PolicyKind::NoCache => "NoCache",
             PolicyKind::Replica => "Replica",
+            PolicyKind::Gds => "Gds",
+            PolicyKind::Gdsf => "Gdsf",
+            PolicyKind::Lru => "Lru",
             PolicyKind::Broken => "Broken",
         }
     }
@@ -68,9 +88,13 @@ impl PolicyKind {
             "benefit" => Ok(PolicyKind::Benefit),
             "nocache" => Ok(PolicyKind::NoCache),
             "replica" => Ok(PolicyKind::Replica),
+            "gds" => Ok(PolicyKind::Gds),
+            "gdsf" => Ok(PolicyKind::Gdsf),
+            "lru" => Ok(PolicyKind::Lru),
             "broken" => Ok(PolicyKind::Broken),
             other => Err(format!(
-                "unknown policy {other:?}; expected vcover, benefit, nocache or replica"
+                "unknown policy {other:?}; expected vcover, benefit, nocache, replica, \
+                 gds, gdsf or lru"
             )),
         }
     }
@@ -83,8 +107,38 @@ impl std::fmt::Display for PolicyKind {
             PolicyKind::Benefit => write!(f, "benefit"),
             PolicyKind::NoCache => write!(f, "nocache"),
             PolicyKind::Replica => write!(f, "replica"),
+            PolicyKind::Gds => write!(f, "gds"),
+            PolicyKind::Gdsf => write!(f, "gdsf"),
+            PolicyKind::Lru => write!(f, "lru"),
             PolicyKind::Broken => write!(f, "broken"),
         }
+    }
+}
+
+/// Cluster-node identity: which node this server is and which of the
+/// global shards it hosts at startup. Present only on servers fronted by
+/// a `delta-routerd`; standalone servers host every shard and never see
+/// a routing epoch.
+#[derive(Clone, Debug)]
+pub struct ClusterConfig {
+    /// This node's index (0-based).
+    pub node: u16,
+    /// Total nodes in the cluster.
+    pub nodes: u16,
+    /// Global shard ids this node hosts at startup. Resharding moves
+    /// shards between nodes at runtime.
+    pub hosted: Vec<u16>,
+}
+
+impl ClusterConfig {
+    /// The default shard placement: node `i` of `n` hosts every shard
+    /// `s` with `s % n == i`.
+    ///
+    /// # Panics
+    /// Panics on `nodes == 0` — callers validate the node count first.
+    pub fn default_hosted(node: u16, nodes: u16, n_shards: usize) -> Vec<u16> {
+        assert!(nodes > 0, "cluster must have at least one node");
+        (0..n_shards as u16).filter(|s| s % nodes == node).collect()
     }
 }
 
@@ -93,14 +147,22 @@ impl std::fmt::Display for PolicyKind {
 pub struct ServerConfig {
     /// Listen address, e.g. `127.0.0.1:7117` (port 0 picks one).
     pub bind: String,
-    /// Number of shards (each owns a policy, repository slice and cache).
+    /// Number of shards in the partitioning. In cluster mode this is the
+    /// *cluster-wide* shard count; the node hosts the subset named in
+    /// [`ClusterConfig::hosted`].
     pub n_shards: usize,
+    /// How objects map to shards.
+    pub partitioner: PartitionerKind,
     /// Total middleware cache budget in bytes, split across shards
-    /// proportionally to their share of the catalog.
+    /// proportionally to their share of the catalog. In cluster mode
+    /// this is the cluster-wide budget (every node must be given the
+    /// same value, or per-shard budgets would disagree across moves).
     pub cache_bytes: u64,
     /// Policy each shard runs.
     pub policy: PolicyKind,
-    /// Master seed; shard `s` seeds its policy with `seed + s`.
+    /// Master seed; shard `s` seeds its policy with `seed + s`. In
+    /// cluster mode every node must share it, so a shard rebuilt on a
+    /// new owner after a reshard gets the identical policy.
     pub seed: u64,
     /// Workload configuration the SQL frontend is built from: its seed,
     /// blob count and target object count reconstruct the schema / sky
@@ -108,12 +170,16 @@ pub struct ServerConfig {
     /// `Request::Sql` compiles against the same object mapping. `None`
     /// disables SQL frames (they get `error_code::SQL_UNAVAILABLE`).
     pub frontend: Option<WorkloadConfig>,
-    /// Warm-restart directory. When set, each shard writes an engine
-    /// snapshot (`shard-N.jsonl`) on graceful shutdown, and on startup
-    /// any snapshot found there is validated against the shard's
+    /// Warm-restart directory. When set, each hosted shard writes an
+    /// engine snapshot (`shard-N.jsonl`) on graceful shutdown, and on
+    /// startup any snapshot found there is validated against the shard's
     /// sub-catalog and policy, then restored — the server resumes with
-    /// its caches, ledgers and update logs exactly as it left them.
+    /// its caches, ledgers and update logs exactly as it left them. A
+    /// detached shard's file is removed, so a cold restart cannot
+    /// resurrect a shard that moved away.
     pub snapshot_dir: Option<std::path::PathBuf>,
+    /// Cluster role, when this server is one node of a routed cluster.
+    pub cluster: Option<ClusterConfig>,
 }
 
 impl Default for ServerConfig {
@@ -121,11 +187,13 @@ impl Default for ServerConfig {
         ServerConfig {
             bind: "127.0.0.1:7117".to_string(),
             n_shards: 4,
+            partitioner: PartitionerKind::RoundRobin,
             cache_bytes: 0,
             policy: PolicyKind::VCover,
             seed: 0xDE17A,
             frontend: None,
             snapshot_dir: None,
+            cluster: None,
         }
     }
 }
@@ -143,6 +211,27 @@ impl ServerConfig {
             f.validate()
                 .map_err(|e| format!("frontend workload config: {e}"))?;
         }
+        if let Some(c) = &self.cluster {
+            if c.nodes == 0 {
+                return Err("cluster must have at least one node".into());
+            }
+            if c.node >= c.nodes {
+                return Err(format!("node id {} out of range 0..{}", c.node, c.nodes));
+            }
+            let mut seen = vec![false; self.n_shards];
+            for &s in &c.hosted {
+                if (s as usize) >= self.n_shards {
+                    return Err(format!(
+                        "hosted shard {s} out of range 0..{}",
+                        self.n_shards
+                    ));
+                }
+                if seen[s as usize] {
+                    return Err(format!("shard {s} hosted twice"));
+                }
+                seen[s as usize] = true;
+            }
+        }
         Ok(())
     }
 }
@@ -158,6 +247,9 @@ mod tests {
             PolicyKind::Benefit,
             PolicyKind::NoCache,
             PolicyKind::Replica,
+            PolicyKind::Gds,
+            PolicyKind::Gdsf,
+            PolicyKind::Lru,
             PolicyKind::Broken,
         ] {
             assert_eq!(PolicyKind::parse(&kind.to_string()), Ok(kind));
@@ -167,7 +259,7 @@ mod tests {
                 "policy_name must match what the built policy reports"
             );
         }
-        assert!(PolicyKind::parse("lru").is_err());
+        assert!(PolicyKind::parse("fifo").is_err());
     }
 
     #[test]
@@ -176,11 +268,47 @@ mod tests {
         assert!(cfg.validate().is_ok());
         cfg.n_shards = 0;
         assert!(cfg.validate().is_err());
+        cfg.n_shards = 4;
+        cfg.cluster = Some(ClusterConfig {
+            node: 1,
+            nodes: 2,
+            hosted: vec![1, 3],
+        });
+        assert!(cfg.validate().is_ok());
+        cfg.cluster = Some(ClusterConfig {
+            node: 2,
+            nodes: 2,
+            hosted: vec![],
+        });
+        assert!(cfg.validate().is_err(), "node id out of range");
+        cfg.cluster = Some(ClusterConfig {
+            node: 0,
+            nodes: 2,
+            hosted: vec![0, 0],
+        });
+        assert!(cfg.validate().is_err(), "duplicate hosted shard");
+        cfg.cluster = Some(ClusterConfig {
+            node: 0,
+            nodes: 2,
+            hosted: vec![9],
+        });
+        assert!(cfg.validate().is_err(), "hosted shard out of range");
+    }
+
+    #[test]
+    fn default_hosted_covers_every_shard_once() {
+        let a = ClusterConfig::default_hosted(0, 2, 5);
+        let b = ClusterConfig::default_hosted(1, 2, 5);
+        assert_eq!(a, vec![0, 2, 4]);
+        assert_eq!(b, vec![1, 3]);
     }
 
     #[test]
     fn built_policies_report_names() {
         assert_eq!(PolicyKind::VCover.build(1_000, 1).name(), "VCover");
         assert_eq!(PolicyKind::NoCache.build(1_000, 1).name(), "NoCache");
+        assert_eq!(PolicyKind::Gds.build(1_000, 1).name(), "Gds");
+        assert_eq!(PolicyKind::Gdsf.build(1_000, 1).name(), "Gdsf");
+        assert_eq!(PolicyKind::Lru.build(1_000, 1).name(), "Lru");
     }
 }

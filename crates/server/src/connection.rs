@@ -1,0 +1,207 @@
+//! The shared per-connection frame loop both the server and the router
+//! run: a flat read buffer that drains every complete frame between
+//! syscalls, a coalesced write buffer flushed right before the loop
+//! would block, and shutdown-aware polling — the wire hot path distilled
+//! so the two tiers cannot drift apart.
+
+use std::io::{self, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
+
+/// How often blocked accept/read loops re-check the shutdown flag.
+pub(crate) const POLL: Duration = Duration::from_millis(25);
+
+/// How long a connection may stall (mid-frame read after shutdown, or a
+/// blocked write) before it is dropped.
+pub(crate) const STALL_LIMIT: Duration = Duration::from_secs(5);
+
+/// Initial per-connection read-buffer size; grows only when a single
+/// frame outgrows it.
+pub(crate) const READ_BUF: usize = 64 * 1024;
+
+/// Cap on coalesced response bytes before an early flush, bounding
+/// per-connection memory under huge pipelined windows.
+pub(crate) const WRITE_COALESCE_BYTES: usize = 256 * 1024;
+
+/// Length of the complete frame (header + payload) at the front of
+/// `buf`, or `None` when more bytes are needed. Rejects corrupt length
+/// words before any allocation.
+pub(crate) fn buffered_frame_len(buf: &[u8]) -> io::Result<Option<usize>> {
+    if buf.len() < 4 {
+        return Ok(None);
+    }
+    let len = u32::from_be_bytes(buf[..4].try_into().unwrap());
+    if len > crate::protocol::MAX_FRAME_BYTES {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "frame exceeds MAX_FRAME_BYTES",
+        ));
+    }
+    let total = 4 + len as usize;
+    Ok(if buf.len() >= total {
+        Some(total)
+    } else {
+        None
+    })
+}
+
+/// Pulls more bytes into `rbuf[*end..]` after compacting the unconsumed
+/// region `[*start, *end)` to the front (growing the buffer when the
+/// pending frame needs it), polling the shutdown flag while idle.
+///
+/// Returns `Ok(false)` on a clean stop — EOF or shutdown, both only at a
+/// frame boundary (no partial frame buffered). Mid-frame, shutdown
+/// grants [`STALL_LIMIT`] for the frame to finish before the connection
+/// errors out; EOF mid-frame is an error immediately.
+pub(crate) fn fill_polling(
+    reader: &mut TcpStream,
+    rbuf: &mut Vec<u8>,
+    start: &mut usize,
+    end: &mut usize,
+    shutdown: &AtomicBool,
+) -> io::Result<bool> {
+    use std::io::Read;
+    if *start > 0 {
+        rbuf.copy_within(*start..*end, 0);
+        *end -= *start;
+        *start = 0;
+    }
+    // A frame larger than the buffer could never complete: grow to fit
+    // (`buffered_frame_len` already validated the length word). And a
+    // buffer grown for a *past* oversized frame must not stay pinned for
+    // the connection's lifetime (100 idle connections that each saw one
+    // 64 MiB frame would otherwise hold gigabytes): once nothing pending
+    // needs the extra room, give the memory back.
+    let needed = if *end >= 4 {
+        4 + u32::from_be_bytes(rbuf[..4].try_into().unwrap()) as usize
+    } else {
+        *end
+    };
+    if needed > rbuf.len() {
+        rbuf.resize(needed, 0);
+    } else if rbuf.len() > READ_BUF && *end <= READ_BUF && needed <= READ_BUF {
+        rbuf.truncate(READ_BUF);
+        rbuf.shrink_to_fit();
+    }
+    let at_boundary = *end == 0;
+    let mut stall_started: Option<std::time::Instant> = None;
+    loop {
+        match reader.read(&mut rbuf[*end..]) {
+            Ok(0) => {
+                if at_boundary {
+                    return Ok(false);
+                }
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "connection closed mid-frame",
+                ));
+            }
+            Ok(n) => {
+                *end += n;
+                return Ok(true);
+            }
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                if shutdown.load(Ordering::SeqCst) {
+                    if at_boundary {
+                        return Ok(false);
+                    }
+                    let started = stall_started.get_or_insert_with(std::time::Instant::now);
+                    if started.elapsed() > STALL_LIMIT {
+                        return Err(io::Error::new(
+                            io::ErrorKind::TimedOut,
+                            "frame stalled past shutdown grace period",
+                        ));
+                    }
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// The per-connection serve loop, built around two reusable buffers:
+///
+/// * **Read side** — one flat buffer; a `read` syscall pulls as many
+///   pipelined frames as the socket holds, and the loop serves every
+///   complete frame before touching the socket again. No per-frame
+///   allocation, and typically one syscall per *window* rather than two
+///   per frame.
+/// * **Write side** — the handler appends length-prefixed response
+///   frames to a coalesced buffer that hits the socket with a single
+///   `write_all` right before the loop would block for input — one flush
+///   per window under pipelining, per frame under lockstep (where it
+///   cannot be avoided: the client is waiting).
+///
+/// `handle` is called once per complete frame payload; it appends its
+/// response frame(s) to the write buffer and returns `true` when the
+/// connection must close after flushing (a served `Shutdown`). On a
+/// handler error the responses already earned by executed requests are
+/// flushed before the error propagates — engine state mutated; the acks
+/// must not vanish with the buffer.
+pub(crate) fn serve_frames<H>(
+    stream: TcpStream,
+    shutdown: &AtomicBool,
+    mut handle: H,
+) -> io::Result<()>
+where
+    H: FnMut(&[u8], &mut Vec<u8>) -> io::Result<bool>,
+{
+    // BSD-derived platforms propagate the listener's O_NONBLOCK to
+    // accepted sockets; clear it so the read timeout below governs.
+    stream.set_nonblocking(false)?;
+    stream.set_nodelay(true)?;
+    stream.set_read_timeout(Some(POLL))?;
+    // A client that stops draining responses must not be able to wedge
+    // graceful shutdown behind an unbounded blocking write.
+    stream.set_write_timeout(Some(STALL_LIMIT))?;
+    let mut reader = stream.try_clone()?;
+    let mut writer = stream;
+
+    let mut rbuf = vec![0u8; READ_BUF];
+    let (mut start, mut end) = (0usize, 0usize);
+    let mut wbuf: Vec<u8> = Vec::with_capacity(16 * 1024);
+
+    loop {
+        // Serve every complete frame already buffered.
+        loop {
+            let total = match buffered_frame_len(&rbuf[start..end]) {
+                Ok(Some(total)) => total,
+                Ok(None) => break,
+                Err(e) => {
+                    let _ = writer.write_all(&wbuf);
+                    return Err(e);
+                }
+            };
+            let payload = &rbuf[start + 4..start + total];
+            let closing = match handle(payload, &mut wbuf) {
+                Ok(closing) => closing,
+                Err(e) => {
+                    let _ = writer.write_all(&wbuf);
+                    return Err(e);
+                }
+            };
+            start += total;
+            if closing {
+                writer.write_all(&wbuf)?;
+                return Ok(());
+            }
+            if wbuf.len() >= WRITE_COALESCE_BYTES {
+                writer.write_all(&wbuf)?;
+                wbuf.clear();
+            }
+        }
+        // About to wait for input: ship the coalesced responses first so
+        // the client can make progress (and so lockstep never stalls).
+        if !wbuf.is_empty() {
+            writer.write_all(&wbuf)?;
+            wbuf.clear();
+        }
+        if !fill_polling(&mut reader, &mut rbuf, &mut start, &mut end, shutdown)? {
+            return Ok(());
+        }
+    }
+}

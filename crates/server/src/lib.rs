@@ -9,9 +9,18 @@
 //!   `Sql` (raw SQL compiled server-side into the access set `B(q)`),
 //!   `Batch` (many events in one frame, coalesced per shard) and
 //!   `Tagged` (correlation-id envelope the pipelined client rides).
-//! * [`partition`] — round-robin catalog sharding, exact result-byte
-//!   apportioning and the offline [`partition::shard_trace`] twin that
-//!   makes server runs testable against [`delta_core::simulate`].
+//! * [`partition`] — pluggable catalog sharding behind the
+//!   [`partition::Partitioner`] trait (round-robin preserved
+//!   byte-for-byte, plus a weighted rendezvous [`partition::HashRing`]
+//!   with bounded remap), exact result-byte apportioning and the offline
+//!   [`partition::shard_trace`] twin that makes server *and cluster*
+//!   runs testable against [`delta_core::simulate`].
+//! * [`router`] — the cluster tier: `delta-routerd` fronts multiple
+//!   `delta-serverd` nodes, splits/merges queries across them exactly
+//!   like the in-process frontend does across shards, and coordinates
+//!   **live resharding** (drain → snapshot → re-host → epoch bump);
+//!   clients holding a stale shard→node map get a typed `WrongEpoch`
+//!   redirect, never a wrong answer.
 //! * [`shard`] — one lock-protected engine core per shard, each owning a
 //!   [`delta_core::CachingPolicy`] (VCover by default, pluggable), a
 //!   [`delta_storage::Repository`] slice and a cache, accounting into its
@@ -41,8 +50,7 @@
 //!     cache_bytes: 1_000,
 //!     policy: PolicyKind::VCover,
 //!     seed: 7,
-//!     frontend: None,
-//!     snapshot_dir: None,
+//!     ..ServerConfig::default()
 //! };
 //! let server = Server::start(config, catalog).unwrap();
 //! let mut client = DeltaClient::connect(server.local_addr()).unwrap();
@@ -71,16 +79,19 @@
 
 pub mod client;
 pub mod config;
+mod connection;
 pub mod partition;
 pub mod protocol;
+pub mod router;
 pub mod server;
 pub mod shard;
 
 pub use client::{DeltaClient, PipelinedClient, QueryReply, SqlRejection, SqlReply, UpdateReply};
-pub use config::{PolicyKind, ServerConfig};
-pub use partition::{apportion, shard_trace, ShardMap};
+pub use config::{ClusterConfig, PolicyKind, ServerConfig};
+pub use partition::{apportion, shard_trace, HashRing, Partitioner, PartitionerKind, RoundRobin};
 pub use protocol::{
-    error_code, read_frame, write_frame, BatchItem, BatchReply, Request, Response, ShardStats,
-    SqlStage, StatsSnapshot,
+    error_code, read_frame, write_frame, BatchItem, BatchReply, NodeInfo, NodeOp, NodeRole,
+    Request, Response, ShardStats, SqlStage, StatsSnapshot,
 };
+pub use router::{Router, RouterConfig};
 pub use server::Server;

@@ -37,7 +37,13 @@ use std::io::{self, Read, Write};
 /// version-1 frames are unchanged on the wire). Version 3 reshaped the
 /// `StatsOk` per-shard payload around the engine's uniform
 /// [`EngineMetrics`] (adds query/update/tolerance-served counters).
-pub const PROTOCOL_VERSION: u8 = 3;
+/// Version 4 adds the cluster vocabulary (pure additions again): the
+/// `Hello` node handshake carrying a **routing epoch**, pre-split
+/// `NodeOps` frames the router sends to shard-hosting nodes, the
+/// `DetachShard`/`AttachShard`/`SetEpoch` resharding admin verbs, the
+/// router-level `Reshard` request, and the typed `WrongEpoch` redirect a
+/// stale-mapped client receives instead of a wrong answer.
+pub const PROTOCOL_VERSION: u8 = 4;
 
 /// Upper bound on a frame payload, to fail fast on corrupt length words.
 pub const MAX_FRAME_BYTES: u32 = 64 * 1024 * 1024;
@@ -48,6 +54,12 @@ const OP_STATS: u8 = 0x03;
 const OP_SHUTDOWN: u8 = 0x04;
 const OP_SQL: u8 = 0x05;
 const OP_BATCH: u8 = 0x06;
+const OP_HELLO: u8 = 0x07;
+const OP_NODE_OPS: u8 = 0x08;
+const OP_DETACH_SHARD: u8 = 0x09;
+const OP_ATTACH_SHARD: u8 = 0x0A;
+const OP_SET_EPOCH: u8 = 0x0B;
+const OP_RESHARD: u8 = 0x0C;
 const OP_TAGGED: u8 = 0x10;
 const OP_QUERY_OK: u8 = 0x81;
 const OP_UPDATE_OK: u8 = 0x82;
@@ -56,7 +68,13 @@ const OP_SHUTDOWN_OK: u8 = 0x84;
 const OP_SQL_OK: u8 = 0x85;
 const OP_SQL_REJECTED: u8 = 0x86;
 const OP_BATCH_OK: u8 = 0x87;
+const OP_HELLO_OK: u8 = 0x88;
+const OP_SHARD_STATE: u8 = 0x89;
+const OP_ATTACH_OK: u8 = 0x8A;
+const OP_EPOCH_OK: u8 = 0x8B;
+const OP_RESHARD_OK: u8 = 0x8C;
 const OP_TAGGED_OK: u8 = 0x90;
+const OP_WRONG_EPOCH: u8 = 0x91;
 const OP_ERROR: u8 = 0xFF;
 
 /// The smallest encodable [`BatchItem`] (an update: tag + seq + object +
@@ -91,10 +109,100 @@ pub enum Request {
         /// The wrapped request (never itself `Tagged`).
         inner: Box<Request>,
     },
+    /// The v4 node handshake: declares the client's routing epoch (and
+    /// protocol version) and asks the peer to describe itself. In
+    /// cluster mode the declared epoch is what event requests on this
+    /// connection are fenced against — a later [`Response::WrongEpoch`]
+    /// means the declared epoch went stale.
+    Hello {
+        /// The sender's protocol version ([`PROTOCOL_VERSION`]).
+        version: u8,
+        /// The routing epoch the sender's shard→node map was built at.
+        epoch: u64,
+    },
+    /// Pre-split shard-targeted events — what the router sends a
+    /// shard-hosting node after running the cluster partitioner itself.
+    /// Replies come back as a [`Response::BatchOk`] with one
+    /// [`BatchReply`] per op, in op order (queries report
+    /// `shards_touched == 1`).
+    NodeOps(Vec<NodeOp>),
+    /// Resharding step 1: stop hosting `shard` and return its engine
+    /// state as a [`Response::ShardState`] blob.
+    DetachShard {
+        /// Global shard id to detach.
+        shard: u16,
+    },
+    /// Resharding step 2: start hosting `shard`, restoring the engine
+    /// from a [`Response::ShardState`] blob taken at the old owner.
+    AttachShard {
+        /// Global shard id to attach.
+        shard: u16,
+        /// The serialized engine snapshot (JSONL bytes).
+        state: Vec<u8>,
+    },
+    /// Resharding step 3: adopt `epoch` as the current routing epoch,
+    /// fencing every connection still declaring an older one.
+    SetEpoch {
+        /// The new routing epoch.
+        epoch: u64,
+    },
+    /// Router-level admin: move `shard` to `to_node`, migrating its
+    /// engine state and bumping the routing epoch. Nodes reject this —
+    /// only the router coordinates resharding.
+    Reshard {
+        /// Global shard id to move.
+        shard: u16,
+        /// Index of the destination node.
+        to_node: u16,
+    },
     /// Fetch the per-shard and aggregate statistics snapshot.
     Stats,
     /// Stop the server after replying.
     Shutdown,
+}
+
+/// One pre-split, shard-targeted event inside a [`Request::NodeOps`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct NodeOp {
+    /// Global shard id the event was routed to (object ids inside the
+    /// item are already shard-local).
+    pub shard: u16,
+    /// The shard-local event.
+    pub item: BatchItem,
+}
+
+/// What kind of peer answered a [`Request::Hello`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum NodeRole {
+    /// A single-process server hosting every shard (no epochs in play).
+    Standalone,
+    /// A cluster node hosting a subset of the global shards.
+    ClusterNode,
+    /// A router fronting cluster nodes.
+    Router,
+}
+
+/// The peer self-description in a [`Response::HelloOk`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct NodeInfo {
+    /// What kind of peer this is.
+    pub role: NodeRole,
+    /// This node's index in the cluster (0 for standalone/router).
+    pub node: u16,
+    /// Number of nodes in the cluster (1 for standalone).
+    pub nodes: u16,
+    /// The current routing epoch (0 until the first reshard).
+    pub epoch: u64,
+    /// Total shard count of the cluster partitioner.
+    pub cluster_shards: u16,
+    /// The partitioner kind, as accepted by `PartitionerKind::parse`.
+    pub partitioner: String,
+    /// Catalog fingerprint: object count.
+    pub catalog_objects: u64,
+    /// Catalog fingerprint: total base bytes.
+    pub catalog_bytes: u64,
+    /// Global shard ids this peer hosts (routers report all shards).
+    pub hosted: Vec<u16>,
 }
 
 /// One event inside a [`Request::Batch`].
@@ -308,6 +416,40 @@ pub enum Response {
         /// The wrapped response (never itself `Tagged`).
         inner: Box<Response>,
     },
+    /// The peer's self-description, answering [`Request::Hello`].
+    HelloOk(NodeInfo),
+    /// The detached shard's serialized engine state, answering
+    /// [`Request::DetachShard`].
+    ShardState {
+        /// The detached shard.
+        shard: u16,
+        /// The serialized engine snapshot (JSONL bytes).
+        state: Vec<u8>,
+    },
+    /// The shard was attached and is being served, answering
+    /// [`Request::AttachShard`].
+    AttachOk {
+        /// The attached shard.
+        shard: u16,
+    },
+    /// The routing epoch was adopted, answering [`Request::SetEpoch`].
+    EpochOk {
+        /// The epoch now in force.
+        epoch: u64,
+    },
+    /// The reshard completed, answering [`Request::Reshard`].
+    ReshardOk {
+        /// The routing epoch after the move.
+        epoch: u64,
+    },
+    /// The connection's declared routing epoch is stale: the event was
+    /// **not** executed. The client must re-handshake (refetching the
+    /// shard→node map) and retry — the typed redirect that guarantees a
+    /// stale map can never produce a wrong answer.
+    WrongEpoch {
+        /// The routing epoch currently in force at this node.
+        epoch: u64,
+    },
     /// The statistics snapshot.
     StatsOk(StatsSnapshot),
     /// The server is shutting down.
@@ -338,6 +480,16 @@ pub mod error_code {
     /// query (the engine's typed `ContractViolated`). The shard stays
     /// up; the query was not served.
     pub const CONTRACT_VIOLATED: u16 = 5;
+    /// The event touches a shard this node does not host (the sender's
+    /// shard→node map is wrong or the request was mis-addressed).
+    /// Nothing was executed.
+    pub const WRONG_NODE: u16 = 6;
+    /// A cluster-only request (`NodeOps`, `DetachShard`, `AttachShard`,
+    /// `SetEpoch`, `Reshard`) reached a peer not running in that role.
+    pub const NOT_CLUSTERED: u16 = 7;
+    /// A reshard could not be completed; the reply message says which
+    /// step failed and where the shard ended up.
+    pub const RESHARD_FAILED: u16 = 8;
 }
 
 // ---- primitive encoding helpers ----
@@ -381,6 +533,12 @@ impl<'a> Enc<'a> {
         self.u32(len);
         self.buf.extend_from_slice(bytes);
     }
+    /// A u32-length-prefixed byte blob (serialized engine snapshots).
+    fn blob(&mut self, b: &[u8]) {
+        let len = u32::try_from(b.len()).expect("protocol blob exceeds u32::MAX bytes");
+        self.u32(len);
+        self.buf.extend_from_slice(b);
+    }
 }
 
 struct Dec<'a> {
@@ -423,6 +581,10 @@ impl<'a> Dec<'a> {
         // so a hostile length cannot force an oversized Vec.
         let bytes = self.take(n)?;
         String::from_utf8(bytes.to_vec()).map_err(|_| bad("invalid UTF-8 in frame"))
+    }
+    fn blob(&mut self) -> io::Result<Vec<u8>> {
+        let n = self.u32()? as usize;
+        Ok(self.take(n)?.to_vec())
     }
     fn remaining(&self) -> usize {
         self.buf.len() - self.pos
@@ -622,6 +784,46 @@ impl Request {
                 e.u64(*corr);
                 inner.encode_into(e.buf);
             }
+            Request::Hello { version, epoch } => {
+                let mut e = Enc::new(buf, OP_HELLO);
+                e.u8(*version);
+                e.u64(*epoch);
+            }
+            Request::NodeOps(ops) => {
+                let mut e = Enc::new(buf, OP_NODE_OPS);
+                e.u32(u32::try_from(ops.len()).expect("node-ops exceeds u32::MAX items"));
+                for op in ops {
+                    e.u16(op.shard);
+                    match &op.item {
+                        BatchItem::Query(q) => {
+                            e.u8(0);
+                            enc_query_event(&mut e, q);
+                        }
+                        BatchItem::Update(u) => {
+                            e.u8(1);
+                            enc_update_event(&mut e, u);
+                        }
+                    }
+                }
+            }
+            Request::DetachShard { shard } => {
+                let mut e = Enc::new(buf, OP_DETACH_SHARD);
+                e.u16(*shard);
+            }
+            Request::AttachShard { shard, state } => {
+                let mut e = Enc::new(buf, OP_ATTACH_SHARD);
+                e.u16(*shard);
+                e.blob(state);
+            }
+            Request::SetEpoch { epoch } => {
+                let mut e = Enc::new(buf, OP_SET_EPOCH);
+                e.u64(*epoch);
+            }
+            Request::Reshard { shard, to_node } => {
+                let mut e = Enc::new(buf, OP_RESHARD);
+                e.u16(*shard);
+                e.u16(*to_node);
+            }
             Request::Stats => {
                 Enc::new(buf, OP_STATS);
             }
@@ -674,6 +876,38 @@ impl Request {
                 }
             }
             OP_TAGGED => return Err(bad("nested tagged request")),
+            OP_HELLO => Request::Hello {
+                version: d.u8()?,
+                epoch: d.u64()?,
+            },
+            OP_NODE_OPS => {
+                let n = d.u32()? as usize;
+                // Smallest op: shard tag + the smallest batch item.
+                if n > d.remaining() / (2 + MIN_BATCH_ITEM_BYTES) {
+                    return Err(bad("node-op count exceeds frame payload"));
+                }
+                let mut ops = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let shard = d.u16()?;
+                    let item = match d.u8()? {
+                        0 => BatchItem::Query(dec_query_event(d)?),
+                        1 => BatchItem::Update(dec_update_event(d)?),
+                        _ => return Err(bad("unknown node-op tag")),
+                    };
+                    ops.push(NodeOp { shard, item });
+                }
+                Request::NodeOps(ops)
+            }
+            OP_DETACH_SHARD => Request::DetachShard { shard: d.u16()? },
+            OP_ATTACH_SHARD => Request::AttachShard {
+                shard: d.u16()?,
+                state: d.blob()?,
+            },
+            OP_SET_EPOCH => Request::SetEpoch { epoch: d.u64()? },
+            OP_RESHARD => Request::Reshard {
+                shard: d.u16()?,
+                to_node: d.u16()?,
+            },
             OP_STATS => Request::Stats,
             OP_SHUTDOWN => Request::Shutdown,
             _ => return Err(bad("unknown request opcode")),
@@ -799,6 +1033,46 @@ impl Response {
                 e.u64(*corr);
                 inner.encode_into(e.buf);
             }
+            Response::HelloOk(info) => {
+                let mut e = Enc::new(buf, OP_HELLO_OK);
+                e.u8(match info.role {
+                    NodeRole::Standalone => 0,
+                    NodeRole::ClusterNode => 1,
+                    NodeRole::Router => 2,
+                });
+                e.u16(info.node);
+                e.u16(info.nodes);
+                e.u64(info.epoch);
+                e.u16(info.cluster_shards);
+                e.str(&info.partitioner);
+                e.u64(info.catalog_objects);
+                e.u64(info.catalog_bytes);
+                e.u16(u16::try_from(info.hosted.len()).expect("hosted shard list exceeds u16"));
+                for &s in &info.hosted {
+                    e.u16(s);
+                }
+            }
+            Response::ShardState { shard, state } => {
+                let mut e = Enc::new(buf, OP_SHARD_STATE);
+                e.u16(*shard);
+                e.blob(state);
+            }
+            Response::AttachOk { shard } => {
+                let mut e = Enc::new(buf, OP_ATTACH_OK);
+                e.u16(*shard);
+            }
+            Response::EpochOk { epoch } => {
+                let mut e = Enc::new(buf, OP_EPOCH_OK);
+                e.u64(*epoch);
+            }
+            Response::ReshardOk { epoch } => {
+                let mut e = Enc::new(buf, OP_RESHARD_OK);
+                e.u64(*epoch);
+            }
+            Response::WrongEpoch { epoch } => {
+                let mut e = Enc::new(buf, OP_WRONG_EPOCH);
+                e.u64(*epoch);
+            }
             Response::StatsOk(snapshot) => {
                 let mut e = Enc::new(buf, OP_STATS_OK);
                 e.u16(snapshot.shards.len() as u16);
@@ -896,6 +1170,48 @@ impl Response {
                 }
             }
             OP_TAGGED_OK => return Err(bad("nested tagged response")),
+            OP_HELLO_OK => {
+                let role = match d.u8()? {
+                    0 => NodeRole::Standalone,
+                    1 => NodeRole::ClusterNode,
+                    2 => NodeRole::Router,
+                    _ => return Err(bad("unknown node role")),
+                };
+                let node = d.u16()?;
+                let nodes = d.u16()?;
+                let epoch = d.u64()?;
+                let cluster_shards = d.u16()?;
+                let partitioner = d.str()?;
+                let catalog_objects = d.u64()?;
+                let catalog_bytes = d.u64()?;
+                let n = d.u16()? as usize;
+                if n > d.remaining() / 2 {
+                    return Err(bad("hosted shard count exceeds frame payload"));
+                }
+                let mut hosted = Vec::with_capacity(n);
+                for _ in 0..n {
+                    hosted.push(d.u16()?);
+                }
+                Response::HelloOk(NodeInfo {
+                    role,
+                    node,
+                    nodes,
+                    epoch,
+                    cluster_shards,
+                    partitioner,
+                    catalog_objects,
+                    catalog_bytes,
+                    hosted,
+                })
+            }
+            OP_SHARD_STATE => Response::ShardState {
+                shard: d.u16()?,
+                state: d.blob()?,
+            },
+            OP_ATTACH_OK => Response::AttachOk { shard: d.u16()? },
+            OP_EPOCH_OK => Response::EpochOk { epoch: d.u64()? },
+            OP_RESHARD_OK => Response::ReshardOk { epoch: d.u64()? },
+            OP_WRONG_EPOCH => Response::WrongEpoch { epoch: d.u64()? },
             OP_STATS_OK => {
                 let n = d.u16()? as usize;
                 let mut shards = Vec::with_capacity(n);
@@ -1111,6 +1427,101 @@ mod tests {
             code: 1,
             message: String::new(),
         }]));
+    }
+
+    #[test]
+    fn cluster_requests_round_trip() {
+        round_trip_request(Request::Hello {
+            version: PROTOCOL_VERSION,
+            epoch: 17,
+        });
+        round_trip_request(Request::NodeOps(vec![]));
+        round_trip_request(Request::NodeOps(vec![
+            NodeOp {
+                shard: 3,
+                item: BatchItem::Query(QueryEvent {
+                    seq: 1,
+                    objects: vec![ObjectId(0), ObjectId(4)],
+                    result_bytes: 99,
+                    tolerance: 2,
+                    kind: QueryKind::Cone,
+                }),
+            },
+            NodeOp {
+                shard: 0,
+                item: BatchItem::Update(UpdateEvent {
+                    seq: 2,
+                    object: ObjectId(1),
+                    bytes: 7,
+                }),
+            },
+        ]));
+        round_trip_request(Request::DetachShard { shard: 2 });
+        round_trip_request(Request::AttachShard {
+            shard: 2,
+            state: b"{\"format\":1}\n".to_vec(),
+        });
+        round_trip_request(Request::AttachShard {
+            shard: 0,
+            state: Vec::new(),
+        });
+        round_trip_request(Request::SetEpoch { epoch: u64::MAX });
+        round_trip_request(Request::Reshard {
+            shard: 5,
+            to_node: 1,
+        });
+    }
+
+    #[test]
+    fn cluster_responses_round_trip() {
+        round_trip_response(Response::HelloOk(NodeInfo {
+            role: NodeRole::ClusterNode,
+            node: 1,
+            nodes: 2,
+            epoch: 3,
+            cluster_shards: 4,
+            partitioner: "ring".into(),
+            catalog_objects: 1_000,
+            catalog_bytes: 123_456,
+            hosted: vec![1, 3],
+        }));
+        round_trip_response(Response::HelloOk(NodeInfo {
+            role: NodeRole::Standalone,
+            node: 0,
+            nodes: 1,
+            epoch: 0,
+            cluster_shards: 8,
+            partitioner: "rr".into(),
+            catalog_objects: 0,
+            catalog_bytes: 0,
+            hosted: vec![],
+        }));
+        round_trip_response(Response::ShardState {
+            shard: 7,
+            state: vec![1, 2, 3, 255],
+        });
+        round_trip_response(Response::AttachOk { shard: 7 });
+        round_trip_response(Response::EpochOk { epoch: 9 });
+        round_trip_response(Response::ReshardOk { epoch: 10 });
+        round_trip_response(Response::WrongEpoch { epoch: 11 });
+    }
+
+    #[test]
+    fn hostile_node_op_count_rejected_without_allocation() {
+        let mut payload = vec![OP_NODE_OPS];
+        payload.extend_from_slice(&u32::MAX.to_be_bytes());
+        payload.push(1);
+        let err = Request::decode(&payload).unwrap_err();
+        assert!(err.to_string().contains("node-op count"), "{err}");
+    }
+
+    #[test]
+    fn hostile_shard_state_length_rejected_without_allocation() {
+        let mut payload = vec![OP_ATTACH_SHARD];
+        payload.extend_from_slice(&3u16.to_be_bytes()); // shard
+        payload.extend_from_slice(&u32::MAX.to_be_bytes()); // blob length
+        payload.extend_from_slice(b"tiny");
+        assert!(Request::decode(&payload).is_err());
     }
 
     #[test]

@@ -1,0 +1,797 @@
+//! The router tier: one process fronting multiple `delta-serverd`
+//! cluster nodes.
+//!
+//! `delta-routerd` speaks the same client-facing protocol as a
+//! standalone server — `Query`, `Update`, `Sql`, `Batch`, `Tagged`
+//! pipelining, `Stats`, `Shutdown` — but instead of executing events it
+//! runs the cluster [`Partitioner`] itself, splits every event into
+//! per-shard sub-events exactly like the in-process frontend does, and
+//! groups them **per owning node** into pre-split [`Request::NodeOps`]
+//! frames. Per-shard sub-event order equals client order, so per-shard
+//! ledgers stay byte-identical to the offline
+//! [`crate::partition::shard_trace`] twin — the property the cluster
+//! differential test pins end-to-end.
+//!
+//! ## Routing epochs and live resharding
+//!
+//! The router owns the shard→node map, versioned by a **routing epoch**.
+//! An admin [`Request::Reshard`] moves one shard between nodes while the
+//! cluster stays up:
+//!
+//! 1. take the routing write lock (quiescing every client handler, whose
+//!    requests hold the read lock end-to-end),
+//! 2. `DetachShard` at the old owner — the node write-locks the shard
+//!    slot (waiting out in-flight ops), snapshots the engine and stops
+//!    hosting it,
+//! 3. `AttachShard` at the new owner — the node validates the snapshot
+//!    against its own sub-catalog/policy/budget and restores the engine,
+//! 4. `SetEpoch` everywhere, bump the local map, reply `ReshardOk`.
+//!
+//! Any connection still declaring the old epoch — another router
+//! replica, a direct-to-node client with a cached map — gets a typed
+//! [`Response::WrongEpoch`] on its next event request and *nothing
+//! executes*; the router's own node links transparently re-handshake and
+//! retry, which doubles as a liveness proof of the redirect path.
+
+use crate::client::DeltaClient;
+use crate::connection::{serve_frames, POLL};
+use crate::partition::{Partitioner, PartitionerKind};
+use crate::protocol::{
+    append_frame_with, error_code, BatchItem, BatchReply, NodeInfo, NodeOp, NodeRole, Request,
+    Response, ShardStats, SqlStage, StatsSnapshot,
+};
+use delta_query::{QueryCompiler, QueryError, Schema};
+use delta_storage::ObjectCatalog;
+use delta_workload::WorkloadConfig;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, RwLock};
+
+/// Everything `delta-routerd` needs besides the object catalog.
+#[derive(Clone, Debug)]
+pub struct RouterConfig {
+    /// Listen address, e.g. `127.0.0.1:7118` (port 0 picks one).
+    pub bind: String,
+    /// Node addresses, indexed by node id — node `i` here must have been
+    /// started with `--node-id i`.
+    pub nodes: Vec<String>,
+    /// Workload configuration for the router-side SQL frontend (same
+    /// semantics as [`crate::ServerConfig::frontend`]).
+    pub frontend: Option<WorkloadConfig>,
+}
+
+/// The routing state every client handler reads and `Reshard` rewrites.
+struct Route {
+    /// Current routing epoch.
+    epoch: u64,
+    /// `owner[shard]` — node hosting that shard.
+    owner: Vec<u16>,
+}
+
+struct RouterShared {
+    map: Box<dyn Partitioner>,
+    catalog: ObjectCatalog,
+    nodes: Vec<String>,
+    route: RwLock<Route>,
+    shutdown: Arc<AtomicBool>,
+    frontend: Option<Arc<QueryCompiler>>,
+}
+
+/// A running delta-router instance.
+pub struct Router {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    accept_thread: std::thread::JoinHandle<()>,
+}
+
+impl Router {
+    /// Connects to every node, validates that they form one coherent
+    /// cluster over `catalog`, then binds and starts routing. Returns
+    /// once the listener is live.
+    pub fn start(config: RouterConfig, catalog: ObjectCatalog) -> io::Result<Router> {
+        if config.nodes.is_empty() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "router needs at least one node",
+            ));
+        }
+        if config.nodes.len() > u16::MAX as usize {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "node count exceeds u16",
+            ));
+        }
+        let frontend = match &config.frontend {
+            None => None,
+            Some(wcfg) => {
+                let mapper = wcfg.spatial_mapper();
+                if mapper.partition().len() != catalog.len() {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidInput,
+                        format!(
+                            "frontend partition has {} leaves but the catalog has {} objects",
+                            mapper.partition().len(),
+                            catalog.len()
+                        ),
+                    ));
+                }
+                Some(Arc::new(QueryCompiler::new(
+                    Schema::sdss(),
+                    wcfg.sky_model(),
+                    mapper,
+                )))
+            }
+        };
+
+        // Handshake with every node and stitch their hosted sets into
+        // one owner map, refusing any inconsistency up front: a cluster
+        // that disagrees about its partitioner would corrupt ledgers
+        // silently, which is exactly what this tier must make impossible.
+        let invalid = |msg: String| io::Error::new(io::ErrorKind::InvalidInput, msg);
+        let mut infos: Vec<NodeInfo> = Vec::with_capacity(config.nodes.len());
+        for (i, addr) in config.nodes.iter().enumerate() {
+            let mut client = DeltaClient::connect(addr)?;
+            let info = client.hello(0)?;
+            if info.role != NodeRole::ClusterNode {
+                return Err(invalid(format!(
+                    "{addr} is not a cluster node (role {:?}); start it with --node-id/--nodes",
+                    info.role
+                )));
+            }
+            if info.node as usize != i {
+                return Err(invalid(format!(
+                    "{addr} thinks it is node {} but is listed at position {i}",
+                    info.node
+                )));
+            }
+            if info.nodes as usize != config.nodes.len() {
+                return Err(invalid(format!(
+                    "{addr} expects {} nodes but the router fronts {}",
+                    info.nodes,
+                    config.nodes.len()
+                )));
+            }
+            if info.catalog_objects != catalog.len() as u64
+                || info.catalog_bytes != catalog.total_bytes()
+            {
+                return Err(invalid(format!(
+                    "{addr} serves a different catalog ({} objects / {} bytes vs the router's \
+                     {} / {})",
+                    info.catalog_objects,
+                    info.catalog_bytes,
+                    catalog.len(),
+                    catalog.total_bytes()
+                )));
+            }
+            infos.push(info);
+        }
+        let first = &infos[0];
+        for (info, addr) in infos.iter().zip(&config.nodes) {
+            if info.partitioner != first.partitioner
+                || info.cluster_shards != first.cluster_shards
+                || info.epoch != first.epoch
+            {
+                return Err(invalid(format!(
+                    "{addr} disagrees with {}: partitioner/shards/epoch \
+                     ({}/{}/{}) vs ({}/{}/{})",
+                    config.nodes[0],
+                    info.partitioner,
+                    info.cluster_shards,
+                    info.epoch,
+                    first.partitioner,
+                    first.cluster_shards,
+                    first.epoch
+                )));
+            }
+        }
+        let n_shards = first.cluster_shards as usize;
+        let kind = PartitionerKind::parse(&first.partitioner).map_err(invalid)?;
+        let map = kind.build(n_shards, catalog.len());
+        let mut owner: Vec<Option<u16>> = vec![None; n_shards];
+        for (i, info) in infos.iter().enumerate() {
+            for &s in &info.hosted {
+                if s as usize >= n_shards {
+                    return Err(invalid(format!("node {i} hosts out-of-range shard {s}")));
+                }
+                if let Some(prev) = owner[s as usize] {
+                    return Err(invalid(format!(
+                        "shard {s} hosted by both node {prev} and node {i}"
+                    )));
+                }
+                owner[s as usize] = Some(i as u16);
+            }
+        }
+        let owner: Vec<u16> = owner
+            .into_iter()
+            .enumerate()
+            .map(|(s, o)| o.ok_or_else(|| invalid(format!("shard {s} is hosted by no node"))))
+            .collect::<io::Result<_>>()?;
+
+        let listener = TcpListener::bind(&config.bind)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let shared = Arc::new(RouterShared {
+            map,
+            catalog,
+            nodes: config.nodes,
+            route: RwLock::new(Route {
+                epoch: first.epoch,
+                owner,
+            }),
+            shutdown: Arc::clone(&shutdown),
+            frontend,
+        });
+
+        let accept_shutdown = Arc::clone(&shutdown);
+        let accept_thread = std::thread::Builder::new()
+            .name("delta-router-accept".to_string())
+            .spawn(move || accept_loop(listener, shared, accept_shutdown))
+            .expect("spawn router accept thread");
+
+        Ok(Router {
+            addr,
+            shutdown,
+            accept_thread,
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Requests shutdown without waiting (a client `Shutdown` frame does
+    /// this too — and additionally shuts the nodes down).
+    pub fn request_shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+    }
+
+    /// Waits for the router to stop.
+    pub fn join(self) {
+        self.accept_thread.join().expect("router accept panicked");
+    }
+
+    /// Convenience: request shutdown and wait.
+    pub fn stop(self) {
+        self.request_shutdown();
+        self.join()
+    }
+}
+
+fn accept_loop(listener: TcpListener, shared: Arc<RouterShared>, shutdown: Arc<AtomicBool>) {
+    let mut connections: Vec<std::thread::JoinHandle<()>> = Vec::new();
+    while !shutdown.load(Ordering::SeqCst) {
+        connections.retain(|h| !h.is_finished());
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let shared = Arc::clone(&shared);
+                let handle = std::thread::Builder::new()
+                    .name("delta-router-conn".to_string())
+                    .spawn(move || {
+                        if let Err(e) = serve_connection(stream, &shared) {
+                            if e.kind() != io::ErrorKind::UnexpectedEof {
+                                eprintln!("delta-router: connection error: {e}");
+                            }
+                        }
+                    })
+                    .expect("spawn router connection thread");
+                connections.push(handle);
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(POLL);
+            }
+            Err(e) => {
+                eprintln!("delta-router: accept error: {e}");
+                std::thread::sleep(POLL);
+            }
+        }
+    }
+    for handle in connections {
+        let _ = handle.join();
+    }
+}
+
+/// Per-connection router state: one lazily-opened lockstep link per node
+/// (each client connection gets its own links, so per-connection request
+/// order is preserved end-to-end) plus the SQL compiler clone.
+struct ConnState {
+    links: Vec<Option<DeltaClient>>,
+    /// The epoch each link last declared via `Hello`, to know when a
+    /// link must re-handshake instead of reconnect.
+    link_epochs: Vec<u64>,
+    compiler: Option<QueryCompiler>,
+}
+
+impl ConnState {
+    /// Returns a link to `node` whose declared epoch is `epoch`,
+    /// connecting or re-handshaking as needed.
+    fn link(
+        &mut self,
+        shared: &RouterShared,
+        node: usize,
+        epoch: u64,
+    ) -> io::Result<&mut DeltaClient> {
+        if self.links[node].is_none() {
+            let mut client = DeltaClient::connect(&shared.nodes[node])?;
+            client.hello(epoch)?;
+            self.links[node] = Some(client);
+            self.link_epochs[node] = epoch;
+        } else if self.link_epochs[node] != epoch {
+            self.links[node].as_mut().unwrap().hello(epoch)?;
+            self.link_epochs[node] = epoch;
+        }
+        Ok(self.links[node].as_mut().unwrap())
+    }
+}
+
+fn serve_connection(stream: TcpStream, shared: &RouterShared) -> io::Result<()> {
+    let mut conn = ConnState {
+        links: (0..shared.nodes.len()).map(|_| None).collect(),
+        link_epochs: vec![0; shared.nodes.len()],
+        compiler: shared.frontend.as_ref().map(|c| (**c).clone()),
+    };
+    serve_frames(stream, &shared.shutdown, |payload, wbuf| {
+        let response = match Request::decode(payload) {
+            Ok(Request::Tagged { corr, inner }) => Response::Tagged {
+                corr,
+                inner: Box::new(handle_request(shared, *inner, &mut conn)?),
+            },
+            Ok(other) => handle_request(shared, other, &mut conn)?,
+            Err(e) => Response::Error {
+                code: error_code::BAD_FRAME,
+                message: e.to_string(),
+            },
+        };
+        append_frame_with(wbuf, |buf| response.encode_into(buf))?;
+        let shutting_down = match &response {
+            Response::ShutdownOk => true,
+            Response::Tagged { inner, .. } => matches!(**inner, Response::ShutdownOk),
+            _ => false,
+        };
+        Ok(shutting_down)
+    })
+}
+
+/// How many times an op frame is retried after a `WrongEpoch` redirect
+/// before giving up. One redirect (stale link handshake right after a
+/// reshard) is normal; repeats mean a node is wedged on a future epoch.
+const EPOCH_RETRIES: usize = 3;
+
+/// Sends one pre-split op frame to `node`, transparently re-handshaking
+/// on a `WrongEpoch` redirect. The node executes nothing on a stale
+/// epoch, so the retry is always safe.
+fn node_ops(
+    shared: &RouterShared,
+    conn: &mut ConnState,
+    node: usize,
+    epoch: u64,
+    ops: &[NodeOp],
+) -> io::Result<Vec<BatchReply>> {
+    for _ in 0..EPOCH_RETRIES {
+        let link = conn.link(shared, node, epoch)?;
+        match link.request(&Request::NodeOps(ops.to_vec()))? {
+            Response::BatchOk(replies) => return Ok(replies),
+            Response::WrongEpoch { epoch: current } => {
+                // The link's handshake predates the epoch we hold — the
+                // read lock guarantees our `epoch` IS current, so a
+                // fresh Hello converges. A node reporting a *newer*
+                // epoch than the router's map is a split brain; fail.
+                if current > epoch {
+                    return Err(io::Error::other(format!(
+                        "node {node} is at epoch {current}, ahead of the router's {epoch}"
+                    )));
+                }
+                conn.link_epochs[node] = u64::MAX; // force re-handshake
+            }
+            Response::Error { code, message } => {
+                return Err(io::Error::other(format!(
+                    "node {node} error {code}: {message}"
+                )))
+            }
+            other => {
+                return Err(io::Error::other(format!(
+                    "node {node}: unexpected response {other:?}"
+                )))
+            }
+        }
+    }
+    Err(io::Error::other(format!(
+        "node {node} kept redirecting after {EPOCH_RETRIES} epoch handshakes"
+    )))
+}
+
+/// A per-node plan: ops in client order plus, for queries, which item
+/// each op belongs to so replies can be merged back.
+#[derive(Default)]
+struct NodePlan {
+    ops: Vec<NodeOp>,
+    /// `items[k]` — client-item index op `k` came from.
+    items: Vec<usize>,
+}
+
+fn handle_request(
+    shared: &RouterShared,
+    request: Request,
+    conn: &mut ConnState,
+) -> io::Result<Response> {
+    match request {
+        Request::Query(q) => route_items(shared, conn, vec![BatchItem::Query(q)])
+            .map(|mut replies| single_reply(replies.remove(0))),
+        Request::Update(u) => route_items(shared, conn, vec![BatchItem::Update(u)])
+            .map(|mut replies| single_reply(replies.remove(0))),
+        Request::Sql { seq, sql } => handle_sql(shared, conn, seq, &sql),
+        Request::Batch(items) => route_items(shared, conn, items).map(Response::BatchOk),
+        Request::Hello { version, .. } => {
+            if version != crate::protocol::PROTOCOL_VERSION {
+                return Ok(Response::Error {
+                    code: error_code::BAD_FRAME,
+                    message: format!(
+                        "protocol version mismatch: peer speaks v{version}, this router \
+                         speaks v{}",
+                        crate::protocol::PROTOCOL_VERSION
+                    ),
+                });
+            }
+            Ok(Response::HelloOk(router_info(shared)))
+        }
+        Request::Reshard { shard, to_node } => Ok(do_reshard(shared, conn, shard, to_node)),
+        Request::Stats => handle_stats(shared, conn),
+        Request::Shutdown => {
+            // Shut the whole cluster down: the router owns its nodes'
+            // lifecycle the way `delta-serverd` owns its shards'.
+            let route = shared.route.read().expect("route lock");
+            for node in 0..shared.nodes.len() {
+                match conn.link(shared, node, route.epoch) {
+                    Ok(link) => {
+                        if let Err(e) = link.shutdown() {
+                            eprintln!("delta-router: node {node} shutdown failed: {e}");
+                        }
+                    }
+                    Err(e) => eprintln!("delta-router: node {node} unreachable for shutdown: {e}"),
+                }
+            }
+            shared.shutdown.store(true, Ordering::SeqCst);
+            Ok(Response::ShutdownOk)
+        }
+        Request::NodeOps(_)
+        | Request::DetachShard { .. }
+        | Request::AttachShard { .. }
+        | Request::SetEpoch { .. } => Ok(Response::Error {
+            code: error_code::NOT_CLUSTERED,
+            message: "the router hosts no shards; node-level verbs go to delta-serverd".into(),
+        }),
+        // Nested tags are rejected by the decoder.
+        Request::Tagged { inner, .. } => handle_request(shared, *inner, conn),
+    }
+}
+
+/// The core routing path: splits every item over the cluster
+/// partitioner, groups the sub-events per owning node (client order
+/// preserved within each node, hence per shard), executes one `NodeOps`
+/// frame per touched node, and merges the per-op replies back into
+/// per-item replies exactly like the server's in-process fan-out does.
+fn route_items(
+    shared: &RouterShared,
+    conn: &mut ConnState,
+    items: Vec<BatchItem>,
+) -> io::Result<Vec<BatchReply>> {
+    struct QueryAcc {
+        sent: u16,
+        local: u16,
+        shipped: u16,
+    }
+    // The read lock pins the routing map for the whole request: a
+    // concurrent reshard waits, so a request never straddles two epochs.
+    let route = shared.route.read().expect("route lock");
+    let mut replies: Vec<Option<BatchReply>> = Vec::with_capacity(items.len());
+    replies.resize_with(items.len(), || None);
+    let mut accs: Vec<Option<QueryAcc>> = Vec::with_capacity(items.len());
+    accs.resize_with(items.len(), || None);
+    let mut plans: Vec<NodePlan> = (0..shared.nodes.len())
+        .map(|_| NodePlan::default())
+        .collect();
+
+    for (i, item) in items.into_iter().enumerate() {
+        match item {
+            BatchItem::Query(q) => {
+                if let Some(&bad) = q.objects.iter().find(|o| o.index() >= shared.catalog.len()) {
+                    replies[i] = Some(BatchReply::Error {
+                        code: error_code::UNKNOWN_OBJECT,
+                        message: format!("object {bad} is outside the catalog"),
+                    });
+                    continue;
+                }
+                let subs = shared.map.split_query(&q, &shared.catalog);
+                accs[i] = Some(QueryAcc {
+                    sent: subs.len() as u16,
+                    local: 0,
+                    shipped: 0,
+                });
+                for (s, sub) in subs {
+                    let plan = &mut plans[route.owner[s] as usize];
+                    plan.ops.push(NodeOp {
+                        shard: s as u16,
+                        item: BatchItem::Query(sub),
+                    });
+                    plan.items.push(i);
+                }
+            }
+            BatchItem::Update(u) => {
+                if u.object.index() >= shared.catalog.len() {
+                    replies[i] = Some(BatchReply::Error {
+                        code: error_code::UNKNOWN_OBJECT,
+                        message: format!("object {} is outside the catalog", u.object),
+                    });
+                    continue;
+                }
+                let (s, local) = shared.map.split_update(&u);
+                let plan = &mut plans[route.owner[s] as usize];
+                plan.ops.push(NodeOp {
+                    shard: s as u16,
+                    item: BatchItem::Update(local),
+                });
+                plan.items.push(i);
+            }
+        }
+    }
+
+    for (node, plan) in plans.iter().enumerate() {
+        if plan.ops.is_empty() {
+            continue;
+        }
+        let node_replies = node_ops(shared, conn, node, route.epoch, &plan.ops)?;
+        if node_replies.len() != plan.ops.len() {
+            return Err(io::Error::other(format!(
+                "node {node} answered {} replies for {} ops",
+                node_replies.len(),
+                plan.ops.len()
+            )));
+        }
+        for (reply, &item) in node_replies.into_iter().zip(&plan.items) {
+            match reply {
+                BatchReply::Query {
+                    local_answers,
+                    shipped,
+                    ..
+                } => {
+                    let acc = accs[item].as_mut().expect("query reply for non-query item");
+                    acc.local += local_answers;
+                    acc.shipped += shipped;
+                }
+                BatchReply::Update { shard, version } => {
+                    replies[item] = Some(BatchReply::Update { shard, version });
+                }
+                // An error (contract violation) poisons its item only,
+                // taking precedence over sub-queries other nodes served
+                // — identical to the in-process batch semantics.
+                BatchReply::Error { code, message } => {
+                    replies[item] = Some(BatchReply::Error { code, message });
+                }
+            }
+        }
+    }
+
+    Ok(replies
+        .into_iter()
+        .zip(accs)
+        .map(|(reply, acc)| match (reply, acc) {
+            (Some(r), _) => r,
+            (None, Some(acc)) => BatchReply::Query {
+                shards_touched: acc.sent,
+                local_answers: acc.local,
+                shipped: acc.shipped,
+            },
+            (None, None) => BatchReply::Error {
+                code: error_code::BAD_FRAME,
+                message: "item produced no outcome".to_string(),
+            },
+        })
+        .collect())
+}
+
+/// Converts a single-item routed reply back into the lockstep response
+/// shape (`QueryOk`/`UpdateOk`/`Error`, or `SqlOk` upstream).
+fn single_reply(reply: BatchReply) -> Response {
+    match reply {
+        BatchReply::Query {
+            shards_touched,
+            local_answers,
+            shipped,
+        } => Response::QueryOk {
+            shards_touched,
+            local_answers,
+            shipped,
+        },
+        BatchReply::Update { shard, version } => Response::UpdateOk { shard, version },
+        BatchReply::Error { code, message } => Response::Error { code, message },
+    }
+}
+
+fn handle_sql(
+    shared: &RouterShared,
+    conn: &mut ConnState,
+    seq: u64,
+    sql: &str,
+) -> io::Result<Response> {
+    let Some(compiler) = conn.compiler.clone() else {
+        return Ok(Response::Error {
+            code: error_code::SQL_UNAVAILABLE,
+            message: "router has no SQL frontend (start it from a workload preset)".to_string(),
+        });
+    };
+    let compiled = match compiler.compile(sql) {
+        Ok(c) => c,
+        Err(QueryError::Parse(e)) => {
+            let span = e.span();
+            return Ok(Response::SqlRejected {
+                stage: SqlStage::Parse,
+                span_start: span.start as u32,
+                span_end: span.end as u32,
+                message: e.to_string(),
+            });
+        }
+        Err(QueryError::Analyze(e)) => {
+            return Ok(Response::SqlRejected {
+                stage: SqlStage::Analyze,
+                span_start: 0,
+                span_end: 0,
+                message: e.to_string(),
+            });
+        }
+    };
+    let objects = compiled.objects.len() as u32;
+    let event = compiled.into_event(seq);
+    let (result_bytes, tolerance, kind) = (event.result_bytes, event.tolerance, event.kind);
+    let mut replies = route_items(shared, conn, vec![BatchItem::Query(event)])?;
+    Ok(match single_reply(replies.remove(0)) {
+        Response::QueryOk {
+            shards_touched,
+            local_answers,
+            shipped,
+        } => Response::SqlOk {
+            shards_touched,
+            local_answers,
+            shipped,
+            objects,
+            result_bytes,
+            tolerance,
+            kind,
+        },
+        other => other,
+    })
+}
+
+fn handle_stats(shared: &RouterShared, conn: &mut ConnState) -> io::Result<Response> {
+    let route = shared.route.read().expect("route lock");
+    let mut shards: Vec<ShardStats> = Vec::new();
+    for node in 0..shared.nodes.len() {
+        let link = conn.link(shared, node, route.epoch)?;
+        shards.extend(link.stats()?.shards);
+    }
+    shards.sort_by_key(|s| s.shard);
+    Ok(Response::StatsOk(StatsSnapshot { shards }))
+}
+
+fn router_info(shared: &RouterShared) -> NodeInfo {
+    let route = shared.route.read().expect("route lock");
+    NodeInfo {
+        role: NodeRole::Router,
+        node: 0,
+        nodes: shared.nodes.len() as u16,
+        epoch: route.epoch,
+        cluster_shards: shared.map.n_shards() as u16,
+        partitioner: shared.map.kind().to_string(),
+        catalog_objects: shared.catalog.len() as u64,
+        catalog_bytes: shared.catalog.total_bytes(),
+        hosted: (0..shared.map.n_shards() as u16).collect(),
+    }
+}
+
+/// The live-resharding coordinator. Runs under the routing write lock,
+/// so every client handler is quiesced between epochs.
+fn do_reshard(shared: &RouterShared, conn: &mut ConnState, shard: u16, to_node: u16) -> Response {
+    let fail = |message: String| Response::Error {
+        code: error_code::RESHARD_FAILED,
+        message,
+    };
+    if shard as usize >= shared.map.n_shards() {
+        return fail(format!(
+            "shard {shard} out of range 0..{}",
+            shared.map.n_shards()
+        ));
+    }
+    if to_node as usize >= shared.nodes.len() {
+        return fail(format!(
+            "node {to_node} out of range 0..{}",
+            shared.nodes.len()
+        ));
+    }
+    let mut route = shared.route.write().expect("route lock");
+    let from = route.owner[shard as usize];
+    if from == to_node {
+        // Nothing to move; the current epoch already describes it.
+        return Response::ReshardOk { epoch: route.epoch };
+    }
+    // The admin verbs are deliberately exempt from epoch fencing, so the
+    // existing links work across the transition.
+    let admin = |conn: &mut ConnState, node: u16, req: &Request| -> io::Result<Response> {
+        conn.link(shared, node as usize, route.epoch)?.request(req)
+    };
+    // Step 1: drain + snapshot at the old owner.
+    let state = match admin(conn, from, &Request::DetachShard { shard }) {
+        Ok(Response::ShardState { state, .. }) => state,
+        Ok(other) => return fail(format!("detach at node {from}: unexpected {other:?}")),
+        Err(e) => return fail(format!("detach at node {from}: {e}")),
+    };
+    // Step 2: restore at the new owner. On failure, try to put the shard
+    // back where it was — the state blob must not evaporate.
+    match admin(
+        conn,
+        to_node,
+        &Request::AttachShard {
+            shard,
+            state: state.clone(),
+        },
+    ) {
+        Ok(Response::AttachOk { .. }) => {}
+        outcome => {
+            let rollback = match admin(
+                conn,
+                from,
+                &Request::AttachShard {
+                    shard,
+                    state: state.clone(),
+                },
+            ) {
+                Ok(Response::AttachOk { .. }) => format!("shard restored at node {from}"),
+                // The in-memory blob is now the ONLY copy of the
+                // shard's state (detach removed the node's snapshot
+                // file); spill it to the router's disk so the operator
+                // can re-attach it by hand.
+                other => {
+                    let spill = std::env::temp_dir().join(format!(
+                        "delta-orphan-shard-{shard}-epoch{}.jsonl",
+                        route.epoch
+                    ));
+                    match std::fs::write(&spill, &state) {
+                        Ok(()) => format!(
+                            "ROLLBACK FAILED ({other:?}) — shard {shard} is OFFLINE; its \
+                             engine state was saved to {} on the router host; re-attach it \
+                             with an AttachShard frame once a node is reachable",
+                            spill.display()
+                        ),
+                        Err(e) => format!(
+                            "ROLLBACK FAILED ({other:?}) AND the state spill to {} failed \
+                             ({e}) — shard {shard} is OFFLINE and its state is lost",
+                            spill.display()
+                        ),
+                    }
+                }
+            };
+            return fail(format!(
+                "attach at node {to_node} failed ({outcome:?}); {rollback}"
+            ));
+        }
+    }
+    // Step 3: new epoch everywhere, then adopt the new map. A node that
+    // misses the bump would fence the router's next ops forever, so a
+    // SetEpoch failure is a hard error for the operator.
+    let epoch = route.epoch + 1;
+    for node in 0..shared.nodes.len() as u16 {
+        match admin(conn, node, &Request::SetEpoch { epoch }) {
+            Ok(Response::EpochOk { .. }) => {}
+            other => {
+                return fail(format!(
+                    "SetEpoch({epoch}) at node {node} failed ({other:?}); cluster is between \
+                     epochs — restart the router against consistent nodes"
+                ))
+            }
+        }
+    }
+    route.owner[shard as usize] = to_node;
+    route.epoch = epoch;
+    Response::ReshardOk { epoch }
+}

@@ -1,5 +1,5 @@
 //! The TCP service: listener, per-connection framing, inline shard
-//! execution and graceful shutdown.
+//! execution, cluster-node duties and graceful shutdown.
 //!
 //! Each accepted connection gets a thread that decodes request frames
 //! and executes them directly against the lock-protected
@@ -10,28 +10,39 @@
 //! shared [`delta_net::TrafficMeter`] (query frames as `QueryShip`,
 //! update frames as `UpdateShip`, the rest as `Control`), so an operator
 //! can audit protocol overhead separately from the policy-level ledgers.
+//!
+//! ## Standalone vs cluster node
+//!
+//! A standalone server hosts **every** shard of its partitioner and
+//! ignores routing epochs. Started with [`ServerConfig::cluster`], the
+//! same process becomes one node of a routed cluster instead: it hosts a
+//! *subset* of the global shards in per-slot `RwLock`s (so shards can be
+//! attached and detached at runtime), executes the pre-split
+//! [`Request::NodeOps`] frames the router sends, and fences every
+//! event-carrying request behind the **routing epoch**: a connection
+//! whose declared epoch (from its [`Request::Hello`] handshake) is stale
+//! gets a typed [`Response::WrongEpoch`] and *nothing executes* — a
+//! client holding an outdated shard→node map can be redirected, never
+//! silently given a wrong answer.
 
 use crate::config::ServerConfig;
-use crate::partition::{apportion, ShardMap};
+use crate::connection::{serve_frames, POLL};
+use crate::partition::{apportion, Partitioner};
 use crate::protocol::{
-    append_frame_with, error_code, BatchItem, BatchReply, Request, Response, ShardStats, SqlStage,
-    StatsSnapshot,
+    append_frame_with, error_code, BatchItem, BatchReply, NodeInfo, NodeOp, NodeRole, Request,
+    Response, ShardStats, SqlStage, StatsSnapshot, PROTOCOL_VERSION,
 };
 use crate::shard::{OpOutcome, ShardCore, ShardOp, ShardSpec};
-use delta_core::engine::read_snapshot;
+use delta_core::engine::{read_snapshot, snapshot_from_str, snapshot_to_string};
 use delta_core::EngineSnapshot;
 use delta_net::{TrafficClass, TrafficMeter};
 use delta_query::{QueryCompiler, QueryError, Schema};
 use delta_storage::{ObjectCatalog, ObjectId};
 use delta_workload::QueryEvent;
-use std::io::{self, Write};
+use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
-use std::time::Duration;
-
-/// How often blocked accept/read loops re-check the shutdown flag.
-const POLL: Duration = Duration::from_millis(25);
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, RwLock, RwLockReadGuard};
 
 /// A running delta-server instance.
 pub struct Server {
@@ -86,80 +97,85 @@ impl Server {
             }
         };
 
+        let map = config.partitioner.build(config.n_shards, catalog.len());
+        for s in 0..config.n_shards {
+            if map.shard_len(s) == 0 {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidInput,
+                    format!(
+                        "partitioner {} leaves shard {s} without catalog objects; \
+                         use fewer shards",
+                        config.partitioner
+                    ),
+                ));
+            }
+        }
+        let weights: Vec<u64> = (0..config.n_shards)
+            .map(|s| map.shard_catalog(s, &catalog).total_bytes())
+            .collect();
+        let caches = apportion(config.cache_bytes, &weights);
+
+        let hosted: Vec<u16> = match &config.cluster {
+            Some(c) => c.hosted.clone(),
+            None => (0..config.n_shards as u16).collect(),
+        };
+
         let listener = TcpListener::bind(&config.bind)?;
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
 
-        let map = ShardMap::new(config.n_shards);
-        let sub_catalogs: Vec<ObjectCatalog> = (0..config.n_shards)
-            .map(|s| map.shard_catalog(s, &catalog))
-            .collect();
-        let weights: Vec<u64> = sub_catalogs.iter().map(|c| c.total_bytes()).collect();
-        let caches = crate::partition::apportion(config.cache_bytes, &weights);
-
         // Warm restart: read and validate any per-shard snapshots before
         // spawning anything, so a bad snapshot refuses startup cleanly
         // instead of panicking a worker thread.
-        let mut snapshot_paths: Vec<Option<std::path::PathBuf>> = vec![None; config.n_shards];
         let mut restores: Vec<Option<EngineSnapshot>> = Vec::new();
         restores.resize_with(config.n_shards, || None);
         if let Some(dir) = &config.snapshot_dir {
             std::fs::create_dir_all(dir)?;
-            for (s, sub) in sub_catalogs.iter().enumerate() {
+            for &s in &hosted {
+                let s = s as usize;
+                let sub = map.shard_catalog(s, &catalog);
                 let path = dir.join(format!("shard-{s}.jsonl"));
                 if path.exists() {
                     let snap = read_snapshot(&path)?;
-                    let invalid = |msg: String| {
+                    validate_restore(&snap, &sub, &config, caches[s], s).map_err(|msg| {
                         io::Error::new(
                             io::ErrorKind::InvalidInput,
                             format!("snapshot {}: {msg}", path.display()),
                         )
-                    };
-                    snap.validate(sub, config.policy.policy_name())
-                        .map_err(|e| invalid(e.to_string()))?;
-                    // A restored engine keeps the snapshot's cache
-                    // capacity, so a changed cache budget must refuse
-                    // loudly rather than be ignored invisibly.
-                    let configured = config
-                        .policy
-                        .build(caches[s], config.seed + s as u64)
-                        .preferred_capacity(sub, caches[s]);
-                    if snap.capacity != configured {
-                        return Err(invalid(format!(
-                            "was taken with cache capacity {} but this configuration \
-                             yields {}; restart with the original cache budget or \
-                             clear the snapshot directory",
-                            snap.capacity, configured
-                        )));
-                    }
+                    })?;
                     restores[s] = Some(snap);
                 }
-                snapshot_paths[s] = Some(path);
             }
         }
 
-        let shards: Vec<ShardCore> = sub_catalogs
-            .into_iter()
-            .enumerate()
-            .map(|(s, sub)| {
-                ShardCore::new(ShardSpec {
-                    shard: s as u16,
-                    catalog: sub,
-                    cache_bytes: caches[s],
-                    policy: config.policy,
-                    seed: config.seed + s as u64,
-                    restore: restores[s].take(),
-                    snapshot_path: snapshot_paths[s].take(),
-                })
-            })
-            .collect();
+        let mut slots: Vec<RwLock<Option<ShardCore>>> = Vec::with_capacity(config.n_shards);
+        slots.resize_with(config.n_shards, || RwLock::new(None));
+        for &s in &hosted {
+            let s = s as usize;
+            let core = ShardCore::new(ShardSpec {
+                shard: s as u16,
+                catalog: map.shard_catalog(s, &catalog),
+                cache_bytes: caches[s],
+                policy: config.policy,
+                seed: config.seed + s as u64,
+                restore: restores[s].take(),
+                snapshot_path: config
+                    .snapshot_dir
+                    .as_ref()
+                    .map(|dir| dir.join(format!("shard-{s}.jsonl"))),
+            });
+            *slots[s].write().expect("fresh slot") = Some(core);
+        }
 
         let shutdown = Arc::new(AtomicBool::new(false));
         let meter = Arc::new(TrafficMeter::new());
         let shared = Arc::new(Shared {
             map,
             catalog,
-            shards,
+            slots,
+            caches,
+            config: config.clone(),
+            epoch: AtomicU64::new(0),
             shutdown: Arc::clone(&shutdown),
             meter: Arc::clone(&meter),
             frontend,
@@ -209,15 +225,78 @@ impl Server {
     }
 }
 
+/// The restore validation both cold-start and `AttachShard` run: the
+/// snapshot must fit this shard's sub-catalog, policy and cache budget.
+fn validate_restore(
+    snap: &EngineSnapshot,
+    sub: &ObjectCatalog,
+    config: &ServerConfig,
+    cache: u64,
+    shard: usize,
+) -> Result<(), String> {
+    snap.validate(sub, config.policy.policy_name())
+        .map_err(|e| e.to_string())?;
+    // A restored engine keeps the snapshot's cache capacity, so a
+    // changed cache budget must refuse loudly rather than be ignored
+    // invisibly.
+    let configured = config
+        .policy
+        .build(cache, config.seed + shard as u64)
+        .preferred_capacity(sub, cache);
+    if snap.capacity != configured {
+        return Err(format!(
+            "was taken with cache capacity {} but this configuration yields {}; \
+             restart with the original cache budget or clear the snapshot directory",
+            snap.capacity, configured
+        ));
+    }
+    Ok(())
+}
+
 struct Shared {
-    map: ShardMap,
+    map: Box<dyn Partitioner>,
     catalog: ObjectCatalog,
-    shards: Vec<ShardCore>,
+    /// One slot per global shard; `None` when another node hosts it.
+    /// Connection threads hold a slot's read lock for the duration of an
+    /// op, so a `DetachShard` (write lock) waits out in-flight work.
+    slots: Vec<RwLock<Option<ShardCore>>>,
+    /// Per-shard cache budgets (cluster-wide apportioning), kept so an
+    /// attached shard is rebuilt with the same budget everywhere.
+    caches: Vec<u64>,
+    config: ServerConfig,
+    /// The routing epoch (cluster mode; stays 0 standalone).
+    epoch: AtomicU64,
     shutdown: Arc<AtomicBool>,
     meter: Arc<TrafficMeter>,
     /// Template for the per-connection SQL compilers; `None` when the
     /// server was started without a workload preset.
     frontend: Option<Arc<QueryCompiler>>,
+}
+
+impl Shared {
+    fn hosted(&self) -> Vec<u16> {
+        (0..self.slots.len() as u16)
+            .filter(|&s| self.slots[s as usize].read().expect("slot").is_some())
+            .collect()
+    }
+
+    fn node_info(&self) -> NodeInfo {
+        let (role, node, nodes) = match &self.config.cluster {
+            Some(c) => (NodeRole::ClusterNode, c.node, c.nodes),
+            None => (NodeRole::Standalone, 0, 1),
+        };
+        NodeInfo {
+            role,
+            node,
+            nodes,
+            epoch: self.epoch.load(Ordering::SeqCst),
+            cluster_shards: self.slots.len() as u16,
+            partitioner: self.config.partitioner.to_string(),
+            catalog_objects: self.catalog.len() as u64,
+            catalog_bytes: self.catalog.total_bytes(),
+            hosted: self.hosted(),
+        }
+    }
 }
 
 fn accept_loop(
@@ -262,222 +341,65 @@ fn accept_loop(
     for handle in connections {
         let _ = handle.join();
     }
-    let mut stats: Vec<ShardStats> = shared.shards.iter().map(ShardCore::shutdown).collect();
+    let mut stats: Vec<ShardStats> = Vec::new();
+    for slot in &shared.slots {
+        if let Some(core) = slot.read().expect("slot").as_ref() {
+            stats.push(core.shutdown());
+        }
+    }
     stats.sort_by_key(|s| s.shard);
     StatsSnapshot { shards: stats }
 }
 
-/// How long a connection may stall (mid-frame read after shutdown, or a
-/// blocked write) before the server drops it.
-const STALL_LIMIT: Duration = Duration::from_secs(5);
-
-/// Initial per-connection read-buffer size; grows only when a single
-/// frame outgrows it.
-const READ_BUF: usize = 64 * 1024;
-
-/// Cap on coalesced response bytes before an early flush, bounding
-/// per-connection memory under huge pipelined windows.
-const WRITE_COALESCE_BYTES: usize = 256 * 1024;
-
-/// Length of the complete frame (header + payload) at the front of
-/// `buf`, or `None` when more bytes are needed. Rejects corrupt length
-/// words before any allocation.
-fn buffered_frame_len(buf: &[u8]) -> io::Result<Option<usize>> {
-    if buf.len() < 4 {
-        return Ok(None);
-    }
-    let len = u32::from_be_bytes(buf[..4].try_into().unwrap());
-    if len > crate::protocol::MAX_FRAME_BYTES {
-        return Err(io::Error::new(
-            io::ErrorKind::InvalidData,
-            "frame exceeds MAX_FRAME_BYTES",
-        ));
-    }
-    let total = 4 + len as usize;
-    Ok(if buf.len() >= total {
-        Some(total)
-    } else {
-        None
-    })
+/// Per-connection mutable state the request handler threads through.
+struct ConnState {
+    /// This connection's SQL compiler clone, when the server has one.
+    compiler: Option<QueryCompiler>,
+    /// The routing epoch the peer declared in its last `Hello` (0 until
+    /// it handshakes) — what cluster-mode event requests are fenced
+    /// against.
+    epoch: u64,
 }
 
-/// Pulls more bytes into `rbuf[*end..]` after compacting the unconsumed
-/// region `[*start, *end)` to the front (growing the buffer when the
-/// pending frame needs it), polling the shutdown flag while idle.
-///
-/// Returns `Ok(false)` on a clean stop — EOF or server shutdown, both
-/// only at a frame boundary (no partial frame buffered). Mid-frame,
-/// shutdown grants [`STALL_LIMIT`] for the frame to finish before the
-/// connection errors out; EOF mid-frame is an error immediately.
-fn fill_polling(
-    reader: &mut TcpStream,
-    rbuf: &mut Vec<u8>,
-    start: &mut usize,
-    end: &mut usize,
-    shared: &Shared,
-) -> io::Result<bool> {
-    use std::io::Read;
-    if *start > 0 {
-        rbuf.copy_within(*start..*end, 0);
-        *end -= *start;
-        *start = 0;
-    }
-    // A frame larger than the buffer could never complete: grow to fit
-    // (`buffered_frame_len` already validated the length word). And a
-    // buffer grown for a *past* oversized frame must not stay pinned for
-    // the connection's lifetime (100 idle connections that each saw one
-    // 64 MiB frame would otherwise hold gigabytes): once nothing pending
-    // needs the extra room, give the memory back.
-    let needed = if *end >= 4 {
-        4 + u32::from_be_bytes(rbuf[..4].try_into().unwrap()) as usize
-    } else {
-        *end
-    };
-    if needed > rbuf.len() {
-        rbuf.resize(needed, 0);
-    } else if rbuf.len() > READ_BUF && *end <= READ_BUF && needed <= READ_BUF {
-        rbuf.truncate(READ_BUF);
-        rbuf.shrink_to_fit();
-    }
-    let at_boundary = *end == 0;
-    let mut stall_started: Option<std::time::Instant> = None;
-    loop {
-        match reader.read(&mut rbuf[*end..]) {
-            Ok(0) => {
-                if at_boundary {
-                    return Ok(false);
-                }
-                return Err(io::Error::new(
-                    io::ErrorKind::UnexpectedEof,
-                    "connection closed mid-frame",
-                ));
-            }
-            Ok(n) => {
-                *end += n;
-                return Ok(true);
-            }
-            Err(e)
-                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
-            {
-                if shared.shutdown.load(Ordering::SeqCst) {
-                    if at_boundary {
-                        return Ok(false);
-                    }
-                    let started = stall_started.get_or_insert_with(std::time::Instant::now);
-                    if started.elapsed() > STALL_LIMIT {
-                        return Err(io::Error::new(
-                            io::ErrorKind::TimedOut,
-                            "frame stalled past shutdown grace period",
-                        ));
-                    }
-                }
-            }
-            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
-            Err(e) => return Err(e),
-        }
-    }
-}
-
-/// The per-connection serve loop, built around two reusable buffers:
-///
-/// * **Read side** — one flat buffer; a `read` syscall pulls as many
-///   pipelined frames as the socket holds, and the loop serves every
-///   complete frame before touching the socket again. No per-frame
-///   allocation, and typically one syscall per *window* rather than two
-///   per frame.
-/// * **Write side** — responses are encoded (length-prefixed) into a
-///   coalesced buffer that hits the socket with a single `write_all`
-///   right before the loop would block for input — one flush per window
-///   under pipelining, per frame under lockstep (where it cannot be
-///   avoided: the client is waiting).
 fn serve_connection(stream: TcpStream, shared: &Shared) -> io::Result<()> {
-    // BSD-derived platforms propagate the listener's O_NONBLOCK to
-    // accepted sockets; clear it so the read timeout below governs.
-    stream.set_nonblocking(false)?;
-    stream.set_nodelay(true)?;
-    stream.set_read_timeout(Some(POLL))?;
-    // A client that stops draining responses must not be able to wedge
-    // graceful shutdown behind an unbounded blocking write.
-    stream.set_write_timeout(Some(STALL_LIMIT))?;
-    let mut reader = stream.try_clone()?;
-    let mut writer = stream;
     // Each connection compiles SQL with its own clone of the frontend —
     // compilation is CPU-bound, so connections never contend on it.
-    let compiler: Option<QueryCompiler> = shared.frontend.as_ref().map(|c| (**c).clone());
-
-    let mut rbuf = vec![0u8; READ_BUF];
-    let (mut start, mut end) = (0usize, 0usize);
-    let mut wbuf: Vec<u8> = Vec::with_capacity(16 * 1024);
-
-    loop {
-        // Serve every complete frame already buffered. On any error,
-        // flush the responses already earned by executed requests before
-        // propagating — engine state mutated; the acks must not vanish
-        // with the buffer.
-        loop {
-            let total = match buffered_frame_len(&rbuf[start..end]) {
-                Ok(Some(total)) => total,
-                Ok(None) => break,
-                Err(e) => {
-                    let _ = writer.write_all(&wbuf);
-                    return Err(e);
+    let mut conn = ConnState {
+        compiler: shared.frontend.as_ref().map(|c| (**c).clone()),
+        epoch: 0,
+    };
+    serve_frames(stream, &shared.shutdown, |payload, wbuf| {
+        let total = payload.len() as u64 + 4;
+        let response = match Request::decode(payload) {
+            Ok(request) => {
+                // The meter reflects real socket bytes (length prefix
+                // included), not just payloads.
+                meter_request(shared, &request, total);
+                match request {
+                    Request::Tagged { corr, inner } => Response::Tagged {
+                        corr,
+                        inner: Box::new(handle_request(shared, *inner, &mut conn)),
+                    },
+                    other => handle_request(shared, other, &mut conn),
                 }
-            };
-            let payload = &rbuf[start + 4..start + total];
-            let response = match Request::decode(payload) {
-                Ok(request) => {
-                    // `total` includes the 4-byte length prefix, so the
-                    // meter reflects real socket bytes, not just
-                    // payloads.
-                    meter_request(shared, &request, total as u64);
-                    match request {
-                        Request::Tagged { corr, inner } => Response::Tagged {
-                            corr,
-                            inner: Box::new(handle_request(shared, *inner, compiler.as_ref())),
-                        },
-                        other => handle_request(shared, other, compiler.as_ref()),
-                    }
-                }
-                Err(e) => Response::Error {
-                    code: error_code::BAD_FRAME,
-                    message: e.to_string(),
-                },
-            };
-            start += total;
-            let before = wbuf.len();
-            if let Err(e) = append_frame_with(&mut wbuf, |buf| response.encode_into(buf)) {
-                // `append_frame_with` truncated the torn frame away, so
-                // wbuf holds only complete earlier responses.
-                let _ = writer.write_all(&wbuf);
-                return Err(e);
             }
-            shared
-                .meter
-                .record(TrafficClass::Control, (wbuf.len() - before) as u64);
-            let shutting_down = match &response {
-                Response::ShutdownOk => true,
-                Response::Tagged { inner, .. } => matches!(**inner, Response::ShutdownOk),
-                _ => false,
-            };
-            if shutting_down {
-                writer.write_all(&wbuf)?;
-                return Ok(());
-            }
-            if wbuf.len() >= WRITE_COALESCE_BYTES {
-                writer.write_all(&wbuf)?;
-                wbuf.clear();
-            }
-        }
-        // About to wait for input: ship the coalesced responses first so
-        // the client can make progress (and so lockstep never stalls).
-        if !wbuf.is_empty() {
-            writer.write_all(&wbuf)?;
-            wbuf.clear();
-        }
-        if !fill_polling(&mut reader, &mut rbuf, &mut start, &mut end, shared)? {
-            return Ok(());
-        }
-    }
+            Err(e) => Response::Error {
+                code: error_code::BAD_FRAME,
+                message: e.to_string(),
+            },
+        };
+        let before = wbuf.len();
+        append_frame_with(wbuf, |buf| response.encode_into(buf))?;
+        shared
+            .meter
+            .record(TrafficClass::Control, (wbuf.len() - before) as u64);
+        let shutting_down = match &response {
+            Response::ShutdownOk => true,
+            Response::Tagged { inner, .. } => matches!(**inner, Response::ShutdownOk),
+            _ => false,
+        };
+        Ok(shutting_down)
+    })
 }
 
 fn meter_request(shared: &Shared, request: &Request, wire_bytes: u64) {
@@ -487,29 +409,74 @@ fn meter_request(shared: &Shared, request: &Request, wire_bytes: u64) {
         }
         Request::Update(_) => shared.meter.record(TrafficClass::UpdateShip, wire_bytes),
         Request::Batch(items) => {
-            // Split the frame's bytes over the classes it mixes, in
-            // proportion to item counts (exact, largest-remainder).
-            let nq = items
-                .iter()
-                .filter(|i| matches!(i, BatchItem::Query(_)))
-                .count() as u64;
-            let nu = items.len() as u64 - nq;
-            if nq + nu == 0 {
-                shared.meter.record(TrafficClass::Control, wire_bytes);
-                return;
-            }
-            let shares = apportion(wire_bytes, &[nq, nu]);
-            shared.meter.record(TrafficClass::QueryShip, shares[0]);
-            shared.meter.record(TrafficClass::UpdateShip, shares[1]);
+            meter_mixed(
+                shared,
+                wire_bytes,
+                items
+                    .iter()
+                    .filter(|i| matches!(i, BatchItem::Query(_)))
+                    .count() as u64,
+                items.len() as u64,
+            );
+        }
+        Request::NodeOps(ops) => {
+            meter_mixed(
+                shared,
+                wire_bytes,
+                ops.iter()
+                    .filter(|op| matches!(op.item, BatchItem::Query(_)))
+                    .count() as u64,
+                ops.len() as u64,
+            );
         }
         Request::Tagged { inner, .. } => meter_request(shared, inner, wire_bytes),
-        Request::Stats | Request::Shutdown => {
+        Request::Stats
+        | Request::Shutdown
+        | Request::Hello { .. }
+        | Request::DetachShard { .. }
+        | Request::AttachShard { .. }
+        | Request::SetEpoch { .. }
+        | Request::Reshard { .. } => {
             shared.meter.record(TrafficClass::Control, wire_bytes);
         }
     }
 }
 
-fn handle_request(shared: &Shared, request: Request, compiler: Option<&QueryCompiler>) -> Response {
+/// Splits a mixed frame's bytes over the query/update classes in
+/// proportion to item counts (exact, largest-remainder).
+fn meter_mixed(shared: &Shared, wire_bytes: u64, n_queries: u64, n_items: u64) {
+    let nu = n_items - n_queries;
+    if n_items == 0 {
+        shared.meter.record(TrafficClass::Control, wire_bytes);
+        return;
+    }
+    let shares = apportion(wire_bytes, &[n_queries, nu]);
+    shared.meter.record(TrafficClass::QueryShip, shares[0]);
+    shared.meter.record(TrafficClass::UpdateShip, shares[1]);
+}
+
+/// Whether this request kind executes events (and must therefore be
+/// fenced by the routing epoch in cluster mode). Admin and introspection
+/// verbs are exempt — resharding itself runs between epochs.
+fn is_event_request(request: &Request) -> bool {
+    matches!(
+        request,
+        Request::Query(_)
+            | Request::Update(_)
+            | Request::Sql { .. }
+            | Request::Batch(_)
+            | Request::NodeOps(_)
+    )
+}
+
+fn handle_request(shared: &Shared, request: Request, conn: &mut ConnState) -> Response {
+    if shared.config.cluster.is_some() && is_event_request(&request) {
+        let current = shared.epoch.load(Ordering::SeqCst);
+        if conn.epoch != current {
+            // Nothing executes on a stale map — the typed redirect.
+            return Response::WrongEpoch { epoch: current };
+        }
+    }
     match request {
         Request::Query(q) => handle_query(shared, q),
         Request::Update(u) => {
@@ -517,19 +484,63 @@ fn handle_request(shared: &Shared, request: Request, compiler: Option<&QueryComp
                 return unknown_object(u.object);
             }
             let (shard, local) = shared.map.split_update(&u);
-            let version = shared.shards[shard].apply_update(local);
-            Response::UpdateOk {
-                shard: shard as u16,
-                version,
+            let slot = shared.slots[shard].read().expect("slot");
+            match slot.as_ref() {
+                Some(core) => Response::UpdateOk {
+                    shard: shard as u16,
+                    version: core.apply_update(local),
+                },
+                None => wrong_node(shared, shard),
             }
         }
-        Request::Sql { seq, sql } => handle_sql(shared, compiler, seq, &sql),
+        Request::Sql { seq, sql } => handle_sql(shared, conn.compiler.as_ref(), seq, &sql),
         Request::Batch(items) => handle_batch(shared, items),
+        Request::NodeOps(ops) => handle_node_ops(shared, ops),
+        Request::Hello { version, epoch } => {
+            // The handshake is the one frame designed to carry the
+            // protocol version — reject a mismatch here, typed, instead
+            // of surfacing it later as opaque decode errors mid-traffic.
+            if version != PROTOCOL_VERSION {
+                return Response::Error {
+                    code: error_code::BAD_FRAME,
+                    message: format!(
+                        "protocol version mismatch: peer speaks v{version}, \
+                         this server speaks v{PROTOCOL_VERSION}"
+                    ),
+                };
+            }
+            conn.epoch = epoch;
+            Response::HelloOk(shared.node_info())
+        }
+        Request::DetachShard { shard } => handle_detach(shared, shard),
+        Request::AttachShard { shard, state } => handle_attach(shared, shard, &state),
+        Request::SetEpoch { epoch } => {
+            if shared.config.cluster.is_none() {
+                return not_clustered("SetEpoch");
+            }
+            shared.epoch.store(epoch, Ordering::SeqCst);
+            // The issuing connection (the router's admin path) evidently
+            // knows the new epoch; adopt it so its next ops aren't
+            // pointlessly fenced.
+            conn.epoch = epoch;
+            Response::EpochOk { epoch }
+        }
+        Request::Reshard { .. } => Response::Error {
+            code: error_code::NOT_CLUSTERED,
+            message: "resharding is coordinated by the router tier; \
+                      send Reshard to delta-routerd"
+                .to_string(),
+        },
         // Nested tags are rejected by the decoder; a bare Tagged here
         // means the caller bypassed `serve_connection`'s unwrapping.
-        Request::Tagged { inner, .. } => handle_request(shared, *inner, compiler),
+        Request::Tagged { inner, .. } => handle_request(shared, *inner, conn),
         Request::Stats => {
-            let shards: Vec<ShardStats> = shared.shards.iter().map(ShardCore::stats).collect();
+            let mut shards: Vec<ShardStats> = Vec::new();
+            for slot in &shared.slots {
+                if let Some(core) = slot.read().expect("slot").as_ref() {
+                    shards.push(core.stats());
+                }
+            }
             Response::StatsOk(StatsSnapshot { shards })
         }
         Request::Shutdown => {
@@ -539,11 +550,37 @@ fn handle_request(shared: &Shared, request: Request, compiler: Option<&QueryComp
     }
 }
 
+/// A shard's read-locked slot, tagged with its shard id.
+type LockedShard<'a> = (usize, RwLockReadGuard<'a, Option<ShardCore>>);
+
+/// Read-locks every shard in `shards` (ascending, deduplicated input),
+/// failing with the missing shard if any is not hosted here.
+fn lock_shards<'a>(
+    shared: &'a Shared,
+    shards: impl Iterator<Item = usize>,
+) -> Result<Vec<LockedShard<'a>>, usize> {
+    let mut guards = Vec::new();
+    for s in shards {
+        let guard = shared.slots[s].read().expect("slot");
+        if guard.is_none() {
+            return Err(s);
+        }
+        guards.push((s, guard));
+    }
+    Ok(guards)
+}
+
 fn handle_query(shared: &Shared, q: QueryEvent) -> Response {
     if let Some(&bad) = q.objects.iter().find(|o| o.index() >= shared.catalog.len()) {
         return unknown_object(bad);
     }
     let subs = shared.map.split_query(&q, &shared.catalog);
+    // Every touched shard must be hosted here before anything executes:
+    // a partially-served query on a stale map would be a wrong answer.
+    let guards = match lock_shards(shared, subs.iter().map(|(s, _)| *s)) {
+        Ok(g) => g,
+        Err(missing) => return wrong_node(shared, missing),
+    };
     let mut sent = 0u16;
     let mut local_answers = 0u16;
     let mut shipped = 0u16;
@@ -551,9 +588,10 @@ fn handle_query(shared: &Shared, q: QueryEvent) -> Response {
     // Every touched shard serves its sub-query even after a failure, so
     // a contract violation on one shard never leaves another shard's
     // sub-trace short (the differential tests depend on it).
-    for (shard, sub) in subs {
+    for ((_, guard), (_, sub)) in guards.iter().zip(subs) {
+        let core = guard.as_ref().expect("checked by lock_shards");
         sent += 1;
-        match shared.shards[shard].serve_query(sub) {
+        match core.serve_query(sub) {
             Ok(true) => local_answers += 1,
             Ok(false) => shipped += 1,
             Err(error) => {
@@ -642,7 +680,7 @@ fn handle_batch(shared: &Shared, items: Vec<BatchItem>) -> Response {
     replies.resize_with(items.len(), || None);
     let mut accs: Vec<Option<QueryAcc>> = Vec::with_capacity(items.len());
     accs.resize_with(items.len(), || None);
-    let mut per_shard: Vec<Vec<ShardOp>> = vec![Vec::new(); shared.shards.len()];
+    let mut per_shard: Vec<Vec<ShardOp>> = vec![Vec::new(); shared.slots.len()];
 
     for (i, item) in items.into_iter().enumerate() {
         match item {
@@ -678,11 +716,18 @@ fn handle_batch(shared: &Shared, items: Vec<BatchItem>) -> Response {
         }
     }
 
-    for (s, ops) in per_shard.into_iter().enumerate() {
-        if ops.is_empty() {
-            continue;
-        }
-        for outcome in shared.shards[s].run_batch(ops) {
+    // All touched shards must be hosted before any sub-batch runs: a
+    // stale map must never half-execute a batch.
+    let touched: Vec<usize> = (0..per_shard.len())
+        .filter(|&s| !per_shard[s].is_empty())
+        .collect();
+    let guards = match lock_shards(shared, touched.iter().copied()) {
+        Ok(g) => g,
+        Err(missing) => return wrong_node(shared, missing),
+    };
+    for (s, guard) in guards {
+        let core = guard.as_ref().expect("checked by lock_shards");
+        for outcome in core.run_batch(std::mem::take(&mut per_shard[s])) {
             match outcome {
                 OpOutcome::Query { item, local } => {
                     let acc = accs[item as usize]
@@ -736,6 +781,183 @@ fn handle_batch(shared: &Shared, items: Vec<BatchItem>) -> Response {
     Response::BatchOk(replies)
 }
 
+/// Executes the router's pre-split, shard-targeted ops. Replies come
+/// back as a `BatchOk` with one reply per op in op order; each shard's
+/// ops run as one coalesced sub-batch, exactly like `handle_batch`.
+fn handle_node_ops(shared: &Shared, ops: Vec<NodeOp>) -> Response {
+    if shared.config.cluster.is_none() {
+        return not_clustered("NodeOps");
+    }
+    if let Some(op) = ops
+        .iter()
+        .find(|op| op.shard as usize >= shared.slots.len())
+    {
+        return Response::Error {
+            code: error_code::BAD_FRAME,
+            message: format!(
+                "node-op targets shard {} but the cluster has {}",
+                op.shard,
+                shared.slots.len()
+            ),
+        };
+    }
+    let mut replies: Vec<Option<BatchReply>> = Vec::with_capacity(ops.len());
+    replies.resize_with(ops.len(), || None);
+    let mut per_shard: Vec<Vec<ShardOp>> = vec![Vec::new(); shared.slots.len()];
+    for (i, op) in ops.into_iter().enumerate() {
+        let shard_ops = &mut per_shard[op.shard as usize];
+        match op.item {
+            BatchItem::Query(q) => shard_ops.push(ShardOp::Query {
+                item: i as u32,
+                event: q,
+            }),
+            BatchItem::Update(u) => shard_ops.push(ShardOp::Update {
+                item: i as u32,
+                event: u,
+            }),
+        }
+    }
+    let touched: Vec<usize> = (0..per_shard.len())
+        .filter(|&s| !per_shard[s].is_empty())
+        .collect();
+    // Nothing executes unless every targeted shard is hosted here — the
+    // router's map was stale, and it must re-route, not half-run.
+    let guards = match lock_shards(shared, touched.iter().copied()) {
+        Ok(g) => g,
+        Err(missing) => return wrong_node(shared, missing),
+    };
+    for (s, guard) in guards {
+        let core = guard.as_ref().expect("checked by lock_shards");
+        for outcome in core.run_batch(std::mem::take(&mut per_shard[s])) {
+            let (item, reply) = match outcome {
+                OpOutcome::Query { item, local } => (
+                    item,
+                    BatchReply::Query {
+                        shards_touched: 1,
+                        local_answers: local as u16,
+                        shipped: !local as u16,
+                    },
+                ),
+                OpOutcome::QueryFailed { item, error } => (
+                    item,
+                    BatchReply::Error {
+                        code: error_code::CONTRACT_VIOLATED,
+                        message: error,
+                    },
+                ),
+                OpOutcome::Update { item, version } => (
+                    item,
+                    BatchReply::Update {
+                        shard: s as u16,
+                        version,
+                    },
+                ),
+            };
+            replies[item as usize] = Some(reply);
+        }
+    }
+    Response::BatchOk(
+        replies
+            .into_iter()
+            .map(|r| {
+                r.unwrap_or(BatchReply::Error {
+                    code: error_code::BAD_FRAME,
+                    message: "op produced no outcome".to_string(),
+                })
+            })
+            .collect(),
+    )
+}
+
+/// Resharding step 1 at the losing node: stop hosting the shard and hand
+/// its serialized engine state back.
+fn handle_detach(shared: &Shared, shard: u16) -> Response {
+    if shared.config.cluster.is_none() {
+        return not_clustered("DetachShard");
+    }
+    if shard as usize >= shared.slots.len() {
+        return Response::Error {
+            code: error_code::BAD_FRAME,
+            message: format!("shard {shard} out of range"),
+        };
+    }
+    // The write lock waits out every in-flight op on this shard, so the
+    // snapshot is taken at a quiescent point.
+    let mut slot = shared.slots[shard as usize].write().expect("slot");
+    let Some(core) = slot.as_ref() else {
+        drop(slot);
+        return wrong_node(shared, shard as usize);
+    };
+    // Serialize and size-check BEFORE committing to the detach: a
+    // snapshot that cannot ride a frame must leave the shard hosted and
+    // intact, not destroy the only copy of its state.
+    let state = snapshot_to_string(&core.snapshot());
+    if state.len() + 16 > crate::protocol::MAX_FRAME_BYTES as usize {
+        return Response::Error {
+            code: error_code::RESHARD_FAILED,
+            message: format!(
+                "shard {shard}'s snapshot is {} bytes — too large for a \
+                 {}-byte frame; the shard stays hosted here",
+                state.len(),
+                crate::protocol::MAX_FRAME_BYTES
+            ),
+        };
+    }
+    slot.take().expect("checked above").discard();
+    Response::ShardState {
+        shard,
+        state: state.into_bytes(),
+    }
+}
+
+/// Resharding step 2 at the gaining node: rebuild the shard engine from
+/// the old owner's state and start serving it.
+fn handle_attach(shared: &Shared, shard: u16, state: &[u8]) -> Response {
+    if shared.config.cluster.is_none() {
+        return not_clustered("AttachShard");
+    }
+    if shard as usize >= shared.slots.len() {
+        return Response::Error {
+            code: error_code::BAD_FRAME,
+            message: format!("shard {shard} out of range"),
+        };
+    }
+    let s = shard as usize;
+    let reshard_failed = |message: String| Response::Error {
+        code: error_code::RESHARD_FAILED,
+        message,
+    };
+    let snap = match std::str::from_utf8(state)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+        .and_then(snapshot_from_str)
+    {
+        Ok(snap) => snap,
+        Err(e) => return reshard_failed(format!("attach shard {shard}: bad state blob: {e}")),
+    };
+    let sub = shared.map.shard_catalog(s, &shared.catalog);
+    if let Err(msg) = validate_restore(&snap, &sub, &shared.config, shared.caches[s], s) {
+        return reshard_failed(format!("attach shard {shard}: {msg}"));
+    }
+    let mut slot = shared.slots[s].write().expect("slot");
+    if slot.is_some() {
+        return reshard_failed(format!("this node already hosts shard {shard}"));
+    }
+    *slot = Some(ShardCore::new(ShardSpec {
+        shard,
+        catalog: sub,
+        cache_bytes: shared.caches[s],
+        policy: shared.config.policy,
+        seed: shared.config.seed + s as u64,
+        restore: Some(snap),
+        snapshot_path: shared
+            .config
+            .snapshot_dir
+            .as_ref()
+            .map(|dir| dir.join(format!("shard-{s}.jsonl"))),
+    }));
+    Response::AttachOk { shard }
+}
+
 /// Converts a single-request error response into its batch-item shape.
 fn batch_error(r: Response) -> BatchReply {
     match r {
@@ -751,5 +973,22 @@ fn unknown_object(o: ObjectId) -> Response {
     Response::Error {
         code: error_code::UNKNOWN_OBJECT,
         message: format!("object {o} is outside the catalog"),
+    }
+}
+
+fn wrong_node(shared: &Shared, shard: usize) -> Response {
+    Response::Error {
+        code: error_code::WRONG_NODE,
+        message: format!(
+            "shard {shard} is not hosted on this node (epoch {}); refresh the routing map",
+            shared.epoch.load(Ordering::SeqCst)
+        ),
+    }
+}
+
+fn not_clustered(what: &str) -> Response {
+    Response::Error {
+        code: error_code::NOT_CLUSTERED,
+        message: format!("{what} requires cluster mode (start the node with a cluster role)"),
     }
 }

@@ -205,6 +205,33 @@ impl ShardCore {
         stats(self.shard, self.policy, &self.lock())
     }
 
+    /// Captures the engine snapshot without disturbing the core — the
+    /// first half of a migration, taken while the core is still hosted
+    /// so the caller can refuse an unmigratable snapshot (e.g. one too
+    /// large for a wire frame) with the shard intact.
+    pub fn snapshot(&self) -> EngineSnapshot {
+        self.lock().snapshot()
+    }
+
+    /// Discards the core after its state left this node: removes any
+    /// on-disk snapshot file — the shard no longer lives here, so a cold
+    /// restart of this node must not resurrect it.
+    pub fn discard(self) {
+        if let Some(path) = &self.snapshot_path {
+            let _ = std::fs::remove_file(path);
+        }
+    }
+
+    /// Consumes the core for migration to another node: returns the
+    /// engine snapshot and removes any on-disk snapshot file. Prefer
+    /// [`ShardCore::snapshot`] + [`ShardCore::discard`] when the caller
+    /// must validate the snapshot before committing to the detach.
+    pub fn detach(self) -> EngineSnapshot {
+        let snap = self.snapshot();
+        self.discard();
+        snap
+    }
+
     /// Persists the engine snapshot (when configured) and reports final
     /// statistics. Called by the server after every connection drained.
     pub fn shutdown(&self) -> ShardStats {
@@ -418,6 +445,49 @@ mod tests {
         let stats = core.shutdown();
         assert_eq!(stats.metrics.updates, 2);
         assert_eq!(stats.metrics.queries, 0, "violated queries are not counted");
+    }
+
+    #[test]
+    fn detach_carries_full_engine_state_and_clears_the_snapshot_file() {
+        let catalog = ObjectCatalog::from_sizes(&[100, 200]);
+        let path = std::env::temp_dir().join(format!(
+            "delta-shard-detach-{}-{:?}.jsonl",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::write(&path, b"stale\n").unwrap();
+        let first = ShardCore::new(ShardSpec {
+            shard: 3,
+            catalog: catalog.clone(),
+            cache_bytes: 1_000,
+            policy: PolicyKind::VCover,
+            seed: 7,
+            restore: None,
+            snapshot_path: Some(path.clone()),
+        });
+        first.apply_update(UpdateEvent {
+            seq: 1,
+            object: ObjectId(0),
+            bytes: 10,
+        });
+        first.serve_query(query(2, vec![0], 55)).unwrap();
+        let want = first.stats();
+        let snap = first.detach();
+        assert!(
+            !path.exists(),
+            "detach must remove the snapshot file so a cold restart cannot resurrect the shard"
+        );
+        // The new owner restores an identical engine.
+        let resumed = ShardCore::new(ShardSpec {
+            shard: 3,
+            catalog,
+            cache_bytes: 1_000,
+            policy: PolicyKind::VCover,
+            seed: 7,
+            restore: Some(snap),
+            snapshot_path: None,
+        });
+        assert_eq!(resumed.stats().metrics, want.metrics);
     }
 
     #[test]

@@ -1,8 +1,10 @@
 //! Property tests for the sharding arithmetic: `apportion`'s exactness,
-//! query splitting under arbitrary shard counts, and agreement between
-//! the offline `shard_trace` twin and online routing on random traces.
+//! query splitting under arbitrary shard counts, agreement between the
+//! offline `shard_trace` twin and online routing on random traces — all
+//! quantified over *both* partitioners — plus the [`HashRing`]-specific
+//! bounded-remap property that makes live resharding affordable.
 
-use delta_server::{apportion, shard_trace, ShardMap};
+use delta_server::{apportion, shard_trace, HashRing, Partitioner, PartitionerKind, RoundRobin};
 use delta_storage::{ObjectCatalog, ObjectId};
 use delta_workload::{Event, QueryEvent, QueryKind, Trace, UpdateEvent};
 use proptest::prelude::*;
@@ -24,6 +26,14 @@ fn arb_kind() -> impl Strategy<Value = QueryKind> {
         QueryKind::Scan,
         QueryKind::Selection,
     ])
+}
+
+fn arb_partitioner_kind() -> impl Strategy<Value = PartitionerKind> {
+    prop::sample::select(vec![PartitionerKind::RoundRobin, PartitionerKind::HashRing])
+}
+
+fn build(kind: PartitionerKind, n_shards: usize, n_objects: usize) -> Box<dyn Partitioner> {
+    kind.build(n_shards, n_objects)
 }
 
 proptest! {
@@ -60,10 +70,75 @@ proptest! {
         }
     }
 
+    /// Every partitioner is a dense bijection: `global ↔ (shard, local)`
+    /// invert each other, local ids run `0..shard_len` with no gaps, and
+    /// the shard lengths sum to the catalog.
+    #[test]
+    fn local_and_global_ids_invert(
+        kind in arb_partitioner_kind(),
+        n_objects in 1usize..200,
+        n_shards in 1usize..12,
+    ) {
+        let n_shards = n_shards.min(n_objects);
+        let map = build(kind, n_shards, n_objects);
+        let mut seen = vec![false; n_objects];
+        let mut total = 0usize;
+        for s in 0..map.n_shards() {
+            total += map.shard_len(s);
+            for l in 0..map.shard_len(s) {
+                let g = map.global_id(s, ObjectId(l as u32));
+                prop_assert!(g.index() < n_objects);
+                prop_assert!(!seen[g.index()], "{} assigned twice", g);
+                seen[g.index()] = true;
+                prop_assert_eq!(map.shard_of(g), s);
+                prop_assert_eq!(map.local_id(g), ObjectId(l as u32));
+            }
+        }
+        prop_assert_eq!(total, n_objects);
+        prop_assert!(seen.into_iter().all(|b| b), "every object owned");
+    }
+
+    /// The bounded-remap property: growing a [`HashRing`] from N to N+1
+    /// shards only ever moves objects *to* the new shard, and the moved
+    /// share stays near the ideal `1/(N+1)`.
+    #[test]
+    fn hash_ring_remap_is_bounded(
+        n_objects in 50usize..2_000,
+        n_shards in 1usize..12,
+    ) {
+        let before = HashRing::new(n_shards, n_objects);
+        let after = HashRing::new(n_shards + 1, n_objects);
+        let mut moved = 0usize;
+        for g in 0..n_objects as u32 {
+            let o = ObjectId(g);
+            if before.shard_of(o) != after.shard_of(o) {
+                prop_assert_eq!(
+                    after.shard_of(o),
+                    n_shards,
+                    "{} moved between surviving shards",
+                    o
+                );
+                moved += 1;
+            }
+        }
+        // Ideal is n_objects/(n_shards+1); allow generous statistical
+        // slack (4x + small-sample constant) while still refuting any
+        // "rehash everything" regression.
+        let ideal = n_objects / (n_shards + 1);
+        prop_assert!(
+            moved <= ideal * 4 + 16,
+            "moved {} objects, ideal {}",
+            moved,
+            ideal
+        );
+    }
+
     /// Splitting a query preserves its byte total and object multiset
-    /// for every shard count, and sub-queries use valid local ids.
+    /// for every shard count and partitioner, and sub-queries use valid
+    /// local ids.
     #[test]
     fn split_query_is_lossless_under_any_shard_count(
+        kind_sel in arb_partitioner_kind(),
         sizes in arb_catalog_sizes(),
         n_shards in 1usize..12,
         objects in prop::collection::vec(0u32..48, 1..24),
@@ -72,12 +147,13 @@ proptest! {
         kind in arb_kind(),
     ) {
         let catalog = ObjectCatalog::from_sizes(&sizes);
+        let n_shards = n_shards.min(sizes.len());
         let objects: Vec<ObjectId> = objects
             .into_iter()
             .map(|o| ObjectId(o % sizes.len() as u32))
             .collect();
         let q = QueryEvent { seq: 1, objects: objects.clone(), result_bytes, tolerance, kind };
-        let map = ShardMap::new(n_shards);
+        let map = build(kind_sel, n_shards, sizes.len());
         let subs = map.split_query(&q, &catalog);
 
         prop_assert_eq!(
@@ -102,10 +178,12 @@ proptest! {
     }
 
     /// The offline `shard_trace` twin routes every event exactly as the
-    /// online `split_query`/`split_update` path does, for random traces
-    /// and shard counts — the equivalence the integration tests lean on.
+    /// online `split_query`/`split_update` path does, for random traces,
+    /// shard counts and partitioners — the equivalence the integration
+    /// and cluster differential tests lean on.
     #[test]
     fn shard_trace_agrees_with_online_routing(
+        kind_sel in arb_partitioner_kind(),
         sizes in arb_catalog_sizes(),
         n_shards in 1usize..10,
         total_cache in 0u64..1_000_000,
@@ -140,9 +218,14 @@ proptest! {
             })
             .collect();
         let trace = Trace::new(events.clone());
-        let map = ShardMap::new(n_shards);
+        let map = build(kind_sel, n_shards, sizes.len());
+        // An empty shard cannot carry a sub-catalog; the live server
+        // refuses such configurations, so the twin skips them too.
+        if (0..n_shards).any(|s| map.shard_len(s) == 0) {
+            return Ok(());
+        }
 
-        let offline = shard_trace(map, &catalog, &trace, total_cache);
+        let offline = shard_trace(map.as_ref(), &catalog, &trace, total_cache);
 
         // Online twin: route event by event with the same primitives.
         let mut online: Vec<Vec<Event>> = vec![Vec::new(); n_shards];
@@ -166,7 +249,7 @@ proptest! {
         for (s, (sub_catalog, sub_trace, cache)) in offline.iter().enumerate() {
             prop_assert_eq!(&sub_trace.events, &online[s], "shard {} sub-trace diverged", s);
             prop_assert_eq!(*cache, caches[s]);
-            prop_assert_eq!(sub_catalog.len(), map.shard_len(s, catalog.len()));
+            prop_assert_eq!(sub_catalog.len(), map.shard_len(s));
         }
 
         // Byte totals survive the partitioning exactly.
@@ -177,14 +260,19 @@ proptest! {
     }
 
     /// Sub-catalogs tile the catalog: every object appears on exactly
-    /// one shard with its original size, for any shard count.
+    /// one shard with its original size, for any shard count and either
+    /// partitioner.
     #[test]
-    fn sub_catalogs_tile_the_catalog(sizes in arb_catalog_sizes(), n_shards in 1usize..12) {
+    fn sub_catalogs_tile_the_catalog(
+        kind_sel in arb_partitioner_kind(),
+        sizes in arb_catalog_sizes(),
+        n_shards in 1usize..12,
+    ) {
         let catalog = ObjectCatalog::from_sizes(&sizes);
         let n_shards = n_shards.min(sizes.len());
-        let map = ShardMap::new(n_shards);
+        let map = build(kind_sel, n_shards, sizes.len());
         let mut seen = vec![0u32; sizes.len()];
-        for s in 0..n_shards {
+        for s in (0..n_shards).filter(|&s| map.shard_len(s) > 0) {
             let sub = map.shard_catalog(s, &catalog);
             for l in 0..sub.len() {
                 let g = map.global_id(s, ObjectId(l as u32));
@@ -194,5 +282,20 @@ proptest! {
             }
         }
         prop_assert!(seen.iter().all(|&c| c == 1), "each object on exactly one shard");
+    }
+
+    /// RoundRobin preserved byte-for-byte: the trait object computes the
+    /// exact `g % N` / `g / N` arithmetic of the pre-trait `ShardMap`.
+    #[test]
+    fn round_robin_is_the_original_arithmetic(
+        n_objects in 1usize..500,
+        n_shards in 1usize..12,
+        g in 0u32..500,
+    ) {
+        let n_shards = n_shards.min(n_objects);
+        let g = g % n_objects as u32;
+        let map = RoundRobin::new(n_shards, n_objects);
+        prop_assert_eq!(map.shard_of(ObjectId(g)), (g as usize) % n_shards);
+        prop_assert_eq!(map.local_id(ObjectId(g)), ObjectId(g / n_shards as u32));
     }
 }

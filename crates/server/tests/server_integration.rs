@@ -9,8 +9,8 @@
 
 use delta_core::{sim, CostLedger};
 use delta_server::{
-    shard_trace, BatchItem, BatchReply, DeltaClient, PolicyKind, Request, Response, Server,
-    ServerConfig, ShardMap,
+    shard_trace, BatchItem, BatchReply, DeltaClient, PolicyKind, Request, Response, RoundRobin,
+    Server, ServerConfig,
 };
 use delta_workload::{Event, SyntheticSurvey, WorkloadConfig};
 
@@ -43,8 +43,7 @@ fn start_server(
         cache_bytes,
         policy,
         seed: 42,
-        frontend: None,
-        snapshot_dir: None,
+        ..ServerConfig::default()
     };
     let server = Server::start(config, survey.catalog.clone()).expect("server starts");
     (server, cache_bytes)
@@ -72,8 +71,8 @@ fn expected_shard_ledgers(
     cache_bytes: u64,
     seed: u64,
 ) -> Vec<CostLedger> {
-    let map = ShardMap::new(n_shards);
-    shard_trace(map, &survey.catalog, &survey.trace, cache_bytes)
+    let map = RoundRobin::new(n_shards, survey.catalog.len());
+    shard_trace(&map, &survey.catalog, &survey.trace, cache_bytes)
         .into_iter()
         .enumerate()
         .map(|(s, (catalog, trace, shard_cache))| {

@@ -27,7 +27,7 @@ fn start_server(cfg: &WorkloadConfig, survey: &SyntheticSurvey) -> Server {
         policy: PolicyKind::VCover,
         seed: 42,
         frontend: Some(cfg.clone()),
-        snapshot_dir: None,
+        ..ServerConfig::default()
     };
     Server::start(config, survey.catalog.clone()).expect("server starts")
 }
@@ -213,8 +213,7 @@ fn sql_unavailable_without_frontend() {
         cache_bytes: 10_000,
         policy: PolicyKind::NoCache,
         seed: 1,
-        frontend: None,
-        snapshot_dir: None,
+        ..ServerConfig::default()
     };
     let server = Server::start(config, survey.catalog.clone()).expect("server starts");
     let mut client = DeltaClient::connect(server.local_addr()).expect("connect");
@@ -239,7 +238,7 @@ fn mismatched_frontend_refused_at_start() {
         policy: PolicyKind::NoCache,
         seed: 1,
         frontend: Some(cfg),
-        snapshot_dir: None,
+        ..ServerConfig::default()
     };
     let err = match Server::start(config, catalog) {
         Err(e) => e,

@@ -12,7 +12,7 @@
 use delta_core::{deploy, sim, CostLedger, VCover};
 use delta_server::{
     error_code, read_frame, shard_trace, write_frame, BatchItem, BatchReply, DeltaClient,
-    PolicyKind, Request, Response, Server, ServerConfig, ShardMap, StatsSnapshot,
+    PolicyKind, Request, Response, RoundRobin, Server, ServerConfig, StatsSnapshot,
 };
 use delta_storage::ObjectId;
 use delta_workload::{Event, QueryEvent, QueryKind, SyntheticSurvey, UpdateEvent, WorkloadConfig};
@@ -53,8 +53,8 @@ fn config(policy: PolicyKind, cache_bytes: u64, snapshot_dir: Option<PathBuf>) -
         cache_bytes,
         policy,
         seed: 42,
-        frontend: None,
         snapshot_dir,
+        ..ServerConfig::default()
     }
 }
 
@@ -83,8 +83,8 @@ fn replay_batched(addr: std::net::SocketAddr, events: &[Event], batch: usize) {
 /// The sharded-simulation twin: per-shard ledgers from `sim::simulate`
 /// over `shard_trace`'s sub-traces.
 fn expected_shard_ledgers(survey: &SyntheticSurvey, cache_bytes: u64) -> Vec<CostLedger> {
-    let map = ShardMap::new(shard_count());
-    shard_trace(map, &survey.catalog, &survey.trace, cache_bytes)
+    let map = RoundRobin::new(shard_count(), survey.catalog.len());
+    shard_trace(&map, &survey.catalog, &survey.trace, cache_bytes)
         .into_iter()
         .enumerate()
         .map(|(s, (catalog, trace, shard_cache))| {

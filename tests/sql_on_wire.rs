@@ -18,7 +18,7 @@ fn world() -> (WorkloadConfig, SyntheticSurvey, Server) {
         policy: PolicyKind::VCover,
         seed: 7,
         frontend: Some(cfg.clone()),
-        snapshot_dir: None,
+        ..ServerConfig::default()
     };
     let server = Server::start(config, survey.catalog.clone()).expect("server starts");
     (cfg, survey, server)
