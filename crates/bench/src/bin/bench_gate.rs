@@ -18,6 +18,12 @@
 //! the gate (adding a benchmark must not require regenerating the
 //! baseline in the same PR). Improvements are reported too — commit the
 //! refreshed baseline when they are real, so the fence ratchets forward.
+//!
+//! When both documents carry client-observed latency (`latency_ns.p99`
+//! per mode, written by `delta-loadgen --bench-json`), p99 regressions
+//! are reported **warn-only**: tail latency on shared CI runners is too
+//! noisy to gate hard, but the trajectory should be visible in every
+//! run's log.
 
 use serde_json::Value;
 use std::collections::BTreeMap;
@@ -55,6 +61,32 @@ fn read_rates(path: &str) -> BTreeMap<String, f64> {
             let name = b.get("name")?.as_str()?.to_string();
             let rate = b.get("events_per_sec")?.as_f64()?;
             Some((name, rate))
+        })
+        .collect()
+}
+
+/// Client-observed p99 RTT per benchmark, when the document carries it
+/// (`latency_ns.p99`, the loadgen shape). Absent entries are fine —
+/// older baselines predate the field.
+fn read_p99s(path: &str) -> BTreeMap<String, f64> {
+    let body = match std::fs::read_to_string(path) {
+        Ok(body) => body,
+        Err(_) => return BTreeMap::new(),
+    };
+    let Ok(doc) = serde_json::from_str_value(&body) else {
+        return BTreeMap::new();
+    };
+    let benches = doc
+        .get("benchmarks")
+        .and_then(Value::as_array)
+        .or_else(|| doc.get("modes").and_then(Value::as_array));
+    benches
+        .into_iter()
+        .flatten()
+        .filter_map(|b| {
+            let name = b.get("name")?.as_str()?.to_string();
+            let p99 = b.get("latency_ns")?.get("p99")?.as_f64()?;
+            Some((name, p99))
         })
         .collect()
 }
@@ -103,6 +135,34 @@ fn main() {
     }
     for name in cand.keys().filter(|n| !base.contains_key(*n)) {
         println!("{name:<40} NEW (not gated; commit a refreshed baseline)");
+    }
+
+    // Client-observed p99 RTT: warn-only. Tail latency on shared CI
+    // hardware is too noisy to fail a build on, but a creeping p99
+    // should be visible in every run's log.
+    let base_p99 = read_p99s(&baseline);
+    let cand_p99 = read_p99s(&candidate);
+    for (name, b) in &base_p99 {
+        let Some(c) = cand_p99.get(name) else {
+            continue;
+        };
+        if *b <= 0.0 {
+            continue;
+        }
+        let ratio = c / b;
+        let verdict = if ratio > 1.0 + tolerance {
+            "p99 REGRESSED (warn-only)"
+        } else if ratio < 1.0 - tolerance {
+            "p99 improved"
+        } else {
+            "p99 ok"
+        };
+        println!(
+            "{name:<40} base p99 {:>9.1}µs  cand p99 {:>9.1}µs  {:>+6.1}%  {verdict}",
+            b / 1_000.0,
+            c / 1_000.0,
+            (ratio - 1.0) * 100.0
+        );
     }
     if failures > 0 {
         eprintln!(

@@ -6,7 +6,7 @@
 //!               [--trace trace.jsonl | --preset small|paper]
 //!               [--events N] [--limit N] [--clients C]
 //!               [--batch N] [--pipeline W]
-//!               [--bench-json PATH] [--shutdown]
+//!               [--bench-json PATH] [--telemetry-json PATH] [--shutdown]
 //! ```
 //!
 //! `--events N` regenerates the preset workload with N/2 queries and
@@ -20,10 +20,19 @@
 //! repository state, and the ratios compare protocol overhead rather
 //! than cache warmth), the trace is replayed three measured times —
 //! lockstep, batched and pipelined — and a JSON document with the
-//! events/s per mode, the server's shard count and the final aggregate
+//! events/s per mode, the client-observed round-trip latency quantiles
+//! per mode (`latency_ns`: p50/p90/p99/p999, per op in lockstep and per
+//! frame otherwise), the server's shard count and the final aggregate
 //! metrics (reflecting all four replays) is written to PATH (the repo
 //! convention is `results/BENCH_server.json`), so successive PRs can
-//! track protocol throughput regressions from CI artifacts.
+//! track protocol throughput *and* tail-latency regressions from CI
+//! artifacts.
+//!
+//! `--telemetry-json PATH` scrapes the server's own telemetry (latency
+//! histograms, wire counters; the cluster-wide merge when `--addr`
+//! points at a router) after the replay, prints the table, fails if the
+//! core wire counters are still zero, and writes the snapshot to PATH —
+//! the CI smoke bench uses this as its end-to-end observability check.
 //!
 //! With `--clients C`, the trace is dealt round-robin over C connections
 //! driven by C threads (updates and queries stay globally ordered per
@@ -42,8 +51,9 @@
 //! per-shard table, and verifies that the per-shard ledgers sum to the
 //! aggregate totals.
 
-use delta_server::{BatchItem, BatchReply, DeltaClient, NodeInfo, Request, Response};
+use delta_server::{BatchItem, BatchReply, DeltaClient, Histogram, NodeInfo, Request, Response};
 use delta_workload::{Event, Trace, WorkloadConfig};
+use std::collections::HashMap;
 use std::process::exit;
 use std::time::Instant;
 
@@ -57,6 +67,7 @@ struct Args {
     batch: usize,
     pipeline: usize,
     bench_json: Option<String>,
+    telemetry_json: Option<String>,
     shutdown: bool,
     reshard_at: Option<usize>,
     reshard: Option<(u16, u16)>,
@@ -66,9 +77,42 @@ fn usage() -> ! {
     eprintln!(
         "usage: delta-loadgen --addr ADDR [--trace FILE | --preset small|paper] \
          [--events N] [--limit N] [--clients C] [--batch N] [--pipeline W] \
-         [--bench-json PATH] [--reshard-at N --reshard SHARD:NODE] [--shutdown]"
+         [--bench-json PATH] [--telemetry-json PATH] \
+         [--reshard-at N --reshard SHARD:NODE] [--shutdown]"
     );
     exit(2);
+}
+
+/// `--telemetry-json`: scrape the peer's telemetry over the wire (the
+/// cluster-wide merge when the peer is a router), print the table,
+/// refuse a snapshot whose core wire counters are still zero (a scrape
+/// after a replay must show traffic — zeros mean the instrumentation
+/// came unthreaded), and write the snapshot JSON to `path`.
+fn scrape_telemetry(addr: &str, path: &str) {
+    let snap = DeltaClient::connect(addr)
+        .and_then(|mut c| c.telemetry())
+        .unwrap_or_else(|e| {
+            eprintln!("delta-loadgen: telemetry scrape failed: {e}");
+            exit(1);
+        });
+    print!("{}", snap.render_table());
+    for name in ["conn.bytes_in", "conn.bytes_out", "conn.frames_in"] {
+        if snap.counter(name) == 0 {
+            eprintln!("delta-loadgen: telemetry counter {name} is zero after a replay");
+            exit(1);
+        }
+    }
+    if !snap.histograms.iter().any(|(_, h)| !h.is_empty()) {
+        eprintln!("delta-loadgen: every telemetry histogram is empty after a replay");
+        exit(1);
+    }
+    let mut body = snap.to_json();
+    body.push('\n');
+    std::fs::write(path, body).unwrap_or_else(|e| {
+        eprintln!("delta-loadgen: cannot write {path}: {e}");
+        exit(1);
+    });
+    eprintln!("wrote {path}");
 }
 
 fn parse_args() -> Args {
@@ -82,6 +126,7 @@ fn parse_args() -> Args {
         batch: 1,
         pipeline: 1,
         bench_json: None,
+        telemetry_json: None,
         shutdown: false,
         reshard_at: None,
         reshard: None,
@@ -102,6 +147,7 @@ fn parse_args() -> Args {
             "--batch" => args.batch = value(&argv, i).parse().unwrap_or_else(|_| usage()),
             "--pipeline" => args.pipeline = value(&argv, i).parse().unwrap_or_else(|_| usage()),
             "--bench-json" => args.bench_json = Some(value(&argv, i)),
+            "--telemetry-json" => args.telemetry_json = Some(value(&argv, i)),
             "--reshard-at" => {
                 args.reshard_at = Some(value(&argv, i).parse().unwrap_or_else(|_| usage()))
             }
@@ -179,20 +225,34 @@ fn load_trace(args: &Args) -> Trace {
 /// Replay totals: queries sent, updates sent, shard sub-queries fanned.
 type Totals = (u64, u64, u64);
 
-fn replay(addr: &str, events: &[Event], batch: usize, pipeline: usize) -> std::io::Result<Totals> {
+/// `lat`, when given, collects client-observed round-trip latencies:
+/// per *op* in lockstep mode, per *frame* in batched and pipelined
+/// modes (a frame is what the client actually waits on there).
+fn replay(
+    addr: &str,
+    events: &[Event],
+    batch: usize,
+    pipeline: usize,
+    lat: Option<&Histogram>,
+) -> std::io::Result<Totals> {
     if batch == 1 && pipeline == 1 {
-        replay_lockstep(addr, events)
+        replay_lockstep(addr, events, lat)
     } else if pipeline == 1 {
-        replay_batched(addr, events, batch)
+        replay_batched(addr, events, batch, lat)
     } else {
-        replay_pipelined(addr, events, batch, pipeline)
+        replay_pipelined(addr, events, batch, pipeline, lat)
     }
 }
 
-fn replay_lockstep(addr: &str, events: &[Event]) -> std::io::Result<Totals> {
+fn replay_lockstep(
+    addr: &str,
+    events: &[Event],
+    lat: Option<&Histogram>,
+) -> std::io::Result<Totals> {
     let mut client = DeltaClient::connect(addr)?;
     let (mut queries, mut updates, mut sub_queries) = (0u64, 0u64, 0u64);
     for event in events {
+        let t0 = Instant::now();
         match event {
             Event::Query(q) => {
                 let reply = client.query(q)?;
@@ -203,6 +263,9 @@ fn replay_lockstep(addr: &str, events: &[Event]) -> std::io::Result<Totals> {
                 client.update(u)?;
                 updates += 1;
             }
+        }
+        if let Some(h) = lat {
+            h.record_duration(t0.elapsed());
         }
     }
     Ok((queries, updates, sub_queries))
@@ -258,11 +321,20 @@ fn tally_response(response: &Response, totals: &mut Totals) -> std::io::Result<(
     Ok(())
 }
 
-fn replay_batched(addr: &str, events: &[Event], batch: usize) -> std::io::Result<Totals> {
+fn replay_batched(
+    addr: &str,
+    events: &[Event],
+    batch: usize,
+    lat: Option<&Histogram>,
+) -> std::io::Result<Totals> {
     let mut client = DeltaClient::connect(addr)?;
     let mut totals = (0u64, 0u64, 0u64);
     for chunk in events.chunks(batch) {
+        let t0 = Instant::now();
         let replies = client.batch(&to_items(chunk))?;
+        if let Some(h) = lat {
+            h.record_duration(t0.elapsed());
+        }
         tally_batch(&replies, &mut totals)?;
     }
     Ok(totals)
@@ -273,9 +345,27 @@ fn replay_pipelined(
     events: &[Event],
     batch: usize,
     window: usize,
+    lat: Option<&Histogram>,
 ) -> std::io::Result<Totals> {
     let mut pipe = DeltaClient::connect(addr)?.pipelined(window);
     let mut totals = (0u64, 0u64, 0u64);
+    // Frame latency is submit → matched reply, tracked per correlation
+    // id (replies can arrive in any order in principle). A submit that
+    // blocks for a window slot counts toward the frames it reaps, not
+    // the frame being submitted.
+    let mut in_flight: HashMap<u64, Instant> = HashMap::new();
+    let reap = |pairs: Vec<(u64, Response)>,
+                totals: &mut Totals,
+                in_flight: &mut HashMap<u64, Instant>|
+     -> std::io::Result<()> {
+        for (corr, response) in pairs {
+            if let (Some(h), Some(t0)) = (lat, in_flight.remove(&corr)) {
+                h.record_duration(t0.elapsed());
+            }
+            tally_response(&response, totals)?;
+        }
+        Ok(())
+    };
     for chunk in events.chunks(batch) {
         let request = if batch == 1 {
             match &chunk[0] {
@@ -285,14 +375,14 @@ fn replay_pipelined(
         } else {
             Request::Batch(to_items(chunk))
         };
-        pipe.submit(&request)?;
-        for (_corr, response) in pipe.completed() {
-            tally_response(&response, &mut totals)?;
+        let corr = pipe.submit(&request)?;
+        if lat.is_some() {
+            in_flight.insert(corr, Instant::now());
         }
+        reap(pipe.completed(), &mut totals, &mut in_flight)?;
     }
-    for (_corr, response) in pipe.drain()? {
-        tally_response(&response, &mut totals)?;
-    }
+    let drained = pipe.drain()?;
+    reap(drained, &mut totals, &mut in_flight)?;
     Ok(totals)
 }
 
@@ -306,7 +396,7 @@ fn run_bench(args: &Args, trace: &Trace, path: &str) {
     // warmed caches, or the first-measured mode pays the warm-up bytes
     // and the per-mode ratios conflate protocol cost with cache state.
     eprintln!("bench    warmup (unmeasured replay to steady state)");
-    replay(&args.addr, &trace.events, batch, 1).unwrap_or_else(|e| {
+    replay(&args.addr, &trace.events, batch, 1, None).unwrap_or_else(|e| {
         eprintln!("delta-loadgen: bench warmup failed: {e}");
         exit(1);
     });
@@ -318,16 +408,25 @@ fn run_bench(args: &Args, trace: &Trace, path: &str) {
     let mut mode_docs = Vec::new();
     let mut rates: Vec<(&str, f64)> = Vec::new();
     for (name, b, w) in modes {
+        // Client-observed round-trip latency: per op in lockstep, per
+        // frame otherwise — the thing a caller actually waits on.
+        let lat = Histogram::new();
         let start = Instant::now();
-        let (queries, updates, _) = replay(&args.addr, &trace.events, b, w).unwrap_or_else(|e| {
-            eprintln!("delta-loadgen: bench mode {name} failed: {e}");
-            exit(1);
-        });
+        let (queries, updates, _) = replay(&args.addr, &trace.events, b, w, Some(&lat))
+            .unwrap_or_else(|e| {
+                eprintln!("delta-loadgen: bench mode {name} failed: {e}");
+                exit(1);
+            });
         let elapsed = start.elapsed().as_secs_f64();
         let events = queries + updates;
         let events_per_sec = events as f64 / elapsed;
+        let lat = lat.snapshot();
         eprintln!(
-            "bench {name:>9} (batch={b}, pipeline={w}): {events} events in {elapsed:.2}s ({events_per_sec:.0} events/s)"
+            "bench {name:>9} (batch={b}, pipeline={w}): {events} events in {elapsed:.2}s \
+             ({events_per_sec:.0} events/s); rtt p50={:.1}µs p99={:.1}µs p999={:.1}µs",
+            lat.p50() as f64 / 1e3,
+            lat.p99() as f64 / 1e3,
+            lat.p999() as f64 / 1e3,
         );
         rates.push((name, events_per_sec));
         mode_docs.push(Value::Object(vec![
@@ -337,6 +436,18 @@ fn run_bench(args: &Args, trace: &Trace, path: &str) {
             ("events".into(), events.to_json()),
             ("elapsed_s".into(), elapsed.to_json()),
             ("events_per_sec".into(), events_per_sec.to_json()),
+            (
+                "latency_ns".into(),
+                Value::Object(vec![
+                    ("count".into(), lat.count.to_json()),
+                    ("mean".into(), lat.mean().to_json()),
+                    ("p50".into(), lat.p50().to_json()),
+                    ("p90".into(), lat.p90().to_json()),
+                    ("p99".into(), lat.p99().to_json()),
+                    ("p999".into(), lat.p999().to_json()),
+                    ("max".into(), lat.max.to_json()),
+                ]),
+            ),
         ]));
     }
 
@@ -443,6 +554,9 @@ fn main() {
     let trace = load_trace(&args);
     if let Some(path) = args.bench_json.clone() {
         run_bench(&args, &trace, &path);
+        if let Some(tpath) = &args.telemetry_json {
+            scrape_telemetry(&args.addr, tpath);
+        }
         if args.shutdown {
             let mut client = DeltaClient::connect(&args.addr).unwrap_or_else(|e| {
                 eprintln!("delta-loadgen: cannot reconnect for shutdown: {e}");
@@ -495,6 +609,7 @@ fn main() {
                     &trace.events[..at],
                     args.batch,
                     args.pipeline,
+                    None,
                 ));
                 let epoch = DeltaClient::connect(&args.addr)
                     .and_then(|mut c| c.reshard(shard, node))
@@ -510,10 +625,17 @@ fn main() {
                     &trace.events[at..],
                     args.batch,
                     args.pipeline,
+                    None,
                 ));
                 (head.0 + tail.0, head.1 + tail.1, head.2 + tail.2)
             }
-            _ => must(replay(&args.addr, &trace.events, args.batch, args.pipeline)),
+            _ => must(replay(
+                &args.addr,
+                &trace.events,
+                args.batch,
+                args.pipeline,
+                None,
+            )),
         }
     } else {
         // Deal events round-robin across C lockstep connections.
@@ -531,7 +653,9 @@ fn main() {
         std::thread::scope(|scope| {
             let handles: Vec<_> = lanes
                 .iter()
-                .map(|lane| scope.spawn(|| replay(&args.addr, lane, args.batch, args.pipeline)))
+                .map(|lane| {
+                    scope.spawn(|| replay(&args.addr, lane, args.batch, args.pipeline, None))
+                })
                 .collect();
             let mut totals = (0u64, 0u64, 0u64);
             for h in handles {
@@ -591,6 +715,10 @@ fn main() {
             "consistency: server accounted {delta_events} shard events >= our {expected} (other clients active); {delta_bytes} bytes moved over {} shards ✓",
             stats.shards.len()
         );
+    }
+
+    if let Some(tpath) = &args.telemetry_json {
+        scrape_telemetry(&args.addr, tpath);
     }
 
     if args.shutdown {

@@ -5,7 +5,15 @@
 //!               --node ADDR [--node ADDR ...]
 //!               [--trace trace.jsonl | --preset small|paper]
 //!               [--sql-preset small|paper | --no-sql]
+//!               [--telemetry-dump PATH [--telemetry-interval SECS]]
 //! ```
+//!
+//! With `--telemetry-dump`, a background thread appends the router's
+//! own telemetry (per-node fan-out latency, epoch retries, reshard
+//! phase durations, wire counters) to `PATH` as one JSON object per
+//! line, every `--telemetry-interval` seconds (default 1), plus a final
+//! line at shutdown. For the *cluster-wide* merge — every node's
+//! counters folded in — send a `Telemetry` frame to the router instead.
 //!
 //! The router connects to every `--node` (in node-id order: the first
 //! `--node` must be the daemon started with `--node-id 0`, and so on),
@@ -23,10 +31,12 @@
 //! the same trace file — because the router apportions query result
 //! bytes by object sizes itself.
 
-use delta_server::{DeltaClient, Router, RouterConfig};
+use delta_server::{DeltaClient, Router, RouterConfig, Telemetry};
 use delta_storage::ObjectCatalog;
 use delta_workload::WorkloadConfig;
+use std::io::Write;
 use std::process::exit;
+use std::sync::Arc;
 
 struct Args {
     bind: String,
@@ -35,15 +45,42 @@ struct Args {
     preset: String,
     sql_preset: Option<String>,
     no_sql: bool,
+    telemetry_dump: Option<std::path::PathBuf>,
+    telemetry_interval: u64,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: delta-routerd [--bind ADDR] --node ADDR [--node ADDR ...] \
          [--trace FILE | --preset small|paper] \
-         [--sql-preset small|paper | --no-sql]"
+         [--sql-preset small|paper | --no-sql] \
+         [--telemetry-dump PATH [--telemetry-interval SECS]]"
     );
     exit(2);
+}
+
+/// Appends one line to `path`, creating the file if needed.
+fn append_jsonl(path: &std::path::Path, line: &str) -> std::io::Result<()> {
+    let mut f = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)?;
+    writeln!(f, "{line}")
+}
+
+/// Periodic JSONL telemetry writer; runs detached until the process
+/// exits (a final line is written after the router stops).
+fn spawn_telemetry_dump(t: Arc<Telemetry>, path: std::path::PathBuf, every: std::time::Duration) {
+    std::thread::Builder::new()
+        .name("telemetry-dump".to_string())
+        .spawn(move || loop {
+            std::thread::sleep(every);
+            if let Err(e) = append_jsonl(&path, &t.snapshot().to_json()) {
+                eprintln!("delta-routerd: telemetry dump: {e}; dump disabled");
+                return;
+            }
+        })
+        .expect("spawn telemetry dump thread");
 }
 
 fn parse_args() -> Args {
@@ -54,6 +91,8 @@ fn parse_args() -> Args {
         preset: "small".to_string(),
         sql_preset: None,
         no_sql: false,
+        telemetry_dump: None,
+        telemetry_interval: 1,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -67,6 +106,12 @@ fn parse_args() -> Args {
             "--trace" => args.trace = Some(value(&argv, i)),
             "--preset" => args.preset = value(&argv, i),
             "--sql-preset" => args.sql_preset = Some(value(&argv, i)),
+            "--telemetry-dump" => {
+                args.telemetry_dump = Some(std::path::PathBuf::from(value(&argv, i)))
+            }
+            "--telemetry-interval" => {
+                args.telemetry_interval = value(&argv, i).parse().unwrap_or_else(|_| usage())
+            }
             "--no-sql" => {
                 args.no_sql = true;
                 i += 1;
@@ -148,7 +193,26 @@ fn main() {
         Err(e) => eprintln!("delta-routerd: self-handshake failed: {e}"),
     }
 
+    if let Some(path) = &args.telemetry_dump {
+        println!(
+            "  telemetry dump: {} every {}s (JSONL)",
+            path.display(),
+            args.telemetry_interval
+        );
+        spawn_telemetry_dump(
+            router.telemetry_handle(),
+            path.clone(),
+            std::time::Duration::from_secs(args.telemetry_interval.max(1)),
+        );
+    }
+
     // Serve until a client sends a Shutdown frame.
+    let final_telemetry = router.telemetry_handle();
     router.join();
+    if let Some(path) = &args.telemetry_dump {
+        if let Err(e) = append_jsonl(path, &final_telemetry.snapshot().to_json()) {
+            eprintln!("delta-routerd: telemetry dump: {e}");
+        }
+    }
     println!("delta-routerd stopped");
 }

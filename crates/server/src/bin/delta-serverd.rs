@@ -14,7 +14,14 @@
 //!               [--sql-preset small|paper | --no-sql]
 //!               [--snapshot-dir DIR]
 //!               [--node-id I --nodes N [--host-shards a,b,c]]
+//!               [--telemetry-dump PATH [--telemetry-interval SECS]]
 //! ```
+//!
+//! With `--telemetry-dump`, a background thread appends the node's
+//! telemetry snapshot (latency histograms, wire counters) to `PATH` as
+//! one JSON object per line, every `--telemetry-interval` seconds
+//! (default 1), plus a final line at shutdown. The same data is
+//! available over the wire at any time via a `Telemetry` frame.
 //!
 //! With `--snapshot-dir`, every hosted shard persists its engine
 //! snapshot (update logs, cache residency, cost ledger) to
@@ -42,10 +49,36 @@
 //! `Shutdown` frame (or SIGINT terminates the process), then prints the
 //! final per-shard statistics table.
 
-use delta_server::{ClusterConfig, PartitionerKind, PolicyKind, Server, ServerConfig};
+use delta_server::{ClusterConfig, PartitionerKind, PolicyKind, Server, ServerConfig, Telemetry};
 use delta_storage::ObjectCatalog;
 use delta_workload::WorkloadConfig;
+use std::io::Write;
 use std::process::exit;
+use std::sync::Arc;
+
+/// Appends one line to `path`, creating the file if needed.
+fn append_jsonl(path: &std::path::Path, line: &str) -> std::io::Result<()> {
+    let mut f = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)?;
+    writeln!(f, "{line}")
+}
+
+/// Periodic JSONL telemetry writer; runs detached until the process
+/// exits (a final line is written after the server drains).
+fn spawn_telemetry_dump(t: Arc<Telemetry>, path: std::path::PathBuf, every: std::time::Duration) {
+    std::thread::Builder::new()
+        .name("telemetry-dump".to_string())
+        .spawn(move || loop {
+            std::thread::sleep(every);
+            if let Err(e) = append_jsonl(&path, &t.snapshot().to_json()) {
+                eprintln!("delta-serverd: telemetry dump: {e}; dump disabled");
+                return;
+            }
+        })
+        .expect("spawn telemetry dump thread");
+}
 
 struct Args {
     config: ServerConfig,
@@ -57,6 +90,8 @@ struct Args {
     node_id: Option<u16>,
     nodes: Option<u16>,
     host_shards: Option<Vec<u16>>,
+    telemetry_dump: Option<std::path::PathBuf>,
+    telemetry_interval: u64,
 }
 
 fn usage() -> ! {
@@ -66,7 +101,8 @@ fn usage() -> ! {
          [--policy vcover|benefit|nocache|replica|gds|gdsf|lru] [--seed N] \
          [--trace FILE | --preset small|paper] \
          [--sql-preset small|paper | --no-sql] [--snapshot-dir DIR] \
-         [--node-id I --nodes N [--host-shards a,b,c]]"
+         [--node-id I --nodes N [--host-shards a,b,c]] \
+         [--telemetry-dump PATH [--telemetry-interval SECS]]"
     );
     exit(2);
 }
@@ -82,6 +118,8 @@ fn parse_args() -> Args {
         node_id: None,
         nodes: None,
         host_shards: None,
+        telemetry_dump: None,
+        telemetry_interval: 1,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -130,6 +168,12 @@ fn parse_args() -> Args {
                         .map(|s| s.trim().parse().unwrap_or_else(|_| usage()))
                         .collect(),
                 )
+            }
+            "--telemetry-dump" => {
+                args.telemetry_dump = Some(std::path::PathBuf::from(value(&argv, i)))
+            }
+            "--telemetry-interval" => {
+                args.telemetry_interval = value(&argv, i).parse().unwrap_or_else(|_| usage())
             }
             "--no-sql" => {
                 args.no_sql = true;
@@ -259,9 +303,28 @@ fn main() {
             dir.display()
         );
     }
+    if let Some(path) = &args.telemetry_dump {
+        println!(
+            "  telemetry dump: {} every {}s (JSONL)",
+            path.display(),
+            args.telemetry_interval
+        );
+        spawn_telemetry_dump(
+            server.telemetry_handle(),
+            path.clone(),
+            std::time::Duration::from_secs(args.telemetry_interval.max(1)),
+        );
+    }
 
     // Serve until a client sends a Shutdown frame.
+    let final_telemetry = server.telemetry_handle();
     let stats = server.join();
+    if let Some(path) = &args.telemetry_dump {
+        // One final line so short runs always leave a complete snapshot.
+        if let Err(e) = append_jsonl(path, &final_telemetry.snapshot().to_json()) {
+            eprintln!("delta-serverd: telemetry dump: {e}");
+        }
+    }
     println!("\nfinal per-shard statistics:");
     print!("{}", stats.render_table());
     let report = stats.to_sim_report();

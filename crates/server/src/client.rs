@@ -194,6 +194,17 @@ impl DeltaClient {
         }
     }
 
+    /// Scrapes the peer's telemetry registry. Against a node this is
+    /// that node's own counters and histograms; against a router it is
+    /// the cluster-wide merge (every node's snapshot folded into the
+    /// router's own). Never fenced by the routing epoch.
+    pub fn telemetry(&mut self) -> io::Result<delta_telemetry::TelemetrySnapshot> {
+        match self.round_trip(&Request::Telemetry)? {
+            Response::TelemetryOk(snapshot) => Ok(snapshot),
+            other => Err(unexpected(&other)),
+        }
+    }
+
     /// Sends raw SQL for server-side compilation at sequence number
     /// `seq`. The outer `Result` is transport/protocol failure; the
     /// inner one distinguishes a served query from a typed compile

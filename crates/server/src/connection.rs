@@ -4,9 +4,11 @@
 //! would block, and shutdown-aware polling — the wire hot path distilled
 //! so the two tiers cannot drift apart.
 
+use delta_telemetry::{Counter, Histogram, Telemetry};
 use std::io::{self, Write};
 use std::net::TcpStream;
 use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::Duration;
 
 /// How often blocked accept/read loops re-check the shutdown flag.
@@ -23,6 +25,49 @@ pub(crate) const READ_BUF: usize = 64 * 1024;
 /// Cap on coalesced response bytes before an early flush, bounding
 /// per-connection memory under huge pipelined windows.
 pub(crate) const WRITE_COALESCE_BYTES: usize = 256 * 1024;
+
+/// The frame loop's view of the node's telemetry: wire-level counters
+/// and the frames-per-read histogram, resolved from the registry once
+/// at startup so the hot path never touches the registry lock. One set
+/// is shared by every connection of a tier (increments are relaxed
+/// atomics, batched per syscall where it matters); the registry's
+/// `conn.*` names are common to server and router, so cluster roll-ups
+/// merge them naturally.
+pub(crate) struct WireTelemetry {
+    /// Payload bytes read off sockets.
+    bytes_in: Arc<Counter>,
+    /// Response bytes written to sockets.
+    bytes_out: Arc<Counter>,
+    /// Request frames served.
+    frames_in: Arc<Counter>,
+    /// Response frames shipped (1:1 with requests in this protocol).
+    frames_out: Arc<Counter>,
+    /// Coalesced `write_all` flushes (the write-combining win: under
+    /// pipelining this is per *window*, not per frame).
+    flushes: Arc<Counter>,
+    /// Connections dropped for stalling past [`STALL_LIMIT`].
+    pub(crate) stall_drops: Arc<Counter>,
+    /// Connections dropped for a frame above `MAX_FRAME_BYTES`.
+    pub(crate) oversize_rejects: Arc<Counter>,
+    /// Complete frames drained per read syscall.
+    frames_per_read: Arc<Histogram>,
+}
+
+impl WireTelemetry {
+    /// Resolves the wire-level handles from a node registry.
+    pub(crate) fn register(t: &Telemetry) -> WireTelemetry {
+        WireTelemetry {
+            bytes_in: t.counter("conn.bytes_in"),
+            bytes_out: t.counter("conn.bytes_out"),
+            frames_in: t.counter("conn.frames_in"),
+            frames_out: t.counter("conn.frames_out"),
+            flushes: t.counter("conn.flushes"),
+            stall_drops: t.counter("conn.stall_drops"),
+            oversize_rejects: t.counter("conn.oversize_rejects"),
+            frames_per_read: t.histogram("conn.frames_per_read"),
+        }
+    }
+}
 
 /// Length of the complete frame (header + payload) at the front of
 /// `buf`, or `None` when more bytes are needed. Rejects corrupt length
@@ -145,6 +190,40 @@ pub(crate) fn fill_polling(
 pub(crate) fn serve_frames<H>(
     stream: TcpStream,
     shutdown: &AtomicBool,
+    wire: &WireTelemetry,
+    handle: H,
+) -> io::Result<()>
+where
+    H: FnMut(&[u8], &mut Vec<u8>) -> io::Result<bool>,
+{
+    let peer = stream
+        .peer_addr()
+        .map(|a| a.to_string())
+        .unwrap_or_else(|_| "<unknown peer>".to_string());
+    let result = serve_frames_inner(stream, shutdown, wire, handle);
+    if let Err(e) = &result {
+        // A connection killed here used to die silently; classify the
+        // two deliberate drop causes, count them, and leave one line of
+        // trace with the peer that hit them.
+        match e.kind() {
+            io::ErrorKind::TimedOut | io::ErrorKind::WouldBlock => {
+                wire.stall_drops.inc();
+                eprintln!("delta-conn: dropping {peer}: stalled past {STALL_LIMIT:?} ({e})");
+            }
+            io::ErrorKind::InvalidData if e.to_string().contains("MAX_FRAME_BYTES") => {
+                wire.oversize_rejects.inc();
+                eprintln!("delta-conn: dropping {peer}: oversized frame ({e})");
+            }
+            _ => {}
+        }
+    }
+    result
+}
+
+fn serve_frames_inner<H>(
+    stream: TcpStream,
+    shutdown: &AtomicBool,
+    wire: &WireTelemetry,
     mut handle: H,
 ) -> io::Result<()>
 where
@@ -164,44 +243,70 @@ where
     let mut rbuf = vec![0u8; READ_BUF];
     let (mut start, mut end) = (0usize, 0usize);
     let mut wbuf: Vec<u8> = Vec::with_capacity(16 * 1024);
+    // One coalesced flush: counted once, bytes counted once.
+    let flush = |writer: &mut TcpStream, wbuf: &[u8]| -> io::Result<()> {
+        writer.write_all(wbuf)?;
+        wire.flushes.inc();
+        wire.bytes_out.add(wbuf.len() as u64);
+        Ok(())
+    };
+    let mut filled_once = false;
 
     loop {
-        // Serve every complete frame already buffered.
-        loop {
+        // Serve every complete frame already buffered. The telemetry
+        // counters are batched per drain (one set of atomic adds per
+        // read syscall, not per frame).
+        let mut frames_this_read = 0u64;
+        let closing = loop {
             let total = match buffered_frame_len(&rbuf[start..end]) {
                 Ok(Some(total)) => total,
-                Ok(None) => break,
+                Ok(None) => break None,
                 Err(e) => {
-                    let _ = writer.write_all(&wbuf);
-                    return Err(e);
+                    let _ = flush(&mut writer, &wbuf);
+                    break Some(Err(e));
                 }
             };
             let payload = &rbuf[start + 4..start + total];
             let closing = match handle(payload, &mut wbuf) {
                 Ok(closing) => closing,
                 Err(e) => {
-                    let _ = writer.write_all(&wbuf);
-                    return Err(e);
+                    let _ = flush(&mut writer, &wbuf);
+                    break Some(Err(e));
                 }
             };
             start += total;
+            frames_this_read += 1;
             if closing {
-                writer.write_all(&wbuf)?;
-                return Ok(());
+                break Some(flush(&mut writer, &wbuf));
             }
             if wbuf.len() >= WRITE_COALESCE_BYTES {
-                writer.write_all(&wbuf)?;
+                flush(&mut writer, &wbuf)?;
                 wbuf.clear();
             }
+        };
+        if frames_this_read > 0 {
+            wire.frames_in.add(frames_this_read);
+            wire.frames_out.add(frames_this_read);
+        }
+        if filled_once {
+            wire.frames_per_read.record(frames_this_read);
+        }
+        if let Some(result) = closing {
+            return result;
         }
         // About to wait for input: ship the coalesced responses first so
         // the client can make progress (and so lockstep never stalls).
         if !wbuf.is_empty() {
-            writer.write_all(&wbuf)?;
+            flush(&mut writer, &wbuf)?;
             wbuf.clear();
         }
+        let pending = end - start;
         if !fill_polling(&mut reader, &mut rbuf, &mut start, &mut end, shutdown)? {
             return Ok(());
         }
+        // `fill_polling` compacted to start == 0, so the growth of the
+        // buffered region is exactly what the read syscall returned.
+        wire.bytes_in.add((end - pending) as u64);
+        filled_once = true;
     }
 }

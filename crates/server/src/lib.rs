@@ -33,6 +33,14 @@
 //! * [`client`] — the typed clients: lockstep [`DeltaClient`] and the
 //!   windowed [`PipelinedClient`].
 //!
+//! Every tier is instrumented with [`delta_telemetry`]: shard cores
+//! split lock-wait from apply time per op class, the shared frame loop
+//! counts wire bytes/frames/flushes, and the router times its per-node
+//! fan-out — all scraped over the wire with a `Telemetry` frame
+//! ([`DeltaClient::telemetry`]; against a router, the reply is the
+//! cluster-wide merge). Recording is relaxed atomics off the
+//! deterministic path: ledgers are byte-identical with it on or off.
+//!
 //! Everything is std-only (`std::net` + threads), in the style of
 //! `delta_core::deploy`. The binaries `delta-serverd` and `delta-loadgen`
 //! wrap [`server::Server`] and [`client::DeltaClient`] for the command
@@ -95,3 +103,8 @@ pub use protocol::{
 };
 pub use router::{Router, RouterConfig};
 pub use server::Server;
+
+// Telemetry is part of the wire surface (`Request::Telemetry` returns a
+// `TelemetrySnapshot` frame), so re-export the types a scraping client
+// needs without a separate `delta_telemetry` dependency.
+pub use delta_telemetry::{Histogram, HistogramSnapshot, Telemetry, TelemetrySnapshot};

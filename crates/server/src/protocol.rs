@@ -29,6 +29,7 @@
 
 use delta_core::{CostLedger, EngineMetrics};
 use delta_storage::ObjectId;
+use delta_telemetry::{HistogramSnapshot, TelemetrySnapshot};
 use delta_workload::{QueryEvent, QueryKind, UpdateEvent};
 use std::io::{self, Read, Write};
 
@@ -42,8 +43,13 @@ use std::io::{self, Read, Write};
 /// `NodeOps` frames the router sends to shard-hosting nodes, the
 /// `DetachShard`/`AttachShard`/`SetEpoch` resharding admin verbs, the
 /// router-level `Reshard` request, and the typed `WrongEpoch` redirect a
-/// stale-mapped client receives instead of a wrong answer.
-pub const PROTOCOL_VERSION: u8 = 4;
+/// stale-mapped client receives instead of a wrong answer. Version 5 adds
+/// the observability verb (pure additions once more): `Telemetry` asks a
+/// peer for its [`delta_telemetry::TelemetrySnapshot`] — wall-clock
+/// latency histograms and wire counters, strictly outside the
+/// deterministic engine state — and `TelemetryOk` carries it back;
+/// routers answer with the cluster-wide merge.
+pub const PROTOCOL_VERSION: u8 = 5;
 
 /// Upper bound on a frame payload, to fail fast on corrupt length words.
 pub const MAX_FRAME_BYTES: u32 = 64 * 1024 * 1024;
@@ -60,6 +66,7 @@ const OP_DETACH_SHARD: u8 = 0x09;
 const OP_ATTACH_SHARD: u8 = 0x0A;
 const OP_SET_EPOCH: u8 = 0x0B;
 const OP_RESHARD: u8 = 0x0C;
+const OP_TELEMETRY: u8 = 0x0D;
 const OP_TAGGED: u8 = 0x10;
 const OP_QUERY_OK: u8 = 0x81;
 const OP_UPDATE_OK: u8 = 0x82;
@@ -73,6 +80,7 @@ const OP_SHARD_STATE: u8 = 0x89;
 const OP_ATTACH_OK: u8 = 0x8A;
 const OP_EPOCH_OK: u8 = 0x8B;
 const OP_RESHARD_OK: u8 = 0x8C;
+const OP_TELEMETRY_OK: u8 = 0x8D;
 const OP_TAGGED_OK: u8 = 0x90;
 const OP_WRONG_EPOCH: u8 = 0x91;
 const OP_ERROR: u8 = 0xFF;
@@ -157,6 +165,11 @@ pub enum Request {
     },
     /// Fetch the per-shard and aggregate statistics snapshot.
     Stats,
+    /// Fetch the peer's telemetry — latency histograms and wire
+    /// counters. Purely observational (never fenced by the routing
+    /// epoch, never touching engine state); a router answers with the
+    /// merge of every node's snapshot plus its own.
+    Telemetry,
     /// Stop the server after replying.
     Shutdown,
 }
@@ -452,6 +465,10 @@ pub enum Response {
     },
     /// The statistics snapshot.
     StatsOk(StatsSnapshot),
+    /// The telemetry snapshot, answering [`Request::Telemetry`]: this
+    /// peer's (or, from a router, the whole cluster's) counters, gauges
+    /// and latency histograms.
+    TelemetryOk(TelemetrySnapshot),
     /// The server is shutting down.
     ShutdownOk,
     /// The request could not be served.
@@ -722,6 +739,106 @@ fn dec_metrics(d: &mut Dec<'_>) -> io::Result<EngineMetrics> {
     })
 }
 
+/// The smallest encodable named counter/gauge entry: an empty-name
+/// string prefix plus the value.
+const MIN_METRIC_ENTRY_BYTES: usize = 2 + 8;
+/// The smallest encodable histogram entry: empty name, count/sum/max,
+/// and an empty bucket list.
+const MIN_HISTOGRAM_BYTES: usize = 2 + 8 + 8 + 8 + 4;
+/// One sparse histogram bucket on the wire: index + count.
+const BUCKET_BYTES: usize = 4 + 8;
+
+fn enc_telemetry(e: &mut Enc<'_>, t: &TelemetrySnapshot) {
+    e.u32(u32::try_from(t.counters.len()).expect("counter list exceeds u32::MAX"));
+    for (name, v) in &t.counters {
+        e.str(name);
+        e.u64(*v);
+    }
+    e.u32(u32::try_from(t.gauges.len()).expect("gauge list exceeds u32::MAX"));
+    for (name, v) in &t.gauges {
+        e.str(name);
+        e.u64(*v);
+    }
+    e.u32(u32::try_from(t.histograms.len()).expect("histogram list exceeds u32::MAX"));
+    for (name, h) in &t.histograms {
+        e.str(name);
+        e.u64(h.count);
+        e.u64(h.sum);
+        e.u64(h.max);
+        e.u32(u32::try_from(h.buckets.len()).expect("bucket list exceeds u32::MAX"));
+        for &(i, c) in &h.buckets {
+            e.u32(i);
+            e.u64(c);
+        }
+    }
+}
+
+fn dec_telemetry(d: &mut Dec<'_>) -> io::Result<TelemetrySnapshot> {
+    // Every count below is validated against the bytes actually present
+    // before allocating — counts are attacker-controlled.
+    let n = d.u32()? as usize;
+    if n > d.remaining() / MIN_METRIC_ENTRY_BYTES {
+        return Err(bad("telemetry counter count exceeds frame payload"));
+    }
+    let mut counters = Vec::with_capacity(n);
+    for _ in 0..n {
+        counters.push((d.str()?, d.u64()?));
+    }
+    let n = d.u32()? as usize;
+    if n > d.remaining() / MIN_METRIC_ENTRY_BYTES {
+        return Err(bad("telemetry gauge count exceeds frame payload"));
+    }
+    let mut gauges = Vec::with_capacity(n);
+    for _ in 0..n {
+        gauges.push((d.str()?, d.u64()?));
+    }
+    let n = d.u32()? as usize;
+    if n > d.remaining() / MIN_HISTOGRAM_BYTES {
+        return Err(bad("telemetry histogram count exceeds frame payload"));
+    }
+    let mut histograms = Vec::with_capacity(n);
+    for _ in 0..n {
+        let name = d.str()?;
+        let count = d.u64()?;
+        let sum = d.u64()?;
+        let max = d.u64()?;
+        let nb = d.u32()? as usize;
+        if nb > d.remaining() / BUCKET_BYTES {
+            return Err(bad("histogram bucket count exceeds frame payload"));
+        }
+        let mut buckets = Vec::with_capacity(nb);
+        let mut prev: Option<u32> = None;
+        for _ in 0..nb {
+            let i = d.u32()?;
+            // Merging and quantile extraction assume the sparse form:
+            // in-range indices, strictly increasing — reject anything
+            // else before it can poison a cluster roll-up.
+            if i as usize >= delta_telemetry::N_BUCKETS {
+                return Err(bad("histogram bucket index out of range"));
+            }
+            if prev.is_some_and(|p| p >= i) {
+                return Err(bad("histogram buckets not strictly increasing"));
+            }
+            prev = Some(i);
+            buckets.push((i, d.u64()?));
+        }
+        histograms.push((
+            name,
+            HistogramSnapshot {
+                count,
+                sum,
+                max,
+                buckets,
+            },
+        ));
+    }
+    Ok(TelemetrySnapshot {
+        counters,
+        gauges,
+        histograms,
+    })
+}
+
 impl Request {
     /// Encodes the request payload (opcode included, length prefix not)
     /// into a fresh buffer. Prefer [`Request::encode_into`] on hot paths.
@@ -827,6 +944,9 @@ impl Request {
             Request::Stats => {
                 Enc::new(buf, OP_STATS);
             }
+            Request::Telemetry => {
+                Enc::new(buf, OP_TELEMETRY);
+            }
             Request::Shutdown => {
                 Enc::new(buf, OP_SHUTDOWN);
             }
@@ -909,6 +1029,7 @@ impl Request {
                 to_node: d.u16()?,
             },
             OP_STATS => Request::Stats,
+            OP_TELEMETRY => Request::Telemetry,
             OP_SHUTDOWN => Request::Shutdown,
             _ => return Err(bad("unknown request opcode")),
         })
@@ -1082,6 +1203,10 @@ impl Response {
                     enc_metrics(&mut e, &s.metrics);
                 }
             }
+            Response::TelemetryOk(snapshot) => {
+                let mut e = Enc::new(buf, OP_TELEMETRY_OK);
+                enc_telemetry(&mut e, snapshot);
+            }
             Response::ShutdownOk => {
                 Enc::new(buf, OP_SHUTDOWN_OK);
             }
@@ -1214,6 +1339,12 @@ impl Response {
             OP_WRONG_EPOCH => Response::WrongEpoch { epoch: d.u64()? },
             OP_STATS_OK => {
                 let n = d.u16()? as usize;
+                // Shard index + empty policy string + the fixed-width
+                // metrics block — the least one entry can occupy.
+                const MIN_SHARD_STATS_BYTES: usize = 2 + 2 + 14 * 8;
+                if n > d.remaining() / MIN_SHARD_STATS_BYTES {
+                    return Err(bad("stats shard count exceeds frame payload"));
+                }
                 let mut shards = Vec::with_capacity(n);
                 for _ in 0..n {
                     let shard = d.u16()?;
@@ -1227,6 +1358,7 @@ impl Response {
                 }
                 Response::StatsOk(StatsSnapshot { shards })
             }
+            OP_TELEMETRY_OK => Response::TelemetryOk(dec_telemetry(d)?),
             OP_SHUTDOWN_OK => Response::ShutdownOk,
             OP_ERROR => Response::Error {
                 code: d.u16()?,

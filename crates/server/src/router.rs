@@ -34,7 +34,7 @@
 //! retry, which doubles as a liveness proof of the redirect path.
 
 use crate::client::DeltaClient;
-use crate::connection::{serve_frames, POLL};
+use crate::connection::{serve_frames, WireTelemetry, POLL};
 use crate::partition::{Partitioner, PartitionerKind};
 use crate::protocol::{
     append_frame_with, error_code, BatchItem, BatchReply, NodeInfo, NodeOp, NodeRole, Request,
@@ -42,11 +42,13 @@ use crate::protocol::{
 };
 use delta_query::{QueryCompiler, QueryError, Schema};
 use delta_storage::ObjectCatalog;
+use delta_telemetry::{Counter, Histogram, Telemetry, TelemetrySnapshot};
 use delta_workload::WorkloadConfig;
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, RwLock};
+use std::time::Instant;
 
 /// Everything `delta-routerd` needs besides the object catalog.
 #[derive(Clone, Debug)]
@@ -69,6 +71,36 @@ struct Route {
     owner: Vec<u16>,
 }
 
+/// The router's own metric handles, resolved from the registry once at
+/// startup (the registry lock is never on the request path).
+struct RouterTelemetry {
+    /// Round-trip latency of one `NodeOps` frame, per node — the
+    /// router's view of each node's service time including the wire.
+    fanout: Vec<Arc<Histogram>>,
+    /// `WrongEpoch` redirects absorbed by transparent re-handshakes.
+    wrong_epoch_retries: Arc<Counter>,
+    /// Reshard phase durations: drain + snapshot at the old owner,
+    reshard_detach: Arc<Histogram>,
+    /// restore at the new owner,
+    reshard_attach: Arc<Histogram>,
+    /// and the cluster-wide epoch bump.
+    reshard_epoch: Arc<Histogram>,
+}
+
+impl RouterTelemetry {
+    fn register(t: &Telemetry, n_nodes: usize) -> RouterTelemetry {
+        RouterTelemetry {
+            fanout: (0..n_nodes)
+                .map(|n| t.histogram(&format!("router.fanout_ns.node{n}")))
+                .collect(),
+            wrong_epoch_retries: t.counter("router.wrong_epoch_retries"),
+            reshard_detach: t.histogram("router.reshard.detach_ns"),
+            reshard_attach: t.histogram("router.reshard.attach_ns"),
+            reshard_epoch: t.histogram("router.reshard.set_epoch_ns"),
+        }
+    }
+}
+
 struct RouterShared {
     map: Box<dyn Partitioner>,
     catalog: ObjectCatalog,
@@ -76,6 +108,12 @@ struct RouterShared {
     route: RwLock<Route>,
     shutdown: Arc<AtomicBool>,
     frontend: Option<Arc<QueryCompiler>>,
+    /// The router's metric registry; a client `Telemetry` request gets
+    /// this merged with every node's snapshot.
+    telemetry: Arc<Telemetry>,
+    rt: RouterTelemetry,
+    /// Wire-level counter handles shared by every client connection.
+    wire: WireTelemetry,
 }
 
 /// A running delta-router instance.
@@ -83,6 +121,7 @@ pub struct Router {
     addr: SocketAddr,
     shutdown: Arc<AtomicBool>,
     accept_thread: std::thread::JoinHandle<()>,
+    telemetry: Arc<Telemetry>,
 }
 
 impl Router {
@@ -213,6 +252,13 @@ impl Router {
         let addr = listener.local_addr()?;
 
         let shutdown = Arc::new(AtomicBool::new(false));
+        let telemetry = Arc::new(Telemetry::new());
+        telemetry.gauge("router.epoch").set(first.epoch);
+        telemetry
+            .gauge("router.nodes")
+            .set(config.nodes.len() as u64);
+        let rt = RouterTelemetry::register(&telemetry, config.nodes.len());
+        let wire = WireTelemetry::register(&telemetry);
         let shared = Arc::new(RouterShared {
             map,
             catalog,
@@ -223,6 +269,9 @@ impl Router {
             }),
             shutdown: Arc::clone(&shutdown),
             frontend,
+            telemetry: Arc::clone(&telemetry),
+            rt,
+            wire,
         });
 
         let accept_shutdown = Arc::clone(&shutdown);
@@ -235,12 +284,26 @@ impl Router {
             addr,
             shutdown,
             accept_thread,
+            telemetry,
         })
     }
 
     /// The bound address (useful with port 0).
     pub fn local_addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// Point-in-time copy of the router's **own** registry (fan-out
+    /// latencies, retries, reshard phases, wire counters). A client
+    /// `Telemetry` request additionally folds in every node's snapshot.
+    pub fn telemetry(&self) -> TelemetrySnapshot {
+        self.telemetry.snapshot()
+    }
+
+    /// A shared handle on the router's registry, for long-lived
+    /// observers (the `--telemetry-dump` thread).
+    pub fn telemetry_handle(&self) -> Arc<Telemetry> {
+        Arc::clone(&self.telemetry)
     }
 
     /// Requests shutdown without waiting (a client `Shutdown` frame does
@@ -333,7 +396,7 @@ fn serve_connection(stream: TcpStream, shared: &RouterShared) -> io::Result<()> 
         link_epochs: vec![0; shared.nodes.len()],
         compiler: shared.frontend.as_ref().map(|c| (**c).clone()),
     };
-    serve_frames(stream, &shared.shutdown, |payload, wbuf| {
+    serve_frames(stream, &shared.shutdown, &shared.wire, |payload, wbuf| {
         let response = match Request::decode(payload) {
             Ok(Request::Tagged { corr, inner }) => Response::Tagged {
                 corr,
@@ -372,9 +435,16 @@ fn node_ops(
 ) -> io::Result<Vec<BatchReply>> {
     for _ in 0..EPOCH_RETRIES {
         let link = conn.link(shared, node, epoch)?;
-        match link.request(&Request::NodeOps(ops.to_vec()))? {
+        // The fan-out histogram times the whole round trip, redirects
+        // included — it is the router's view of what talking to this
+        // node costs, not the node's view of its own service time.
+        let t0 = Instant::now();
+        let response = link.request(&Request::NodeOps(ops.to_vec()))?;
+        shared.rt.fanout[node].record_duration(t0.elapsed());
+        match response {
             Response::BatchOk(replies) => return Ok(replies),
             Response::WrongEpoch { epoch: current } => {
+                shared.rt.wrong_epoch_retries.inc();
                 // The link's handshake predates the epoch we hold — the
                 // read lock guarantees our `epoch` IS current, so a
                 // fresh Hello converges. A node reporting a *newer*
@@ -439,6 +509,7 @@ fn handle_request(
         }
         Request::Reshard { shard, to_node } => Ok(do_reshard(shared, conn, shard, to_node)),
         Request::Stats => handle_stats(shared, conn),
+        Request::Telemetry => handle_telemetry(shared, conn),
         Request::Shutdown => {
             // Shut the whole cluster down: the router owns its nodes'
             // lifecycle the way `delta-serverd` owns its shards'.
@@ -675,6 +746,21 @@ fn handle_stats(shared: &RouterShared, conn: &mut ConnState) -> io::Result<Respo
     Ok(Response::StatsOk(StatsSnapshot { shards }))
 }
 
+/// The cluster-wide scrape: every node's snapshot folded into the
+/// router's own. Counters add, gauges take the max, histograms merge
+/// bucket-wise — and the shared `conn.*` names mean the wire totals come
+/// out as cluster totals, while `shard.*`/`router.*` names stay
+/// per-tier by construction.
+fn handle_telemetry(shared: &RouterShared, conn: &mut ConnState) -> io::Result<Response> {
+    let route = shared.route.read().expect("route lock");
+    let mut merged = shared.telemetry.snapshot();
+    for node in 0..shared.nodes.len() {
+        let link = conn.link(shared, node, route.epoch)?;
+        merged.merge(&link.telemetry()?);
+    }
+    Ok(Response::TelemetryOk(merged))
+}
+
 fn router_info(shared: &RouterShared) -> NodeInfo {
     let route = shared.route.read().expect("route lock");
     NodeInfo {
@@ -721,13 +807,16 @@ fn do_reshard(shared: &RouterShared, conn: &mut ConnState, shard: u16, to_node: 
         conn.link(shared, node as usize, route.epoch)?.request(req)
     };
     // Step 1: drain + snapshot at the old owner.
+    let t_detach = Instant::now();
     let state = match admin(conn, from, &Request::DetachShard { shard }) {
         Ok(Response::ShardState { state, .. }) => state,
         Ok(other) => return fail(format!("detach at node {from}: unexpected {other:?}")),
         Err(e) => return fail(format!("detach at node {from}: {e}")),
     };
+    shared.rt.reshard_detach.record_duration(t_detach.elapsed());
     // Step 2: restore at the new owner. On failure, try to put the shard
     // back where it was — the state blob must not evaporate.
+    let t_attach = Instant::now();
     match admin(
         conn,
         to_node,
@@ -736,7 +825,9 @@ fn do_reshard(shared: &RouterShared, conn: &mut ConnState, shard: u16, to_node: 
             state: state.clone(),
         },
     ) {
-        Ok(Response::AttachOk { .. }) => {}
+        Ok(Response::AttachOk { .. }) => {
+            shared.rt.reshard_attach.record_duration(t_attach.elapsed());
+        }
         outcome => {
             let rollback = match admin(
                 conn,
@@ -780,6 +871,7 @@ fn do_reshard(shared: &RouterShared, conn: &mut ConnState, shard: u16, to_node: 
     // misses the bump would fence the router's next ops forever, so a
     // SetEpoch failure is a hard error for the operator.
     let epoch = route.epoch + 1;
+    let t_epoch = Instant::now();
     for node in 0..shared.nodes.len() as u16 {
         match admin(conn, node, &Request::SetEpoch { epoch }) {
             Ok(Response::EpochOk { .. }) => {}
@@ -791,7 +883,9 @@ fn do_reshard(shared: &RouterShared, conn: &mut ConnState, shard: u16, to_node: 
             }
         }
     }
+    shared.rt.reshard_epoch.record_duration(t_epoch.elapsed());
     route.owner[shard as usize] = to_node;
     route.epoch = epoch;
+    shared.telemetry.gauge("router.epoch").set(epoch);
     Response::ReshardOk { epoch }
 }

@@ -26,18 +26,19 @@
 //! silently given a wrong answer.
 
 use crate::config::ServerConfig;
-use crate::connection::{serve_frames, POLL};
+use crate::connection::{serve_frames, WireTelemetry, POLL};
 use crate::partition::{apportion, Partitioner};
 use crate::protocol::{
     append_frame_with, error_code, BatchItem, BatchReply, NodeInfo, NodeOp, NodeRole, Request,
     Response, ShardStats, SqlStage, StatsSnapshot, PROTOCOL_VERSION,
 };
-use crate::shard::{OpOutcome, ShardCore, ShardOp, ShardSpec};
+use crate::shard::{OpClass, OpOutcome, ShardCore, ShardOp, ShardSpec, ShardTelemetry};
 use delta_core::engine::{read_snapshot, snapshot_from_str, snapshot_to_string};
 use delta_core::EngineSnapshot;
 use delta_net::{TrafficClass, TrafficMeter};
 use delta_query::{QueryCompiler, QueryError, Schema};
 use delta_storage::{ObjectCatalog, ObjectId};
+use delta_telemetry::{Telemetry, TelemetrySnapshot};
 use delta_workload::QueryEvent;
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -50,6 +51,7 @@ pub struct Server {
     shutdown: Arc<AtomicBool>,
     accept_thread: std::thread::JoinHandle<StatsSnapshot>,
     meter: Arc<TrafficMeter>,
+    telemetry: Arc<Telemetry>,
 }
 
 impl Server {
@@ -148,6 +150,7 @@ impl Server {
             }
         }
 
+        let telemetry = Arc::new(Telemetry::new());
         let mut slots: Vec<RwLock<Option<ShardCore>>> = Vec::with_capacity(config.n_shards);
         slots.resize_with(config.n_shards, || RwLock::new(None));
         for &s in &hosted {
@@ -163,12 +166,17 @@ impl Server {
                     .snapshot_dir
                     .as_ref()
                     .map(|dir| dir.join(format!("shard-{s}.jsonl"))),
+                telemetry: ShardTelemetry::register(&telemetry),
             });
             *slots[s].write().expect("fresh slot") = Some(core);
         }
+        telemetry
+            .gauge("node.shards_hosted")
+            .set(hosted.len() as u64);
 
         let shutdown = Arc::new(AtomicBool::new(false));
         let meter = Arc::new(TrafficMeter::new());
+        let wire = WireTelemetry::register(&telemetry);
         let shared = Arc::new(Shared {
             map,
             catalog,
@@ -179,6 +187,8 @@ impl Server {
             shutdown: Arc::clone(&shutdown),
             meter: Arc::clone(&meter),
             frontend,
+            telemetry: Arc::clone(&telemetry),
+            wire,
         });
 
         let accept_shutdown = Arc::clone(&shutdown);
@@ -192,6 +202,7 @@ impl Server {
             shutdown,
             accept_thread,
             meter,
+            telemetry,
         })
     }
 
@@ -203,6 +214,19 @@ impl Server {
     /// Snapshot of the wire-byte meter.
     pub fn meter(&self) -> delta_net::TrafficSnapshot {
         self.meter.snapshot()
+    }
+
+    /// Point-in-time copy of this node's telemetry registry — the same
+    /// snapshot a [`Request::Telemetry`] frame returns.
+    pub fn telemetry(&self) -> TelemetrySnapshot {
+        self.telemetry.snapshot()
+    }
+
+    /// A shared handle on the registry itself, for long-lived observers
+    /// (the daemons' `--telemetry-dump` thread) that outlive a borrow of
+    /// the server.
+    pub fn telemetry_handle(&self) -> Arc<Telemetry> {
+        Arc::clone(&self.telemetry)
     }
 
     /// Requests shutdown without waiting (a `Shutdown` frame does this
@@ -271,6 +295,10 @@ struct Shared {
     /// Template for the per-connection SQL compilers; `None` when the
     /// server was started without a workload preset.
     frontend: Option<Arc<QueryCompiler>>,
+    /// This node's metric registry; scraped by [`Request::Telemetry`].
+    telemetry: Arc<Telemetry>,
+    /// Wire-level counter handles shared by every connection thread.
+    wire: WireTelemetry,
 }
 
 impl Shared {
@@ -368,7 +396,7 @@ fn serve_connection(stream: TcpStream, shared: &Shared) -> io::Result<()> {
         compiler: shared.frontend.as_ref().map(|c| (**c).clone()),
         epoch: 0,
     };
-    serve_frames(stream, &shared.shutdown, |payload, wbuf| {
+    serve_frames(stream, &shared.shutdown, &shared.wire, |payload, wbuf| {
         let total = payload.len() as u64 + 4;
         let response = match Request::decode(payload) {
             Ok(request) => {
@@ -431,6 +459,7 @@ fn meter_request(shared: &Shared, request: &Request, wire_bytes: u64) {
         }
         Request::Tagged { inner, .. } => meter_request(shared, inner, wire_bytes),
         Request::Stats
+        | Request::Telemetry
         | Request::Shutdown
         | Request::Hello { .. }
         | Request::DetachShard { .. }
@@ -519,6 +548,7 @@ fn handle_request(shared: &Shared, request: Request, conn: &mut ConnState) -> Re
                 return not_clustered("SetEpoch");
             }
             shared.epoch.store(epoch, Ordering::SeqCst);
+            shared.telemetry.gauge("node.epoch").set(epoch);
             // The issuing connection (the router's admin path) evidently
             // knows the new epoch; adopt it so its next ops aren't
             // pointlessly fenced.
@@ -543,6 +573,10 @@ fn handle_request(shared: &Shared, request: Request, conn: &mut ConnState) -> Re
             }
             Response::StatsOk(StatsSnapshot { shards })
         }
+        // Introspection, like `Stats`: never fenced by the routing epoch
+        // (and `is_event_request` must keep it that way) — an operator
+        // scrapes metrics from a node regardless of map currency.
+        Request::Telemetry => Response::TelemetryOk(shared.telemetry.snapshot()),
         Request::Shutdown => {
             shared.shutdown.store(true, Ordering::SeqCst);
             Response::ShutdownOk
@@ -571,6 +605,12 @@ fn lock_shards<'a>(
 }
 
 fn handle_query(shared: &Shared, q: QueryEvent) -> Response {
+    handle_query_as(shared, q, OpClass::Query)
+}
+
+/// The query fan-out, with the telemetry op class made explicit so the
+/// SQL path's shard time lands in its own histograms.
+fn handle_query_as(shared: &Shared, q: QueryEvent, class: OpClass) -> Response {
     if let Some(&bad) = q.objects.iter().find(|o| o.index() >= shared.catalog.len()) {
         return unknown_object(bad);
     }
@@ -591,7 +631,7 @@ fn handle_query(shared: &Shared, q: QueryEvent) -> Response {
     for ((_, guard), (_, sub)) in guards.iter().zip(subs) {
         let core = guard.as_ref().expect("checked by lock_shards");
         sent += 1;
-        match core.serve_query(sub) {
+        match core.serve_query_as(sub, class) {
             Ok(true) => local_answers += 1,
             Ok(false) => shipped += 1,
             Err(error) => {
@@ -644,7 +684,7 @@ fn handle_sql(shared: &Shared, compiler: Option<&QueryCompiler>, seq: u64, sql: 
     let objects = compiled.objects.len() as u32;
     let event = compiled.into_event(seq);
     let (result_bytes, tolerance, kind) = (event.result_bytes, event.tolerance, event.kind);
-    match handle_query(shared, event) {
+    match handle_query_as(shared, event, OpClass::Sql) {
         Response::QueryOk {
             shards_touched,
             local_answers,
@@ -904,6 +944,11 @@ fn handle_detach(shared: &Shared, shard: u16) -> Response {
         };
     }
     slot.take().expect("checked above").discard();
+    drop(slot);
+    shared
+        .telemetry
+        .gauge("node.shards_hosted")
+        .set(shared.hosted().len() as u64);
     Response::ShardState {
         shard,
         state: state.into_bytes(),
@@ -954,7 +999,13 @@ fn handle_attach(shared: &Shared, shard: u16, state: &[u8]) -> Response {
             .snapshot_dir
             .as_ref()
             .map(|dir| dir.join(format!("shard-{s}.jsonl"))),
+        telemetry: ShardTelemetry::register(&shared.telemetry),
     }));
+    drop(slot);
+    shared
+        .telemetry
+        .gauge("node.shards_hosted")
+        .set(shared.hosted().len() as u64);
     Response::AttachOk { shard }
 }
 

@@ -39,9 +39,11 @@ use crate::protocol::ShardStats;
 use delta_core::engine::write_snapshot;
 use delta_core::{CachingPolicy, Engine, EngineOutcome, EngineSnapshot};
 use delta_storage::ObjectCatalog;
+use delta_telemetry::{Histogram, Telemetry};
 use delta_workload::{Event, QueryEvent, UpdateEvent};
 use std::path::PathBuf;
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
 
 /// The engine type a shard core guards: `'static` policy, `Send` so the
 /// core can be shared across connection threads.
@@ -94,6 +96,78 @@ pub enum OpOutcome {
     },
 }
 
+/// The class an operation is timed under — which request kind put it
+/// on the shard. Sub-queries compiled from SQL time as [`OpClass::Sql`];
+/// coalesced sub-batches (client `Batch` and router `NodeOps`) time as
+/// [`OpClass::Batch`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum OpClass {
+    /// A wire `Query` sub-query.
+    Query,
+    /// A wire `Update`.
+    Update,
+    /// A server-side compiled SQL query.
+    Sql,
+    /// An op inside a coalesced sub-batch.
+    Batch,
+}
+
+/// Where a shard core records how long ops wait for the engine lock and
+/// how long `Engine::apply` itself runs, split per [`OpClass`]. Each
+/// core gets *private* histogram instances
+/// ([`Telemetry::histogram_handle`]), so hot shards never contend on
+/// each other's buckets; the node snapshot merges them back together
+/// under the shared names. Strictly observational: timing never feeds
+/// back into engine decisions, so ledgers are byte-identical with or
+/// without it.
+pub struct ShardTelemetry {
+    classes: [OpTimers; 4],
+}
+
+struct OpTimers {
+    lock_wait: Arc<Histogram>,
+    apply: Arc<Histogram>,
+}
+
+impl ShardTelemetry {
+    /// Registers one core's private handles in a node registry.
+    pub fn register(t: &Telemetry) -> ShardTelemetry {
+        let timers = |class: &str| OpTimers {
+            lock_wait: t.histogram_handle(&format!("shard.lock_wait_ns.{class}")),
+            apply: t.histogram_handle(&format!("shard.apply_ns.{class}")),
+        };
+        ShardTelemetry {
+            classes: [
+                timers("query"),
+                timers("update"),
+                timers("sql"),
+                timers("batch"),
+            ],
+        }
+    }
+
+    /// Free-standing handles attached to no registry — for tests and
+    /// tools that construct cores directly.
+    pub fn detached() -> ShardTelemetry {
+        let timers = || OpTimers {
+            lock_wait: Arc::new(Histogram::new()),
+            apply: Arc::new(Histogram::new()),
+        };
+        ShardTelemetry {
+            classes: [timers(), timers(), timers(), timers()],
+        }
+    }
+
+    fn timers(&self, class: OpClass) -> &OpTimers {
+        &self.classes[match class {
+            OpClass::Query => 0,
+            OpClass::Update => 1,
+            OpClass::Sql => 2,
+            OpClass::Batch => 3,
+        }]
+    }
+}
+
 /// Everything a shard core is born with.
 pub struct ShardSpec {
     /// Shard index.
@@ -110,6 +184,8 @@ pub struct ShardSpec {
     pub restore: Option<EngineSnapshot>,
     /// Where to persist the engine snapshot on graceful shutdown.
     pub snapshot_path: Option<PathBuf>,
+    /// Where this core records lock-wait and apply latencies.
+    pub telemetry: ShardTelemetry,
 }
 
 /// One shard: a lock-protected engine plus its identity and snapshot
@@ -119,6 +195,7 @@ pub struct ShardCore {
     policy: PolicyKind,
     snapshot_path: Option<PathBuf>,
     engine: Mutex<ShardEngine>,
+    telemetry: ShardTelemetry,
 }
 
 impl ShardCore {
@@ -137,6 +214,7 @@ impl ShardCore {
             seed,
             restore,
             snapshot_path,
+            telemetry,
         } = spec;
         let policy = policy_kind.build(cache_bytes, seed);
         let engine = match restore {
@@ -154,6 +232,7 @@ impl ShardCore {
             policy: policy_kind,
             snapshot_path,
             engine: Mutex::new(engine),
+            telemetry,
         }
     }
 
@@ -170,32 +249,71 @@ impl ShardCore {
 
     /// Applies one update, returning the object's new version.
     pub fn apply_update(&self, u: UpdateEvent) -> u64 {
-        apply_update(&mut self.lock(), u)
+        let t0 = Instant::now();
+        let mut engine = self.lock();
+        let waited = t0.elapsed();
+        let t1 = Instant::now();
+        let version = apply_update(&mut engine, u);
+        let applied = t1.elapsed();
+        drop(engine);
+        let timers = self.telemetry.timers(OpClass::Update);
+        timers.lock_wait.record_duration(waited);
+        timers.apply.record_duration(applied);
+        version
     }
 
     /// Serves one sub-query: `Ok(local)` on success, the rendered engine
     /// error when the policy violated the satisfaction contract (the
     /// shard stays up either way).
     pub fn serve_query(&self, q: QueryEvent) -> Result<bool, String> {
-        serve_query(self.shard, &mut self.lock(), q)
+        self.serve_query_as(q, OpClass::Query)
+    }
+
+    /// [`ShardCore::serve_query`] timed under an explicit class — how
+    /// compiled SQL attributes its shard time to `sql` rather than
+    /// `query`.
+    pub fn serve_query_as(&self, q: QueryEvent, class: OpClass) -> Result<bool, String> {
+        let t0 = Instant::now();
+        let mut engine = self.lock();
+        let waited = t0.elapsed();
+        let t1 = Instant::now();
+        let result = serve_query(self.shard, &mut engine, q);
+        let applied = t1.elapsed();
+        drop(engine);
+        let timers = self.telemetry.timers(class);
+        timers.lock_wait.record_duration(waited);
+        timers.apply.record_duration(applied);
+        result
     }
 
     /// Executes a coalesced sub-batch in order under ONE lock
     /// acquisition — the whole sub-batch is a single serialization unit,
-    /// exactly like the former worker's coalesced channel send.
+    /// exactly like the former worker's coalesced channel send. The
+    /// lock wait is recorded once (the batch waits as a unit); each
+    /// op's `Engine::apply` time is recorded individually, all under
+    /// [`OpClass::Batch`].
     pub fn run_batch(&self, ops: Vec<ShardOp>) -> Vec<OpOutcome> {
+        let timers = self.telemetry.timers(OpClass::Batch);
+        let t0 = Instant::now();
         let mut engine = self.lock();
+        timers.lock_wait.record_duration(t0.elapsed());
         ops.into_iter()
-            .map(|op| match op {
-                ShardOp::Query { item, event } => match serve_query(self.shard, &mut engine, event)
-                {
-                    Ok(local) => OpOutcome::Query { item, local },
-                    Err(error) => OpOutcome::QueryFailed { item, error },
-                },
-                ShardOp::Update { item, event } => OpOutcome::Update {
-                    item,
-                    version: apply_update(&mut engine, event),
-                },
+            .map(|op| {
+                let t1 = Instant::now();
+                let outcome = match op {
+                    ShardOp::Query { item, event } => {
+                        match serve_query(self.shard, &mut engine, event) {
+                            Ok(local) => OpOutcome::Query { item, local },
+                            Err(error) => OpOutcome::QueryFailed { item, error },
+                        }
+                    }
+                    ShardOp::Update { item, event } => OpOutcome::Update {
+                        item,
+                        version: apply_update(&mut engine, event),
+                    },
+                };
+                timers.apply.record_duration(t1.elapsed());
+                outcome
             })
             .collect()
     }
@@ -296,6 +414,7 @@ mod tests {
             seed: if policy == PolicyKind::VCover { 9 } else { 1 },
             restore: None,
             snapshot_path: None,
+            telemetry: ShardTelemetry::detached(),
         })
     }
 
@@ -464,6 +583,7 @@ mod tests {
             seed: 7,
             restore: None,
             snapshot_path: Some(path.clone()),
+            telemetry: ShardTelemetry::detached(),
         });
         first.apply_update(UpdateEvent {
             seq: 1,
@@ -486,6 +606,7 @@ mod tests {
             seed: 7,
             restore: Some(snap),
             snapshot_path: None,
+            telemetry: ShardTelemetry::detached(),
         });
         assert_eq!(resumed.stats().metrics, want.metrics);
     }
@@ -506,6 +627,7 @@ mod tests {
             seed: 7,
             restore: None,
             snapshot_path: Some(path.clone()),
+            telemetry: ShardTelemetry::detached(),
         });
         first.apply_update(UpdateEvent {
             seq: 1,
@@ -526,6 +648,7 @@ mod tests {
             seed: 7,
             restore: Some(snap),
             snapshot_path: None,
+            telemetry: ShardTelemetry::detached(),
         });
         let stats = resumed.shutdown();
         assert_eq!(stats.metrics, first.metrics);

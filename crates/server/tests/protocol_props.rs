@@ -5,7 +5,10 @@
 
 use delta_core::EngineMetrics;
 use delta_core::{Cost, CostLedger};
-use delta_server::{BatchItem, BatchReply, Request, Response, ShardStats, SqlStage, StatsSnapshot};
+use delta_server::{
+    BatchItem, BatchReply, HistogramSnapshot, Request, Response, ShardStats, SqlStage,
+    StatsSnapshot, TelemetrySnapshot,
+};
 use delta_storage::ObjectId;
 use delta_workload::{QueryEvent, QueryKind, UpdateEvent};
 use proptest::prelude::*;
@@ -70,6 +73,7 @@ fn arb_plain_request() -> impl Strategy<Value = Request> {
         (0u64..u64::MAX, arb_sql_text()).prop_map(|(seq, sql)| Request::Sql { seq, sql }),
         prop::collection::vec(arb_item(), 0..12).prop_map(Request::Batch),
         Just(Request::Stats),
+        Just(Request::Telemetry),
         Just(Request::Shutdown),
     ]
 }
@@ -145,6 +149,54 @@ fn arb_shard_stats() -> impl Strategy<Value = ShardStats> {
         )
 }
 
+/// Metric names as the registry produces them (dotted lowercase).
+fn arb_metric_name() -> impl Strategy<Value = String> {
+    proptest::string::pattern("[a-z0-9_.]{1,24}")
+}
+
+/// A valid sparse histogram snapshot: bucket indices in range and
+/// strictly increasing — the canonical form `dec_telemetry` enforces.
+fn arb_histogram_snapshot() -> impl Strategy<Value = HistogramSnapshot> {
+    (
+        prop::collection::btree_set(0u32..delta_telemetry::N_BUCKETS as u32, 0..8),
+        prop::collection::vec(1u64..u64::MAX, 8),
+        0u64..u64::MAX,
+        0u64..u64::MAX,
+        0u64..u64::MAX,
+    )
+        .prop_map(|(indices, counts, count, sum, max)| HistogramSnapshot {
+            count,
+            sum,
+            max,
+            buckets: indices.into_iter().zip(counts).collect(),
+        })
+}
+
+/// Distinct metric names zipped with values (the vendored proptest has
+/// no `btree_map`, so a sorted name set stands in — the codec accepts
+/// any ordering, this just avoids duplicate keys).
+fn arb_telemetry_snapshot() -> impl Strategy<Value = TelemetrySnapshot> {
+    (
+        (
+            prop::collection::btree_set(arb_metric_name(), 0..5),
+            prop::collection::vec(0u64..u64::MAX, 5),
+        ),
+        (
+            prop::collection::btree_set(arb_metric_name(), 0..4),
+            prop::collection::vec(0u64..u64::MAX, 4),
+        ),
+        (
+            prop::collection::btree_set(arb_metric_name(), 0..4),
+            prop::collection::vec(arb_histogram_snapshot(), 4),
+        ),
+    )
+        .prop_map(|((cn, cv), (gn, gv), (hn, hv))| TelemetrySnapshot {
+            counters: cn.into_iter().zip(cv).collect(),
+            gauges: gn.into_iter().zip(gv).collect(),
+            histograms: hn.into_iter().zip(hv).collect(),
+        })
+}
+
 fn arb_batch_reply() -> impl Strategy<Value = BatchReply> {
     prop_oneof![
         (0u16..64, 0u16..64, 0u16..64).prop_map(|(shards_touched, local_answers, shipped)| {
@@ -209,6 +261,7 @@ fn arb_plain_response() -> impl Strategy<Value = Response> {
         prop::collection::vec(arb_batch_reply(), 0..12).prop_map(Response::BatchOk),
         prop::collection::vec(arb_shard_stats(), 0..6)
             .prop_map(|shards| Response::StatsOk(StatsSnapshot { shards })),
+        arb_telemetry_snapshot().prop_map(Response::TelemetryOk),
         Just(Response::ShutdownOk),
         (0u16..10, proptest::string::pattern("[ -~]{0,60}"))
             .prop_map(|(code, message)| Response::Error { code, message }),
@@ -377,6 +430,12 @@ fn hostile_corpus_errors_cleanly() {
             v.extend_from_slice(&[0xFF, 0xFE]);
             v
         },
+        {
+            // Telemetry request with trailing bytes (it carries no body).
+            let mut v = Request::Telemetry.encode();
+            v.push(0);
+            v
+        },
     ];
     for (i, case) in cases.iter().enumerate() {
         assert!(
@@ -407,6 +466,77 @@ fn hostile_corpus_errors_cleanly() {
             let mut v = vec![0x90];
             v.extend_from_slice(&2u64.to_be_bytes());
             v.extend_from_slice(&inner);
+            v
+        },
+        vec![0x83, 0xFF],       // StatsOk with a truncated shard count
+        vec![0x83, 0xFF, 0xFF], // StatsOk claiming 65535 shards, no body
+        {
+            // StatsOk whose single shard's metrics block is cut short.
+            let mut v = vec![0x83];
+            v.extend_from_slice(&1u16.to_be_bytes());
+            v.extend_from_slice(&0u16.to_be_bytes()); // shard id
+            v.extend_from_slice(&5u16.to_be_bytes()); // policy len
+            v.extend_from_slice(b"lru--");
+            v.extend_from_slice(&1u64.to_be_bytes()); // 1 of 14 metric words
+            v
+        },
+        vec![0x8D], // TelemetryOk with no counts at all
+        {
+            // TelemetryOk claiming u32::MAX counters with a tiny body.
+            let mut v = vec![0x8D];
+            v.extend_from_slice(&u32::MAX.to_be_bytes());
+            v.push(0);
+            v
+        },
+        {
+            // TelemetryOk histogram with a bucket index out of range.
+            let mut v = vec![0x8D];
+            v.extend_from_slice(&0u32.to_be_bytes()); // no counters
+            v.extend_from_slice(&0u32.to_be_bytes()); // no gauges
+            v.extend_from_slice(&1u32.to_be_bytes()); // one histogram
+            v.extend_from_slice(&1u16.to_be_bytes());
+            v.push(b'h'); // name "h"
+            v.extend_from_slice(&1u64.to_be_bytes()); // count
+            v.extend_from_slice(&1u64.to_be_bytes()); // sum
+            v.extend_from_slice(&1u64.to_be_bytes()); // max
+            v.extend_from_slice(&1u32.to_be_bytes()); // one bucket
+            v.extend_from_slice(&(delta_telemetry::N_BUCKETS as u32).to_be_bytes());
+            v.extend_from_slice(&1u64.to_be_bytes());
+            v
+        },
+        {
+            // TelemetryOk histogram whose bucket indices do not strictly
+            // increase (a forged frame that would poison a merge).
+            let mut v = vec![0x8D];
+            v.extend_from_slice(&0u32.to_be_bytes());
+            v.extend_from_slice(&0u32.to_be_bytes());
+            v.extend_from_slice(&1u32.to_be_bytes());
+            v.extend_from_slice(&1u16.to_be_bytes());
+            v.push(b'h');
+            v.extend_from_slice(&1u64.to_be_bytes());
+            v.extend_from_slice(&1u64.to_be_bytes());
+            v.extend_from_slice(&1u64.to_be_bytes());
+            v.extend_from_slice(&2u32.to_be_bytes()); // two buckets
+            v.extend_from_slice(&7u32.to_be_bytes());
+            v.extend_from_slice(&1u64.to_be_bytes());
+            v.extend_from_slice(&7u32.to_be_bytes()); // repeat index
+            v.extend_from_slice(&1u64.to_be_bytes());
+            v
+        },
+        {
+            // TelemetryOk histogram claiming more buckets than the body
+            // holds.
+            let mut v = vec![0x8D];
+            v.extend_from_slice(&0u32.to_be_bytes());
+            v.extend_from_slice(&0u32.to_be_bytes());
+            v.extend_from_slice(&1u32.to_be_bytes());
+            v.extend_from_slice(&1u16.to_be_bytes());
+            v.push(b'h');
+            v.extend_from_slice(&1u64.to_be_bytes());
+            v.extend_from_slice(&1u64.to_be_bytes());
+            v.extend_from_slice(&1u64.to_be_bytes());
+            v.extend_from_slice(&u32::MAX.to_be_bytes());
+            v.push(0);
             v
         },
     ];

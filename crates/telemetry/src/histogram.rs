@@ -1,0 +1,349 @@
+//! A log-linear latency histogram with fixed atomic buckets.
+//!
+//! The bucket scheme is the HDR-style compromise between range and
+//! resolution: values below [`SUB`] (32) get one bucket each (exact),
+//! and every power-of-two octave above that is split into [`SUB`]
+//! linear sub-buckets. A recorded value therefore lands in a bucket
+//! whose width is at most `1/32` of its magnitude — percentile
+//! estimates carry a bounded ~3% relative error — while 1920 buckets
+//! cover the full `u64` range. Recording is one `fetch_add` per value
+//! (no allocation, no locks, `Relaxed` ordering), reads are lock-free,
+//! and [`HistogramSnapshot::merge`] folds shard → node → cluster
+//! roll-ups without losing resolution: merging is bucket-wise addition,
+//! so it is associative and commutative by construction.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Linear sub-buckets per octave (and the top of the exact region).
+const SUB: u64 = 32;
+/// log2 of [`SUB`].
+const SUB_BITS: u32 = 5;
+/// Total bucket count: the exact region plus 59 octaves of 32.
+pub const N_BUCKETS: usize = (64 - SUB_BITS as usize + 1) * SUB as usize;
+
+/// The bucket a value lands in.
+pub fn bucket_index(v: u64) -> usize {
+    if v < SUB {
+        v as usize
+    } else {
+        let msb = 63 - v.leading_zeros();
+        let octave = (msb - SUB_BITS + 1) as usize;
+        let sub = ((v >> (msb - SUB_BITS)) - SUB) as usize;
+        octave * SUB as usize + sub
+    }
+}
+
+/// The smallest value that lands in bucket `i`.
+pub fn bucket_lo(i: usize) -> u64 {
+    debug_assert!(i < N_BUCKETS);
+    let (octave, sub) = (i as u64 / SUB, i as u64 % SUB);
+    if octave == 0 {
+        sub
+    } else {
+        (SUB + sub) << (octave - 1)
+    }
+}
+
+/// The representative value reported for bucket `i` (its midpoint, so
+/// the estimate's error is at most half a bucket width each way).
+pub fn bucket_mid(i: usize) -> u64 {
+    let octave = i as u64 / SUB;
+    if octave == 0 {
+        bucket_lo(i)
+    } else {
+        bucket_lo(i) + (1u64 << (octave - 1)) / 2
+    }
+}
+
+/// A concurrent log-linear histogram. All methods take `&self`; share
+/// it behind an `Arc` and record from any thread.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: Vec<AtomicU64>,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram. The bucket array is allocated once here;
+    /// [`Histogram::record`] never allocates.
+    pub fn new() -> Self {
+        Histogram {
+            buckets: (0..N_BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one value: a single relaxed `fetch_add` on the owning
+    /// bucket (plus sum/max upkeep). Safe to call from any thread.
+    pub fn record(&self, v: u64) {
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Records a wall-clock duration in nanoseconds.
+    pub fn record_duration(&self, d: Duration) {
+        self.record(u64::try_from(d.as_nanos()).unwrap_or(u64::MAX));
+    }
+
+    /// A lock-free point-in-time copy. Concurrent `record`s may or may
+    /// not be visible — each bucket read is atomic, and the snapshot's
+    /// `count` is derived from the buckets actually read, so the copy
+    /// is always internally consistent for percentile extraction.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut buckets = Vec::new();
+        let mut count = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            let c = b.load(Ordering::Relaxed);
+            if c > 0 {
+                buckets.push((i as u32, c));
+                count += c;
+            }
+        }
+        HistogramSnapshot {
+            count,
+            sum: self.sum.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+            buckets,
+        }
+    }
+}
+
+/// An owned, mergeable copy of a [`Histogram`]'s state: the non-empty
+/// buckets in index order, plus derived totals. This is what goes on
+/// the wire in a `TelemetrySnapshot` frame and what roll-ups operate
+/// on.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Total recorded values (sum of bucket counts at snapshot time).
+    pub count: u64,
+    /// Sum of recorded values (wrapping, like the atomic it mirrors).
+    pub sum: u64,
+    /// Largest recorded value.
+    pub max: u64,
+    /// `(bucket_index, count)` pairs, strictly increasing by index,
+    /// zero-count buckets omitted.
+    pub buckets: Vec<(u32, u64)>,
+}
+
+impl HistogramSnapshot {
+    /// Whether nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.buckets.is_empty()
+    }
+
+    /// Mean of recorded values, zero when empty.
+    pub fn mean(&self) -> u64 {
+        self.sum.checked_div(self.count).unwrap_or(0)
+    }
+
+    /// Folds `other` into `self` by bucket-wise addition. Associative
+    /// and commutative, so shard → node → cluster roll-ups agree no
+    /// matter the fold order.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        if other.buckets.is_empty() {
+            return;
+        }
+        let mut merged = Vec::with_capacity(self.buckets.len() + other.buckets.len());
+        let (mut a, mut b) = (
+            self.buckets.iter().peekable(),
+            other.buckets.iter().peekable(),
+        );
+        loop {
+            match (a.peek(), b.peek()) {
+                (Some(&&(ia, ca)), Some(&&(ib, cb))) => {
+                    if ia < ib {
+                        merged.push((ia, ca));
+                        a.next();
+                    } else if ib < ia {
+                        merged.push((ib, cb));
+                        b.next();
+                    } else {
+                        merged.push((ia, ca.saturating_add(cb)));
+                        a.next();
+                        b.next();
+                    }
+                }
+                (Some(&&x), None) => {
+                    merged.push(x);
+                    a.next();
+                }
+                (None, Some(&&x)) => {
+                    merged.push(x);
+                    b.next();
+                }
+                (None, None) => break,
+            }
+        }
+        self.buckets = merged;
+        self.count = self.count.saturating_add(other.count);
+        // Wrapping, to match the atomic `fetch_add` recording uses — so
+        // merging two histograms equals recording both sample sets into
+        // one, exactly (the property tests pin this equivalence).
+        self.sum = self.sum.wrapping_add(other.sum);
+        self.max = self.max.max(other.max);
+    }
+
+    /// The value at quantile `q` in `[0, 1]`: the midpoint of the
+    /// bucket holding the rank-`ceil(q·count)` value. Because bucket
+    /// widths are at most `1/32` of their magnitude, the estimate lands
+    /// in the same bucket as the exact order statistic. Zero when
+    /// empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let total: u64 = self.buckets.iter().map(|&(_, c)| c).sum();
+        if total == 0 {
+            return 0;
+        }
+        let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+        let mut cum = 0u64;
+        for &(i, c) in &self.buckets {
+            cum = cum.saturating_add(c);
+            if cum >= rank {
+                return bucket_mid(i as usize);
+            }
+        }
+        self.max
+    }
+
+    /// Median.
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+    /// 90th percentile.
+    pub fn p90(&self) -> u64 {
+        self.quantile(0.90)
+    }
+    /// 99th percentile.
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+    /// 99.9th percentile.
+    pub fn p999(&self) -> u64 {
+        self.quantile(0.999)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_scheme_is_a_partition() {
+        // Every boundary value maps into a bucket whose bounds contain
+        // it, indices are monotone, and the exact region is exact.
+        for v in 0..SUB {
+            assert_eq!(bucket_index(v), v as usize);
+            assert_eq!(bucket_mid(v as usize), v);
+        }
+        let mut prev = 0;
+        for v in [
+            31,
+            32,
+            33,
+            63,
+            64,
+            65,
+            127,
+            128,
+            1 << 20,
+            (1 << 20) + 17,
+            u64::MAX / 2,
+            u64::MAX,
+        ] {
+            let i = bucket_index(v);
+            assert!(i < N_BUCKETS);
+            assert!(i >= prev, "bucket index must be monotone in the value");
+            assert!(bucket_lo(i) <= v, "lo({i}) > {v}");
+            assert!(
+                bucket_index(bucket_mid(i)) == i,
+                "midpoint leaves bucket {i}"
+            );
+            prev = i;
+        }
+        // Octave 1 starts exactly where the exact region ends.
+        assert_eq!(bucket_lo(SUB as usize), SUB);
+        // The last bucket covers u64::MAX.
+        assert_eq!(bucket_index(u64::MAX), N_BUCKETS - 1);
+    }
+
+    #[test]
+    fn record_and_quantiles() {
+        let h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 1000);
+        assert_eq!(s.max, 1000);
+        // Exact reference: the rank-k order statistic of 1..=1000 is k.
+        // The estimate must land in the same bucket as the exact value.
+        for (q, exact) in [(0.5, 500u64), (0.9, 900), (0.99, 990), (0.999, 999)] {
+            let est = s.quantile(q);
+            assert_eq!(
+                bucket_index(est),
+                bucket_index(exact),
+                "q={q}: estimate {est} not in exact value {exact}'s bucket"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_snapshot_is_zero() {
+        let s = Histogram::new().snapshot();
+        assert!(s.is_empty());
+        assert_eq!(s.count, 0);
+        assert_eq!(s.p50(), 0);
+        assert_eq!(s.mean(), 0);
+    }
+
+    #[test]
+    fn merge_is_bucketwise_addition() {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        for v in 0..100u64 {
+            a.record(v);
+            b.record(v * 1000);
+        }
+        let mut m = a.snapshot();
+        m.merge(&b.snapshot());
+        assert_eq!(m.count, 200);
+        assert_eq!(m.max, 99_000);
+        // Merging the other way round gives the identical snapshot.
+        let mut m2 = b.snapshot();
+        m2.merge(&a.snapshot());
+        assert_eq!(m, m2);
+        // Merging an empty histogram is the identity.
+        let mut m3 = m.clone();
+        m3.merge(&Histogram::new().snapshot());
+        assert_eq!(m3, m);
+    }
+
+    #[test]
+    fn concurrent_recording_loses_nothing() {
+        use std::sync::Arc;
+        let h = Arc::new(Histogram::new());
+        let threads: Vec<_> = (0..4)
+            .map(|t| {
+                let h = Arc::clone(&h);
+                std::thread::spawn(move || {
+                    for v in 0..10_000u64 {
+                        h.record(v + t * 7);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(h.snapshot().count, 40_000);
+    }
+}

@@ -1,0 +1,27 @@
+//! # delta_telemetry — observability primitives for the Delta service
+//!
+//! Hand-rolled (the workspace vendors every dependency, and a metrics
+//! stack is small enough to own): a log-linear [`Histogram`] with fixed
+//! atomic buckets for hot-path latency recording, and a named
+//! [`Telemetry`] registry of counters/gauges/histograms with
+//! contention-free per-shard and per-connection handles.
+//!
+//! The design constraint that shapes everything here: telemetry is
+//! strictly *off* the deterministic path. Recording reads wall clocks
+//! and bumps atomics; nothing ever flows back into engine state, so the
+//! server's ledgers are byte-identical with telemetry enabled — the
+//! differential harnesses pin this.
+//!
+//! Roll-ups compose: per-shard histogram instances merge into a node's
+//! [`TelemetrySnapshot`], and the router merges node snapshots
+//! cluster-wide. Merging is bucket-wise addition (associative,
+//! commutative), so every fold order tells the same story.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod histogram;
+mod registry;
+
+pub use histogram::{bucket_index, bucket_lo, bucket_mid, Histogram, HistogramSnapshot, N_BUCKETS};
+pub use registry::{Counter, Gauge, Telemetry, TelemetrySnapshot};

@@ -1,0 +1,413 @@
+//! A named registry of counters, gauges and histograms, plus the
+//! mergeable [`TelemetrySnapshot`] it produces.
+//!
+//! Registration (cold path) takes a mutex; the handles it returns are
+//! plain `Arc`s whose operations are single atomic instructions. To
+//! keep hot shards and connections off each other's cache lines, a
+//! name may be backed by *many* instances: [`Telemetry::counter_handle`]
+//! and [`Telemetry::histogram_handle`] mint a private instance per
+//! caller, and [`Telemetry::snapshot`] folds all instances of a name
+//! back together. Everything here is strictly observational — nothing
+//! in the registry feeds back into engine state.
+
+use crate::histogram::{Histogram, HistogramSnapshot};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A monotonically increasing count. Merges by addition.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-written level (an epoch, a hosted-shard count). Merges by
+/// maximum — the only fold that makes sense for levels reported by
+/// peers that disagree only through staleness.
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicU64);
+
+impl Gauge {
+    /// Sets the level.
+    pub fn set(&self, v: u64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+    /// Current level.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+#[derive(Default)]
+struct Inner {
+    counters: BTreeMap<String, Vec<Arc<Counter>>>,
+    gauges: BTreeMap<String, Arc<Gauge>>,
+    histograms: BTreeMap<String, Vec<Arc<Histogram>>>,
+}
+
+/// The per-process metric registry. One lives in the server's shared
+/// state and one in the router's; scrapes and dumps read it through
+/// [`Telemetry::snapshot`].
+#[derive(Default)]
+pub struct Telemetry {
+    inner: Mutex<Inner>,
+}
+
+impl Telemetry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Telemetry::default()
+    }
+
+    /// The shared instance of counter `name` (created on first use).
+    /// All callers increment the same atomic — fine for cold counters.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut inner = self.inner.lock().unwrap();
+        let slot = inner.counters.entry(name.to_string()).or_default();
+        if slot.is_empty() {
+            slot.push(Arc::new(Counter::default()));
+        }
+        Arc::clone(&slot[0])
+    }
+
+    /// A *private* instance of counter `name`: the caller gets its own
+    /// atomic, and the snapshot sums every instance. Use for hot-path
+    /// counters bumped from many threads.
+    pub fn counter_handle(&self, name: &str) -> Arc<Counter> {
+        let mut inner = self.inner.lock().unwrap();
+        let c = Arc::new(Counter::default());
+        inner
+            .counters
+            .entry(name.to_string())
+            .or_default()
+            .push(Arc::clone(&c));
+        c
+    }
+
+    /// The gauge `name` (created on first use). Gauges are levels, so
+    /// there is exactly one instance per name.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        let mut inner = self.inner.lock().unwrap();
+        Arc::clone(
+            inner
+                .gauges
+                .entry(name.to_string())
+                .or_insert_with(|| Arc::new(Gauge::default())),
+        )
+    }
+
+    /// The shared instance of histogram `name` (created on first use).
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        let mut inner = self.inner.lock().unwrap();
+        let slot = inner.histograms.entry(name.to_string()).or_default();
+        if slot.is_empty() {
+            slot.push(Arc::new(Histogram::new()));
+        }
+        Arc::clone(&slot[0])
+    }
+
+    /// A *private* instance of histogram `name` — a per-shard handle
+    /// whose buckets no other shard touches. The snapshot merges every
+    /// instance of the name.
+    pub fn histogram_handle(&self, name: &str) -> Arc<Histogram> {
+        let mut inner = self.inner.lock().unwrap();
+        let h = Arc::new(Histogram::new());
+        inner
+            .histograms
+            .entry(name.to_string())
+            .or_default()
+            .push(Arc::clone(&h));
+        h
+    }
+
+    /// A point-in-time copy of every metric, instances of a name folded
+    /// together (counters sum, histograms merge).
+    pub fn snapshot(&self) -> TelemetrySnapshot {
+        let inner = self.inner.lock().unwrap();
+        let counters = inner
+            .counters
+            .iter()
+            .map(|(name, instances)| {
+                (
+                    name.clone(),
+                    instances
+                        .iter()
+                        .map(|c| c.get())
+                        .fold(0u64, u64::saturating_add),
+                )
+            })
+            .collect();
+        let gauges = inner
+            .gauges
+            .iter()
+            .map(|(name, g)| (name.clone(), g.get()))
+            .collect();
+        let histograms = inner
+            .histograms
+            .iter()
+            .map(|(name, instances)| {
+                let mut merged = HistogramSnapshot::default();
+                for h in instances {
+                    merged.merge(&h.snapshot());
+                }
+                (name.clone(), merged)
+            })
+            .collect();
+        TelemetrySnapshot {
+            counters,
+            gauges,
+            histograms,
+        }
+    }
+}
+
+/// Everything a node knows about its own timing and wire activity, as
+/// one mergeable value: this is the payload of the protocol's
+/// `TelemetryOk` frame, and what the router folds cluster-wide.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct TelemetrySnapshot {
+    /// `(name, value)` in name order. Merge by addition.
+    pub counters: Vec<(String, u64)>,
+    /// `(name, level)` in name order. Merge by maximum.
+    pub gauges: Vec<(String, u64)>,
+    /// `(name, snapshot)` in name order. Merge bucket-wise.
+    pub histograms: Vec<(String, HistogramSnapshot)>,
+}
+
+impl TelemetrySnapshot {
+    /// Folds `other` into `self` by name: counters add, gauges take the
+    /// maximum, histograms merge bucket-wise. Names present on either
+    /// side survive, so nodes with different roles merge cleanly.
+    pub fn merge(&mut self, other: &TelemetrySnapshot) {
+        let mut counters: BTreeMap<String, u64> = self.counters.drain(..).collect();
+        for (name, v) in &other.counters {
+            let e = counters.entry(name.clone()).or_insert(0);
+            *e = e.saturating_add(*v);
+        }
+        self.counters = counters.into_iter().collect();
+
+        let mut gauges: BTreeMap<String, u64> = self.gauges.drain(..).collect();
+        for (name, v) in &other.gauges {
+            let e = gauges.entry(name.clone()).or_insert(0);
+            *e = (*e).max(*v);
+        }
+        self.gauges = gauges.into_iter().collect();
+
+        let mut histograms: BTreeMap<String, HistogramSnapshot> =
+            self.histograms.drain(..).collect();
+        for (name, h) in &other.histograms {
+            histograms.entry(name.clone()).or_default().merge(h);
+        }
+        self.histograms = histograms.into_iter().collect();
+    }
+
+    /// The value of counter `name`, zero when absent.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, v)| v)
+            .unwrap_or(0)
+    }
+
+    /// The histogram named `name`, when present.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, h)| h)
+    }
+
+    /// Renders the snapshot as the table `delta-serverd --telemetry-dump`
+    /// consumers and operators read: counters and gauges first, then one
+    /// row per histogram with count/mean/percentiles/max. Histogram
+    /// names ending in `_ns` hold nanoseconds and render in µs.
+    pub fn render_table(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        if !self.counters.is_empty() || !self.gauges.is_empty() {
+            let _ = writeln!(out, "{:<40} {:>16}", "counter", "value");
+            for (name, v) in &self.counters {
+                let _ = writeln!(out, "{name:<40} {v:>16}");
+            }
+            for (name, v) in &self.gauges {
+                let _ = writeln!(out, "{name:<40} {v:>16}");
+            }
+        }
+        if !self.histograms.is_empty() {
+            let _ = writeln!(
+                out,
+                "{:<40} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10}",
+                "histogram", "count", "mean", "p50", "p90", "p99", "p999", "max"
+            );
+            for (name, h) in &self.histograms {
+                // A `_ns` segment may sit mid-name when a class or node
+                // suffix follows (`shard.apply_ns.query`,
+                // `router.fanout_ns.node0`).
+                let in_us = name.ends_with("_ns") || name.contains("_ns.");
+                let scale = |v: u64| -> String {
+                    if in_us {
+                        format!("{:.1}", v as f64 / 1_000.0)
+                    } else {
+                        v.to_string()
+                    }
+                };
+                let _ = writeln!(
+                    out,
+                    "{:<40} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10}",
+                    name,
+                    h.count,
+                    scale(h.mean()),
+                    scale(h.p50()),
+                    scale(h.p90()),
+                    scale(h.p99()),
+                    scale(h.p999()),
+                    scale(h.max),
+                );
+            }
+        }
+        out
+    }
+
+    /// Renders the snapshot as one JSON document (the `--telemetry-dump`
+    /// JSONL line). Histograms are summarized to their percentiles;
+    /// buckets stay off the dump.
+    pub fn to_json(&self) -> String {
+        use std::fmt::Write as _;
+        fn esc(s: &str) -> String {
+            let mut out = String::with_capacity(s.len());
+            for c in s.chars() {
+                match c {
+                    '"' => out.push_str("\\\""),
+                    '\\' => out.push_str("\\\\"),
+                    c if (c as u32) < 0x20 => {
+                        out.push_str(&format!("\\u{:04x}", c as u32));
+                    }
+                    c => out.push(c),
+                }
+            }
+            out
+        }
+        let mut out = String::from("{\"counters\":{");
+        for (i, (name, v)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{}\":{v}", esc(name));
+        }
+        out.push_str("},\"gauges\":{");
+        for (i, (name, v)) in self.gauges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{}\":{v}", esc(name));
+        }
+        out.push_str("},\"histograms\":{");
+        for (i, (name, h)) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "\"{}\":{{\"count\":{},\"sum\":{},\"mean\":{},\"p50\":{},\"p90\":{},\"p99\":{},\"p999\":{},\"max\":{}}}",
+                esc(name),
+                h.count,
+                h.sum,
+                h.mean(),
+                h.p50(),
+                h.p90(),
+                h.p99(),
+                h.p999(),
+                h.max,
+            );
+        }
+        out.push_str("}}");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handles_fold_back_together() {
+        let t = Telemetry::new();
+        let a = t.counter_handle("ops");
+        let b = t.counter_handle("ops");
+        a.add(3);
+        b.add(4);
+        t.counter("cold").inc();
+        t.gauge("epoch").set(7);
+        let h1 = t.histogram_handle("lat_ns");
+        let h2 = t.histogram_handle("lat_ns");
+        h1.record(100);
+        h2.record(200);
+        let s = t.snapshot();
+        assert_eq!(s.counter("ops"), 7);
+        assert_eq!(s.counter("cold"), 1);
+        assert_eq!(s.counter("missing"), 0);
+        assert_eq!(s.gauges, vec![("epoch".to_string(), 7)]);
+        assert_eq!(s.histogram("lat_ns").unwrap().count, 2);
+    }
+
+    #[test]
+    fn shared_counter_is_one_instance() {
+        let t = Telemetry::new();
+        let a = t.counter("x");
+        let b = t.counter("x");
+        a.inc();
+        b.inc();
+        assert_eq!(t.snapshot().counter("x"), 2);
+        assert_eq!(a.get(), 2, "both handles see the same atomic");
+    }
+
+    #[test]
+    fn snapshot_merge_semantics() {
+        let mut a = TelemetrySnapshot {
+            counters: vec![("c".into(), 1), ("only_a".into(), 5)],
+            gauges: vec![("g".into(), 3)],
+            histograms: vec![],
+        };
+        let b = TelemetrySnapshot {
+            counters: vec![("c".into(), 2)],
+            gauges: vec![("g".into(), 9), ("only_b".into(), 1)],
+            histograms: vec![],
+        };
+        a.merge(&b);
+        assert_eq!(a.counter("c"), 3, "counters add");
+        assert_eq!(a.counter("only_a"), 5);
+        assert_eq!(
+            a.gauges,
+            vec![("g".to_string(), 9), ("only_b".to_string(), 1)],
+            "gauges take the max and keep both sides' names"
+        );
+    }
+
+    #[test]
+    fn json_and_table_render() {
+        let t = Telemetry::new();
+        t.counter("frames_in").add(10);
+        t.histogram("apply_ns").record(1500);
+        let s = t.snapshot();
+        let json = s.to_json();
+        assert!(json.contains("\"frames_in\":10"), "{json}");
+        assert!(json.contains("\"apply_ns\""), "{json}");
+        let table = s.render_table();
+        assert!(table.contains("frames_in"));
+        assert!(table.contains("apply_ns"));
+    }
+}

@@ -1,0 +1,114 @@
+//! Property tests for the log-linear histogram: percentile estimates
+//! pinned against an exact sorted-reference model, and `merge()`
+//! associativity/commutativity (the algebra the shard → node → cluster
+//! roll-ups rely on).
+
+use delta_telemetry::{
+    bucket_index, bucket_lo, bucket_mid, Histogram, HistogramSnapshot, N_BUCKETS,
+};
+use proptest::prelude::*;
+
+/// The exact model: the rank-`ceil(q·n)` order statistic of the sorted
+/// sample — what the histogram approximates bucket-wise.
+fn exact_quantile(sorted: &[u64], q: f64) -> u64 {
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+fn arb_values() -> impl Strategy<Value = Vec<u64>> {
+    // Mix magnitudes: sub-bucket exact range, mid-range latencies, and
+    // huge outliers, so every octave regime gets exercised.
+    prop::collection::vec(
+        prop_oneof![
+            0u64..32,
+            32u64..100_000,
+            100_000u64..10_000_000_000,
+            Just(u64::MAX),
+        ],
+        1..400,
+    )
+}
+
+fn snapshot_of(values: &[u64]) -> HistogramSnapshot {
+    let h = Histogram::new();
+    for &v in values {
+        h.record(v);
+    }
+    h.snapshot()
+}
+
+proptest! {
+    /// Every quantile estimate lands in the same bucket as the exact
+    /// order statistic — the strongest guarantee a bucketed histogram
+    /// can give, and with 32 sub-buckets per octave it bounds the
+    /// relative error at ~3%.
+    #[test]
+    fn quantiles_match_sorted_reference(values in arb_values()) {
+        let snap = snapshot_of(&values);
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(snap.count, values.len() as u64);
+        prop_assert_eq!(snap.max, *sorted.last().unwrap());
+        for q in [0.0, 0.25, 0.50, 0.90, 0.99, 0.999, 1.0] {
+            let exact = exact_quantile(&sorted, q);
+            let est = snap.quantile(q);
+            prop_assert_eq!(
+                bucket_index(est),
+                bucket_index(exact),
+                "q={}: estimate {} and exact {} disagree on bucket",
+                q, est, exact
+            );
+        }
+    }
+
+    /// Merge is commutative: a ∪ b == b ∪ a.
+    #[test]
+    fn merge_commutes(a in arb_values(), b in arb_values()) {
+        let (sa, sb) = (snapshot_of(&a), snapshot_of(&b));
+        let mut ab = sa.clone();
+        ab.merge(&sb);
+        let mut ba = sb.clone();
+        ba.merge(&sa);
+        prop_assert_eq!(ab, ba);
+    }
+
+    /// Merge is associative: (a ∪ b) ∪ c == a ∪ (b ∪ c).
+    #[test]
+    fn merge_associates(a in arb_values(), b in arb_values(), c in arb_values()) {
+        let (sa, sb, sc) = (snapshot_of(&a), snapshot_of(&b), snapshot_of(&c));
+        let mut left = sa.clone();
+        left.merge(&sb);
+        left.merge(&sc);
+        let mut bc = sb.clone();
+        bc.merge(&sc);
+        let mut right = sa.clone();
+        right.merge(&bc);
+        prop_assert_eq!(left, right);
+    }
+
+    /// Merging two histograms is the same as recording both sample sets
+    /// into one — the roll-up loses nothing but bucket resolution it
+    /// never had.
+    #[test]
+    fn merge_equals_union(a in arb_values(), b in arb_values()) {
+        let mut merged = snapshot_of(&a);
+        merged.merge(&snapshot_of(&b));
+        let mut union = a.clone();
+        union.extend_from_slice(&b);
+        prop_assert_eq!(merged, snapshot_of(&union));
+    }
+
+    /// The bucket scheme is a partition of u64: indices are monotone in
+    /// the value, bounds contain their values, and the representative
+    /// value stays inside its bucket.
+    #[test]
+    fn bucket_scheme_sound(v in prop_oneof![0u64..1024, 0u64..u64::MAX, Just(u64::MAX)]) {
+        let i = bucket_index(v);
+        prop_assert!(i < N_BUCKETS);
+        prop_assert!(bucket_lo(i) <= v);
+        prop_assert_eq!(bucket_index(bucket_mid(i)), i);
+        if v > 0 {
+            prop_assert!(bucket_index(v - 1) <= i, "monotone");
+        }
+    }
+}

@@ -35,4 +35,5 @@ pub use delta_policy as policy;
 pub use delta_query as query;
 pub use delta_server as server;
 pub use delta_storage as storage;
+pub use delta_telemetry as telemetry;
 pub use delta_workload as workload;
