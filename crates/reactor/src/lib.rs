@@ -1,0 +1,36 @@
+//! # delta_reactor — hand-rolled epoll primitives for the wire tier
+//!
+//! The building blocks of a nonblocking, mio-style event loop, vendored
+//! like the rest of the workspace instead of pulled from crates.io:
+//!
+//! * [`Poller`] — a thin, safe wrapper over Linux `epoll`: register a
+//!   file descriptor under a caller-chosen `usize` token with an
+//!   [`Interest`] (readable/writable), then [`Poller::wait`] for
+//!   readiness. Level-triggered, so a handler that leaves bytes behind
+//!   is re-notified on the next wait — the forgiving mode; the caller
+//!   manages interest instead of draining contracts.
+//! * [`Slab`] — the token allocator: connections live in a dense slab
+//!   whose keys double as epoll tokens, so a readiness event maps back
+//!   to its connection with one bounds-checked index, no hashing.
+//! * [`TimerWheel`] — coarse hashed-wheel deadlines (mid-frame stall
+//!   limits, shutdown grace periods): O(1) insert/cancel, expiry by
+//!   cursor advance. Deadlines fire within one wheel tick of their
+//!   nominal instant, which is exactly the tolerance a multi-second
+//!   reap limit wants.
+//!
+//! All unsafe code (the raw `epoll_*` syscalls and the one `epoll_event`
+//! buffer epoll writes into) is confined to the private `sys` module;
+//! the public surface is safe. The crate is Linux-only by construction —
+//! the workspace's serving stack targets the same.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+mod poll;
+mod slab;
+mod sys;
+mod timer;
+
+pub use poll::{Event, Events, Interest, Poller};
+pub use slab::Slab;
+pub use timer::{TimerKey, TimerWheel};

@@ -1,0 +1,262 @@
+//! The safe epoll wrapper: token-addressed interest management plus a
+//! readiness wait.
+
+use crate::sys;
+use std::io;
+use std::os::fd::{AsRawFd, RawFd};
+use std::time::Duration;
+
+/// What a registration wants to be woken for.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Interest {
+    /// Wake when the fd is readable (or the peer half-closed).
+    pub readable: bool,
+    /// Wake when the fd is writable.
+    pub writable: bool,
+}
+
+impl Interest {
+    /// Readable only — the steady state of an idle connection.
+    pub const READ: Interest = Interest {
+        readable: true,
+        writable: false,
+    };
+    /// Readable and writable — a connection with a pending flush.
+    pub const READ_WRITE: Interest = Interest {
+        readable: true,
+        writable: true,
+    };
+    /// Writable only — flush backlog with input paused (backpressure).
+    pub const WRITE: Interest = Interest {
+        readable: false,
+        writable: true,
+    };
+
+    fn mask(self) -> u32 {
+        let mut m = sys::EPOLLRDHUP;
+        if self.readable {
+            m |= sys::EPOLLIN;
+        }
+        if self.writable {
+            m |= sys::EPOLLOUT;
+        }
+        m
+    }
+}
+
+/// One readiness notification, resolved back to the caller's token.
+#[derive(Clone, Copy, Debug)]
+pub struct Event {
+    /// The token the fd was registered under.
+    pub token: usize,
+    /// Readable (data, EOF, or peer half-close).
+    pub readable: bool,
+    /// Writable.
+    pub writable: bool,
+    /// Error or hangup — the next read/write will surface the cause.
+    pub error: bool,
+}
+
+/// Reusable readiness buffer for [`Poller::wait`].
+pub struct Events {
+    buf: Vec<sys::EpollEvent>,
+}
+
+impl Events {
+    /// A buffer receiving at most `capacity` events per wait.
+    pub fn with_capacity(capacity: usize) -> Events {
+        Events {
+            buf: Vec::with_capacity(capacity.max(1)),
+        }
+    }
+
+    /// The events the last [`Poller::wait`] filled in.
+    pub fn iter(&self) -> impl Iterator<Item = Event> + '_ {
+        self.buf.iter().map(|e| {
+            // Copy out of the (possibly packed) FFI struct before
+            // touching the fields.
+            let (events, data) = (e.events, e.data);
+            Event {
+                token: data as usize,
+                readable: events & (sys::EPOLLIN | sys::EPOLLRDHUP) != 0,
+                writable: events & sys::EPOLLOUT != 0,
+                error: events & (sys::EPOLLERR | sys::EPOLLHUP) != 0,
+            }
+        })
+    }
+
+    /// How many events the last wait returned.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when the last wait returned nothing (timeout).
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+}
+
+/// A level-triggered epoll instance with token-addressed registrations.
+///
+/// Tokens are plain `usize`s chosen by the caller (the reactor uses slab
+/// keys); re-registering an fd replaces its token and interest.
+pub struct Poller {
+    epfd: sys::EpollFd,
+}
+
+impl Poller {
+    /// Creates a fresh epoll instance (`CLOEXEC`).
+    pub fn new() -> io::Result<Poller> {
+        Ok(Poller {
+            epfd: sys::EpollFd::new()?,
+        })
+    }
+
+    fn event(token: usize, interest: Interest) -> sys::EpollEvent {
+        sys::EpollEvent {
+            events: interest.mask(),
+            data: token as u64,
+        }
+    }
+
+    /// Registers `fd` under `token` with `interest`.
+    pub fn add(&self, fd: &impl AsRawFd, token: usize, interest: Interest) -> io::Result<()> {
+        self.epfd.ctl(
+            sys::EPOLL_CTL_ADD,
+            fd.as_raw_fd(),
+            Some(Self::event(token, interest)),
+        )
+    }
+
+    /// Updates an existing registration's token and interest.
+    pub fn modify(&self, fd: &impl AsRawFd, token: usize, interest: Interest) -> io::Result<()> {
+        self.epfd.ctl(
+            sys::EPOLL_CTL_MOD,
+            fd.as_raw_fd(),
+            Some(Self::event(token, interest)),
+        )
+    }
+
+    /// Removes a registration. Closing the fd removes it implicitly, but
+    /// an explicit delete keeps the registration set equal to the live
+    /// connection set even when fds are duplicated.
+    pub fn delete(&self, fd: &impl AsRawFd) -> io::Result<()> {
+        self.epfd.ctl(sys::EPOLL_CTL_DEL, fd.as_raw_fd(), None)
+    }
+
+    /// Raw-fd variant of [`Poller::add`], for callers juggling cloned
+    /// handles.
+    pub fn add_raw(&self, fd: RawFd, token: usize, interest: Interest) -> io::Result<()> {
+        self.epfd
+            .ctl(sys::EPOLL_CTL_ADD, fd, Some(Self::event(token, interest)))
+    }
+
+    /// Waits up to `timeout` (forever when `None`) for readiness,
+    /// filling `events`. Returns the number of ready registrations;
+    /// zero means the timeout elapsed (or a signal interrupted the
+    /// wait).
+    pub fn wait(&self, events: &mut Events, timeout: Option<Duration>) -> io::Result<usize> {
+        let timeout_ms = match timeout {
+            // Round up so a 1ns timeout polls for 1ms instead of
+            // busy-spinning at 0.
+            Some(d) => {
+                i32::try_from(d.as_millis().max(1).min(i32::MAX as u128)).unwrap_or(i32::MAX)
+            }
+            None => -1,
+        };
+        events.buf.clear();
+        self.epfd.wait(&mut events.buf, timeout_ms)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+    use std::net::{TcpListener, TcpStream};
+
+    /// A connected local socket pair.
+    fn pair() -> (TcpStream, TcpStream) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let a = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let (b, _) = listener.accept().unwrap();
+        (a, b)
+    }
+
+    #[test]
+    fn readable_when_bytes_arrive() {
+        let (mut a, b) = pair();
+        b.set_nonblocking(true).unwrap();
+        let poller = Poller::new().unwrap();
+        poller.add(&b, 7, Interest::READ).unwrap();
+        let mut events = Events::with_capacity(8);
+
+        // Nothing yet: the wait times out.
+        let n = poller
+            .wait(&mut events, Some(Duration::from_millis(10)))
+            .unwrap();
+        assert_eq!(n, 0);
+
+        a.write_all(b"hello").unwrap();
+        let n = poller
+            .wait(&mut events, Some(Duration::from_secs(2)))
+            .unwrap();
+        assert_eq!(n, 1);
+        let ev = events.iter().next().unwrap();
+        assert_eq!(ev.token, 7);
+        assert!(ev.readable);
+
+        // Level-triggered: unread bytes re-notify.
+        let n = poller
+            .wait(&mut events, Some(Duration::from_secs(2)))
+            .unwrap();
+        assert_eq!(n, 1);
+        let mut buf = [0u8; 16];
+        let got = (&b).read(&mut buf).unwrap();
+        assert_eq!(&buf[..got], b"hello");
+    }
+
+    #[test]
+    fn writable_interest_and_modify() {
+        let (_a, b) = pair();
+        b.set_nonblocking(true).unwrap();
+        let poller = Poller::new().unwrap();
+        poller.add(&b, 3, Interest::READ).unwrap();
+        let mut events = Events::with_capacity(8);
+        // Not readable, and writable isn't registered: timeout.
+        let n = poller
+            .wait(&mut events, Some(Duration::from_millis(10)))
+            .unwrap();
+        assert_eq!(n, 0);
+        // An empty socket buffer is immediately writable once asked.
+        poller.modify(&b, 3, Interest::READ_WRITE).unwrap();
+        let n = poller
+            .wait(&mut events, Some(Duration::from_secs(2)))
+            .unwrap();
+        assert_eq!(n, 1);
+        assert!(events.iter().next().unwrap().writable);
+        poller.delete(&b).unwrap();
+        let n = poller
+            .wait(&mut events, Some(Duration::from_millis(10)))
+            .unwrap();
+        assert_eq!(n, 0);
+    }
+
+    #[test]
+    fn peer_close_is_readable() {
+        let (a, b) = pair();
+        b.set_nonblocking(true).unwrap();
+        let poller = Poller::new().unwrap();
+        poller.add(&b, 1, Interest::READ).unwrap();
+        drop(a);
+        let mut events = Events::with_capacity(8);
+        let n = poller
+            .wait(&mut events, Some(Duration::from_secs(2)))
+            .unwrap();
+        assert_eq!(n, 1);
+        let ev = events.iter().next().unwrap();
+        assert!(ev.readable, "peer close must wake the read side");
+        let mut buf = [0u8; 4];
+        assert_eq!((&b).read(&mut buf).unwrap(), 0, "and read sees EOF");
+    }
+}

@@ -1,0 +1,159 @@
+//! A dense free-list slab: stable `usize` keys that double as epoll
+//! tokens.
+
+/// One slab slot: occupied, or a link in the free list.
+enum Slot<T> {
+    Occupied(T),
+    /// Next free slot index, or `usize::MAX` for end-of-list.
+    Free(usize),
+}
+
+/// A vector-backed arena with O(1) insert/remove and stable keys.
+///
+/// Keys are reused after removal (lowest-index-last-freed first), which
+/// is exactly what a reactor wants: the token space stays as dense as
+/// the live connection set, so a readiness event resolves with one
+/// bounds-checked index.
+pub struct Slab<T> {
+    slots: Vec<Slot<T>>,
+    free_head: usize,
+    len: usize,
+}
+
+impl<T> Default for Slab<T> {
+    fn default() -> Self {
+        Slab::new()
+    }
+}
+
+impl<T> Slab<T> {
+    /// An empty slab.
+    pub fn new() -> Slab<T> {
+        Slab {
+            slots: Vec::new(),
+            free_head: usize::MAX,
+            len: 0,
+        }
+    }
+
+    /// Stores `value`, returning its key.
+    pub fn insert(&mut self, value: T) -> usize {
+        self.len += 1;
+        if self.free_head != usize::MAX {
+            let key = self.free_head;
+            match self.slots[key] {
+                Slot::Free(next) => self.free_head = next,
+                Slot::Occupied(_) => unreachable!("free list points at occupied slot"),
+            }
+            self.slots[key] = Slot::Occupied(value);
+            key
+        } else {
+            self.slots.push(Slot::Occupied(value));
+            self.slots.len() - 1
+        }
+    }
+
+    /// Removes and returns the value under `key`, or `None` if the key
+    /// is stale or out of range.
+    pub fn remove(&mut self, key: usize) -> Option<T> {
+        match self.slots.get_mut(key) {
+            Some(slot @ Slot::Occupied(_)) => {
+                let old = std::mem::replace(slot, Slot::Free(self.free_head));
+                self.free_head = key;
+                self.len -= 1;
+                match old {
+                    Slot::Occupied(v) => Some(v),
+                    Slot::Free(_) => unreachable!(),
+                }
+            }
+            _ => None,
+        }
+    }
+
+    /// Shared access to the value under `key`.
+    pub fn get(&self, key: usize) -> Option<&T> {
+        match self.slots.get(key) {
+            Some(Slot::Occupied(v)) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Exclusive access to the value under `key`.
+    pub fn get_mut(&mut self, key: usize) -> Option<&mut T> {
+        match self.slots.get_mut(key) {
+            Some(Slot::Occupied(v)) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no entries are live.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The keys of all live entries, lowest first. Collected rather than
+    /// borrowed so the caller can mutate/remove while walking.
+    pub fn keys(&self) -> Vec<usize> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| match s {
+                Slot::Occupied(_) => Some(i),
+                Slot::Free(_) => None,
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_remove_reuse() {
+        let mut slab = Slab::new();
+        let a = slab.insert("a");
+        let b = slab.insert("b");
+        let c = slab.insert("c");
+        assert_eq!((a, b, c), (0, 1, 2));
+        assert_eq!(slab.len(), 3);
+
+        assert_eq!(slab.remove(b), Some("b"));
+        assert_eq!(slab.remove(b), None, "double remove is a no-op");
+        assert_eq!(slab.len(), 2);
+
+        // The freed key is reused before the slab grows.
+        let d = slab.insert("d");
+        assert_eq!(d, b);
+        assert_eq!(slab.get(d), Some(&"d"));
+        assert_eq!(slab.len(), 3);
+
+        // LIFO reuse across several frees.
+        assert_eq!(slab.remove(a), Some("a"));
+        assert_eq!(slab.remove(c), Some("c"));
+        let e = slab.insert("e");
+        let f = slab.insert("f");
+        assert_eq!((e, f), (c, a));
+    }
+
+    #[test]
+    fn get_mut_and_keys() {
+        let mut slab = Slab::new();
+        let a = slab.insert(10);
+        let b = slab.insert(20);
+        *slab.get_mut(a).unwrap() += 1;
+        assert_eq!(slab.get(a), Some(&11));
+        assert_eq!(slab.get(usize::MAX), None);
+        assert_eq!(slab.keys(), vec![a, b]);
+        slab.remove(a);
+        assert_eq!(slab.keys(), vec![b]);
+        assert!(!slab.is_empty());
+        slab.remove(b);
+        assert!(slab.is_empty());
+    }
+}

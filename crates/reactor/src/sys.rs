@@ -1,0 +1,114 @@
+//! Raw Linux `epoll` FFI: the one place in the workspace that talks to
+//! the kernel directly. Everything here is `pub(crate)`; the safe
+//! wrappers live in [`crate::poll`].
+//!
+//! The symbols come from the C library the Rust standard library already
+//! links, so no external crate is needed — the workspace stays fully
+//! vendored.
+
+#![allow(unsafe_code)]
+
+use std::io;
+use std::os::raw::c_int;
+
+/// `struct epoll_event`. On x86-64 the kernel ABI packs it (no padding
+/// between the 32-bit event mask and the 64-bit data word); other
+/// architectures use natural alignment — mirror glibc exactly or the
+/// kernel scribbles into the wrong offsets.
+#[repr(C)]
+#[cfg_attr(target_arch = "x86_64", repr(packed))]
+#[derive(Clone, Copy)]
+pub(crate) struct EpollEvent {
+    pub events: u32,
+    pub data: u64,
+}
+
+pub(crate) const EPOLLIN: u32 = 0x001;
+pub(crate) const EPOLLOUT: u32 = 0x004;
+pub(crate) const EPOLLERR: u32 = 0x008;
+pub(crate) const EPOLLHUP: u32 = 0x010;
+pub(crate) const EPOLLRDHUP: u32 = 0x2000;
+
+pub(crate) const EPOLL_CTL_ADD: c_int = 1;
+pub(crate) const EPOLL_CTL_DEL: c_int = 2;
+pub(crate) const EPOLL_CTL_MOD: c_int = 3;
+
+const EPOLL_CLOEXEC: c_int = 0o2000000;
+
+extern "C" {
+    fn epoll_create1(flags: c_int) -> c_int;
+    fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut EpollEvent) -> c_int;
+    fn epoll_wait(epfd: c_int, events: *mut EpollEvent, maxevents: c_int, timeout: c_int) -> c_int;
+    fn close(fd: c_int) -> c_int;
+}
+
+/// An owned epoll instance fd, closed on drop.
+pub(crate) struct EpollFd(c_int);
+
+impl EpollFd {
+    pub(crate) fn new() -> io::Result<EpollFd> {
+        // SAFETY: epoll_create1 takes no pointers; a negative return is
+        // the only failure mode and is checked below.
+        let fd = unsafe { epoll_create1(EPOLL_CLOEXEC) };
+        if fd < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(EpollFd(fd))
+    }
+
+    pub(crate) fn ctl(&self, op: c_int, fd: c_int, event: Option<EpollEvent>) -> io::Result<()> {
+        let mut ev = event.unwrap_or(EpollEvent { events: 0, data: 0 });
+        let ptr = if event.is_some() {
+            &mut ev as *mut EpollEvent
+        } else {
+            std::ptr::null_mut()
+        };
+        // SAFETY: `ptr` is either null (EPOLL_CTL_DEL ignores it on any
+        // post-2.6.9 kernel) or points at a live stack-owned EpollEvent
+        // for the duration of the call.
+        let rc = unsafe { epoll_ctl(self.0, op, fd, ptr) };
+        if rc < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(())
+    }
+
+    /// Waits for readiness, writing into `buf` and returning how many
+    /// entries the kernel filled. `timeout_ms < 0` blocks indefinitely.
+    pub(crate) fn wait(&self, buf: &mut Vec<EpollEvent>, timeout_ms: c_int) -> io::Result<usize> {
+        // SAFETY: the pointer/capacity pair describes exactly the
+        // allocation `buf` owns; the kernel writes at most `capacity`
+        // entries and returns the count, which set_len trusts only
+        // after the bounds check.
+        let rc = unsafe {
+            epoll_wait(
+                self.0,
+                buf.as_mut_ptr(),
+                buf.capacity() as c_int,
+                timeout_ms,
+            )
+        };
+        if rc < 0 {
+            let e = io::Error::last_os_error();
+            // A signal landing mid-wait is routine (e.g. under a test
+            // harness); surface it as zero events, not a failure.
+            if e.kind() == io::ErrorKind::Interrupted {
+                return Ok(0);
+            }
+            return Err(e);
+        }
+        let n = rc as usize;
+        debug_assert!(n <= buf.capacity());
+        // SAFETY: the kernel initialized the first `n` entries and `n`
+        // is bounded by the capacity passed to epoll_wait.
+        unsafe { buf.set_len(n.min(buf.capacity())) };
+        Ok(n)
+    }
+}
+
+impl Drop for EpollFd {
+    fn drop(&mut self) {
+        // SAFETY: self.0 is a live fd owned exclusively by this struct.
+        unsafe { close(self.0) };
+    }
+}

@@ -1,0 +1,241 @@
+//! A coarse hashed timer wheel for connection deadlines.
+
+use crate::slab::Slab;
+use std::time::{Duration, Instant};
+
+/// Handle to a pending deadline, used to cancel or re-arm it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TimerKey(usize);
+
+struct Entry {
+    /// The caller's token (e.g. the connection's slab key).
+    token: usize,
+    /// The exact deadline; the wheel slot is only a coarse bucket, so
+    /// expiry re-checks this before firing.
+    deadline: Instant,
+}
+
+/// A hashed timer wheel: deadlines land in `now..now+span` buckets of
+/// `tick` width; [`TimerWheel::poll`] advances a cursor and fires every
+/// entry whose exact deadline has passed.
+///
+/// Insert and cancel are O(1); poll is O(slots advanced + entries
+/// scanned). Deadlines further out than one wheel revolution park in the
+/// bucket one revolution short and are re-bucketed when the cursor
+/// reaches them — correct for any horizon, efficient for the short
+/// (seconds-scale) stall limits the wire tier uses.
+pub struct TimerWheel {
+    tick: Duration,
+    slots: Vec<Vec<usize>>,
+    entries: Slab<Entry>,
+    cursor: usize,
+    /// The instant slot `cursor` covers the start of.
+    cursor_time: Instant,
+}
+
+impl TimerWheel {
+    /// A wheel of `slots` buckets, each `tick` wide, starting at `now`.
+    pub fn new(tick: Duration, slots: usize, now: Instant) -> TimerWheel {
+        assert!(slots >= 2, "a wheel needs at least two slots");
+        assert!(tick > Duration::ZERO, "a wheel needs a nonzero tick");
+        TimerWheel {
+            tick,
+            slots: (0..slots).map(|_| Vec::new()).collect(),
+            entries: Slab::new(),
+            cursor: 0,
+            cursor_time: now,
+        }
+    }
+
+    /// The tick width this wheel rounds deadlines to.
+    pub fn tick(&self) -> Duration {
+        self.tick
+    }
+
+    /// Number of armed deadlines.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no deadline is armed.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    fn slot_for(&self, deadline: Instant) -> usize {
+        let ticks = if deadline <= self.cursor_time {
+            0
+        } else {
+            // Integer division truncates, so an entry never lands in a
+            // slot the cursor passes before its deadline.
+            (deadline - self.cursor_time).as_nanos() / self.tick.as_nanos().max(1)
+        };
+        // Far deadlines park one revolution out and re-bucket on pass.
+        let ticks = (ticks as usize).min(self.slots.len() - 1);
+        (self.cursor + ticks) % self.slots.len()
+    }
+
+    /// Arms a deadline for `token`, returning a key for [`cancel`].
+    ///
+    /// [`cancel`]: TimerWheel::cancel
+    pub fn insert(&mut self, deadline: Instant, token: usize) -> TimerKey {
+        let key = self.entries.insert(Entry { token, deadline });
+        let slot = self.slot_for(deadline);
+        self.slots[slot].push(key);
+        TimerKey(key)
+    }
+
+    /// Disarms a deadline. Stale keys (already fired or cancelled) are a
+    /// no-op; the slot-list entry is dropped lazily when its bucket is
+    /// next scanned.
+    pub fn cancel(&mut self, key: TimerKey) {
+        self.entries.remove(key.0);
+    }
+
+    /// Advances the wheel to `now`, appending the tokens of every fired
+    /// deadline to `expired`. Returns how many fired.
+    pub fn poll(&mut self, now: Instant, expired: &mut Vec<usize>) -> usize {
+        let fired_at_start = expired.len();
+        // Advance slot by slot, never past `now`, and never more than
+        // one full revolution per poll (beyond that the scan restarts at
+        // the same buckets anyway).
+        let mut advanced = 0;
+        while advanced <= self.slots.len() {
+            let mut i = 0;
+            // Scan the current bucket: fire due entries, keep the rest
+            // (parked far-deadline entries re-bucket here).
+            while i < self.slots[self.cursor].len() {
+                let key = self.slots[self.cursor][i];
+                match self.entries.get(key) {
+                    None => {
+                        // Cancelled: lazy removal.
+                        self.slots[self.cursor].swap_remove(i);
+                    }
+                    Some(e) if e.deadline <= now => {
+                        expired.push(e.token);
+                        self.entries.remove(key);
+                        self.slots[self.cursor].swap_remove(i);
+                    }
+                    Some(e) => {
+                        let target = self.slot_for(e.deadline);
+                        if target != self.cursor {
+                            // Parked from a previous revolution; move it
+                            // toward its real bucket.
+                            self.slots[self.cursor].swap_remove(i);
+                            self.slots[target].push(key);
+                        } else {
+                            i += 1;
+                        }
+                    }
+                }
+            }
+            // Step the cursor forward one tick if `now` has cleared it.
+            let next_time = self.cursor_time + self.tick;
+            if next_time <= now {
+                self.cursor = (self.cursor + 1) % self.slots.len();
+                self.cursor_time = next_time;
+                advanced += 1;
+            } else {
+                break;
+            }
+        }
+        expired.len() - fired_at_start
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn wheel(now: Instant) -> TimerWheel {
+        TimerWheel::new(Duration::from_millis(10), 32, now)
+    }
+
+    #[test]
+    fn fires_at_deadline_not_before() {
+        let t0 = Instant::now();
+        let mut w = wheel(t0);
+        w.insert(t0 + Duration::from_millis(25), 7);
+        let mut out = Vec::new();
+        assert_eq!(w.poll(t0 + Duration::from_millis(20), &mut out), 0);
+        assert!(out.is_empty());
+        assert_eq!(w.poll(t0 + Duration::from_millis(30), &mut out), 1);
+        assert_eq!(out, vec![7]);
+        // Fired entries don't fire twice.
+        assert_eq!(w.poll(t0 + Duration::from_millis(60), &mut out), 0);
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn cancel_suppresses_fire() {
+        let t0 = Instant::now();
+        let mut w = wheel(t0);
+        let k = w.insert(t0 + Duration::from_millis(15), 1);
+        w.insert(t0 + Duration::from_millis(15), 2);
+        w.cancel(k);
+        let mut out = Vec::new();
+        assert_eq!(w.poll(t0 + Duration::from_millis(40), &mut out), 1);
+        assert_eq!(out, vec![2]);
+    }
+
+    #[test]
+    fn past_deadline_fires_immediately() {
+        let t0 = Instant::now();
+        let mut w = wheel(t0 + Duration::from_millis(100));
+        w.insert(t0, 3);
+        let mut out = Vec::new();
+        assert_eq!(w.poll(t0 + Duration::from_millis(100), &mut out), 1);
+        assert_eq!(out, vec![3]);
+    }
+
+    #[test]
+    fn deadline_beyond_one_revolution() {
+        let t0 = Instant::now();
+        let mut w = wheel(t0); // 32 slots × 10ms = 320ms span
+        w.insert(t0 + Duration::from_millis(700), 9);
+        let mut out = Vec::new();
+        // Sweep forward in coarse steps; the entry must survive the
+        // parking revolutions and fire only once its instant passes.
+        for ms in (0..700).step_by(50) {
+            assert_eq!(
+                w.poll(t0 + Duration::from_millis(ms), &mut out),
+                0,
+                "at {ms}ms"
+            );
+        }
+        assert_eq!(w.poll(t0 + Duration::from_millis(710), &mut out), 1);
+        assert_eq!(out, vec![9]);
+    }
+
+    #[test]
+    fn rearm_pattern() {
+        // The reactor re-arms by cancel + insert on progress.
+        let t0 = Instant::now();
+        let mut w = wheel(t0);
+        let mut key = w.insert(t0 + Duration::from_millis(30), 5);
+        let mut out = Vec::new();
+        for step in 1..=4 {
+            let now = t0 + Duration::from_millis(step * 10);
+            assert_eq!(w.poll(now, &mut out), 0, "progress keeps it alive");
+            w.cancel(key);
+            key = w.insert(now + Duration::from_millis(30), 5);
+        }
+        // Then the client goes quiet.
+        assert_eq!(w.poll(t0 + Duration::from_millis(90), &mut out), 1);
+        assert_eq!(out, vec![5]);
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn many_tokens_same_slot() {
+        let t0 = Instant::now();
+        let mut w = wheel(t0);
+        for tok in 0..100 {
+            w.insert(t0 + Duration::from_millis(15), tok);
+        }
+        let mut out = Vec::new();
+        assert_eq!(w.poll(t0 + Duration::from_millis(20), &mut out), 100);
+        out.sort_unstable();
+        assert_eq!(out, (0..100).collect::<Vec<_>>());
+    }
+}

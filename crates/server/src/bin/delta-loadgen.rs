@@ -6,8 +6,20 @@
 //!               [--trace trace.jsonl | --preset small|paper]
 //!               [--events N] [--limit N] [--clients C]
 //!               [--batch N] [--pipeline W]
+//!               [--connections N [--expect-reactor]]
 //!               [--bench-json PATH] [--telemetry-json PATH] [--shutdown]
 //! ```
+//!
+//! `--connections N` switches to the many-connection soak: N pipelined
+//! connections are all opened before the clock starts, the trace is
+//! dealt round-robin across them, and `min(N, 32)` driver threads keep
+//! the whole population in flight at once. The run fails if the
+//! server's `conn.stall_drops` counter advances (a well-behaved client
+//! was reaped by the stall deadline), and — with `--expect-reactor` —
+//! if the `reactor.*` counters are dead. With `--bench-json` the
+//! aggregate events/s is written as a `c1m` mode entry (the repo
+//! convention is `results/BENCH_c1m.json`), which `bench_gate` fences
+//! like any other mode. Raise `ulimit -n` past N first.
 //!
 //! `--events N` regenerates the preset workload with N/2 queries and
 //! N/2 updates over the preset's catalog (unlike `--limit`, which
@@ -51,7 +63,9 @@
 //! per-shard table, and verifies that the per-shard ledgers sum to the
 //! aggregate totals.
 
-use delta_server::{BatchItem, BatchReply, DeltaClient, Histogram, NodeInfo, Request, Response};
+use delta_server::{
+    BatchItem, BatchReply, DeltaClient, Histogram, NodeInfo, PipelinedClient, Request, Response,
+};
 use delta_workload::{Event, Trace, WorkloadConfig};
 use std::collections::HashMap;
 use std::process::exit;
@@ -71,12 +85,15 @@ struct Args {
     shutdown: bool,
     reshard_at: Option<usize>,
     reshard: Option<(u16, u16)>,
+    connections: usize,
+    expect_reactor: bool,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: delta-loadgen --addr ADDR [--trace FILE | --preset small|paper] \
          [--events N] [--limit N] [--clients C] [--batch N] [--pipeline W] \
+         [--connections N [--expect-reactor]] \
          [--bench-json PATH] [--telemetry-json PATH] \
          [--reshard-at N --reshard SHARD:NODE] [--shutdown]"
     );
@@ -130,6 +147,8 @@ fn parse_args() -> Args {
         shutdown: false,
         reshard_at: None,
         reshard: None,
+        connections: 0,
+        expect_reactor: false,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -158,6 +177,14 @@ fn parse_args() -> Args {
                     shard.parse().unwrap_or_else(|_| usage()),
                     node.parse().unwrap_or_else(|_| usage()),
                 ));
+            }
+            "--connections" => {
+                args.connections = value(&argv, i).parse().unwrap_or_else(|_| usage())
+            }
+            "--expect-reactor" => {
+                args.expect_reactor = true;
+                i += 1;
+                continue;
             }
             "--shutdown" => {
                 args.shutdown = true;
@@ -549,9 +576,249 @@ fn run_bench(args: &Args, trace: &Trace, path: &str) {
     eprintln!("wrote {path}");
 }
 
+/// `--connections N`: the many-connection soak. Opens N pipelined
+/// connections *before* the clock starts, deals the trace round-robin
+/// across all of them, and drives every connection concurrently from
+/// `min(N, 32)` worker threads — each thread interleaves submissions
+/// across its share so the whole population stays in flight at once,
+/// which is the shape the reactor front door exists to serve (a
+/// thread-per-connection server needs N threads for this; the reactor
+/// holds them all on a handful).
+///
+/// After the replay the server's telemetry is scraped and the run fails
+/// if `conn.stall_drops` advanced — these clients are well-behaved, so
+/// any reap here means the stall deadline fired on a live connection.
+/// With `--expect-reactor` the run also fails if the `reactor.*`
+/// counters are dead (the server was not actually running the reactor
+/// front door).
+fn run_connections(args: &Args, trace: &Trace) {
+    use serde_json::{ToJson, Value};
+    let n = args.connections;
+    let window = if args.pipeline > 1 { args.pipeline } else { 8 };
+    let threads = n.clamp(1, 32);
+
+    // Baseline the stall counter so the no-reap check measures only
+    // this run, even against a server that has seen other clients.
+    let stalls_before = DeltaClient::connect(&args.addr)
+        .and_then(|mut c| c.telemetry())
+        .map(|s| s.counter("conn.stall_drops"))
+        .unwrap_or(0);
+
+    eprintln!("opening {n} pipelined connections (window {window}, {threads} driver threads)");
+    let mut pipes = Vec::with_capacity(n);
+    for i in 0..n {
+        match DeltaClient::connect(&args.addr) {
+            Ok(c) => pipes.push(c.pipelined(window)),
+            Err(e) => {
+                eprintln!(
+                    "delta-loadgen: opening connection {i} of {n} failed: {e} \
+                     (raise `ulimit -n` past {n} on both sides)"
+                );
+                exit(1);
+            }
+        }
+    }
+
+    // Deal the trace round-robin: connection `c` replays events
+    // c, c+N, c+2N, … so per-connection order follows trace order.
+    struct Lane {
+        pipe: PipelinedClient,
+        events: Vec<Event>,
+        next: usize,
+        in_flight: HashMap<u64, Instant>,
+    }
+    let mut lanes: Vec<Lane> = pipes
+        .into_iter()
+        .enumerate()
+        .map(|(c, pipe)| Lane {
+            pipe,
+            events: trace.events.iter().skip(c).step_by(n).cloned().collect(),
+            next: 0,
+            in_flight: HashMap::new(),
+        })
+        .collect();
+
+    // One pass over a thread's lanes submits one frame per live lane
+    // and reaps whatever completed, so every connection stays in
+    // flight; drain settles the tails.
+    fn drive(lanes: &mut [Lane], lat: &Histogram) -> std::io::Result<Totals> {
+        let mut totals = (0u64, 0u64, 0u64);
+        let reap = |lane: &mut Lane,
+                    pairs: Vec<(u64, Response)>,
+                    totals: &mut Totals|
+         -> std::io::Result<()> {
+            for (corr, response) in pairs {
+                if let Some(t0) = lane.in_flight.remove(&corr) {
+                    lat.record_duration(t0.elapsed());
+                }
+                tally_response(&response, totals)?;
+            }
+            Ok(())
+        };
+        let mut live = lanes.len();
+        while live > 0 {
+            live = 0;
+            for lane in lanes.iter_mut() {
+                if lane.next >= lane.events.len() {
+                    continue;
+                }
+                let request = match &lane.events[lane.next] {
+                    Event::Query(q) => Request::Query(q.clone()),
+                    Event::Update(u) => Request::Update(*u),
+                };
+                lane.next += 1;
+                let corr = lane.pipe.submit(&request)?;
+                lane.in_flight.insert(corr, Instant::now());
+                let pairs = lane.pipe.completed();
+                reap(lane, pairs, &mut totals)?;
+                if lane.next < lane.events.len() {
+                    live += 1;
+                }
+            }
+        }
+        for lane in lanes.iter_mut() {
+            let pairs = lane.pipe.drain()?;
+            reap(lane, pairs, &mut totals)?;
+        }
+        Ok(totals)
+    }
+
+    let lat = Histogram::new();
+    let per = n.div_ceil(threads);
+    let start = Instant::now();
+    let (queries, updates, _) = std::thread::scope(|scope| {
+        let handles: Vec<_> = lanes
+            .chunks_mut(per)
+            .map(|chunk| scope.spawn(|| drive(chunk, &lat)))
+            .collect();
+        let mut totals = (0u64, 0u64, 0u64);
+        for h in handles {
+            match h.join().expect("connection driver thread panicked") {
+                Ok((q, u, sq)) => {
+                    totals.0 += q;
+                    totals.1 += u;
+                    totals.2 += sq;
+                }
+                Err(e) => {
+                    eprintln!("delta-loadgen: connections replay failed: {e}");
+                    exit(1);
+                }
+            }
+        }
+        totals
+    });
+    let elapsed = start.elapsed().as_secs_f64();
+    let events = queries + updates;
+    let events_per_sec = events as f64 / elapsed;
+    let lat = lat.snapshot();
+    eprintln!(
+        "c1m: {events} events over {n} connections in {elapsed:.2}s \
+         ({events_per_sec:.0} events/s); rtt p50={:.1}µs p99={:.1}µs p999={:.1}µs",
+        lat.p50() as f64 / 1e3,
+        lat.p99() as f64 / 1e3,
+        lat.p999() as f64 / 1e3,
+    );
+
+    // No well-behaved client may be reaped: the stall deadline exists
+    // for half-open peers, and N concurrent *live* connections must
+    // never trip it.
+    let snap = DeltaClient::connect(&args.addr)
+        .and_then(|mut c| c.telemetry())
+        .unwrap_or_else(|e| {
+            eprintln!("delta-loadgen: telemetry scrape failed: {e}");
+            exit(1);
+        });
+    let stalls = snap.counter("conn.stall_drops");
+    if stalls > stalls_before {
+        eprintln!(
+            "delta-loadgen: conn.stall_drops advanced {stalls_before} -> {stalls} during a \
+             well-behaved {n}-connection replay — the stall deadline reaped a live client"
+        );
+        exit(1);
+    }
+    eprintln!("c1m check: conn.stall_drops stayed at {stalls} over {n} live connections ✓");
+    if args.expect_reactor {
+        for name in ["reactor.accepted", "reactor.wakeups", "reactor.closed"] {
+            if snap.counter(name) == 0 {
+                eprintln!(
+                    "delta-loadgen: --expect-reactor but telemetry counter {name} is zero — \
+                     the server is not running the reactor front door"
+                );
+                exit(1);
+            }
+        }
+        eprintln!("c1m check: reactor.* counters alive ✓");
+    }
+
+    if let Some(path) = &args.bench_json {
+        let doc = Value::Object(vec![
+            ("trace_events".into(), trace.len().to_json()),
+            ("connections".into(), n.to_json()),
+            ("driver_threads".into(), threads.to_json()),
+            ("window".into(), window.to_json()),
+            (
+                "modes".into(),
+                Value::Array(vec![Value::Object(vec![
+                    ("name".into(), "c1m".to_string().to_json()),
+                    ("batch".into(), 1u64.to_json()),
+                    ("pipeline".into(), window.to_json()),
+                    ("events".into(), events.to_json()),
+                    ("elapsed_s".into(), elapsed.to_json()),
+                    ("events_per_sec".into(), events_per_sec.to_json()),
+                    (
+                        "latency_ns".into(),
+                        Value::Object(vec![
+                            ("count".into(), lat.count.to_json()),
+                            ("mean".into(), lat.mean().to_json()),
+                            ("p50".into(), lat.p50().to_json()),
+                            ("p90".into(), lat.p90().to_json()),
+                            ("p99".into(), lat.p99().to_json()),
+                            ("p999".into(), lat.p999().to_json()),
+                            ("max".into(), lat.max.to_json()),
+                        ]),
+                    ),
+                ])]),
+            ),
+        ]);
+        if let Some(parent) = std::path::Path::new(path).parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent).unwrap_or_else(|e| {
+                    eprintln!("delta-loadgen: cannot create {}: {e}", parent.display());
+                    exit(1);
+                });
+            }
+        }
+        let mut body = doc.to_json_string_pretty();
+        body.push('\n');
+        std::fs::write(path, body).unwrap_or_else(|e| {
+            eprintln!("delta-loadgen: cannot write {path}: {e}");
+            exit(1);
+        });
+        eprintln!("wrote {path}");
+    }
+}
+
 fn main() {
     let args = parse_args();
     let trace = load_trace(&args);
+    if args.connections > 0 {
+        run_connections(&args, &trace);
+        if let Some(tpath) = &args.telemetry_json {
+            scrape_telemetry(&args.addr, tpath);
+        }
+        if args.shutdown {
+            let mut client = DeltaClient::connect(&args.addr).unwrap_or_else(|e| {
+                eprintln!("delta-loadgen: cannot reconnect for shutdown: {e}");
+                exit(1);
+            });
+            client.shutdown().unwrap_or_else(|e| {
+                eprintln!("delta-loadgen: shutdown failed: {e}");
+                exit(1);
+            });
+            eprintln!("server shutdown requested");
+        }
+        return;
+    }
     if let Some(path) = args.bench_json.clone() {
         run_bench(&args, &trace, &path);
         if let Some(tpath) = &args.telemetry_json {

@@ -31,7 +31,7 @@
 //! the same trace file — because the router apportions query result
 //! bytes by object sizes itself.
 
-use delta_server::{DeltaClient, Router, RouterConfig, Telemetry};
+use delta_server::{DeltaClient, FrontDoor, Router, RouterConfig, Telemetry};
 use delta_storage::ObjectCatalog;
 use delta_workload::WorkloadConfig;
 use std::io::Write;
@@ -47,6 +47,9 @@ struct Args {
     no_sql: bool,
     telemetry_dump: Option<std::path::PathBuf>,
     telemetry_interval: u64,
+    front: FrontDoor,
+    reactor_threads: usize,
+    stall_limit_ms: u64,
 }
 
 fn usage() -> ! {
@@ -54,6 +57,7 @@ fn usage() -> ! {
         "usage: delta-routerd [--bind ADDR] --node ADDR [--node ADDR ...] \
          [--trace FILE | --preset small|paper] \
          [--sql-preset small|paper | --no-sql] \
+         [--front reactor|threaded] [--reactor-threads N] [--stall-limit-ms MS] \
          [--telemetry-dump PATH [--telemetry-interval SECS]]"
     );
     exit(2);
@@ -93,6 +97,9 @@ fn parse_args() -> Args {
         no_sql: false,
         telemetry_dump: None,
         telemetry_interval: 1,
+        front: FrontDoor::default(),
+        reactor_threads: 0,
+        stall_limit_ms: delta_server::connection::STALL_LIMIT.as_millis() as u64,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -111,6 +118,18 @@ fn parse_args() -> Args {
             }
             "--telemetry-interval" => {
                 args.telemetry_interval = value(&argv, i).parse().unwrap_or_else(|_| usage())
+            }
+            "--front" => {
+                args.front = FrontDoor::parse(&value(&argv, i)).unwrap_or_else(|e| {
+                    eprintln!("delta-routerd: {e}");
+                    usage()
+                })
+            }
+            "--reactor-threads" => {
+                args.reactor_threads = value(&argv, i).parse().unwrap_or_else(|_| usage())
+            }
+            "--stall-limit-ms" => {
+                args.stall_limit_ms = value(&argv, i).parse().unwrap_or_else(|_| usage())
             }
             "--no-sql" => {
                 args.no_sql = true;
@@ -170,10 +189,18 @@ fn main() {
         cfg
     });
 
+    let front = match args.front {
+        FrontDoor::Reactor { .. } => FrontDoor::Reactor {
+            threads: args.reactor_threads,
+        },
+        FrontDoor::Threaded => FrontDoor::Threaded,
+    };
     let config = RouterConfig {
         bind: args.bind.clone(),
         nodes: args.nodes.clone(),
         frontend,
+        front,
+        stall_limit: std::time::Duration::from_millis(args.stall_limit_ms.max(1)),
     };
     let router = Router::start(config, catalog).unwrap_or_else(|e| {
         eprintln!("delta-routerd: cannot start: {e}");

@@ -14,6 +14,8 @@
 //!               [--sql-preset small|paper | --no-sql]
 //!               [--snapshot-dir DIR]
 //!               [--node-id I --nodes N [--host-shards a,b,c]]
+//!               [--front reactor|threaded] [--reactor-threads N]
+//!               [--stall-limit-ms MS]
 //!               [--telemetry-dump PATH [--telemetry-interval SECS]]
 //! ```
 //!
@@ -49,7 +51,9 @@
 //! `Shutdown` frame (or SIGINT terminates the process), then prints the
 //! final per-shard statistics table.
 
-use delta_server::{ClusterConfig, PartitionerKind, PolicyKind, Server, ServerConfig, Telemetry};
+use delta_server::{
+    ClusterConfig, FrontDoor, PartitionerKind, PolicyKind, Server, ServerConfig, Telemetry,
+};
 use delta_storage::ObjectCatalog;
 use delta_workload::WorkloadConfig;
 use std::io::Write;
@@ -92,6 +96,7 @@ struct Args {
     host_shards: Option<Vec<u16>>,
     telemetry_dump: Option<std::path::PathBuf>,
     telemetry_interval: u64,
+    reactor_threads: usize,
 }
 
 fn usage() -> ! {
@@ -102,6 +107,7 @@ fn usage() -> ! {
          [--trace FILE | --preset small|paper] \
          [--sql-preset small|paper | --no-sql] [--snapshot-dir DIR] \
          [--node-id I --nodes N [--host-shards a,b,c]] \
+         [--front reactor|threaded] [--reactor-threads N] [--stall-limit-ms MS] \
          [--telemetry-dump PATH [--telemetry-interval SECS]]"
     );
     exit(2);
@@ -120,6 +126,7 @@ fn parse_args() -> Args {
         host_shards: None,
         telemetry_dump: None,
         telemetry_interval: 1,
+        reactor_threads: 0,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -175,6 +182,19 @@ fn parse_args() -> Args {
             "--telemetry-interval" => {
                 args.telemetry_interval = value(&argv, i).parse().unwrap_or_else(|_| usage())
             }
+            "--front" => {
+                args.config.front = FrontDoor::parse(&value(&argv, i)).unwrap_or_else(|e| {
+                    eprintln!("delta-serverd: {e}");
+                    usage()
+                })
+            }
+            "--reactor-threads" => {
+                args.reactor_threads = value(&argv, i).parse().unwrap_or_else(|_| usage())
+            }
+            "--stall-limit-ms" => {
+                let ms: u64 = value(&argv, i).parse().unwrap_or_else(|_| usage());
+                args.config.stall_limit = std::time::Duration::from_millis(ms.max(1));
+            }
             "--no-sql" => {
                 args.no_sql = true;
                 i += 1;
@@ -187,6 +207,11 @@ fn parse_args() -> Args {
             }
         }
         i += 2;
+    }
+    if let FrontDoor::Reactor { .. } = args.config.front {
+        args.config.front = FrontDoor::Reactor {
+            threads: args.reactor_threads,
+        };
     }
     args
 }

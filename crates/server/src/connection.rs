@@ -4,7 +4,9 @@
 //! would block, and shutdown-aware polling — the wire hot path distilled
 //! so the two tiers cannot drift apart.
 
+use crate::protocol::{append_frame_with, error_code, Response};
 use delta_telemetry::{Counter, Histogram, Telemetry};
+use std::fmt;
 use std::io::{self, Write};
 use std::net::TcpStream;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -14,17 +16,64 @@ use std::time::Duration;
 /// How often blocked accept/read loops re-check the shutdown flag.
 pub(crate) const POLL: Duration = Duration::from_millis(25);
 
-/// How long a connection may stall (mid-frame read after shutdown, or a
-/// blocked write) before it is dropped.
-pub(crate) const STALL_LIMIT: Duration = Duration::from_secs(5);
+/// Default for how long a connection may sit mid-frame (a started but
+/// unfinished request) or on a blocked flush before it is reaped. The
+/// effective limit is configurable per tier ([`crate::ServerConfig`] /
+/// [`crate::RouterConfig`]); this is the out-of-the-box value.
+pub const STALL_LIMIT: Duration = Duration::from_secs(5);
 
 /// Initial per-connection read-buffer size; grows only when a single
 /// frame outgrows it.
-pub(crate) const READ_BUF: usize = 64 * 1024;
+pub const READ_BUF: usize = 64 * 1024;
 
 /// Cap on coalesced response bytes before an early flush, bounding
 /// per-connection memory under huge pipelined windows.
 pub(crate) const WRITE_COALESCE_BYTES: usize = 256 * 1024;
+
+/// Why the wire tier deliberately dropped a connection — the typed
+/// replacement for matching on error strings.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DropCause {
+    /// Stalled mid-frame (half-open / slowloris) or on a blocked flush
+    /// past the stall limit.
+    Stall,
+    /// Sent a frame whose length word exceeds
+    /// [`MAX_FRAME_BYTES`](crate::protocol::MAX_FRAME_BYTES).
+    Oversize,
+}
+
+/// The payload carried inside the `io::Error` for a deliberate drop, so
+/// classification is a downcast instead of a substring match.
+#[derive(Debug)]
+struct ConnDrop {
+    cause: DropCause,
+    detail: String,
+}
+
+impl fmt::Display for ConnDrop {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.detail)
+    }
+}
+
+impl std::error::Error for ConnDrop {}
+
+/// Builds the typed `io::Error` for a deliberate connection drop.
+pub(crate) fn drop_error(cause: DropCause, detail: String) -> io::Error {
+    let kind = match cause {
+        DropCause::Stall => io::ErrorKind::TimedOut,
+        DropCause::Oversize => io::ErrorKind::InvalidData,
+    };
+    io::Error::new(kind, ConnDrop { cause, detail })
+}
+
+/// Recovers the typed drop cause from an `io::Error`, if the error is a
+/// deliberate wire-tier drop (and not, say, a raw socket failure).
+pub fn drop_cause(e: &io::Error) -> Option<DropCause> {
+    e.get_ref()
+        .and_then(|inner| inner.downcast_ref::<ConnDrop>())
+        .map(|d| d.cause)
+}
 
 /// The frame loop's view of the node's telemetry: wire-level counters
 /// and the frames-per-read histogram, resolved from the registry once
@@ -33,24 +82,25 @@ pub(crate) const WRITE_COALESCE_BYTES: usize = 256 * 1024;
 /// atomics, batched per syscall where it matters); the registry's
 /// `conn.*` names are common to server and router, so cluster roll-ups
 /// merge them naturally.
+#[derive(Clone)]
 pub(crate) struct WireTelemetry {
     /// Payload bytes read off sockets.
-    bytes_in: Arc<Counter>,
+    pub(crate) bytes_in: Arc<Counter>,
     /// Response bytes written to sockets.
-    bytes_out: Arc<Counter>,
+    pub(crate) bytes_out: Arc<Counter>,
     /// Request frames served.
-    frames_in: Arc<Counter>,
+    pub(crate) frames_in: Arc<Counter>,
     /// Response frames shipped (1:1 with requests in this protocol).
-    frames_out: Arc<Counter>,
+    pub(crate) frames_out: Arc<Counter>,
     /// Coalesced `write_all` flushes (the write-combining win: under
     /// pipelining this is per *window*, not per frame).
-    flushes: Arc<Counter>,
-    /// Connections dropped for stalling past [`STALL_LIMIT`].
+    pub(crate) flushes: Arc<Counter>,
+    /// Connections dropped for stalling past the stall limit.
     pub(crate) stall_drops: Arc<Counter>,
     /// Connections dropped for a frame above `MAX_FRAME_BYTES`.
     pub(crate) oversize_rejects: Arc<Counter>,
     /// Complete frames drained per read syscall.
-    frames_per_read: Arc<Histogram>,
+    pub(crate) frames_per_read: Arc<Histogram>,
 }
 
 impl WireTelemetry {
@@ -71,16 +121,20 @@ impl WireTelemetry {
 
 /// Length of the complete frame (header + payload) at the front of
 /// `buf`, or `None` when more bytes are needed. Rejects corrupt length
-/// words before any allocation.
-pub(crate) fn buffered_frame_len(buf: &[u8]) -> io::Result<Option<usize>> {
+/// words before any allocation, with a typed [`DropCause::Oversize`]
+/// error (recoverable via [`drop_cause`]).
+pub fn buffered_frame_len(buf: &[u8]) -> io::Result<Option<usize>> {
     if buf.len() < 4 {
         return Ok(None);
     }
     let len = u32::from_be_bytes(buf[..4].try_into().unwrap());
     if len > crate::protocol::MAX_FRAME_BYTES {
-        return Err(io::Error::new(
-            io::ErrorKind::InvalidData,
-            "frame exceeds MAX_FRAME_BYTES",
+        return Err(drop_error(
+            DropCause::Oversize,
+            format!(
+                "frame length {len} exceeds MAX_FRAME_BYTES ({})",
+                crate::protocol::MAX_FRAME_BYTES
+            ),
         ));
     }
     let total = 4 + len as usize;
@@ -91,33 +145,22 @@ pub(crate) fn buffered_frame_len(buf: &[u8]) -> io::Result<Option<usize>> {
     })
 }
 
-/// Pulls more bytes into `rbuf[*end..]` after compacting the unconsumed
-/// region `[*start, *end)` to the front (growing the buffer when the
-/// pending frame needs it), polling the shutdown flag while idle.
+/// Readies `rbuf` for the next read syscall: compacts the unconsumed
+/// region `[*start, *end)` to the front, grows the buffer when the
+/// pending frame's validated length word says it could never complete
+/// in the current capacity, and shrinks a buffer grown for a *past*
+/// oversized frame back to [`READ_BUF`] once nothing pending needs the
+/// extra room (100 idle connections that each saw one 64 MiB frame must
+/// not hold gigabytes).
 ///
-/// Returns `Ok(false)` on a clean stop — EOF or shutdown, both only at a
-/// frame boundary (no partial frame buffered). Mid-frame, shutdown
-/// grants [`STALL_LIMIT`] for the frame to finish before the connection
-/// errors out; EOF mid-frame is an error immediately.
-pub(crate) fn fill_polling(
-    reader: &mut TcpStream,
-    rbuf: &mut Vec<u8>,
-    start: &mut usize,
-    end: &mut usize,
-    shutdown: &AtomicBool,
-) -> io::Result<bool> {
-    use std::io::Read;
+/// The caller must have validated any buffered length word via
+/// [`buffered_frame_len`] first — this function trusts it.
+pub fn prepare_read_buffer(rbuf: &mut Vec<u8>, start: &mut usize, end: &mut usize) {
     if *start > 0 {
         rbuf.copy_within(*start..*end, 0);
         *end -= *start;
         *start = 0;
     }
-    // A frame larger than the buffer could never complete: grow to fit
-    // (`buffered_frame_len` already validated the length word). And a
-    // buffer grown for a *past* oversized frame must not stay pinned for
-    // the connection's lifetime (100 idle connections that each saw one
-    // 64 MiB frame would otherwise hold gigabytes): once nothing pending
-    // needs the extra room, give the memory back.
     let needed = if *end >= 4 {
         4 + u32::from_be_bytes(rbuf[..4].try_into().unwrap()) as usize
     } else {
@@ -129,6 +172,30 @@ pub(crate) fn fill_polling(
         rbuf.truncate(READ_BUF);
         rbuf.shrink_to_fit();
     }
+}
+
+/// Pulls more bytes into `rbuf[*end..]` after compacting/resizing via
+/// [`prepare_read_buffer`], polling the shutdown flag while idle.
+///
+/// Returns `Ok(false)` on a clean stop — EOF or shutdown, both only at a
+/// frame boundary (no partial frame buffered). A connection that is
+/// *mid-frame* — it sent part of a request and went quiet — is on the
+/// `stall_limit` clock **unconditionally**: a half-open or slowloris
+/// client is reaped during normal operation, not only once shutdown
+/// arms. (This deadline used to arm only post-shutdown, which let one
+/// quiet client pin a thread and its read buffer forever.) Idling at a
+/// frame boundary is always allowed: that is just a connection with
+/// nothing to say. EOF mid-frame is an error immediately.
+pub(crate) fn fill_polling(
+    reader: &mut TcpStream,
+    rbuf: &mut Vec<u8>,
+    start: &mut usize,
+    end: &mut usize,
+    shutdown: &AtomicBool,
+    stall_limit: Duration,
+) -> io::Result<bool> {
+    use std::io::Read;
+    prepare_read_buffer(rbuf, start, end);
     let at_boundary = *end == 0;
     let mut stall_started: Option<std::time::Instant> = None;
     loop {
@@ -149,15 +216,16 @@ pub(crate) fn fill_polling(
             Err(e)
                 if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
             {
-                if shutdown.load(Ordering::SeqCst) {
-                    if at_boundary {
+                if at_boundary {
+                    if shutdown.load(Ordering::SeqCst) {
                         return Ok(false);
                     }
+                } else {
                     let started = stall_started.get_or_insert_with(std::time::Instant::now);
-                    if started.elapsed() > STALL_LIMIT {
-                        return Err(io::Error::new(
-                            io::ErrorKind::TimedOut,
-                            "frame stalled past shutdown grace period",
+                    if started.elapsed() > stall_limit {
+                        return Err(drop_error(
+                            DropCause::Stall,
+                            format!("mid-frame stall past {stall_limit:?}"),
                         ));
                     }
                 }
@@ -191,6 +259,7 @@ pub(crate) fn serve_frames<H>(
     stream: TcpStream,
     shutdown: &AtomicBool,
     wire: &WireTelemetry,
+    stall_limit: Duration,
     handle: H,
 ) -> io::Result<()>
 where
@@ -200,30 +269,63 @@ where
         .peer_addr()
         .map(|a| a.to_string())
         .unwrap_or_else(|_| "<unknown peer>".to_string());
-    let result = serve_frames_inner(stream, shutdown, wire, handle);
+    let result = serve_frames_inner(stream, shutdown, wire, stall_limit, handle);
     if let Err(e) = &result {
-        // A connection killed here used to die silently; classify the
-        // two deliberate drop causes, count them, and leave one line of
-        // trace with the peer that hit them.
-        match e.kind() {
-            io::ErrorKind::TimedOut | io::ErrorKind::WouldBlock => {
-                wire.stall_drops.inc();
-                eprintln!("delta-conn: dropping {peer}: stalled past {STALL_LIMIT:?} ({e})");
-            }
-            io::ErrorKind::InvalidData if e.to_string().contains("MAX_FRAME_BYTES") => {
-                wire.oversize_rejects.inc();
-                eprintln!("delta-conn: dropping {peer}: oversized frame ({e})");
-            }
-            _ => {}
-        }
+        classify_drop(e, wire, &peer, stall_limit);
     }
     result
+}
+
+/// Counts a deliberate drop and leaves one line of trace with the peer
+/// that hit it. Classification is the typed [`drop_cause`] payload;
+/// raw socket timeouts (a blocked `write_all` hitting the write
+/// timeout) fall back to their `io::ErrorKind` and still count as
+/// stalls.
+pub(crate) fn classify_drop(
+    e: &io::Error,
+    wire: &WireTelemetry,
+    peer: &str,
+    stall_limit: Duration,
+) {
+    match drop_cause(e) {
+        Some(DropCause::Stall) => {
+            wire.stall_drops.inc();
+            eprintln!("delta-conn: dropping {peer}: stalled past {stall_limit:?} ({e})");
+        }
+        Some(DropCause::Oversize) => {
+            wire.oversize_rejects.inc();
+            eprintln!("delta-conn: dropping {peer}: oversized frame ({e})");
+        }
+        None => {
+            if matches!(
+                e.kind(),
+                io::ErrorKind::TimedOut | io::ErrorKind::WouldBlock
+            ) {
+                wire.stall_drops.inc();
+                eprintln!("delta-conn: dropping {peer}: stalled past {stall_limit:?} ({e})");
+            }
+        }
+    }
+}
+
+/// Appends the typed oversize error frame a client receives before the
+/// connection closes. Oversize is detected at the decode position — by
+/// construction a frame boundary — so unlike a mid-frame stall, a
+/// well-formed reply *can* precede the close instead of a silent EOF.
+pub(crate) fn append_oversize_reply(wbuf: &mut Vec<u8>, e: &io::Error) {
+    let response = Response::Error {
+        code: error_code::FRAME_TOO_LARGE,
+        message: e.to_string(),
+    };
+    // Encoding a short error frame cannot itself exceed MAX_FRAME_BYTES.
+    let _ = append_frame_with(wbuf, |buf| response.encode_into(buf));
 }
 
 fn serve_frames_inner<H>(
     stream: TcpStream,
     shutdown: &AtomicBool,
     wire: &WireTelemetry,
+    stall_limit: Duration,
     mut handle: H,
 ) -> io::Result<()>
 where
@@ -236,7 +338,7 @@ where
     stream.set_read_timeout(Some(POLL))?;
     // A client that stops draining responses must not be able to wedge
     // graceful shutdown behind an unbounded blocking write.
-    stream.set_write_timeout(Some(STALL_LIMIT))?;
+    stream.set_write_timeout(Some(stall_limit))?;
     let mut reader = stream.try_clone()?;
     let mut writer = stream;
 
@@ -262,6 +364,9 @@ where
                 Ok(Some(total)) => total,
                 Ok(None) => break None,
                 Err(e) => {
+                    if drop_cause(&e) == Some(DropCause::Oversize) {
+                        append_oversize_reply(&mut wbuf, &e);
+                    }
                     let _ = flush(&mut writer, &wbuf);
                     break Some(Err(e));
                 }
@@ -301,7 +406,14 @@ where
             wbuf.clear();
         }
         let pending = end - start;
-        if !fill_polling(&mut reader, &mut rbuf, &mut start, &mut end, shutdown)? {
+        if !fill_polling(
+            &mut reader,
+            &mut rbuf,
+            &mut start,
+            &mut end,
+            shutdown,
+            stall_limit,
+        )? {
             return Ok(());
         }
         // `fill_polling` compacted to start == 0, so the growth of the

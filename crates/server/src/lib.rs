@@ -87,7 +87,8 @@
 
 pub mod client;
 pub mod config;
-mod connection;
+pub mod connection;
+pub mod front;
 pub mod partition;
 pub mod protocol;
 pub mod router;
@@ -95,7 +96,8 @@ pub mod server;
 pub mod shard;
 
 pub use client::{DeltaClient, PipelinedClient, QueryReply, SqlRejection, SqlReply, UpdateReply};
-pub use config::{ClusterConfig, PolicyKind, ServerConfig};
+pub use config::{ClusterConfig, FrontDoor, PolicyKind, ServerConfig};
+pub use connection::{buffered_frame_len, drop_cause, prepare_read_buffer, DropCause};
 pub use partition::{apportion, shard_trace, HashRing, Partitioner, PartitionerKind, RoundRobin};
 pub use protocol::{
     error_code, read_frame, write_frame, BatchItem, BatchReply, NodeInfo, NodeOp, NodeRole,

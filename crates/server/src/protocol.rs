@@ -507,6 +507,15 @@ pub mod error_code {
     /// A reshard could not be completed; the reply message says which
     /// step failed and where the shard ended up.
     pub const RESHARD_FAILED: u16 = 8;
+    /// The request frame's length word exceeds
+    /// [`MAX_FRAME_BYTES`](super::MAX_FRAME_BYTES). Sent as the last
+    /// frame before the server closes the connection (the remaining
+    /// bytes of the oversized frame cannot be skipped safely).
+    pub const FRAME_TOO_LARGE: u16 = 9;
+    /// The router could not reach the node owning the addressed shards
+    /// (connect or handshake failed, or the link died mid-request).
+    /// Nothing was executed at that node; the client may retry.
+    pub const NODE_UNAVAILABLE: u16 = 10;
 }
 
 // ---- primitive encoding helpers ----

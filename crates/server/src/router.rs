@@ -34,7 +34,9 @@
 //! retry, which doubles as a liveness proof of the redirect path.
 
 use crate::client::DeltaClient;
+use crate::config::FrontDoor;
 use crate::connection::{serve_frames, WireTelemetry, POLL};
+use crate::front::{Handler, HandlerFactory, ReactorFront, ReactorTelemetry};
 use crate::partition::{Partitioner, PartitionerKind};
 use crate::protocol::{
     append_frame_with, error_code, BatchItem, BatchReply, NodeInfo, NodeOp, NodeRole, Request,
@@ -61,6 +63,12 @@ pub struct RouterConfig {
     /// Workload configuration for the router-side SQL frontend (same
     /// semantics as [`crate::ServerConfig::frontend`]).
     pub frontend: Option<WorkloadConfig>,
+    /// Which connection front door serves clients (same semantics as
+    /// [`crate::ServerConfig::front`]).
+    pub front: FrontDoor,
+    /// Reap limit for stalled client connections (same semantics as
+    /// [`crate::ServerConfig::stall_limit`]).
+    pub stall_limit: std::time::Duration,
 }
 
 /// The routing state every client handler reads and `Reshard` rewrites.
@@ -114,6 +122,10 @@ struct RouterShared {
     rt: RouterTelemetry,
     /// Wire-level counter handles shared by every client connection.
     wire: WireTelemetry,
+    /// Which front door serves clients.
+    front: FrontDoor,
+    /// Reap limit for stalled client connections.
+    stall_limit: std::time::Duration,
 }
 
 /// A running delta-router instance.
@@ -272,6 +284,8 @@ impl Router {
             telemetry: Arc::clone(&telemetry),
             rt,
             wire,
+            front: config.front,
+            stall_limit: config.stall_limit,
         });
 
         let accept_shutdown = Arc::clone(&shutdown);
@@ -325,12 +339,42 @@ impl Router {
 }
 
 fn accept_loop(listener: TcpListener, shared: Arc<RouterShared>, shutdown: Arc<AtomicBool>) {
+    match shared.front {
+        FrontDoor::Threaded => accept_threaded(listener, &shared, &shutdown),
+        FrontDoor::Reactor { threads } => {
+            // Router handlers block on node round-trips inside the event
+            // loop; a slow node therefore delays the other connections
+            // on the same reactor for one round-trip, not forever (node
+            // death errors out). The win — client-connection capacity
+            // beyond thread scale — is the same as the server tier's.
+            let factory_shared = Arc::clone(&shared);
+            let factory: HandlerFactory = Arc::new(move || -> Handler {
+                let shared = Arc::clone(&factory_shared);
+                let mut conn = ConnState::new(&shared);
+                Box::new(move |payload, wbuf| handle_frame(&shared, payload, wbuf, &mut conn))
+            });
+            ReactorFront {
+                name: "delta-router",
+                threads,
+                shutdown: Arc::clone(&shutdown),
+                wire: shared.wire.clone(),
+                rtel: ReactorTelemetry::register(&shared.telemetry),
+                stall_limit: shared.stall_limit,
+                factory,
+            }
+            .run(listener);
+        }
+    }
+}
+
+/// The pre-reactor front door: one blocking thread per connection.
+fn accept_threaded(listener: TcpListener, shared: &Arc<RouterShared>, shutdown: &Arc<AtomicBool>) {
     let mut connections: Vec<std::thread::JoinHandle<()>> = Vec::new();
     while !shutdown.load(Ordering::SeqCst) {
         connections.retain(|h| !h.is_finished());
         match listener.accept() {
             Ok((stream, _peer)) => {
-                let shared = Arc::clone(&shared);
+                let shared = Arc::clone(shared);
                 let handle = std::thread::Builder::new()
                     .name("delta-router-conn".to_string())
                     .spawn(move || {
@@ -369,8 +413,19 @@ struct ConnState {
 }
 
 impl ConnState {
+    fn new(shared: &RouterShared) -> ConnState {
+        ConnState {
+            links: (0..shared.nodes.len()).map(|_| None).collect(),
+            link_epochs: vec![0; shared.nodes.len()],
+            compiler: shared.frontend.as_ref().map(|c| (**c).clone()),
+        }
+    }
+
     /// Returns a link to `node` whose declared epoch is `epoch`,
-    /// connecting or re-handshaking as needed.
+    /// connecting or re-handshaking as needed. Every failure — connect,
+    /// handshake, or a link slot emptied by an earlier failure path —
+    /// surfaces as a typed node-unavailable error, never a panic: a node
+    /// may die at any point between ensuring a link and using it.
     fn link(
         &mut self,
         shared: &RouterShared,
@@ -378,44 +433,138 @@ impl ConnState {
         epoch: u64,
     ) -> io::Result<&mut DeltaClient> {
         if self.links[node].is_none() {
-            let mut client = DeltaClient::connect(&shared.nodes[node])?;
-            client.hello(epoch)?;
+            let mut client = DeltaClient::connect(&shared.nodes[node])
+                .map_err(|e| node_unavailable(node, "connect", &e))?;
+            client
+                .hello(epoch)
+                .map_err(|e| node_unavailable(node, "handshake", &e))?;
             self.links[node] = Some(client);
             self.link_epochs[node] = epoch;
         } else if self.link_epochs[node] != epoch {
-            self.links[node].as_mut().unwrap().hello(epoch)?;
+            let hello = match self.links[node].as_mut() {
+                Some(client) => client.hello(epoch),
+                None => return Err(node_lost(node)),
+            };
+            if let Err(e) = hello {
+                // A link that failed a handshake is dead; drop it so
+                // the next attempt reconnects from scratch.
+                self.links[node] = None;
+                return Err(node_unavailable(node, "re-handshake", &e));
+            }
             self.link_epochs[node] = epoch;
         }
-        Ok(self.links[node].as_mut().unwrap())
+        match self.links[node].as_mut() {
+            Some(client) => Ok(client),
+            None => Err(node_lost(node)),
+        }
     }
 }
 
+/// The payload inside a node-unavailable `io::Error`: which node died,
+/// so the client handler can answer with a typed
+/// [`error_code::NODE_UNAVAILABLE`] frame instead of dropping the client
+/// connection.
+#[derive(Debug)]
+struct NodeDown {
+    node: usize,
+    detail: String,
+}
+
+impl std::fmt::Display for NodeDown {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "node {} unavailable: {}", self.node, self.detail)
+    }
+}
+
+impl std::error::Error for NodeDown {}
+
+/// Wraps a node-facing failure as a typed node-unavailable error.
+fn node_unavailable(node: usize, stage: &str, e: &io::Error) -> io::Error {
+    io::Error::new(
+        io::ErrorKind::NotConnected,
+        NodeDown {
+            node,
+            detail: format!("{stage}: {e}"),
+        },
+    )
+}
+
+/// The slot-was-empty variant: the link vanished between ensure and use.
+fn node_lost(node: usize) -> io::Error {
+    io::Error::new(
+        io::ErrorKind::NotConnected,
+        NodeDown {
+            node,
+            detail: "link lost between ensure and use".to_string(),
+        },
+    )
+}
+
+/// Recovers which node a typed node-unavailable error names.
+fn unavailable_node(e: &io::Error) -> Option<usize> {
+    e.get_ref()
+        .and_then(|inner| inner.downcast_ref::<NodeDown>())
+        .map(|d| d.node)
+}
+
 fn serve_connection(stream: TcpStream, shared: &RouterShared) -> io::Result<()> {
-    let mut conn = ConnState {
-        links: (0..shared.nodes.len()).map(|_| None).collect(),
-        link_epochs: vec![0; shared.nodes.len()],
-        compiler: shared.frontend.as_ref().map(|c| (**c).clone()),
+    let mut conn = ConnState::new(shared);
+    serve_frames(
+        stream,
+        &shared.shutdown,
+        &shared.wire,
+        shared.stall_limit,
+        |payload, wbuf| handle_frame(shared, payload, wbuf, &mut conn),
+    )
+}
+
+/// Serves one request frame: the handler body shared by the threaded and
+/// reactor front doors.
+fn handle_frame(
+    shared: &RouterShared,
+    payload: &[u8],
+    wbuf: &mut Vec<u8>,
+    conn: &mut ConnState,
+) -> io::Result<bool> {
+    let response = match Request::decode(payload) {
+        Ok(Request::Tagged { corr, inner }) => Response::Tagged {
+            corr,
+            inner: Box::new(routed_response(shared, *inner, conn)?),
+        },
+        Ok(other) => routed_response(shared, other, conn)?,
+        Err(e) => Response::Error {
+            code: error_code::BAD_FRAME,
+            message: e.to_string(),
+        },
     };
-    serve_frames(stream, &shared.shutdown, &shared.wire, |payload, wbuf| {
-        let response = match Request::decode(payload) {
-            Ok(Request::Tagged { corr, inner }) => Response::Tagged {
-                corr,
-                inner: Box::new(handle_request(shared, *inner, &mut conn)?),
-            },
-            Ok(other) => handle_request(shared, other, &mut conn)?,
-            Err(e) => Response::Error {
-                code: error_code::BAD_FRAME,
+    append_frame_with(wbuf, |buf| response.encode_into(buf))?;
+    let shutting_down = match &response {
+        Response::ShutdownOk => true,
+        Response::Tagged { inner, .. } => matches!(**inner, Response::ShutdownOk),
+        _ => false,
+    };
+    Ok(shutting_down)
+}
+
+/// Routes one request, mapping node death to a typed error frame — the
+/// client connection must outlive a dead node. (Ops may have executed at
+/// *other* nodes before the failure; the message says which node was
+/// lost so the client can reason about partial effects.)
+fn routed_response(
+    shared: &RouterShared,
+    request: Request,
+    conn: &mut ConnState,
+) -> io::Result<Response> {
+    match handle_request(shared, request, conn) {
+        Ok(response) => Ok(response),
+        Err(e) => match unavailable_node(&e) {
+            Some(_) => Ok(Response::Error {
+                code: error_code::NODE_UNAVAILABLE,
                 message: e.to_string(),
-            },
-        };
-        append_frame_with(wbuf, |buf| response.encode_into(buf))?;
-        let shutting_down = match &response {
-            Response::ShutdownOk => true,
-            Response::Tagged { inner, .. } => matches!(**inner, Response::ShutdownOk),
-            _ => false,
-        };
-        Ok(shutting_down)
-    })
+            }),
+            None => Err(e),
+        },
+    }
 }
 
 /// How many times an op frame is retried after a `WrongEpoch` redirect
@@ -439,7 +588,15 @@ fn node_ops(
         // included — it is the router's view of what talking to this
         // node costs, not the node's view of its own service time.
         let t0 = Instant::now();
-        let response = link.request(&Request::NodeOps(ops.to_vec()))?;
+        let response = match link.request(&Request::NodeOps(ops.to_vec())) {
+            Ok(response) => response,
+            Err(e) => {
+                // The link died mid-request; drop it so a later retry
+                // reconnects from scratch, and surface the death typed.
+                conn.links[node] = None;
+                return Err(node_unavailable(node, "request", &e));
+            }
+        };
         shared.rt.fanout[node].record_duration(t0.elapsed());
         match response {
             Response::BatchOk(replies) => return Ok(replies),

@@ -25,8 +25,10 @@
 //! client holding an outdated shard→node map can be redirected, never
 //! silently given a wrong answer.
 
+use crate::config::FrontDoor;
 use crate::config::ServerConfig;
 use crate::connection::{serve_frames, WireTelemetry, POLL};
+use crate::front::{Handler, HandlerFactory, ReactorFront, ReactorTelemetry};
 use crate::partition::{apportion, Partitioner};
 use crate::protocol::{
     append_frame_with, error_code, BatchItem, BatchReply, NodeInfo, NodeOp, NodeRole, Request,
@@ -332,6 +334,44 @@ fn accept_loop(
     shared: Arc<Shared>,
     shutdown: Arc<AtomicBool>,
 ) -> StatsSnapshot {
+    match shared.config.front {
+        FrontDoor::Threaded => accept_threaded(listener, &shared, &shutdown),
+        FrontDoor::Reactor { threads } => {
+            let factory_shared = Arc::clone(&shared);
+            let factory: HandlerFactory = Arc::new(move || -> Handler {
+                let shared = Arc::clone(&factory_shared);
+                let mut conn = ConnState {
+                    compiler: shared.frontend.as_ref().map(|c| (**c).clone()),
+                    epoch: 0,
+                };
+                Box::new(move |payload, wbuf| handle_frame(&shared, payload, wbuf, &mut conn))
+            });
+            ReactorFront {
+                name: "delta-server",
+                threads,
+                shutdown: Arc::clone(&shutdown),
+                wire: shared.wire.clone(),
+                rtel: ReactorTelemetry::register(&shared.telemetry),
+                stall_limit: shared.config.stall_limit,
+                factory,
+            }
+            .run(listener);
+        }
+    }
+    // Connections have drained; shut the shards down, collecting their
+    // final ledgers (and writing snapshots).
+    let mut stats: Vec<ShardStats> = Vec::new();
+    for slot in &shared.slots {
+        if let Some(core) = slot.read().expect("slot").as_ref() {
+            stats.push(core.shutdown());
+        }
+    }
+    stats.sort_by_key(|s| s.shard);
+    StatsSnapshot { shards: stats }
+}
+
+/// The pre-reactor front door: one blocking thread per connection.
+fn accept_threaded(listener: TcpListener, shared: &Arc<Shared>, shutdown: &Arc<AtomicBool>) {
     let mut connections: Vec<std::thread::JoinHandle<()>> = Vec::new();
     while !shutdown.load(Ordering::SeqCst) {
         // Reap finished connections so a long-lived daemon doesn't
@@ -339,7 +379,7 @@ fn accept_loop(
         connections.retain(|h| !h.is_finished());
         match listener.accept() {
             Ok((stream, _peer)) => {
-                let shared = Arc::clone(&shared);
+                let shared = Arc::clone(shared);
                 let handle = std::thread::Builder::new()
                     .name("delta-conn".to_string())
                     .spawn(move || {
@@ -363,20 +403,11 @@ fn accept_loop(
             }
         }
     }
-    // Drain: connections first (they observe the flag within one poll
-    // interval; reads and writes are both bounded), then the shards,
-    // collecting their final ledgers (and writing snapshots).
+    // Drain: connections observe the flag within one poll interval;
+    // reads and writes are both bounded.
     for handle in connections {
         let _ = handle.join();
     }
-    let mut stats: Vec<ShardStats> = Vec::new();
-    for slot in &shared.slots {
-        if let Some(core) = slot.read().expect("slot").as_ref() {
-            stats.push(core.shutdown());
-        }
-    }
-    stats.sort_by_key(|s| s.shard);
-    StatsSnapshot { shards: stats }
 }
 
 /// Per-connection mutable state the request handler threads through.
@@ -396,38 +427,54 @@ fn serve_connection(stream: TcpStream, shared: &Shared) -> io::Result<()> {
         compiler: shared.frontend.as_ref().map(|c| (**c).clone()),
         epoch: 0,
     };
-    serve_frames(stream, &shared.shutdown, &shared.wire, |payload, wbuf| {
-        let total = payload.len() as u64 + 4;
-        let response = match Request::decode(payload) {
-            Ok(request) => {
-                // The meter reflects real socket bytes (length prefix
-                // included), not just payloads.
-                meter_request(shared, &request, total);
-                match request {
-                    Request::Tagged { corr, inner } => Response::Tagged {
-                        corr,
-                        inner: Box::new(handle_request(shared, *inner, &mut conn)),
-                    },
-                    other => handle_request(shared, other, &mut conn),
-                }
+    serve_frames(
+        stream,
+        &shared.shutdown,
+        &shared.wire,
+        shared.config.stall_limit,
+        |payload, wbuf| handle_frame(shared, payload, wbuf, &mut conn),
+    )
+}
+
+/// Serves one request frame: the handler body shared by the threaded
+/// front (via [`serve_connection`]) and the reactor front (via the
+/// handler factory in [`accept_loop`]), so the two doors cannot drift.
+fn handle_frame(
+    shared: &Shared,
+    payload: &[u8],
+    wbuf: &mut Vec<u8>,
+    conn: &mut ConnState,
+) -> io::Result<bool> {
+    let total = payload.len() as u64 + 4;
+    let response = match Request::decode(payload) {
+        Ok(request) => {
+            // The meter reflects real socket bytes (length prefix
+            // included), not just payloads.
+            meter_request(shared, &request, total);
+            match request {
+                Request::Tagged { corr, inner } => Response::Tagged {
+                    corr,
+                    inner: Box::new(handle_request(shared, *inner, conn)),
+                },
+                other => handle_request(shared, other, conn),
             }
-            Err(e) => Response::Error {
-                code: error_code::BAD_FRAME,
-                message: e.to_string(),
-            },
-        };
-        let before = wbuf.len();
-        append_frame_with(wbuf, |buf| response.encode_into(buf))?;
-        shared
-            .meter
-            .record(TrafficClass::Control, (wbuf.len() - before) as u64);
-        let shutting_down = match &response {
-            Response::ShutdownOk => true,
-            Response::Tagged { inner, .. } => matches!(**inner, Response::ShutdownOk),
-            _ => false,
-        };
-        Ok(shutting_down)
-    })
+        }
+        Err(e) => Response::Error {
+            code: error_code::BAD_FRAME,
+            message: e.to_string(),
+        },
+    };
+    let before = wbuf.len();
+    append_frame_with(wbuf, |buf| response.encode_into(buf))?;
+    shared
+        .meter
+        .record(TrafficClass::Control, (wbuf.len() - before) as u64);
+    let shutting_down = match &response {
+        Response::ShutdownOk => true,
+        Response::Tagged { inner, .. } => matches!(**inner, Response::ShutdownOk),
+        _ => false,
+    };
+    Ok(shutting_down)
 }
 
 fn meter_request(shared: &Shared, request: &Request, wire_bytes: u64) {

@@ -69,6 +69,8 @@ fn start_cluster(
             bind: "127.0.0.1:0".to_string(),
             nodes: node_addrs.iter().map(|a| a.to_string()).collect(),
             frontend: None,
+            front: Default::default(),
+            stall_limit: delta_server::connection::STALL_LIMIT,
         },
         catalog.clone(),
     )

@@ -1,0 +1,117 @@
+//! Property tests for the frame-boundary arithmetic every front door
+//! shares: `buffered_frame_len` against a brute-force oracle (including
+//! the typed oversize rejection), and `prepare_read_buffer`'s
+//! compact/grow/shrink discipline — pending bytes are never lost, the
+//! buffer always ends up large enough for the validated pending frame,
+//! and capacity grown for a past oversized frame is given back.
+
+use delta_server::connection::READ_BUF;
+use delta_server::protocol::MAX_FRAME_BYTES;
+use delta_server::{buffered_frame_len, drop_cause, prepare_read_buffer, DropCause};
+use proptest::prelude::*;
+
+/// Builds a buffer holding a `frame_len` frame's first `avail` bytes
+/// (header included, so `avail <= 4 + frame_len`).
+fn partial_frame(frame_len: u32, avail: usize) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(avail);
+    buf.extend_from_slice(&frame_len.to_be_bytes());
+    buf.resize(4 + frame_len as usize, 0xAB);
+    buf.truncate(avail);
+    buf
+}
+
+proptest! {
+    /// `buffered_frame_len` returns `Some(4 + len)` exactly when the
+    /// whole frame is buffered, `None` otherwise — never off by one at
+    /// either boundary.
+    #[test]
+    fn frame_len_matches_oracle(frame_len in 0u32..4096, slack in 0usize..8) {
+        let total = 4 + frame_len as usize;
+        for avail in [0, 1, 3, 4, total.saturating_sub(1), total, total + slack] {
+            let avail = avail.min(total); // a frame never buffers past itself
+            let buf = partial_frame(frame_len, avail);
+            let got = buffered_frame_len(&buf).expect("in-range length word");
+            if avail >= total {
+                prop_assert_eq!(got, Some(total));
+            } else {
+                prop_assert_eq!(got, None);
+            }
+        }
+        // Trailing bytes of the *next* frame never change the answer.
+        let mut buf = partial_frame(frame_len, total);
+        buf.extend_from_slice(&[9, 9, 9]);
+        prop_assert_eq!(buffered_frame_len(&buf).unwrap(), Some(total));
+    }
+
+    /// Every length word beyond `MAX_FRAME_BYTES` is rejected with the
+    /// typed oversize cause — before any payload arrives, and no matter
+    /// what garbage follows the header.
+    #[test]
+    fn oversize_length_word_is_typed(
+        excess in 1u32..=(u32::MAX - MAX_FRAME_BYTES),
+        tail in prop::collection::vec(0u8..=255, 0..16),
+    ) {
+        let mut buf = (MAX_FRAME_BYTES + excess).to_be_bytes().to_vec();
+        buf.extend_from_slice(&tail);
+        let err = buffered_frame_len(&buf).expect_err("oversize must be rejected");
+        prop_assert_eq!(drop_cause(&err), Some(DropCause::Oversize));
+        prop_assert!(err.to_string().contains("MAX_FRAME_BYTES"));
+    }
+
+    /// `prepare_read_buffer` compacts without losing a byte and leaves
+    /// room for the whole validated pending frame.
+    #[test]
+    fn prepare_preserves_pending_and_fits_frame(
+        frame_len in 0u32..100_000,
+        avail_frac in 0.0f64..=1.0,
+        garbage in 0usize..64,
+    ) {
+        let total = 4 + frame_len as usize;
+        let avail = ((total as f64) * avail_frac) as usize;
+        let pending = partial_frame(frame_len, avail);
+
+        // The consumed region [0, start) holds garbage from already
+        // served frames; [start, end) is the pending tail.
+        let mut rbuf = vec![0xEEu8; garbage];
+        rbuf.extend_from_slice(&pending);
+        rbuf.resize(rbuf.len().max(READ_BUF), 0);
+        let mut start = garbage;
+        let mut end = garbage + pending.len();
+
+        prepare_read_buffer(&mut rbuf, &mut start, &mut end);
+
+        prop_assert_eq!(start, 0);
+        prop_assert_eq!(end, pending.len());
+        prop_assert_eq!(&rbuf[..end], &pending[..]);
+        // Once the length word is visible the buffer must be able to
+        // hold the whole frame — the next reads never stall on space.
+        if pending.len() >= 4 {
+            prop_assert!(rbuf.len() >= total);
+        }
+        prop_assert!(rbuf.len() >= READ_BUF);
+    }
+
+    /// A buffer grown for a past oversized frame shrinks back to
+    /// `READ_BUF` once nothing pending needs the room — idle
+    /// connections do not hoard capacity.
+    #[test]
+    fn prepare_shrinks_after_grown_frame(
+        grown_extra in 1usize..4_000_000,
+        frame_len in 0u32..1024,
+        avail_frac in 0.0f64..=1.0,
+    ) {
+        let total = 4 + frame_len as usize;
+        let avail = ((total as f64) * avail_frac) as usize;
+        let pending = partial_frame(frame_len, avail);
+
+        let mut rbuf = vec![0u8; READ_BUF + grown_extra];
+        rbuf[..pending.len()].copy_from_slice(&pending);
+        let mut start = 0;
+        let mut end = pending.len();
+
+        prepare_read_buffer(&mut rbuf, &mut start, &mut end);
+
+        prop_assert_eq!(rbuf.len(), READ_BUF, "small pending frame must release grown capacity");
+        prop_assert_eq!(&rbuf[..end], &pending[..]);
+    }
+}
