@@ -50,6 +50,7 @@ struct Args {
     front: FrontDoor,
     reactor_threads: usize,
     stall_limit_ms: u64,
+    node_timeout_ms: u64,
 }
 
 fn usage() -> ! {
@@ -58,6 +59,7 @@ fn usage() -> ! {
          [--trace FILE | --preset small|paper] \
          [--sql-preset small|paper | --no-sql] \
          [--front reactor|threaded] [--reactor-threads N] [--stall-limit-ms MS] \
+         [--node-timeout-ms MS] \
          [--telemetry-dump PATH [--telemetry-interval SECS]]"
     );
     exit(2);
@@ -100,6 +102,7 @@ fn parse_args() -> Args {
         front: FrontDoor::default(),
         reactor_threads: 0,
         stall_limit_ms: delta_server::connection::STALL_LIMIT.as_millis() as u64,
+        node_timeout_ms: RouterConfig::DEFAULT_NODE_TIMEOUT.as_millis() as u64,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -130,6 +133,9 @@ fn parse_args() -> Args {
             }
             "--stall-limit-ms" => {
                 args.stall_limit_ms = value(&argv, i).parse().unwrap_or_else(|_| usage())
+            }
+            "--node-timeout-ms" => {
+                args.node_timeout_ms = value(&argv, i).parse().unwrap_or_else(|_| usage())
             }
             "--no-sql" => {
                 args.no_sql = true;
@@ -201,6 +207,7 @@ fn main() {
         frontend,
         front,
         stall_limit: std::time::Duration::from_millis(args.stall_limit_ms.max(1)),
+        node_timeout: std::time::Duration::from_millis(args.node_timeout_ms.max(1)),
     };
     let router = Router::start(config, catalog).unwrap_or_else(|e| {
         eprintln!("delta-routerd: cannot start: {e}");

@@ -108,6 +108,7 @@ fn usage() -> ! {
          [--sql-preset small|paper | --no-sql] [--snapshot-dir DIR] \
          [--node-id I --nodes N [--host-shards a,b,c]] \
          [--front reactor|threaded] [--reactor-threads N] [--stall-limit-ms MS] \
+         [--chaos-node-latency-ms MS] \
          [--telemetry-dump PATH [--telemetry-interval SECS]]"
     );
     exit(2);
@@ -194,6 +195,13 @@ fn parse_args() -> Args {
             "--stall-limit-ms" => {
                 let ms: u64 = value(&argv, i).parse().unwrap_or_else(|_| usage());
                 args.config.stall_limit = std::time::Duration::from_millis(ms.max(1));
+            }
+            "--chaos-node-latency-ms" => {
+                let ms: u64 = value(&argv, i).parse().unwrap_or_else(|_| usage());
+                args.config.chaos_link = Some(delta_net::LinkModel {
+                    bandwidth_bytes_per_sec: f64::INFINITY,
+                    rtt_secs: ms as f64 / 1000.0,
+                });
             }
             "--no-sql" => {
                 args.no_sql = true;

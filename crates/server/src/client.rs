@@ -3,12 +3,12 @@
 //! [`PipelinedClient`] (many tagged frames in flight, replies matched by
 //! correlation id).
 
+use crate::mux::Correlator;
 use crate::protocol::{
     append_frame_with, read_frame_into, BatchItem, BatchReply, NodeInfo, Request, Response,
     SqlStage, StatsSnapshot, PROTOCOL_VERSION,
 };
 use delta_workload::{QueryEvent, QueryKind, UpdateEvent};
-use std::collections::HashSet;
 use std::io::{self, BufReader, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 
@@ -282,8 +282,7 @@ impl DeltaClient {
             wire,
             payload: self.payload,
             window: window.max(1),
-            next_corr: 0,
-            pending: HashSet::new(),
+            pending: Correlator::new(),
             completed: Vec::new(),
         }
     }
@@ -328,15 +327,17 @@ pub struct PipelinedClient {
     /// Reusable incoming payload buffer.
     payload: Vec<u8>,
     window: usize,
-    next_corr: u64,
-    pending: HashSet<u64>,
+    /// The same correlation plumbing the router's shared node links use
+    /// ([`crate::mux::Correlator`]): ids are issued monotonically and a
+    /// reply with an unknown or duplicate id is a protocol error.
+    pending: Correlator<()>,
     completed: Vec<(u64, Response)>,
 }
 
 impl PipelinedClient {
     /// The correlation ids still awaiting replies.
     pub fn in_flight(&self) -> usize {
-        self.pending.len()
+        self.pending.in_flight()
     }
 
     /// Writes the coalesced window of frames to the socket — one
@@ -362,18 +363,16 @@ impl PipelinedClient {
             !matches!(request, Request::Tagged { .. }),
             "submit() tags requests itself"
         );
-        if self.pending.len() >= self.window {
+        if self.pending.in_flight() >= self.window {
             self.flush_wire()?;
-            while self.pending.len() >= self.window {
+            while self.pending.in_flight() >= self.window {
                 self.reap_one()?;
             }
         }
-        let corr = self.next_corr;
-        self.next_corr += 1;
+        let corr = self.pending.issue(());
         append_frame_with(&mut self.wire, |buf| {
             crate::protocol::encode_tagged_request_into(corr, request, buf);
         })?;
-        self.pending.insert(corr);
         Ok(corr)
     }
 
@@ -381,7 +380,7 @@ impl PipelinedClient {
         read_frame_into(&mut self.reader, &mut self.payload)?;
         match Response::decode(&self.payload)? {
             Response::Tagged { corr, inner } => {
-                if !self.pending.remove(&corr) {
+                if self.pending.complete(corr).is_none() {
                     return Err(io::Error::other(format!(
                         "server echoed unknown correlation id {corr}"
                     )));
@@ -403,7 +402,7 @@ impl PipelinedClient {
     /// responses.
     pub fn drain(&mut self) -> io::Result<Vec<(u64, Response)>> {
         self.flush_wire()?;
-        while !self.pending.is_empty() {
+        while self.pending.in_flight() > 0 {
             self.reap_one()?;
         }
         Ok(self.completed())

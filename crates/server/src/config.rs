@@ -231,6 +231,13 @@ pub struct ServerConfig {
     /// before it is reaped as half-open. Tests shrink this to keep reap
     /// assertions fast.
     pub stall_limit: std::time::Duration,
+    /// Fault injection (`--chaos-node-latency-ms`): when set, every
+    /// `NodeOps` frame this node executes first sleeps for the link
+    /// model's transfer time, as if the node sat behind a slow WAN hop.
+    /// Chaos tests point this at one node of a cluster to prove the
+    /// router's data plane isolates the slowdown to the shards that
+    /// node owns. `None` (the default) adds no work to the hot path.
+    pub chaos_link: Option<delta_net::LinkModel>,
 }
 
 impl Default for ServerConfig {
@@ -247,6 +254,7 @@ impl Default for ServerConfig {
             cluster: None,
             front: FrontDoor::default(),
             stall_limit: crate::connection::STALL_LIMIT,
+            chaos_link: None,
         }
     }
 }

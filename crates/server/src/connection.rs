@@ -6,12 +6,13 @@
 
 use crate::protocol::{append_frame_with, error_code, Response};
 use delta_telemetry::{Counter, Histogram, Telemetry};
+use std::any::Any;
 use std::fmt;
 use std::io::{self, Write};
 use std::net::TcpStream;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// How often blocked accept/read loops re-check the shutdown flag.
 pub(crate) const POLL: Duration = Duration::from_millis(25);
@@ -116,6 +117,124 @@ impl WireTelemetry {
             oversize_rejects: t.counter("conn.oversize_rejects"),
             frames_per_read: t.histogram("conn.frames_per_read"),
         }
+    }
+}
+
+/// A per-connection frame handler with **suspension**: the reactor
+/// front's generalization of the plain closure handler.
+///
+/// `on_frame` may answer synchronously (appending response frames to
+/// `wbuf`) or *suspend* the response — park the frame's outcome on an
+/// internal event (a node reply on a shared link) and return with
+/// nothing appended. A suspended connection is resumed by the event
+/// loop via `on_resume` when its [`LoopBackend`] reports progress, not
+/// by socket readiness. Response **order always equals frame arrival
+/// order** per connection: a handler that suspends must queue later
+/// responses behind earlier suspended ones.
+///
+/// Both hooks return `true` to close the connection once the write
+/// buffer drains (a served `Shutdown`) — even when that response was
+/// suspended and only emitted on resume.
+pub(crate) trait FrameHandler: Send {
+    /// Serves one complete frame payload. `key` is the connection's
+    /// loop-local key (its epoll token), which backends use to address
+    /// resumptions.
+    fn on_frame(
+        &mut self,
+        key: usize,
+        payload: &[u8],
+        wbuf: &mut Vec<u8>,
+        backend: &mut dyn LoopBackend,
+    ) -> io::Result<bool>;
+
+    /// Delivers completed internal work for this connection: emit every
+    /// response now emittable in arrival order. Only called on keys the
+    /// backend marked resumable.
+    fn on_resume(
+        &mut self,
+        _key: usize,
+        _wbuf: &mut Vec<u8>,
+        _backend: &mut dyn LoopBackend,
+    ) -> io::Result<bool> {
+        Ok(false)
+    }
+
+    /// True while responses are suspended on internal events — the
+    /// connection must not be reaped as idle (shutdown drain waits for
+    /// it like it waits for an undrained write buffer).
+    fn suspended(&self) -> bool {
+        false
+    }
+
+    /// True when the handler cannot accept more frames right now (its
+    /// pending-response queue is full); the pump stops consuming input
+    /// until resumptions drain it, exactly like write backpressure.
+    fn saturated(&self) -> bool {
+        false
+    }
+}
+
+/// Plain request/response handlers (the server tier, the router's
+/// threaded twin) wrapped as a never-suspending [`FrameHandler`].
+pub(crate) struct ClosureHandler<F>(pub(crate) F);
+
+impl<F> FrameHandler for ClosureHandler<F>
+where
+    F: FnMut(&[u8], &mut Vec<u8>) -> io::Result<bool> + Send,
+{
+    fn on_frame(
+        &mut self,
+        _key: usize,
+        payload: &[u8],
+        wbuf: &mut Vec<u8>,
+        _backend: &mut dyn LoopBackend,
+    ) -> io::Result<bool> {
+        (self.0)(payload, wbuf)
+    }
+}
+
+/// Per-event-loop machinery that frame handlers suspend on: the
+/// reactor loop drives it alongside the client connections. The
+/// router's shared node links implement this; tiers without internal
+/// events use [`NoBackend`].
+///
+/// The loop contract per iteration: readiness events whose token has
+/// the backend bit set are routed to `on_event`; `tick` fires internal
+/// deadlines; every key in `take_resumable` gets an
+/// [`FrameHandler::on_resume`]; `flush` runs after resumptions so
+/// writes enqueued anywhere in the iteration coalesce into one flush
+/// per link per pump.
+pub(crate) trait LoopBackend: Send {
+    /// Downcast hook so a tier's handler can reach its concrete
+    /// backend (they are registered as a pair by construction).
+    fn as_any(&mut self) -> &mut dyn Any;
+
+    /// A readiness event for backend token `token` (bit already
+    /// stripped).
+    fn on_event(&mut self, _token: usize, _now: Instant) {}
+
+    /// Advances internal deadlines (the backend owns its own timer
+    /// wheel, separate from the connection stall wheel).
+    fn tick(&mut self, _now: Instant) {}
+
+    /// Connection keys with newly completed internal work; drained.
+    fn take_resumable(&mut self) -> Vec<usize> {
+        Vec::new()
+    }
+
+    /// Ships coalesced internal writes — once per loop iteration.
+    fn flush(&mut self, _now: Instant) {}
+
+    /// Connection `key` closed: abandon its pending internal work.
+    fn conn_closed(&mut self, _key: usize) {}
+}
+
+/// The no-op backend for tiers whose handlers never suspend.
+pub(crate) struct NoBackend;
+
+impl LoopBackend for NoBackend {
+    fn as_any(&mut self) -> &mut dyn Any {
+        self
     }
 }
 

@@ -45,12 +45,14 @@
 
 use crate::connection::{
     append_oversize_reply, buffered_frame_len, classify_drop, drop_cause, drop_error,
-    prepare_read_buffer, DropCause, WireTelemetry, POLL, READ_BUF, WRITE_COALESCE_BYTES,
+    prepare_read_buffer, ClosureHandler, DropCause, FrameHandler, LoopBackend, NoBackend,
+    WireTelemetry, POLL, READ_BUF, WRITE_COALESCE_BYTES,
 };
 use delta_reactor::{Events, Interest, Poller, Slab, TimerKey, TimerWheel};
 use delta_telemetry::{Counter, Histogram, Telemetry};
 use std::io::{self, Read, Write};
 use std::net::{TcpListener, TcpStream};
+use std::os::unix::net::UnixStream;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{self, Receiver, TryRecvError};
 use std::sync::Arc;
@@ -63,6 +65,32 @@ pub(crate) type Handler = Box<dyn FnMut(&[u8], &mut Vec<u8>) -> io::Result<bool>
 /// Builds one [`Handler`] per accepted connection (each gets its own
 /// mutable per-connection state, e.g. a SQL compiler clone).
 pub(crate) type HandlerFactory = Arc<dyn Fn() -> Handler + Send + Sync>;
+
+/// Builds one suspension-capable [`FrameHandler`] per connection.
+pub(crate) type FrameFactory = Arc<dyn Fn() -> Box<dyn FrameHandler> + Send + Sync>;
+
+/// Builds one [`LoopBackend`] per reactor event loop. The backend gets
+/// a handle on the loop's poller so it can register its own sockets
+/// under [`BACKEND_TOKEN`]-tagged tokens.
+pub(crate) type BackendFactory = Arc<dyn Fn(Arc<Poller>) -> Box<dyn LoopBackend> + Send + Sync>;
+
+/// High bit of an epoll token: set on every descriptor a [`LoopBackend`]
+/// registers, clear on client connections (slab keys), so one poller
+/// multiplexes both without collisions.
+pub(crate) const BACKEND_TOKEN: usize = 1 << (usize::BITS - 1);
+
+/// Token of the accept thread's wake pipe: one byte lands here whenever
+/// a socket was queued for adoption, so a reactor parked in
+/// `poller.wait` picks up new connections immediately instead of on the
+/// next `POLL` timeout (up to 25 ms later — a whole pipeline window's
+/// worth of stall on the connection's first frames).
+const WAKE_TOKEN: usize = BACKEND_TOKEN - 1;
+
+/// Wraps a plain closure factory as a [`FrameFactory`] — the path for
+/// tiers whose handlers never suspend.
+pub(crate) fn closure_factory(factory: HandlerFactory) -> FrameFactory {
+    Arc::new(move || Box::new(ClosureHandler(factory())))
+}
 
 /// Reads per connection per wakeup before yielding to the rest of the
 /// ready set. Level-triggered epoll re-notifies unread data, so a
@@ -132,7 +160,9 @@ pub(crate) struct ReactorFront {
     /// Reap limit for stalled connections.
     pub(crate) stall_limit: Duration,
     /// Builds one handler per connection.
-    pub(crate) factory: HandlerFactory,
+    pub(crate) factory: FrameFactory,
+    /// Builds one backend per event loop (`None` = no internal events).
+    pub(crate) backend: Option<BackendFactory>,
 }
 
 impl ReactorFront {
@@ -143,19 +173,42 @@ impl ReactorFront {
     pub(crate) fn run(self, listener: TcpListener) {
         let threads = resolve_threads(self.threads);
         let mut senders = Vec::with_capacity(threads);
+        let mut wakers = Vec::with_capacity(threads);
         let mut handles = Vec::with_capacity(threads);
         for i in 0..threads {
             let (tx, rx) = mpsc::channel::<TcpStream>();
             senders.push(tx);
+            // The adoption channel can't wake a parked `poller.wait`, so
+            // each loop also watches one end of a nonblocking socket
+            // pair; the accept thread pokes it after every handoff.
+            let (wake_tx, wake_rx) = UnixStream::pair().expect("create reactor wake pipe");
+            wake_tx
+                .set_nonblocking(true)
+                .and(wake_rx.set_nonblocking(true))
+                .expect("nonblocking wake pipe");
+            wakers.push(wake_tx);
             let name = self.name;
             let shutdown = Arc::clone(&self.shutdown);
             let wire = self.wire.clone();
             let rtel = self.rtel.clone();
             let stall_limit = self.stall_limit;
             let factory = Arc::clone(&self.factory);
+            let backend = self.backend.clone();
             let handle = std::thread::Builder::new()
                 .name(format!("{name}-reactor-{i}"))
-                .spawn(move || reactor_loop(rx, name, shutdown, wire, rtel, stall_limit, factory))
+                .spawn(move || {
+                    reactor_loop(
+                        rx,
+                        wake_rx,
+                        name,
+                        shutdown,
+                        wire,
+                        rtel,
+                        stall_limit,
+                        factory,
+                        backend,
+                    )
+                })
                 .expect("spawn reactor thread");
             handles.push(handle);
         }
@@ -167,7 +220,11 @@ impl ReactorFront {
                     // A reactor only disappears with the process; a
                     // failed send means we're past caring about this
                     // socket.
-                    let _ = senders[next % senders.len()].send(stream);
+                    let slot = next % senders.len();
+                    let _ = senders[slot].send(stream);
+                    // Wake the loop out of its poll wait; a full pipe
+                    // (WouldBlock) already guarantees a pending wake.
+                    let _ = (&wakers[slot]).write(&[1u8]);
                     next += 1;
                 }
                 Err(e) if e.kind() == io::ErrorKind::WouldBlock => std::thread::sleep(POLL),
@@ -190,7 +247,7 @@ impl ReactorFront {
 /// One multiplexed connection.
 struct Conn {
     stream: TcpStream,
-    handler: Handler,
+    handler: Box<dyn FrameHandler>,
     peer: String,
     rbuf: Vec<u8>,
     start: usize,
@@ -270,8 +327,14 @@ fn try_flush(conn: &mut Conn, wire: &WireTelemetry) -> io::Result<usize> {
 
 /// Advances one connection as far as the socket allows: flush what was
 /// pending, then alternate serving buffered frames and reading, stopping
-/// at `WouldBlock`, backpressure, or the per-pump read bound.
-fn pump(conn: &mut Conn, wire: &WireTelemetry) -> io::Result<Pump> {
+/// at `WouldBlock`, backpressure, handler saturation, or the per-pump
+/// read bound.
+fn pump(
+    conn: &mut Conn,
+    key: usize,
+    wire: &WireTelemetry,
+    backend: &mut dyn LoopBackend,
+) -> io::Result<Pump> {
     let mut progressed = try_flush(conn, wire)? > 0;
     let mut frames = 0u64;
     if conn.closing {
@@ -286,9 +349,10 @@ fn pump(conn: &mut Conn, wire: &WireTelemetry) -> io::Result<Pump> {
         // per drain, like the threaded front.
         let mut frames_this_read = 0u64;
         loop {
-            if conn.backpressured() {
-                // Stop consuming input until the peer drains responses;
-                // writable readiness will pump us again.
+            if conn.backpressured() || conn.handler.saturated() {
+                // Stop consuming input until the peer drains responses
+                // (or resumptions drain the handler's pending queue);
+                // readiness will pump us again.
                 break 'io;
             }
             let total = match buffered_frame_len(&conn.rbuf[conn.start..conn.end]) {
@@ -303,7 +367,7 @@ fn pump(conn: &mut Conn, wire: &WireTelemetry) -> io::Result<Pump> {
                 }
             };
             let payload = &conn.rbuf[conn.start + 4..conn.start + total];
-            let close = match (conn.handler)(payload, &mut conn.wbuf) {
+            let close = match conn.handler.on_frame(key, payload, &mut conn.wbuf, backend) {
                 Ok(close) => close,
                 Err(e) => {
                     // Flush the acks already earned by executed
@@ -364,16 +428,26 @@ fn pump(conn: &mut Conn, wire: &WireTelemetry) -> io::Result<Pump> {
 }
 
 /// One reactor event loop: owns its connections end to end.
+#[allow(clippy::too_many_arguments)]
 fn reactor_loop(
     rx: Receiver<TcpStream>,
+    wake: UnixStream,
     name: &'static str,
     shutdown: Arc<AtomicBool>,
     wire: WireTelemetry,
     rtel: ReactorTelemetry,
     stall_limit: Duration,
-    factory: HandlerFactory,
+    factory: FrameFactory,
+    backend_factory: Option<BackendFactory>,
 ) {
-    let poller = Poller::new().expect("create epoll instance");
+    let poller = Arc::new(Poller::new().expect("create epoll instance"));
+    poller
+        .add(&wake, WAKE_TOKEN, Interest::READ)
+        .expect("register reactor wake pipe");
+    let mut backend: Box<dyn LoopBackend> = match &backend_factory {
+        Some(make) => make(Arc::clone(&poller)),
+        None => Box::new(NoBackend),
+    };
     let mut events = Events::with_capacity(1024);
     let mut conns: Slab<Conn> = Slab::new();
     // 512 × 25 ms ≈ 12.8 s of wheel span comfortably covers the default
@@ -399,14 +473,35 @@ fn reactor_loop(
         let mut frames_this_wakeup = 0u64;
         for ev in events.iter() {
             let key = ev.token;
+            if key == WAKE_TOKEN {
+                // Drain every pending poke; the adoption loop below
+                // picks up whatever sockets they announced.
+                let mut sink = [0u8; 64];
+                while matches!((&wake).read(&mut sink), Ok(n) if n > 0) {}
+                continue;
+            }
+            if key & BACKEND_TOKEN != 0 {
+                backend.on_event(key & !BACKEND_TOKEN, now);
+                continue;
+            }
             let Some(conn) = conns.get_mut(key) else {
                 continue; // closed earlier this wakeup
             };
-            match pump(conn, &wire) {
+            match pump(conn, key, &wire, backend.as_mut()) {
                 Ok(p) => {
                     frames_this_wakeup += p.frames;
-                    if !p.keep || (draining && !conn.on_clock() && !conn.closing) {
-                        close_conn(&poller, &mut wheel, &mut conns, &rtel, key, None);
+                    let conn = conns.get_mut(key).unwrap();
+                    let idle = !conn.on_clock() && !conn.closing && !conn.handler.suspended();
+                    if !p.keep || (draining && idle) {
+                        close_conn(
+                            &poller,
+                            &mut wheel,
+                            &mut conns,
+                            &rtel,
+                            backend.as_mut(),
+                            key,
+                            None,
+                        );
                     } else {
                         refresh(
                             &poller,
@@ -421,7 +516,15 @@ fn reactor_loop(
                 }
                 Err(e) => {
                     let peer = conns.get(key).map(|c| c.peer.clone()).unwrap_or_default();
-                    close_conn(&poller, &mut wheel, &mut conns, &rtel, key, Some(&e));
+                    close_conn(
+                        &poller,
+                        &mut wheel,
+                        &mut conns,
+                        &rtel,
+                        backend.as_mut(),
+                        key,
+                        Some(&e),
+                    );
                     classify_drop(&e, &wire, &peer, stall_limit);
                 }
             }
@@ -459,38 +562,146 @@ fn reactor_loop(
                 DropCause::Stall,
                 format!("no progress for {stall_limit:?} (reactor deadline)"),
             );
-            close_conn(&poller, &mut wheel, &mut conns, &rtel, key, Some(&e));
+            close_conn(
+                &poller,
+                &mut wheel,
+                &mut conns,
+                &rtel,
+                backend.as_mut(),
+                key,
+                Some(&e),
+            );
             classify_drop(&e, &wire, &peer, stall_limit);
+        }
+
+        // Backend deadlines (node timeouts), then resume suspended
+        // connections whose internal work completed, then ship the
+        // backend's coalesced writes — once per iteration, so every
+        // sub-request enqueued this wakeup rides one flush per link.
+        // A flush failure can itself complete suspended work (a dead
+        // link fails its fan-outs), so resume once more; the second
+        // flush is a no-op in the common case.
+        backend.tick(now);
+        for _ in 0..2 {
+            resume_pass(
+                &poller,
+                &mut wheel,
+                &mut conns,
+                backend.as_mut(),
+                &wire,
+                &rtel,
+                stall_limit,
+                now,
+                draining,
+            );
+            backend.flush(now);
         }
 
         // Shutdown: close boundary-idle connections now; everything else
         // gets one stall grace period (the deadline is already armed for
-        // anything on the clock — arm the rest).
+        // anything on the clock — arm the rest). A suspended connection
+        // is not idle: its response is still owed.
         if !draining && shutdown.load(Ordering::SeqCst) {
             draining = true;
             for key in conns.keys() {
                 // One last pump so requests that raced the flag are
                 // served, mirroring the threaded drain.
                 let conn = conns.get_mut(key).expect("live key");
-                match pump(conn, &wire) {
+                match pump(conn, key, &wire, backend.as_mut()) {
                     Ok(p) => {
                         let conn = conns.get_mut(key).unwrap();
-                        if !p.keep || (!conn.on_clock() && !conn.closing) {
-                            close_conn(&poller, &mut wheel, &mut conns, &rtel, key, None);
+                        let idle = !conn.on_clock() && !conn.closing && !conn.handler.suspended();
+                        if !p.keep || idle {
+                            close_conn(
+                                &poller,
+                                &mut wheel,
+                                &mut conns,
+                                &rtel,
+                                backend.as_mut(),
+                                key,
+                                None,
+                            );
                         } else {
                             refresh(&poller, &mut wheel, conn, key, true, now, stall_limit);
                         }
                     }
                     Err(e) => {
                         let peer = conns.get(key).map(|c| c.peer.clone()).unwrap_or_default();
-                        close_conn(&poller, &mut wheel, &mut conns, &rtel, key, Some(&e));
+                        close_conn(
+                            &poller,
+                            &mut wheel,
+                            &mut conns,
+                            &rtel,
+                            backend.as_mut(),
+                            key,
+                            Some(&e),
+                        );
                         classify_drop(&e, &wire, &peer, stall_limit);
                     }
                 }
             }
+            backend.flush(now);
         }
         if draining && conns.is_empty() && !accepting {
             return;
+        }
+    }
+}
+
+/// Resumes every connection whose suspended work completed: deliver the
+/// completions via [`FrameHandler::on_resume`], then pump as usual so
+/// the freshly appended responses flush and buffered input (parked by
+/// handler saturation) is served.
+#[allow(clippy::too_many_arguments)]
+fn resume_pass(
+    poller: &Poller,
+    wheel: &mut TimerWheel,
+    conns: &mut Slab<Conn>,
+    backend: &mut dyn LoopBackend,
+    wire: &WireTelemetry,
+    rtel: &ReactorTelemetry,
+    stall_limit: Duration,
+    now: Instant,
+    draining: bool,
+) {
+    let mut keys = backend.take_resumable();
+    keys.sort_unstable();
+    keys.dedup();
+    for key in keys {
+        let Some(conn) = conns.get_mut(key) else {
+            continue; // closed before its work completed
+        };
+        match conn.handler.on_resume(key, &mut conn.wbuf, backend) {
+            Ok(close) => {
+                if close {
+                    conn.closing = true;
+                }
+            }
+            Err(e) => {
+                // Same contract as a handler error in pump: flush the
+                // responses already earned, then drop the connection.
+                let _ = try_flush(conn, wire);
+                let peer = conn.peer.clone();
+                close_conn(poller, wheel, conns, rtel, backend, key, Some(&e));
+                classify_drop(&e, wire, &peer, stall_limit);
+                continue;
+            }
+        }
+        match pump(conns.get_mut(key).unwrap(), key, wire, backend) {
+            Ok(p) => {
+                let conn = conns.get_mut(key).unwrap();
+                let idle = !conn.on_clock() && !conn.closing && !conn.handler.suspended();
+                if !p.keep || (draining && idle) {
+                    close_conn(poller, wheel, conns, rtel, backend, key, None);
+                } else {
+                    refresh(poller, wheel, conn, key, p.progressed, now, stall_limit);
+                }
+            }
+            Err(e) => {
+                let peer = conns.get(key).map(|c| c.peer.clone()).unwrap_or_default();
+                close_conn(poller, wheel, conns, rtel, backend, key, Some(&e));
+                classify_drop(&e, wire, &peer, stall_limit);
+            }
         }
     }
 }
@@ -500,7 +711,7 @@ fn reactor_loop(
 fn register(
     poller: &Poller,
     conns: &mut Slab<Conn>,
-    factory: &HandlerFactory,
+    factory: &FrameFactory,
     stream: TcpStream,
     name: &str,
 ) {
@@ -572,6 +783,7 @@ fn close_conn(
     wheel: &mut TimerWheel,
     conns: &mut Slab<Conn>,
     rtel: &ReactorTelemetry,
+    backend: &mut dyn LoopBackend,
     key: usize,
     err: Option<&io::Error>,
 ) {
@@ -582,6 +794,7 @@ fn close_conn(
         wheel.cancel(t);
     }
     let _ = poller.delete(&conn.stream);
+    backend.conn_closed(key);
     rtel.closed.inc();
     if let Some(e) = err {
         let routine = drop_cause(e).is_some()

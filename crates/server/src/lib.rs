@@ -21,6 +21,10 @@
 //!   **live resharding** (drain → snapshot → re-host → epoch bump);
 //!   clients holding a stale shard→node map get a typed `WrongEpoch`
 //!   redirect, never a wrong answer.
+//! * [`mux`] — the correlation mux behind the router's shared node
+//!   links: `Tagged`-envelope correlation ids, per-client fan-out
+//!   accounting and reply merging as a socket-free state machine, shared
+//!   between the reactor data plane and the pipelined client.
 //! * [`shard`] — one lock-protected engine core per shard, each owning a
 //!   [`delta_core::CachingPolicy`] (VCover by default, pluggable), a
 //!   [`delta_storage::Repository`] slice and a cache, accounting into its
@@ -89,6 +93,7 @@ pub mod client;
 pub mod config;
 pub mod connection;
 pub mod front;
+pub mod mux;
 pub mod partition;
 pub mod protocol;
 pub mod router;

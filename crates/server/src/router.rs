@@ -35,22 +35,32 @@
 
 use crate::client::DeltaClient;
 use crate::config::FrontDoor;
-use crate::connection::{serve_frames, WireTelemetry, POLL};
-use crate::front::{Handler, HandlerFactory, ReactorFront, ReactorTelemetry};
+use crate::connection::{
+    buffered_frame_len, prepare_read_buffer, serve_frames, FrameHandler, LoopBackend,
+    WireTelemetry, POLL, READ_BUF,
+};
+use crate::front::{BackendFactory, FrameFactory, ReactorFront, ReactorTelemetry, BACKEND_TOKEN};
+use crate::mux::{
+    shape_response, single_reply, wrap_corr, Completion, Correlator, FanoutTable, MergeState,
+    Purpose, ReplyKind, SubEntry,
+};
 use crate::partition::{Partitioner, PartitionerKind};
 use crate::protocol::{
-    append_frame_with, error_code, BatchItem, BatchReply, NodeInfo, NodeOp, NodeRole, Request,
-    Response, ShardStats, SqlStage, StatsSnapshot,
+    append_frame_with, encode_tagged_request_into, error_code, BatchItem, BatchReply, NodeInfo,
+    NodeOp, NodeRole, Request, Response, ShardStats, SqlStage, StatsSnapshot,
 };
 use delta_query::{QueryCompiler, QueryError, Schema};
+use delta_reactor::{Interest, Poller, TimerWheel};
 use delta_storage::ObjectCatalog;
-use delta_telemetry::{Counter, Histogram, Telemetry, TelemetrySnapshot};
+use delta_telemetry::{Counter, Gauge, Histogram, Telemetry, TelemetrySnapshot};
 use delta_workload::WorkloadConfig;
-use std::io;
-use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::any::Any;
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, RwLock};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Everything `delta-routerd` needs besides the object catalog.
 #[derive(Clone, Debug)]
@@ -69,6 +79,20 @@ pub struct RouterConfig {
     /// Reap limit for stalled client connections (same semantics as
     /// [`crate::ServerConfig::stall_limit`]).
     pub stall_limit: std::time::Duration,
+    /// How long the reactor data plane waits for a node's reply to one
+    /// fanned-out sub-request before completing the waiting client
+    /// requests with a typed `NODE_UNAVAILABLE` error and declaring the
+    /// link dead (`--node-timeout-ms`). Only the shared multiplexed
+    /// links enforce this; the threaded front door's per-connection
+    /// links rely on the OS connect/read errors as before.
+    pub node_timeout: std::time::Duration,
+}
+
+impl RouterConfig {
+    /// Default per-fanout node reply deadline (`--node-timeout-ms`):
+    /// generous against GC-free Rust nodes, tight enough that a wedged
+    /// node fails typed long before clients' own stall limits.
+    pub const DEFAULT_NODE_TIMEOUT: std::time::Duration = std::time::Duration::from_secs(5);
 }
 
 /// The routing state every client handler reads and `Reshard` rewrites.
@@ -87,6 +111,15 @@ struct RouterTelemetry {
     fanout: Vec<Arc<Histogram>>,
     /// `WrongEpoch` redirects absorbed by transparent re-handshakes.
     wrong_epoch_retries: Arc<Counter>,
+    /// Node sub-requests in flight across all shared links of one event
+    /// loop, sampled at each flush (reactor data plane only).
+    node_inflight: Arc<Histogram>,
+    /// Sub-request frames coalesced into one socket write per link
+    /// flush — the pipelining the mux buys over lockstep links.
+    mux_frames_per_flush: Arc<Histogram>,
+    /// Per-node queue depth (correlation ids awaiting replies on the
+    /// shared link), refreshed at each flush.
+    node_queue: Vec<Arc<Gauge>>,
     /// Reshard phase durations: drain + snapshot at the old owner,
     reshard_detach: Arc<Histogram>,
     /// restore at the new owner,
@@ -102,6 +135,11 @@ impl RouterTelemetry {
                 .map(|n| t.histogram(&format!("router.fanout_ns.node{n}")))
                 .collect(),
             wrong_epoch_retries: t.counter("router.wrong_epoch_retries"),
+            node_inflight: t.histogram("router.node_inflight"),
+            mux_frames_per_flush: t.histogram("router.mux_frames_per_flush"),
+            node_queue: (0..n_nodes)
+                .map(|n| t.gauge(&format!("router.node_queue.node{n}")))
+                .collect(),
             reshard_detach: t.histogram("router.reshard.detach_ns"),
             reshard_attach: t.histogram("router.reshard.attach_ns"),
             reshard_epoch: t.histogram("router.reshard.set_epoch_ns"),
@@ -126,6 +164,13 @@ struct RouterShared {
     front: FrontDoor,
     /// Reap limit for stalled client connections.
     stall_limit: std::time::Duration,
+    /// Per-fanout node reply deadline on the reactor data plane.
+    node_timeout: Duration,
+    /// Node sub-requests currently parked in ANY event loop's link
+    /// correlators. `Reshard` quiesces on this reaching zero before it
+    /// detaches a shard, so no sub-request ever straddles an epoch
+    /// boundary mid-flight.
+    inflight_subs: AtomicUsize,
 }
 
 /// A running delta-router instance.
@@ -286,6 +331,8 @@ impl Router {
             wire,
             front: config.front,
             stall_limit: config.stall_limit,
+            node_timeout: config.node_timeout,
+            inflight_subs: AtomicUsize::new(0),
         });
 
         let accept_shutdown = Arc::clone(&shutdown);
@@ -342,16 +389,20 @@ fn accept_loop(listener: TcpListener, shared: Arc<RouterShared>, shutdown: Arc<A
     match shared.front {
         FrontDoor::Threaded => accept_threaded(listener, &shared, &shutdown),
         FrontDoor::Reactor { threads } => {
-            // Router handlers block on node round-trips inside the event
-            // loop; a slow node therefore delays the other connections
-            // on the same reactor for one round-trip, not forever (node
-            // death errors out). The win — client-connection capacity
-            // beyond thread scale — is the same as the server tier's.
+            // The reactor data plane: every client connection's routed
+            // requests suspend onto the event loop's [`RouterBackend`],
+            // which multiplexes ALL of them over one pipelined link per
+            // node. A slow node never parks the loop — the waiting
+            // connections resume when its tagged replies arrive (or its
+            // deadline fires), while everyone else keeps flowing.
             let factory_shared = Arc::clone(&shared);
-            let factory: HandlerFactory = Arc::new(move || -> Handler {
-                let shared = Arc::clone(&factory_shared);
-                let mut conn = ConnState::new(&shared);
-                Box::new(move |payload, wbuf| handle_frame(&shared, payload, wbuf, &mut conn))
+            let factory: FrameFactory = Arc::new(move || {
+                Box::new(MuxHandler::new(Arc::clone(&factory_shared))) as Box<dyn FrameHandler>
+            });
+            let backend_shared = Arc::clone(&shared);
+            let backend: BackendFactory = Arc::new(move |poller| {
+                Box::new(RouterBackend::new(Arc::clone(&backend_shared), poller))
+                    as Box<dyn LoopBackend>
             });
             ReactorFront {
                 name: "delta-router",
@@ -361,6 +412,7 @@ fn accept_loop(listener: TcpListener, shared: Arc<RouterShared>, shutdown: Arc<A
                 rtel: ReactorTelemetry::register(&shared.telemetry),
                 stall_limit: shared.stall_limit,
                 factory,
+                backend: Some(backend),
             }
             .run(listener);
         }
@@ -664,7 +716,12 @@ fn handle_request(
             }
             Ok(Response::HelloOk(router_info(shared)))
         }
-        Request::Reshard { shard, to_node } => Ok(do_reshard(shared, conn, shard, to_node)),
+        // The threaded front needs no quiesce: its lockstep links hold
+        // the route read lock for each request end to end, so the
+        // write lock below already waits out every in-flight op.
+        Request::Reshard { shard, to_node } => {
+            Ok(do_reshard(shared, conn, shard, to_node, |_, _| {}))
+        }
         Request::Stats => handle_stats(shared, conn),
         Request::Telemetry => handle_telemetry(shared, conn),
         Request::Shutdown => {
@@ -706,65 +763,11 @@ fn route_items(
     conn: &mut ConnState,
     items: Vec<BatchItem>,
 ) -> io::Result<Vec<BatchReply>> {
-    struct QueryAcc {
-        sent: u16,
-        local: u16,
-        shipped: u16,
-    }
     // The read lock pins the routing map for the whole request: a
     // concurrent reshard waits, so a request never straddles two epochs.
     let route = shared.route.read().expect("route lock");
-    let mut replies: Vec<Option<BatchReply>> = Vec::with_capacity(items.len());
-    replies.resize_with(items.len(), || None);
-    let mut accs: Vec<Option<QueryAcc>> = Vec::with_capacity(items.len());
-    accs.resize_with(items.len(), || None);
-    let mut plans: Vec<NodePlan> = (0..shared.nodes.len())
-        .map(|_| NodePlan::default())
-        .collect();
-
-    for (i, item) in items.into_iter().enumerate() {
-        match item {
-            BatchItem::Query(q) => {
-                if let Some(&bad) = q.objects.iter().find(|o| o.index() >= shared.catalog.len()) {
-                    replies[i] = Some(BatchReply::Error {
-                        code: error_code::UNKNOWN_OBJECT,
-                        message: format!("object {bad} is outside the catalog"),
-                    });
-                    continue;
-                }
-                let subs = shared.map.split_query(&q, &shared.catalog);
-                accs[i] = Some(QueryAcc {
-                    sent: subs.len() as u16,
-                    local: 0,
-                    shipped: 0,
-                });
-                for (s, sub) in subs {
-                    let plan = &mut plans[route.owner[s] as usize];
-                    plan.ops.push(NodeOp {
-                        shard: s as u16,
-                        item: BatchItem::Query(sub),
-                    });
-                    plan.items.push(i);
-                }
-            }
-            BatchItem::Update(u) => {
-                if u.object.index() >= shared.catalog.len() {
-                    replies[i] = Some(BatchReply::Error {
-                        code: error_code::UNKNOWN_OBJECT,
-                        message: format!("object {} is outside the catalog", u.object),
-                    });
-                    continue;
-                }
-                let (s, local) = shared.map.split_update(&u);
-                let plan = &mut plans[route.owner[s] as usize];
-                plan.ops.push(NodeOp {
-                    shard: s as u16,
-                    item: BatchItem::Update(local),
-                });
-                plan.items.push(i);
-            }
-        }
-    }
+    let mut merge = MergeState::new(items.len());
+    let plans = split_plans(shared, &route.owner, items, &mut merge);
 
     for (node, plan) in plans.iter().enumerate() {
         if plan.ops.is_empty() {
@@ -779,63 +782,69 @@ fn route_items(
             )));
         }
         for (reply, &item) in node_replies.into_iter().zip(&plan.items) {
-            match reply {
-                BatchReply::Query {
-                    local_answers,
-                    shipped,
-                    ..
-                } => {
-                    let acc = accs[item].as_mut().expect("query reply for non-query item");
-                    acc.local += local_answers;
-                    acc.shipped += shipped;
-                }
-                BatchReply::Update { shard, version } => {
-                    replies[item] = Some(BatchReply::Update { shard, version });
-                }
-                // An error (contract violation) poisons its item only,
-                // taking precedence over sub-queries other nodes served
-                // — identical to the in-process batch semantics.
-                BatchReply::Error { code, message } => {
-                    replies[item] = Some(BatchReply::Error { code, message });
-                }
-            }
+            merge.absorb(reply, item)?;
         }
     }
 
-    Ok(replies
-        .into_iter()
-        .zip(accs)
-        .map(|(reply, acc)| match (reply, acc) {
-            (Some(r), _) => r,
-            (None, Some(acc)) => BatchReply::Query {
-                shards_touched: acc.sent,
-                local_answers: acc.local,
-                shipped: acc.shipped,
-            },
-            (None, None) => BatchReply::Error {
-                code: error_code::BAD_FRAME,
-                message: "item produced no outcome".to_string(),
-            },
-        })
-        .collect())
+    Ok(merge.finish())
 }
 
-/// Converts a single-item routed reply back into the lockstep response
-/// shape (`QueryOk`/`UpdateOk`/`Error`, or `SqlOk` upstream).
-fn single_reply(reply: BatchReply) -> Response {
-    match reply {
-        BatchReply::Query {
-            shards_touched,
-            local_answers,
-            shipped,
-        } => Response::QueryOk {
-            shards_touched,
-            local_answers,
-            shipped,
-        },
-        BatchReply::Update { shard, version } => Response::UpdateOk { shard, version },
-        BatchReply::Error { code, message } => Response::Error { code, message },
+/// Splits `items` over the cluster partitioner into one [`NodePlan`]
+/// per node (client order preserved within each node, hence per shard),
+/// pre-resolving invalid items straight into `merge` — the split half
+/// of the routing path, shared verbatim by the threaded lockstep links
+/// and the reactor mux so the two data planes cannot drift.
+fn split_plans(
+    shared: &RouterShared,
+    owner: &[u16],
+    items: Vec<BatchItem>,
+    merge: &mut MergeState,
+) -> Vec<NodePlan> {
+    let mut plans: Vec<NodePlan> = (0..shared.nodes.len())
+        .map(|_| NodePlan::default())
+        .collect();
+    for (i, item) in items.into_iter().enumerate() {
+        match item {
+            BatchItem::Query(q) => {
+                if let Some(&bad) = q.objects.iter().find(|o| o.index() >= shared.catalog.len()) {
+                    merge.poison(
+                        i,
+                        error_code::UNKNOWN_OBJECT,
+                        format!("object {bad} is outside the catalog"),
+                    );
+                    continue;
+                }
+                let subs = shared.map.split_query(&q, &shared.catalog);
+                merge.expect_query(i, subs.len() as u16);
+                for (s, sub) in subs {
+                    let plan = &mut plans[owner[s] as usize];
+                    plan.ops.push(NodeOp {
+                        shard: s as u16,
+                        item: BatchItem::Query(sub),
+                    });
+                    plan.items.push(i);
+                }
+            }
+            BatchItem::Update(u) => {
+                if u.object.index() >= shared.catalog.len() {
+                    merge.poison(
+                        i,
+                        error_code::UNKNOWN_OBJECT,
+                        format!("object {} is outside the catalog", u.object),
+                    );
+                    continue;
+                }
+                let (s, local) = shared.map.split_update(&u);
+                let plan = &mut plans[owner[s] as usize];
+                plan.ops.push(NodeOp {
+                    shard: s as u16,
+                    item: BatchItem::Update(local),
+                });
+                plan.items.push(i);
+            }
+        }
     }
+    plans
 }
 
 fn handle_sql(
@@ -934,8 +943,18 @@ fn router_info(shared: &RouterShared) -> NodeInfo {
 }
 
 /// The live-resharding coordinator. Runs under the routing write lock,
-/// so every client handler is quiesced between epochs.
-fn do_reshard(shared: &RouterShared, conn: &mut ConnState, shard: u16, to_node: u16) -> Response {
+/// so every client handler is quiesced between epochs. `quiesce` runs
+/// right after the lock is taken, with the (still-current) epoch and
+/// owner map: the reactor mux uses it to drain its in-flight node
+/// sub-requests — which do NOT hold the read lock while suspended —
+/// before any shard moves; the threaded front passes a no-op.
+fn do_reshard(
+    shared: &RouterShared,
+    conn: &mut ConnState,
+    shard: u16,
+    to_node: u16,
+    quiesce: impl FnOnce(u64, &[u16]),
+) -> Response {
     let fail = |message: String| Response::Error {
         code: error_code::RESHARD_FAILED,
         message,
@@ -958,6 +977,7 @@ fn do_reshard(shared: &RouterShared, conn: &mut ConnState, shard: u16, to_node: 
         // Nothing to move; the current epoch already describes it.
         return Response::ReshardOk { epoch: route.epoch };
     }
+    quiesce(route.epoch, &route.owner);
     // The admin verbs are deliberately exempt from epoch fencing, so the
     // existing links work across the transition.
     let admin = |conn: &mut ConnState, node: u16, req: &Request| -> io::Result<Response> {
@@ -1045,4 +1065,962 @@ fn do_reshard(shared: &RouterShared, conn: &mut ConnState, shard: u16, to_node: 
     route.epoch = epoch;
     shared.telemetry.gauge("router.epoch").set(epoch);
     Response::ReshardOk { epoch }
+}
+
+// ---------------------------------------------------------------------------
+// The reactor data plane: shared multiplexed node links.
+//
+// The threaded front above gives every client connection its own
+// lockstep link per node — O(clients × nodes) sockets, one round trip
+// in flight apiece. The reactor front replaces all of that with ONE
+// pipelined link per node per event loop, driven by the loop itself:
+//
+//   client frame → MuxHandler splits it under the route read lock,
+//   opens a fan-out in the loop's FanoutTable, and appends one
+//   `Tagged(NodeOps)` sub-request per touched node to that node's
+//   shared write buffer (correlation ids from the link's Correlator).
+//   The handler SUSPENDS — the loop moves on; nothing blocks.
+//
+//   loop flush → each link's coalesced buffer hits its socket once per
+//   pump, so sub-requests from many client connections ride one write.
+//
+//   link readable → tagged replies demultiplex by correlation id back
+//   to their fan-outs; the last reply completes the merge, and the
+//   owning connection RESUMES with the response in arrival order.
+//
+// Node deadlines ride the backend's own timer wheel: a node that stays
+// silent past `node_timeout` fails every fan-out waiting on it with a
+// typed `NODE_UNAVAILABLE`, and its link dies. Reconnection is a single
+// backoff-gated probe per link — shared by every client — so one dead
+// node costs one connect attempt per backoff window, not one per
+// client request.
+
+/// First reconnect delay after a link death; doubles per failed probe.
+const INITIAL_BACKOFF: Duration = Duration::from_millis(50);
+
+/// Reconnect probes never back off past this.
+const MAX_BACKOFF: Duration = Duration::from_secs(1);
+
+/// Bounded connect probe: the event loop parks at most this long on a
+/// dead node's reconnect attempt, at most once per backoff window.
+const CONNECT_TIMEOUT: Duration = Duration::from_millis(250);
+
+/// Suspended response slots per connection before the front stops
+/// reading more of its frames (handler saturation backpressure).
+const MAX_PENDING_SLOTS: usize = 128;
+
+/// Reads per link per readiness event — the fairness bound that keeps
+/// one firehose node from starving the loop (level-triggered epoll
+/// re-notifies whatever is left).
+const LINK_READS_PER_EVENT: usize = 16;
+
+/// One response slot of a client connection, in request-arrival order.
+enum Slot {
+    /// Response (or fatal error) ready to ship.
+    Ready(io::Result<Response>),
+    /// Waiting on the fan-out with this key.
+    Waiting(usize),
+}
+
+/// The per-connection frame handler of the reactor data plane: splits
+/// routed requests into fan-outs on the loop's [`RouterBackend`] and
+/// keeps responses in arrival order across suspensions.
+struct MuxHandler {
+    shared: Arc<RouterShared>,
+    /// Lockstep per-connection links for the rare admin verbs (`Stats`,
+    /// `Telemetry`, `Shutdown`, reshard coordination), which block the
+    /// loop briefly — exactly like the pre-mux reactor did for every
+    /// request. The SQL compiler clone also lives here.
+    admin: ConnState,
+    /// Pending responses; the longest all-`Ready` prefix is emitted
+    /// after every frame and every resume.
+    slots: VecDeque<Slot>,
+}
+
+impl MuxHandler {
+    fn new(shared: Arc<RouterShared>) -> MuxHandler {
+        MuxHandler {
+            admin: ConnState::new(&shared),
+            slots: VecDeque::new(),
+            shared,
+        }
+    }
+
+    /// Ships the longest `Ready` prefix of `slots` into the write
+    /// buffer. A `Ready(Err)` propagates only once everything earned
+    /// before it is appended — the front flushes those before dropping
+    /// the connection.
+    fn emit(&mut self, wbuf: &mut Vec<u8>) -> io::Result<bool> {
+        let mut close = false;
+        while matches!(self.slots.front(), Some(Slot::Ready(_))) {
+            let Some(Slot::Ready(result)) = self.slots.pop_front() else {
+                unreachable!("front was Ready");
+            };
+            let response = result?;
+            append_frame_with(wbuf, |buf| response.encode_into(buf))?;
+            close |= matches!(&response, Response::ShutdownOk)
+                || matches!(&response, Response::Tagged { inner, .. }
+                    if matches!(**inner, Response::ShutdownOk));
+        }
+        Ok(close)
+    }
+
+    /// Resolves the waiting slot of `fanout` with its completed result.
+    fn resolve(&mut self, fanout: usize, result: io::Result<Response>) {
+        for slot in self.slots.iter_mut() {
+            if let Slot::Waiting(f) = slot {
+                if *f == fanout {
+                    *slot = Slot::Ready(result);
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Splits a routed request and opens its fan-out on the backend.
+    /// The route read lock is held only across the split — never across
+    /// a suspension — so a `Reshard` can take the write lock while
+    /// sub-requests are in flight (it quiesces them via the backend).
+    fn begin_routed(
+        &mut self,
+        key: usize,
+        corr: Option<u64>,
+        kind: ReplyKind,
+        items: Vec<BatchItem>,
+        backend: &mut dyn LoopBackend,
+    ) {
+        let mut merge = MergeState::new(items.len());
+        let (epoch, plans) = {
+            let route = self.shared.route.read().expect("route lock");
+            (
+                route.epoch,
+                split_plans(&self.shared, &route.owner, items, &mut merge),
+            )
+        };
+        if plans.iter().all(|p| p.ops.is_empty()) {
+            // Every item resolved at the router (invalid objects, empty
+            // batch): no node involved, answer synchronously.
+            self.slots.push_back(Slot::Ready(Ok(wrap_corr(
+                corr,
+                shape_response(&kind, merge),
+            ))));
+            return;
+        }
+        let fanout = router_backend(backend).begin_fanout(key, corr, kind, merge, plans, epoch);
+        self.slots.push_back(Slot::Waiting(fanout));
+    }
+
+    /// Compiles SQL at the router, then routes the compiled query like
+    /// any other — the mux twin of [`handle_sql`].
+    fn begin_sql(
+        &mut self,
+        key: usize,
+        corr: Option<u64>,
+        seq: u64,
+        sql: &str,
+        backend: &mut dyn LoopBackend,
+    ) {
+        let Some(compiler) = self.admin.compiler.as_ref() else {
+            self.slots.push_back(Slot::Ready(Ok(wrap_corr(
+                corr,
+                Response::Error {
+                    code: error_code::SQL_UNAVAILABLE,
+                    message: "router has no SQL frontend (start it from a workload preset)"
+                        .to_string(),
+                },
+            ))));
+            return;
+        };
+        let compiled = match compiler.compile(sql) {
+            Ok(c) => c,
+            Err(QueryError::Parse(e)) => {
+                let span = e.span();
+                self.slots.push_back(Slot::Ready(Ok(wrap_corr(
+                    corr,
+                    Response::SqlRejected {
+                        stage: SqlStage::Parse,
+                        span_start: span.start as u32,
+                        span_end: span.end as u32,
+                        message: e.to_string(),
+                    },
+                ))));
+                return;
+            }
+            Err(QueryError::Analyze(e)) => {
+                self.slots.push_back(Slot::Ready(Ok(wrap_corr(
+                    corr,
+                    Response::SqlRejected {
+                        stage: SqlStage::Analyze,
+                        span_start: 0,
+                        span_end: 0,
+                        message: e.to_string(),
+                    },
+                ))));
+                return;
+            }
+        };
+        let objects = compiled.objects.len() as u32;
+        let event = compiled.into_event(seq);
+        let kind = ReplyKind::Sql {
+            objects,
+            result_bytes: event.result_bytes,
+            tolerance: event.tolerance,
+            kind: event.kind,
+        };
+        self.begin_routed(key, corr, kind, vec![BatchItem::Query(event)], backend);
+    }
+}
+
+impl FrameHandler for MuxHandler {
+    fn on_frame(
+        &mut self,
+        key: usize,
+        payload: &[u8],
+        wbuf: &mut Vec<u8>,
+        backend: &mut dyn LoopBackend,
+    ) -> io::Result<bool> {
+        let (corr, request) = match Request::decode(payload) {
+            Ok(Request::Tagged { corr, inner }) => (Some(corr), *inner),
+            Ok(other) => (None, other),
+            Err(e) => {
+                self.slots.push_back(Slot::Ready(Ok(Response::Error {
+                    code: error_code::BAD_FRAME,
+                    message: e.to_string(),
+                })));
+                return self.emit(wbuf);
+            }
+        };
+        match request {
+            Request::Query(q) => self.begin_routed(
+                key,
+                corr,
+                ReplyKind::Single,
+                vec![BatchItem::Query(q)],
+                backend,
+            ),
+            Request::Update(u) => self.begin_routed(
+                key,
+                corr,
+                ReplyKind::Single,
+                vec![BatchItem::Update(u)],
+                backend,
+            ),
+            Request::Batch(items) => self.begin_routed(key, corr, ReplyKind::Batch, items, backend),
+            Request::Sql { seq, sql } => self.begin_sql(key, corr, seq, &sql, backend),
+            Request::Reshard { shard, to_node } => {
+                // The coordinator must not run with sub-requests parked
+                // in link correlators (a sub landing between detach and
+                // the epoch bump would hit a missing shard); quiesce
+                // through this loop's backend first.
+                let rb = router_backend(backend);
+                let response = do_reshard(
+                    &self.shared,
+                    &mut self.admin,
+                    shard,
+                    to_node,
+                    |epoch, owner| rb.quiesce(epoch, owner),
+                );
+                self.slots
+                    .push_back(Slot::Ready(Ok(wrap_corr(corr, response))));
+            }
+            other => {
+                let result = routed_response(&self.shared, other, &mut self.admin)
+                    .map(|response| wrap_corr(corr, response));
+                self.slots.push_back(Slot::Ready(result));
+            }
+        }
+        self.emit(wbuf)
+    }
+
+    fn on_resume(
+        &mut self,
+        key: usize,
+        wbuf: &mut Vec<u8>,
+        backend: &mut dyn LoopBackend,
+    ) -> io::Result<bool> {
+        for (fanout, result) in router_backend(backend).take_done(key) {
+            self.resolve(fanout, result);
+        }
+        self.emit(wbuf)
+    }
+
+    fn suspended(&self) -> bool {
+        // Ready prefixes are emitted eagerly, so any slot left means the
+        // front one is (or sits behind) a suspended fan-out.
+        !self.slots.is_empty()
+    }
+
+    fn saturated(&self) -> bool {
+        self.slots.len() >= MAX_PENDING_SLOTS
+    }
+}
+
+/// Downcasts the loop backend the front handed us — the router's
+/// reactor always pairs [`MuxHandler`] with [`RouterBackend`].
+fn router_backend(backend: &mut dyn LoopBackend) -> &mut RouterBackend {
+    backend
+        .as_any()
+        .downcast_mut::<RouterBackend>()
+        .expect("router reactor runs a RouterBackend")
+}
+
+/// Socket state of one shared node link.
+enum LinkState {
+    /// No socket; the next enqueue past `retry_at` probes a reconnect.
+    Down {
+        retry_at: Instant,
+        last_error: String,
+    },
+    /// Live socket registered with the loop's poller.
+    Up(LinkIo),
+}
+
+/// Buffers of a live link, mirroring a client connection's discipline:
+/// flat read buffer with compaction, coalesced write buffer with a
+/// parked-flush position.
+struct LinkIo {
+    stream: TcpStream,
+    rbuf: Vec<u8>,
+    start: usize,
+    end: usize,
+    wbuf: Vec<u8>,
+    wpos: usize,
+    /// Whether write interest is currently armed with the poller.
+    write_armed: bool,
+}
+
+/// One shared, multiplexed, pipelined link to a node: every client
+/// connection's sub-requests for that node ride this socket, matched
+/// back by correlation id.
+struct NodeLink {
+    state: LinkState,
+    /// What each in-flight correlation id is waiting for.
+    pending: Correlator<Purpose>,
+    /// Epoch the link last declared via a pipelined `Hello`;
+    /// `u64::MAX` forces a fresh handshake before the next sub.
+    declared_epoch: u64,
+    /// Next reconnect delay; doubles per failure, resets on any reply.
+    backoff: Duration,
+    /// Frames appended since the last flush, for the coalescing
+    /// histogram.
+    frames_since_flush: u64,
+}
+
+impl NodeLink {
+    fn new(now: Instant) -> NodeLink {
+        NodeLink {
+            state: LinkState::Down {
+                retry_at: now,
+                last_error: "never connected".to_string(),
+            },
+            pending: Correlator::new(),
+            declared_epoch: u64::MAX,
+            backoff: INITIAL_BACKOFF,
+            frames_since_flush: 0,
+        }
+    }
+}
+
+/// Connects to a node with a bounded timeout and readies the socket for
+/// the event loop.
+fn connect_node(addr: &str) -> io::Result<TcpStream> {
+    let mut last = io::Error::new(
+        io::ErrorKind::AddrNotAvailable,
+        "address resolved to nothing",
+    );
+    for sa in addr.to_socket_addrs()? {
+        match TcpStream::connect_timeout(&sa, CONNECT_TIMEOUT) {
+            Ok(stream) => {
+                stream.set_nodelay(true)?;
+                stream.set_nonblocking(true)?;
+                return Ok(stream);
+            }
+            Err(e) => last = e,
+        }
+    }
+    Err(last)
+}
+
+/// One event loop's share of the router data plane: the shared node
+/// links, the fan-out table, the node-deadline wheel, and the completed
+/// fan-outs awaiting delivery to their connections.
+struct RouterBackend {
+    shared: Arc<RouterShared>,
+    poller: Arc<Poller>,
+    links: Vec<NodeLink>,
+    table: FanoutTable,
+    wheel: TimerWheel,
+    /// Scratch for wheel polls.
+    expired: Vec<usize>,
+    node_timeout: Duration,
+    /// Completed fan-outs per client connection key, delivered at the
+    /// next resume pass.
+    done: HashMap<usize, Vec<(usize, io::Result<Response>)>>,
+    /// Connection keys with pending completions.
+    resumable: Vec<usize>,
+    /// Set while `Reshard` holds the routing write lock on THIS thread:
+    /// the (epoch, owner) snapshot `bounce` must use instead of
+    /// re-taking the lock it would deadlock on.
+    route_hint: Option<(u64, Vec<u16>)>,
+}
+
+impl RouterBackend {
+    fn new(shared: Arc<RouterShared>, poller: Arc<Poller>) -> RouterBackend {
+        let now = Instant::now();
+        let n = shared.nodes.len();
+        let node_timeout = shared.node_timeout;
+        RouterBackend {
+            poller,
+            links: (0..n).map(|_| NodeLink::new(now)).collect(),
+            table: FanoutTable::new(n),
+            wheel: TimerWheel::new(POLL, 512, now),
+            expired: Vec::new(),
+            node_timeout,
+            done: HashMap::new(),
+            resumable: Vec::new(),
+            route_hint: None,
+            shared,
+        }
+    }
+
+    /// Takes the completed fan-outs owed to connection `conn`.
+    fn take_done(&mut self, conn: usize) -> Vec<(usize, io::Result<Response>)> {
+        self.done.remove(&conn).unwrap_or_default()
+    }
+
+    /// Stashes a completion for delivery and disarms its deadline.
+    fn push_completion(&mut self, done: Completion) {
+        if let Some(timer) = done.timer {
+            self.wheel.cancel(timer);
+        }
+        self.done
+            .entry(done.conn)
+            .or_default()
+            .push((done.fanout, done.result));
+        self.resumable.push(done.conn);
+    }
+
+    /// Opens a fan-out for client connection `key` and enqueues one
+    /// sub-request per touched node. Mirrors the threaded path's
+    /// failure shape: the first node that cannot be reached completes
+    /// the fan-out with a typed error and no later node is contacted
+    /// (earlier nodes' subs keep draining as stragglers).
+    fn begin_fanout(
+        &mut self,
+        key: usize,
+        corr: Option<u64>,
+        kind: ReplyKind,
+        merge: MergeState,
+        plans: Vec<NodePlan>,
+        epoch: u64,
+    ) -> usize {
+        let now = Instant::now();
+        let fanout = self.table.begin(key, corr, kind, merge);
+        for (node, plan) in plans.iter().enumerate() {
+            if !plan.ops.is_empty() {
+                self.table.register_sub(fanout, node);
+            }
+        }
+        let mut failed = false;
+        for (node, plan) in plans.into_iter().enumerate() {
+            if plan.ops.is_empty() {
+                continue;
+            }
+            if failed {
+                self.table.discount(fanout, node);
+                continue;
+            }
+            let entry = SubEntry {
+                fanout,
+                ops: plan.ops,
+                items: plan.items,
+                retries: 0,
+                sent_at: now,
+            };
+            if let Err((entry, detail)) = self.enqueue_sub(node, epoch, entry, now) {
+                failed = true;
+                if let Some(done) = self.table.fail_sub(&entry, node, &detail) {
+                    self.push_completion(done);
+                }
+            }
+        }
+        if self.table.is_live(fanout) && self.table.outstanding(fanout) > 0 {
+            let timer = self.wheel.insert(now + self.node_timeout, fanout);
+            self.table.set_timer(fanout, timer);
+        }
+        fanout
+    }
+
+    /// Appends one `Tagged(NodeOps)` sub-request to `node`'s shared
+    /// write buffer, connecting/handshaking the link first if needed.
+    /// On failure the entry comes back with the failure detail so the
+    /// caller can fail or retarget it.
+    fn enqueue_sub(
+        &mut self,
+        node: usize,
+        epoch: u64,
+        mut entry: SubEntry,
+        now: Instant,
+    ) -> Result<(), (SubEntry, String)> {
+        if let Err(detail) = self.ensure_up(node, epoch, now) {
+            return Err((entry, detail));
+        }
+        let link = &mut self.links[node];
+        let LinkState::Up(io) = &mut link.state else {
+            return Err((entry, "link lost between ensure and use".to_string()));
+        };
+        let corr = link.pending.next_id();
+        let ops = std::mem::take(&mut entry.ops);
+        let req = Request::NodeOps(ops);
+        let encoded = append_frame_with(&mut io.wbuf, |buf| {
+            encode_tagged_request_into(corr, &req, buf)
+        });
+        let Request::NodeOps(ops) = req else {
+            unreachable!("request shape is fixed");
+        };
+        entry.ops = ops;
+        if let Err(e) = encoded {
+            return Err((entry, format!("encode: {e}")));
+        }
+        link.frames_since_flush += 1;
+        link.pending.issue(Purpose::Sub(entry));
+        self.shared.inflight_subs.fetch_add(1, Ordering::SeqCst);
+        Ok(())
+    }
+
+    /// Brings `node`'s link up (one backoff-gated probe shared by every
+    /// client) and pipelines a `Hello` whenever its declared epoch is
+    /// stale — the socket's FIFO order lands the handshake at the node
+    /// ahead of the ops that rely on it.
+    fn ensure_up(&mut self, node: usize, epoch: u64, now: Instant) -> Result<(), String> {
+        let link = &mut self.links[node];
+        if let LinkState::Down {
+            retry_at,
+            last_error,
+        } = &link.state
+        {
+            if now < *retry_at {
+                return Err(format!("reconnect backoff after {last_error}"));
+            }
+            match connect_node(&self.shared.nodes[node]) {
+                Ok(stream) => {
+                    if let Err(e) = self
+                        .poller
+                        .add(&stream, BACKEND_TOKEN | node, Interest::READ)
+                    {
+                        let detail = format!("register: {e}");
+                        link.state = LinkState::Down {
+                            retry_at: now + link.backoff,
+                            last_error: detail.clone(),
+                        };
+                        link.backoff = (link.backoff * 2).min(MAX_BACKOFF);
+                        return Err(detail);
+                    }
+                    link.state = LinkState::Up(LinkIo {
+                        stream,
+                        rbuf: vec![0u8; READ_BUF],
+                        start: 0,
+                        end: 0,
+                        wbuf: Vec::with_capacity(16 * 1024),
+                        wpos: 0,
+                        write_armed: false,
+                    });
+                    link.declared_epoch = u64::MAX;
+                }
+                Err(e) => {
+                    let detail = format!("connect: {e}");
+                    link.state = LinkState::Down {
+                        retry_at: now + link.backoff,
+                        last_error: detail.clone(),
+                    };
+                    link.backoff = (link.backoff * 2).min(MAX_BACKOFF);
+                    return Err(detail);
+                }
+            }
+        }
+        let link = &mut self.links[node];
+        if link.declared_epoch != epoch {
+            let LinkState::Up(io) = &mut link.state else {
+                unreachable!("ensured up above");
+            };
+            let corr = link.pending.next_id();
+            let req = Request::Hello {
+                version: crate::protocol::PROTOCOL_VERSION,
+                epoch,
+            };
+            if let Err(e) = append_frame_with(&mut io.wbuf, |buf| {
+                encode_tagged_request_into(corr, &req, buf)
+            }) {
+                return Err(format!("encode hello: {e}"));
+            }
+            link.frames_since_flush += 1;
+            link.pending.issue(Purpose::Hello);
+            link.declared_epoch = epoch;
+        }
+        Ok(())
+    }
+
+    /// Tears `node`'s link down: every in-flight sub on it fails its
+    /// fan-out with a typed `NODE_UNAVAILABLE` (the owning client
+    /// connections all survive), and the next enqueue past the backoff
+    /// window probes a reconnect.
+    fn kill_link(&mut self, node: usize, detail: &str, now: Instant) {
+        let link = &mut self.links[node];
+        if let LinkState::Up(io) = &link.state {
+            let _ = self.poller.delete(&io.stream);
+        }
+        link.state = LinkState::Down {
+            retry_at: now + link.backoff,
+            last_error: detail.to_string(),
+        };
+        link.backoff = (link.backoff * 2).min(MAX_BACKOFF);
+        link.frames_since_flush = 0;
+        link.declared_epoch = u64::MAX;
+        let drained = link.pending.drain();
+        for (_corr, purpose) in drained {
+            let Purpose::Sub(entry) = purpose else {
+                continue;
+            };
+            self.shared.inflight_subs.fetch_sub(1, Ordering::SeqCst);
+            if let Some(done) = self.table.fail_sub(&entry, node, detail) {
+                self.push_completion(done);
+            }
+        }
+    }
+
+    /// Drains `node`'s socket and demultiplexes every complete reply.
+    /// A protocol violation (undecodable, untagged, unknown correlation
+    /// id) kills the link — typed errors for its fan-outs, never a
+    /// wrong answer.
+    fn read_link(&mut self, node: usize, now: Instant) {
+        let mut frames: Vec<Vec<u8>> = Vec::new();
+        let mut death: Option<String> = None;
+        {
+            let link = &mut self.links[node];
+            let LinkState::Up(io) = &mut link.state else {
+                return;
+            };
+            'reads: for _ in 0..LINK_READS_PER_EVENT {
+                prepare_read_buffer(&mut io.rbuf, &mut io.start, &mut io.end);
+                match io.stream.read(&mut io.rbuf[io.end..]) {
+                    Ok(0) => {
+                        death = Some("connection closed by node".to_string());
+                        break;
+                    }
+                    Ok(n) => {
+                        io.end += n;
+                        loop {
+                            match buffered_frame_len(&io.rbuf[io.start..io.end]) {
+                                Ok(Some(total)) => {
+                                    frames.push(io.rbuf[io.start + 4..io.start + total].to_vec());
+                                    io.start += total;
+                                }
+                                Ok(None) => break,
+                                Err(e) => {
+                                    death = Some(e.to_string());
+                                    break 'reads;
+                                }
+                            }
+                        }
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                    Err(e) => {
+                        death = Some(e.to_string());
+                        break;
+                    }
+                }
+            }
+        }
+        // Replies that arrived ahead of a failure are still good.
+        for payload in frames {
+            if let Err(detail) = self.demux(node, &payload, now) {
+                self.kill_link(node, &detail, now);
+                return;
+            }
+        }
+        if let Some(detail) = death {
+            self.kill_link(node, &format!("read: {detail}"), now);
+        }
+    }
+
+    /// Routes one tagged reply from `node` back to what its correlation
+    /// id was waiting for. `Err` means the link can no longer be
+    /// trusted and must die.
+    fn demux(&mut self, node: usize, payload: &[u8], now: Instant) -> Result<(), String> {
+        let response = Response::decode(payload).map_err(|e| format!("undecodable reply: {e}"))?;
+        let Response::Tagged { corr, inner } = response else {
+            return Err(format!(
+                "untagged reply on a multiplexed link: {response:?}"
+            ));
+        };
+        let Some(purpose) = self.links[node].pending.complete(corr) else {
+            return Err(format!("unknown or duplicate correlation id {corr}"));
+        };
+        // The node is alive and speaking protocol; future reconnects
+        // start from the shortest backoff again.
+        self.links[node].backoff = INITIAL_BACKOFF;
+        match purpose {
+            Purpose::Hello => match *inner {
+                Response::HelloOk(_) => Ok(()),
+                other => Err(format!("handshake failed: {other:?}")),
+            },
+            Purpose::Sub(entry) => {
+                self.shared.inflight_subs.fetch_sub(1, Ordering::SeqCst);
+                match *inner {
+                    Response::BatchOk(replies) => {
+                        self.shared.rt.fanout[node].record_duration(entry.sent_at.elapsed());
+                        if let Some(done) = self.table.absorb(&entry, node, replies) {
+                            self.push_completion(done);
+                        }
+                        Ok(())
+                    }
+                    Response::WrongEpoch { epoch: current } => {
+                        self.bounce(node, entry, current, now);
+                        Ok(())
+                    }
+                    Response::Error { code, message } => {
+                        let err = io::Error::other(format!("node {node} error {code}: {message}"));
+                        if let Some(done) = self.table.fatal_sub(&entry, node, err) {
+                            self.push_completion(done);
+                        }
+                        Ok(())
+                    }
+                    other => {
+                        let err =
+                            io::Error::other(format!("node {node}: unexpected response {other:?}"));
+                        if let Some(done) = self.table.fatal_sub(&entry, node, err) {
+                            self.push_completion(done);
+                        }
+                        Ok(())
+                    }
+                }
+            }
+        }
+    }
+
+    /// Handles a `WrongEpoch` redirect on a sub-request: re-splits its
+    /// ops by the CURRENT owner map and re-enqueues them (the reshard
+    /// that bounced us may have moved any of these shards anywhere),
+    /// with the same retry budget as the threaded path. The node
+    /// executed nothing on the stale epoch, so the retry is always
+    /// safe.
+    fn bounce(&mut self, node: usize, mut entry: SubEntry, current: u64, now: Instant) {
+        self.shared.rt.wrong_epoch_retries.inc();
+        let (epoch, owner) = match &self.route_hint {
+            Some((e, o)) => (*e, o.clone()),
+            None => {
+                let route = self.shared.route.read().expect("route lock");
+                (route.epoch, route.owner.clone())
+            }
+        };
+        if current > epoch {
+            let err = io::Error::other(format!(
+                "node {node} is at epoch {current}, ahead of the router's {epoch}"
+            ));
+            if let Some(done) = self.table.fatal_sub(&entry, node, err) {
+                self.push_completion(done);
+            }
+            return;
+        }
+        entry.retries += 1;
+        if entry.retries > EPOCH_RETRIES {
+            let err = io::Error::other(format!(
+                "node {node} kept redirecting after {EPOCH_RETRIES} epoch handshakes"
+            ));
+            if let Some(done) = self.table.fatal_sub(&entry, node, err) {
+                self.push_completion(done);
+            }
+            return;
+        }
+        if !self.table.is_live(entry.fanout) {
+            self.table.discount(entry.fanout, node);
+            return;
+        }
+        // The link's handshake went stale; the next enqueue pipelines a
+        // fresh Hello ahead of the re-sent ops.
+        self.links[node].declared_epoch = u64::MAX;
+        let SubEntry {
+            fanout,
+            ops,
+            items,
+            retries,
+            sent_at,
+        } = entry;
+        let mut groups: BTreeMap<usize, (Vec<NodeOp>, Vec<usize>)> = BTreeMap::new();
+        for (op, item) in ops.into_iter().zip(items) {
+            let to = owner[op.shard as usize] as usize;
+            let group = groups.entry(to).or_default();
+            group.0.push(op);
+            group.1.push(item);
+        }
+        let to_nodes: Vec<usize> = groups.keys().copied().collect();
+        self.table.retarget(fanout, node, &to_nodes);
+        for (to_node, (ops, items)) in groups {
+            if !self.table.is_live(fanout) {
+                self.table.discount(fanout, to_node);
+                continue;
+            }
+            let sub = SubEntry {
+                fanout,
+                ops,
+                items,
+                retries,
+                sent_at,
+            };
+            if let Err((sub, detail)) = self.enqueue_sub(to_node, epoch, sub, now) {
+                if let Some(done) = self.table.fail_sub(&sub, to_node, &detail) {
+                    self.push_completion(done);
+                }
+            }
+        }
+    }
+
+    /// Ships `node`'s coalesced write buffer as far as the socket
+    /// allows; a partial write parks the rest under write interest.
+    fn flush_link(&mut self, node: usize, now: Instant) {
+        let mut died: Option<String> = None;
+        {
+            let link = &mut self.links[node];
+            let LinkState::Up(io) = &mut link.state else {
+                return;
+            };
+            if link.frames_since_flush > 0 {
+                self.shared
+                    .rt
+                    .mux_frames_per_flush
+                    .record(link.frames_since_flush);
+                link.frames_since_flush = 0;
+            }
+            while io.wpos < io.wbuf.len() {
+                match io.stream.write(&io.wbuf[io.wpos..]) {
+                    Ok(0) => {
+                        died = Some("write returned zero".to_string());
+                        break;
+                    }
+                    Ok(n) => io.wpos += n,
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                    Err(e) => {
+                        died = Some(e.to_string());
+                        break;
+                    }
+                }
+            }
+            if died.is_none() {
+                if io.wpos > 0 && io.wpos == io.wbuf.len() {
+                    io.wbuf.clear();
+                    io.wpos = 0;
+                }
+                let want_write = io.wpos < io.wbuf.len();
+                if want_write != io.write_armed {
+                    let interest = Interest {
+                        readable: true,
+                        writable: want_write,
+                    };
+                    if self
+                        .poller
+                        .modify(&io.stream, BACKEND_TOKEN | node, interest)
+                        .is_ok()
+                    {
+                        io.write_armed = want_write;
+                    }
+                }
+            }
+        }
+        if let Some(detail) = died {
+            self.kill_link(node, &format!("write: {detail}"), now);
+        }
+    }
+
+    /// Fires node deadlines: a fan-out past `node_timeout` completes
+    /// with a typed error naming the silent nodes, whose links die (one
+    /// probe will cover every client when they come back).
+    fn fire_deadlines(&mut self, now: Instant) {
+        let mut expired = std::mem::take(&mut self.expired);
+        expired.clear();
+        self.wheel.poll(now, &mut expired);
+        for fanout in expired.drain(..) {
+            if let Some((done, owing)) = self.table.on_deadline(fanout, self.node_timeout) {
+                self.push_completion(done);
+                let detail = format!("no reply within {:?}", self.node_timeout);
+                for node in owing {
+                    self.kill_link(node, &detail, now);
+                }
+            }
+        }
+        self.expired = expired;
+    }
+
+    /// Drains every in-flight sub-request before a reshard moves a
+    /// shard, pumping this loop's own links inline (the routing write
+    /// lock is already held, which is also why `route_hint` carries the
+    /// map: re-taking the lock here would deadlock). Other event loops
+    /// keep draining on their own threads — the shared counter covers
+    /// the whole process. Bounded at 2× the node timeout: past that,
+    /// every fan-out on a wedged node has failed typed anyway.
+    fn quiesce(&mut self, epoch: u64, owner: &[u16]) {
+        let deadline = Instant::now() + self.node_timeout * 2;
+        self.route_hint = Some((epoch, owner.to_vec()));
+        while self.shared.inflight_subs.load(Ordering::SeqCst) > 0 {
+            let now = Instant::now();
+            if now >= deadline {
+                break;
+            }
+            for node in 0..self.links.len() {
+                self.flush_link(node, now);
+                self.read_link(node, now);
+            }
+            self.fire_deadlines(now);
+            if self.shared.inflight_subs.load(Ordering::SeqCst) == 0 {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        self.route_hint = None;
+    }
+}
+
+impl LoopBackend for RouterBackend {
+    fn as_any(&mut self) -> &mut dyn Any {
+        self
+    }
+
+    fn on_event(&mut self, token: usize, now: Instant) {
+        if token >= self.links.len() {
+            return;
+        }
+        self.flush_link(token, now);
+        self.read_link(token, now);
+    }
+
+    fn tick(&mut self, now: Instant) {
+        self.fire_deadlines(now);
+    }
+
+    fn take_resumable(&mut self) -> Vec<usize> {
+        std::mem::take(&mut self.resumable)
+    }
+
+    fn flush(&mut self, now: Instant) {
+        for node in 0..self.links.len() {
+            self.flush_link(node, now);
+        }
+        let mut inflight = 0u64;
+        for (node, link) in self.links.iter().enumerate() {
+            let depth = link.pending.in_flight() as u64;
+            self.shared.rt.node_queue[node].set(depth);
+            inflight += depth;
+        }
+        if inflight > 0 {
+            self.shared.rt.node_inflight.record(inflight);
+        }
+    }
+
+    fn conn_closed(&mut self, key: usize) {
+        self.done.remove(&key);
+        for timer in self.table.conn_closed(key) {
+            self.wheel.cancel(timer);
+        }
+    }
 }

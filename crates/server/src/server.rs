@@ -28,7 +28,7 @@
 use crate::config::FrontDoor;
 use crate::config::ServerConfig;
 use crate::connection::{serve_frames, WireTelemetry, POLL};
-use crate::front::{Handler, HandlerFactory, ReactorFront, ReactorTelemetry};
+use crate::front::{closure_factory, Handler, HandlerFactory, ReactorFront, ReactorTelemetry};
 use crate::partition::{apportion, Partitioner};
 use crate::protocol::{
     append_frame_with, error_code, BatchItem, BatchReply, NodeInfo, NodeOp, NodeRole, Request,
@@ -353,7 +353,8 @@ fn accept_loop(
                 wire: shared.wire.clone(),
                 rtel: ReactorTelemetry::register(&shared.telemetry),
                 stall_limit: shared.config.stall_limit,
-                factory,
+                factory: closure_factory(factory),
+                backend: None,
             }
             .run(listener);
         }
@@ -874,6 +875,15 @@ fn handle_batch(shared: &Shared, items: Vec<BatchItem>) -> Response {
 fn handle_node_ops(shared: &Shared, ops: Vec<NodeOp>) -> Response {
     if shared.config.cluster.is_none() {
         return not_clustered("NodeOps");
+    }
+    // Fault injection: park on the serving thread *before* any shard
+    // lock is taken, so only router traffic targeting this node pays
+    // the simulated link — other nodes' shards stay unaffected.
+    if let Some(link) = shared.config.chaos_link {
+        let bytes = ops.len() as u64 * std::mem::size_of::<NodeOp>() as u64;
+        std::thread::sleep(std::time::Duration::from_secs_f64(
+            link.transfer_secs(bytes),
+        ));
     }
     if let Some(op) = ops
         .iter()
