@@ -14,6 +14,7 @@
 //!               [--sql-preset small|paper | --no-sql]
 //!               [--snapshot-dir DIR]
 //!               [--node-id I --nodes N [--host-shards a,b,c]]
+//!               [--replicas R --peers addr0,addr1,... [--backup-of a,b,c]]
 //!               [--front reactor|threaded] [--reactor-threads N]
 //!               [--stall-limit-ms MS]
 //!               [--telemetry-dump PATH [--telemetry-interval SECS]]
@@ -40,6 +41,13 @@
 //! cluster must be started with the same shards/partitioner/cache/
 //! policy/seed and the same catalog source.
 //!
+//! With `--replicas R --peers addr0,addr1,...` each hosted shard is
+//! additionally replicated to the node's `R` successors in node-id
+//! order (`--peers` lists every node's client address, index = node
+//! id). Acknowledged writes survive a node's death: the router detects
+//! the failure and promotes the most-caught-up backup. `--backup-of`
+//! optionally restricts which shards this node will accept as backups.
+//!
 //! When the catalog comes from a preset, the daemon also builds the SQL
 //! frontend from the same preset (schema, sky model, spatial partition),
 //! so clients can send raw SQL in `Sql` frames; `--no-sql` opts out.
@@ -52,7 +60,8 @@
 //! final per-shard statistics table.
 
 use delta_server::{
-    ClusterConfig, FrontDoor, PartitionerKind, PolicyKind, Server, ServerConfig, Telemetry,
+    ClusterConfig, FrontDoor, PartitionerKind, PolicyKind, ReplicationConfig, Server, ServerConfig,
+    Telemetry,
 };
 use delta_storage::ObjectCatalog;
 use delta_workload::WorkloadConfig;
@@ -94,6 +103,9 @@ struct Args {
     node_id: Option<u16>,
     nodes: Option<u16>,
     host_shards: Option<Vec<u16>>,
+    replicas: u16,
+    peers: Option<Vec<String>>,
+    backup_of: Option<Vec<u16>>,
     telemetry_dump: Option<std::path::PathBuf>,
     telemetry_interval: u64,
     reactor_threads: usize,
@@ -107,6 +119,7 @@ fn usage() -> ! {
          [--trace FILE | --preset small|paper] \
          [--sql-preset small|paper | --no-sql] [--snapshot-dir DIR] \
          [--node-id I --nodes N [--host-shards a,b,c]] \
+         [--replicas R --peers addr0,addr1,... [--backup-of a,b,c]] \
          [--front reactor|threaded] [--reactor-threads N] [--stall-limit-ms MS] \
          [--chaos-node-latency-ms MS] \
          [--telemetry-dump PATH [--telemetry-interval SECS]]"
@@ -125,6 +138,9 @@ fn parse_args() -> Args {
         node_id: None,
         nodes: None,
         host_shards: None,
+        replicas: 0,
+        peers: None,
+        backup_of: None,
         telemetry_dump: None,
         telemetry_interval: 1,
         reactor_threads: 0,
@@ -171,6 +187,23 @@ fn parse_args() -> Args {
             "--nodes" => args.nodes = Some(value(&argv, i).parse().unwrap_or_else(|_| usage())),
             "--host-shards" => {
                 args.host_shards = Some(
+                    value(&argv, i)
+                        .split(',')
+                        .map(|s| s.trim().parse().unwrap_or_else(|_| usage()))
+                        .collect(),
+                )
+            }
+            "--replicas" => args.replicas = value(&argv, i).parse().unwrap_or_else(|_| usage()),
+            "--peers" => {
+                args.peers = Some(
+                    value(&argv, i)
+                        .split(',')
+                        .map(|s| s.trim().to_string())
+                        .collect(),
+                )
+            }
+            "--backup-of" => {
+                args.backup_of = Some(
                     value(&argv, i)
                         .split(',')
                         .map(|s| s.trim().parse().unwrap_or_else(|_| usage()))
@@ -287,6 +320,13 @@ fn main() {
             exit(2);
         }
     }
+    if args.replicas > 0 || args.peers.is_some() || args.backup_of.is_some() {
+        args.config.replication = Some(ReplicationConfig {
+            replicas: args.replicas,
+            peers: args.peers.clone().unwrap_or_default(),
+            backup_of: args.backup_of.clone(),
+        });
+    }
 
     // SQL frontend: from --sql-preset when given, otherwise from the
     // preset the catalog itself came from (trace-served catalogs have no
@@ -328,6 +368,12 @@ fn main() {
         println!(
             "  cluster node {}/{} hosting shards {:?}",
             cluster.node, cluster.nodes, cluster.hosted
+        );
+    }
+    if let Some(repl) = &args.config.replication {
+        println!(
+            "  replication: {} backup(s) per shard across peers {:?}",
+            repl.replicas, repl.peers
         );
     }
     if let Some(dir) = &args.config.snapshot_dir {

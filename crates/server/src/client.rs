@@ -109,6 +109,15 @@ impl DeltaClient {
         })
     }
 
+    /// Sets (or clears) the socket read/write timeout for subsequent
+    /// round trips — how long this client blocks on an unresponsive
+    /// peer before an `io::Error` surfaces (the replication pumps use
+    /// it to treat a wedged backup as down instead of stalling).
+    pub fn set_io_timeout(&mut self, timeout: Option<std::time::Duration>) -> io::Result<()> {
+        self.writer.set_write_timeout(timeout)?;
+        self.reader.get_ref().set_read_timeout(timeout)
+    }
+
     fn send(&mut self, request: &Request) -> io::Result<()> {
         self.wire.clear();
         append_frame_with(&mut self.wire, |buf| request.encode_into(buf))?;

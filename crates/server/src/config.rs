@@ -187,6 +187,29 @@ impl ClusterConfig {
     }
 }
 
+/// Primary/backup replication for a cluster node (`--replicas N`).
+///
+/// Backup placement follows the successor rule: node `i` ships every
+/// shard it hosts as a primary to nodes `(i+1) .. (i+replicas)` mod
+/// `nodes`, so every node knows its targets from the peer list alone —
+/// no placement negotiation. The peer list names every node's
+/// *client-facing* address in node-id order (replication rides the
+/// same port as everything else); entries for this node itself are
+/// carried but never dialed.
+#[derive(Clone, Debug)]
+pub struct ReplicationConfig {
+    /// Backups per shard. Zero disables replication entirely — the
+    /// exact pre-replication data path, byte for byte and branch for
+    /// branch.
+    pub replicas: u16,
+    /// Every node's address, indexed by node id.
+    pub peers: Vec<String>,
+    /// When set, only these global shards are accepted as backups on
+    /// this node (`--backup-of`); `None` accepts a backup of any shard
+    /// this node does not currently serve as primary.
+    pub backup_of: Option<Vec<u16>>,
+}
+
 /// Everything `delta-serverd` needs besides the object catalog.
 #[derive(Clone, Debug)]
 pub struct ServerConfig {
@@ -238,6 +261,9 @@ pub struct ServerConfig {
     /// router's data plane isolates the slowdown to the shards that
     /// node owns. `None` (the default) adds no work to the hot path.
     pub chaos_link: Option<delta_net::LinkModel>,
+    /// Primary/backup replication (`--replicas N`). Requires a cluster
+    /// role; `None` (the default) is the exact unreplicated data path.
+    pub replication: Option<ReplicationConfig>,
 }
 
 impl Default for ServerConfig {
@@ -255,6 +281,7 @@ impl Default for ServerConfig {
             front: FrontDoor::default(),
             stall_limit: crate::connection::STALL_LIMIT,
             chaos_link: None,
+            replication: None,
         }
     }
 }
@@ -294,6 +321,34 @@ impl ServerConfig {
                     return Err(format!("shard {s} hosted twice"));
                 }
                 seen[s as usize] = true;
+            }
+        }
+        if let Some(r) = &self.replication {
+            let Some(c) = &self.cluster else {
+                return Err("replication requires a cluster role".into());
+            };
+            if r.replicas >= c.nodes {
+                return Err(format!(
+                    "replicas {} must be fewer than the {} cluster nodes",
+                    r.replicas, c.nodes
+                ));
+            }
+            if r.replicas > 0 && r.peers.len() != c.nodes as usize {
+                return Err(format!(
+                    "peer list names {} nodes, cluster has {}",
+                    r.peers.len(),
+                    c.nodes
+                ));
+            }
+            if let Some(backup_of) = &r.backup_of {
+                for &s in backup_of {
+                    if (s as usize) >= self.n_shards {
+                        return Err(format!(
+                            "backup shard {s} out of range 0..{}",
+                            self.n_shards
+                        ));
+                    }
+                }
             }
         }
         Ok(())
@@ -357,6 +412,53 @@ mod tests {
             hosted: vec![9],
         });
         assert!(cfg.validate().is_err(), "hosted shard out of range");
+    }
+
+    #[test]
+    fn replication_validation() {
+        let mut cfg = ServerConfig {
+            cluster: Some(ClusterConfig {
+                node: 0,
+                nodes: 2,
+                hosted: vec![0, 2],
+            }),
+            ..ServerConfig::default()
+        };
+        cfg.replication = Some(ReplicationConfig {
+            replicas: 1,
+            peers: vec!["a:1".into(), "b:2".into()],
+            backup_of: None,
+        });
+        assert!(cfg.validate().is_ok());
+
+        cfg.replication = Some(ReplicationConfig {
+            replicas: 2,
+            peers: vec!["a:1".into(), "b:2".into()],
+            backup_of: None,
+        });
+        assert!(cfg.validate().is_err(), "replicas must be < nodes");
+
+        cfg.replication = Some(ReplicationConfig {
+            replicas: 1,
+            peers: vec!["a:1".into()],
+            backup_of: None,
+        });
+        assert!(cfg.validate().is_err(), "peer list must cover every node");
+
+        cfg.replication = Some(ReplicationConfig {
+            replicas: 1,
+            peers: vec!["a:1".into(), "b:2".into()],
+            backup_of: Some(vec![9]),
+        });
+        assert!(cfg.validate().is_err(), "backup shard out of range");
+
+        cfg.cluster = None;
+        cfg.replication = Some(ReplicationConfig {
+            replicas: 1,
+            peers: vec!["a:1".into(), "b:2".into()],
+            backup_of: None,
+        });
+        assert!(cfg.validate().is_err(), "replication requires a cluster");
     }
 
     #[test]

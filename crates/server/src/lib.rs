@@ -25,6 +25,11 @@
 //!   links: `Tagged`-envelope correlation ids, per-client fan-out
 //!   accounting and reply merging as a socket-free state machine, shared
 //!   between the reactor data plane and the pipelined client.
+//! * [`replication`] — primary/backup replication state: the per-shard
+//!   applied-event log a primary ships to its backups, acknowledged
+//!   offsets, and the wait that makes an acknowledged write survive the
+//!   primary's death; the router promotes the most-caught-up backup via
+//!   the same detach/attach/epoch machinery resharding uses.
 //! * [`shard`] — one lock-protected engine core per shard, each owning a
 //!   [`delta_core::CachingPolicy`] (VCover by default, pluggable), a
 //!   [`delta_storage::Repository`] slice and a cache, accounting into its
@@ -96,12 +101,13 @@ pub mod front;
 pub mod mux;
 pub mod partition;
 pub mod protocol;
+pub mod replication;
 pub mod router;
 pub mod server;
 pub mod shard;
 
 pub use client::{DeltaClient, PipelinedClient, QueryReply, SqlRejection, SqlReply, UpdateReply};
-pub use config::{ClusterConfig, FrontDoor, PolicyKind, ServerConfig};
+pub use config::{ClusterConfig, FrontDoor, PolicyKind, ReplicationConfig, ServerConfig};
 pub use connection::{buffered_frame_len, drop_cause, prepare_read_buffer, DropCause};
 pub use partition::{apportion, shard_trace, HashRing, Partitioner, PartitionerKind, RoundRobin};
 pub use protocol::{

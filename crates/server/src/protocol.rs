@@ -48,8 +48,18 @@ use std::io::{self, Read, Write};
 /// peer for its [`delta_telemetry::TelemetrySnapshot`] — wall-clock
 /// latency histograms and wire counters, strictly outside the
 /// deterministic engine state — and `TelemetryOk` carries it back;
-/// routers answer with the cluster-wide merge.
-pub const PROTOCOL_VERSION: u8 = 5;
+/// routers answer with the cluster-wide merge. Version 6 adds the
+/// replication vocabulary (pure additions): `Replicate` streams a
+/// suffix of a primary shard's applied event log to a backup (acked
+/// with the backup's new offset in `ReplicaOk`), `ReplicaBootstrap`
+/// (re)seeds a backup — empty state means "build a fresh twin and
+/// replay from offset zero", otherwise the blob is the same snapshot
+/// JSONL resharding ships — `ReplicaStatus`/`ReplicaStatusOk` report a
+/// node's backup shards and offsets, and `Promote`/`PromoteOk` turn a
+/// backup into a serving primary, fencing already-applied sequence
+/// numbers behind the typed `ALREADY_APPLIED` batch error so client
+/// retries across a failover are exactly-once per event.
+pub const PROTOCOL_VERSION: u8 = 6;
 
 /// Upper bound on a frame payload, to fail fast on corrupt length words.
 pub const MAX_FRAME_BYTES: u32 = 64 * 1024 * 1024;
@@ -67,7 +77,11 @@ const OP_ATTACH_SHARD: u8 = 0x0A;
 const OP_SET_EPOCH: u8 = 0x0B;
 const OP_RESHARD: u8 = 0x0C;
 const OP_TELEMETRY: u8 = 0x0D;
+const OP_REPLICATE: u8 = 0x0E;
+const OP_REPLICA_BOOTSTRAP: u8 = 0x0F;
 const OP_TAGGED: u8 = 0x10;
+const OP_REPLICA_STATUS: u8 = 0x11;
+const OP_PROMOTE: u8 = 0x12;
 const OP_QUERY_OK: u8 = 0x81;
 const OP_UPDATE_OK: u8 = 0x82;
 const OP_STATS_OK: u8 = 0x83;
@@ -81,7 +95,10 @@ const OP_ATTACH_OK: u8 = 0x8A;
 const OP_EPOCH_OK: u8 = 0x8B;
 const OP_RESHARD_OK: u8 = 0x8C;
 const OP_TELEMETRY_OK: u8 = 0x8D;
+const OP_REPLICA_OK: u8 = 0x8E;
+const OP_REPLICA_STATUS_OK: u8 = 0x8F;
 const OP_TAGGED_OK: u8 = 0x90;
+const OP_PROMOTE_OK: u8 = 0x92;
 const OP_WRONG_EPOCH: u8 = 0x91;
 const OP_ERROR: u8 = 0xFF;
 
@@ -162,6 +179,45 @@ pub enum Request {
         shard: u16,
         /// Index of the destination node.
         to_node: u16,
+    },
+    /// Primary→backup log shipping: apply `items` — the shard's
+    /// applied event log starting at `from_offset` (the count of events
+    /// the backup must already hold) — to the backup copy of `shard`.
+    /// Items are shard-local (objects already mapped by the cluster
+    /// partitioner), exactly as the primary applied them. A backup
+    /// whose offset does not match answers the typed `NOT_REPLICA`
+    /// error and the primary re-bootstraps it.
+    Replicate {
+        /// Global shard id being replicated.
+        shard: u16,
+        /// Applied-event offset of the first item (events the backup
+        /// holds before this frame).
+        from_offset: u64,
+        /// The applied events, in apply order.
+        items: Vec<BatchItem>,
+    },
+    /// (Re)seed a backup copy of `shard`. An empty `state` asks the
+    /// peer to build a fresh shard twin (policy init and all) and
+    /// replay the log from offset zero — the byte-identical lineage.
+    /// A non-empty `state` is snapshot JSONL (the same blob resharding
+    /// ships) for catch-up when the primary has truncated its log.
+    ReplicaBootstrap {
+        /// Global shard id to host a backup of.
+        shard: u16,
+        /// Serialized engine snapshot (JSONL bytes), or empty for a
+        /// fresh twin.
+        state: Vec<u8>,
+    },
+    /// Ask a node which backup shards it holds and how caught-up each
+    /// is — the router's input to the promotion decision.
+    ReplicaStatus,
+    /// Promote this node's backup copy of `shard` into a serving
+    /// primary. The promoted shard fences every sequence number it has
+    /// already applied (`ALREADY_APPLIED`), so a client retrying
+    /// through a failover can never double-apply an event.
+    Promote {
+        /// Global shard id to promote.
+        shard: u16,
     },
     /// Fetch the per-shard and aggregate statistics snapshot.
     Stats,
@@ -463,6 +519,28 @@ pub enum Response {
         /// The routing epoch currently in force at this node.
         epoch: u64,
     },
+    /// The backup applied a [`Request::Replicate`] suffix (or absorbed
+    /// a [`Request::ReplicaBootstrap`]); `offset` is the backup's new
+    /// applied-event count — the primary's acknowledged replication
+    /// offset for this shard.
+    ReplicaOk {
+        /// The replicated shard.
+        shard: u16,
+        /// Applied events the backup now holds.
+        offset: u64,
+    },
+    /// The node's backup shards and their applied-event offsets,
+    /// answering [`Request::ReplicaStatus`] (in shard order).
+    ReplicaStatusOk(Vec<(u16, u64)>),
+    /// The backup was promoted to a serving primary, answering
+    /// [`Request::Promote`]; `offset` is the event count it serves
+    /// from (every sequence number at or below its clock is fenced).
+    PromoteOk {
+        /// The promoted shard.
+        shard: u16,
+        /// Applied events at promotion.
+        offset: u64,
+    },
     /// The statistics snapshot.
     StatsOk(StatsSnapshot),
     /// The telemetry snapshot, answering [`Request::Telemetry`]: this
@@ -516,6 +594,16 @@ pub mod error_code {
     /// (connect or handshake failed, or the link died mid-request).
     /// Nothing was executed at that node; the client may retry.
     pub const NODE_UNAVAILABLE: u16 = 10;
+    /// A replication verb (`Replicate`, `Promote`) addressed a shard
+    /// this node holds no backup of, or a `Replicate` frame's
+    /// `from_offset` does not match the backup's applied-event count.
+    /// Nothing was applied; the primary re-bootstraps the backup.
+    pub const NOT_REPLICA: u16 = 11;
+    /// The event's sequence number is at or below the shard's
+    /// promotion fence: a previous primary already applied it before
+    /// failing over. The event was **not** re-executed; a retrying
+    /// client should count the item as done.
+    pub const ALREADY_APPLIED: u16 = 12;
 }
 
 // ---- primitive encoding helpers ----
@@ -950,6 +1038,40 @@ impl Request {
                 e.u16(*shard);
                 e.u16(*to_node);
             }
+            Request::Replicate {
+                shard,
+                from_offset,
+                items,
+            } => {
+                let mut e = Enc::new(buf, OP_REPLICATE);
+                e.u16(*shard);
+                e.u64(*from_offset);
+                e.u32(u32::try_from(items.len()).expect("replicate exceeds u32::MAX items"));
+                for item in items {
+                    match item {
+                        BatchItem::Query(q) => {
+                            e.u8(0);
+                            enc_query_event(&mut e, q);
+                        }
+                        BatchItem::Update(u) => {
+                            e.u8(1);
+                            enc_update_event(&mut e, u);
+                        }
+                    }
+                }
+            }
+            Request::ReplicaBootstrap { shard, state } => {
+                let mut e = Enc::new(buf, OP_REPLICA_BOOTSTRAP);
+                e.u16(*shard);
+                e.blob(state);
+            }
+            Request::ReplicaStatus => {
+                Enc::new(buf, OP_REPLICA_STATUS);
+            }
+            Request::Promote { shard } => {
+                let mut e = Enc::new(buf, OP_PROMOTE);
+                e.u16(*shard);
+            }
             Request::Stats => {
                 Enc::new(buf, OP_STATS);
             }
@@ -1037,6 +1159,35 @@ impl Request {
                 shard: d.u16()?,
                 to_node: d.u16()?,
             },
+            OP_REPLICATE => {
+                let shard = d.u16()?;
+                let from_offset = d.u64()?;
+                let n = d.u32()? as usize;
+                // Validate the count against the bytes actually present
+                // before allocating — the count is attacker-controlled.
+                if n > d.remaining() / MIN_BATCH_ITEM_BYTES {
+                    return Err(bad("replicate item count exceeds frame payload"));
+                }
+                let mut items = Vec::with_capacity(n);
+                for _ in 0..n {
+                    items.push(match d.u8()? {
+                        0 => BatchItem::Query(dec_query_event(d)?),
+                        1 => BatchItem::Update(dec_update_event(d)?),
+                        _ => return Err(bad("unknown replicate item tag")),
+                    });
+                }
+                Request::Replicate {
+                    shard,
+                    from_offset,
+                    items,
+                }
+            }
+            OP_REPLICA_BOOTSTRAP => Request::ReplicaBootstrap {
+                shard: d.u16()?,
+                state: d.blob()?,
+            },
+            OP_REPLICA_STATUS => Request::ReplicaStatus,
+            OP_PROMOTE => Request::Promote { shard: d.u16()? },
             OP_STATS => Request::Stats,
             OP_TELEMETRY => Request::Telemetry,
             OP_SHUTDOWN => Request::Shutdown,
@@ -1203,6 +1354,24 @@ impl Response {
                 let mut e = Enc::new(buf, OP_WRONG_EPOCH);
                 e.u64(*epoch);
             }
+            Response::ReplicaOk { shard, offset } => {
+                let mut e = Enc::new(buf, OP_REPLICA_OK);
+                e.u16(*shard);
+                e.u64(*offset);
+            }
+            Response::ReplicaStatusOk(entries) => {
+                let mut e = Enc::new(buf, OP_REPLICA_STATUS_OK);
+                e.u16(u16::try_from(entries.len()).expect("replica status list exceeds u16"));
+                for &(shard, offset) in entries {
+                    e.u16(shard);
+                    e.u64(offset);
+                }
+            }
+            Response::PromoteOk { shard, offset } => {
+                let mut e = Enc::new(buf, OP_PROMOTE_OK);
+                e.u16(*shard);
+                e.u64(*offset);
+            }
             Response::StatsOk(snapshot) => {
                 let mut e = Enc::new(buf, OP_STATS_OK);
                 e.u16(snapshot.shards.len() as u16);
@@ -1346,6 +1515,26 @@ impl Response {
             OP_EPOCH_OK => Response::EpochOk { epoch: d.u64()? },
             OP_RESHARD_OK => Response::ReshardOk { epoch: d.u64()? },
             OP_WRONG_EPOCH => Response::WrongEpoch { epoch: d.u64()? },
+            OP_REPLICA_OK => Response::ReplicaOk {
+                shard: d.u16()?,
+                offset: d.u64()?,
+            },
+            OP_REPLICA_STATUS_OK => {
+                let n = d.u16()? as usize;
+                // One entry is a shard id plus an offset.
+                if n > d.remaining() / (2 + 8) {
+                    return Err(bad("replica status count exceeds frame payload"));
+                }
+                let mut entries = Vec::with_capacity(n);
+                for _ in 0..n {
+                    entries.push((d.u16()?, d.u64()?));
+                }
+                Response::ReplicaStatusOk(entries)
+            }
+            OP_PROMOTE_OK => Response::PromoteOk {
+                shard: d.u16()?,
+                offset: d.u64()?,
+            },
             OP_STATS_OK => {
                 let n = d.u16()? as usize;
                 // Shard index + empty policy string + the fixed-width
@@ -1645,6 +1834,77 @@ mod tests {
         round_trip_response(Response::EpochOk { epoch: 9 });
         round_trip_response(Response::ReshardOk { epoch: 10 });
         round_trip_response(Response::WrongEpoch { epoch: 11 });
+    }
+
+    #[test]
+    fn replication_requests_round_trip() {
+        round_trip_request(Request::Replicate {
+            shard: 3,
+            from_offset: 0,
+            items: vec![],
+        });
+        round_trip_request(Request::Replicate {
+            shard: 1,
+            from_offset: u64::MAX / 7,
+            items: vec![
+                BatchItem::Update(UpdateEvent {
+                    seq: 9,
+                    object: ObjectId(2),
+                    bytes: 41,
+                }),
+                BatchItem::Query(QueryEvent {
+                    seq: 10,
+                    objects: vec![ObjectId(0), ObjectId(5)],
+                    result_bytes: 640,
+                    tolerance: 2,
+                    kind: QueryKind::Cone,
+                }),
+            ],
+        });
+        round_trip_request(Request::ReplicaBootstrap {
+            shard: 2,
+            state: Vec::new(),
+        });
+        round_trip_request(Request::ReplicaBootstrap {
+            shard: 2,
+            state: b"{\"format\":1}\n".to_vec(),
+        });
+        round_trip_request(Request::ReplicaStatus);
+        round_trip_request(Request::Promote { shard: 7 });
+    }
+
+    #[test]
+    fn replication_responses_round_trip() {
+        round_trip_response(Response::ReplicaOk {
+            shard: 3,
+            offset: 12_345,
+        });
+        round_trip_response(Response::ReplicaStatusOk(vec![]));
+        round_trip_response(Response::ReplicaStatusOk(vec![(0, 17), (5, u64::MAX)]));
+        round_trip_response(Response::PromoteOk {
+            shard: 5,
+            offset: 99,
+        });
+    }
+
+    #[test]
+    fn hostile_replicate_count_rejected_without_allocation() {
+        let mut payload = vec![OP_REPLICATE];
+        payload.extend_from_slice(&1u16.to_be_bytes()); // shard
+        payload.extend_from_slice(&0u64.to_be_bytes()); // from_offset
+        payload.extend_from_slice(&u32::MAX.to_be_bytes()); // item count
+        payload.push(1);
+        let err = Request::decode(&payload).unwrap_err();
+        assert!(err.to_string().contains("replicate item count"), "{err}");
+    }
+
+    #[test]
+    fn hostile_replica_status_count_rejected_without_allocation() {
+        let mut payload = vec![OP_REPLICA_STATUS_OK];
+        payload.extend_from_slice(&u16::MAX.to_be_bytes()); // entry count
+        payload.push(0);
+        let err = Response::decode(&payload).unwrap_err();
+        assert!(err.to_string().contains("replica status count"), "{err}");
     }
 
     #[test]

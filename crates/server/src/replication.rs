@@ -1,0 +1,461 @@
+//! Primary/backup replication state: the per-shard applied-event log a
+//! primary ships to its backups, acknowledged replication offsets, and
+//! the condvar plumbing between the apply path and the pump threads.
+//!
+//! The engine is a deterministic state machine, so a backup that holds
+//! the same starting state and applies the same shard-local event log
+//! in the same order *is* the primary — byte-identical ledger and all.
+//! Replication therefore ships exactly what the primary applied: every
+//! successful event is appended to a [`ReplState`] log inside the same
+//! engine-lock window that applied it (log order ≡ apply order), pump
+//! threads ship unshipped suffixes to each backup target, and the
+//! handler that applied the event waits until every reachable target
+//! acknowledged it before replying to the client. That wait is what
+//! makes failover lossless: a client holding an `Ok` for an event knows
+//! every live backup holds that event too, so the most-caught-up backup
+//! the router promotes can never miss an acknowledged write.
+//!
+//! Availability beats durability when a backup dies: targets marked
+//! [`TargetStatus::Down`] are excluded from the wait (the shard keeps
+//! serving as a sole copy — degraded, never stalled), and
+//! [`ReplState::wait_replicated`] is capped so a wedged pump can stall
+//! a request by a bounded amount, never forever.
+//!
+//! Offsets are applied-event *counts* (the engine's `events()`), not
+//! sequence numbers: deterministic replay means the `n`-th applied
+//! event is the same event on every copy, so "backup holds `n` events"
+//! is exactly "backup equals the primary as of event `n`".
+
+use crate::protocol::BatchItem;
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Most retained log entries per shard. A target that falls further
+/// behind than the cap (only possible while it is unreachable or
+/// bootstrapping) is re-seeded from a snapshot instead of the log.
+pub const LOG_CAP: usize = 16_384;
+
+/// Most items shipped in one `Replicate` frame, bounding frame size.
+pub const REPL_BATCH_MAX: usize = 4_096;
+
+/// Hard cap on how long an apply waits for backup acknowledgements
+/// before proceeding unreplicated — the stall bound when a pump wedges
+/// without detecting its target as down first.
+pub const REPL_WAIT_MAX: Duration = Duration::from_secs(15);
+
+/// Where a backup target stands, from its primary's point of view.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TargetStatus {
+    /// The target needs a (re-)bootstrap before log shipping: it is
+    /// freshly configured, answered with an offset mismatch, or the
+    /// log was truncated past its acknowledged offset.
+    NeedsBootstrap,
+    /// The target is bootstrapped and absorbing log suffixes; applies
+    /// wait for its acknowledgements.
+    Live,
+    /// The target is unreachable; applies proceed without it.
+    Down,
+}
+
+/// One backup target's replication progress.
+#[derive(Clone, Copy, Debug)]
+struct Target {
+    /// Applied events the target has acknowledged.
+    acked: u64,
+    /// Whether the target is live, down, or awaiting bootstrap.
+    status: TargetStatus,
+}
+
+/// The retained applied-event log plus per-target progress.
+struct ReplLog {
+    /// Offset of the first retained item (events applied before it).
+    start: u64,
+    /// Retained applied events, in apply order.
+    items: VecDeque<BatchItem>,
+    /// Per-target progress, indexed by successor rank.
+    targets: Vec<Target>,
+}
+
+impl ReplLog {
+    fn end(&self) -> u64 {
+        self.start + self.items.len() as u64
+    }
+
+    /// Drops log entries no live target still needs, and hard-caps the
+    /// log at [`LOG_CAP`]: a target truncated past must re-bootstrap.
+    fn truncate(&mut self) {
+        let floor = self
+            .targets
+            .iter()
+            .filter(|t| t.status == TargetStatus::Live)
+            .map(|t| t.acked)
+            .min()
+            .unwrap_or_else(|| self.end());
+        while self.start < floor && !self.items.is_empty() {
+            self.items.pop_front();
+            self.start += 1;
+        }
+        while self.items.len() > LOG_CAP {
+            self.items.pop_front();
+            self.start += 1;
+        }
+        for t in &mut self.targets {
+            if t.status == TargetStatus::Live && t.acked < self.start {
+                t.status = TargetStatus::NeedsBootstrap;
+            }
+        }
+    }
+}
+
+/// Wakes pump threads when any shard appended to its log. One notifier
+/// serves every pump on the node; a woken pump re-scans its shards, so
+/// spurious wakeups are merely cheap.
+pub struct Notifier {
+    gen: Mutex<u64>,
+    cv: Condvar,
+}
+
+impl Default for Notifier {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Notifier {
+    /// A fresh notifier at generation zero.
+    pub fn new() -> Notifier {
+        Notifier {
+            gen: Mutex::new(0),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Advances the generation and wakes every waiting pump.
+    pub fn bump(&self) {
+        let mut gen = self.gen.lock().expect("notifier poisoned");
+        *gen += 1;
+        self.cv.notify_all();
+    }
+
+    /// The current generation, for a pump entering its wait loop.
+    pub fn snapshot(&self) -> u64 {
+        *self.gen.lock().expect("notifier poisoned")
+    }
+
+    /// Blocks until the generation moves past `seen` or `timeout`
+    /// elapses; returns the generation observed on wake.
+    pub fn wait(&self, seen: u64, timeout: Duration) -> u64 {
+        let gen = self.gen.lock().expect("notifier poisoned");
+        let (gen, _) = self
+            .cv
+            .wait_timeout_while(gen, timeout, |g| *g == seen)
+            .expect("notifier poisoned");
+        *gen
+    }
+}
+
+/// One primary shard's replication state: the retained log, per-target
+/// acknowledgements, and the condvar applies wait on.
+pub struct ReplState {
+    shard: u16,
+    inner: Mutex<ReplLog>,
+    acked_cv: Condvar,
+    notifier: std::sync::Arc<Notifier>,
+}
+
+impl ReplState {
+    /// A log starting at `start` applied events (non-zero when the
+    /// primary warm-restarted from a snapshot: earlier events are not
+    /// replayable, so targets bootstrap from a snapshot instead) with
+    /// `n_targets` backup targets, all awaiting bootstrap.
+    pub fn new(
+        shard: u16,
+        start: u64,
+        n_targets: usize,
+        notifier: std::sync::Arc<Notifier>,
+    ) -> ReplState {
+        ReplState {
+            shard,
+            inner: Mutex::new(ReplLog {
+                start,
+                items: VecDeque::new(),
+                targets: vec![
+                    Target {
+                        acked: 0,
+                        status: TargetStatus::NeedsBootstrap,
+                    };
+                    n_targets
+                ],
+            }),
+            acked_cv: Condvar::new(),
+            notifier,
+        }
+    }
+
+    /// The shard this log replicates.
+    pub fn shard(&self) -> u16 {
+        self.shard
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, ReplLog> {
+        self.inner.lock().expect("replication log poisoned")
+    }
+
+    /// Appends one applied event. Callers invoke this inside the same
+    /// engine-lock window that applied the event, so the log order is
+    /// the apply order (the lock order is engine → log, everywhere).
+    pub fn append(&self, item: BatchItem) {
+        let mut log = self.lock();
+        log.items.push_back(item);
+        log.truncate();
+        drop(log);
+        self.notifier.bump();
+    }
+
+    /// Applied events the log ends at (the primary's current offset).
+    pub fn end(&self) -> u64 {
+        self.lock().end()
+    }
+
+    /// The unshipped suffix for `target` (at most [`REPL_BATCH_MAX`]
+    /// items): `Some((from_offset, items))` when the target is live and
+    /// the log still covers its acknowledged offset; `None` when the
+    /// target is not live, is fully caught up, or fell behind the log
+    /// (in which case it is flipped to [`TargetStatus::NeedsBootstrap`]
+    /// for the pump to re-seed).
+    pub fn suffix_for(&self, target: usize) -> Option<(u64, Vec<BatchItem>)> {
+        let mut log = self.lock();
+        let t = log.targets[target];
+        if t.status != TargetStatus::Live {
+            return None;
+        }
+        if t.acked < log.start {
+            log.targets[target].status = TargetStatus::NeedsBootstrap;
+            return None;
+        }
+        if t.acked >= log.end() {
+            return None;
+        }
+        let skip = (t.acked - log.start) as usize;
+        let items: Vec<BatchItem> = log
+            .items
+            .iter()
+            .skip(skip)
+            .take(REPL_BATCH_MAX)
+            .cloned()
+            .collect();
+        Some((t.acked, items))
+    }
+
+    /// Records an acknowledged offset for `target` (monotone: stale
+    /// acks are ignored), trims the log, and wakes waiting applies.
+    pub fn record_ack(&self, target: usize, offset: u64) {
+        let mut log = self.lock();
+        let t = &mut log.targets[target];
+        t.acked = t.acked.max(offset);
+        log.truncate();
+        drop(log);
+        self.acked_cv.notify_all();
+    }
+
+    /// Marks `target` live at `offset` after a successful bootstrap.
+    pub fn mark_bootstrapped(&self, target: usize, offset: u64) {
+        let mut log = self.lock();
+        log.targets[target] = Target {
+            acked: offset,
+            status: TargetStatus::Live,
+        };
+        log.truncate();
+        drop(log);
+        self.acked_cv.notify_all();
+    }
+
+    /// Sets `target`'s status (marking it down also wakes waiting
+    /// applies, which stop counting it).
+    pub fn set_status(&self, target: usize, status: TargetStatus) {
+        let mut log = self.lock();
+        log.targets[target].status = status;
+        log.truncate();
+        drop(log);
+        self.acked_cv.notify_all();
+    }
+
+    /// `target`'s current status.
+    pub fn status(&self, target: usize) -> TargetStatus {
+        self.lock().targets[target].status
+    }
+
+    /// Blocks until every target is either down or has acknowledged at
+    /// least `offset`, or until `timeout`. Returns `true` when every
+    /// reachable target acknowledged (the replicated case), `false` on
+    /// timeout (the capped, proceed-unreplicated case).
+    pub fn wait_replicated(&self, offset: u64, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        let mut log = self.lock();
+        loop {
+            let settled = log
+                .targets
+                .iter()
+                .all(|t| t.status == TargetStatus::Down || t.acked >= offset);
+            if settled {
+                return true;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return false;
+            }
+            let (guard, _) = self
+                .acked_cv
+                .wait_timeout(log, deadline - now)
+                .expect("replication log poisoned");
+            log = guard;
+        }
+    }
+
+    /// The worst lag across targets: log end minus the smallest
+    /// acknowledged offset (0 with no targets). Down targets count —
+    /// an unreachable backup's growing lag is the honest number.
+    pub fn lag(&self) -> u64 {
+        let log = self.lock();
+        log.targets
+            .iter()
+            .map(|t| log.end().saturating_sub(t.acked))
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+/// A uniformly jittered delay in `[base/2, base]` — enough spread to
+/// de-synchronize reconnect storms (every pump and router link backing
+/// off from the same death would otherwise probe in lockstep), never
+/// longer than the cap the caller chose.
+pub(crate) fn jittered(rng: &mut u64, base: Duration) -> Duration {
+    // xorshift64: tiny, seedable, plenty for timing jitter.
+    *rng ^= *rng << 13;
+    *rng ^= *rng >> 7;
+    *rng ^= *rng << 17;
+    let half = base.as_micros() as u64 / 2;
+    let extra = if half == 0 { 0 } else { *rng % (half + 1) };
+    Duration::from_micros(half + extra)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use delta_storage::ObjectId;
+    use delta_workload::UpdateEvent;
+    use std::sync::Arc;
+
+    fn item(seq: u64) -> BatchItem {
+        BatchItem::Update(UpdateEvent {
+            seq,
+            object: ObjectId(0),
+            bytes: 1,
+        })
+    }
+
+    #[test]
+    fn suffixes_track_acks_and_truncate() {
+        let repl = ReplState::new(3, 0, 2, Arc::new(Notifier::new()));
+        repl.mark_bootstrapped(0, 0);
+        repl.mark_bootstrapped(1, 0);
+        for seq in 1..=5 {
+            repl.append(item(seq));
+        }
+        let (from, items) = repl.suffix_for(0).expect("unshipped suffix");
+        assert_eq!(from, 0);
+        assert_eq!(items.len(), 5);
+
+        repl.record_ack(0, 5);
+        assert!(repl.suffix_for(0).is_none(), "caught up");
+        let (from, items) = repl.suffix_for(1).expect("target 1 still behind");
+        assert_eq!((from, items.len()), (0, 5));
+        assert_eq!(repl.lag(), 5);
+
+        repl.record_ack(1, 3);
+        // The log trims to the slowest live target.
+        let (from, items) = repl.suffix_for(1).expect("suffix from 3");
+        assert_eq!((from, items.len()), (3, 2));
+        assert_eq!(repl.lag(), 2);
+    }
+
+    #[test]
+    fn hard_cap_flips_laggards_to_bootstrap() {
+        let repl = ReplState::new(0, 0, 1, Arc::new(Notifier::new()));
+        repl.mark_bootstrapped(0, 0);
+        repl.set_status(0, TargetStatus::Down);
+        for seq in 0..(LOG_CAP as u64 + 10) {
+            repl.append(item(seq));
+        }
+        // The down target came back: its acked offset predates the
+        // retained log, so shipping must demand a re-bootstrap.
+        repl.set_status(0, TargetStatus::Live);
+        assert!(repl.suffix_for(0).is_none());
+        assert_eq!(repl.status(0), TargetStatus::NeedsBootstrap);
+    }
+
+    #[test]
+    fn wait_replicated_skips_down_targets() {
+        let repl = ReplState::new(0, 0, 2, Arc::new(Notifier::new()));
+        repl.mark_bootstrapped(0, 0);
+        repl.mark_bootstrapped(1, 0);
+        repl.append(item(1));
+        assert!(
+            !repl.wait_replicated(1, Duration::from_millis(10)),
+            "no acks yet: the wait must time out"
+        );
+        repl.record_ack(0, 1);
+        repl.set_status(1, TargetStatus::Down);
+        assert!(
+            repl.wait_replicated(1, Duration::from_millis(100)),
+            "one ack plus one down target settles the wait"
+        );
+    }
+
+    #[test]
+    fn warm_restart_log_starts_past_zero() {
+        let repl = ReplState::new(0, 100, 1, Arc::new(Notifier::new()));
+        assert_eq!(repl.end(), 100);
+        // A fresh target cannot be served from the log (its history
+        // starts mid-stream) until a bootstrap marks it live at or
+        // past the log start.
+        assert_eq!(repl.status(0), TargetStatus::NeedsBootstrap);
+        repl.mark_bootstrapped(0, 100);
+        repl.append(item(101));
+        let (from, items) = repl.suffix_for(0).expect("suffix after bootstrap");
+        assert_eq!((from, items.len()), (100, 1));
+    }
+
+    #[test]
+    fn jittered_delay_stays_in_bounds() {
+        // The anti-thundering-herd contract: spread, but never past the
+        // cap the caller chose and never under half of it.
+        let mut rng = 0x1234_5678_9abc_def0u64;
+        for base_ms in [1u64, 50, 320, 1000] {
+            let base = Duration::from_millis(base_ms);
+            for _ in 0..1_000 {
+                let d = jittered(&mut rng, base);
+                assert!(d >= base / 2, "{d:?} under half of {base:?}");
+                assert!(d <= base, "{d:?} over the {base:?} cap");
+            }
+        }
+        // Degenerate base: still terminates, still bounded.
+        assert_eq!(jittered(&mut rng, Duration::ZERO), Duration::ZERO);
+    }
+
+    #[test]
+    fn notifier_wakes_on_bump() {
+        let n = Arc::new(Notifier::new());
+        let seen = n.snapshot();
+        let waiter = {
+            let n = Arc::clone(&n);
+            std::thread::spawn(move || n.wait(seen, Duration::from_secs(5)))
+        };
+        // Give the waiter a moment to park, then wake it.
+        std::thread::sleep(Duration::from_millis(20));
+        n.bump();
+        let got = waiter.join().unwrap();
+        assert!(got > seen, "wait returned a newer generation");
+    }
+}

@@ -49,6 +49,7 @@ use crate::protocol::{
     append_frame_with, encode_tagged_request_into, error_code, BatchItem, BatchReply, NodeInfo,
     NodeOp, NodeRole, Request, Response, ShardStats, SqlStage, StatsSnapshot,
 };
+use crate::replication::jittered;
 use delta_query::{QueryCompiler, QueryError, Schema};
 use delta_reactor::{Interest, Poller, TimerWheel};
 use delta_storage::ObjectCatalog;
@@ -58,7 +59,7 @@ use std::any::Any;
 use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, RwLock};
 use std::time::{Duration, Instant};
 
@@ -126,6 +127,13 @@ struct RouterTelemetry {
     reshard_attach: Arc<Histogram>,
     /// and the cluster-wide epoch bump.
     reshard_epoch: Arc<Histogram>,
+    /// Backups promoted to primary by the failure detector.
+    promotions: Arc<Counter>,
+    /// Failover rounds run (a node declared dead), promotions or not.
+    failovers: Arc<Counter>,
+    /// EWMA (α = 1/8) of each node's fan-out round trip, the health
+    /// score behind the failure detector's strike threshold.
+    node_rtt: Vec<Arc<Gauge>>,
 }
 
 impl RouterTelemetry {
@@ -143,8 +151,32 @@ impl RouterTelemetry {
             reshard_detach: t.histogram("router.reshard.detach_ns"),
             reshard_attach: t.histogram("router.reshard.attach_ns"),
             reshard_epoch: t.histogram("router.reshard.set_epoch_ns"),
+            promotions: t.counter("router.promotions"),
+            failovers: t.counter("router.failovers"),
+            node_rtt: (0..n_nodes)
+                .map(|n| t.gauge(&format!("router.node_rtt_ewma_ns.node{n}")))
+                .collect(),
         }
     }
+}
+
+/// One node's health as the failure detector sees it: an RTT EWMA for
+/// scoring and a strike counter for the binary alive/dead call. Strikes
+/// accrue on hard evidence only — a connect failure, a dead link, a
+/// fan-out deadline miss — and any successful round trip (or monitor
+/// probe) clears them, so a single transient hiccup never fails a node
+/// over.
+#[derive(Default)]
+struct NodeHealth {
+    /// EWMA (α = 1/8) of fan-out round trips, in ns; 0 = no sample yet.
+    rtt_ewma_ns: AtomicU64,
+    /// Consecutive hard failures since the last successful round trip.
+    strikes: AtomicU32,
+    /// Set once the failure detector declares the node dead; the admin
+    /// fan-outs (`Stats`, `Telemetry`, `Shutdown`) skip it from then on.
+    /// Rejoining a revived node takes a router restart, which re-stitches
+    /// the owner map from the nodes' own hosted sets.
+    down: AtomicBool,
 }
 
 struct RouterShared {
@@ -171,6 +203,40 @@ struct RouterShared {
     /// detaches a shard, so no sub-request ever straddles an epoch
     /// boundary mid-flight.
     inflight_subs: AtomicUsize,
+    /// Per-node health, fed by both front doors and read by the
+    /// failure-detector thread.
+    health: Vec<NodeHealth>,
+}
+
+impl RouterShared {
+    /// Records a successful round trip to `node`: folds the RTT into
+    /// the EWMA health score and clears any strikes.
+    fn note_ok(&self, node: usize, rtt: Duration) {
+        let h = &self.health[node];
+        h.strikes.store(0, Ordering::Relaxed);
+        let sample = rtt.as_nanos() as u64;
+        let prev = h.rtt_ewma_ns.load(Ordering::Relaxed);
+        // Racy read-modify-write is fine: this is a health score, not a
+        // ledger, and every writer moves it toward recent reality.
+        let next = if prev == 0 {
+            sample
+        } else {
+            prev - prev / 8 + sample / 8
+        };
+        h.rtt_ewma_ns.store(next, Ordering::Relaxed);
+        self.rt.node_rtt[node].set(next);
+    }
+
+    /// Records hard evidence against `node`: a connect failure, a dead
+    /// link, or a fan-out deadline miss.
+    fn note_strike(&self, node: usize) {
+        self.health[node].strikes.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Whether the failure detector has declared `node` dead.
+    fn is_down(&self, node: usize) -> bool {
+        self.health[node].down.load(Ordering::SeqCst)
+    }
 }
 
 /// A running delta-router instance.
@@ -178,6 +244,7 @@ pub struct Router {
     addr: SocketAddr,
     shutdown: Arc<AtomicBool>,
     accept_thread: std::thread::JoinHandle<()>,
+    monitor_thread: std::thread::JoinHandle<()>,
     telemetry: Arc<Telemetry>,
 }
 
@@ -314,7 +381,8 @@ impl Router {
         telemetry
             .gauge("router.nodes")
             .set(config.nodes.len() as u64);
-        let rt = RouterTelemetry::register(&telemetry, config.nodes.len());
+        let n_nodes_total = config.nodes.len();
+        let rt = RouterTelemetry::register(&telemetry, n_nodes_total);
         let wire = WireTelemetry::register(&telemetry);
         let shared = Arc::new(RouterShared {
             map,
@@ -333,7 +401,19 @@ impl Router {
             stall_limit: config.stall_limit,
             node_timeout: config.node_timeout,
             inflight_subs: AtomicUsize::new(0),
+            health: (0..n_nodes_total).map(|_| NodeHealth::default()).collect(),
         });
+
+        // A crashed rollback spill leaves a half-written `.tmp` behind;
+        // the rename is the commit point, so anything still named `.tmp`
+        // is garbage by definition. Sweep it before serving.
+        sweep_stale_spills();
+
+        let monitor_shared = Arc::clone(&shared);
+        let monitor_thread = std::thread::Builder::new()
+            .name("delta-router-monitor".to_string())
+            .spawn(move || monitor_loop(monitor_shared))
+            .expect("spawn router monitor thread");
 
         let accept_shutdown = Arc::clone(&shutdown);
         let accept_thread = std::thread::Builder::new()
@@ -345,6 +425,7 @@ impl Router {
             addr,
             shutdown,
             accept_thread,
+            monitor_thread,
             telemetry,
         })
     }
@@ -376,6 +457,7 @@ impl Router {
     /// Waits for the router to stop.
     pub fn join(self) {
         self.accept_thread.join().expect("router accept panicked");
+        self.monitor_thread.join().expect("router monitor panicked");
     }
 
     /// Convenience: request shutdown and wait.
@@ -485,11 +567,14 @@ impl ConnState {
         epoch: u64,
     ) -> io::Result<&mut DeltaClient> {
         if self.links[node].is_none() {
-            let mut client = DeltaClient::connect(&shared.nodes[node])
-                .map_err(|e| node_unavailable(node, "connect", &e))?;
-            client
-                .hello(epoch)
-                .map_err(|e| node_unavailable(node, "handshake", &e))?;
+            let mut client = DeltaClient::connect(&shared.nodes[node]).map_err(|e| {
+                shared.note_strike(node);
+                node_unavailable(node, "connect", &e)
+            })?;
+            client.hello(epoch).map_err(|e| {
+                shared.note_strike(node);
+                node_unavailable(node, "handshake", &e)
+            })?;
             self.links[node] = Some(client);
             self.link_epochs[node] = epoch;
         } else if self.link_epochs[node] != epoch {
@@ -501,6 +586,7 @@ impl ConnState {
                 // A link that failed a handshake is dead; drop it so
                 // the next attempt reconnects from scratch.
                 self.links[node] = None;
+                shared.note_strike(node);
                 return Err(node_unavailable(node, "re-handshake", &e));
             }
             self.link_epochs[node] = epoch;
@@ -646,10 +732,12 @@ fn node_ops(
                 // The link died mid-request; drop it so a later retry
                 // reconnects from scratch, and surface the death typed.
                 conn.links[node] = None;
+                shared.note_strike(node);
                 return Err(node_unavailable(node, "request", &e));
             }
         };
         shared.rt.fanout[node].record_duration(t0.elapsed());
+        shared.note_ok(node, t0.elapsed());
         match response {
             Response::BatchOk(replies) => return Ok(replies),
             Response::WrongEpoch { epoch: current } => {
@@ -729,6 +817,9 @@ fn handle_request(
             // lifecycle the way `delta-serverd` owns its shards'.
             let route = shared.route.read().expect("route lock");
             for node in 0..shared.nodes.len() {
+                if shared.is_down(node) {
+                    continue;
+                }
                 match conn.link(shared, node, route.epoch) {
                     Ok(link) => {
                         if let Err(e) = link.shutdown() {
@@ -744,7 +835,11 @@ fn handle_request(
         Request::NodeOps(_)
         | Request::DetachShard { .. }
         | Request::AttachShard { .. }
-        | Request::SetEpoch { .. } => Ok(Response::Error {
+        | Request::SetEpoch { .. }
+        | Request::Replicate { .. }
+        | Request::ReplicaBootstrap { .. }
+        | Request::ReplicaStatus
+        | Request::Promote { .. } => Ok(Response::Error {
             code: error_code::NOT_CLUSTERED,
             message: "the router hosts no shards; node-level verbs go to delta-serverd".into(),
         }),
@@ -905,6 +1000,11 @@ fn handle_stats(shared: &RouterShared, conn: &mut ConnState) -> io::Result<Respo
     let route = shared.route.read().expect("route lock");
     let mut shards: Vec<ShardStats> = Vec::new();
     for node in 0..shared.nodes.len() {
+        // A failed-over node's shards answer from their promoted homes;
+        // asking its corpse would only turn a scrape into an error.
+        if shared.is_down(node) {
+            continue;
+        }
         let link = conn.link(shared, node, route.epoch)?;
         shards.extend(link.stats()?.shards);
     }
@@ -921,6 +1021,9 @@ fn handle_telemetry(shared: &RouterShared, conn: &mut ConnState) -> io::Result<R
     let route = shared.route.read().expect("route lock");
     let mut merged = shared.telemetry.snapshot();
     for node in 0..shared.nodes.len() {
+        if shared.is_down(node) {
+            continue;
+        }
         let link = conn.link(shared, node, route.epoch)?;
         merged.merge(&link.telemetry()?);
     }
@@ -1024,7 +1127,7 @@ fn do_reshard(
                         "delta-orphan-shard-{shard}-epoch{}.jsonl",
                         route.epoch
                     ));
-                    match std::fs::write(&spill, &state) {
+                    match write_spill(&spill, &state) {
                         Ok(()) => format!(
                             "ROLLBACK FAILED ({other:?}) — shard {shard} is OFFLINE; its \
                              engine state was saved to {} on the router host; re-attach it \
@@ -1065,6 +1168,177 @@ fn do_reshard(
     route.epoch = epoch;
     shared.telemetry.gauge("router.epoch").set(epoch);
     Response::ReshardOk { epoch }
+}
+
+/// Writes an orphaned shard's state blob with tmp+rename discipline: a
+/// crash mid-write leaves a `.tmp` the startup sweep removes, never a
+/// truncated `.jsonl` an operator might re-attach as if it were whole.
+fn write_spill(spill: &std::path::Path, state: &[u8]) -> io::Result<()> {
+    let tmp = spill.with_extension("jsonl.tmp");
+    std::fs::write(&tmp, state)?;
+    std::fs::rename(&tmp, spill)
+}
+
+/// Removes half-written spill temporaries left by a crash: the rename
+/// in [`write_spill`] is the commit point, so any surviving
+/// `delta-orphan-shard-*.tmp` is garbage by definition.
+fn sweep_stale_spills() {
+    let Ok(entries) = std::fs::read_dir(std::env::temp_dir()) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if name.starts_with("delta-orphan-shard-") && name.ends_with(".tmp") {
+            let _ = std::fs::remove_file(entry.path());
+        }
+    }
+}
+
+/// Strikes before the failure detector declares a node dead and fails
+/// its shards over. Two means one hard failure plus one failed
+/// confirmation probe — a single transient error never triggers.
+const FAILOVER_STRIKES: u32 = 2;
+
+/// The failure-detector thread: wakes every quarter node-timeout, and
+/// for any node with strikes against it either clears them (a probe
+/// connect succeeds — the node is alive, the strikes were transient) or
+/// escalates toward [`do_failover`]. Active probing makes detection
+/// self-driving: a primary that dies with no client traffic in flight
+/// is still declared dead within a few ticks of its first strike.
+fn monitor_loop(shared: Arc<RouterShared>) {
+    let mut conn = ConnState::new(&shared);
+    let tick = (shared.node_timeout / 4).max(Duration::from_millis(25));
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        std::thread::sleep(tick);
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        for node in 0..shared.nodes.len() {
+            let h = &shared.health[node];
+            if h.down.load(Ordering::SeqCst) || h.strikes.load(Ordering::Relaxed) == 0 {
+                continue;
+            }
+            // Suspicion confirmed or cleared by a bounded connect probe,
+            // not by waiting for more client traffic to fail.
+            match connect_node(&shared.nodes[node]) {
+                Ok(_) => h.strikes.store(0, Ordering::Relaxed),
+                Err(_) => {
+                    shared.note_strike(node);
+                }
+            }
+            if h.strikes.load(Ordering::Relaxed) >= FAILOVER_STRIKES {
+                do_failover(&shared, &mut conn, node);
+            }
+        }
+    }
+}
+
+/// The failover coordinator, the router's half of the tentpole: under
+/// the routing write lock it asks every survivor which backups it holds
+/// and how caught up they are (`ReplicaStatus`), promotes the
+/// most-caught-up backup of every orphaned shard (`Promote`), and bumps
+/// the routing epoch at the survivors so stale links get a typed
+/// `WrongEpoch` — never a wrong answer. Zero promotions (no backups
+/// configured, or none alive) bumps nothing: with `--replicas 0` the
+/// data path stays byte-identical to the pre-replication router, and
+/// the dead node's shards simply answer `NODE_UNAVAILABLE` until an
+/// operator intervenes.
+///
+/// The unavailability window a client sees is bounded by detection
+/// (strike + one monitor tick ≤ ~1.5× node-timeout in the worst case)
+/// plus this function's promotion round trips — well under 2× the
+/// node timeout against live survivors.
+fn do_failover(shared: &RouterShared, conn: &mut ConnState, dead: usize) {
+    let mut route = shared.route.write().expect("route lock");
+    // A cluster being shut down sheds nodes on purpose; that is not a
+    // failure to react to.
+    if shared.shutdown.load(Ordering::SeqCst) {
+        return;
+    }
+    if shared.health[dead].down.swap(true, Ordering::SeqCst) {
+        return; // raced another failover round for the same node
+    }
+    shared.rt.failovers.inc();
+    let orphaned: Vec<u16> = route
+        .owner
+        .iter()
+        .enumerate()
+        .filter(|&(_, &o)| o as usize == dead)
+        .map(|(s, _)| s as u16)
+        .collect();
+    eprintln!(
+        "delta-router: node {dead} declared dead; {} shard(s) orphaned",
+        orphaned.len()
+    );
+    if orphaned.is_empty() {
+        return;
+    }
+    // Which survivor holds the most-caught-up backup of each shard?
+    let epoch = route.epoch;
+    let mut holders: HashMap<u16, (usize, u64)> = HashMap::new();
+    for node in 0..shared.nodes.len() {
+        if node == dead || shared.is_down(node) {
+            continue;
+        }
+        let reply = conn
+            .link(shared, node, epoch)
+            .and_then(|link| link.request(&Request::ReplicaStatus));
+        let Ok(Response::ReplicaStatusOk(backups)) = reply else {
+            continue; // an unreachable survivor just contributes nothing
+        };
+        for (shard, offset) in backups {
+            let best = holders.entry(shard).or_insert((node, offset));
+            if offset > best.1 {
+                *best = (node, offset);
+            }
+        }
+    }
+    let mut promoted = 0u64;
+    for &shard in &orphaned {
+        let Some(&(node, _)) = holders.get(&shard) else {
+            eprintln!("delta-router: shard {shard} has no live backup; it stays OFFLINE");
+            continue;
+        };
+        let reply = conn
+            .link(shared, node, epoch)
+            .and_then(|link| link.request(&Request::Promote { shard }));
+        match reply {
+            Ok(Response::PromoteOk { offset, .. }) => {
+                route.owner[shard as usize] = node as u16;
+                promoted += 1;
+                shared.rt.promotions.inc();
+                eprintln!("delta-router: shard {shard} promoted at node {node} (offset {offset})");
+            }
+            other => eprintln!(
+                "delta-router: promote of shard {shard} at node {node} failed \
+                 ({other:?}); shard OFFLINE"
+            ),
+        }
+    }
+    if promoted == 0 {
+        // The map did not change, so the current epoch still describes
+        // it exactly; a bump would cost every live link a WrongEpoch
+        // round for nothing.
+        return;
+    }
+    let next = epoch + 1;
+    for node in 0..shared.nodes.len() {
+        if node == dead || shared.is_down(node) {
+            continue;
+        }
+        let reply = conn
+            .link(shared, node, epoch)
+            .and_then(|link| link.request(&Request::SetEpoch { epoch: next }));
+        match reply {
+            Ok(Response::EpochOk { .. }) => {}
+            // A survivor that cannot take the bump is likely dying too:
+            // its ops fence WrongEpoch until its own strikes fail it over.
+            other => eprintln!("delta-router: SetEpoch({next}) at node {node} failed ({other:?})"),
+        }
+    }
+    route.epoch = next;
+    shared.telemetry.gauge("router.epoch").set(next);
 }
 
 // ---------------------------------------------------------------------------
@@ -1400,14 +1674,19 @@ struct NodeLink {
     /// `u64::MAX` forces a fresh handshake before the next sub.
     declared_epoch: u64,
     /// Next reconnect delay; doubles per failure, resets on any reply.
+    /// The actual wait is uniformly jittered in `[backoff/2, backoff]`
+    /// so every event loop's probe of a revived node does not land in
+    /// the same instant (anti-thundering-herd).
     backoff: Duration,
+    /// Per-link jitter state for the backoff spread.
+    jitter: u64,
     /// Frames appended since the last flush, for the coalescing
     /// histogram.
     frames_since_flush: u64,
 }
 
 impl NodeLink {
-    fn new(now: Instant) -> NodeLink {
+    fn new(now: Instant, seed: u64) -> NodeLink {
         NodeLink {
             state: LinkState::Down {
                 retry_at: now,
@@ -1416,8 +1695,22 @@ impl NodeLink {
             pending: Correlator::new(),
             declared_epoch: u64::MAX,
             backoff: INITIAL_BACKOFF,
+            // Deterministic per-link seed: jitter shifts timing only,
+            // never data.
+            jitter: 0x9e37_79b9_7f4a_7c15u64 ^ seed,
             frames_since_flush: 0,
         }
+    }
+
+    /// Arms the reconnect window after a failure: jittered delay, then
+    /// the exponential bump toward [`MAX_BACKOFF`].
+    fn arm_backoff(&mut self, now: Instant, detail: String) {
+        let delay = jittered(&mut self.jitter, self.backoff);
+        self.state = LinkState::Down {
+            retry_at: now + delay,
+            last_error: detail,
+        };
+        self.backoff = (self.backoff * 2).min(MAX_BACKOFF);
     }
 }
 
@@ -1471,7 +1764,7 @@ impl RouterBackend {
         let node_timeout = shared.node_timeout;
         RouterBackend {
             poller,
-            links: (0..n).map(|_| NodeLink::new(now)).collect(),
+            links: (0..n).map(|i| NodeLink::new(now, i as u64)).collect(),
             table: FanoutTable::new(n),
             wheel: TimerWheel::new(POLL, 512, now),
             expired: Vec::new(),
@@ -1609,11 +1902,8 @@ impl RouterBackend {
                         .add(&stream, BACKEND_TOKEN | node, Interest::READ)
                     {
                         let detail = format!("register: {e}");
-                        link.state = LinkState::Down {
-                            retry_at: now + link.backoff,
-                            last_error: detail.clone(),
-                        };
-                        link.backoff = (link.backoff * 2).min(MAX_BACKOFF);
+                        link.arm_backoff(now, detail.clone());
+                        self.shared.note_strike(node);
                         return Err(detail);
                     }
                     link.state = LinkState::Up(LinkIo {
@@ -1629,11 +1919,8 @@ impl RouterBackend {
                 }
                 Err(e) => {
                     let detail = format!("connect: {e}");
-                    link.state = LinkState::Down {
-                        retry_at: now + link.backoff,
-                        last_error: detail.clone(),
-                    };
-                    link.backoff = (link.backoff * 2).min(MAX_BACKOFF);
+                    link.arm_backoff(now, detail.clone());
+                    self.shared.note_strike(node);
                     return Err(detail);
                 }
             }
@@ -1669,11 +1956,8 @@ impl RouterBackend {
         if let LinkState::Up(io) = &link.state {
             let _ = self.poller.delete(&io.stream);
         }
-        link.state = LinkState::Down {
-            retry_at: now + link.backoff,
-            last_error: detail.to_string(),
-        };
-        link.backoff = (link.backoff * 2).min(MAX_BACKOFF);
+        link.arm_backoff(now, detail.to_string());
+        self.shared.note_strike(node);
         link.frames_since_flush = 0;
         link.declared_epoch = u64::MAX;
         let drained = link.pending.drain();
@@ -1758,8 +2042,9 @@ impl RouterBackend {
             return Err(format!("unknown or duplicate correlation id {corr}"));
         };
         // The node is alive and speaking protocol; future reconnects
-        // start from the shortest backoff again.
+        // start from the shortest backoff again and its strikes clear.
         self.links[node].backoff = INITIAL_BACKOFF;
+        self.shared.health[node].strikes.store(0, Ordering::Relaxed);
         match purpose {
             Purpose::Hello => match *inner {
                 Response::HelloOk(_) => Ok(()),
@@ -1769,7 +2054,9 @@ impl RouterBackend {
                 self.shared.inflight_subs.fetch_sub(1, Ordering::SeqCst);
                 match *inner {
                     Response::BatchOk(replies) => {
-                        self.shared.rt.fanout[node].record_duration(entry.sent_at.elapsed());
+                        let rtt = entry.sent_at.elapsed();
+                        self.shared.rt.fanout[node].record_duration(rtt);
+                        self.shared.note_ok(node, rtt);
                         if let Some(done) = self.table.absorb(&entry, node, replies) {
                             self.push_completion(done);
                         }

@@ -25,6 +25,7 @@
 //! client holding an outdated shard→node map can be redirected, never
 //! silently given a wrong answer.
 
+use crate::client::DeltaClient;
 use crate::config::FrontDoor;
 use crate::config::ServerConfig;
 use crate::connection::{serve_frames, WireTelemetry, POLL};
@@ -34,6 +35,7 @@ use crate::protocol::{
     append_frame_with, error_code, BatchItem, BatchReply, NodeInfo, NodeOp, NodeRole, Request,
     Response, ShardStats, SqlStage, StatsSnapshot, PROTOCOL_VERSION,
 };
+use crate::replication::{jittered, Notifier, ReplState, TargetStatus, REPL_WAIT_MAX};
 use crate::shard::{OpClass, OpOutcome, ShardCore, ShardOp, ShardSpec, ShardTelemetry};
 use delta_core::engine::{read_snapshot, snapshot_from_str, snapshot_to_string};
 use delta_core::EngineSnapshot;
@@ -46,6 +48,7 @@ use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, RwLock, RwLockReadGuard};
+use std::time::Duration;
 
 /// A running delta-server instance.
 pub struct Server {
@@ -135,6 +138,17 @@ impl Server {
         restores.resize_with(config.n_shards, || None);
         if let Some(dir) = &config.snapshot_dir {
             std::fs::create_dir_all(dir)?;
+            // Sweep debris from interrupted atomic writes: snapshots are
+            // written as `*.tmp` then renamed into place, so a crash
+            // between the two leaves a stale temp file that must not
+            // outlive the restart (it would shadow disk space and could
+            // confuse directory-scanning tooling, never the server).
+            for entry in std::fs::read_dir(dir)? {
+                let path = entry?.path();
+                if path.extension().is_some_and(|e| e == "tmp") {
+                    let _ = std::fs::remove_file(&path);
+                }
+            }
             for &s in &hosted {
                 let s = s as usize;
                 let sub = map.shard_catalog(s, &catalog);
@@ -153,11 +167,23 @@ impl Server {
         }
 
         let telemetry = Arc::new(Telemetry::new());
+        // Replication runtime: one notifier shared by every pump thread,
+        // one applied-event log per hosted primary (below). `None` when
+        // `--replicas 0` — the log append and the post-apply wait both
+        // vanish from the hot path.
+        let repl = match &config.replication {
+            Some(r) if r.replicas > 0 => Some(ReplRuntime {
+                replicas: r.replicas,
+                peers: r.peers.clone(),
+                notifier: Arc::new(Notifier::new()),
+            }),
+            _ => None,
+        };
         let mut slots: Vec<RwLock<Option<ShardCore>>> = Vec::with_capacity(config.n_shards);
         slots.resize_with(config.n_shards, || RwLock::new(None));
         for &s in &hosted {
             let s = s as usize;
-            let core = ShardCore::new(ShardSpec {
+            let mut core = ShardCore::new(ShardSpec {
                 shard: s as u16,
                 catalog: map.shard_catalog(s, &catalog),
                 cache_bytes: caches[s],
@@ -170,8 +196,21 @@ impl Server {
                     .map(|dir| dir.join(format!("shard-{s}.jsonl"))),
                 telemetry: ShardTelemetry::register(&telemetry),
             });
+            if let Some(rt) = &repl {
+                // A warm-restored primary starts its log at the restored
+                // event count: earlier history is not replayable, so
+                // targets bootstrap from a snapshot instead of the log.
+                core.set_repl(Arc::new(ReplState::new(
+                    s as u16,
+                    core.events(),
+                    rt.replicas as usize,
+                    Arc::clone(&rt.notifier),
+                )));
+            }
             *slots[s].write().expect("fresh slot") = Some(core);
         }
+        let mut backups: Vec<RwLock<Option<ShardCore>>> = Vec::with_capacity(config.n_shards);
+        backups.resize_with(config.n_shards, || RwLock::new(None));
         telemetry
             .gauge("node.shards_hosted")
             .set(hosted.len() as u64);
@@ -183,6 +222,7 @@ impl Server {
             map,
             catalog,
             slots,
+            backups,
             caches,
             config: config.clone(),
             epoch: AtomicU64::new(0),
@@ -191,7 +231,23 @@ impl Server {
             frontend,
             telemetry: Arc::clone(&telemetry),
             wire,
+            repl,
         });
+
+        // One pump thread per successor rank: the pump at rank `r` ships
+        // every hosted primary's applied-event log to the peer at
+        // `(node + 1 + r) % nodes`. Pumps re-scan the slots each round,
+        // so a shard promoted mid-flight starts replicating without a
+        // restart.
+        if let Some(rt) = &shared.repl {
+            for rank in 0..rt.replicas as usize {
+                let pump_shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("delta-repl-{rank}"))
+                    .spawn(move || replication_pump(pump_shared, rank))
+                    .expect("spawn replication pump");
+            }
+        }
 
         let accept_shutdown = Arc::clone(&shutdown);
         let accept_thread = std::thread::Builder::new()
@@ -286,6 +342,10 @@ struct Shared {
     /// Connection threads hold a slot's read lock for the duration of an
     /// op, so a `DetachShard` (write lock) waits out in-flight work.
     slots: Vec<RwLock<Option<ShardCore>>>,
+    /// Backup twins of shards other nodes serve as primaries, seeded by
+    /// `ReplicaBootstrap`, advanced by `Replicate` and drained by
+    /// `Promote`. Parallel to `slots`; a shard is never in both at once.
+    backups: Vec<RwLock<Option<ShardCore>>>,
     /// Per-shard cache budgets (cluster-wide apportioning), kept so an
     /// attached shard is rebuilt with the same budget everywhere.
     caches: Vec<u64>,
@@ -301,6 +361,20 @@ struct Shared {
     telemetry: Arc<Telemetry>,
     /// Wire-level counter handles shared by every connection thread.
     wire: WireTelemetry,
+    /// Replication runtime, when the node was started with
+    /// `--replicas > 0`; `None` keeps the pre-replication data path.
+    repl: Option<ReplRuntime>,
+}
+
+/// Shared state for the replication pump threads.
+struct ReplRuntime {
+    /// Backup targets per hosted primary shard (`--replicas`).
+    replicas: u16,
+    /// Every node address in node-id order (`--peers`); the pump at
+    /// rank `r` ships to the peer at `(node + 1 + r) % nodes`.
+    peers: Vec<String>,
+    /// Wakes pumps when any shard's log grows.
+    notifier: Arc<Notifier>,
 }
 
 impl Shared {
@@ -506,6 +580,9 @@ fn meter_request(shared: &Shared, request: &Request, wire_bytes: u64) {
             );
         }
         Request::Tagged { inner, .. } => meter_request(shared, inner, wire_bytes),
+        // Replication frames meter as control traffic: they are the
+        // robustness overhead an operator wants to see separately from
+        // the client-facing query/update classes.
         Request::Stats
         | Request::Telemetry
         | Request::Shutdown
@@ -513,7 +590,11 @@ fn meter_request(shared: &Shared, request: &Request, wire_bytes: u64) {
         | Request::DetachShard { .. }
         | Request::AttachShard { .. }
         | Request::SetEpoch { .. }
-        | Request::Reshard { .. } => {
+        | Request::Reshard { .. }
+        | Request::Replicate { .. }
+        | Request::ReplicaBootstrap { .. }
+        | Request::ReplicaStatus
+        | Request::Promote { .. } => {
             shared.meter.record(TrafficClass::Control, wire_bytes);
         }
     }
@@ -563,10 +644,25 @@ fn handle_request(shared: &Shared, request: Request, conn: &mut ConnState) -> Re
             let (shard, local) = shared.map.split_update(&u);
             let slot = shared.slots[shard].read().expect("slot");
             match slot.as_ref() {
-                Some(core) => Response::UpdateOk {
-                    shard: shard as u16,
-                    version: core.apply_update(local),
-                },
+                Some(core) => {
+                    let fence = core.fence();
+                    if fence > 0 && local.seq <= fence {
+                        return already_applied(local.seq, fence);
+                    }
+                    let version = core.apply_update(local);
+                    let wait = core.repl().map(|r| (Arc::clone(r), r.end()));
+                    drop(slot);
+                    // Reply only once every reachable backup holds the
+                    // event — what makes an acknowledged write survive
+                    // this node's death.
+                    if let Some((repl, offset)) = wait {
+                        repl.wait_replicated(offset, REPL_WAIT_MAX);
+                    }
+                    Response::UpdateOk {
+                        shard: shard as u16,
+                        version,
+                    }
+                }
                 None => wrong_node(shared, shard),
             }
         }
@@ -609,6 +705,16 @@ fn handle_request(shared: &Shared, request: Request, conn: &mut ConnState) -> Re
                       send Reshard to delta-routerd"
                 .to_string(),
         },
+        Request::Replicate {
+            shard,
+            from_offset,
+            items,
+        } => handle_replicate(shared, shard, from_offset, items),
+        Request::ReplicaBootstrap { shard, state } => {
+            handle_replica_bootstrap(shared, shard, &state)
+        }
+        Request::ReplicaStatus => handle_replica_status(shared),
+        Request::Promote { shard } => handle_promote(shared, shard),
         // Nested tags are rejected by the decoder; a bare Tagged here
         // means the caller bypassed `serve_connection`'s unwrapping.
         Request::Tagged { inner, .. } => handle_request(shared, *inner, conn),
@@ -669,10 +775,21 @@ fn handle_query_as(shared: &Shared, q: QueryEvent, class: OpClass) -> Response {
         Ok(g) => g,
         Err(missing) => return wrong_node(shared, missing),
     };
+    // A promoted primary's fence: the old primary already served this
+    // event before failover, so a retry through the new epoch gets the
+    // typed reply — never a partial or double execution.
+    if let Some(fence) = guards
+        .iter()
+        .map(|(_, g)| g.as_ref().expect("checked by lock_shards").fence())
+        .find(|&f| f > 0 && q.seq <= f)
+    {
+        return already_applied(q.seq, fence);
+    }
     let mut sent = 0u16;
     let mut local_answers = 0u16;
     let mut shipped = 0u16;
     let mut failure: Option<String> = None;
+    let mut waits: Vec<(Arc<ReplState>, u64)> = Vec::new();
     // Every touched shard serves its sub-query even after a failure, so
     // a contract violation on one shard never leaves another shard's
     // sub-trace short (the differential tests depend on it).
@@ -686,6 +803,15 @@ fn handle_query_as(shared: &Shared, q: QueryEvent, class: OpClass) -> Response {
                 failure.get_or_insert(error);
             }
         }
+        if let Some(repl) = core.repl() {
+            waits.push((Arc::clone(repl), repl.end()));
+        }
+    }
+    drop(guards);
+    // Queries are events too (they advance policy and ledger state), so
+    // the reply waits for backup acknowledgement like an update does.
+    for (repl, offset) in waits {
+        repl.wait_replicated(offset, REPL_WAIT_MAX);
     }
     if let Some(message) = failure {
         return Response::Error {
@@ -813,6 +939,8 @@ fn handle_batch(shared: &Shared, items: Vec<BatchItem>) -> Response {
         Ok(g) => g,
         Err(missing) => return wrong_node(shared, missing),
     };
+    fence_items(&guards, &mut per_shard, &mut replies);
+    let mut waits: Vec<(Arc<ReplState>, u64)> = Vec::new();
     for (s, guard) in guards {
         let core = guard.as_ref().expect("checked by lock_shards");
         for outcome in core.run_batch(std::mem::take(&mut per_shard[s])) {
@@ -845,6 +973,15 @@ fn handle_batch(shared: &Shared, items: Vec<BatchItem>) -> Response {
                 }
             }
         }
+        if let Some(repl) = core.repl() {
+            waits.push((Arc::clone(repl), repl.end()));
+        }
+    }
+    // Replies only after every reachable backup holds what this batch
+    // applied — the wait that makes acknowledged writes survive
+    // failover.
+    for (repl, offset) in waits {
+        repl.wait_replicated(offset, REPL_WAIT_MAX);
     }
 
     let replies = replies
@@ -923,6 +1060,8 @@ fn handle_node_ops(shared: &Shared, ops: Vec<NodeOp>) -> Response {
         Ok(g) => g,
         Err(missing) => return wrong_node(shared, missing),
     };
+    fence_items(&guards, &mut per_shard, &mut replies);
+    let mut waits: Vec<(Arc<ReplState>, u64)> = Vec::new();
     for (s, guard) in guards {
         let core = guard.as_ref().expect("checked by lock_shards");
         for outcome in core.run_batch(std::mem::take(&mut per_shard[s])) {
@@ -952,6 +1091,14 @@ fn handle_node_ops(shared: &Shared, ops: Vec<NodeOp>) -> Response {
             };
             replies[item as usize] = Some(reply);
         }
+        if let Some(repl) = core.repl() {
+            waits.push((Arc::clone(repl), repl.end()));
+        }
+    }
+    // As in `handle_batch`: acknowledged only once replicated (or every
+    // laggard is down), bounded by `REPL_WAIT_MAX`.
+    for (repl, offset) in waits {
+        repl.wait_replicated(offset, REPL_WAIT_MAX);
     }
     Response::BatchOk(
         replies
@@ -1064,6 +1211,417 @@ fn handle_attach(shared: &Shared, shard: u16, state: &[u8]) -> Response {
         .gauge("node.shards_hosted")
         .set(shared.hosted().len() as u64);
     Response::AttachOk { shard }
+}
+
+/// Promotion fences for a coalesced batch: an item the old primary
+/// applied before failover must not re-execute — and must not
+/// half-execute on its other shards either, so any fenced shard fences
+/// the whole item. Fenced items get the typed `ALREADY_APPLIED` reply
+/// and their ops are removed from every shard's sub-batch.
+fn fence_items(
+    guards: &[LockedShard<'_>],
+    per_shard: &mut [Vec<ShardOp>],
+    replies: &mut [Option<BatchReply>],
+) {
+    let mut fenced: Vec<(u32, u64, u64)> = Vec::new();
+    for (s, guard) in guards {
+        let fence = guard.as_ref().expect("checked by lock_shards").fence();
+        if fence == 0 {
+            continue;
+        }
+        for op in &per_shard[*s] {
+            let (item, seq) = match op {
+                ShardOp::Query { item, event } => (*item, event.seq),
+                ShardOp::Update { item, event } => (*item, event.seq),
+            };
+            if seq <= fence {
+                fenced.push((item, seq, fence));
+            }
+        }
+    }
+    if fenced.is_empty() {
+        return;
+    }
+    let mut dead: Vec<u32> = Vec::with_capacity(fenced.len());
+    for &(item, seq, fence) in &fenced {
+        replies[item as usize] = Some(batch_error(already_applied(seq, fence)));
+        dead.push(item);
+    }
+    for ops in per_shard.iter_mut() {
+        ops.retain(|op| {
+            let item = match op {
+                ShardOp::Query { item, .. } => *item,
+                ShardOp::Update { item, .. } => *item,
+            };
+            !dead.contains(&item)
+        });
+    }
+}
+
+/// Log shipping at a backup: applies `items` to the backup twin of
+/// `shard`, which must stand exactly at `from_offset` applied events —
+/// any mismatch (including "no such backup here") gets the typed
+/// `NOT_REPLICA`, telling the primary's pump to re-bootstrap.
+fn handle_replicate(
+    shared: &Shared,
+    shard: u16,
+    from_offset: u64,
+    items: Vec<BatchItem>,
+) -> Response {
+    if shared.config.cluster.is_none() {
+        return not_clustered("Replicate");
+    }
+    if shard as usize >= shared.backups.len() {
+        return Response::Error {
+            code: error_code::BAD_FRAME,
+            message: format!("shard {shard} out of range"),
+        };
+    }
+    let guard = shared.backups[shard as usize].read().expect("backup slot");
+    let Some(core) = guard.as_ref() else {
+        return Response::Error {
+            code: error_code::NOT_REPLICA,
+            message: format!("no backup of shard {shard} here; bootstrap first"),
+        };
+    };
+    let at = core.events();
+    if at != from_offset {
+        return Response::Error {
+            code: error_code::NOT_REPLICA,
+            message: format!(
+                "backup of shard {shard} stands at offset {at}, not {from_offset}; re-bootstrap"
+            ),
+        };
+    }
+    let n = items.len() as u64;
+    let ops = items
+        .into_iter()
+        .enumerate()
+        .map(|(i, item)| match item {
+            BatchItem::Query(q) => ShardOp::Query {
+                item: i as u32,
+                event: q,
+            },
+            BatchItem::Update(u) => ShardOp::Update {
+                item: i as u32,
+                event: u,
+            },
+        })
+        .collect();
+    core.run_batch(ops);
+    let offset = core.events();
+    drop(guard);
+    shared.telemetry.counter("replica.applied_events").add(n);
+    Response::ReplicaOk { shard, offset }
+}
+
+/// Seeds (or re-seeds) a backup twin of `shard`. An empty state blob
+/// means "build a fresh core" — the zero-event bootstrap whose replay
+/// lineage is byte-identical to the primary's (policy init included);
+/// a non-empty blob is an engine snapshot for late catch-up after log
+/// truncation (a deterministic twin, the same lineage as a migrated
+/// shard). Re-bootstrapping over an existing backup is allowed.
+fn handle_replica_bootstrap(shared: &Shared, shard: u16, state: &[u8]) -> Response {
+    if shared.config.cluster.is_none() {
+        return not_clustered("ReplicaBootstrap");
+    }
+    if shard as usize >= shared.backups.len() {
+        return Response::Error {
+            code: error_code::BAD_FRAME,
+            message: format!("shard {shard} out of range"),
+        };
+    }
+    let s = shard as usize;
+    if let Some(allow) = shared
+        .config
+        .replication
+        .as_ref()
+        .and_then(|r| r.backup_of.as_ref())
+    {
+        if !allow.contains(&shard) {
+            return Response::Error {
+                code: error_code::NOT_REPLICA,
+                message: format!("this node does not back up shard {shard} (--backup-of)"),
+            };
+        }
+    }
+    let primary_here = shared.slots[s].read().expect("slot").is_some();
+    if primary_here {
+        return Response::Error {
+            code: error_code::NOT_REPLICA,
+            message: format!("shard {shard} is served as a primary here"),
+        };
+    }
+    let sub = shared.map.shard_catalog(s, &shared.catalog);
+    let restore = if state.is_empty() {
+        None
+    } else {
+        let snap = match std::str::from_utf8(state)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+            .and_then(snapshot_from_str)
+        {
+            Ok(snap) => snap,
+            Err(e) => {
+                return Response::Error {
+                    code: error_code::NOT_REPLICA,
+                    message: format!("bootstrap shard {shard}: bad state blob: {e}"),
+                }
+            }
+        };
+        if let Err(msg) = validate_restore(&snap, &sub, &shared.config, shared.caches[s], s) {
+            return Response::Error {
+                code: error_code::NOT_REPLICA,
+                message: format!("bootstrap shard {shard}: {msg}"),
+            };
+        }
+        Some(snap)
+    };
+    let core = ShardCore::new(ShardSpec {
+        shard,
+        catalog: sub,
+        cache_bytes: shared.caches[s],
+        policy: shared.config.policy,
+        seed: shared.config.seed + s as u64,
+        restore,
+        // Backups never persist: the primary re-seeds them on demand,
+        // and a backup snapshot on disk could resurrect stale state
+        // as a primary after a cold restart.
+        snapshot_path: None,
+        telemetry: ShardTelemetry::register(&shared.telemetry),
+    });
+    let offset = core.events();
+    *shared.backups[s].write().expect("backup slot") = Some(core);
+    shared.telemetry.counter("replica.bootstraps").inc();
+    Response::ReplicaOk { shard, offset }
+}
+
+/// Reports every backup twin this node holds and the applied-event
+/// offset each stands at — what the router's failover compares to pick
+/// the most-caught-up backup.
+fn handle_replica_status(shared: &Shared) -> Response {
+    if shared.config.cluster.is_none() {
+        return not_clustered("ReplicaStatus");
+    }
+    let mut offsets = Vec::new();
+    for (s, slot) in shared.backups.iter().enumerate() {
+        if let Some(core) = slot.read().expect("backup slot").as_ref() {
+            offsets.push((s as u16, core.events()));
+        }
+    }
+    Response::ReplicaStatusOk(offsets)
+}
+
+/// Failover at a surviving node: turns the backup twin of `shard` into
+/// the serving primary. The promoted core fences every sequence number
+/// the old primary applied (a retried event gets the typed
+/// `ALREADY_APPLIED`, never a double apply), adopts this node's
+/// snapshot directory, and starts replicating to its own successors.
+fn handle_promote(shared: &Shared, shard: u16) -> Response {
+    if shared.config.cluster.is_none() {
+        return not_clustered("Promote");
+    }
+    if shard as usize >= shared.backups.len() {
+        return Response::Error {
+            code: error_code::BAD_FRAME,
+            message: format!("shard {shard} out of range"),
+        };
+    }
+    let s = shard as usize;
+    let Some(backup) = shared.backups[s].write().expect("backup slot").take() else {
+        return Response::Error {
+            code: error_code::NOT_REPLICA,
+            message: format!("no backup of shard {shard} to promote here"),
+        };
+    };
+    let mut slot = shared.slots[s].write().expect("slot");
+    if slot.is_some() {
+        // Serving both roles at once would double-apply; put the twin
+        // back untouched.
+        *shared.backups[s].write().expect("backup slot") = Some(backup);
+        return Response::Error {
+            code: error_code::NOT_REPLICA,
+            message: format!("shard {shard} is already served as a primary here"),
+        };
+    }
+    let repl = shared.repl.as_ref().map(|rt| {
+        Arc::new(ReplState::new(
+            shard,
+            backup.events(),
+            rt.replicas as usize,
+            Arc::clone(&rt.notifier),
+        ))
+    });
+    let snapshot_path = shared
+        .config
+        .snapshot_dir
+        .as_ref()
+        .map(|dir| dir.join(format!("shard-{s}.jsonl")));
+    let (core, offset) = backup.into_primary(snapshot_path, repl);
+    *slot = Some(core);
+    drop(slot);
+    shared
+        .telemetry
+        .gauge("node.shards_hosted")
+        .set(shared.hosted().len() as u64);
+    shared.telemetry.counter("node.promotions").inc();
+    Response::PromoteOk { shard, offset }
+}
+
+/// The typed reply for an event a promoted primary's fence blocks: the
+/// old primary applied it before failover, so a retrying client counts
+/// it done rather than double-applying.
+fn already_applied(seq: u64, fence: u64) -> Response {
+    Response::Error {
+        code: error_code::ALREADY_APPLIED,
+        message: format!("seq {seq} was applied before failover (fence {fence})"),
+    }
+}
+
+/// Socket timeout for pump round trips: a peer slower than this is
+/// treated as down (applies stop waiting for it) rather than allowed to
+/// wedge the pump.
+const PUMP_IO_TIMEOUT: Duration = Duration::from_millis(250);
+
+/// One pump thread: ships every hosted primary's applied-event log to
+/// the successor peer at `rank`, bootstrapping targets as needed and
+/// marking them down (excluded from apply-side waits) when the link
+/// dies. Reconnects forever with capped, jittered backoff so a
+/// restarted peer is not hit by every primary in lockstep.
+fn replication_pump(shared: Arc<Shared>, rank: usize) {
+    let rt = shared.repl.as_ref().expect("pump without runtime");
+    let cluster = shared
+        .config
+        .cluster
+        .as_ref()
+        .expect("replication requires cluster mode");
+    let peer_idx = (cluster.node as usize + 1 + rank) % cluster.nodes as usize;
+    let peer = rt.peers[peer_idx].clone();
+    // Deterministic per-pump jitter seed: spreads reconnects without a
+    // shared RNG (the jitter affects timing only, never data).
+    let mut rng = 0x9e37_79b9_7f4a_7c15u64 ^ ((cluster.node as u64) << 32) ^ rank as u64;
+    let mut backoff = Duration::from_millis(50);
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        if let Ok(mut client) = DeltaClient::connect(peer.as_str()) {
+            if client.set_io_timeout(Some(PUMP_IO_TIMEOUT)).is_ok() {
+                backoff = Duration::from_millis(50);
+                pump_session(&shared, rank, &mut client);
+            }
+        }
+        // The link is gone: every target this pump serves is down until
+        // the next session bootstraps it back.
+        for_each_repl(&shared, |repl| repl.set_status(rank, TargetStatus::Down));
+        std::thread::sleep(jittered(&mut rng, backoff));
+        backoff = (backoff * 2).min(Duration::from_secs(1));
+    }
+}
+
+/// One connected pump session: scans the hosted primaries, bootstraps
+/// stale targets and ships unshipped log suffixes, sleeping on the
+/// notifier between rounds. Returns when the link errors or the server
+/// shuts down.
+fn pump_session(shared: &Shared, rank: usize, client: &mut DeltaClient) {
+    let rt = shared.repl.as_ref().expect("pump without runtime");
+    let lag_gauge = shared.telemetry.gauge("replica.lag_events");
+    let shipped = shared.telemetry.counter("replica.shipped_events");
+    let bootstraps = shared.telemetry.counter("replica.bootstraps_sent");
+    let mut seen = rt.notifier.snapshot();
+    // A fresh link: every target this pump previously marked down is
+    // worth another bootstrap. Targets the peer *refuses* go back to
+    // down below and stay there for the rest of the session, so a
+    // refusal never becomes a per-round retry storm.
+    for_each_repl(shared, |repl| {
+        if repl.status(rank) == TargetStatus::Down {
+            repl.set_status(rank, TargetStatus::NeedsBootstrap);
+        }
+    });
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        // Scan the slots fresh each round: a shard promoted mid-flight
+        // starts replicating without a pump restart.
+        for s in 0..shared.slots.len() {
+            let Some(repl) = shared.slots[s]
+                .read()
+                .expect("slot")
+                .as_ref()
+                .and_then(|core| core.repl().cloned())
+            else {
+                continue;
+            };
+            if repl.status(rank) == TargetStatus::NeedsBootstrap {
+                let (offset, snap) = {
+                    let guard = shared.slots[s].read().expect("slot");
+                    let Some(core) = guard.as_ref() else { continue };
+                    core.bootstrap_state()
+                };
+                let state = match snap {
+                    None => Vec::new(),
+                    Some(snap) => snapshot_to_string(&snap).into_bytes(),
+                };
+                if state.len() + 16 > crate::protocol::MAX_FRAME_BYTES as usize {
+                    // An unshippable snapshot: leave the target down
+                    // rather than wedge the pump; operators see it as
+                    // unbounded lag on the gauge.
+                    repl.set_status(rank, TargetStatus::Down);
+                    continue;
+                }
+                match client.request(&Request::ReplicaBootstrap {
+                    shard: s as u16,
+                    state,
+                }) {
+                    Ok(Response::ReplicaOk { offset: acked, .. }) => {
+                        debug_assert_eq!(acked, offset);
+                        repl.mark_bootstrapped(rank, acked);
+                        bootstraps.inc();
+                    }
+                    // A typed refusal (allowlisted away, or the peer
+                    // serves the shard as primary): this target will
+                    // never take the shard; stop asking.
+                    Ok(_) => repl.set_status(rank, TargetStatus::Down),
+                    Err(_) => return,
+                }
+            }
+            while let Some((from, items)) = repl.suffix_for(rank) {
+                let n = items.len() as u64;
+                match client.request(&Request::Replicate {
+                    shard: s as u16,
+                    from_offset: from,
+                    items,
+                }) {
+                    Ok(Response::ReplicaOk { offset, .. }) => {
+                        repl.record_ack(rank, offset);
+                        shipped.add(n);
+                    }
+                    Ok(Response::Error { code, .. }) if code == error_code::NOT_REPLICA => {
+                        repl.set_status(rank, TargetStatus::NeedsBootstrap);
+                        break;
+                    }
+                    Ok(_) => {
+                        repl.set_status(rank, TargetStatus::Down);
+                        break;
+                    }
+                    Err(_) => return,
+                }
+            }
+        }
+        lag_gauge.set(max_lag(shared));
+        seen = rt.notifier.wait(seen, Duration::from_millis(10));
+    }
+}
+
+/// Applies `f` to every hosted primary's replication log.
+fn for_each_repl(shared: &Shared, mut f: impl FnMut(&ReplState)) {
+    for slot in &shared.slots {
+        if let Some(repl) = slot.read().expect("slot").as_ref().and_then(|c| c.repl()) {
+            f(repl);
+        }
+    }
+}
+
+/// Worst replication lag across hosted primaries, for the
+/// `replica.lag_events` gauge.
+fn max_lag(shared: &Shared) -> u64 {
+    let mut worst = 0;
+    for_each_repl(shared, |repl| worst = worst.max(repl.lag()));
+    worst
 }
 
 /// Converts a single-request error response into its batch-item shape.

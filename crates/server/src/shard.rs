@@ -35,7 +35,8 @@
 //! [`ShardCore::new`] accepts a restored snapshot to resume warm.
 
 use crate::config::PolicyKind;
-use crate::protocol::ShardStats;
+use crate::protocol::{BatchItem, ShardStats};
+use crate::replication::ReplState;
 use delta_core::engine::write_snapshot;
 use delta_core::{CachingPolicy, Engine, EngineOutcome, EngineSnapshot};
 use delta_storage::ObjectCatalog;
@@ -196,6 +197,16 @@ pub struct ShardCore {
     snapshot_path: Option<PathBuf>,
     engine: Mutex<ShardEngine>,
     telemetry: ShardTelemetry,
+    /// When this core is a replicated primary: the applied-event log
+    /// it ships to backups. Appends happen inside the engine-lock
+    /// window that applied the event, so log order is apply order.
+    repl: Option<Arc<ReplState>>,
+    /// Promotion fence: events with `seq <= fence` were applied by the
+    /// previous primary before failover and must not re-execute. Zero
+    /// (sequence numbers start at 1) everywhere except on a promoted
+    /// core, and immutable once the core serves — set before the slot
+    /// is published, read without synchronization concerns.
+    fence: u64,
 }
 
 impl ShardCore {
@@ -233,12 +244,79 @@ impl ShardCore {
             snapshot_path,
             engine: Mutex::new(engine),
             telemetry,
+            repl: None,
+            fence: 0,
         }
     }
 
     /// Shard index.
     pub fn shard(&self) -> u16 {
         self.shard
+    }
+
+    /// Attaches the replication log this primary ships to backups.
+    /// Called before the core is published to connection threads.
+    pub fn set_repl(&mut self, repl: Arc<ReplState>) {
+        self.repl = Some(repl);
+    }
+
+    /// The replication log, when this core is a replicated primary.
+    pub fn repl(&self) -> Option<&Arc<ReplState>> {
+        self.repl.as_ref()
+    }
+
+    /// The promotion fence: the highest sequence number the previous
+    /// primary applied before this core took over (zero when the core
+    /// was never promoted).
+    pub fn fence(&self) -> u64 {
+        self.fence
+    }
+
+    /// Applied events (the engine's event count) — the replication
+    /// offset this core stands at.
+    pub fn events(&self) -> u64 {
+        self.lock().events()
+    }
+
+    /// The bootstrap a backup of this shard needs, captured atomically
+    /// against the apply path: the current applied-event offset plus
+    /// the engine snapshot — or `None` for a zero-event core, telling
+    /// the backup to build a fresh twin (running policy init) so its
+    /// replay lineage is byte-identical rather than snapshot-shaped.
+    pub fn bootstrap_state(&self) -> (u64, Option<EngineSnapshot>) {
+        let engine = self.lock();
+        let events = engine.events();
+        if events == 0 {
+            (0, None)
+        } else {
+            (events, Some(engine.snapshot()))
+        }
+    }
+
+    /// Turns a caught-up backup core into a serving primary: fences
+    /// every sequence number the old primary already applied (so a
+    /// client retrying through the failover gets the typed
+    /// `ALREADY_APPLIED` instead of a double-apply), adopts this
+    /// node's snapshot destination, and starts its own replication
+    /// log. Returns the rebuilt core and the offset it serves from.
+    pub fn into_primary(
+        self,
+        snapshot_path: Option<PathBuf>,
+        repl: Option<Arc<ReplState>>,
+    ) -> (ShardCore, u64) {
+        let (fence, offset) = {
+            let engine = self.lock();
+            (engine.clock(), engine.events())
+        };
+        (
+            ShardCore {
+                snapshot_path,
+                repl,
+                fence,
+                ..self
+            },
+            offset,
+        )
     }
 
     fn lock(&self) -> std::sync::MutexGuard<'_, ShardEngine> {
@@ -254,6 +332,9 @@ impl ShardCore {
         let waited = t0.elapsed();
         let t1 = Instant::now();
         let version = apply_update(&mut engine, u);
+        if let Some(repl) = &self.repl {
+            repl.append(BatchItem::Update(u));
+        }
         let applied = t1.elapsed();
         drop(engine);
         let timers = self.telemetry.timers(OpClass::Update);
@@ -277,7 +358,14 @@ impl ShardCore {
         let mut engine = self.lock();
         let waited = t0.elapsed();
         let t1 = Instant::now();
+        // Replicate the query before handing its ownership to the
+        // engine; violated queries apply no event, so their clone is
+        // dropped, not logged.
+        let logged = self.repl.as_ref().map(|_| BatchItem::Query(q.clone()));
         let result = serve_query(self.shard, &mut engine, q);
+        if let (Some(repl), Some(item), Ok(_)) = (&self.repl, logged, &result) {
+            repl.append(item);
+        }
         let applied = t1.elapsed();
         drop(engine);
         let timers = self.telemetry.timers(class);
@@ -302,15 +390,24 @@ impl ShardCore {
                 let t1 = Instant::now();
                 let outcome = match op {
                     ShardOp::Query { item, event } => {
+                        let logged = self.repl.as_ref().map(|_| BatchItem::Query(event.clone()));
                         match serve_query(self.shard, &mut engine, event) {
-                            Ok(local) => OpOutcome::Query { item, local },
+                            Ok(local) => {
+                                if let (Some(repl), Some(logged)) = (&self.repl, logged) {
+                                    repl.append(logged);
+                                }
+                                OpOutcome::Query { item, local }
+                            }
                             Err(error) => OpOutcome::QueryFailed { item, error },
                         }
                     }
-                    ShardOp::Update { item, event } => OpOutcome::Update {
-                        item,
-                        version: apply_update(&mut engine, event),
-                    },
+                    ShardOp::Update { item, event } => {
+                        let version = apply_update(&mut engine, event);
+                        if let Some(repl) = &self.repl {
+                            repl.append(BatchItem::Update(event));
+                        }
+                        OpOutcome::Update { item, version }
+                    }
                 };
                 timers.apply.record_duration(t1.elapsed());
                 outcome

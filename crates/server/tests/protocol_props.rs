@@ -75,6 +75,21 @@ fn arb_plain_request() -> impl Strategy<Value = Request> {
         Just(Request::Stats),
         Just(Request::Telemetry),
         Just(Request::Shutdown),
+        // The replication vocabulary rides the same framing.
+        (
+            0u16..512,
+            0u64..u64::MAX / 2,
+            prop::collection::vec(arb_item(), 0..8)
+        )
+            .prop_map(|(shard, from_offset, items)| Request::Replicate {
+                shard,
+                from_offset,
+                items,
+            }),
+        (0u16..512, prop::collection::vec(0u8..=255, 0..256))
+            .prop_map(|(shard, state)| Request::ReplicaBootstrap { shard, state }),
+        Just(Request::ReplicaStatus),
+        (0u16..512).prop_map(|shard| Request::Promote { shard }),
     ]
 }
 
