@@ -71,7 +71,7 @@ pub use latency::{LatencyCollector, LatencyStats};
 pub use load_manager::{AdmissionMode, LoadManager};
 pub use obj_cache::ObjCache;
 pub use offline::{hindsight_decoupling, HindsightReport};
-pub use policy_trait::CachingPolicy;
+pub use policy_trait::{CachingPolicy, PolicyInstruments};
 pub use preship::{Preship, PreshipConfig};
 pub use sim::{compare_all, simulate, try_simulate, SeriesPoint, SimOptions, SimReport};
 pub use update_manager::UpdateManager;

@@ -3,7 +3,34 @@
 
 use crate::context::SimContext;
 use delta_storage::ObjectCatalog;
+use delta_telemetry::{Counter, Gauge, Histogram};
 use delta_workload::{QueryEvent, UpdateEvent};
+use std::sync::Arc;
+
+/// Telemetry handles a serving stack can hand to a policy so its internal
+/// solver is observable in the node scrape plane. Strictly observational:
+/// a policy's decisions are byte-identical with or without instruments
+/// attached (no `Instant::now` calls happen when detached, so the pure
+/// sim/bench path pays nothing).
+#[derive(Clone)]
+pub struct PolicyInstruments {
+    /// Cover solve latency per decided query (`um.solve_ns`).
+    pub solve_ns: Arc<Histogram>,
+    /// Live interaction-graph node count (`um.graph_nodes`).
+    pub graph_nodes: Arc<Gauge>,
+    /// Live interaction-graph edge count (`um.graph_edges`).
+    pub graph_edges: Arc<Gauge>,
+    /// Cover solves performed (`um.solves`).
+    pub solves: Arc<Counter>,
+}
+
+impl std::fmt::Debug for PolicyInstruments {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PolicyInstruments")
+            .field("solves", &self.solves.get())
+            .finish_non_exhaustive()
+    }
+}
 
 /// A middleware caching algorithm driven by the event simulator.
 ///
@@ -34,4 +61,10 @@ pub trait CachingPolicy {
     fn preferred_capacity(&self, _catalog: &ObjectCatalog, configured: u64) -> u64 {
         configured
     }
+
+    /// Hands the policy telemetry handles to record its internal solver
+    /// activity on. Default: ignored (most policies have no solver);
+    /// VCover forwards them to its `UpdateManager`. Must stay strictly
+    /// observational — attaching instruments never changes decisions.
+    fn attach_instruments(&mut self, _instruments: PolicyInstruments) {}
 }

@@ -53,9 +53,9 @@ pub const MAX_SEGMENTS_PER_OBJECT: usize = 128;
 /// query can only bias later covers toward shipping queries again —
 /// never violates a currency contract).
 pub const MAX_RETAINED_QUERIES: usize = 4096;
+use crate::policy_trait::PolicyInstruments;
 use delta_storage::ObjectId;
 use delta_workload::QueryEvent;
-use std::collections::HashMap;
 
 /// Appends `(o, applied, required)` to `ranges` when the cached copy at
 /// `applied` does not satisfy the query horizon — the same arithmetic as
@@ -120,14 +120,52 @@ pub struct UpdateManager {
     /// never has to sum the slab).
     live_nodes: usize,
     /// Live queries adjacent to each segment vertex (needed to re-wire on
-    /// splits).
-    node_queries: HashMap<UpdateNode, Vec<QueryNode>>,
+    /// splits). A dense slab indexed by `UpdateNode.0` — node handles are
+    /// monotonically assigned and never reused, so no hashing on the hot
+    /// path; dead nodes leave an empty (recycled) slot behind.
+    node_queries: Vec<Vec<QueryNode>>,
+    /// Recycled adjacency Vecs from dead slab slots.
+    adj_pool: Vec<Vec<QueryNode>>,
     /// Retained (shipped) query vertices.
     retained: Vec<QueryNode>,
     /// Reusable scratch for the per-query needed-update ranges — no
     /// per-event heap allocation on the hot path.
     ranges_scratch: Vec<(ObjectId, u64, u64)>,
+    /// Observational telemetry handles (serving stack only; `None` in
+    /// pure sim/bench runs — decisions are identical either way).
+    instruments: Option<PolicyInstruments>,
     stats: UpdateManagerStats,
+}
+
+/// Recycled adjacency Vecs kept in the pool (beyond this, capacity is
+/// returned to the allocator).
+const MAX_POOLED_ADJ: usize = 256;
+
+/// The slab slot for `node`, growing the slab on demand. Free-standing so
+/// callers holding disjoint borrows of other `UpdateManager` fields can
+/// still use it.
+fn nq_slot(nq: &mut Vec<Vec<QueryNode>>, node: UpdateNode) -> &mut Vec<QueryNode> {
+    if node.0 >= nq.len() {
+        nq.resize_with(node.0 + 1, Vec::new);
+    }
+    &mut nq[node.0]
+}
+
+/// Empties `node`'s slab slot and returns its contents (an empty Vec if
+/// the node never had adjacency recorded).
+fn nq_take(nq: &mut [Vec<QueryNode>], node: UpdateNode) -> Vec<QueryNode> {
+    match nq.get_mut(node.0) {
+        Some(slot) => std::mem::take(slot),
+        None => Vec::new(),
+    }
+}
+
+/// Returns a drained adjacency Vec to the pool for reuse.
+fn nq_recycle(pool: &mut Vec<Vec<QueryNode>>, mut v: Vec<QueryNode>) {
+    if pool.len() < MAX_POOLED_ADJ {
+        v.clear();
+        pool.push(v);
+    }
 }
 
 impl UpdateManager {
@@ -139,6 +177,12 @@ impl UpdateManager {
     /// Accumulated statistics.
     pub fn stats(&self) -> UpdateManagerStats {
         self.stats
+    }
+
+    /// Attaches observational telemetry handles (`um.*` metrics). Timing
+    /// only happens while attached; decisions never depend on it.
+    pub fn attach_instruments(&mut self, instruments: PolicyInstruments) {
+        self.instruments = Some(instruments);
     }
 
     /// Number of live segment vertices (for tests).
@@ -226,16 +270,26 @@ impl UpdateManager {
                 if seg.end <= to {
                     let node = seg.node;
                     self.graph.add_interaction(node, qn);
-                    self.node_queries.entry(node).or_default().push(qn);
+                    nq_slot(&mut self.node_queries, node).push(qn);
                 }
             }
         }
 
-        // Incremental cover solve (Fig. 5).
-        let cover = self.graph.solve();
+        // Incremental cover solve (Fig. 5), asking only the one question
+        // this decision needs: is qn in the cover? The ranges to ship on
+        // a "no" are already in hand — no full cover materialization.
+        let solve_start = self.instruments.as_ref().map(|_| std::time::Instant::now());
+        let ship_query = self.graph.solve_query_membership(qn);
         self.stats.solves += 1;
+        if let (Some(ins), Some(start)) = (self.instruments.as_ref(), solve_start) {
+            ins.solve_ns.record(start.elapsed().as_nanos() as u64);
+            ins.solves.inc();
+            ins.graph_nodes
+                .set((self.graph.live_updates() + self.graph.live_queries()) as u64);
+            ins.graph_edges.set(self.graph.live_interactions() as u64);
+        }
 
-        if cover.queries.contains(&qn) {
+        if ship_query {
             // Ship the query; retain its vertex (remainder rule).
             ctx.ship_query(q);
             self.retained.push(qn);
@@ -274,12 +328,12 @@ impl UpdateManager {
             let start = merged.first().expect("k >= 1").start;
             let end = merged.last().expect("k >= 1").end;
             let mut weight = 0u64;
-            let mut adjacency: Vec<QueryNode> = Vec::new();
+            let mut adjacency: Vec<QueryNode> = self.adj_pool.pop().unwrap_or_default();
             for seg in &merged {
                 weight += self.graph.update_weight(seg.node);
-                if let Some(adj) = self.node_queries.remove(&seg.node) {
-                    adjacency.extend(adj);
-                }
+                let adj = nq_take(&mut self.node_queries, seg.node);
+                adjacency.extend_from_slice(&adj);
+                nq_recycle(&mut self.adj_pool, adj);
                 self.graph.remove_update(seg.node);
             }
             adjacency.sort_unstable_by_key(|qn| qn.0);
@@ -291,7 +345,7 @@ impl UpdateManager {
                 }
             }
             adjacency.retain(|&adj_q| self.graph.query_alive(adj_q));
-            self.node_queries.insert(node, adjacency);
+            *nq_slot(&mut self.node_queries, node) = adjacency;
             segs.insert(0, Segment { start, end, node });
             self.live_nodes -= merged.len() - 1;
             self.stats.segments_coalesced += merged.len() as u64;
@@ -331,7 +385,7 @@ impl UpdateManager {
             // Split the straddling segment at `to`.
             self.stats.segment_splits += 1;
             let old = segs[idx].clone();
-            let adjacency = self.node_queries.remove(&old.node).unwrap_or_default();
+            let adjacency = nq_take(&mut self.node_queries, old.node);
             graph.remove_update(old.node);
             let w1 = ctx.repo.update_bytes(o, old.start, to);
             let w2 = ctx.repo.update_bytes(o, to, old.end);
@@ -343,10 +397,11 @@ impl UpdateManager {
                 if graph.query_alive(adj_q) {
                     graph.add_interaction(n1, adj_q);
                     graph.add_interaction(n2, adj_q);
-                    self.node_queries.entry(n1).or_default().push(adj_q);
-                    self.node_queries.entry(n2).or_default().push(adj_q);
+                    nq_slot(&mut self.node_queries, n1).push(adj_q);
+                    nq_slot(&mut self.node_queries, n2).push(adj_q);
                 }
             }
+            nq_recycle(&mut self.adj_pool, adjacency);
             segs[idx] = Segment {
                 start: old.start,
                 end: to,
@@ -372,7 +427,8 @@ impl UpdateManager {
             let k = segs.iter().position(|s| s.end > to).unwrap_or(segs.len());
             for seg in segs.drain(..k) {
                 self.graph.remove_update(seg.node);
-                self.node_queries.remove(&seg.node);
+                let adj = nq_take(&mut self.node_queries, seg.node);
+                nq_recycle(&mut self.adj_pool, adj);
                 self.live_nodes -= 1;
                 self.stats.update_nodes_shipped += 1;
             }
@@ -391,7 +447,8 @@ impl UpdateManager {
         }
         for seg in std::mem::take(segs) {
             self.graph.remove_update(seg.node);
-            self.node_queries.remove(&seg.node);
+            let adj = nq_take(&mut self.node_queries, seg.node);
+            nq_recycle(&mut self.adj_pool, adj);
             self.live_nodes -= 1;
         }
         self.prune_isolated();

@@ -124,6 +124,10 @@ impl<P: ReplacementPolicy> CachingPolicy for VCover<P> {
         // and invalidated any cached copy; interaction-graph vertices are
         // created lazily when a query actually needs the update.
     }
+
+    fn attach_instruments(&mut self, instruments: crate::policy_trait::PolicyInstruments) {
+        self.um.attach_instruments(instruments);
+    }
 }
 
 #[cfg(test)]

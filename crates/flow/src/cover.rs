@@ -20,7 +20,25 @@
 //! objects evicted) via closed-form flow cancellation that keeps the
 //! retained flow feasible — precisely the remainder-subgraph technique of
 //! §4 of the paper.
+//!
+//! ## The membership fast path
+//!
+//! The online decision loop never needs the whole cover: it asks one
+//! question per arriving query — *is this query node in the cover?* —
+//! and already knows, from its own bookkeeping, which update ranges to
+//! ship when the answer is no. [`CoverGraph::solve_query_membership`]
+//! answers exactly that: augment the flow to maximality (incrementally),
+//! then run an **early-exit** residual BFS from `s` that stops the moment
+//! the query node is discovered. No reachability vector, no `HashSet`
+//! materialization, no allocation at all. The full
+//! [`CoverGraph::solve`] survives for tests, stats, and offline planning.
+//!
+//! This is sound because the residual-reachable set of *any* maximum flow
+//! is the same canonical set (the minimal source-side min cut): whichever
+//! augmenting order — or [`FlowSolver`] — produced maximality, membership
+//! answers are identical.
 
+use crate::dinic::{dinic_max_flow_with, DinicScratch};
 use crate::graph::{EdgeId, FlowNetwork, NodeId, INF};
 use std::collections::HashSet;
 
@@ -32,6 +50,35 @@ pub struct UpdateNode(pub usize);
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct QueryNode(pub usize);
 
+/// How [`CoverGraph`] pushes the incremental flow to maximality on each
+/// solve. All three produce identical covers (the residual-reachable set
+/// of a maximum flow is canonical); they differ only in wall-clock cost,
+/// raced head-to-head in the `flow_solve` bench.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum FlowSolver {
+    /// Shortest-augmenting-path (Edmonds–Karp) until no path remains —
+    /// the paper's §4 incremental step. One BFS per augmenting path.
+    EdmondsKarp,
+    /// Dinic's blocking flow on every solve. Fewer phases when many
+    /// paths are needed, but each phase costs a full level-graph BFS —
+    /// overkill for the common 0/1-augmentation incremental solve.
+    Dinic,
+    /// A bounded burst of Edmonds–Karp augmentations (covering the
+    /// common incremental case at one BFS each), falling back to Dinic
+    /// when the residual demand is larger — e.g. right after a
+    /// mass-removal rewired lots of flow. The measured default.
+    #[default]
+    Hybrid,
+}
+
+/// Edmonds–Karp augmentations the [`FlowSolver::Hybrid`] strategy
+/// attempts before handing the solve to Dinic.
+const HYBRID_EK_BUDGET: usize = 8;
+
+/// Pooled edge-list Vecs retained for reuse (beyond this, capacity is
+/// returned to the allocator).
+const MAX_POOLED_EDGE_LISTS: usize = 256;
+
 #[derive(Clone, Debug)]
 struct UEntry {
     node: NodeId,
@@ -39,6 +86,9 @@ struct UEntry {
     weight: u64,
     /// Live interaction edges, paired with the query handle.
     edges: Vec<(EdgeId, QueryNode)>,
+    /// Count of `edges` whose query endpoint is still alive, maintained
+    /// eagerly so degree queries are O(1).
+    live_deg: usize,
     alive: bool,
 }
 
@@ -48,6 +98,7 @@ struct QEntry {
     t_edge: EdgeId,
     weight: u64,
     edges: Vec<(EdgeId, UpdateNode)>,
+    live_deg: usize,
     alive: bool,
 }
 
@@ -73,7 +124,20 @@ pub struct CoverGraph {
     qs: Vec<QEntry>,
     live_u: usize,
     live_q: usize,
+    /// Live interaction edges (both endpoints alive).
+    live_edges: usize,
     removed_nodes: usize,
+    solver: FlowSolver,
+    dinic: DinicScratch,
+    /// Recycled `UEntry::edges` / `QEntry::edges` Vecs from removed
+    /// nodes, reused by `add_update` / `add_query`.
+    u_edge_pool: Vec<Vec<(EdgeId, QueryNode)>>,
+    q_edge_pool: Vec<Vec<(EdgeId, UpdateNode)>>,
+    /// Compaction scratch: `(u index, q index, carried flow)` per
+    /// surviving interaction edge.
+    rewires: Vec<(usize, usize, u64)>,
+    /// Compaction scratch: old update index -> rebuilt NodeId.
+    unode_scratch: Vec<NodeId>,
 }
 
 impl Default for CoverGraph {
@@ -96,8 +160,26 @@ impl CoverGraph {
             qs: Vec::new(),
             live_u: 0,
             live_q: 0,
+            live_edges: 0,
             removed_nodes: 0,
+            solver: FlowSolver::default(),
+            dinic: DinicScratch::default(),
+            u_edge_pool: Vec::new(),
+            q_edge_pool: Vec::new(),
+            rewires: Vec::new(),
+            unode_scratch: Vec::new(),
         }
+    }
+
+    /// Selects the max-flow strategy (covers are identical under all of
+    /// them — see [`FlowSolver`]). Default is [`FlowSolver::Hybrid`].
+    pub fn set_solver(&mut self, solver: FlowSolver) {
+        self.solver = solver;
+    }
+
+    /// The active max-flow strategy.
+    pub fn solver(&self) -> FlowSolver {
+        self.solver
     }
 
     /// Adds an update node with shipping cost `weight`.
@@ -108,7 +190,8 @@ impl CoverGraph {
             node,
             s_edge,
             weight,
-            edges: Vec::new(),
+            edges: self.u_edge_pool.pop().unwrap_or_default(),
+            live_deg: 0,
             alive: true,
         });
         self.live_u += 1;
@@ -123,7 +206,8 @@ impl CoverGraph {
             node,
             t_edge,
             weight,
-            edges: Vec::new(),
+            edges: self.q_edge_pool.pop().unwrap_or_default(),
+            live_deg: 0,
             alive: true,
         });
         self.live_q += 1;
@@ -140,7 +224,10 @@ impl CoverGraph {
         assert!(self.qs[q.0].alive, "query node removed");
         let e = self.net.add_edge(self.us[u.0].node, self.qs[q.0].node, INF);
         self.us[u.0].edges.push((e, q));
+        self.us[u.0].live_deg += 1;
         self.qs[q.0].edges.push((e, u));
+        self.qs[q.0].live_deg += 1;
+        self.live_edges += 1;
     }
 
     /// Shipping cost of an update node.
@@ -164,22 +251,32 @@ impl CoverGraph {
     }
 
     /// Number of live edges incident to `u` (edges to removed queries don't
-    /// count).
+    /// count). O(1): maintained eagerly on edge and node mutations.
     pub fn update_degree(&self, u: UpdateNode) -> usize {
-        self.us[u.0]
-            .edges
-            .iter()
-            .filter(|(_, q)| self.qs[q.0].alive)
-            .count()
+        debug_assert_eq!(
+            self.us[u.0].live_deg,
+            self.us[u.0]
+                .edges
+                .iter()
+                .filter(|(_, q)| self.qs[q.0].alive)
+                .count(),
+            "update live-degree counter out of sync"
+        );
+        self.us[u.0].live_deg
     }
 
-    /// Number of live edges incident to `q`.
+    /// Number of live edges incident to `q`. O(1).
     pub fn query_degree(&self, q: QueryNode) -> usize {
-        self.qs[q.0]
-            .edges
-            .iter()
-            .filter(|(_, u)| self.us[u.0].alive)
-            .count()
+        debug_assert_eq!(
+            self.qs[q.0].live_deg,
+            self.qs[q.0]
+                .edges
+                .iter()
+                .filter(|(_, u)| self.us[u.0].alive)
+                .count(),
+            "query live-degree counter out of sync"
+        );
+        self.qs[q.0].live_deg
     }
 
     /// Live update-node count.
@@ -192,24 +289,39 @@ impl CoverGraph {
         self.live_q
     }
 
+    /// Live interaction-edge count (both endpoints alive).
+    pub fn live_interactions(&self) -> usize {
+        self.live_edges
+    }
+
     /// Removes an update node (it was shipped, or its object was evicted),
     /// cancelling any flow routed through it so the remaining flow stays
     /// feasible.
     pub fn remove_update(&mut self, u: UpdateNode) {
-        let entry = &self.us[u.0];
-        if !entry.alive {
+        if !self.us[u.0].alive {
             return;
         }
-        let node = entry.node;
-        let s_edge = entry.s_edge;
+        let node = self.us[u.0].node;
+        let s_edge = self.us[u.0].s_edge;
         // Cancel flow on each interaction edge and the matching q->t edge.
-        let edges = entry.edges.clone();
-        for (e, q) in edges {
+        // The entry is dead after this call and its edge list is never
+        // read again, so move it out instead of cloning it.
+        let mut edges = std::mem::take(&mut self.us[u.0].edges);
+        for &(e, q) in &edges {
+            let qe = &mut self.qs[q.0];
+            if qe.alive {
+                qe.live_deg -= 1;
+                self.live_edges -= 1;
+            }
             let f = self.net.flow_on(e) as i64;
             if f > 0 {
                 self.net.force_flow(e, -f);
                 self.net.force_flow(self.qs[q.0].t_edge, -f);
             }
+        }
+        if self.u_edge_pool.len() < MAX_POOLED_EDGE_LISTS {
+            edges.clear();
+            self.u_edge_pool.push(edges);
         }
         let f_su = self.net.flow_on(s_edge) as i64;
         if f_su > 0 {
@@ -217,6 +329,7 @@ impl CoverGraph {
         }
         self.net.delete_node(node);
         self.us[u.0].alive = false;
+        self.us[u.0].live_deg = 0;
         self.live_u -= 1;
         self.removed_nodes += 1;
         self.maybe_compact();
@@ -225,19 +338,27 @@ impl CoverGraph {
     /// Removes a query node (it was answered at the cache or shipped and its
     /// retention is no longer needed), cancelling flow through it.
     pub fn remove_query(&mut self, q: QueryNode) {
-        let entry = &self.qs[q.0];
-        if !entry.alive {
+        if !self.qs[q.0].alive {
             return;
         }
-        let node = entry.node;
-        let t_edge = entry.t_edge;
-        let edges = entry.edges.clone();
-        for (e, u) in edges {
+        let node = self.qs[q.0].node;
+        let t_edge = self.qs[q.0].t_edge;
+        let mut edges = std::mem::take(&mut self.qs[q.0].edges);
+        for &(e, u) in &edges {
+            let ue = &mut self.us[u.0];
+            if ue.alive {
+                ue.live_deg -= 1;
+                self.live_edges -= 1;
+            }
             let f = self.net.flow_on(e) as i64;
             if f > 0 {
                 self.net.force_flow(e, -f);
                 self.net.force_flow(self.us[u.0].s_edge, -f);
             }
+        }
+        if self.q_edge_pool.len() < MAX_POOLED_EDGE_LISTS {
+            edges.clear();
+            self.q_edge_pool.push(edges);
         }
         let f_qt = self.net.flow_on(t_edge) as i64;
         if f_qt > 0 {
@@ -245,27 +366,66 @@ impl CoverGraph {
         }
         self.net.delete_node(node);
         self.qs[q.0].alive = false;
+        self.qs[q.0].live_deg = 0;
         self.live_q -= 1;
         self.removed_nodes += 1;
         self.maybe_compact();
     }
 
+    /// Pushes the current (feasible) flow to maximality with the active
+    /// [`FlowSolver`]. The incremental step of §4.
+    fn maximize_flow(&mut self) {
+        match self.solver {
+            FlowSolver::EdmondsKarp => {
+                self.net.max_flow(self.s, self.t);
+            }
+            FlowSolver::Dinic => {
+                dinic_max_flow_with(&mut self.net, self.s, self.t, &mut self.dinic);
+            }
+            FlowSolver::Hybrid => {
+                for _ in 0..HYBRID_EK_BUDGET {
+                    if self.net.augment_once(self.s, self.t).is_none() {
+                        return;
+                    }
+                }
+                dinic_max_flow_with(&mut self.net, self.s, self.t, &mut self.dinic);
+            }
+        }
+    }
+
+    /// Answers the one question the online decision loop needs: after
+    /// re-solving incrementally, is query `q` in the minimum-weight cover
+    /// (i.e. should it be shipped)? Allocation-free; early-exits the
+    /// residual BFS the moment `q`'s node settles. Equivalent to
+    /// `self.solve().queries.contains(&q)` (pinned by proptests).
+    ///
+    /// # Panics
+    /// Panics if `q` has been removed.
+    pub fn solve_query_membership(&mut self, q: QueryNode) -> bool {
+        assert!(self.qs[q.0].alive, "query node removed");
+        self.maximize_flow();
+        let node = self.qs[q.0].node;
+        self.net.residual_reaches(self.s, node)
+    }
+
     /// Solves for the current minimum-weight vertex cover, continuing from
-    /// the previous flow (the incremental step of §4).
+    /// the previous flow (the incremental step of §4). Materializes the
+    /// full cover — tests, stats, and offline planning; the online hot
+    /// path uses [`Self::solve_query_membership`].
     pub fn solve(&mut self) -> Cover {
-        self.net.max_flow(self.s, self.t);
-        let reach = self.net.residual_reachable(self.s);
+        self.maximize_flow();
+        self.net.mark_residual_reachable(self.s);
         let mut cover = Cover {
             weight: self.net.flow_value(self.s),
             ..Default::default()
         };
         for (i, u) in self.us.iter().enumerate() {
-            if u.alive && !reach[u.node] {
+            if u.alive && !self.net.reached(u.node) {
                 cover.updates.insert(UpdateNode(i));
             }
         }
         for (i, q) in self.qs.iter().enumerate() {
-            if q.alive && reach[q.node] {
+            if q.alive && self.net.reached(q.node) {
                 cover.queries.insert(QueryNode(i));
             }
         }
@@ -299,7 +459,9 @@ impl CoverGraph {
         let s = net.add_node();
         let t = net.add_node();
         // Recreate live nodes and carry flows across.
-        let mut new_unode = vec![usize::MAX; self.us.len()];
+        let mut new_unode = std::mem::take(&mut self.unode_scratch);
+        new_unode.clear();
+        new_unode.resize(self.us.len(), usize::MAX);
         for (i, u) in self.us.iter_mut().enumerate() {
             if !u.alive {
                 continue;
@@ -324,14 +486,15 @@ impl CoverGraph {
             q.t_edge = t_edge;
         }
         // Interaction edges (only between live endpoints).
-        let mut rewires: Vec<(usize, usize, EdgeId, u64)> = Vec::new();
+        let mut rewires = std::mem::take(&mut self.rewires);
+        rewires.clear();
         for (qi, q) in self.qs.iter().enumerate() {
             if !q.alive {
                 continue;
             }
             for &(e, u) in &q.edges {
                 if self.us[u.0].alive {
-                    rewires.push((u.0, qi, e, self.net.flow_on(e)));
+                    rewires.push((u.0, qi, self.net.flow_on(e)));
                 }
             }
         }
@@ -341,12 +504,19 @@ impl CoverGraph {
         for u in self.us.iter_mut() {
             u.edges.clear();
         }
-        for (ui, qi, _old_e, flow) in rewires {
+        for &(ui, qi, flow) in &rewires {
             let e = net.add_edge(new_unode[ui], self.qs[qi].node, INF);
             net.force_flow(e, flow as i64);
             self.us[ui].edges.push((e, QueryNode(qi)));
             self.qs[qi].edges.push((e, UpdateNode(ui)));
         }
+        rewires.clear();
+        self.rewires = rewires;
+        new_unode.clear();
+        self.unode_scratch = new_unode;
+        // The rebuilt network starts with cold scratch buffers; inherit
+        // the old ones so post-compaction solves stay allocation-free.
+        net.adopt_scratch(&mut self.net);
         self.net = net;
         self.s = s;
         self.t = t;
@@ -430,6 +600,7 @@ mod tests {
         assert_eq!(c.weight, 3);
         assert!(c.updates.contains(&u));
         assert!(!c.queries.contains(&q));
+        assert!(!g.solve_query_membership(q));
     }
 
     #[test]
@@ -441,6 +612,31 @@ mod tests {
         let c = g.solve();
         assert_eq!(c.weight, 10);
         assert!(c.queries.contains(&q));
+        assert!(g.solve_query_membership(q));
+    }
+
+    #[test]
+    fn membership_matches_solve_under_every_solver() {
+        for solver in [
+            FlowSolver::EdmondsKarp,
+            FlowSolver::Dinic,
+            FlowSolver::Hybrid,
+        ] {
+            let mut g = CoverGraph::new();
+            g.set_solver(solver);
+            let u1 = g.add_update(5);
+            let u2 = g.add_update(40);
+            let q1 = g.add_query(4);
+            let q2 = g.add_query(100);
+            g.add_interaction(u1, q1);
+            g.add_interaction(u1, q2);
+            g.add_interaction(u2, q2);
+            let m1 = g.solve_query_membership(q1);
+            let m2 = g.solve_query_membership(q2);
+            let c = g.solve();
+            assert_eq!(m1, c.queries.contains(&q1), "{solver:?} q1");
+            assert_eq!(m2, c.queries.contains(&q2), "{solver:?} q2");
+        }
     }
 
     #[test]
@@ -473,6 +669,7 @@ mod tests {
         assert_eq!(c.weight, 3);
         assert!(c.updates.contains(&u1) && c.updates.contains(&u6));
         assert!(!c.queries.contains(&q7));
+        assert!(!g.solve_query_membership(q7));
     }
 
     #[test]
@@ -559,11 +756,14 @@ mod tests {
         g.add_interaction(u, q1);
         g.add_interaction(u, q2);
         assert_eq!(g.update_degree(u), 2);
+        assert_eq!(g.live_interactions(), 2);
         g.remove_query(q1);
         assert_eq!(g.update_degree(u), 1);
         assert_eq!(g.query_degree(q2), 1);
+        assert_eq!(g.live_interactions(), 1);
         g.remove_update(u);
         assert_eq!(g.query_degree(q2), 0);
+        assert_eq!(g.live_interactions(), 0);
     }
 
     #[test]
@@ -596,6 +796,11 @@ mod tests {
             .map(|&(u, q)| g.update_weight(u).min(g.query_weight(q)))
             .sum();
         assert_eq!(c.weight, expect);
+        // Degree counters survive compaction.
+        for &(u, q) in &kept {
+            assert_eq!(g.update_degree(u), 1);
+            assert_eq!(g.query_degree(q), 1);
+        }
     }
 
     #[test]

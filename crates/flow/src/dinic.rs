@@ -15,18 +15,53 @@
 
 use crate::graph::{EdgeId, FlowNetwork, NodeId};
 
+/// Reusable per-solver state for [`dinic_max_flow_with`]: the level
+/// graph, per-node arc iterators, BFS queue and DFS path stack. Owning
+/// one and passing it to every call keeps repeated solves (the cover
+/// hot path) allocation-free after the first.
+#[derive(Clone, Debug, Default)]
+pub struct DinicScratch {
+    level: Vec<u32>,
+    it: Vec<usize>,
+    queue: Vec<NodeId>,
+    path: Vec<(NodeId, EdgeId)>,
+}
+
 /// Runs Dinic's algorithm from `s` to `t` on top of the existing flow and
-/// returns the *additional* flow pushed.
+/// returns the *additional* flow pushed. Convenience wrapper over
+/// [`dinic_max_flow_with`] that allocates fresh scratch.
 ///
 /// # Panics
 /// Panics if `s == t` or either endpoint is deleted.
 pub fn dinic_max_flow(net: &mut FlowNetwork, s: NodeId, t: NodeId) -> u64 {
+    let mut scratch = DinicScratch::default();
+    dinic_max_flow_with(net, s, t, &mut scratch)
+}
+
+/// [`dinic_max_flow`] with caller-owned scratch buffers (no allocation
+/// once the buffers have grown to the network's size).
+///
+/// # Panics
+/// Panics if `s == t` or either endpoint is deleted.
+pub fn dinic_max_flow_with(
+    net: &mut FlowNetwork,
+    s: NodeId,
+    t: NodeId,
+    scratch: &mut DinicScratch,
+) -> u64 {
     assert_ne!(s, t, "source and sink must differ");
     assert!(!net.is_deleted(s) && !net.is_deleted(t), "endpoint deleted");
     let n = net.node_count();
-    let mut level = vec![u32::MAX; n];
-    let mut it = vec![0usize; n];
-    let mut queue: Vec<NodeId> = Vec::with_capacity(n);
+    let DinicScratch {
+        level,
+        it,
+        queue,
+        path,
+    } = scratch;
+    level.clear();
+    level.resize(n, u32::MAX);
+    it.clear();
+    it.resize(n, 0);
     let mut pushed_total = 0u64;
 
     loop {
@@ -54,7 +89,7 @@ pub fn dinic_max_flow(net: &mut FlowNetwork, s: NodeId, t: NodeId) -> u64 {
         // ---- DFS: push a blocking flow along level-increasing edges ----
         it.iter_mut().for_each(|i| *i = 0);
         loop {
-            let pushed = dfs_push(net, s, t, u64::MAX, &level, &mut it);
+            let pushed = dfs_push(net, s, t, u64::MAX, level, it, path);
             if pushed == 0 {
                 break;
             }
@@ -71,16 +106,17 @@ fn dfs_push(
     limit: u64,
     level: &[u32],
     it: &mut [usize],
+    path: &mut Vec<(NodeId, EdgeId)>,
 ) -> u64 {
-    // Stack of (node, min residual along the path so far).
-    let mut path: Vec<(NodeId, EdgeId)> = Vec::new();
+    // Stack of (node, edge taken) along the current path.
+    path.clear();
     let mut v = s;
     let mut bottleneck = limit;
     loop {
         if v == t {
             // Apply the bottleneck along the recorded path.
             let pushed = bottleneck;
-            for &(_, e) in &path {
+            for &(_, e) in path.iter() {
                 net.force_flow(e, pushed as i64);
             }
             return pushed;
@@ -111,7 +147,7 @@ fn dfs_push(
                 v = prev;
                 // Recompute the bottleneck for the shortened path.
                 bottleneck = limit;
-                for &(_, e) in &path {
+                for &(_, e) in path.iter() {
                     bottleneck = bottleneck.min(net.edge(e).residual());
                 }
             }

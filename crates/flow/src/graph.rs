@@ -8,6 +8,17 @@
 //! it never resets existing flow, so calling it after mutations performs the
 //! incremental step, and calling [`FlowNetwork::reset_flow`] first gives the
 //! classic from-scratch algorithm.
+//!
+//! ## Scratch epochs
+//!
+//! Every BFS over the network (augmenting-path search, residual
+//! reachability) needs per-node visited/parent state. Allocating it per
+//! call would put a `vec![false; n]` on the decision hot path, so the
+//! network owns the buffers and stamps them with a monotonically
+//! increasing **epoch**: a node is "visited in this traversal" iff
+//! `mark[v] == epoch`, and bumping the epoch invalidates the whole buffer
+//! in O(1). `parent[v]` is only meaningful while `mark[v]` carries the
+//! current epoch, which is why both live behind the same bump.
 
 /// Node handle within a [`FlowNetwork`].
 pub type NodeId = usize;
@@ -19,6 +30,10 @@ pub type EdgeId = usize;
 /// Effectively-infinite capacity that still leaves headroom against
 /// accidental `u64` overflow when summing cuts.
 pub const INF: u64 = u64::MAX / 4;
+
+/// Recycled adjacency Vecs kept for reuse after node deletion (beyond
+/// this, capacity is returned to the allocator).
+const MAX_POOLED_ADJ: usize = 1024;
 
 /// A directed edge with explicit flow (residual capacity is `cap - flow`).
 #[derive(Clone, Copy, Debug)]
@@ -49,9 +64,16 @@ pub struct FlowNetwork {
     adj: Vec<Vec<EdgeId>>,
     edges: Vec<Edge>,
     deleted: Vec<bool>,
-    /// Scratch buffers reused across BFS invocations.
-    parent: Vec<Option<EdgeId>>,
+    /// BFS scratch: the edge that discovered each node, valid only while
+    /// `mark[v] == epoch`.
+    parent: Vec<EdgeId>,
     queue: Vec<NodeId>,
+    /// Epoch stamps — see the module docs.
+    mark: Vec<u64>,
+    epoch: u64,
+    /// Adjacency Vecs recycled from deleted nodes, reused by `add_node`
+    /// so steady-state node churn never touches the allocator.
+    free_adj: Vec<Vec<EdgeId>>,
 }
 
 impl FlowNetwork {
@@ -62,7 +84,7 @@ impl FlowNetwork {
 
     /// Adds a node and returns its id.
     pub fn add_node(&mut self) -> NodeId {
-        self.adj.push(Vec::new());
+        self.adj.push(self.free_adj.pop().unwrap_or_default());
         self.deleted.push(false);
         self.adj.len() - 1
     }
@@ -107,6 +129,7 @@ impl FlowNetwork {
     }
 
     /// Edge ids incident to `v` (both directions, forward and residual).
+    /// Empty for deleted nodes (their adjacency storage is recycled).
     pub fn adjacency(&self, v: NodeId) -> &[EdgeId] {
         &self.adj[v]
     }
@@ -118,7 +141,8 @@ impl FlowNetwork {
 
     /// Marks a node deleted. The caller is responsible for having cancelled
     /// any flow through it first (see `force_flow`); deleted nodes are
-    /// skipped by BFS and never traversed again.
+    /// skipped by BFS and never traversed again, so their adjacency list is
+    /// recycled for future nodes.
     ///
     /// # Panics
     /// Panics (in debug builds) if flow still passes through the node.
@@ -134,6 +158,11 @@ impl FlowNetwork {
             "deleting node {v} with outgoing flow"
         );
         self.deleted[v] = true;
+        let mut adj = std::mem::take(&mut self.adj[v]);
+        if self.free_adj.len() < MAX_POOLED_ADJ {
+            adj.clear();
+            self.free_adj.push(adj);
+        }
     }
 
     /// Whether the node has been deleted.
@@ -169,6 +198,19 @@ impl FlowNetwork {
             .sum()
     }
 
+    /// Starts a fresh traversal: grows the stamp buffers to the current
+    /// node count and returns the new epoch.
+    #[inline]
+    fn bump_epoch(&mut self) -> u64 {
+        let n = self.adj.len();
+        if self.mark.len() < n {
+            self.mark.resize(n, 0);
+            self.parent.resize(n, 0);
+        }
+        self.epoch += 1;
+        self.epoch
+    }
+
     /// Runs Edmonds–Karp **continuing from the current flow**: repeatedly
     /// finds a shortest augmenting path and saturates it. Returns the flow
     /// *added* by this call.
@@ -184,36 +226,35 @@ impl FlowNetwork {
     /// Returns the amount pushed, or `None` if no augmenting path exists.
     pub fn augment_once(&mut self, s: NodeId, t: NodeId) -> Option<u64> {
         debug_assert!(!self.deleted[s] && !self.deleted[t]);
-        let n = self.adj.len();
-        self.parent.clear();
-        self.parent.resize(n, None);
+        let epoch = self.bump_epoch();
         self.queue.clear();
         self.queue.push(s);
-        let mut seen = vec![false; n];
-        seen[s] = true;
+        self.mark[s] = epoch;
         let mut head = 0;
         'bfs: while head < self.queue.len() {
             let v = self.queue[head];
             head += 1;
             for &e in &self.adj[v] {
                 let edge = self.edges[e];
-                if edge.residual() == 0 || self.deleted[edge.to] || seen[edge.to] {
+                if edge.residual() == 0 || self.deleted[edge.to] || self.mark[edge.to] == epoch {
                     continue;
                 }
-                seen[edge.to] = true;
-                self.parent[edge.to] = Some(e);
+                self.mark[edge.to] = epoch;
+                self.parent[edge.to] = e;
                 if edge.to == t {
                     break 'bfs;
                 }
                 self.queue.push(edge.to);
             }
         }
-        self.parent[t]?;
+        if self.mark[t] != epoch {
+            return None;
+        }
         // Walk back to find the bottleneck.
         let mut bottleneck = u64::MAX;
         let mut v = t;
         while v != s {
-            let e = self.parent[v].expect("path reaches s");
+            let e = self.parent[v];
             bottleneck = bottleneck.min(self.edges[e].residual());
             v = self.edges[e ^ 1].to;
         }
@@ -221,7 +262,7 @@ impl FlowNetwork {
         // Apply.
         let mut v = t;
         while v != s {
-            let e = self.parent[v].expect("path reaches s");
+            let e = self.parent[v];
             self.edges[e].flow += bottleneck as i64;
             self.edges[e ^ 1].flow -= bottleneck as i64;
             v = self.edges[e ^ 1].to;
@@ -229,27 +270,104 @@ impl FlowNetwork {
         Some(bottleneck)
     }
 
-    /// Nodes reachable from `s` in the residual graph (deleted nodes are
-    /// never reachable). This is the min-cut side used for vertex-cover
-    /// extraction.
-    pub fn residual_reachable(&self, s: NodeId) -> Vec<bool> {
-        let n = self.adj.len();
-        let mut seen = vec![false; n];
-        if self.deleted[s] {
-            return seen;
+    /// Whether `target` is reachable from `s` in the residual graph —
+    /// the single-node question behind a cover membership test. Early
+    /// exits the moment `target` is discovered, so a query node adjacent
+    /// to a reachable update node settles without scanning the rest of
+    /// the graph. Allocation-free (epoch-stamped scratch).
+    pub fn residual_reaches(&mut self, s: NodeId, target: NodeId) -> bool {
+        if self.deleted[s] || self.deleted[target] {
+            return false;
         }
-        let mut stack = vec![s];
-        seen[s] = true;
-        while let Some(v) = stack.pop() {
+        if s == target {
+            return true;
+        }
+        let epoch = self.bump_epoch();
+        self.queue.clear();
+        self.queue.push(s);
+        self.mark[s] = epoch;
+        let mut head = 0;
+        while head < self.queue.len() {
+            let v = self.queue[head];
+            head += 1;
             for &e in &self.adj[v] {
                 let edge = self.edges[e];
-                if edge.residual() > 0 && !self.deleted[edge.to] && !seen[edge.to] {
-                    seen[edge.to] = true;
-                    stack.push(edge.to);
+                if edge.residual() == 0 || self.deleted[edge.to] || self.mark[edge.to] == epoch {
+                    continue;
+                }
+                if edge.to == target {
+                    return true;
+                }
+                self.mark[edge.to] = epoch;
+                self.queue.push(edge.to);
+            }
+        }
+        false
+    }
+
+    /// Stamps every node reachable from `s` in the residual graph with a
+    /// fresh epoch; query the result with [`Self::reached`]. This is the
+    /// allocation-free form of [`Self::residual_reachable`] used by full
+    /// cover extraction. The stamps stay valid until the next traversal.
+    pub fn mark_residual_reachable(&mut self, s: NodeId) {
+        let epoch = self.bump_epoch();
+        if self.deleted[s] {
+            return;
+        }
+        self.queue.clear();
+        self.queue.push(s);
+        self.mark[s] = epoch;
+        let mut head = 0;
+        while head < self.queue.len() {
+            let v = self.queue[head];
+            head += 1;
+            for &e in &self.adj[v] {
+                let edge = self.edges[e];
+                if edge.residual() > 0 && !self.deleted[edge.to] && self.mark[edge.to] != epoch {
+                    self.mark[edge.to] = epoch;
+                    self.queue.push(edge.to);
                 }
             }
         }
-        seen
+    }
+
+    /// Whether `v` was stamped by the most recent
+    /// [`Self::mark_residual_reachable`] traversal.
+    #[inline]
+    pub fn reached(&self, v: NodeId) -> bool {
+        self.mark.get(v).is_some_and(|&m| m == self.epoch)
+    }
+
+    /// Nodes reachable from `s` in the residual graph (deleted nodes are
+    /// never reachable). This is the min-cut side used for vertex-cover
+    /// extraction. Allocates its result — tests and offline callers only;
+    /// the hot path uses [`Self::mark_residual_reachable`] /
+    /// [`Self::residual_reaches`].
+    pub fn residual_reachable(&mut self, s: NodeId) -> Vec<bool> {
+        self.mark_residual_reachable(s);
+        (0..self.adj.len()).map(|v| self.reached(v)).collect()
+    }
+
+    /// Moves the reusable scratch capacity out of `old` (typically the
+    /// pre-compaction network about to be dropped) so a rebuilt network
+    /// starts warm instead of re-growing its buffers from zero.
+    pub(crate) fn adopt_scratch(&mut self, old: &mut FlowNetwork) {
+        // Stamps are only comparable against the epoch they were written
+        // under; the adopted buffers come pre-invalidated because this
+        // network's epoch restarts while the marks keep `old`'s values —
+        // strictly larger once `old.epoch` is inherited.
+        self.epoch = self.epoch.max(old.epoch);
+        let mut mark = std::mem::take(&mut old.mark);
+        mark.clear();
+        mark.resize(self.adj.len(), 0);
+        self.mark = mark;
+        let mut parent = std::mem::take(&mut old.parent);
+        parent.clear();
+        parent.resize(self.adj.len(), 0);
+        self.parent = parent;
+        self.queue = std::mem::take(&mut old.queue);
+        self.queue.clear();
+        self.free_adj = std::mem::take(&mut old.free_adj);
     }
 
     /// Verifies flow conservation at every live node except `s` and `t`.
@@ -394,6 +512,21 @@ mod tests {
     }
 
     #[test]
+    fn targeted_reachability_agrees_with_full_scan() {
+        let (mut g, s, t) = clrs_network();
+        g.max_flow(s, t);
+        let reach = g.residual_reachable(s);
+        for (v, &full) in reach.iter().enumerate() {
+            assert_eq!(
+                g.residual_reaches(s, v),
+                full,
+                "early-exit disagrees at node {v}"
+            );
+        }
+        assert!(!g.residual_reaches(s, t));
+    }
+
+    #[test]
     fn deleted_nodes_are_skipped() {
         let mut g = FlowNetwork::new();
         let s = g.add_node();
@@ -406,6 +539,28 @@ mod tests {
         g.add_edge(m2, t, 3);
         g.delete_node(m2);
         assert_eq!(g.max_flow(s, t), 5, "only the live path should carry flow");
+        assert!(!g.residual_reaches(s, m2), "deleted target is unreachable");
+    }
+
+    #[test]
+    fn recycled_adjacency_starts_empty() {
+        let mut g = FlowNetwork::new();
+        let s = g.add_node();
+        let a = g.add_node();
+        let t = g.add_node();
+        g.add_edge(s, a, 3);
+        g.add_edge(a, t, 3);
+        assert_eq!(g.max_flow(s, t), 3);
+        // Cancel and delete a, then add a fresh node: it must not inherit
+        // a's edges.
+        g.force_flow(0, -3);
+        g.force_flow(2, -3);
+        g.delete_node(a);
+        let b = g.add_node();
+        assert!(g.adjacency(b).is_empty());
+        g.add_edge(s, b, 2);
+        g.add_edge(b, t, 2);
+        assert_eq!(g.max_flow(s, t), 2);
     }
 
     #[test]

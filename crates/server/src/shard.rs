@@ -38,9 +38,10 @@ use crate::config::PolicyKind;
 use crate::protocol::{BatchItem, ShardStats};
 use crate::replication::ReplState;
 use delta_core::engine::write_snapshot;
+use delta_core::PolicyInstruments;
 use delta_core::{CachingPolicy, Engine, EngineOutcome, EngineSnapshot};
 use delta_storage::ObjectCatalog;
-use delta_telemetry::{Histogram, Telemetry};
+use delta_telemetry::{Counter, Gauge, Histogram, Telemetry};
 use delta_workload::{Event, QueryEvent, UpdateEvent};
 use std::path::PathBuf;
 use std::sync::{Arc, Mutex};
@@ -123,6 +124,11 @@ pub enum OpClass {
 /// without it.
 pub struct ShardTelemetry {
     classes: [OpTimers; 4],
+    /// Handles for the policy's internal solver (`um.*` metrics),
+    /// attached to the policy at core construction. Histogram/counter
+    /// instances are per-core private like the timers; the graph-size
+    /// gauges are node-shared (single-instance semantics).
+    um: PolicyInstruments,
 }
 
 struct OpTimers {
@@ -144,6 +150,12 @@ impl ShardTelemetry {
                 timers("sql"),
                 timers("batch"),
             ],
+            um: PolicyInstruments {
+                solve_ns: t.histogram_handle("um.solve_ns"),
+                graph_nodes: t.gauge("um.graph_nodes"),
+                graph_edges: t.gauge("um.graph_edges"),
+                solves: t.counter_handle("um.solves"),
+            },
         }
     }
 
@@ -156,6 +168,12 @@ impl ShardTelemetry {
         };
         ShardTelemetry {
             classes: [timers(), timers(), timers(), timers()],
+            um: PolicyInstruments {
+                solve_ns: Arc::new(Histogram::new()),
+                graph_nodes: Arc::new(Gauge::default()),
+                graph_edges: Arc::new(Gauge::default()),
+                solves: Arc::new(Counter::default()),
+            },
         }
     }
 
@@ -227,7 +245,8 @@ impl ShardCore {
             snapshot_path,
             telemetry,
         } = spec;
-        let policy = policy_kind.build(cache_bytes, seed);
+        let mut policy = policy_kind.build(cache_bytes, seed);
+        policy.attach_instruments(telemetry.um.clone());
         let engine = match restore {
             Some(snap) => Engine::restore(policy, &catalog, &snap)
                 .unwrap_or_else(|e| panic!("shard {shard}: snapshot restore failed: {e}"))
